@@ -1,0 +1,496 @@
+(* Benchmark harness: regenerates every table in the paper's evaluation
+   plus the ablations DESIGN.md calls out. Run with
+
+     dune exec bench/main.exe              (full corpus; several minutes)
+     dune exec bench/main.exe -- --quick   (shrinks the gcc-scale input)
+     dune exec bench/main.exe -- --no-bechamel
+
+   Absolute byte counts differ from the paper (our corpus is synthetic
+   and our native targets are simulated; see DESIGN.md "Substitutions");
+   the *shape* of each table is what reproduces. EXPERIMENTS.md records
+   paper-vs-measured for every row. *)
+
+let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+let no_bechamel = Array.exists (fun a -> a = "--no-bechamel") Sys.argv
+
+let hr title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* ---- corpus: the paper's wc / lcc / gcc / Word97 stand-ins ---- *)
+
+type point = {
+  label : string;
+  entry : Corpus.Programs.entry;
+  ir : Ir.Tree.program;
+  vp : Vm.Isa.vprogram;
+  np : Native.Mach.nprogram;
+  sparc_img : string;
+  x86_img : string;
+}
+
+let make_point label (entry : Corpus.Programs.entry) =
+  let ir = Cc.Lower.compile entry.Corpus.Programs.source in
+  let vp = Vm.Codegen.gen_program ir in
+  let np = Native.Compile.compile_program vp in
+  {
+    label;
+    entry;
+    ir;
+    vp;
+    np;
+    sparc_img = Native.Sparc.encode_program vp;
+    x86_img = Native.Mach.encode_program np;
+  }
+
+let points =
+  lazy
+    (let gcc_profile =
+       if quick then { Corpus.Gen.large with Corpus.Gen.functions = 250 }
+       else Corpus.Gen.large
+     in
+     [
+       make_point "wc (smallest)" Corpus.Programs.wc;
+       make_point "lcc-like" (Corpus.Gen.generate Corpus.Gen.medium);
+       make_point "gcc-like" (Corpus.Gen.generate gcc_profile);
+     ])
+
+let word97_point =
+  lazy (make_point "word97-like (16-bit)" (Corpus.Gen.generate Corpus.Gen.bigapp16))
+
+(* cached BRISC compressions *)
+let brisc_cache : (string, Brisc.Emit.image * Brisc.report) Hashtbl.t =
+  Hashtbl.create 8
+
+let brisc_of p =
+  match Hashtbl.find_opt brisc_cache p.label with
+  | Some r -> r
+  | None ->
+    let r = Brisc.measure p.vp in
+    Hashtbl.add brisc_cache p.label r;
+    r
+
+(* ---- Table 1: wire format vs conventional code (§3) ---- *)
+
+let table1 () =
+  hr "Table 1 — wire code vs conventional code (paper §3)";
+  Printf.printf "%-22s %12s %12s %12s %8s %8s\n" "program" "SPARC-like"
+    "gzipped" "wire" "factor" "vs gzip";
+  List.iter
+    (fun p ->
+      let sparc = String.length p.sparc_img in
+      let gz = String.length (Zip.Deflate.compress p.sparc_img) in
+      let wire = String.length (Wire.compress p.ir) in
+      Printf.printf "%-22s %12d %12d %12d %7.2fx %7.2fx\n" p.label sparc gz
+        wire
+        (float_of_int sparc /. float_of_int wire)
+        (float_of_int gz /. float_of_int wire))
+    (Lazy.force points);
+  print_endline
+    "paper: factors up to 4.9x; wire beats gzip except on the smallest input"
+
+(* ---- Table 2: BRISC results (§4.5) ---- *)
+
+(* The paper's runtime columns are measured on a 120 MHz Pentium. Our
+   runtimes come from the native simulator's cycle model; the JIT cost
+   in the "JIT+run" column uses the paper-calibrated 48 cycles per
+   produced native byte (2.5 MB/s at 120 MHz); the in-place
+   interpretation model charges each BRISC dispatch 24 cycles of decode
+   plus 6 cycles per expanded VM instruction on top of the native work.
+   Host-measured JIT MB/s is real wall-clock. *)
+
+let jit_cycles_per_byte = 48
+let dispatch_decode_cycles = 24
+let per_step_overhead_cycles = 6
+
+(* The paper's benchmarks run for seconds of CPU time, so JIT cost
+   amortizes over a long run; our corpus drivers finish in milliseconds.
+   The JIT+run column therefore models a session of at least one nominal
+   CPU-second at the paper's 120 MHz (or the measured run, if longer). *)
+let nominal_session_cycles = 120_000_000
+
+let table2 () =
+  hr "Table 2 — BRISC executable size and speed (paper §4.5, K=20)";
+  Printf.printf "%-22s %10s %10s %10s %12s %10s %10s\n" "program"
+    "BRISC/nat" "gzip/nat" "code/nat" "JIT MB/s" "JIT+run" "interp";
+  let rows = Lazy.force points @ [ Lazy.force word97_point ] in
+  List.iter
+    (fun p ->
+      let img, rep = brisc_of p in
+      let native = Native.Mach.program_size p.np in
+      let gz = String.length (Zip.Deflate.compress p.x86_img) in
+      (* measured JIT rate *)
+      let (jit_np, produced), jit_s =
+        time (fun () -> Brisc.Jit.compile_with_stats img)
+      in
+      let mbps = float_of_int produced /. jit_s /. 1048576.0 in
+      (* modelled runtimes *)
+      let input = p.entry.Corpus.Programs.input in
+      let sim = Native.Sim.run ~input jit_np in
+      let br = Brisc.Interp.run ~input img in
+      let native_cycles = max 1 sim.Native.Sim.cycles in
+      let session = max native_cycles nominal_session_cycles in
+      let jit_run =
+        float_of_int ((jit_cycles_per_byte * produced) + session)
+        /. float_of_int session
+      in
+      let interp =
+        float_of_int
+          (native_cycles
+          + (dispatch_decode_cycles * br.Brisc.Interp.dispatches)
+          + (per_step_overhead_cycles * br.Brisc.Interp.vm_steps))
+        /. float_of_int native_cycles
+      in
+      Printf.printf "%-22s %10.2f %10.2f %10.2f %12.2f %9.2fx %9.2fx\n"
+        p.label
+        (float_of_int rep.Brisc.brisc_total /. float_of_int native)
+        (float_of_int gz /. float_of_int native)
+        (float_of_int rep.Brisc.brisc_code /. float_of_int native)
+        mbps jit_run interp)
+    rows;
+  print_endline
+    "paper: BRISC ~ gzip size; JIT >= 2.5 MB/s; JIT+run ~1.08x; interp ~12x";
+  print_endline
+    "(JIT+run and interp use the cycle model documented in EXPERIMENTS.md;";
+  print_endline
+    " the 16-bit-heavy word97-like row compresses worse, as the paper notes)"
+
+(* ---- Table 3: the salt/pepper worked example (§4.4) ---- *)
+
+let table3 () =
+  hr "Table 3 — salt/pepper example with a trained dictionary (paper §4.4)";
+  let salt_src =
+    "void pepper(int a, int b) { }\n\
+     int salt(int j, int i) {\n\
+    \  if (j > 0) {\n\
+    \    pepper(i, j);\n\
+    \    j--;\n\
+    \  }\n\
+    \  return j;\n\
+     }\n"
+  in
+  let ir = Cc.Lower.compile salt_src in
+  let vp = Vm.Codegen.gen_program ir in
+  let salt_f = List.find (fun f -> f.Vm.Isa.name = "salt") vp.Vm.Isa.funcs in
+  Printf.printf "OmniVM code for salt:\n%s\n\n" (Vm.Isa.func_to_string salt_f);
+  let original = Vm.Encode.func_size salt_f in
+  let gcc_like = List.nth (Lazy.force points) 2 in
+  let trained, _ = brisc_of gcc_like in
+  let img = Brisc.compress_with trained vp in
+  let salt_idx =
+    let rec find i = function
+      | [] -> failwith "salt missing"
+      | (f : Brisc.Emit.ifunc) :: _ when f.Brisc.Emit.if_name = "salt" -> i
+      | _ :: rest -> find (i + 1) rest
+    in
+    find 0 (Array.to_list img.Brisc.Emit.ifuncs)
+  in
+  let compressed =
+    String.length img.Brisc.Emit.ifuncs.(salt_idx).Brisc.Emit.code
+  in
+  Printf.printf
+    "salt: %d OmniVM bytes -> %d BRISC bytes (%.2fx) using the %s dictionary\n"
+    original compressed
+    (float_of_int original /. float_of_int compressed)
+    gcc_like.label;
+  Printf.printf
+    "paper: 60 bytes -> 17 bytes (3.5x) with the gcc-2.6.3 dictionary\n"
+
+(* ---- Table 4: reducing RISC abstract machines (§5) ---- *)
+
+let table4 () =
+  hr "Table 4 — de-tuned abstract machines (paper §5)";
+  Printf.printf "%-32s %14s %14s %8s\n" "abstract machine variant" "VM bytes"
+    "BRISC bytes" "ratio";
+  let p = List.nth (Lazy.force points) 1 (* lcc-like, as in the paper *) in
+  let native = Native.Mach.program_size p.np in
+  List.iter
+    (fun feats ->
+      let vp = Vm.Codegen.gen_program ~features:feats p.ir in
+      let _, rep = Brisc.measure vp in
+      Printf.printf "%-32s %14d %14d %8.2f\n"
+        (Vm.Isa.feature_set_name feats)
+        rep.Brisc.original_bytes rep.Brisc.brisc_total
+        (float_of_int rep.Brisc.brisc_total /. float_of_int native))
+    [ Vm.Isa.full_risc; Vm.Isa.minus_immediates; Vm.Isa.minus_reg_disp;
+      Vm.Isa.minimal ];
+  print_endline
+    "paper (compressed/native): RISC 0.54, -imm 0.56, -regdisp 0.57, -both 0.59";
+  print_endline
+    "(ratio uses the full-RISC native size as the fixed denominator, as in §5)"
+
+(* ---- dictionary statistics (§4.3 prose) ---- *)
+
+let dict_stats () =
+  hr "Dictionary statistics (paper §4.3 prose)";
+  Printf.printf "%-22s %8s %8s %12s %8s %10s\n" "program" "entries" "base"
+    "candidates" "passes" "max succ";
+  List.iter
+    (fun p ->
+      let _, rep = brisc_of p in
+      Printf.printf "%-22s %8d %8d %12d %8d %10d\n" p.label
+        rep.Brisc.dict_entries rep.Brisc.base_entries
+        rep.Brisc.candidates_tested rep.Brisc.passes
+        rep.Brisc.max_markov_successors)
+    (Lazy.force points);
+  print_endline
+    "paper: lcc dictionary 981 entries; gcc 1232 entries, 93,211 candidates;";
+  print_endline "       every Markov context had at most 244 successors"
+
+(* ---- delivery scenarios (introduction + §4.5 prose) ---- *)
+
+let scenario_delivery () =
+  hr "Scenario — delivery time by link speed (paper intro, §4.5)";
+  let p = List.nth (Lazy.force points) 1 in
+  let _img, rep = brisc_of p in
+  let sizes =
+    {
+      Scenario.Delivery.native_bytes = Native.Mach.program_size p.np;
+      gzip_bytes = String.length (Zip.Deflate.compress p.x86_img);
+      wire_bytes = String.length (Wire.compress p.ir);
+      brisc_bytes = rep.Brisc.brisc_total;
+    }
+  in
+  let input = p.entry.Corpus.Programs.input in
+  let sim = Native.Sim.run ~input p.np in
+  let run_cycles = sim.Native.Sim.cycles * 2000 (* model a longer session *) in
+  let links =
+    [ ("28.8k modem", Scenario.Delivery.modem_bps);
+      ("ISDN", Scenario.Delivery.isdn_bps);
+      ("T1", Scenario.Delivery.t1_bps);
+      ("10M LAN", Scenario.Delivery.lan_bps);
+      ("100M LAN", Scenario.Delivery.fast_lan_bps) ]
+  in
+  (* shipping raw or gzipped native code is only possible for a
+     homogeneous client population; the paper's mobile-code setting
+     compares the portable representations (wire vs BRISC) *)
+  Printf.printf "%-12s %12s %12s %12s %12s %12s %16s\n" "link" "native"
+    "gzip+nat" "wire+JIT" "BRISC+JIT" "BRISC int" "best portable";
+  List.iter
+    (fun (name, bps) ->
+      let t r =
+        (Scenario.Delivery.total_time sizes ~run_cycles ~link_bps:bps r)
+          .Scenario.Delivery.total_s
+      in
+      let portable =
+        [ Scenario.Delivery.Wire_format; Scenario.Delivery.Brisc_jit;
+          Scenario.Delivery.Brisc_interp ]
+      in
+      let best =
+        List.fold_left
+          (fun acc r -> if t r < t acc then r else acc)
+          (List.hd portable) (List.tl portable)
+      in
+      Printf.printf "%-12s %11.2fs %11.2fs %11.2fs %11.2fs %11.2fs %16s\n" name
+        (t Scenario.Delivery.Raw_native)
+        (t Scenario.Delivery.Gzipped_native)
+        (t Scenario.Delivery.Wire_format)
+        (t Scenario.Delivery.Brisc_jit)
+        (t Scenario.Delivery.Brisc_interp)
+        (Scenario.Delivery.repr_name best))
+    links;
+  print_endline
+    "paper: the wire format minimizes latency over a modem; BRISC wins on a LAN"
+
+let scenario_paging () =
+  hr "Scenario — paging and working set (paper intro; §4 'cuts working set')";
+  let e =
+    Corpus.Gen.generate { Corpus.Gen.functions = 150; seed = 31L; bias16 = false }
+  in
+  let vp = Vm.Codegen.gen_program (Cc.Lower.compile e.Corpus.Programs.source) in
+  (* a long-running session revisits its code repeatedly; repeat the
+     one-shot trace to model re-references under memory pressure *)
+  let once = Scenario.Paging.trace_of_program vp in
+  let trace = List.concat (List.init 20 (fun _ -> once)) in
+  let page_bytes = 1024 in
+  let native_layout =
+    Scenario.Paging.layout_of_sizes ~page_bytes
+      (Scenario.Paging.func_sizes_native vp)
+  in
+  let img = Brisc.compress vp in
+  let brisc_layout =
+    Scenario.Paging.layout_of_sizes ~page_bytes
+      (Scenario.Paging.func_sizes_brisc img)
+  in
+  Printf.printf "code image: native %d pages, BRISC %d pages (%.0f%% smaller)\n"
+    native_layout.Scenario.Paging.pages brisc_layout.Scenario.Paging.pages
+    (100.0
+    *. (1.0
+       -. float_of_int brisc_layout.Scenario.Paging.pages
+          /. float_of_int native_layout.Scenario.Paging.pages));
+  Printf.printf "%-10s %14s %14s %14s %14s\n" "budget" "native faults"
+    "brisc faults" "native time" "brisc time";
+  List.iter
+    (fun budget ->
+      let cfg = Scenario.Paging.default_config ~resident_pages:budget in
+      (* interpreting compressed pages costs decompression per fault *)
+      let cfg_b = { cfg with Scenario.Paging.decompress_us_per_page = 100.0 } in
+      let rn = Scenario.Paging.simulate cfg native_layout trace in
+      let rb = Scenario.Paging.simulate cfg_b brisc_layout trace in
+      Printf.printf "%-10d %14d %14d %13.3fs %13.3fs\n" budget
+        rn.Scenario.Paging.faults rb.Scenario.Paging.faults
+        rn.Scenario.Paging.fault_time_s rb.Scenario.Paging.fault_time_s)
+    [ 2; 4; 8; 16; 32 ];
+  print_endline
+    "paper: compressed pages can cut total time when memory is the bottleneck"
+
+let scenario_icache () =
+  hr "Scenario — instruction cache (paper intro: 'even for cache misses')";
+  let e = Corpus.Programs.queens in
+  let vp = Vm.Codegen.gen_program (Cc.Lower.compile e.Corpus.Programs.source) in
+  let np = Native.Compile.compile_program vp in
+  let img, _ = Brisc.measure vp in
+  let nt = Scenario.Icache.native_fetch_trace np () in
+  let bt = Scenario.Icache.brisc_fetch_trace img () in
+  Printf.printf "%-14s %16s %16s\n" "cache (bytes)" "native misses" "BRISC misses";
+  List.iter
+    (fun lines ->
+      let cfg = Scenario.Icache.default_config ~lines in
+      let rn = Scenario.Icache.simulate cfg nt in
+      let rb = Scenario.Icache.simulate cfg bt in
+      Printf.printf "%-14d %16d %16d\n" (lines * cfg.Scenario.Icache.line_bytes)
+        rn.Scenario.Icache.misses rb.Scenario.Icache.misses)
+    [ 2; 4; 8; 16; 32 ];
+  print_endline
+    "the denser image stops missing at a smaller cache; decode overhead is";
+  print_endline "the price (table 2's interp column)"
+
+(* ---- ablations (DESIGN.md §5) ---- *)
+
+let ablation_wire_stages () =
+  hr "Ablation — wire pipeline stages (MTF, stream splitting)";
+  let p = List.nth (Lazy.force points) 1 in
+  let variants =
+    [ ("full pipeline", Wire.compress p.ir);
+      ("without MTF", Wire.compress ~use_mtf:false p.ir);
+      ("single literal stream", Wire.compress ~split_streams:false p.ir);
+      ("neither", Wire.compress ~use_mtf:false ~split_streams:false p.ir) ]
+  in
+  List.iter
+    (fun (name, z) -> Printf.printf "%-26s %8d bytes\n" name (String.length z))
+    variants;
+  print_endline
+    "(stream separation is the paper's insight and must win; MTF is near-";
+  print_endline
+    " neutral here because the final deflate stage also captures locality)";
+  hr "Ablation — final entropy stage (paper §2 design space)";
+  List.iter
+    (fun (name, stage) ->
+      Printf.printf "%-26s %8d bytes\n" name
+        (String.length (Wire.compress ~final_stage:stage p.ir)))
+    [ ("deflate (paper's gzip)", Wire.Deflate); ("arith order-0", Wire.Arith 0);
+      ("arith order-1", Wire.Arith 1); ("arith order-2", Wire.Arith 2) ];
+  print_endline
+    "paper: arithmetic codes 'can compress better by coding for sequences";
+  print_endline
+    " longer than individual symbols, but complicate direct interpretation'"
+
+let ablation_benefit () =
+  hr "Ablation — benefit metric B = P - W vs abundant-memory B = P";
+  let p = List.nth (Lazy.force points) 1 in
+  List.iter
+    (fun (name, ignore_w) ->
+      let _, rep = Brisc.measure ~ignore_w p.vp in
+      Printf.printf "%-18s entries %5d  code %7d B  total %7d B\n" name
+        rep.Brisc.dict_entries rep.Brisc.brisc_code rep.Brisc.brisc_total)
+    [ ("B = P - W", false); ("B = P", true) ];
+  print_endline "paper: 'in abundant memory situations we can set B equal to P'"
+
+let ablation_input_quality () =
+  hr "Ablation — input code quality (peephole-optimized vs raw codegen)";
+  (* The paper's BRISC inputs were 'highly optimized using a commercial
+     compiler back end'; cleaner input shifts both the native baseline
+     and what specialization can find. *)
+  let p = List.nth (Lazy.force points) 1 in
+  List.iter
+    (fun (name, vp) ->
+      let np = Native.Compile.compile_program vp in
+      let native = Native.Mach.program_size np in
+      let _, rep = Brisc.measure vp in
+      Printf.printf "%-22s vm %6d B  native %6d B  BRISC %6d B  (%.2f of native)\n"
+        name rep.Brisc.original_bytes native rep.Brisc.brisc_total
+        (float_of_int rep.Brisc.brisc_total /. float_of_int native))
+    [ ("raw codegen", p.vp); ("peephole-optimized", Vm.Peephole.optimize p.vp) ]
+
+let ablation_k () =
+  hr "Ablation — K (candidates accepted per pass)";
+  let p = List.nth (Lazy.force points) 1 in
+  List.iter
+    (fun k ->
+      let (_, rep), secs = time (fun () -> Brisc.measure ~k p.vp) in
+      Printf.printf "K=%-4d entries %5d  passes %3d  total %7d B  (%.1fs)\n" k
+        rep.Brisc.dict_entries rep.Brisc.passes rep.Brisc.brisc_total secs)
+    [ 5; 20; 60 ];
+  print_endline "paper uses K=20; the knob trades passes for selectivity"
+
+(* ---- bechamel micro-benchmarks ---- *)
+
+let bechamel () =
+  hr "Bechamel micro-benchmarks (host wall-clock)";
+  let open Bechamel in
+  let p = List.nth (Lazy.force points) 0 (* wc: small, fast iterations *) in
+  let strlib = make_point "strlib" Corpus.Programs.strlib in
+  let img = Brisc.compress strlib.vp in
+  let wire_z = Wire.compress strlib.ir in
+  let tests =
+    [
+      Test.make ~name:"wire-compress(strlib)"
+        (Staged.stage (fun () -> ignore (Wire.compress strlib.ir)));
+      Test.make ~name:"wire-decompress(strlib)"
+        (Staged.stage (fun () -> ignore (Wire.decompress wire_z)));
+      Test.make ~name:"brisc-compress(wc)"
+        (Staged.stage (fun () -> ignore (Brisc.compress p.vp)));
+      Test.make ~name:"brisc-jit(strlib)"
+        (Staged.stage (fun () -> ignore (Brisc.Jit.compile img)));
+      Test.make ~name:"brisc-interp(strlib)"
+        (Staged.stage (fun () -> ignore (Brisc.Interp.run img)));
+      Test.make ~name:"vm-interp(strlib)"
+        (Staged.stage (fun () -> ignore (Vm.Interp.run strlib.vp)));
+      Test.make ~name:"native-sim(strlib)"
+        (Staged.stage (fun () -> ignore (Native.Sim.run strlib.np)));
+      Test.make ~name:"deflate(sparc-image)"
+        (Staged.stage (fun () -> ignore (Zip.Deflate.compress strlib.sparc_img)));
+    ]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.4) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name result ->
+          let stats =
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false
+                 ~predictors:[| Measure.run |])
+              (Toolkit.Instance.monotonic_clock :> Measure.witness)
+              result
+          in
+          match Analyze.OLS.estimates stats with
+          | Some [ est ] -> Printf.printf "%-28s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "%-28s (no estimate)\n" name)
+        results)
+    tests
+
+let () =
+  let total0 = Unix.gettimeofday () in
+  table1 ();
+  table2 ();
+  table3 ();
+  table4 ();
+  dict_stats ();
+  scenario_delivery ();
+  scenario_paging ();
+  scenario_icache ();
+  ablation_wire_stages ();
+  ablation_benefit ();
+  ablation_input_quality ();
+  ablation_k ();
+  if not no_bechamel then bechamel ();
+  Printf.printf "\ntotal bench time: %.1fs%s\n"
+    (Unix.gettimeofday () -. total0)
+    (if quick then " (--quick)" else "")

@@ -1,0 +1,1 @@
+bin/briscc.ml: Arg Brisc Cc Cmd Cmdliner Printf String Term Vm

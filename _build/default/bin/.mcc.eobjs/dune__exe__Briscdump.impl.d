@@ -1,0 +1,1 @@
+bin/briscdump.ml: Arg Array Brisc Cmd Cmdliner List Printf String Term

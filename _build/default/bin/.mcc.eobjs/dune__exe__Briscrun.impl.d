@@ -1,0 +1,1 @@
+bin/briscrun.ml: Arg Brisc Cmd Cmdliner Native Printf Term Vm

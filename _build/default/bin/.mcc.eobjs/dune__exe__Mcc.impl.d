@@ -1,0 +1,1 @@
+bin/mcc.ml: Arg Brisc Cc Cmd Cmdliner Ir Native Printf String Term Vm Wire

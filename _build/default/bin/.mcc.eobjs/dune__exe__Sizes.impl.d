@@ -1,0 +1,1 @@
+bin/sizes.ml: Brisc Cc Corpus List Native Printf String Vm Wire Zip

@@ -1,0 +1,1 @@
+bin/wirec.ml: Arg Cc Cmd Cmdliner Ir List Printf String Term Wire

@@ -1,0 +1,63 @@
+(* briscc — BRISC compressor (paper §4).
+
+     briscc prog.c -o prog.brisc [--k 20] [--ignore-w] [--stats]
+     briscc prog.c --features no-imm     (section 5 de-tunings)
+*)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let main file out k ignore_w stats features_name =
+  let features =
+    match features_name with
+    | "full" -> Vm.Isa.full_risc
+    | "no-imm" -> Vm.Isa.minus_immediates
+    | "no-disp" -> Vm.Isa.minus_reg_disp
+    | "minimal" -> Vm.Isa.minimal
+    | s ->
+      Printf.eprintf "unknown feature set %S\n" s;
+      exit 2
+  in
+  let ir = Cc.Lower.compile (read_file file) in
+  let vp = Vm.Codegen.gen_program ~features ir in
+  let img, rep = Brisc.measure ~k ~ignore_w vp in
+  let bytes = Brisc.to_bytes img in
+  let out = match out with Some o -> o | None -> file ^ ".brisc" in
+  write_file out bytes;
+  Printf.printf "%s -> %s: %d OmniVM bytes -> %d BRISC bytes (%.2fx)\n" file out
+    rep.Brisc.original_bytes (String.length bytes)
+    (float_of_int rep.Brisc.original_bytes /. float_of_int (String.length bytes));
+  if stats then begin
+    Printf.printf "  code %d B, dictionary+tables %d B\n" rep.Brisc.brisc_code
+      rep.Brisc.brisc_dict;
+    Printf.printf "  dictionary %d entries (%d base), %d candidates, %d passes\n"
+      rep.Brisc.dict_entries rep.Brisc.base_entries rep.Brisc.candidates_tested
+      rep.Brisc.passes;
+    Printf.printf "  largest Markov successor set: %d\n"
+      rep.Brisc.max_markov_successors
+  end;
+  0
+
+open Cmdliner
+
+let file0 = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c")
+let out = Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUT")
+let k = Arg.(value & opt int 20 & info [ "k" ] ~doc:"Candidates accepted per pass.")
+let ignore_w = Arg.(value & flag & info [ "ignore-w" ] ~doc:"Abundant-memory mode: B = P.")
+let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print dictionary statistics.")
+let features = Arg.(value & opt string "full" & info [ "features" ] ~docv:"SET")
+
+let cmd =
+  Cmd.v (Cmd.info "briscc" ~doc:"BRISC code compressor (PLDI'97 section 4)")
+    Term.(const main $ file0 $ out $ k $ ignore_w $ stats $ features)
+
+let () = exit (Cmd.eval' cmd)

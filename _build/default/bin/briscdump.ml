@@ -1,0 +1,67 @@
+(* briscdump — inspect a BRISC container: dictionary entries in the
+   paper's notation, Markov table shape, per-function code sizes.
+
+     briscdump prog.brisc [--dict] [--funcs] [--markov]
+   (no flags: print everything)
+*)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let main file dict_only funcs_only markov_only =
+  let img = Brisc.of_bytes (read_file file) in
+  let all = not (dict_only || funcs_only || markov_only) in
+  let entries = img.Brisc.Emit.entries in
+  if all || dict_only then begin
+    Printf.printf "dictionary: %d entries (%d base + %d learned)\n\n"
+      (Array.length entries) img.Brisc.Emit.base_count
+      (Array.length entries - img.Brisc.Emit.base_count);
+    Array.iteri
+      (fun i p ->
+        let kind = if i < img.Brisc.Emit.base_count then "base" else "spec" in
+        Printf.printf "%4d %-4s %2dB op+%-2dB  %s\n" i kind 1
+          (Brisc.Pat.encoded_bytes p - 1)
+          (Brisc.Pat.to_string p))
+      entries;
+    print_newline ()
+  end;
+  if all || markov_only then begin
+    let m = img.Brisc.Emit.markov in
+    Printf.printf "Markov contexts: %d (context 0 = block starts)\n"
+      (Array.length m.Brisc.Markov.succ);
+    Printf.printf "largest successor set: %d\n"
+      (Brisc.Markov.max_successors m);
+    let nonempty =
+      Array.to_list m.Brisc.Markov.succ
+      |> List.filter (fun a -> Array.length a > 0)
+      |> List.length
+    in
+    Printf.printf "non-empty contexts: %d\n\n" nonempty
+  end;
+  if all || funcs_only then begin
+    Printf.printf "%-24s %8s %8s\n" "function" "bytes" "labels";
+    Array.iter
+      (fun (f : Brisc.Emit.ifunc) ->
+        Printf.printf "%-24s %8d %8d\n" f.Brisc.Emit.if_name
+          (String.length f.Brisc.Emit.code)
+          (Array.length f.Brisc.Emit.label_offsets))
+      img.Brisc.Emit.ifuncs
+  end;
+  0
+
+open Cmdliner
+
+let file0 = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.brisc")
+let dict = Arg.(value & flag & info [ "dict" ] ~doc:"Dictionary only.")
+let funcs = Arg.(value & flag & info [ "funcs" ] ~doc:"Function sizes only.")
+let markov = Arg.(value & flag & info [ "markov" ] ~doc:"Markov table shape only.")
+
+let cmd =
+  Cmd.v (Cmd.info "briscdump" ~doc:"Inspect a BRISC container")
+    Term.(const main $ file0 $ dict $ funcs $ markov)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,50 @@
+(* briscrun — execute a BRISC container.
+
+     briscrun prog.brisc            interpret the compressed code in place
+     briscrun prog.brisc --jit      JIT to native and simulate
+     briscrun prog.brisc --decompress   print the recovered OmniVM code
+*)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let main file jit decompress input_file =
+  let img = Brisc.of_bytes (read_file file) in
+  let input =
+    match input_file with None -> "" | Some f -> read_file f
+  in
+  if decompress then begin
+    print_string (Vm.Isa.program_to_string (Brisc.Decomp.decompress img));
+    0
+  end
+  else if jit then begin
+    let np, produced = Brisc.Jit.compile_with_stats img in
+    Printf.eprintf "jit: %d native bytes\n%!" produced;
+    let r = Native.Sim.run ~input np in
+    print_string r.Native.Sim.output;
+    r.Native.Sim.exit_code land 255
+  end
+  else begin
+    let r = Brisc.Interp.run ~input img in
+    Printf.eprintf "interp: %d dispatches, %d VM instructions\n%!"
+      r.Brisc.Interp.dispatches r.Brisc.Interp.vm_steps;
+    print_string r.Brisc.Interp.output;
+    r.Brisc.Interp.exit_code land 255
+  end
+
+open Cmdliner
+
+let file0 = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.brisc")
+let jit = Arg.(value & flag & info [ "jit" ] ~doc:"JIT to native code and simulate.")
+let decompress = Arg.(value & flag & info [ "decompress" ] ~doc:"Print the recovered VM code.")
+let input_file = Arg.(value & opt (some file) None & info [ "input" ] ~docv:"FILE")
+
+let cmd =
+  Cmd.v (Cmd.info "briscrun" ~doc:"Run BRISC code: in-place interpretation or JIT")
+    Term.(const main $ file0 $ jit $ decompress $ input_file)
+
+let () = exit (Cmd.eval' cmd)

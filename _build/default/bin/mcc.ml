@@ -1,0 +1,126 @@
+(* mcc — the MiniC compiler driver.
+
+   Compiles a MiniC source file and emits the requested representation,
+   or runs the program on one of the execution engines:
+
+     mcc prog.c --emit ir          lcc-style tree IR (textual)
+     mcc prog.c --emit vm          OmniVM assembly
+     mcc prog.c --emit native     x86-like assembly
+     mcc prog.c --run vm           compile and execute (default engine)
+     mcc prog.c --run native|brisc|jit
+     mcc prog.c --sizes            one-line size report
+*)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let gen ~features ~optimize ir =
+  let vp = Vm.Codegen.gen_program ~features ir in
+  if optimize then Vm.Peephole.optimize vp else vp
+
+let features_of_string = function
+  | "full" -> Ok Vm.Isa.full_risc
+  | "no-imm" -> Ok Vm.Isa.minus_immediates
+  | "no-disp" -> Ok Vm.Isa.minus_reg_disp
+  | "minimal" -> Ok Vm.Isa.minimal
+  | s -> Error (Printf.sprintf "unknown feature set %S" s)
+
+let main file emit run_engine input_file features_name optimize =
+  let src = read_file file in
+  let features =
+    match features_of_string features_name with
+    | Ok f -> f
+    | Error m ->
+      prerr_endline m;
+      exit 2
+  in
+  let input = match input_file with None -> "" | Some f -> read_file f in
+  match Cc.Lower.compile src with
+  | exception Cc.Lower.Compile_error (m, pos) ->
+    Printf.eprintf "%s:%d:%d: error: %s\n" file pos.Cc.Ast.line pos.Cc.Ast.col m;
+    exit 1
+  | exception Cc.Parser.Parse_error (m, pos) ->
+    Printf.eprintf "%s:%d:%d: parse error: %s\n" file pos.Cc.Ast.line pos.Cc.Ast.col m;
+    exit 1
+  | exception Cc.Lexer.Lex_error (m, pos) ->
+    Printf.eprintf "%s:%d:%d: lex error: %s\n" file pos.Cc.Ast.line pos.Cc.Ast.col m;
+    exit 1
+  | ir -> (
+    match emit with
+    | Some "ir" -> print_string (Ir.Printer.program_to_string ir)
+    | Some "vm" ->
+      let vp = gen ~features ~optimize ir in
+      print_string (Vm.Isa.program_to_string vp)
+    | Some "native" ->
+      let vp = gen ~features ~optimize ir in
+      print_string (Native.Mach.program_to_string (Native.Compile.compile_program vp))
+    | Some other ->
+      Printf.eprintf "unknown --emit target %S (ir|vm|native)\n" other;
+      exit 2
+    | None -> (
+      let vp = gen ~features ~optimize ir in
+      match run_engine with
+      | "sizes" ->
+        let np = Native.Compile.compile_program vp in
+        Printf.printf "%s: vm %d B, x86-like %d B, sparc-like %d B, wire %d B\n"
+          file (Vm.Encode.program_size vp)
+          (Native.Mach.program_size np)
+          (Native.Sparc.program_size vp)
+          (String.length (Wire.compress ir))
+      | "vm" ->
+        let r = Vm.Interp.run ~input vp in
+        print_string r.Vm.Interp.output;
+        exit (r.Vm.Interp.exit_code land 255)
+      | "native" ->
+        let r = Native.Sim.run ~input (Native.Compile.compile_program vp) in
+        print_string r.Native.Sim.output;
+        exit (r.Native.Sim.exit_code land 255)
+      | "brisc" ->
+        let img = Brisc.compress vp in
+        let r = Brisc.Interp.run ~input img in
+        print_string r.Brisc.Interp.output;
+        exit (r.Brisc.Interp.exit_code land 255)
+      | "jit" ->
+        let img = Brisc.compress vp in
+        let r = Native.Sim.run ~input (Brisc.Jit.compile img) in
+        print_string r.Native.Sim.output;
+        exit (r.Native.Sim.exit_code land 255)
+      | other ->
+        Printf.eprintf "unknown engine %S (vm|native|brisc|jit|sizes)\n" other;
+        exit 2))
+
+open Cmdliner
+
+let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c")
+
+let emit =
+  Arg.(value & opt (some string) None & info [ "emit" ] ~docv:"FORM"
+         ~doc:"Print a representation instead of running: ir, vm or native.")
+
+let run_engine =
+  Arg.(value & opt string "vm" & info [ "run" ] ~docv:"ENGINE"
+         ~doc:"Execution engine: vm (default), native, brisc, jit, or sizes.")
+
+let input_file =
+  Arg.(value & opt (some file) None & info [ "input" ] ~docv:"FILE"
+         ~doc:"File fed to the program as standard input.")
+
+let features =
+  Arg.(value & opt string "full" & info [ "features" ] ~docv:"SET"
+         ~doc:"ISA variant: full, no-imm, no-disp or minimal (paper section 5).")
+
+let optimize =
+  Arg.(value & flag & info [ "O"; "optimize" ]
+         ~doc:"Run the peephole optimizer over the generated VM code.")
+
+let cmd =
+  let doc = "MiniC compiler for the code-compression testbed" in
+  Cmd.v (Cmd.info "mcc" ~doc)
+    Term.(const main $ file $ emit $ run_engine $ input_file $ features
+          $ optimize)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,20 @@
+(* sizes — size report across the bundled corpus. *)
+
+let () =
+  Printf.printf "%-8s %8s %8s %8s %8s %8s %8s\n" "program" "vm" "x86" "sparc"
+    "gz(x86)" "wire" "brisc";
+  List.iter
+    (fun (e : Corpus.Programs.entry) ->
+      let ir = Cc.Lower.compile e.Corpus.Programs.source in
+      let vp = Vm.Codegen.gen_program ir in
+      let np = Native.Compile.compile_program vp in
+      let x86_img = Native.Mach.encode_program np in
+      let img = Brisc.compress vp in
+      Printf.printf "%-8s %8d %8d %8d %8d %8d %8d\n" e.Corpus.Programs.name
+        (Vm.Encode.program_size vp)
+        (Native.Mach.program_size np)
+        (Native.Sparc.program_size vp)
+        (String.length (Zip.Deflate.compress x86_img))
+        (String.length (Wire.compress ir))
+        (Brisc.Emit.total_size img))
+    Corpus.Programs.all

@@ -1,0 +1,1 @@
+examples/embedded_memory.ml: Array Brisc Cc Corpus List Printf Scenario String Support Vm

@@ -1,0 +1,1 @@
+examples/mobile_code.ml: Brisc Cc Corpus List Native Printf Scenario String Support Vm Wire Zip

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Brisc Cc Ir Native Printf String Vm Wire

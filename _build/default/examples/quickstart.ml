@@ -1,0 +1,69 @@
+(* Quickstart: the whole pipeline on one small program.
+
+   Compile MiniC to the lcc-style tree IR, generate OmniVM code,
+   compress it both ways (wire format and BRISC), and run the program on
+   every execution engine, checking they agree.
+
+     dune exec examples/quickstart.exe
+*)
+
+let source =
+  {|
+int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+
+int main() {
+  print_int(fib(20));
+  putchar('\n');
+  return 0;
+}
+|}
+
+let () =
+  print_endline "== 1. compile MiniC to tree IR ==";
+  let ir = Cc.Lower.compile source in
+  print_string (Ir.Printer.program_to_string ir);
+
+  print_endline "\n== 2. generate OmniVM code ==";
+  let vp = Vm.Codegen.gen_program ir in
+  print_string (Vm.Isa.program_to_string vp);
+  let vm_bytes = Vm.Encode.program_size vp in
+  Printf.printf "\nOmniVM binary size: %d bytes\n" vm_bytes;
+
+  print_endline "\n== 3. wire format (ship over a slow link) ==";
+  let wire = Wire.compress ir in
+  Printf.printf "wire: %d bytes; decompressing reproduces the IR exactly: %b\n"
+    (String.length wire)
+    (Ir.Tree.equal_program ir (Wire.decompress wire));
+
+  print_endline "\n== 4. BRISC (interpretable in place) ==";
+  let img = Brisc.compress vp in
+  let bytes = Brisc.to_bytes img in
+  Printf.printf "BRISC container: %d bytes (%d code + %d dictionary/tables)\n"
+    (String.length bytes) (Brisc.Emit.code_size img)
+    (String.length bytes - Brisc.Emit.code_size img);
+
+  print_endline "\n== 5. run everywhere ==";
+  let r_vm = Vm.Interp.run vp in
+  Printf.printf "VM interpreter:     %s (exit %d, %d steps)\n"
+    (String.trim r_vm.Vm.Interp.output) r_vm.Vm.Interp.exit_code
+    r_vm.Vm.Interp.steps;
+  let np = Native.Compile.compile_program vp in
+  let r_nat = Native.Sim.run np in
+  Printf.printf "native simulator:   %s (exit %d, %d cycles)\n"
+    (String.trim r_nat.Native.Sim.output) r_nat.Native.Sim.exit_code
+    r_nat.Native.Sim.cycles;
+  let img2 = Brisc.of_bytes bytes in
+  let r_brisc = Brisc.Interp.run img2 in
+  Printf.printf "BRISC in place:     %s (exit %d, %d dispatches)\n"
+    (String.trim r_brisc.Brisc.Interp.output) r_brisc.Brisc.Interp.exit_code
+    r_brisc.Brisc.Interp.dispatches;
+  let r_jit = Native.Sim.run (Brisc.Jit.compile img2) in
+  Printf.printf "BRISC JIT + native: %s (exit %d)\n"
+    (String.trim r_jit.Native.Sim.output) r_jit.Native.Sim.exit_code;
+  assert (r_vm.Vm.Interp.output = r_nat.Native.Sim.output);
+  assert (r_vm.Vm.Interp.output = r_brisc.Brisc.Interp.output);
+  assert (r_vm.Vm.Interp.output = r_jit.Native.Sim.output);
+  print_endline "\nall engines agree."

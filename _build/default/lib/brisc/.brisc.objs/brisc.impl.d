@@ -1,0 +1,1 @@
+lib/brisc/brisc.ml: Array Decomp Dict Emit Interp Jit Markov Pat Vm

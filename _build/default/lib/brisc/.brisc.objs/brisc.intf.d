@@ -1,0 +1,1 @@
+lib/brisc/brisc.mli: Decomp Dict Emit Interp Jit Markov Pat Vm

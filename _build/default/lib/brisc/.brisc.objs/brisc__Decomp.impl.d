@@ -1,0 +1,1 @@
+lib/brisc/decomp.ml: Array Emit Hashtbl List Printf String Vm

@@ -1,0 +1,1 @@
+lib/brisc/decomp.mli: Emit Vm

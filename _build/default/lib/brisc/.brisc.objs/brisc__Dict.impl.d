@@ -1,0 +1,1 @@
+lib/brisc/dict.ml: Array Hashtbl List Pat Printf Support Vm

@@ -1,0 +1,1 @@
+lib/brisc/dict.mli: Pat Vm

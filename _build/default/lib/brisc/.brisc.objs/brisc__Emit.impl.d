@@ -1,0 +1,1 @@
+lib/brisc/emit.ml: Array Buffer Char Dict Hashtbl List Markov Option Pat Printf String Support Vm

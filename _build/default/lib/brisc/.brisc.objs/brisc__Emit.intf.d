@@ -1,0 +1,1 @@
+lib/brisc/emit.mli: Dict Markov Pat Vm

@@ -1,0 +1,1 @@
+lib/brisc/interp.ml: Array Buffer Emit Hashtbl List Printf String Vm

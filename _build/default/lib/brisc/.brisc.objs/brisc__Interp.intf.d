@@ -1,0 +1,1 @@
+lib/brisc/interp.mli: Emit

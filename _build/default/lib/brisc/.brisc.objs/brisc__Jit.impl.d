@@ -1,0 +1,1 @@
+lib/brisc/jit.ml: Array Emit Hashtbl List Native Printf String Vm

@@ -1,0 +1,1 @@
+lib/brisc/jit.mli: Emit Native

@@ -1,0 +1,1 @@
+lib/brisc/markov.ml: Array Hashtbl List Printf Support

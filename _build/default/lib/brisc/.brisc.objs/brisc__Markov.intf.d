@@ -1,0 +1,1 @@
+lib/brisc/markov.mli: Buffer

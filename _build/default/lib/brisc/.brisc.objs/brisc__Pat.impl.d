@@ -1,0 +1,1 @@
+lib/brisc/pat.ml: List Native Printf String Vm

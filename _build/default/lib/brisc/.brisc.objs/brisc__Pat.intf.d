@@ -1,0 +1,1 @@
+lib/brisc/pat.mli: Vm

@@ -1,0 +1,57 @@
+module Pat = Pat
+module Dict = Dict
+module Markov = Markov
+module Emit = Emit
+module Decomp = Decomp
+module Interp = Interp
+module Jit = Jit
+
+let compress ?k ?ignore_w vp =
+  let d = Dict.build ?k ?ignore_w vp in
+  Emit.of_dict d
+
+let compress_with (img : Emit.image) vp =
+  let t =
+    {
+      Dict.entries = img.Emit.entries;
+      base_count = img.Emit.base_count;
+      funcs = [];
+      globals = [];
+      candidates_tested = 0;
+      passes = 0;
+    }
+  in
+  Emit.of_dict (Dict.apply_dictionary t vp)
+
+let to_bytes = Emit.to_bytes
+let of_bytes = Emit.of_bytes
+
+type report = {
+  original_bytes : int;
+  brisc_total : int;
+  brisc_code : int;
+  brisc_dict : int;
+  dict_entries : int;
+  base_entries : int;
+  candidates_tested : int;
+  passes : int;
+  max_markov_successors : int;
+}
+
+let measure ?k ?ignore_w vp =
+  let d = Dict.build ?k ?ignore_w vp in
+  let img = Emit.of_dict d in
+  let total = Emit.total_size img in
+  let code = Emit.code_size img in
+  ( img,
+    {
+      original_bytes = Vm.Encode.program_size vp;
+      brisc_total = total;
+      brisc_code = code;
+      brisc_dict = total - code;
+      dict_entries = Array.length img.Emit.entries;
+      base_entries = img.Emit.base_count;
+      candidates_tested = d.Dict.candidates_tested;
+      passes = d.Dict.passes;
+      max_markov_successors = Markov.max_successors img.Emit.markov;
+    } )

@@ -1,0 +1,47 @@
+(** Facade over the BRISC pipeline: compress a VM program, then
+    interpret it in place, JIT it, or decompress it.
+
+    Typical flow (see [examples/quickstart.ml]):
+    {[
+      let vm    = Vm.Codegen.gen_program ir in
+      let image = Brisc.compress vm in
+      let bytes = Brisc.to_bytes image in           (* ship this *)
+      let image = Brisc.of_bytes bytes in           (* client side *)
+      let r1    = Brisc.Interp.run image in         (* interpret in place *)
+      let nat   = Brisc.Jit.compile image in        (* or JIT *)
+      let r2    = Native.Sim.run nat in
+    ]} *)
+
+module Pat = Pat
+module Dict = Dict
+module Markov = Markov
+module Emit = Emit
+module Decomp = Decomp
+module Interp = Interp
+module Jit = Jit
+
+val compress : ?k:int -> ?ignore_w:bool -> Vm.Isa.vprogram -> Emit.image
+(** Full compression: dictionary construction ([k] best candidates per
+    pass, default 20) + Markov coding + packing. *)
+
+val compress_with : Emit.image -> Vm.Isa.vprogram -> Emit.image
+(** Compress using an existing image's dictionary (no candidate search) —
+    how the paper applies the gcc-trained dictionary to the salt
+    example. The Markov tables are rebuilt for the new program. *)
+
+val to_bytes : Emit.image -> string
+val of_bytes : string -> Emit.image
+
+type report = {
+  original_bytes : int;      (** VM binary code bytes *)
+  brisc_total : int;         (** full container *)
+  brisc_code : int;          (** instruction streams only *)
+  brisc_dict : int;          (** dictionary + tables + headers *)
+  dict_entries : int;
+  base_entries : int;
+  candidates_tested : int;
+  passes : int;
+  max_markov_successors : int;
+}
+
+val measure : ?k:int -> ?ignore_w:bool -> Vm.Isa.vprogram -> Emit.image * report

@@ -1,0 +1,76 @@
+let decompress (img : Emit.image) : Vm.Isa.vprogram =
+  let funcs =
+    Array.to_list
+      (Array.mapi
+         (fun fidx (f : Emit.ifunc) ->
+           let len = String.length f.Emit.code in
+           let out = ref [] in
+           (* labels sorted by (offset, id) for stable insertion order *)
+           let labels =
+             Array.to_list (Array.mapi (fun id off -> (off, id)) f.Emit.label_offsets)
+             |> List.sort compare
+           in
+           let pending = ref labels in
+           let emit_labels_at off =
+             let rec go () =
+               match !pending with
+               | (o, id) :: rest when o <= off ->
+                 out := Vm.Isa.Label (Printf.sprintf "L%d" id) :: !out;
+                 pending := rest;
+                 go ()
+               | _ -> ()
+             in
+             go ()
+           in
+           let pos = ref 0 in
+           let prev = ref None in
+           while !pos < len do
+             emit_labels_at !pos;
+             let ctx = Emit.context_at img ~fidx ~prev:!prev !pos in
+             let d = Emit.decode_at img ~fidx ~ctx !pos in
+             List.iter (fun i -> out := i :: !out) d.Emit.instrs;
+             prev := Some d.Emit.entry;
+             pos := d.Emit.next
+           done;
+           emit_labels_at len;
+           { Vm.Isa.name = f.Emit.if_name; code = List.rev !out })
+         img.Emit.ifuncs)
+  in
+  { Vm.Isa.globals = img.Emit.globals; funcs }
+
+let normalize_labels (p : Vm.Isa.vprogram) : Vm.Isa.vprogram =
+  let funcs =
+    List.map
+      (fun (f : Vm.Isa.vfunc) ->
+        let mapping = Hashtbl.create 8 in
+        let count = ref 0 in
+        List.iter
+          (fun i ->
+            match i with
+            | Vm.Isa.Label l ->
+              if not (Hashtbl.mem mapping l) then begin
+                Hashtbl.add mapping l (Printf.sprintf "L%d" !count);
+                incr count
+              end
+            | _ -> ())
+          f.Vm.Isa.code;
+        let rename l =
+          match Hashtbl.find_opt mapping l with
+          | Some l' -> l'
+          | None -> l
+        in
+        let code =
+          List.map
+            (fun (i : Vm.Isa.instr) ->
+              match i with
+              | Vm.Isa.Label l -> Vm.Isa.Label (rename l)
+              | Vm.Isa.Br (r, a, b, l) -> Vm.Isa.Br (r, a, b, rename l)
+              | Vm.Isa.Bri (r, a, v, l) -> Vm.Isa.Bri (r, a, v, rename l)
+              | Vm.Isa.Jmp l -> Vm.Isa.Jmp (rename l)
+              | i -> i)
+            f.Vm.Isa.code
+        in
+        { f with Vm.Isa.code })
+      p.Vm.Isa.funcs
+  in
+  { p with Vm.Isa.funcs }

@@ -1,0 +1,15 @@
+(** Linear BRISC decompression back to a VM program.
+
+    Decoding walks each function's byte stream once, tracking the Markov
+    context exactly as the emitter assigned it, expanding every
+    dictionary entry to its concrete VM instructions, and re-inserting
+    [Label] pseudo-instructions (named [L<id>] from the label table) at
+    their byte offsets. The result is semantically identical to the
+    program that was compressed; up to label renaming it is structurally
+    identical, which the test suite checks via {!normalize_labels}. *)
+
+val decompress : Emit.image -> Vm.Isa.vprogram
+
+val normalize_labels : Vm.Isa.vprogram -> Vm.Isa.vprogram
+(** Rename every function's labels to [L0], [L1], ... in definition
+    order, so programs can be compared across compression round trips. *)

@@ -1,0 +1,395 @@
+type item = {
+  mutable pat : int;
+  mutable insts : Vm.Isa.instr list;
+  mutable live : bool;
+  block : int;
+}
+
+type compiled_func = {
+  cf_name : string;
+  items : item array;
+  labels : (string * int) list;
+}
+
+type t = {
+  entries : Pat.pat array;
+  base_count : int;
+  funcs : compiled_func list;
+  globals : (string * int * int list option) list;
+  candidates_tested : int;
+  passes : int;
+}
+
+let item_pat_bytes entries it = Pat.encoded_bytes entries.(it.pat)
+
+(* ---- initial itemization ---- *)
+
+type builder = {
+  mutable entry_list : Pat.pat list;   (* reversed *)
+  mutable entry_count : int;
+  entry_of_key : (string, int) Hashtbl.t;
+}
+
+let add_entry b p =
+  let k = Pat.key p in
+  match Hashtbl.find_opt b.entry_of_key k with
+  | Some i -> i
+  | None ->
+    let i = b.entry_count in
+    b.entry_list <- p :: b.entry_list;
+    b.entry_count <- i + 1;
+    Hashtbl.add b.entry_of_key k i;
+    i
+
+let itemize_func b (f : Vm.Isa.vfunc) =
+  let items = ref [] in
+  let labels = ref [] in
+  let idx = ref 0 in
+  let block = ref 0 in
+  List.iter
+    (fun (i : Vm.Isa.instr) ->
+      match i with
+      | Vm.Isa.Label l ->
+        (* labels start a new basic block *)
+        incr block;
+        labels := (l, !idx) :: !labels
+      | _ ->
+        let base = Pat.base_pattern i in
+        let pid = add_entry b base in
+        items := { pat = pid; insts = [ i ]; live = true; block = !block } :: !items;
+        incr idx)
+    f.Vm.Isa.code;
+  { cf_name = f.Vm.Isa.name; items = Array.of_list (List.rev !items);
+    labels = List.rev !labels }
+
+(* ---- candidate generation ---- *)
+
+type cand = { cpat : Pat.pat; mutable savings : int }
+
+(* augmented operand-specialized set: the pattern itself plus its
+   one-field specializations against this occurrence's field values *)
+let augmented entries it =
+  let p = entries.(it.pat) in
+  let values = Pat.wild_values p it.insts in
+  let specs =
+    List.filteri (fun _ _ -> true) values
+    |> List.mapi (fun i v -> Pat.specialize p i v)
+    |> List.filter_map (fun x -> x)
+  in
+  p :: specs
+
+(* ---- main pass loop ---- *)
+
+let build ?(k = 20) ?(ignore_w = false) ?(max_passes = 40) (vp : Vm.Isa.vprogram) : t =
+  let b =
+    { entry_list = []; entry_count = 0; entry_of_key = Hashtbl.create 512 }
+  in
+  ignore (add_entry b Pat.epi);
+  let funcs = List.map (itemize_func b) vp.Vm.Isa.funcs in
+  let base_count = ref b.entry_count in
+  (* the paper's compressor keeps a hash table of previously generated
+     candidates; candidates_tested counts distinct candidates ever
+     generated, as §4.3 reports (93,211 for gcc) *)
+  let ever_generated : (string, unit) Hashtbl.t = Hashtbl.create 8192 in
+  let candidates_tested = ref 0 in
+  let passes = ref 0 in
+  let finished = ref false in
+  while not !finished && !passes < max_passes do
+    incr passes;
+    let entries = Array.of_list (List.rev b.entry_list) in
+    (* Candidates are keyed by their rendered form: OCaml's polymorphic
+       hash samples only a bounded prefix of a deep structure, which
+       collides badly on patterns; the string key hashes fully. *)
+    let cands : (string, cand) Hashtbl.t = Hashtbl.create 4096 in
+    let consider pat saved =
+      if saved > 0 then begin
+        let key = Pat.key pat in
+        if not (Hashtbl.mem b.entry_of_key key) then begin
+          match Hashtbl.find_opt cands key with
+          | Some c -> c.savings <- c.savings + saved
+          | None ->
+            if not (Hashtbl.mem ever_generated key) then begin
+              Hashtbl.add ever_generated key ();
+              incr candidates_tested
+            end;
+            Hashtbl.add cands key { cpat = pat; savings = saved }
+        end
+      end
+    in
+    (* scan: specializations and combinations *)
+    List.iter
+      (fun cf ->
+        let n = Array.length cf.items in
+        let rec next_live i = if i >= n then None
+          else if cf.items.(i).live then Some i else next_live (i + 1)
+        in
+        let i = ref 0 in
+        while !i < n do
+          let it = cf.items.(!i) in
+          if it.live then begin
+            let cur_bytes = item_pat_bytes entries it in
+            (* one-field specializations *)
+            let p = entries.(it.pat) in
+            let values = Pat.wild_values p it.insts in
+            List.iteri
+              (fun si v ->
+                match Pat.specialize p si v with
+                | Some sp -> consider sp (cur_bytes - Pat.encoded_bytes sp)
+                | None -> ())
+              values;
+            (* combination with the next live item in the same block *)
+            (match next_live (!i + 1) with
+            | Some j when cf.items.(j).block = it.block ->
+              let jt = cf.items.(j) in
+              let j_bytes = item_pat_bytes entries jt in
+              let total = cur_bytes + j_bytes in
+              let lefts = augmented entries it in
+              let rights = augmented entries jt in
+              List.iter
+                (fun lp ->
+                  List.iter
+                    (fun rp ->
+                      match Pat.combine lp rp with
+                      | Some cp -> consider cp (total - Pat.encoded_bytes cp)
+                      | None -> ())
+                    rights)
+                lefts
+            | _ -> ())
+          end;
+          incr i
+        done)
+      funcs;
+    (* rank by benefit *)
+    let heap =
+      Support.Heap.create ~cmp:(fun (b1, _) (b2, _) -> compare (b1 : int) b2)
+    in
+    Hashtbl.iter
+      (fun _ c ->
+        let p_net = c.savings - Pat.dict_entry_bytes c.cpat in
+        let w = if ignore_w then 0 else Pat.native_bytes c.cpat in
+        let benefit = p_net - w in
+        if benefit > 0 then Support.Heap.push heap (benefit, c.cpat))
+      cands;
+    let selected = ref [] in
+    let rec take n =
+      if n > 0 then
+        match Support.Heap.pop heap with
+        | Some (_, p) ->
+          selected := p :: !selected;
+          take (n - 1)
+        | None -> ()
+    in
+    take k;
+    let selected = List.rev !selected in
+    if List.length selected < k then finished := true;
+    if selected <> [] then begin
+      let new_ids = List.map (fun p -> (add_entry b p, p)) selected in
+      let entries = Array.of_list (List.rev b.entry_list) in
+      (* rewrite, combinations first *)
+      List.iter
+        (fun cf ->
+          let n = Array.length cf.items in
+          let rec next_live i =
+            if i >= n then None
+            else if cf.items.(i).live then Some i
+            else next_live (i + 1)
+          in
+          (* opcode combination: at most one new pattern applies per pair
+             per pass *)
+          let i = ref 0 in
+          while !i < n do
+            let it = cf.items.(!i) in
+            (if it.live then
+               match next_live (!i + 1) with
+               | Some j when cf.items.(j).block = it.block ->
+                 let jt = cf.items.(j) in
+                 let joint = it.insts @ jt.insts in
+                 let cur = item_pat_bytes entries it + item_pat_bytes entries jt in
+                 let best = ref None in
+                 List.iter
+                   (fun (id, p) ->
+                     if List.length p.Pat.parts > 1 && Pat.matches p joint then begin
+                       let bytes = Pat.encoded_bytes p in
+                       if
+                         bytes < cur
+                         &&
+                         match !best with
+                         | Some (_, bb) -> bytes < bb
+                         | None -> true
+                       then best := Some (id, bytes)
+                     end)
+                   new_ids;
+                 (match !best with
+                 | Some (id, _) ->
+                   it.pat <- id;
+                   it.insts <- joint;
+                   jt.live <- false
+                 | None -> ())
+               | _ -> ());
+            incr i
+          done;
+          (* operand specialization: switch items to cheaper new entries *)
+          Array.iter
+            (fun it ->
+              if it.live then begin
+                let cur = item_pat_bytes entries it in
+                let best = ref None in
+                List.iter
+                  (fun (id, p) ->
+                    if
+                      List.length p.Pat.parts = List.length it.insts
+                      && Pat.matches p it.insts
+                    then begin
+                      let bytes = Pat.encoded_bytes p in
+                      if
+                        bytes < cur
+                        &&
+                        match !best with
+                        | Some (_, bb) -> bytes < bb
+                        | None -> true
+                      then best := Some (id, bytes)
+                    end)
+                  new_ids;
+                match !best with
+                | Some (id, _) -> it.pat <- id
+                | None -> ()
+              end)
+            cf.items)
+        funcs
+    end
+  done;
+  {
+    entries = Array.of_list (List.rev b.entry_list);
+    base_count = !base_count;
+    funcs;
+    globals = vp.Vm.Isa.globals;
+    candidates_tested = !candidates_tested;
+    passes = !passes;
+  }
+
+(* ---- re-encoding with a fixed dictionary ---- *)
+
+let apply_dictionary (t : t) (vp : Vm.Isa.vprogram) : t =
+  let b =
+    {
+      entry_list = List.rev (Array.to_list t.entries);
+      entry_count = Array.length t.entries;
+      entry_of_key = Hashtbl.create 512;
+    }
+  in
+  Array.iteri (fun i p -> Hashtbl.replace b.entry_of_key (Pat.key p) i) t.entries;
+  let funcs = List.map (itemize_func b) vp.Vm.Isa.funcs in
+  let entries = Array.of_list (List.rev b.entry_list) in
+  (* greedy longest-match rewrite per function: try combined entries on
+     adjacent runs, then cheapest matching single entry *)
+  let all_ids = Array.to_list (Array.mapi (fun i p -> (i, p)) entries) in
+  let multi = List.filter (fun (_, p) -> List.length p.Pat.parts > 1) all_ids in
+  let single = List.filter (fun (_, p) -> List.length p.Pat.parts = 1) all_ids in
+  List.iter
+    (fun cf ->
+      let n = Array.length cf.items in
+      let rec next_live i =
+        if i >= n then None else if cf.items.(i).live then Some i else next_live (i + 1)
+      in
+      (* combinations, longest-first *)
+      let multi_sorted =
+        List.sort
+          (fun (_, p1) (_, p2) ->
+            compare (List.length p2.Pat.parts) (List.length p1.Pat.parts))
+          multi
+      in
+      let i = ref 0 in
+      while !i < n do
+        let it = cf.items.(!i) in
+        (if it.live then
+           (* try to merge a run starting here *)
+           let rec run acc len i0 =
+             if len = 0 then Some (List.rev acc)
+             else
+               match next_live i0 with
+               | Some j when cf.items.(j).block = it.block ->
+                 run (j :: acc) (len - 1) (j + 1)
+               | _ -> None
+           in
+           let applied = ref false in
+           List.iter
+             (fun (id, p) ->
+               if not !applied then begin
+                 let nparts = List.length p.Pat.parts in
+                 match run [] (nparts - 1) (!i + 1) with
+                 | Some js ->
+                   let members = !i :: js in
+                   let joint =
+                     List.concat_map (fun j -> cf.items.(j).insts) members
+                   in
+                   if Pat.matches p joint then begin
+                     let cur =
+                       List.fold_left
+                         (fun a j -> a + item_pat_bytes entries cf.items.(j))
+                         0 members
+                     in
+                     if Pat.encoded_bytes p < cur then begin
+                       it.pat <- id;
+                       it.insts <- joint;
+                       List.iter (fun j -> cf.items.(j).live <- false) js;
+                       applied := true
+                     end
+                   end
+                 | None -> ()
+               end)
+             multi_sorted);
+        incr i
+      done;
+      (* single-instruction specializations *)
+      Array.iter
+        (fun it ->
+          if it.live && List.length it.insts = 1 then begin
+            let cur = item_pat_bytes entries it in
+            let best = ref None in
+            List.iter
+              (fun (id, p) ->
+                if Pat.matches p it.insts then begin
+                  let bytes = Pat.encoded_bytes p in
+                  if
+                    bytes < cur
+                    && (match !best with Some (_, bb) -> bytes < bb | None -> true)
+                  then best := Some (id, bytes)
+                end)
+              single;
+            match !best with Some (id, _) -> it.pat <- id | None -> ()
+          end)
+        cf.items)
+    funcs;
+  {
+    entries = Array.of_list (List.rev b.entry_list);
+    base_count = t.base_count;
+    funcs;
+    globals = vp.Vm.Isa.globals;
+    candidates_tested = 0;
+    passes = 0;
+  }
+
+(* ---- sizes ---- *)
+
+let item_bytes t it = Pat.encoded_bytes t.entries.(it.pat)
+
+let compressed_code_bytes t =
+  List.fold_left
+    (fun acc cf ->
+      Array.fold_left
+        (fun a it -> if it.live then a + item_bytes t it else a)
+        acc cf.items)
+    0 t.funcs
+
+let dictionary_bytes t =
+  let total = ref 0 in
+  Array.iteri
+    (fun i p -> if i >= t.base_count then total := !total + Pat.dict_entry_bytes p)
+    t.entries;
+  !total
+
+let stats_to_string t =
+  Printf.sprintf
+    "dictionary: %d entries (%d base), %d candidates tested, %d passes, code %d B + dict %d B"
+    (Array.length t.entries) t.base_count t.candidates_tested t.passes
+    (compressed_code_bytes t) (dictionary_bytes t)

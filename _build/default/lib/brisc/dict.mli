@@ -1,0 +1,64 @@
+(** Greedy BRISC dictionary construction (§4.3).
+
+    The compressor starts from the base instruction patterns the input
+    uses (plus the [epi] macro), scans the program repeatedly generating
+    candidate patterns by one-field operand specialization and adjacent
+    opcode combination (taking the cross product of each side's
+    augmented operand-specialized set), ranks candidates in a heap by
+
+      B  =  P − W
+
+    where [P] is the estimated program-size reduction minus the
+    dictionary entry's own file cost and [W] is the decompressor
+    working-set cost (average of the x86-like and PowerPC-like native
+    template sizes), adds the [K] best per pass, and rewrites the
+    program to use them. Construction stops after a pass that yields
+    fewer than [K] candidates with positive benefit.
+
+    In abundant-memory mode ([ignore_w]) the benefit is just [P], the
+    variant the paper mentions for hosts where decompressor table space
+    is free; the ablation bench measures the difference. *)
+
+type item = {
+  mutable pat : int;               (** dictionary index *)
+  mutable insts : Vm.Isa.instr list;  (** original VM instructions (1..4) *)
+  mutable live : bool;             (** false once merged into a neighbour *)
+  block : int;                     (** basic-block id within the function *)
+}
+
+type compiled_func = {
+  cf_name : string;
+  items : item array;
+  labels : (string * int) list;
+      (** label name -> item index it precedes (item indices into
+          [items]; dead items are skipped at emission) *)
+}
+
+type t = {
+  entries : Pat.pat array;         (** the dictionary; base entries first *)
+  base_count : int;                (** how many are base patterns + epi *)
+  funcs : compiled_func list;
+  globals : (string * int * int list option) list;
+  candidates_tested : int;         (** §4.3 reports 93,211 for gcc *)
+  passes : int;
+}
+
+val build :
+  ?k:int -> ?ignore_w:bool -> ?max_passes:int -> Vm.Isa.vprogram -> t
+(** Run the compressor on a VM program. [k] defaults to the paper's 20. *)
+
+val apply_dictionary : t -> Vm.Isa.vprogram -> t
+(** Re-encode a different program with an already-built dictionary and
+    no further candidate search (the paper applies the gcc dictionary to
+    the salt/pepper example). Items that match no entry keep their base
+    pattern (base entries for missing shapes are appended). *)
+
+val compressed_code_bytes : t -> int
+(** Operand+opcode bytes of all live items (excluding dictionary and
+    header). *)
+
+val dictionary_bytes : t -> int
+(** File cost of the non-base dictionary entries. *)
+
+val item_bytes : t -> item -> int
+val stats_to_string : t -> string

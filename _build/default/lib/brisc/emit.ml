@@ -1,0 +1,509 @@
+type ifunc = { if_name : string; label_offsets : int array; code : string }
+
+type image = {
+  entries : Pat.pat array;
+  base_count : int;
+  markov : Markov.t;
+  symbols : string array;
+  globals : (string * int * int list option) list;
+  ifuncs : ifunc array;
+}
+
+let magic = "BRS1"
+
+(* ---- nibble stream helpers ---- *)
+
+type nibble_writer = { nbuf : Buffer.t; mutable pending : int; mutable have : bool }
+
+let nw_create () = { nbuf = Buffer.create 64; pending = 0; have = false }
+
+let nw_push w n =
+  let n = n land 0xf in
+  if w.have then begin
+    Buffer.add_char w.nbuf (Char.chr ((w.pending lsl 4) lor n));
+    w.have <- false
+  end
+  else begin
+    w.pending <- n;
+    w.have <- true
+  end
+
+let nw_value w v nibbles =
+  for i = nibbles - 1 downto 0 do
+    nw_push w ((v lsr (4 * i)) land 0xf)
+  done
+
+let nw_finish w =
+  if w.have then begin
+    Buffer.add_char w.nbuf (Char.chr (w.pending lsl 4));
+    w.have <- false
+  end;
+  Buffer.contents w.nbuf
+
+type nibble_reader = { src : string; mutable npos : int (* nibble index *) }
+
+let nr_create src pos = { src; npos = pos * 2 }
+
+let nr_next r =
+  let b = Char.code r.src.[r.npos / 2] in
+  let n = if r.npos land 1 = 0 then b lsr 4 else b land 0xf in
+  r.npos <- r.npos + 1;
+  n
+
+let nr_value r nibbles =
+  let v = ref 0 in
+  for _ = 1 to nibbles do
+    v := (!v lsl 4) lor nr_next r
+  done;
+  !v
+
+let nr_byte_pos r = (r.npos + 1) / 2
+
+(* ---- field packing ---- *)
+
+let sign_extend v bits =
+  let m = 1 lsl (bits - 1) in
+  if v land m <> 0 then v - (1 lsl bits) else v
+
+let pack_field nw (w : Pat.slotw) (label_index : string -> int)
+    (sym_index : string -> int) (f : Vm.Encode.field) =
+  match (w, f) with
+  | Pat.R4, Vm.Encode.Freg r -> nw_push nw r
+  | Pat.I4x4, Vm.Encode.Fimm v -> nw_push nw (v / 4)
+  | Pat.I8, Vm.Encode.Fimm v -> nw_value nw (v land 0xff) 2
+  | Pat.I16, Vm.Encode.Fimm v -> nw_value nw (v land 0xffff) 4
+  | Pat.I32, Vm.Encode.Fimm v -> nw_value nw (v land 0xFFFFFFFF) 8
+  | Pat.LAB8, Vm.Encode.Flab l -> nw_value nw (label_index l) 2
+  | Pat.LAB16, Vm.Encode.Flab l -> nw_value nw (label_index l) 4
+  | Pat.SYM8, Vm.Encode.Fsym s -> nw_value nw (sym_index s) 2
+  | Pat.SYM16, Vm.Encode.Fsym s -> nw_value nw (sym_index s) 4
+  | _ -> failwith "Emit: field does not fit its slot width"
+
+let unpack_field nr (w : Pat.slotw) : Vm.Encode.field =
+  match w with
+  | Pat.R4 -> Vm.Encode.Freg (nr_next nr)
+  | Pat.I4x4 -> Vm.Encode.Fimm (4 * nr_next nr)
+  | Pat.I8 -> Vm.Encode.Fimm (sign_extend (nr_value nr 2) 8)
+  | Pat.I16 -> Vm.Encode.Fimm (sign_extend (nr_value nr 4) 16)
+  | Pat.I32 -> Vm.Encode.Fimm (sign_extend (nr_value nr 8) 32)
+  | Pat.LAB8 -> Vm.Encode.Flab (Printf.sprintf "LBL#%d" (nr_value nr 2))
+  | Pat.LAB16 -> Vm.Encode.Flab (Printf.sprintf "LBL#%d" (nr_value nr 4))
+  | Pat.SYM8 -> Vm.Encode.Fsym (Printf.sprintf "SYM#%d" (nr_value nr 2))
+  | Pat.SYM16 -> Vm.Encode.Fsym (Printf.sprintf "SYM#%d" (nr_value nr 4))
+
+let wild_widths (p : Pat.pat) =
+  List.concat_map
+    (fun (part : Pat.part) ->
+      List.filter_map
+        (fun s -> match s with Pat.Wild w -> Some w | Pat.Fixed _ -> None)
+        part.Pat.slots)
+    p.Pat.parts
+
+let last_part_is_call (p : Pat.pat) =
+  match List.rev p.Pat.parts with
+  | last :: _ -> (
+    match last.Pat.templ with
+    | Vm.Isa.Call _ | Vm.Isa.Callr _ -> true
+    | _ -> false)
+  | [] -> false
+
+(* ---- building the image from a dictionary ---- *)
+
+let of_dict (d : Dict.t) : image =
+  (* symbol table *)
+  let syms = Hashtbl.create 64 in
+  let sym_list = ref [] in
+  let intern s =
+    match Hashtbl.find_opt syms s with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length syms in
+      Hashtbl.add syms s i;
+      sym_list := s :: !sym_list;
+      i
+  in
+  List.iter (fun (n, _, _) -> ignore (intern n)) d.Dict.globals;
+  List.iter (fun cf -> ignore (intern cf.Dict.cf_name)) d.Dict.funcs;
+  List.iter
+    (fun cf ->
+      Array.iter
+        (fun (it : Dict.item) ->
+          if it.Dict.live then
+            List.iter
+              (fun i ->
+                List.iter
+                  (fun f ->
+                    match f with
+                    | Vm.Encode.Fsym s -> ignore (intern s)
+                    | _ -> ())
+                  (Vm.Encode.fields i))
+              it.Dict.insts)
+        cf.Dict.items)
+    d.Dict.funcs;
+  let symbols = Array.of_list (List.rev !sym_list) in
+  (* Pass A: collect Markov transitions; pass B: emit. The two passes
+     walk items identically. *)
+  let walk cf ~on_item =
+    let n = Array.length cf.Dict.items in
+    (* labels keyed by the item index they precede *)
+    let labels_at = Hashtbl.create 8 in
+    List.iteri
+      (fun lid (_, idx) -> Hashtbl.add labels_at idx lid)
+      cf.Dict.labels;
+    let prev : int option ref = ref None in
+    let prev_was_call = ref false in
+    for i = 0 to n - 1 do
+      let it = cf.Dict.items.(i) in
+      if it.Dict.live then begin
+        let labels_here = Hashtbl.find_all labels_at i in
+        let ctx =
+          if !prev = None || labels_here <> [] || !prev_was_call then
+            Markov.bb_ctx
+          else Markov.ctx_of_entry (Option.get !prev)
+        in
+        on_item ~item:it ~ctx ~labels_here;
+        prev := Some it.Dict.pat;
+        prev_was_call := last_part_is_call d.Dict.entries.(it.Dict.pat)
+      end
+      else begin
+        (* labels on dead items attach to the next live one *)
+        match Hashtbl.find_all labels_at i with
+        | [] -> ()
+        | ls ->
+          while Hashtbl.mem labels_at i do
+            Hashtbl.remove labels_at i
+          done;
+          let rec next_live j = if j >= n then j else if cf.Dict.items.(j).Dict.live then j else next_live (j + 1) in
+          let j = next_live (i + 1) in
+          List.iter (fun l -> Hashtbl.add labels_at j l) (List.rev ls)
+      end
+    done
+  in
+  let transitions = ref [] in
+  List.iter
+    (fun cf ->
+      walk cf ~on_item:(fun ~item ~ctx ~labels_here ->
+          ignore labels_here;
+          transitions := (ctx, item.Dict.pat) :: !transitions))
+    d.Dict.funcs;
+  let markov =
+    Markov.build ~n_entries:(Array.length d.Dict.entries) (List.rev !transitions)
+  in
+  (* pass B: emit code bytes per function *)
+  let ifuncs =
+    List.map
+      (fun cf ->
+        let nlabels = List.length cf.Dict.labels in
+        if nlabels > 256 then
+          failwith
+            (Printf.sprintf "Emit: function %s has %d labels (max 256)"
+               cf.Dict.cf_name nlabels);
+        let label_ids = Hashtbl.create 8 in
+        List.iteri (fun lid (name, _) -> Hashtbl.add label_ids name lid)
+          cf.Dict.labels;
+        let offsets = Array.make nlabels (-1) in
+        let buf = Buffer.create 256 in
+        walk cf ~on_item:(fun ~item ~ctx ~labels_here ->
+            let off = Buffer.length buf in
+            List.iter (fun lid -> offsets.(lid) <- off) labels_here;
+            List.iter
+              (fun b -> Buffer.add_char buf (Char.chr b))
+              (Markov.code_of markov ~ctx item.Dict.pat);
+            let p = d.Dict.entries.(item.Dict.pat) in
+            let values = Pat.wild_values p item.Dict.insts in
+            let widths = wild_widths p in
+            let nw = nw_create () in
+            List.iter2
+              (fun w v ->
+                pack_field nw w
+                  (fun l ->
+                    match Hashtbl.find_opt label_ids l with
+                    | Some i -> i
+                    | None -> failwith ("Emit: unknown label " ^ l))
+                  (fun s -> Hashtbl.find syms s)
+                  v)
+              widths values;
+            Buffer.add_string buf (nw_finish nw));
+        (* labels at the very end of the function (none expected, but be
+           safe): point past the last byte *)
+        Array.iteri
+          (fun i o -> if o < 0 then offsets.(i) <- Buffer.length buf)
+          offsets;
+        let code = Buffer.contents buf in
+        if String.length code > 65535 then
+          failwith
+            (Printf.sprintf "Emit: function %s code exceeds 64 KB" cf.Dict.cf_name);
+        { if_name = cf.Dict.cf_name; label_offsets = offsets; code })
+      d.Dict.funcs
+  in
+  {
+    entries = d.Dict.entries;
+    base_count = d.Dict.base_count;
+    markov;
+    symbols;
+    globals = d.Dict.globals;
+    ifuncs = Array.of_list ifuncs;
+  }
+
+(* ---- serialization ---- *)
+
+let slotw_code = function
+  | Pat.R4 -> 0
+  | Pat.I4x4 -> 1
+  | Pat.I8 -> 2
+  | Pat.I16 -> 3
+  | Pat.I32 -> 4
+  | Pat.LAB8 -> 5
+  | Pat.LAB16 -> 6
+  | Pat.SYM8 -> 7
+  | Pat.SYM16 -> 8
+
+let slotw_of_code = function
+  | 0 -> Pat.R4
+  | 1 -> Pat.I4x4
+  | 2 -> Pat.I8
+  | 3 -> Pat.I16
+  | 4 -> Pat.I32
+  | 5 -> Pat.LAB8
+  | 6 -> Pat.LAB16
+  | 7 -> Pat.SYM8
+  | 8 -> Pat.SYM16
+  | _ -> failwith "Emit: bad slot width code"
+
+(* Dictionary entry serialization, compact (the entries dominate header
+   size on small programs): per part a shape byte and a fixed/wild mask
+   byte, then one nibble per field — the wild width code, or the burned
+   register — and finally the byte-aligned payloads of burned immediates
+   (sleb) and symbols (length-prefixed). *)
+
+let write_pat buf (p : Pat.pat) =
+  Support.Util.uleb128 buf (List.length p.Pat.parts);
+  List.iter
+    (fun (part : Pat.part) ->
+      Buffer.add_char buf (Char.chr (Vm.Encode.shape_code part.Pat.templ));
+      let mask = ref 0 in
+      List.iteri
+        (fun i slot ->
+          match slot with Pat.Fixed _ -> mask := !mask lor (1 lsl i) | _ -> ())
+        part.Pat.slots;
+      Buffer.add_char buf (Char.chr !mask);
+      let nw = nw_create () in
+      List.iter
+        (fun slot ->
+          match slot with
+          | Pat.Wild w -> nw_push nw (slotw_code w)
+          | Pat.Fixed (Vm.Encode.Freg r) -> nw_push nw r
+          | Pat.Fixed (Vm.Encode.Fimm _) | Pat.Fixed (Vm.Encode.Fsym _) -> ()
+          | Pat.Fixed (Vm.Encode.Flab _) ->
+            failwith "Emit: fixed label field in dictionary entry")
+        part.Pat.slots;
+      Buffer.add_string buf (nw_finish nw);
+      List.iter
+        (fun slot ->
+          match slot with
+          | Pat.Fixed (Vm.Encode.Fimm v) -> Support.Util.sleb_of_int buf v
+          | Pat.Fixed (Vm.Encode.Fsym s) ->
+            Support.Util.uleb128 buf (String.length s);
+            Buffer.add_string buf s
+          | _ -> ())
+        part.Pat.slots)
+    p.Pat.parts
+
+let read_pat s pos : Pat.pat =
+  let nparts = Support.Util.read_uleb128 s pos in
+  let parts =
+    List.init nparts (fun _ ->
+        let shape = Char.code s.[!pos] in
+        incr pos;
+        let templ = Vm.Encode.template_of_code shape in
+        let fields = Vm.Encode.fields templ in
+        let mask = Char.code s.[!pos] in
+        incr pos;
+        (* nibble section: one nibble per field that is wild or a fixed
+           register; count them to find its byte length *)
+        let takes_nibble i f =
+          mask land (1 lsl i) = 0
+          || match f with Vm.Encode.Freg _ -> true | _ -> false
+        in
+        let n_nibbles =
+          List.fold_left ( + ) 0
+            (List.mapi (fun i f -> if takes_nibble i f then 1 else 0) fields)
+        in
+        let nr = nr_create s !pos in
+        (* read nibbles in field order explicitly (map order is not
+           specified and nr_next is effectful) *)
+        let nibble_slots =
+          List.rev
+            (snd
+               (List.fold_left
+                  (fun (i, acc) f ->
+                    let v =
+                      if takes_nibble i f then Some (i, f, nr_next nr) else None
+                    in
+                    (i + 1, v :: acc))
+                  (0, []) fields))
+        in
+        pos := !pos + ((n_nibbles + 1) / 2);
+        let slots =
+          List.rev
+            (snd
+               (List.fold_left
+                  (fun (i, acc) f ->
+                    let fixed = mask land (1 lsl i) <> 0 in
+                    let slot =
+                      match (fixed, f) with
+                      | false, _ -> (
+                        match List.nth nibble_slots i with
+                        | Some (_, _, n) -> Pat.Wild (slotw_of_code n)
+                        | None -> failwith "Emit: corrupt pattern")
+                      | true, Vm.Encode.Freg _ -> (
+                        match List.nth nibble_slots i with
+                        | Some (_, _, n) -> Pat.Fixed (Vm.Encode.Freg n)
+                        | None -> failwith "Emit: corrupt pattern")
+                      | true, Vm.Encode.Fimm _ ->
+                        Pat.Fixed (Vm.Encode.Fimm (Support.Util.read_sleb s pos))
+                      | true, Vm.Encode.Fsym _ ->
+                        let n = Support.Util.read_uleb128 s pos in
+                        let str = String.sub s !pos n in
+                        pos := !pos + n;
+                        Pat.Fixed (Vm.Encode.Fsym str)
+                      | true, Vm.Encode.Flab _ ->
+                        failwith "Emit: fixed label in dictionary"
+                    in
+                    (i + 1, slot :: acc))
+                  (0, []) fields))
+        in
+        { Pat.templ; slots })
+  in
+  { Pat.parts }
+
+let to_bytes (img : image) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Support.Util.uleb128 buf (Array.length img.symbols);
+  Array.iter
+    (fun s ->
+      Support.Util.uleb128 buf (String.length s);
+      Buffer.add_string buf s)
+    img.symbols;
+  Support.Util.uleb128 buf (List.length img.globals);
+  let sym_idx =
+    let h = Hashtbl.create 64 in
+    Array.iteri (fun i s -> Hashtbl.replace h s i) img.symbols;
+    h
+  in
+  List.iter
+    (fun (n, sz, init) ->
+      Support.Util.uleb128 buf (Hashtbl.find sym_idx n);
+      Support.Util.uleb128 buf sz;
+      match init with
+      | None -> Support.Util.uleb128 buf 0
+      | Some bytes ->
+        Support.Util.uleb128 buf (List.length bytes + 1);
+        List.iter (fun b -> Buffer.add_char buf (Char.chr (b land 0xff))) bytes)
+    img.globals;
+  Support.Util.uleb128 buf (Array.length img.entries);
+  Support.Util.uleb128 buf img.base_count;
+  Array.iter (write_pat buf) img.entries;
+  Markov.write buf img.markov;
+  Support.Util.uleb128 buf (Array.length img.ifuncs);
+  Array.iter
+    (fun f ->
+      Support.Util.uleb128 buf (Hashtbl.find sym_idx f.if_name);
+      Support.Util.uleb128 buf (Array.length f.label_offsets);
+      Array.iter (fun o -> Support.Util.uleb128 buf o) f.label_offsets;
+      Support.Util.uleb128 buf (String.length f.code);
+      Buffer.add_string buf f.code)
+    img.ifuncs;
+  Buffer.contents buf
+
+let of_bytes (s : string) : image =
+  let pos = ref 0 in
+  let u () = Support.Util.read_uleb128 s pos in
+  let str () =
+    let n = u () in
+    let r = String.sub s !pos n in
+    pos := !pos + n;
+    r
+  in
+  let byte () =
+    let b = Char.code s.[!pos] in
+    incr pos;
+    b
+  in
+  if String.sub s 0 4 <> magic then failwith "Emit: bad magic";
+  pos := 4;
+  let nsym = u () in
+  let symbols = Array.init nsym (fun _ -> str ()) in
+  let nglob = u () in
+  let globals =
+    List.init nglob (fun _ ->
+        let n = symbols.(u ()) in
+        let sz = u () in
+        let initlen = u () in
+        let init =
+          if initlen = 0 then None
+          else Some (List.init (initlen - 1) (fun _ -> byte ()))
+        in
+        (n, sz, init))
+  in
+  let nentries = u () in
+  let base_count = u () in
+  let entries = Array.init nentries (fun _ -> read_pat s pos) in
+  let markov = Markov.read s pos in
+  let nfuncs = u () in
+  let ifuncs =
+    Array.init nfuncs (fun _ ->
+        let if_name = symbols.(u ()) in
+        let nlabels = u () in
+        let label_offsets = Array.init nlabels (fun _ -> u ()) in
+        let code = str () in
+        { if_name; label_offsets; code })
+  in
+  { entries; base_count; markov; symbols; globals; ifuncs }
+
+let code_size img =
+  Array.fold_left (fun a f -> a + String.length f.code) 0 img.ifuncs
+
+let total_size img = String.length (to_bytes img)
+let header_size img = total_size img - code_size img
+
+(* ---- shared decode ---- *)
+
+type decoded = { entry : int; instrs : Vm.Isa.instr list; next : int }
+
+let resolve_name img f =
+  match f with
+  | Vm.Encode.Fsym s when String.length s > 4 && String.sub s 0 4 = "SYM#" ->
+    Vm.Encode.Fsym img.symbols.(int_of_string (String.sub s 4 (String.length s - 4)))
+  | Vm.Encode.Flab l when String.length l > 4 && String.sub l 0 4 = "LBL#" ->
+    Vm.Encode.Flab ("L" ^ String.sub l 4 (String.length l - 4))
+  | f -> f
+
+let decode_at img ~fidx ~ctx off =
+  let f = img.ifuncs.(fidx) in
+  let pos = ref off in
+  let next_byte () =
+    let b = Char.code f.code.[!pos] in
+    incr pos;
+    b
+  in
+  let entry = Markov.entry_of img.markov ~ctx next_byte in
+  let p = img.entries.(entry) in
+  let widths = wild_widths p in
+  let nr = nr_create f.code !pos in
+  let values = List.map (fun w -> resolve_name img (unpack_field nr w)) widths in
+  let next = nr_byte_pos nr in
+  let instrs = Pat.instantiate p values in
+  { entry; instrs; next }
+
+let context_at img ~fidx ~prev off =
+  let f = img.ifuncs.(fidx) in
+  if off = 0 then Markov.bb_ctx
+  else if Array.exists (fun o -> o = off) f.label_offsets then Markov.bb_ctx
+  else
+    match prev with
+    | None -> Markov.bb_ctx
+    | Some e ->
+      if last_part_is_call img.entries.(e) then Markov.bb_ctx
+      else Markov.ctx_of_entry e

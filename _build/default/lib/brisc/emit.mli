@@ -1,0 +1,67 @@
+(** The BRISC container: dictionary + Markov tables + byte-coded,
+    block-addressable code.
+
+    Per function the code is a flat byte string; every instruction
+    starts on a byte boundary (opcode byte(s), then its wild operand
+    values packed as a nibble stream padded to a byte). A label table
+    maps each branch-target label to its byte offset, giving the random
+    access to basic blocks that in-place interpretation requires.
+
+    An instruction is coded in the block-start Markov context when it is
+    at offset 0, at a label offset, or immediately after a call (so
+    control can land there without knowing the linear predecessor);
+    otherwise its context is the previous instruction's dictionary
+    entry. *)
+
+type ifunc = {
+  if_name : string;
+  label_offsets : int array;   (** label id -> byte offset *)
+  code : string;
+}
+
+type image = {
+  entries : Pat.pat array;
+  base_count : int;
+  markov : Markov.t;
+  symbols : string array;
+  globals : (string * int * int list option) list;
+  ifuncs : ifunc array;
+}
+
+val of_dict : Dict.t -> image
+(** Assign Markov codes and pack every function.
+    @raise Failure if a function needs more than 256 labels or 65536
+    code bytes (documented container limits). *)
+
+val to_bytes : image -> string
+val of_bytes : string -> image
+(** @raise Failure on corrupt input. *)
+
+val code_size : image -> int
+(** Bytes of instruction streams only. *)
+
+val header_size : image -> int
+(** Serialized size minus [code_size]: dictionary, Markov tables,
+    symbols, label tables, globals. *)
+
+val total_size : image -> int
+(** [String.length (to_bytes image)]. *)
+
+(** Decoded view of one instruction, shared by the decompressor, the
+    direct interpreter and the JIT. *)
+type decoded = {
+  entry : int;                  (** dictionary index *)
+  instrs : Vm.Isa.instr list;   (** concrete VM instructions *)
+  next : int;                   (** byte offset after this instruction *)
+}
+
+val decode_at : image -> fidx:int -> ctx:int -> int -> decoded
+(** Decode the instruction at a byte offset under a Markov context.
+    Label operands come back as ["L<id>"] names; symbol operands as
+    their names. *)
+
+val context_at : image -> fidx:int -> prev:int option -> int -> int
+(** The Markov context in force at a byte offset: the block-start
+    context at offset 0, label offsets and call-return points, else
+    [ctx_of_entry prev]. [prev] is the previously decoded entry (None
+    forces the block-start context, e.g. after a jump). *)

@@ -1,0 +1,137 @@
+exception Runtime_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Runtime_error m)) fmt
+
+type result = {
+  exit_code : int;
+  output : string;
+  dispatches : int;
+  vm_steps : int;
+}
+
+let run ?(mem_size = 1 lsl 22) ?(input = "") ?(fuel = 400_000_000)
+    ?(entry = "main") ?(on_dispatch = fun (_ : int) (_ : int) (_ : int) -> ())
+    (img : Emit.image) : result =
+  let st = Vm.Exec.create ~mem_size ~input () in
+  let vm_view = { Vm.Isa.globals = img.Emit.globals; funcs = [] } in
+  let gtable, _ = Vm.Layout.globals_table vm_view in
+  Vm.Exec.init_globals st gtable img.Emit.globals;
+  let nfuncs = Array.length img.Emit.ifuncs in
+  if nfuncs > 8191 then fail "too many functions for the ra encoding";
+  let fidx_of_name = Hashtbl.create 32 in
+  Array.iteri
+    (fun i (f : Emit.ifunc) -> Hashtbl.add fidx_of_name f.Emit.if_name i)
+    img.Emit.ifuncs;
+  let sym_addr name =
+    match Hashtbl.find_opt fidx_of_name name with
+    | Some i -> Vm.Layout.func_address i
+    | None -> (
+      match Hashtbl.find_opt gtable name with
+      | Some a -> a
+      | None -> fail "unresolved symbol %s" name)
+  in
+  let entry_idx =
+    match Hashtbl.find_opt fidx_of_name entry with
+    | Some i -> i
+    | None -> fail "entry function %s not found" entry
+  in
+  let encode_ra fidx pc = (1 lsl 30) lor (fidx lsl 16) lor pc in
+  let decode_ra v =
+    if v < 0 || v land (1 lsl 30) = 0 then None
+    else Some ((v lsr 16) land 0x1FFF, v land 0xFFFF)
+  in
+  let halt_ra = -1 in
+  st.Vm.Exec.regs.(Vm.Isa.ra) <- halt_ra;
+  let fidx = ref entry_idx in
+  let pc = ref 0 in
+  let prev = ref None in
+  let dispatches = ref 0 in
+  let vm_steps = ref 0 in
+  let running = ref true in
+  (try
+     while !running do
+       if !vm_steps >= fuel then fail "fuel exhausted after %d steps" !vm_steps;
+       let f = img.Emit.ifuncs.(!fidx) in
+       if !pc >= String.length f.Emit.code then
+         fail "%s: fell off the end" f.Emit.if_name;
+       (* decode in place: this is the 'interpretation without
+          decompression' path the paper measures at ~12x native *)
+       let ctx = Emit.context_at img ~fidx:!fidx ~prev:!prev !pc in
+       let d = Emit.decode_at img ~fidx:!fidx ~ctx !pc in
+       incr dispatches;
+       let next_pc = d.Emit.next in
+       on_dispatch !fidx !pc (next_pc - !pc);
+       let jumped = ref false in
+       let label_off l =
+         (* decoded labels are "L<id>" *)
+         let id = int_of_string (String.sub l 1 (String.length l - 1)) in
+         f.Emit.label_offsets.(id)
+       in
+       List.iter
+         (fun (i : Vm.Isa.instr) ->
+           incr vm_steps;
+           match i with
+           | Vm.Isa.Br (rel, a, b, l) ->
+             if Vm.Isa.eval_rel rel st.Vm.Exec.regs.(a) st.Vm.Exec.regs.(b)
+             then begin
+               pc := label_off l;
+               prev := None;
+               jumped := true
+             end
+           | Vm.Isa.Bri (rel, a, v, l) ->
+             if Vm.Isa.eval_rel rel st.Vm.Exec.regs.(a) v then begin
+               pc := label_off l;
+               prev := None;
+               jumped := true
+             end
+           | Vm.Isa.Jmp l ->
+             pc := label_off l;
+             prev := None;
+             jumped := true
+           | Vm.Isa.Call name -> (
+             match Hashtbl.find_opt fidx_of_name name with
+             | Some ti ->
+               st.Vm.Exec.regs.(Vm.Isa.ra) <- encode_ra !fidx next_pc;
+               fidx := ti;
+               pc := 0;
+               prev := None;
+               jumped := true
+             | None ->
+               if List.mem name Vm.Isa.builtins then Vm.Exec.builtin st name
+               else fail "call to unknown function %s" name)
+           | Vm.Isa.Callr r -> (
+             match Vm.Layout.func_index_of_address st.Vm.Exec.regs.(r) with
+             | Some ti when ti < nfuncs ->
+               st.Vm.Exec.regs.(Vm.Isa.ra) <- encode_ra !fidx next_pc;
+               fidx := ti;
+               pc := 0;
+               prev := None;
+               jumped := true
+             | _ -> fail "indirect call to bad address %d" st.Vm.Exec.regs.(r))
+           | Vm.Isa.Rjr -> (
+             match decode_ra st.Vm.Exec.regs.(Vm.Isa.ra) with
+             | Some (rf, rpc) ->
+               fidx := rf;
+               pc := rpc;
+               prev := None;
+               jumped := true
+             | None ->
+               running := false;
+               jumped := true)
+           | i ->
+             Vm.Exec.step_data st
+               ~branch_target:(fun _ -> 0)
+               ~sym_addr i)
+         d.Emit.instrs;
+       if not !jumped then begin
+         pc := next_pc;
+         prev := Some d.Emit.entry
+       end
+     done
+   with Vm.Exec.Trap m -> fail "%s" m);
+  {
+    exit_code = st.Vm.Exec.regs.(0);
+    output = Buffer.contents st.Vm.Exec.out_buf;
+    dispatches = !dispatches;
+    vm_steps = !vm_steps;
+  }

@@ -1,0 +1,26 @@
+(** Direct interpretation of compressed BRISC code (§4): no
+    decompression pass — every dispatch decodes the instruction at the
+    current byte offset through the Markov tables and executes it in
+    place. Branches jump to label byte offsets (the random access the
+    byte-aligned, block-addressable encoding exists to provide).
+
+    Must be observationally equivalent to [Vm.Interp] on the source
+    program; the test suite checks this across the corpus. *)
+
+exception Runtime_error of string
+
+type result = {
+  exit_code : int;
+  output : string;
+  dispatches : int;   (** BRISC instructions decoded+executed *)
+  vm_steps : int;     (** underlying VM instructions executed *)
+}
+
+val run :
+  ?mem_size:int -> ?input:string -> ?fuel:int -> ?entry:string ->
+  ?on_dispatch:(int -> int -> int -> unit) ->
+  Emit.image -> result
+(** @raise Runtime_error on traps. [fuel] bounds [vm_steps].
+    [on_dispatch] fires per decoded instruction with (function index,
+    byte offset, encoded length) — the fetch trace the cache scenario
+    consumes. *)

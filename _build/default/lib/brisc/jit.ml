@@ -1,0 +1,68 @@
+(* Memoizing the native expansion per (entry, operand values) pair: the
+   expansion depends on concrete register assignments (e.g. a mov with
+   equal source and destination compiles to nothing), so the cache key
+   includes the decoded field values, not just the entry id. Hot
+   specialized entries hit constantly. *)
+
+let compile_with_stats (img : Emit.image) : Native.Mach.nprogram * int =
+  let cache : (int * Vm.Encode.field list, Native.Mach.ninstr list) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  let produced = ref 0 in
+  let funcs =
+    Array.to_list
+      (Array.mapi
+         (fun fidx (f : Emit.ifunc) ->
+           let len = String.length f.Emit.code in
+           let out = ref [] in
+           let labels =
+             Array.to_list
+               (Array.mapi (fun id off -> (off, id)) f.Emit.label_offsets)
+             |> List.sort compare
+           in
+           let pending = ref labels in
+           let emit_labels_at off =
+             let rec go () =
+               match !pending with
+               | (o, id) :: rest when o <= off ->
+                 out := Native.Mach.Nlabel (Printf.sprintf "L%d" id) :: !out;
+                 pending := rest;
+                 go ()
+               | _ -> ()
+             in
+             go ()
+           in
+           let pos = ref 0 in
+           let prev = ref None in
+           while !pos < len do
+             emit_labels_at !pos;
+             let ctx = Emit.context_at img ~fidx ~prev:!prev !pos in
+             let d = Emit.decode_at img ~fidx ~ctx !pos in
+             let values =
+               List.concat_map (fun i -> Vm.Encode.fields i) d.Emit.instrs
+             in
+             let native =
+               match Hashtbl.find_opt cache (d.Emit.entry, values) with
+               | Some n -> n
+               | None ->
+                 let n =
+                   List.concat_map Native.Compile.compile_instr d.Emit.instrs
+                 in
+                 Hashtbl.add cache (d.Emit.entry, values) n;
+                 n
+             in
+             List.iter
+               (fun ni ->
+                 produced := !produced + Native.Mach.encoded_size ni;
+                 out := ni :: !out)
+               native;
+             prev := Some d.Emit.entry;
+             pos := d.Emit.next
+           done;
+           emit_labels_at len;
+           { Native.Mach.name = f.Emit.if_name; code = List.rev !out })
+         img.Emit.ifuncs)
+  in
+  ({ Native.Mach.globals = img.Emit.globals; funcs }, !produced)
+
+let compile img = fst (compile_with_stats img)

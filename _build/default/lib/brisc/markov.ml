@@ -1,0 +1,83 @@
+type t = { succ : int array array }
+
+let bb_ctx = 0
+let ctx_of_entry e = e + 1
+
+let build ~n_entries transitions =
+  let counts = Array.init (n_entries + 1) (fun _ -> Hashtbl.create 8) in
+  List.iter
+    (fun (ctx, entry) ->
+      let tbl = counts.(ctx) in
+      match Hashtbl.find_opt tbl entry with
+      | Some r -> incr r
+      | None -> Hashtbl.add tbl entry (ref 1))
+    transitions;
+  (* Successor sets are kept sorted by entry id: every code costs one
+     byte regardless of its value, so frequency ordering buys nothing,
+     while a sorted set delta-encodes compactly in the container. *)
+  let succ =
+    Array.map
+      (fun tbl ->
+        Hashtbl.fold (fun e _ acc -> e :: acc) tbl []
+        |> List.sort compare |> Array.of_list)
+      counts
+  in
+  { succ }
+
+let find_code t ~ctx entry =
+  let arr = t.succ.(ctx) in
+  let rec go i =
+    if i >= Array.length arr then
+      failwith
+        (Printf.sprintf "Markov: entry %d not reachable from context %d" entry ctx)
+    else if arr.(i) = entry then i
+    else go (i + 1)
+  in
+  go 0
+
+let code_of t ~ctx entry =
+  let c = find_code t ~ctx entry in
+  let rec bytes c = if c < 255 then [ c ] else 255 :: bytes (c - 255) in
+  bytes c
+
+let entry_of t ~ctx next_byte =
+  let rec go acc =
+    let b = next_byte () in
+    if b = 255 then go (acc + 255) else acc + b
+  in
+  let code = go 0 in
+  let arr = t.succ.(ctx) in
+  if code >= Array.length arr then
+    failwith
+      (Printf.sprintf "Markov: bad code %d in context %d (%d successors)" code
+         ctx (Array.length arr));
+  arr.(code)
+
+let max_successors t =
+  Array.fold_left (fun m arr -> max m (Array.length arr)) 0 t.succ
+
+let write buf t =
+  Support.Util.uleb128 buf (Array.length t.succ);
+  Array.iter
+    (fun arr ->
+      Support.Util.uleb128 buf (Array.length arr);
+      let prev = ref 0 in
+      Array.iter
+        (fun e ->
+          Support.Util.uleb128 buf (e - !prev);
+          prev := e)
+        arr)
+    t.succ
+
+let read s pos =
+  let n = Support.Util.read_uleb128 s pos in
+  let succ =
+    Array.init n (fun _ ->
+        let k = Support.Util.read_uleb128 s pos in
+        let prev = ref 0 in
+        Array.init k (fun _ ->
+            let e = !prev + Support.Util.read_uleb128 s pos in
+            prev := e;
+            e))
+  in
+  { succ }

@@ -1,0 +1,43 @@
+(** Order-1 semi-static Markov opcode coder (§4.3).
+
+    Every dictionary entry gets, per {e context}, a one-byte code.
+    Contexts are: a distinguished basic-block-start context (used at
+    function entry, at branch-target labels, and at call return points,
+    so the stream stays decodable from any block boundary), plus one
+    context per dictionary entry (the previous instruction). Codes are
+    assigned per context by ascending entry id — every code costs one
+    byte whatever its value, and a sorted successor set delta-encodes
+    compactly in the container.
+
+    The paper splits a pattern whose context has more than 256
+    successors; we keep the context intact and use code 255 as an escape
+    prefix instead (an equivalent, simpler-to-decode realization of the
+    same 8-bit constraint — documented in DESIGN.md). *)
+
+type t = {
+  succ : int array array;
+      (** [succ.(ctx)] lists entry ids in code order; ctx 0 is the
+          block-start context, ctx (e+1) is "previous entry was e". *)
+}
+
+val bb_ctx : int
+(** The block-start context id (0). *)
+
+val ctx_of_entry : int -> int
+
+val build : n_entries:int -> (int * int) list -> t
+(** [build ~n_entries transitions] from observed (context, entry) pairs. *)
+
+val code_of : t -> ctx:int -> int -> int list
+(** Byte(s) encoding the entry in this context (escape-prefixed when the
+    code is >= 255). *)
+
+val entry_of : t -> ctx:int -> (unit -> int) -> int
+(** Decode an entry id, pulling opcode bytes via the callback. *)
+
+val max_successors : t -> int
+(** Largest successor set across contexts (the paper reports <= 244 for
+    lcc). *)
+
+val write : Buffer.t -> t -> unit
+val read : string -> int ref -> t

@@ -1,0 +1,224 @@
+type slotw = R4 | I4x4 | I8 | I16 | I32 | LAB8 | LAB16 | SYM8 | SYM16
+
+let slot_bits = function
+  | R4 | I4x4 -> 4
+  | I8 | LAB8 | SYM8 -> 8
+  | I16 | LAB16 | SYM16 -> 16
+  | I32 -> 32
+
+type slot = Fixed of Vm.Encode.field | Wild of slotw
+
+type part = { templ : Vm.Isa.instr; slots : slot list }
+
+type pat = { parts : part list }
+
+(* width selection for a concrete field value *)
+let width_for_field (f : Vm.Encode.field) =
+  match f with
+  | Vm.Encode.Freg _ -> R4
+  | Vm.Encode.Fimm v ->
+    if v >= 0 && v <= 60 && v mod 4 = 0 then I4x4
+    else if v >= -128 && v <= 127 then I8
+    else if v >= -32768 && v <= 32767 then I16
+    else I32
+  | Vm.Encode.Flab _ -> LAB8
+  (* symbols index a program-wide table that can exceed 256 entries, so
+     wild symbol slots are always 16 bits; hot call targets get burned
+     into specialized patterns instead *)
+  | Vm.Encode.Fsym _ -> SYM16
+
+let fits w (f : Vm.Encode.field) =
+  match (w, f) with
+  | R4, Vm.Encode.Freg _ -> true
+  | I4x4, Vm.Encode.Fimm v -> v >= 0 && v <= 60 && v mod 4 = 0
+  | I8, Vm.Encode.Fimm v -> v >= -128 && v <= 127
+  | I16, Vm.Encode.Fimm v -> v >= -32768 && v <= 32767
+  | I32, Vm.Encode.Fimm _ -> true
+  | (LAB8 | LAB16), Vm.Encode.Flab _ -> true
+  | (SYM8 | SYM16), Vm.Encode.Fsym _ -> true
+  | _ -> false
+
+let base_pattern (i : Vm.Isa.instr) =
+  let slots = List.map (fun f -> Wild (width_for_field f)) (Vm.Encode.fields i) in
+  { parts = [ { templ = i; slots } ] }
+
+let epi =
+  {
+    parts =
+      [
+        {
+          templ = Vm.Isa.Exit 0;
+          slots = [ Fixed (Vm.Encode.Freg Vm.Isa.sp); Fixed (Vm.Encode.Freg Vm.Isa.sp); Wild I8 ];
+        };
+        { templ = Vm.Isa.Rjr; slots = [] };
+      ];
+  }
+
+let field_equal (a : Vm.Encode.field) (b : Vm.Encode.field) = a = b
+
+let part_matches part (i : Vm.Isa.instr) =
+  Vm.Encode.base_key part.templ = Vm.Encode.base_key i
+  &&
+  let fs = Vm.Encode.fields i in
+  List.length fs = List.length part.slots
+  && List.for_all2
+       (fun slot f ->
+         match slot with
+         | Fixed v -> field_equal v f
+         | Wild w -> fits w f)
+       part.slots fs
+
+let matches p instrs =
+  List.length p.parts = List.length instrs
+  && List.for_all2 part_matches p.parts instrs
+
+let wild_values p instrs =
+  if not (matches p instrs) then invalid_arg "Pat.wild_values: no match";
+  List.concat
+    (List.map2
+       (fun part i ->
+         List.filter_map
+           (fun (slot, f) ->
+             match slot with Wild _ -> Some f | Fixed _ -> None)
+           (List.combine part.slots (Vm.Encode.fields i)))
+       p.parts instrs)
+
+let instantiate p values =
+  let remaining = ref values in
+  let next () =
+    match !remaining with
+    | [] -> invalid_arg "Pat.instantiate: not enough values"
+    | v :: rest ->
+      remaining := rest;
+      v
+  in
+  let out =
+    List.map
+      (fun part ->
+        let fs =
+          List.map
+            (fun slot -> match slot with Fixed v -> v | Wild _ -> next ())
+            part.slots
+        in
+        Vm.Encode.rebuild part.templ fs)
+      p.parts
+  in
+  if !remaining <> [] then invalid_arg "Pat.instantiate: too many values";
+  out
+
+let wild_slots p =
+  List.concat_map
+    (fun part ->
+      List.filter_map (fun s -> match s with Wild w -> Some w | Fixed _ -> None) part.slots)
+    p.parts
+
+let operand_bits p =
+  List.fold_left (fun a w -> a + slot_bits w) 0 (wild_slots p)
+
+let encoded_bytes p = 1 + ((operand_bits p + 7) / 8)
+
+let wild_count p = List.length (wild_slots p)
+
+(* Dictionary file cost: per part, one base-shape byte, plus per field a
+   2-bit fixed/wild discriminator and either the packed fixed value
+   (4/8/... bits, by its own width) or a 3-bit width spec. Rounded up to
+   whole bytes per entry. This reproduces the paper's accounting (the
+   [enter sp,*,*] example comes to 2 bytes). *)
+let dict_entry_bytes p =
+  let bits =
+    List.fold_left
+      (fun acc part ->
+        acc + 8
+        + List.fold_left
+            (fun a slot ->
+              a + 2
+              +
+              match slot with
+              | Wild _ -> 3
+              | Fixed f -> slot_bits (width_for_field f))
+            0 part.slots)
+      0 p.parts
+  in
+  (bits + 7) / 8
+
+let native_bytes p =
+  let instrs = List.map (fun part -> part.templ) p.parts in
+  let x86 =
+    List.fold_left (fun a i -> a + Native.Compile.expansion_bytes_x86 i) 0 instrs
+  in
+  let ppc =
+    List.fold_left (fun a i -> a + Native.Compile.expansion_bytes_ppc i) 0 instrs
+  in
+  (x86 + ppc + 1) / 2
+
+let specialize p idx v =
+  (* never burn label fields: branch targets must stay relocatable *)
+  (match v with Vm.Encode.Flab _ -> raise Exit | _ -> ());
+  let count = ref (-1) in
+  let parts =
+    List.map
+      (fun part ->
+        let slots =
+          List.map
+            (fun slot ->
+              match slot with
+              | Fixed _ -> slot
+              | Wild _ ->
+                incr count;
+                if !count = idx then Fixed v else slot)
+            part.slots
+        in
+        { part with slots })
+      p.parts
+  in
+  if !count < idx then None else Some { parts }
+
+let specialize p idx v = try specialize p idx v with Exit -> None
+
+let ends_block (i : Vm.Isa.instr) =
+  match i with
+  | Vm.Isa.Br _ | Vm.Isa.Bri _ | Vm.Isa.Jmp _ | Vm.Isa.Rjr | Vm.Isa.Call _
+  | Vm.Isa.Callr _ ->
+    true
+  | _ -> false
+
+(* Combination nests across passes (the paper's example fuses three
+   instructions: enter + two spills). Every part but the last must be a
+   straight-line instruction; four parts bounds decoder table blowup. *)
+let max_parts = 4
+
+let combine a b =
+  let last = List.nth a.parts (List.length a.parts - 1) in
+  if ends_block last.templ || List.length a.parts + List.length b.parts > max_parts
+  then None
+  else Some { parts = a.parts @ b.parts }
+
+let slotw_name = function
+  | R4 -> "*"
+  | I4x4 -> "*x4"
+  | I8 -> "*8"
+  | I16 -> "*16"
+  | I32 -> "*32"
+  | LAB8 | LAB16 -> "$*"
+  | SYM8 | SYM16 -> "@*"
+
+let field_name = function
+  | Vm.Encode.Freg r -> Vm.Isa.reg_name r
+  | Vm.Encode.Fimm v -> string_of_int v
+  | Vm.Encode.Flab l -> "$" ^ l
+  | Vm.Encode.Fsym s -> s
+
+let part_to_string part =
+  let ops =
+    List.map
+      (fun s -> match s with Fixed f -> field_name f | Wild w -> slotw_name w)
+      part.slots
+  in
+  Printf.sprintf "[%s %s]" (Vm.Encode.base_key part.templ) (String.concat "," ops)
+
+let to_string p =
+  match p.parts with
+  | [ one ] -> part_to_string one
+  | parts -> "<" ^ String.concat "," (List.map part_to_string parts) ^ ">"
+
+let key p = to_string p

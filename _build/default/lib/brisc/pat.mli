@@ -1,0 +1,94 @@
+(** BRISC instruction patterns (§4).
+
+    A pattern is one or two VM instruction shapes whose operand fields
+    are each either {e burned in} (operand specialization) or {e wild}.
+    Wild slots carry a declared bit width chosen when the dictionary
+    entry is created, so every entry has a fixed operand-byte layout —
+    the quantization that keeps BRISC interpretable in place. The [I4x4]
+    width is the paper's [-x4] trick: a 4-bit field holding a value that
+    is a multiple of four, scaled on decode.
+
+    A BRISC instruction in the compressed stream is then: one opcode
+    byte (assigned per Markov context by {!Markov}) followed by the wild
+    field values packed into [ceil(bits/8)] bytes. *)
+
+type slotw =
+  | R4          (** register, 4 bits *)
+  | I4x4        (** immediate in 0..60, multiple of 4, 4 bits scaled *)
+  | I8
+  | I16
+  | I32
+  | LAB8        (** label-table index, 8 bits *)
+  | LAB16
+  | SYM8        (** symbol-table index, 8 bits *)
+  | SYM16
+
+val slot_bits : slotw -> int
+
+type slot =
+  | Fixed of Vm.Encode.field
+  | Wild of slotw
+
+type part = {
+  templ : Vm.Isa.instr;   (** shape carrier; its field values are ignored *)
+  slots : slot list;      (** one per field of the shape *)
+}
+
+type pat = { parts : part list (** one, or two for opcode combination *) }
+
+val base_pattern : Vm.Isa.instr -> pat
+(** The fully wild pattern of an instruction, wild widths sized from the
+    instruction's own field values (the width-variant base entries). *)
+
+val epi : pat
+(** The paper's special-case [epi] macro: [exit sp,sp,*] fused with
+    [rjr] — the only dictionary entry not produced by specialization or
+    combination. *)
+
+val matches : pat -> Vm.Isa.instr list -> bool
+(** Does the pattern represent exactly these instructions (fixed fields
+    equal, wild fields within width)? The list length must equal the
+    number of parts. *)
+
+val wild_values : pat -> Vm.Isa.instr list -> Vm.Encode.field list
+(** The field values for the wild slots, in order.
+    @raise Invalid_argument if [matches] is false. *)
+
+val instantiate : pat -> Vm.Encode.field list -> Vm.Isa.instr list
+(** Rebuild the concrete instructions from wild-slot values. *)
+
+val operand_bits : pat -> int
+(** Total bits of the wild slots. *)
+
+val encoded_bytes : pat -> int
+(** Bytes one occurrence costs in the BRISC stream:
+    1 opcode byte + ceil(operand bits / 8). *)
+
+val dict_entry_bytes : pat -> int
+(** File cost of shipping this entry in the dictionary header (the
+    paper's "2 bytes for [enter sp,*,*]" accounting: a base-instruction
+    byte per part plus packed field-descriptor bits). *)
+
+val native_bytes : pat -> int
+(** The working-set cost W: decompressor table space, averaged between
+    the x86-like and PowerPC-like expansions of the pattern's parts
+    (paper §4.3). *)
+
+val specialize : pat -> int -> Vm.Encode.field -> pat option
+(** [specialize p i v] burns wild slot [i] (0-based among wild slots)
+    to value [v]; [None] if that slot is not specializable (labels are
+    never burned — branch targets stay relocatable). *)
+
+val combine : pat -> pat -> pat option
+(** Fuse two patterns into an adjacent sequence; [None] when the first
+    ends with a control transfer (branch, jump, call, return) or the
+    result would exceed four parts. Combination nests across passes, so
+    three-instruction fusions like the paper's
+    [<enter, spill.i, spill.i>] arise naturally. *)
+
+val wild_count : pat -> int
+val to_string : pat -> string
+(** Paper style: [<[ld.iw n0,*(sp)],[mov.i n2,n0]>]. *)
+
+val key : pat -> string
+(** Canonical hash key (used to deduplicate candidates). *)

@@ -1,0 +1,1 @@
+lib/cc/lower.ml: Ast Char Hashtbl Ir List Option Parser Printf String

@@ -1,0 +1,1 @@
+lib/cc/lower.mli: Ast Ir

@@ -1,0 +1,81 @@
+type pos = { line : int; col : int }
+
+type cty =
+  | Tint
+  | Tchar
+  | Tshort
+  | Tvoid
+  | Tptr of cty
+  | Tarray of cty * int
+
+type unop = Uneg | Unot | Ubnot
+
+type binop =
+  | Badd | Bsub | Bmul | Bdiv | Bmod
+  | Bband | Bbor | Bbxor | Bshl | Bshr
+  | Beq | Bne | Blt | Ble | Bgt | Bge
+  | Bland | Blor
+
+type expr = { edesc : edesc; epos : pos }
+
+and edesc =
+  | Eint of int
+  | Echar of char
+  | Estring of string
+  | Evar of string
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Eassign of expr * expr
+  | Ecall of string * expr list
+  | Eindex of expr * expr
+  | Ederef of expr
+  | Eaddr of expr
+  | Esizeof of cty
+  | Econd of expr * expr * expr
+
+type stmt = { sdesc : sdesc; spos : pos }
+
+and sdesc =
+  | Sexpr of expr
+  | Sdecl of cty * string * expr option
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sdo of stmt list * expr
+  | Sfor of stmt option * expr option * stmt option * stmt list
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+
+type decl =
+  | Dglobal of cty * string * init option
+  | Dfunc of cty * string * (cty * string) list * stmt list
+
+and init = Iscalar of expr | Iarray of expr list | Istring of string
+
+type program = decl list
+
+let rec ty_size = function
+  | Tint -> 4
+  | Tchar -> 1
+  | Tshort -> 2
+  | Tvoid -> 0
+  | Tptr _ -> 4
+  | Tarray (t, n) -> ty_size t * n
+
+let rec ty_align = function
+  | Tint | Tptr _ -> 4
+  | Tchar -> 1
+  | Tshort -> 2
+  | Tvoid -> 1
+  | Tarray (t, _) -> ty_align t
+
+let rec ty_to_string = function
+  | Tint -> "int"
+  | Tchar -> "char"
+  | Tshort -> "short"
+  | Tvoid -> "void"
+  | Tptr t -> ty_to_string t ^ "*"
+  | Tarray (t, n) -> Printf.sprintf "%s[%d]" (ty_to_string t) n
+
+let equal_cty (a : cty) (b : cty) = a = b

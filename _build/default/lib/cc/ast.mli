@@ -1,0 +1,75 @@
+(** Abstract syntax of MiniC, the C subset compiled by this repo.
+
+    MiniC covers the constructs the paper's benchmark programs need:
+    int/char/short scalars, pointers, fixed-size arrays, string literals,
+    the usual operators with C precedence, control flow (if/while/for/
+    do-while, break/continue), and functions. No structs, floats, typedefs
+    or preprocessor — the compressors never see those features anyway,
+    only the tree IR they lower to. *)
+
+type pos = { line : int; col : int }
+
+type cty =
+  | Tint
+  | Tchar
+  | Tshort
+  | Tvoid
+  | Tptr of cty
+  | Tarray of cty * int
+
+type unop = Uneg | Unot (* logical ! *) | Ubnot (* bitwise ~ *)
+
+type binop =
+  | Badd | Bsub | Bmul | Bdiv | Bmod
+  | Bband | Bbor | Bbxor | Bshl | Bshr
+  | Beq | Bne | Blt | Ble | Bgt | Bge
+  | Bland | Blor   (** short-circuit && and || *)
+
+type expr = { edesc : edesc; epos : pos }
+
+and edesc =
+  | Eint of int
+  | Echar of char
+  | Estring of string
+  | Evar of string
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Eassign of expr * expr            (** lvalue = value *)
+  | Ecall of string * expr list
+  | Eindex of expr * expr             (** a[i] *)
+  | Ederef of expr                    (** *p *)
+  | Eaddr of expr                     (** &lv *)
+  | Esizeof of cty
+  | Econd of expr * expr * expr       (** e ? a : b *)
+
+type stmt = { sdesc : sdesc; spos : pos }
+
+and sdesc =
+  | Sexpr of expr
+  | Sdecl of cty * string * expr option   (** local declaration *)
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sdo of stmt list * expr               (** do { } while (e); *)
+  | Sfor of stmt option * expr option * stmt option * stmt list
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+
+type decl =
+  | Dglobal of cty * string * init option
+  | Dfunc of cty * string * (cty * string) list * stmt list
+
+and init =
+  | Iscalar of expr
+  | Iarray of expr list
+  | Istring of string
+
+type program = decl list
+
+val ty_size : cty -> int
+(** Size in bytes; arrays are element size times length. *)
+
+val ty_align : cty -> int
+val ty_to_string : cty -> string
+val equal_cty : cty -> cty -> bool

@@ -1,0 +1,193 @@
+type token =
+  | INT_LIT of int
+  | CHAR_LIT of char
+  | STRING_LIT of string
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+type lexeme = { tok : token; pos : Ast.pos }
+
+exception Lex_error of string * Ast.pos
+
+let keywords =
+  [ "int"; "char"; "short"; "void"; "if"; "else"; "while"; "do"; "for";
+    "return"; "break"; "continue"; "sizeof" ]
+
+(* Longest-match first. *)
+let puncts =
+  [ "<<="; ">>="; "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>"; "+="; "-=";
+    "*="; "/="; "%="; "&="; "|="; "^="; "++"; "--"; "->"; "+"; "-"; "*"; "/";
+    "%"; "&"; "|"; "^"; "~"; "!"; "<"; ">"; "="; "("; ")"; "{"; "}"; "[";
+    "]"; ";"; ","; "?"; ":" ]
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let here st = { Ast.line = st.line; col = st.col }
+
+let peek st n =
+  if st.pos + n < String.length st.src then Some st.src.[st.pos + n] else None
+
+let advance st =
+  (match peek st 0 with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_trivia st =
+  match (peek st 0, peek st 1) with
+  | Some (' ' | '\t' | '\r' | '\n'), _ ->
+    advance st;
+    skip_trivia st
+  | Some '/', Some '/' ->
+    while peek st 0 <> None && peek st 0 <> Some '\n' do advance st done;
+    skip_trivia st
+  | Some '/', Some '*' ->
+    let start = here st in
+    advance st;
+    advance st;
+    let rec go () =
+      match (peek st 0, peek st 1) with
+      | Some '*', Some '/' ->
+        advance st;
+        advance st
+      | None, _ -> raise (Lex_error ("unterminated comment", start))
+      | _ ->
+        advance st;
+        go ()
+    in
+    go ();
+    skip_trivia st
+  | _ -> ()
+
+let escape_char st pos =
+  match peek st 0 with
+  | Some 'n' -> advance st; '\n'
+  | Some 't' -> advance st; '\t'
+  | Some 'r' -> advance st; '\r'
+  | Some '0' -> advance st; '\000'
+  | Some '\\' -> advance st; '\\'
+  | Some '\'' -> advance st; '\''
+  | Some '"' -> advance st; '"'
+  | _ -> raise (Lex_error ("bad escape", pos))
+
+let lex_number st =
+  let start = st.pos in
+  if peek st 0 = Some '0' && (peek st 1 = Some 'x' || peek st 1 = Some 'X')
+  then begin
+    advance st;
+    advance st;
+    let hstart = st.pos in
+    while match peek st 0 with Some c when is_hex c -> true | _ -> false do
+      advance st
+    done;
+    int_of_string ("0x" ^ String.sub st.src hstart (st.pos - hstart))
+  end
+  else begin
+    while match peek st 0 with Some c when is_digit c -> true | _ -> false do
+      advance st
+    done;
+    int_of_string (String.sub st.src start (st.pos - start))
+  end
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let out = ref [] in
+  let emit tok pos = out := { tok; pos } :: !out in
+  let rec go () =
+    skip_trivia st;
+    let pos = here st in
+    match peek st 0 with
+    | None -> emit EOF pos
+    | Some c when is_digit c ->
+      emit (INT_LIT (lex_number st)) pos;
+      go ()
+    | Some c when is_ident_start c ->
+      let start = st.pos in
+      while
+        match peek st 0 with Some c when is_ident_char c -> true | _ -> false
+      do
+        advance st
+      done;
+      let s = String.sub src start (st.pos - start) in
+      emit (if List.mem s keywords then KW s else IDENT s) pos;
+      go ()
+    | Some '\'' ->
+      advance st;
+      let c =
+        match peek st 0 with
+        | Some '\\' ->
+          advance st;
+          escape_char st pos
+        | Some c ->
+          advance st;
+          c
+        | None -> raise (Lex_error ("unterminated char literal", pos))
+      in
+      if peek st 0 <> Some '\'' then
+        raise (Lex_error ("unterminated char literal", pos));
+      advance st;
+      emit (CHAR_LIT c) pos;
+      go ()
+    | Some '"' ->
+      advance st;
+      let buf = Buffer.create 16 in
+      let rec str () =
+        match peek st 0 with
+        | Some '"' -> advance st
+        | Some '\\' ->
+          advance st;
+          Buffer.add_char buf (escape_char st pos);
+          str ()
+        | Some c ->
+          advance st;
+          Buffer.add_char buf c;
+          str ()
+        | None -> raise (Lex_error ("unterminated string literal", pos))
+      in
+      str ();
+      emit (STRING_LIT (Buffer.contents buf)) pos;
+      go ()
+    | Some c -> (
+      let matched =
+        List.find_opt
+          (fun p ->
+            let n = String.length p in
+            st.pos + n <= String.length src && String.sub src st.pos n = p)
+          puncts
+      in
+      match matched with
+      | Some p ->
+        for _ = 1 to String.length p do advance st done;
+        emit (PUNCT p) pos;
+        go ()
+      | None -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, pos)))
+  in
+  go ();
+  List.rev !out
+
+let token_to_string = function
+  | INT_LIT n -> string_of_int n
+  | CHAR_LIT c -> Printf.sprintf "%C" c
+  | STRING_LIT s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> s
+  | EOF -> "<eof>"

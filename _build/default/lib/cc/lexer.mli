@@ -1,0 +1,22 @@
+(** Hand-written lexer for MiniC. *)
+
+type token =
+  | INT_LIT of int
+  | CHAR_LIT of char
+  | STRING_LIT of string
+  | IDENT of string
+  | KW of string        (** int, char, short, void, if, else, while, do,
+                            for, return, break, continue, sizeof *)
+  | PUNCT of string     (** operators and separators, longest-match *)
+  | EOF
+
+type lexeme = { tok : token; pos : Ast.pos }
+
+exception Lex_error of string * Ast.pos
+
+val tokenize : string -> lexeme list
+(** Whole-input tokenization. Handles decimal/hex integer literals,
+    character escapes, string literals, line ([//]) and block comments.
+    @raise Lex_error on malformed input. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,700 @@
+exception Compile_error of string * Ast.pos
+
+let err pos fmt = Printf.ksprintf (fun m -> raise (Compile_error (m, pos))) fmt
+
+(* ---- environments ---- *)
+
+type var_kind = Local of int | Formal of int   (* frame / formal offset *)
+
+type var_info = { vkind : var_kind; vty : Ast.cty }
+
+type fenv = {
+  globals : (string, Ast.cty) Hashtbl.t;
+  functions : (string, Ast.cty * Ast.cty list) Hashtbl.t;
+  mutable strings : (string * string) list;  (* label, contents *)
+  mutable next_string : int;
+}
+
+type env = {
+  f : fenv;
+  mutable scopes : (string, var_info) Hashtbl.t list;
+  mutable frame_top : int;
+  mutable max_frame : int;
+  mutable next_label : int;
+  mutable out : Ir.Tree.stmt list;    (* reversed *)
+  mutable loops : (string * string) list;  (* break, continue labels *)
+  ret_ty : Ast.cty;
+}
+
+let push_scope env = env.scopes <- Hashtbl.create 8 :: env.scopes
+
+let pop_scope env =
+  match env.scopes with
+  | [] -> ()
+  | _ :: rest -> env.scopes <- rest
+
+let lookup_var env name =
+  let rec go = function
+    | [] -> None
+    | s :: rest -> (
+      match Hashtbl.find_opt s name with Some v -> Some v | None -> go rest)
+  in
+  go env.scopes
+
+let define_local env pos name ty =
+  (match env.scopes with
+  | [] -> err pos "internal: no scope"
+  | s :: _ ->
+    if Hashtbl.mem s name then err pos "redefinition of %s" name;
+    let align = Ast.ty_align ty in
+    let sz = max 1 (Ast.ty_size ty) in
+    env.frame_top <- (env.frame_top + align - 1) / align * align;
+    Hashtbl.add s name { vkind = Local env.frame_top; vty = ty };
+    env.frame_top <- env.frame_top + sz;
+    env.max_frame <- max env.max_frame env.frame_top);
+  match env.scopes with
+  | s :: _ -> (Hashtbl.find s name).vkind
+  | [] -> assert false
+
+let fresh_temp env ty =
+  let align = Ast.ty_align ty in
+  env.frame_top <- (env.frame_top + align - 1) / align * align;
+  let off = env.frame_top in
+  env.frame_top <- env.frame_top + max 1 (Ast.ty_size ty);
+  env.max_frame <- max env.max_frame env.frame_top;
+  off
+
+let fresh_label env =
+  let n = env.next_label in
+  env.next_label <- n + 1;
+  Printf.sprintf "L%d" n
+
+let emit env s = env.out <- s :: env.out
+
+(* ---- type helpers ---- *)
+
+let ir_ty pos = function
+  | Ast.Tint -> Ir.Op.I
+  | Ast.Tchar -> Ir.Op.C
+  | Ast.Tshort -> Ir.Op.S
+  | Ast.Tptr _ | Ast.Tarray _ -> Ir.Op.P
+  | Ast.Tvoid -> err pos "void value used"
+
+let decay = function Ast.Tarray (t, _) -> Ast.Tptr t | t -> t
+
+(* widen a loaded value to I for arithmetic *)
+let widen ty tree =
+  match ty with
+  | Ast.Tchar -> Ir.Tree.Cvt (Ir.Op.C, Ir.Op.I, tree)
+  | Ast.Tshort -> Ir.Tree.Cvt (Ir.Op.S, Ir.Op.I, tree)
+  | _ -> tree
+
+let narrow ty tree =
+  match ty with
+  | Ast.Tchar -> Ir.Tree.Cvt (Ir.Op.I, Ir.Op.C, tree)
+  | Ast.Tshort -> Ir.Tree.Cvt (Ir.Op.I, Ir.Op.S, tree)
+  | _ -> tree
+
+(* the "computation type": what a loaded value of cty looks like in trees *)
+let comp_ty = function
+  | Ast.Tptr _ | Ast.Tarray _ -> Ir.Op.P
+  | _ -> Ir.Op.I
+
+let addr_of_var pos (v : var_info) =
+  ignore pos;
+  match v.vkind with
+  | Local off -> Ir.Tree.addrl off
+  | Formal off -> Ir.Tree.addrf off
+
+(* ---- constant folding ----
+
+   All arithmetic folds with 32-bit two's-complement wrapping, matching
+   the VM's runtime semantics — a folded constant must equal what the
+   unfolded expression would compute. *)
+
+let norm32 v =
+  let v = v land 0xFFFFFFFF in
+  if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let fold_binop op a b =
+  match op with
+  | Ast.Badd -> Some (norm32 (a + b))
+  | Ast.Bsub -> Some (norm32 (a - b))
+  | Ast.Bmul -> Some (norm32 (a * b))
+  | Ast.Bdiv -> if b = 0 then None else Some (norm32 (a / b))
+  | Ast.Bmod -> if b = 0 then None else Some (norm32 (a mod b))
+  | Ast.Bband -> Some (norm32 (a land b))
+  | Ast.Bbor -> Some (norm32 (a lor b))
+  | Ast.Bbxor -> Some (norm32 (a lxor b))
+  | Ast.Bshl -> if b < 0 || b > 31 then None else Some (norm32 (a lsl b))
+  | Ast.Bshr -> if b < 0 || b > 31 then None else Some (norm32 (a asr b))
+  | Ast.Beq -> Some (if a = b then 1 else 0)
+  | Ast.Bne -> Some (if a <> b then 1 else 0)
+  | Ast.Blt -> Some (if a < b then 1 else 0)
+  | Ast.Ble -> Some (if a <= b then 1 else 0)
+  | Ast.Bgt -> Some (if a > b then 1 else 0)
+  | Ast.Bge -> Some (if a >= b then 1 else 0)
+  | Ast.Bland | Ast.Blor -> None
+
+let rec const_eval (e : Ast.expr) : int option =
+  match e.Ast.edesc with
+  | Ast.Eint n -> Some (norm32 n)
+  | Ast.Echar c -> Some (Char.code c)
+  | Ast.Esizeof ty -> Some (Ast.ty_size ty)
+  | Ast.Eunop (Ast.Uneg, a) -> Option.map (fun v -> norm32 (-v)) (const_eval a)
+  | Ast.Eunop (Ast.Ubnot, a) -> Option.map (fun v -> norm32 (lnot v)) (const_eval a)
+  | Ast.Eunop (Ast.Unot, a) ->
+    Option.map (fun v -> if v = 0 then 1 else 0) (const_eval a)
+  | Ast.Ebinop (op, a, b) -> (
+    match (const_eval a, const_eval b) with
+    | Some va, Some vb -> fold_binop op va vb
+    | _ -> None)
+  | _ -> None
+
+(* ---- expression lowering ----
+
+   [lower_rvalue] returns (cty, tree) where the tree computes the value
+   (widened to I for sub-int scalars). [lower_lvalue] returns
+   (cty, address tree). *)
+
+let relop_of_binop = function
+  | Ast.Beq -> Some Ir.Op.Eq
+  | Ast.Bne -> Some Ir.Op.Ne
+  | Ast.Blt -> Some Ir.Op.Lt
+  | Ast.Ble -> Some Ir.Op.Le
+  | Ast.Bgt -> Some Ir.Op.Gt
+  | Ast.Bge -> Some Ir.Op.Ge
+  | _ -> None
+
+let ir_binop pos = function
+  | Ast.Badd -> Ir.Op.Add
+  | Ast.Bsub -> Ir.Op.Sub
+  | Ast.Bmul -> Ir.Op.Mul
+  | Ast.Bdiv -> Ir.Op.Div
+  | Ast.Bmod -> Ir.Op.Mod
+  | Ast.Bband -> Ir.Op.Band
+  | Ast.Bbor -> Ir.Op.Bor
+  | Ast.Bbxor -> Ir.Op.Bxor
+  | Ast.Bshl -> Ir.Op.Lsh
+  | Ast.Bshr -> Ir.Op.Rsh
+  | _ -> err pos "internal: not an arithmetic operator"
+
+let rec lower_rvalue env (e : Ast.expr) : Ast.cty * Ir.Tree.tree =
+  let pos = e.Ast.epos in
+  match e.Ast.edesc with
+  (* large hex literals like 0xCC9E2D51 wrap to signed 32-bit, as C's
+     conversion to int does on two's-complement targets *)
+  | Ast.Eint n -> (Ast.Tint, Ir.Tree.cnst (norm32 n))
+  | Ast.Echar c -> (Ast.Tchar, Ir.Tree.cnst (Char.code c))
+  | Ast.Esizeof ty -> (Ast.Tint, Ir.Tree.cnst (Ast.ty_size ty))
+  | Ast.Estring s ->
+    let lbl = intern_string env s in
+    (Ast.Tptr Ast.Tchar, Ir.Tree.Addrg lbl)
+  | Ast.Evar name -> (
+    match lookup_var env name with
+    | Some v -> (
+      match v.vty with
+      | Ast.Tarray (elt, _) -> (Ast.Tptr elt, addr_of_var pos v)
+      | ty -> (ty, widen ty (Ir.Tree.Indir (ir_ty pos ty, addr_of_var pos v))))
+    | None -> (
+      match Hashtbl.find_opt env.f.globals name with
+      | Some (Ast.Tarray (elt, _)) -> (Ast.Tptr elt, Ir.Tree.Addrg name)
+      | Some ty -> (ty, widen ty (Ir.Tree.Indir (ir_ty pos ty, Ir.Tree.Addrg name)))
+      | None ->
+        if Hashtbl.mem env.f.functions name then (Ast.Tptr Ast.Tvoid, Ir.Tree.Addrg name)
+        else err pos "unknown identifier %s" name))
+  | Ast.Eunop (Ast.Uneg, a) -> (
+    match const_eval e with
+    | Some v -> (Ast.Tint, Ir.Tree.cnst v)
+    | None ->
+      let ty, t = lower_int env a in
+      ignore ty;
+      (Ast.Tint, Ir.Tree.Neg (Ir.Op.I, t)))
+  | Ast.Eunop (Ast.Ubnot, a) -> (
+    match const_eval e with
+    | Some v -> (Ast.Tint, Ir.Tree.cnst v)
+    | None ->
+      let _, t = lower_int env a in
+      (Ast.Tint, Ir.Tree.Bcom (Ir.Op.I, t)))
+  | Ast.Eunop (Ast.Unot, _) | Ast.Ebinop ((Ast.Bland | Ast.Blor), _, _) ->
+    lower_bool_value env e
+  | Ast.Ebinop (op, a, b) -> (
+    match relop_of_binop op with
+    | Some _ -> lower_bool_value env e
+    | None -> (
+      match const_eval e with
+      | Some v -> (Ast.Tint, Ir.Tree.cnst v)
+      | None -> lower_arith env pos op a b))
+  | Ast.Eassign (lhs, rhs) ->
+    (* value of assignment: store, then reload the stored location *)
+    let ty, addr = lower_lvalue env lhs in
+    let rty, rv = lower_rvalue env rhs in
+    check_assignable pos ty rty;
+    (* evaluate address once: it may be arbitrary; safe because our
+       addresses are side-effect-free trees *)
+    emit env (Ir.Tree.Sasgn (ir_ty pos ty, addr, narrow ty (coerce pos ty rty rv)));
+    (ty, widen ty (Ir.Tree.Indir (ir_ty pos ty, addr)))
+  | Ast.Ecall (fname, args) -> (
+    let ret, addr = lower_call env pos fname args in
+    match ret with
+    | Ast.Tvoid -> err pos "void value of %s used" fname
+    | _ ->
+      (* spill to a temp so Call never nests inside bigger trees *)
+      let call = Ir.Tree.Call (comp_ty ret, addr) in
+      let off = fresh_temp env ret in
+      emit env (Ir.Tree.Sasgn (ir_ty pos ret, Ir.Tree.addrl off, call));
+      (ret, widen ret (Ir.Tree.Indir (ir_ty pos ret, Ir.Tree.addrl off))))
+  | Ast.Eindex _ | Ast.Ederef _ ->
+    let ty, addr = lower_lvalue env e in
+    (match ty with
+    | Ast.Tarray (elt, _) -> (Ast.Tptr elt, addr)
+    | _ -> (ty, widen ty (Ir.Tree.Indir (ir_ty pos ty, addr))))
+  | Ast.Eaddr lv ->
+    let ty, addr = lower_lvalue env lv in
+    (Ast.Tptr ty, addr)
+  | Ast.Econd (c, a, b) ->
+    let lfalse = fresh_label env and lend = fresh_label env in
+    (* result type: from lowering [a]; both sides coerced to it *)
+    let tmp_ty = Ast.Tint in
+    let off = fresh_temp env tmp_ty in
+    lower_cond env c ~target:lfalse ~jump_if:false;
+    let tya, ta = lower_rvalue env a in
+    emit env (Ir.Tree.Sasgn (comp_ty tya, Ir.Tree.addrl off, ta));
+    emit env (Ir.Tree.Sjump lend);
+    emit env (Ir.Tree.Slabel lfalse);
+    let tyb, tb = lower_rvalue env b in
+    emit env (Ir.Tree.Sasgn (comp_ty tyb, Ir.Tree.addrl off, tb));
+    emit env (Ir.Tree.Slabel lend);
+    let ty = if decay tya = decay tyb then decay tya else Ast.Tint in
+    (ty, Ir.Tree.Indir (comp_ty ty, Ir.Tree.addrl off))
+
+and lower_int env e =
+  (* rvalue coerced to a 32-bit integer computation *)
+  let ty, t = lower_rvalue env e in
+  match decay ty with
+  | Ast.Tint | Ast.Tchar | Ast.Tshort -> (ty, t)
+  | Ast.Tptr _ -> (ty, Ir.Tree.Cvt (Ir.Op.P, Ir.Op.I, t))
+  | _ -> err e.Ast.epos "integer expression expected"
+
+and coerce pos target_ty source_ty tree =
+  match (decay target_ty, decay source_ty) with
+  | Ast.Tptr _, Ast.Tptr _ -> tree
+  | Ast.Tptr _, (Ast.Tint | Ast.Tchar | Ast.Tshort) ->
+    Ir.Tree.Cvt (Ir.Op.I, Ir.Op.P, tree)
+  | (Ast.Tint | Ast.Tchar | Ast.Tshort), Ast.Tptr _ ->
+    Ir.Tree.Cvt (Ir.Op.P, Ir.Op.I, tree)
+  | (Ast.Tint | Ast.Tchar | Ast.Tshort), (Ast.Tint | Ast.Tchar | Ast.Tshort) ->
+    tree
+  | _ -> err pos "cannot convert %s to %s" (Ast.ty_to_string source_ty) (Ast.ty_to_string target_ty)
+
+and check_assignable pos target source =
+  match (decay target, decay source) with
+  | t, s when Ast.equal_cty t s -> ()
+  | (Ast.Tint | Ast.Tchar | Ast.Tshort), (Ast.Tint | Ast.Tchar | Ast.Tshort) -> ()
+  | Ast.Tptr _, (Ast.Tint | Ast.Tchar | Ast.Tshort) -> ()  (* p = 0 *)
+  | (Ast.Tint | Ast.Tchar | Ast.Tshort), Ast.Tptr _ -> ()
+  | Ast.Tptr Ast.Tvoid, Ast.Tptr _ | Ast.Tptr _, Ast.Tptr Ast.Tvoid -> ()
+  | _ ->
+    err pos "incompatible assignment from %s to %s" (Ast.ty_to_string source)
+      (Ast.ty_to_string target)
+
+and lower_arith env pos op a b =
+  let tya, ta = lower_rvalue env a in
+  let tyb, tb = lower_rvalue env b in
+  match (op, decay tya, decay tyb) with
+  | Ast.Badd, Ast.Tptr elt, (Ast.Tint | Ast.Tchar | Ast.Tshort) ->
+    let scaled = scale_index env elt tb in
+    (Ast.Tptr elt, Ir.Tree.Binop (Ir.Op.P, Ir.Op.Add, ta, scaled))
+  | Ast.Badd, (Ast.Tint | Ast.Tchar | Ast.Tshort), Ast.Tptr elt ->
+    let scaled = scale_index env elt ta in
+    (Ast.Tptr elt, Ir.Tree.Binop (Ir.Op.P, Ir.Op.Add, tb, scaled))
+  | Ast.Bsub, Ast.Tptr elt, (Ast.Tint | Ast.Tchar | Ast.Tshort) ->
+    let scaled = scale_index env elt tb in
+    (Ast.Tptr elt, Ir.Tree.Binop (Ir.Op.P, Ir.Op.Sub, ta, scaled))
+  | Ast.Bsub, Ast.Tptr elt, Ast.Tptr _ ->
+    let diff =
+      Ir.Tree.Binop
+        (Ir.Op.I, Ir.Op.Sub,
+         Ir.Tree.Cvt (Ir.Op.P, Ir.Op.I, ta),
+         Ir.Tree.Cvt (Ir.Op.P, Ir.Op.I, tb))
+    in
+    let sz = Ast.ty_size elt in
+    let t = if sz = 1 then diff else Ir.Tree.Binop (Ir.Op.I, Ir.Op.Div, diff, Ir.Tree.cnst sz) in
+    (Ast.Tint, t)
+  | _, (Ast.Tint | Ast.Tchar | Ast.Tshort), (Ast.Tint | Ast.Tchar | Ast.Tshort) ->
+    (Ast.Tint, Ir.Tree.Binop (Ir.Op.I, ir_binop pos op, ta, tb))
+  | _ ->
+    err pos "invalid operands (%s, %s)" (Ast.ty_to_string tya) (Ast.ty_to_string tyb)
+
+and scale_index env elt idx =
+  ignore env;
+  let sz = Ast.ty_size elt in
+  if sz = 1 then idx
+  else
+    match idx with
+    | Ir.Tree.Cnst (_, _, v) -> Ir.Tree.cnst (v * sz)
+    | _ -> Ir.Tree.Binop (Ir.Op.I, Ir.Op.Mul, idx, Ir.Tree.cnst sz)
+
+and lower_lvalue env (e : Ast.expr) : Ast.cty * Ir.Tree.tree =
+  let pos = e.Ast.epos in
+  match e.Ast.edesc with
+  | Ast.Evar name -> (
+    match lookup_var env name with
+    | Some v -> (v.vty, addr_of_var pos v)
+    | None -> (
+      match Hashtbl.find_opt env.f.globals name with
+      | Some ty -> (ty, Ir.Tree.Addrg name)
+      | None -> err pos "unknown identifier %s" name))
+  | Ast.Ederef p -> (
+    let ty, t = lower_rvalue env p in
+    match decay ty with
+    | Ast.Tptr elt when elt <> Ast.Tvoid -> (elt, t)
+    | _ -> err pos "cannot dereference %s" (Ast.ty_to_string ty))
+  | Ast.Eindex (arr, idx) -> (
+    let ty, base = lower_rvalue env arr in
+    let _, i = lower_int env idx in
+    match decay ty with
+    | Ast.Tptr elt when elt <> Ast.Tvoid ->
+      (elt, Ir.Tree.Binop (Ir.Op.P, Ir.Op.Add, base, scale_index env elt i))
+    | _ -> err pos "cannot index %s" (Ast.ty_to_string ty))
+  | _ -> err pos "expression is not an lvalue"
+
+and lower_call env pos fname args =
+  let ret, param_tys =
+    match Hashtbl.find_opt env.f.functions fname with
+    | Some sg -> sg
+    | None -> err pos "call to undefined function %s" fname
+  in
+  if List.length args <> List.length param_tys then
+    err pos "%s expects %d arguments, got %d" fname (List.length param_tys)
+      (List.length args);
+  (* Evaluate arguments left to right. Each argument tree is computed
+     fully (spilling any nested calls), then all ARG statements are
+     emitted contiguously before the CALL, in order. *)
+  let arg_trees =
+    List.map2
+      (fun pty a ->
+        let aty, at = lower_rvalue env a in
+        check_assignable a.Ast.epos pty aty;
+        let at = coerce a.Ast.epos pty aty at in
+        (comp_ty pty, at))
+      param_tys args
+  in
+  List.iter (fun (ty, t) -> emit env (Ir.Tree.Sarg (ty, t))) arg_trees;
+  (ret, Ir.Tree.Addrg fname)
+
+and intern_string env s =
+  match List.find_opt (fun (_, s') -> s = s') env.f.strings with
+  | Some (lbl, _) -> lbl
+  | None ->
+    let lbl = Printf.sprintf ".LC%d" env.f.next_string in
+    env.f.next_string <- env.f.next_string + 1;
+    env.f.strings <- (lbl, s) :: env.f.strings;
+    lbl
+
+(* Booleans as values: 1/0 through a temp. *)
+and lower_bool_value env e =
+  let ltrue_skipped = fresh_label env and lend = fresh_label env in
+  let off = fresh_temp env Ast.Tint in
+  lower_cond env e ~target:ltrue_skipped ~jump_if:false;
+  emit env (Ir.Tree.Sasgn (Ir.Op.I, Ir.Tree.addrl off, Ir.Tree.cnst 1));
+  emit env (Ir.Tree.Sjump lend);
+  emit env (Ir.Tree.Slabel ltrue_skipped);
+  emit env (Ir.Tree.Sasgn (Ir.Op.I, Ir.Tree.addrl off, Ir.Tree.cnst 0));
+  emit env (Ir.Tree.Slabel lend);
+  (Ast.Tint, Ir.Tree.Indir (Ir.Op.I, Ir.Tree.addrl off))
+
+(* Conditional lowering: if [jump_if] then jump to [target] when e is
+   true, else jump when e is false; fall through otherwise. *)
+and lower_cond env (e : Ast.expr) ~target ~jump_if =
+  let pos = e.Ast.epos in
+  match e.Ast.edesc with
+  | Ast.Eunop (Ast.Unot, a) -> lower_cond env a ~target ~jump_if:(not jump_if)
+  | Ast.Ebinop (Ast.Bland, a, b) ->
+    if not jump_if then begin
+      (* jump to target if (a && b) is false *)
+      lower_cond env a ~target ~jump_if:false;
+      lower_cond env b ~target ~jump_if:false
+    end
+    else begin
+      let skip = fresh_label env in
+      lower_cond env a ~target:skip ~jump_if:false;
+      lower_cond env b ~target ~jump_if:true;
+      emit env (Ir.Tree.Slabel skip)
+    end
+  | Ast.Ebinop (Ast.Blor, a, b) ->
+    if jump_if then begin
+      lower_cond env a ~target ~jump_if:true;
+      lower_cond env b ~target ~jump_if:true
+    end
+    else begin
+      let skip = fresh_label env in
+      lower_cond env a ~target:skip ~jump_if:true;
+      lower_cond env b ~target ~jump_if:false;
+      emit env (Ir.Tree.Slabel skip)
+    end
+  | Ast.Ebinop (op, a, b) when relop_of_binop op <> None -> (
+    match const_eval e with
+    | Some v -> if (v <> 0) = jump_if then emit env (Ir.Tree.Sjump target)
+    | None ->
+      let rel = Option.get (relop_of_binop op) in
+      let rel = if jump_if then rel else Ir.Op.negate_relop rel in
+      let tya, ta = lower_rvalue env a in
+      let tyb, tb = lower_rvalue env b in
+      let cty =
+        match (decay tya, decay tyb) with
+        | Ast.Tptr _, _ | _, Ast.Tptr _ -> Ir.Op.P
+        | _ -> Ir.Op.I
+      in
+      let ta = if cty = Ir.Op.P then coerce pos (Ast.Tptr Ast.Tvoid) tya ta else ta in
+      let tb = if cty = Ir.Op.P then coerce pos (Ast.Tptr Ast.Tvoid) tyb tb else tb in
+      emit env (Ir.Tree.Scnd (rel, cty, ta, tb, target)))
+  | _ -> (
+    match const_eval e with
+    | Some v -> if (v <> 0) = jump_if then emit env (Ir.Tree.Sjump target)
+    | None ->
+      let ty, t = lower_rvalue env e in
+      let cty = comp_ty ty in
+      let zero =
+        if cty = Ir.Op.P then Ir.Tree.Cvt (Ir.Op.I, Ir.Op.P, Ir.Tree.cnst 0)
+        else Ir.Tree.cnst 0
+      in
+      let rel = if jump_if then Ir.Op.Ne else Ir.Op.Eq in
+      emit env (Ir.Tree.Scnd (rel, cty, t, zero, target)))
+
+(* ---- statements ---- *)
+
+let rec lower_stmt env (s : Ast.stmt) =
+  let pos = s.Ast.spos in
+  match s.Ast.sdesc with
+  | Ast.Sexpr e -> (
+    match e.Ast.edesc with
+    | Ast.Ecall (fname, args) ->
+      let ret, addr = lower_call env pos fname args in
+      emit env
+        (Ir.Tree.Scall
+           ((match ret with Ast.Tvoid -> Ir.Op.V | t -> comp_ty t), addr))
+    | Ast.Eassign (lhs, rhs) ->
+      let ty, addr = lower_lvalue env lhs in
+      let rty, rv = lower_rvalue env rhs in
+      check_assignable pos ty rty;
+      emit env (Ir.Tree.Sasgn (ir_ty pos ty, addr, narrow ty (coerce pos ty rty rv)))
+    | _ ->
+      (* evaluate for side effects; spills/ARGs already emitted *)
+      let _, _t = lower_rvalue env e in
+      ())
+  | Ast.Sdecl (ty, name, init) -> (
+    if Ast.ty_size ty = 0 then err pos "variable %s has void type" name;
+    let kind = define_local env pos name ty in
+    match init with
+    | None -> ()
+    | Some e ->
+      let rty, rv = lower_rvalue env e in
+      check_assignable pos ty rty;
+      let addr =
+        match kind with
+        | Local off -> Ir.Tree.addrl off
+        | Formal off -> Ir.Tree.addrf off
+      in
+      emit env (Ir.Tree.Sasgn (ir_ty pos ty, addr, narrow ty (coerce pos ty rty rv))))
+  | Ast.Sif (c, then_, else_) ->
+    let lelse = fresh_label env in
+    lower_cond env c ~target:lelse ~jump_if:false;
+    lower_block env then_;
+    if else_ = [] then emit env (Ir.Tree.Slabel lelse)
+    else begin
+      let lend = fresh_label env in
+      emit env (Ir.Tree.Sjump lend);
+      emit env (Ir.Tree.Slabel lelse);
+      lower_block env else_;
+      emit env (Ir.Tree.Slabel lend)
+    end
+  | Ast.Swhile (c, body) ->
+    let ltop = fresh_label env and lend = fresh_label env in
+    emit env (Ir.Tree.Slabel ltop);
+    lower_cond env c ~target:lend ~jump_if:false;
+    env.loops <- (lend, ltop) :: env.loops;
+    lower_block env body;
+    env.loops <- List.tl env.loops;
+    emit env (Ir.Tree.Sjump ltop);
+    emit env (Ir.Tree.Slabel lend)
+  | Ast.Sdo (body, c) ->
+    let ltop = fresh_label env
+    and lcont = fresh_label env
+    and lend = fresh_label env in
+    emit env (Ir.Tree.Slabel ltop);
+    env.loops <- (lend, lcont) :: env.loops;
+    lower_block env body;
+    env.loops <- List.tl env.loops;
+    emit env (Ir.Tree.Slabel lcont);
+    lower_cond env c ~target:ltop ~jump_if:true;
+    emit env (Ir.Tree.Slabel lend)
+  | Ast.Sfor (init, cond, step, body) ->
+    push_scope env;
+    (match init with Some s -> lower_stmt env s | None -> ());
+    let ltop = fresh_label env
+    and lcont = fresh_label env
+    and lend = fresh_label env in
+    emit env (Ir.Tree.Slabel ltop);
+    (match cond with
+    | Some c -> lower_cond env c ~target:lend ~jump_if:false
+    | None -> ());
+    env.loops <- (lend, lcont) :: env.loops;
+    lower_block env body;
+    env.loops <- List.tl env.loops;
+    emit env (Ir.Tree.Slabel lcont);
+    (match step with Some s -> lower_stmt env s | None -> ());
+    emit env (Ir.Tree.Sjump ltop);
+    emit env (Ir.Tree.Slabel lend);
+    pop_scope env
+  | Ast.Sreturn None ->
+    if env.ret_ty <> Ast.Tvoid then err pos "return without a value";
+    emit env (Ir.Tree.Sret (Ir.Op.V, None))
+  | Ast.Sreturn (Some e) ->
+    if env.ret_ty = Ast.Tvoid then err pos "void function returns a value";
+    let rty, rv = lower_rvalue env e in
+    check_assignable pos env.ret_ty rty;
+    emit env
+      (Ir.Tree.Sret (comp_ty env.ret_ty, Some (coerce pos env.ret_ty rty rv)))
+  | Ast.Sbreak -> (
+    match env.loops with
+    | (lend, _) :: _ -> emit env (Ir.Tree.Sjump lend)
+    | [] -> err pos "break outside a loop")
+  | Ast.Scontinue -> (
+    match env.loops with
+    | (_, lcont) :: _ -> emit env (Ir.Tree.Sjump lcont)
+    | [] -> err pos "continue outside a loop")
+  | Ast.Sblock body -> lower_block env body
+
+and lower_block env body =
+  push_scope env;
+  List.iter (lower_stmt env) body;
+  pop_scope env
+
+(* ---- program ---- *)
+
+let const_of_init pos e =
+  match const_eval e with
+  | Some v -> v
+  | None -> err pos "initializer must be a constant expression"
+
+let bytes_of_value ty v =
+  match Ast.ty_size ty with
+  | 1 -> [ v land 0xff ]
+  | 2 -> [ v land 0xff; (v asr 8) land 0xff ]
+  | _ -> [ v land 0xff; (v asr 8) land 0xff; (v asr 16) land 0xff; (v asr 24) land 0xff ]
+
+let lower_program (prog : Ast.program) : Ir.Tree.program =
+  let f =
+    {
+      globals = Hashtbl.create 64;
+      functions = Hashtbl.create 64;
+      strings = [];
+      next_string = 0;
+    }
+  in
+  let nowhere = { Ast.line = 0; col = 0 } in
+  (* runtime-provided builtins (see Vm.Isa.builtins) *)
+  Hashtbl.add f.functions "putchar" (Ast.Tint, [ Ast.Tint ]);
+  Hashtbl.add f.functions "getchar" (Ast.Tint, []);
+  Hashtbl.add f.functions "print_int" (Ast.Tvoid, [ Ast.Tint ]);
+  Hashtbl.add f.functions "abort" (Ast.Tvoid, []);
+  (* pass 1: collect signatures *)
+  List.iter
+    (fun d ->
+      match d with
+      | Ast.Dglobal (ty, name, _) ->
+        if Hashtbl.mem f.globals name then err nowhere "duplicate global %s" name;
+        Hashtbl.add f.globals name ty
+      | Ast.Dfunc (ret, name, params, _) ->
+        if Hashtbl.mem f.functions name then
+          err nowhere "duplicate function %s" name;
+        Hashtbl.add f.functions name (ret, List.map fst params))
+    prog;
+  (* pass 2: lower *)
+  let ir_globals = ref [] in
+  let ir_funcs = ref [] in
+  List.iter
+    (fun d ->
+      match d with
+      | Ast.Dglobal (ty, name, init) ->
+        let gsize = max 1 (Ast.ty_size ty) in
+        let ginit =
+          match init with
+          | None -> None
+          | Some (Ast.Iscalar e) ->
+            Some (bytes_of_value ty (const_of_init nowhere e))
+          | Some (Ast.Iarray items) -> (
+            match ty with
+            | Ast.Tarray (elt, n) ->
+              if List.length items > n then err nowhere "too many initializers for %s" name;
+              let vals =
+                List.concat_map
+                  (fun e -> bytes_of_value elt (const_of_init nowhere e))
+                  items
+              in
+              let pad = (Ast.ty_size elt * n) - List.length vals in
+              Some (vals @ List.init (max 0 pad) (fun _ -> 0))
+            | _ -> err nowhere "brace initializer on non-array %s" name)
+          | Some (Ast.Istring s) ->
+            Some (List.init (String.length s) (fun i -> Char.code s.[i]) @ [ 0 ])
+        in
+        ir_globals := { Ir.Tree.gname = name; gsize; ginit } :: !ir_globals
+      | Ast.Dfunc (ret, name, params, body) ->
+        let env =
+          {
+            f;
+            scopes = [];
+            frame_top = 0;
+            max_frame = 0;
+            next_label = 0;
+            out = [];
+            loops = [];
+            ret_ty = ret;
+          }
+        in
+        push_scope env;
+        (* formals at offsets 0,4,8,... each in a 4-byte slot *)
+        List.iteri
+          (fun i (pty, pname) ->
+            match env.scopes with
+            | s :: _ ->
+              if Hashtbl.mem s pname then err nowhere "duplicate parameter %s" pname;
+              Hashtbl.add s pname { vkind = Formal (4 * i); vty = pty }
+            | [] -> assert false)
+          params;
+        lower_block env body;
+        (* implicit return *)
+        (match env.out with
+        | Ir.Tree.Sret _ :: _ -> ()
+        | _ ->
+          if ret = Ast.Tvoid then emit env (Ir.Tree.Sret (Ir.Op.V, None))
+          else emit env (Ir.Tree.Sret (Ir.Op.I, Some (Ir.Tree.cnst 0))));
+        pop_scope env;
+        let func =
+          {
+            Ir.Tree.fname = name;
+            formals = List.map (fun (pty, pname) -> (pname, ir_ty nowhere (decay pty))) params;
+            frame_size = (env.max_frame + 3) / 4 * 4;
+            body = List.rev env.out;
+          }
+        in
+        ir_funcs := func :: !ir_funcs)
+    prog;
+  (* string literals become globals *)
+  let str_globals =
+    List.rev_map
+      (fun (lbl, s) ->
+        {
+          Ir.Tree.gname = lbl;
+          gsize = String.length s + 1;
+          ginit = Some (List.init (String.length s) (fun i -> Char.code s.[i]) @ [ 0 ]);
+        })
+      f.strings
+  in
+  { Ir.Tree.globals = List.rev !ir_globals @ str_globals; funcs = List.rev !ir_funcs }
+
+let compile src =
+  let prog = lower_program (Parser.parse src) in
+  Ir.Validate.check_exn prog;
+  prog

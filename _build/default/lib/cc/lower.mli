@@ -1,0 +1,25 @@
+(** Lowering from the MiniC AST to the lcc-style tree IR, with type
+    checking folded in (as in lcc itself).
+
+    Conventions targeted by this lowering, relied on by the VM code
+    generator and both compressors:
+    - all arithmetic is performed on 32-bit [I] values; [char]/[short]
+      loads widen through [Cvt], stores narrow through [Cvt];
+    - array-typed names decay to their address;
+    - pointer arithmetic scales by the element size at lowering time;
+    - value-returning calls are spilled to fresh frame temporaries
+      immediately after their ARG statements, so a [CALL] tree only ever
+      appears as the direct child of an assignment or call-for-effect
+      root — exactly the forest shape lcc emits;
+    - short-circuit operators and comparisons-as-values lower to branches
+      and a temporary;
+    - string literals become NUL-terminated byte globals named [.LCn]. *)
+
+exception Compile_error of string * Ast.pos
+
+val lower_program : Ast.program -> Ir.Tree.program
+(** @raise Compile_error on type errors, unknown identifiers, bad
+    initializers, arity mismatches, or non-lvalue assignment targets. *)
+
+val compile : string -> Ir.Tree.program
+(** [parse] + [lower_program] + IR validation, the whole frontend. *)

@@ -1,0 +1,456 @@
+exception Parse_error of string * Ast.pos
+
+type state = { mutable toks : Lexer.lexeme list }
+
+let peek st =
+  match st.toks with
+  | [] -> { Lexer.tok = Lexer.EOF; pos = { Ast.line = 0; col = 0 } }
+  | l :: _ -> l
+
+let pos st = (peek st).Lexer.pos
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let error st msg = raise (Parse_error (msg, pos st))
+
+let expect_punct st p =
+  match (peek st).Lexer.tok with
+  | Lexer.PUNCT q when q = p -> advance st
+  | t ->
+    error st
+      (Printf.sprintf "expected '%s', found '%s'" p (Lexer.token_to_string t))
+
+let accept_punct st p =
+  match (peek st).Lexer.tok with
+  | Lexer.PUNCT q when q = p ->
+    advance st;
+    true
+  | _ -> false
+
+let accept_kw st k =
+  match (peek st).Lexer.tok with
+  | Lexer.KW q when q = k ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_ident st =
+  match (peek st).Lexer.tok with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | t -> error st (Printf.sprintf "expected identifier, found '%s'" (Lexer.token_to_string t))
+
+let mk p d = { Ast.edesc = d; epos = p }
+
+(* ---- types ---- *)
+
+let base_type st =
+  match (peek st).Lexer.tok with
+  | Lexer.KW "int" ->
+    advance st;
+    Some Ast.Tint
+  | Lexer.KW "char" ->
+    advance st;
+    Some Ast.Tchar
+  | Lexer.KW "short" ->
+    advance st;
+    Some Ast.Tshort
+  | Lexer.KW "void" ->
+    advance st;
+    Some Ast.Tvoid
+  | _ -> None
+
+let rec with_stars st ty =
+  if accept_punct st "*" then with_stars st (Ast.Tptr ty) else ty
+
+(* ---- expressions, precedence climbing ---- *)
+
+let binop_of_punct = function
+  | "*" -> Some (Ast.Bmul, 10)
+  | "/" -> Some (Ast.Bdiv, 10)
+  | "%" -> Some (Ast.Bmod, 10)
+  | "+" -> Some (Ast.Badd, 9)
+  | "-" -> Some (Ast.Bsub, 9)
+  | "<<" -> Some (Ast.Bshl, 8)
+  | ">>" -> Some (Ast.Bshr, 8)
+  | "<" -> Some (Ast.Blt, 7)
+  | "<=" -> Some (Ast.Ble, 7)
+  | ">" -> Some (Ast.Bgt, 7)
+  | ">=" -> Some (Ast.Bge, 7)
+  | "==" -> Some (Ast.Beq, 6)
+  | "!=" -> Some (Ast.Bne, 6)
+  | "&" -> Some (Ast.Bband, 5)
+  | "^" -> Some (Ast.Bbxor, 4)
+  | "|" -> Some (Ast.Bbor, 3)
+  | "&&" -> Some (Ast.Bland, 2)
+  | "||" -> Some (Ast.Blor, 1)
+  | _ -> None
+
+let compound_ops =
+  [ ("+=", Ast.Badd); ("-=", Ast.Bsub); ("*=", Ast.Bmul); ("/=", Ast.Bdiv);
+    ("%=", Ast.Bmod); ("&=", Ast.Bband); ("|=", Ast.Bbor); ("^=", Ast.Bbxor);
+    ("<<=", Ast.Bshl); (">>=", Ast.Bshr) ]
+
+let rec parse_expression st = parse_assignment st
+
+and parse_assignment st =
+  let lhs = parse_conditional st in
+  let p = pos st in
+  match (peek st).Lexer.tok with
+  | Lexer.PUNCT "=" ->
+    advance st;
+    let rhs = parse_assignment st in
+    mk p (Ast.Eassign (lhs, rhs))
+  | Lexer.PUNCT q when List.mem_assoc q compound_ops ->
+    advance st;
+    let rhs = parse_assignment st in
+    let op = List.assoc q compound_ops in
+    mk p (Ast.Eassign (lhs, mk p (Ast.Ebinop (op, lhs, rhs))))
+  | _ -> lhs
+
+and parse_conditional st =
+  let c = parse_binary st 1 in
+  if accept_punct st "?" then begin
+    let p = pos st in
+    let a = parse_expression st in
+    expect_punct st ":";
+    let b = parse_conditional st in
+    mk p (Ast.Econd (c, a, b))
+  end
+  else c
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match (peek st).Lexer.tok with
+    | Lexer.PUNCT q -> (
+      match binop_of_punct q with
+      | Some (op, prec) when prec >= min_prec ->
+        let p = pos st in
+        advance st;
+        let rhs = parse_binary st (prec + 1) in
+        lhs := mk p (Ast.Ebinop (op, !lhs, rhs))
+      | _ -> continue := false)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  let p = pos st in
+  match (peek st).Lexer.tok with
+  | Lexer.PUNCT "-" ->
+    advance st;
+    mk p (Ast.Eunop (Ast.Uneg, parse_unary st))
+  | Lexer.PUNCT "!" ->
+    advance st;
+    mk p (Ast.Eunop (Ast.Unot, parse_unary st))
+  | Lexer.PUNCT "~" ->
+    advance st;
+    mk p (Ast.Eunop (Ast.Ubnot, parse_unary st))
+  | Lexer.PUNCT "*" ->
+    advance st;
+    mk p (Ast.Ederef (parse_unary st))
+  | Lexer.PUNCT "&" ->
+    advance st;
+    mk p (Ast.Eaddr (parse_unary st))
+  | Lexer.PUNCT "++" ->
+    advance st;
+    let e = parse_unary st in
+    mk p (Ast.Eassign (e, mk p (Ast.Ebinop (Ast.Badd, e, mk p (Ast.Eint 1)))))
+  | Lexer.PUNCT "--" ->
+    advance st;
+    let e = parse_unary st in
+    mk p (Ast.Eassign (e, mk p (Ast.Ebinop (Ast.Bsub, e, mk p (Ast.Eint 1)))))
+  | Lexer.KW "sizeof" ->
+    advance st;
+    expect_punct st "(";
+    let ty =
+      match base_type st with
+      | Some b -> with_stars st b
+      | None -> error st "sizeof expects a type"
+    in
+    expect_punct st ")";
+    mk p (Ast.Esizeof ty)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let continue = ref true in
+  while !continue do
+    let p = pos st in
+    match (peek st).Lexer.tok with
+    | Lexer.PUNCT "[" ->
+      advance st;
+      let idx = parse_expression st in
+      expect_punct st "]";
+      e := mk p (Ast.Eindex (!e, idx))
+    | Lexer.PUNCT "++" ->
+      advance st;
+      (* (e = e + 1) - 1 : value is the pre-increment value *)
+      let inc =
+        mk p (Ast.Eassign (!e, mk p (Ast.Ebinop (Ast.Badd, !e, mk p (Ast.Eint 1)))))
+      in
+      e := mk p (Ast.Ebinop (Ast.Bsub, inc, mk p (Ast.Eint 1)))
+    | Lexer.PUNCT "--" ->
+      advance st;
+      let dec =
+        mk p (Ast.Eassign (!e, mk p (Ast.Ebinop (Ast.Bsub, !e, mk p (Ast.Eint 1)))))
+      in
+      e := mk p (Ast.Ebinop (Ast.Badd, dec, mk p (Ast.Eint 1)))
+    | _ -> continue := false
+  done;
+  !e
+
+and parse_primary st =
+  let p = pos st in
+  match (peek st).Lexer.tok with
+  | Lexer.INT_LIT n ->
+    advance st;
+    mk p (Ast.Eint n)
+  | Lexer.CHAR_LIT c ->
+    advance st;
+    mk p (Ast.Echar c)
+  | Lexer.STRING_LIT s ->
+    advance st;
+    mk p (Ast.Estring s)
+  | Lexer.IDENT name -> (
+    advance st;
+    if accept_punct st "(" then begin
+      let args = ref [] in
+      if not (accept_punct st ")") then begin
+        let rec go () =
+          args := parse_expression st :: !args;
+          if accept_punct st "," then go () else expect_punct st ")"
+        in
+        go ()
+      end;
+      mk p (Ast.Ecall (name, List.rev !args))
+    end
+    else mk p (Ast.Evar name))
+  | Lexer.PUNCT "(" ->
+    advance st;
+    let e = parse_expression st in
+    expect_punct st ")";
+    e
+  | t -> error st (Printf.sprintf "unexpected token '%s'" (Lexer.token_to_string t))
+
+(* ---- statements ---- *)
+
+let mk_stmt p d = { Ast.sdesc = d; spos = p }
+
+let rec parse_stmt st =
+  let p = pos st in
+  match (peek st).Lexer.tok with
+  | Lexer.PUNCT "{" ->
+    advance st;
+    let body = parse_block st in
+    mk_stmt p (Ast.Sblock body)
+  | Lexer.KW "if" ->
+    advance st;
+    expect_punct st "(";
+    let c = parse_expression st in
+    expect_punct st ")";
+    let then_ = parse_stmt_as_block st in
+    let else_ = if accept_kw st "else" then parse_stmt_as_block st else [] in
+    mk_stmt p (Ast.Sif (c, then_, else_))
+  | Lexer.KW "while" ->
+    advance st;
+    expect_punct st "(";
+    let c = parse_expression st in
+    expect_punct st ")";
+    let body = parse_stmt_as_block st in
+    mk_stmt p (Ast.Swhile (c, body))
+  | Lexer.KW "do" ->
+    advance st;
+    let body = parse_stmt_as_block st in
+    if not (accept_kw st "while") then error st "expected 'while' after do-body";
+    expect_punct st "(";
+    let c = parse_expression st in
+    expect_punct st ")";
+    expect_punct st ";";
+    mk_stmt p (Ast.Sdo (body, c))
+  | Lexer.KW "for" ->
+    advance st;
+    expect_punct st "(";
+    let init =
+      if accept_punct st ";" then None
+      else begin
+        let s = parse_simple_stmt st in
+        expect_punct st ";";
+        Some s
+      end
+    in
+    let cond =
+      if accept_punct st ";" then None
+      else begin
+        let e = parse_expression st in
+        expect_punct st ";";
+        Some e
+      end
+    in
+    let step =
+      if (peek st).Lexer.tok = Lexer.PUNCT ")" then None
+      else Some (mk_stmt (pos st) (Ast.Sexpr (parse_expression st)))
+    in
+    expect_punct st ")";
+    let body = parse_stmt_as_block st in
+    mk_stmt p (Ast.Sfor (init, cond, step, body))
+  | Lexer.KW "return" ->
+    advance st;
+    if accept_punct st ";" then mk_stmt p (Ast.Sreturn None)
+    else begin
+      let e = parse_expression st in
+      expect_punct st ";";
+      mk_stmt p (Ast.Sreturn (Some e))
+    end
+  | Lexer.KW "break" ->
+    advance st;
+    expect_punct st ";";
+    mk_stmt p Ast.Sbreak
+  | Lexer.KW "continue" ->
+    advance st;
+    expect_punct st ";";
+    mk_stmt p Ast.Scontinue
+  | _ ->
+    let s = parse_simple_stmt st in
+    expect_punct st ";";
+    s
+
+and parse_simple_stmt st =
+  let p = pos st in
+  match base_type st with
+  | Some b ->
+    let ty = with_stars st b in
+    let name = expect_ident st in
+    let ty =
+      if accept_punct st "[" then begin
+        let n =
+          match (peek st).Lexer.tok with
+          | Lexer.INT_LIT n ->
+            advance st;
+            n
+          | _ -> error st "array size must be an integer literal"
+        in
+        expect_punct st "]";
+        Ast.Tarray (ty, n)
+      end
+      else ty
+    in
+    let init = if accept_punct st "=" then Some (parse_expression st) else None in
+    mk_stmt p (Ast.Sdecl (ty, name, init))
+  | None -> mk_stmt p (Ast.Sexpr (parse_expression st))
+
+and parse_stmt_as_block st =
+  if (peek st).Lexer.tok = Lexer.PUNCT "{" then begin
+    advance st;
+    parse_block st
+  end
+  else [ parse_stmt st ]
+
+and parse_block st =
+  let out = ref [] in
+  let rec go () =
+    if accept_punct st "}" then ()
+    else begin
+      out := parse_stmt st :: !out;
+      go ()
+    end
+  in
+  go ();
+  List.rev !out
+
+(* ---- declarations ---- *)
+
+let parse_decl st =
+  let b =
+    match base_type st with
+    | Some b -> b
+    | None -> error st "expected a declaration"
+  in
+  let ty = with_stars st b in
+  let name = expect_ident st in
+  if accept_punct st "(" then begin
+    (* function *)
+    let params = ref [] in
+    if not (accept_punct st ")") then begin
+      if accept_kw st "void" then expect_punct st ")"
+      else begin
+        let rec go () =
+          let pb =
+            match base_type st with
+            | Some pb -> pb
+            | None -> error st "expected parameter type"
+          in
+          let pty = with_stars st pb in
+          let pname = expect_ident st in
+          params := (pty, pname) :: !params;
+          if accept_punct st "," then go () else expect_punct st ")"
+        in
+        go ()
+      end
+    end;
+    expect_punct st "{";
+    let body = parse_block st in
+    Ast.Dfunc (ty, name, List.rev !params, body)
+  end
+  else begin
+    (* global *)
+    let ty =
+      if accept_punct st "[" then begin
+        let n =
+          match (peek st).Lexer.tok with
+          | Lexer.INT_LIT n ->
+            advance st;
+            n
+          | _ -> error st "array size must be an integer literal"
+        in
+        expect_punct st "]";
+        Ast.Tarray (ty, n)
+      end
+      else ty
+    in
+    let init =
+      if accept_punct st "=" then
+        if accept_punct st "{" then begin
+          let items = ref [] in
+          let rec go () =
+            items := parse_expression st :: !items;
+            if accept_punct st "," then go () else expect_punct st "}"
+          in
+          go ();
+          Some (Ast.Iarray (List.rev !items))
+        end
+        else
+          match (peek st).Lexer.tok with
+          | Lexer.STRING_LIT s ->
+            advance st;
+            Some (Ast.Istring s)
+          | _ -> Some (Ast.Iscalar (parse_expression st))
+      else None
+    in
+    expect_punct st ";";
+    Ast.Dglobal (ty, name, init)
+  end
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  let out = ref [] in
+  let rec go () =
+    match (peek st).Lexer.tok with
+    | Lexer.EOF -> ()
+    | _ ->
+      out := parse_decl st :: !out;
+      go ()
+  in
+  go ();
+  List.rev !out
+
+let parse_expr src =
+  let st = { toks = Lexer.tokenize src } in
+  let e = parse_expression st in
+  (match (peek st).Lexer.tok with
+  | Lexer.EOF -> ()
+  | t -> error st (Printf.sprintf "trailing input '%s'" (Lexer.token_to_string t)));
+  e

@@ -1,0 +1,15 @@
+(** Recursive-descent parser for MiniC with C operator precedence.
+
+    Compound assignments ([+=] etc.) and [++]/[--] are desugared during
+    parsing: [a += b] becomes [a = a + b], prefix [++a] becomes
+    [a = a + 1], and postfix [a++] used for value becomes
+    [(a = a + 1) - 1], which yields the pre-increment value. The desugared
+    forms are what the paper's IR examples show (lcc does the same). *)
+
+exception Parse_error of string * Ast.pos
+
+val parse : string -> Ast.program
+(** @raise Parse_error / [Lexer.Lex_error] on malformed input. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (for tests). *)

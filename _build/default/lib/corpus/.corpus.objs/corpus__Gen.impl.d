@@ -1,0 +1,1 @@
+lib/corpus/gen.ml: Array Buffer List Printf Programs String Support

@@ -1,0 +1,204 @@
+type profile = { functions : int; seed : int64; bias16 : bool }
+
+let small = { functions = 8; seed = 0x5EEDL; bias16 = false }
+let medium = { functions = 120; seed = 0x1CCL; bias16 = false }
+let large = { functions = 600; seed = 0x9CCL; bias16 = false }
+let bigapp16 = { functions = 300; seed = 0x16B17L; bias16 = true }
+
+(* Generated program shape: a handful of global arrays and scalars, then
+   [functions] two-argument functions whose bodies mix assignments,
+   branches, loops and calls to earlier functions, then a driver. *)
+
+type gctx = {
+  rng : Support.Prng.t;
+  buf : Buffer.t;
+  bias16 : bool;
+  mutable locals : string list;    (* assignable locals in scope *)
+  mutable readables : string list; (* locals + live loop iterators *)
+  mutable loop_depth : int;
+  fidx : int;                      (* current function index *)
+}
+
+let addf ctx fmt = Printf.ksprintf (Buffer.add_string ctx.buf) fmt
+
+let indent depth = String.make (2 * (depth + 1)) ' '
+
+(* constant pools: realistic skew toward small values; bias16 pushes a
+   large share into the 8..16-bit range *)
+let constant ctx =
+  let r = Support.Prng.int ctx.rng 100 in
+  if ctx.bias16 && r < 55 then 256 + Support.Prng.int ctx.rng 32000
+  else if r < 40 then Support.Prng.int ctx.rng 8
+  else if r < 70 then Support.Prng.int ctx.rng 128
+  else if r < 90 then Support.Prng.int ctx.rng 32768
+  else Support.Prng.int ctx.rng 1000000
+
+let leaf ctx =
+  match Support.Prng.int ctx.rng 10 with
+  | 0 | 1 | 2 ->
+    (* local or parameter *)
+    (match ctx.readables with
+    | [] -> string_of_int (constant ctx)
+    | ls -> List.nth ls (Support.Prng.int ctx.rng (List.length ls)))
+  | 3 | 4 ->
+    (match ctx.readables with
+    | [] -> "gv0"
+    | ls -> List.nth ls (Support.Prng.int ctx.rng (List.length ls)))
+  | 5 -> Printf.sprintf "gv%d" (Support.Prng.int ctx.rng 4)
+  | 6 ->
+    (* array read with safe mask *)
+    let arr = [| "ga"; "gb" |].(Support.Prng.int ctx.rng 2) in
+    (match ctx.readables with
+    | [] -> Printf.sprintf "%s[%d]" arr (Support.Prng.int ctx.rng 64)
+    | ls ->
+      Printf.sprintf "%s[%s & 63]" arr
+        (List.nth ls (Support.Prng.int ctx.rng (List.length ls))))
+  | 7 when ctx.bias16 ->
+    Printf.sprintf "gs[%d]" (Support.Prng.int ctx.rng 64)
+  | _ -> string_of_int (constant ctx)
+
+let rec expr ctx depth =
+  if depth <= 0 || Support.Prng.int ctx.rng 100 < 30 then leaf ctx
+  else begin
+    match Support.Prng.int ctx.rng 12 with
+    | 0 | 1 | 2 -> Printf.sprintf "(%s + %s)" (expr ctx (depth - 1)) (expr ctx (depth - 1))
+    | 3 | 4 -> Printf.sprintf "(%s - %s)" (expr ctx (depth - 1)) (expr ctx (depth - 1))
+    | 5 -> Printf.sprintf "(%s * %s)" (expr ctx (depth - 1)) (leaf ctx)
+    | 6 -> Printf.sprintf "(%s / %d)" (expr ctx (depth - 1)) (1 + Support.Prng.int ctx.rng 9)
+    | 7 -> Printf.sprintf "(%s %% %d)" (expr ctx (depth - 1)) (2 + Support.Prng.int ctx.rng 14)
+    | 8 -> Printf.sprintf "(%s & %s)" (expr ctx (depth - 1)) (leaf ctx)
+    | 9 -> Printf.sprintf "(%s | %s)" (expr ctx (depth - 1)) (leaf ctx)
+    | 10 -> Printf.sprintf "(%s ^ %s)" (expr ctx (depth - 1)) (leaf ctx)
+    | _ ->
+      let sh = Support.Prng.int ctx.rng 12 in
+      let op = if Support.Prng.bool ctx.rng then "<<" else ">>" in
+      Printf.sprintf "(%s %s %d)" (expr ctx (depth - 1)) op sh
+  end
+
+let cmp ctx depth =
+  let op = [| "<"; "<="; ">"; ">="; "=="; "!=" |].(Support.Prng.int ctx.rng 6) in
+  Printf.sprintf "%s %s %s" (expr ctx depth) op (expr ctx depth)
+
+let rec stmt ctx depth =
+  let pad = indent depth in
+  match Support.Prng.int ctx.rng 20 with
+  | 0 | 1 | 2 | 3 | 4 | 5 -> (
+    (* assignment to a local *)
+    match ctx.locals with
+    | [] -> addf ctx "%sgv0 = %s;\n" pad (expr ctx 2)
+    | ls ->
+      let l = List.nth ls (Support.Prng.int ctx.rng (List.length ls)) in
+      addf ctx "%s%s = %s;\n" pad l (expr ctx 2))
+  | 6 | 7 ->
+    (* array store *)
+    let arr = [| "ga"; "gb" |].(Support.Prng.int ctx.rng 2) in
+    let idx =
+      match ctx.readables with
+      | [] -> string_of_int (Support.Prng.int ctx.rng 64)
+      | ls ->
+        Printf.sprintf "%s & 63"
+          (List.nth ls (Support.Prng.int ctx.rng (List.length ls)))
+    in
+    addf ctx "%s%s[%s] = %s;\n" pad arr idx (expr ctx 2)
+  | 8 when ctx.bias16 ->
+    addf ctx "%sgs[%d] = %s;\n" pad (Support.Prng.int ctx.rng 64) (expr ctx 1)
+  | 8 | 9 ->
+    (* global scalar update *)
+    addf ctx "%sgv%d = gv%d + %s;\n" pad
+      (Support.Prng.int ctx.rng 4)
+      (Support.Prng.int ctx.rng 4)
+      (expr ctx 1)
+  | 10 | 11 | 12 ->
+    (* if / if-else *)
+    addf ctx "%sif (%s) {\n" pad (cmp ctx 1);
+    block ctx (depth + 1) (1 + Support.Prng.int ctx.rng 2);
+    if Support.Prng.bool ctx.rng then begin
+      addf ctx "%s} else {\n" pad;
+      block ctx (depth + 1) (1 + Support.Prng.int ctx.rng 2)
+    end;
+    addf ctx "%s}\n" pad
+  | 13 | 14 when ctx.loop_depth < 2 ->
+    (* bounded for loop over a fresh iterator *)
+    let iv = Printf.sprintf "i%d_%d" depth (Support.Prng.int ctx.rng 1000) in
+    let bound = 2 + Support.Prng.int ctx.rng 14 in
+    addf ctx "%sfor (int %s = 0; %s < %d; %s++) {\n" pad iv iv bound iv;
+    ctx.readables <- iv :: ctx.readables;
+    ctx.loop_depth <- ctx.loop_depth + 1;
+    block ctx (depth + 1) (1 + Support.Prng.int ctx.rng 3);
+    ctx.loop_depth <- ctx.loop_depth - 1;
+    ctx.readables <- List.filter (fun l -> l <> iv) ctx.readables;
+    addf ctx "%s}\n" pad
+  | 15 when ctx.fidx >= 25 && ctx.loop_depth = 0 -> (
+    (* Call into the leaf pool (the first 25 functions, which never call
+       anything themselves) — keeps total work bounded while giving the
+       corpus realistic call-site density. *)
+    let target = Support.Prng.int ctx.rng 25 in
+    match ctx.locals with
+    | [] -> addf ctx "%sgv1 = f%d(%s, %s);\n" pad target (leaf ctx) (leaf ctx)
+    | ls ->
+      let l = List.nth ls (Support.Prng.int ctx.rng (List.length ls)) in
+      addf ctx "%s%s = f%d(%s, %s);\n" pad l target (leaf ctx) (leaf ctx))
+  | _ -> (
+    (* compound update *)
+    match ctx.locals with
+    | [] -> addf ctx "%sgv2 = gv2 ^ %s;\n" pad (expr ctx 1)
+    | ls ->
+      let l = List.nth ls (Support.Prng.int ctx.rng (List.length ls)) in
+      let op = [| "+="; "-="; "^="; "|="; "&=" |].(Support.Prng.int ctx.rng 5) in
+      addf ctx "%s%s %s %s;\n" pad l op (expr ctx 2))
+
+and block ctx depth n =
+  for _ = 1 to n do
+    stmt ctx depth
+  done
+
+let gen_function rng buf bias16 i =
+  let ctx =
+    { rng; buf; bias16; locals = [ "a"; "b" ]; readables = [ "a"; "b" ];
+      loop_depth = 0; fidx = i }
+  in
+  (* short-typed locals under bias16 model 16-bit-heavy code *)
+  let lty = if bias16 && Support.Prng.int rng 100 < 50 then "short" else "int" in
+  addf ctx "int f%d(int a, int b) {\n" i;
+  let nlocals = 1 + Support.Prng.int rng 3 in
+  for k = 0 to nlocals - 1 do
+    let name = Printf.sprintf "v%d" k in
+    addf ctx "  %s %s = %s;\n" lty name (expr ctx 1);
+    ctx.locals <- name :: ctx.locals;
+    ctx.readables <- name :: ctx.readables
+  done;
+  let nstmts = 4 + Support.Prng.int rng 12 in
+  block ctx 0 nstmts;
+  addf ctx "  return %s;\n}\n\n" (expr ctx 1)
+
+let generate (p : profile) : Programs.entry =
+  let rng = Support.Prng.create p.seed in
+  let buf = Buffer.create (p.functions * 512) in
+  Buffer.add_string buf "int ga[64];\nint gb[64];\nshort gs[64];\n";
+  Buffer.add_string buf "int gv0; int gv1; int gv2; int gv3;\n\n";
+  for i = 0 to p.functions - 1 do
+    gen_function rng buf p.bias16 i
+  done;
+  (* driver: call a deterministic sample and print a checksum *)
+  Buffer.add_string buf "int main() {\n  int sum = 0;\n  int i;\n";
+  Buffer.add_string buf "  for (i = 0; i < 64; i++) { ga[i] = i * 3 + 1; gb[i] = 64 - i; }\n";
+  let sample = min p.functions 40 in
+  for k = 0 to sample - 1 do
+    let fi = k * (p.functions / max 1 sample) in
+    Buffer.add_string buf
+      (Printf.sprintf "  sum = (sum ^ f%d(%d, %d)) & 0xFFFFFF;\n" fi (k + 1)
+         ((k * 7) + 2))
+  done;
+  Buffer.add_string buf "  print_int(sum);\n  putchar('\\n');\n  return sum & 127;\n}\n";
+  let name =
+    Printf.sprintf "gen%s_%d" (if p.bias16 then "16" else "") p.functions
+  in
+  {
+    Programs.name;
+    description =
+      Printf.sprintf "generated program, %d functions%s (seed %Ld)" p.functions
+        (if p.bias16 then ", 16-bit biased" else "")
+        p.seed;
+    source = Buffer.contents buf;
+    input = "";
+  }

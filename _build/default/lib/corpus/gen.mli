@@ -1,0 +1,34 @@
+(** Deterministic generator of large, realistic MiniC programs.
+
+    The paper's big inputs (lcc at ~315 KB and gcc at ~1.4 MB of SPARC
+    code) are unavailable, so large corpus points are synthesized: many
+    functions with lcc-like statement mixes (local arithmetic, array and
+    pointer traffic, branches, loops, calls to earlier functions), plus a
+    driver [main] that calls a sample of them and prints a checksum.
+    Generation is seeded and reproducible; the same seed always produces
+    the same source text.
+
+    [bias16] skews literals and scalar types toward 16-bit quantities,
+    modelling the paper's observation that Word97's unusually many 16-bit
+    operations compress worse. *)
+
+type profile = {
+  functions : int;       (** number of generated functions *)
+  seed : int64;
+  bias16 : bool;
+}
+
+val small : profile
+
+val medium : profile
+(** lcc-scale stand-in. *)
+
+val large : profile
+(** gcc-scale stand-in. *)
+
+val bigapp16 : profile
+(** Word97-like 16-bit-heavy variant. *)
+
+val generate : profile -> Programs.entry
+(** The generated program always runs to completion (bounded loops, safe
+    indices, non-zero divisors) and returns a deterministic checksum. *)

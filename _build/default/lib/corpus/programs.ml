@@ -1,0 +1,753 @@
+type entry = {
+  name : string;
+  description : string;
+  source : string;
+  input : string;
+}
+
+let wc =
+  {
+    name = "wc";
+    description = "word, line and character count over stdin";
+    input = "the quick brown fox\njumps over the lazy dog\nand then some more\n";
+    source =
+      {|
+int is_space(int c) {
+  return c == ' ' || c == '\n' || c == '\t' || c == '\r';
+}
+
+int main() {
+  int chars = 0;
+  int words = 0;
+  int lines = 0;
+  int in_word = 0;
+  int c;
+  while ((c = getchar()) != -1) {
+    chars++;
+    if (c == '\n') lines++;
+    if (is_space(c)) {
+      in_word = 0;
+    } else {
+      if (!in_word) words++;
+      in_word = 1;
+    }
+  }
+  print_int(lines); putchar(' ');
+  print_int(words); putchar(' ');
+  print_int(chars); putchar('\n');
+  return 0;
+}
+|};
+  }
+
+let sieve =
+  {
+    name = "sieve";
+    description = "sieve of Eratosthenes up to 1000";
+    input = "";
+    source =
+      {|
+char flags[1001];
+
+int main() {
+  int i;
+  int j;
+  int count = 0;
+  for (i = 2; i <= 1000; i++) flags[i] = 1;
+  for (i = 2; i <= 1000; i++) {
+    if (flags[i]) {
+      count++;
+      for (j = i + i; j <= 1000; j += i) flags[j] = 0;
+    }
+  }
+  print_int(count);
+  putchar('\n');
+  return count;
+}
+|};
+  }
+
+let qsort =
+  {
+    name = "qsort";
+    description = "recursive quicksort over a pseudo-random array";
+    input = "";
+    source =
+      {|
+int data[500];
+
+void swap(int *a, int *b) {
+  int t = *a;
+  *a = *b;
+  *b = t;
+}
+
+int partition(int *arr, int lo, int hi) {
+  int pivot = arr[hi];
+  int i = lo - 1;
+  int j;
+  for (j = lo; j < hi; j++) {
+    if (arr[j] <= pivot) {
+      i++;
+      swap(&arr[i], &arr[j]);
+    }
+  }
+  swap(&arr[i + 1], &arr[hi]);
+  return i + 1;
+}
+
+void quicksort(int *arr, int lo, int hi) {
+  if (lo < hi) {
+    int p = partition(arr, lo, hi);
+    quicksort(arr, lo, p - 1);
+    quicksort(arr, p + 1, hi);
+  }
+}
+
+int main() {
+  int i;
+  int seed = 12345;
+  for (i = 0; i < 500; i++) {
+    seed = (seed * 1103515245 + 12345) % 2147483647;
+    if (seed < 0) seed = -seed;
+    data[i] = seed % 10000;
+  }
+  quicksort(data, 0, 499);
+  for (i = 1; i < 500; i++) {
+    if (data[i - 1] > data[i]) { print_int(-1); return 1; }
+  }
+  print_int(data[0]); putchar(' ');
+  print_int(data[250]); putchar(' ');
+  print_int(data[499]); putchar('\n');
+  return 0;
+}
+|};
+  }
+
+let queens =
+  {
+    name = "queens";
+    description = "count solutions to the 8-queens problem";
+    input = "";
+    source =
+      {|
+int cols[8];
+int solutions = 0;
+
+int ok(int row, int col) {
+  int i;
+  for (i = 0; i < row; i++) {
+    int c = cols[i];
+    if (c == col) return 0;
+    if (c - col == row - i) return 0;
+    if (col - c == row - i) return 0;
+  }
+  return 1;
+}
+
+void solve(int row) {
+  int col;
+  if (row == 8) {
+    solutions++;
+    return;
+  }
+  for (col = 0; col < 8; col++) {
+    if (ok(row, col)) {
+      cols[row] = col;
+      solve(row + 1);
+    }
+  }
+}
+
+int main() {
+  solve(0);
+  print_int(solutions);
+  putchar('\n');
+  return solutions;
+}
+|};
+  }
+
+let matmul =
+  {
+    name = "matmul";
+    description = "16x16 integer matrix multiply with checksum";
+    input = "";
+    source =
+      {|
+int a[256];
+int b[256];
+int c[256];
+
+void fill(int *m, int salt) {
+  int i;
+  for (i = 0; i < 256; i++) m[i] = (i * salt + 7) % 31 - 15;
+}
+
+void multiply(int *x, int *y, int *z, int n) {
+  int i;
+  int j;
+  int k;
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      int sum = 0;
+      for (k = 0; k < n; k++) sum += x[i * n + k] * y[k * n + j];
+      z[i * n + j] = sum;
+    }
+  }
+}
+
+int main() {
+  int i;
+  int check = 0;
+  fill(a, 3);
+  fill(b, 5);
+  multiply(a, b, c, 16);
+  for (i = 0; i < 256; i++) check = (check * 31 + c[i]) % 65521;
+  if (check < 0) check += 65521;
+  print_int(check);
+  putchar('\n');
+  return 0;
+}
+|};
+  }
+
+let strlib =
+  {
+    name = "strlib";
+    description = "string routines: length, copy, compare, reverse, find";
+    input = "";
+    source =
+      {|
+char buf[128];
+char buf2[128];
+
+int str_len(char *s) {
+  int n = 0;
+  while (s[n]) n++;
+  return n;
+}
+
+void str_copy(char *dst, char *src) {
+  int i = 0;
+  while ((dst[i] = src[i]) != 0) i++;
+}
+
+int str_cmp(char *a, char *b) {
+  int i = 0;
+  while (a[i] && a[i] == b[i]) i++;
+  return a[i] - b[i];
+}
+
+void str_rev(char *s) {
+  int i = 0;
+  int j = str_len(s) - 1;
+  while (i < j) {
+    char t = s[i];
+    s[i] = s[j];
+    s[j] = t;
+    i++;
+    j--;
+  }
+}
+
+int str_find(char *hay, char *needle) {
+  int i;
+  int j;
+  int n = str_len(hay);
+  int m = str_len(needle);
+  for (i = 0; i + m <= n; i++) {
+    j = 0;
+    while (j < m && hay[i + j] == needle[j]) j++;
+    if (j == m) return i;
+  }
+  return -1;
+}
+
+void print(char *s) {
+  int i = 0;
+  while (s[i]) { putchar(s[i]); i++; }
+}
+
+int main() {
+  str_copy(buf, "the quick brown fox");
+  str_copy(buf2, buf);
+  if (str_cmp(buf, buf2) != 0) return 1;
+  str_rev(buf);
+  print(buf);
+  putchar('\n');
+  print_int(str_find(buf2, "brown"));
+  putchar('\n');
+  return str_len(buf);
+}
+|};
+  }
+
+let calc =
+  {
+    name = "calc";
+    description = "recursive-descent arithmetic expression evaluator";
+    input = "(1+2)*3-4/2; 10%3+2*(7-5); 100/(2+3)*4;";
+    source =
+      {|
+char expr[256];
+int pos = 0;
+int nexpr = 0;
+
+int peek_c() {
+  if (pos >= nexpr) return -1;
+  return expr[pos];
+}
+
+void skip_ws() {
+  while (peek_c() == ' ') pos++;
+}
+
+int parse_primary() {
+  int v = 0;
+  skip_ws();
+  if (peek_c() == '(') {
+    pos++;
+    v = parse_expr();
+    skip_ws();
+    if (peek_c() == ')') pos++;
+    return v;
+  }
+  if (peek_c() == '-') {
+    pos++;
+    return -parse_primary();
+  }
+  while (peek_c() >= '0' && peek_c() <= '9') {
+    v = v * 10 + (peek_c() - '0');
+    pos++;
+  }
+  return v;
+}
+
+int parse_term() {
+  int v = parse_primary();
+  while (1) {
+    skip_ws();
+    int c = peek_c();
+    if (c == '*') {
+      pos++;
+      v = v * parse_primary();
+    } else if (c == '/') {
+      pos++;
+      int d = parse_primary();
+      if (d != 0) v = v / d;
+    } else if (c == '%') {
+      pos++;
+      int d = parse_primary();
+      if (d != 0) v = v % d;
+    } else {
+      break;
+    }
+  }
+  return v;
+}
+
+int parse_expr() {
+  int v = parse_term();
+  while (1) {
+    skip_ws();
+    int c = peek_c();
+    if (c == '+') {
+      pos++;
+      v = v + parse_term();
+    } else if (c == '-') {
+      pos++;
+      v = v - parse_term();
+    } else {
+      break;
+    }
+  }
+  return v;
+}
+
+int main() {
+  int c;
+  int total = 0;
+  while ((c = getchar()) != -1) {
+    if (c == ';') {
+      int v;
+      pos = 0;
+      v = parse_expr();
+      print_int(v);
+      putchar('\n');
+      total += v;
+      nexpr = 0;
+    } else {
+      if (nexpr < 255) {
+        expr[nexpr] = c;
+        nexpr++;
+      }
+    }
+  }
+  return total;
+}
+|};
+  }
+
+let crc =
+  {
+    name = "crc";
+    description = "CRC-32-style rolling checksum over generated data";
+    input = "";
+    source =
+      {|
+int table[256];
+
+void build_table() {
+  int i;
+  int j;
+  for (i = 0; i < 256; i++) {
+    int c = i;
+    for (j = 0; j < 8; j++) {
+      if (c & 1) c = (c >> 1) ^ 0x6DB88320;
+      else c = c >> 1;
+    }
+    table[i] = c;
+  }
+}
+
+int main() {
+  int crc = -1;
+  int i;
+  build_table();
+  for (i = 0; i < 4096; i++) {
+    int b = (i * 131 + 17) & 255;
+    crc = (crc >> 8) ^ table[(crc ^ b) & 255];
+  }
+  print_int(crc);
+  putchar('\n');
+  return 0;
+}
+|};
+  }
+
+let rle =
+  {
+    name = "rle";
+    description = "run-length encode stdin and report compression";
+    input = "aaaabbbcccccccddddddddddeeefgggggggggggghhhh";
+    source =
+      {|
+char data[512];
+int n = 0;
+
+int main() {
+  int c;
+  int i = 0;
+  int out = 0;
+  while ((c = getchar()) != -1) {
+    if (n < 512) {
+      data[n] = c;
+      n++;
+    }
+  }
+  while (i < n) {
+    int run = 1;
+    while (i + run < n && data[i + run] == data[i] && run < 255) run++;
+    putchar(data[i]);
+    print_int(run);
+    out = out + 2;
+    i = i + run;
+  }
+  putchar('\n');
+  print_int(out); putchar('/'); print_int(n); putchar('\n');
+  return out;
+}
+|};
+  }
+
+let life =
+  {
+    name = "life";
+    description = "Conway's Game of Life, 16x16 torus, 12 generations";
+    input = "";
+    source =
+      {|
+char grid[256];
+char next[256];
+
+int at(int r, int c) {
+  return grid[((r + 16) % 16) * 16 + ((c + 16) % 16)];
+}
+
+void step() {
+  int r;
+  int c;
+  for (r = 0; r < 16; r++) {
+    for (c = 0; c < 16; c++) {
+      int live = at(r-1,c-1) + at(r-1,c) + at(r-1,c+1)
+               + at(r,c-1)              + at(r,c+1)
+               + at(r+1,c-1) + at(r+1,c) + at(r+1,c+1);
+      int self = at(r, c);
+      if (self && (live == 2 || live == 3)) next[r * 16 + c] = 1;
+      else if (!self && live == 3) next[r * 16 + c] = 1;
+      else next[r * 16 + c] = 0;
+    }
+  }
+  for (r = 0; r < 256; r++) grid[r] = next[r];
+}
+
+int main() {
+  int g;
+  int count = 0;
+  int i;
+  /* glider + blinker */
+  grid[1 * 16 + 2] = 1;
+  grid[2 * 16 + 3] = 1;
+  grid[3 * 16 + 1] = 1;
+  grid[3 * 16 + 2] = 1;
+  grid[3 * 16 + 3] = 1;
+  grid[8 * 16 + 8] = 1;
+  grid[8 * 16 + 9] = 1;
+  grid[8 * 16 + 10] = 1;
+  for (g = 0; g < 12; g++) step();
+  for (i = 0; i < 256; i++) count += grid[i];
+  print_int(count);
+  putchar('\n');
+  return count;
+}
+|};
+  }
+
+
+let hanoi =
+  {
+    name = "hanoi";
+    description = "towers of Hanoi, counting and checksumming moves";
+    input = "";
+    source =
+      {|
+int moves = 0;
+int check = 0;
+
+void move(int from, int to) {
+  moves++;
+  check = (check * 31 + from * 8 + to) % 1000003;
+}
+
+void solve(int n, int from, int to, int via) {
+  if (n == 0) return;
+  solve(n - 1, from, via, to);
+  move(from, to);
+  solve(n - 1, via, to, from);
+}
+
+int main() {
+  solve(12, 0, 2, 1);
+  print_int(moves);
+  putchar(' ');
+  print_int(check);
+  putchar('\n');
+  return moves & 0xFF;
+}
+|};
+  }
+
+let huffman =
+  {
+    name = "huffman";
+    description = "build a Huffman code over input byte frequencies";
+    input = "this is an example of a huffman tree being built from text";
+    source =
+      {|
+int freq[64];
+int left[128];
+int right[128];
+int weight[128];
+int parent[128];
+int nnodes = 0;
+
+int new_node(int w, int l, int r) {
+  weight[nnodes] = w;
+  left[nnodes] = l;
+  right[nnodes] = r;
+  parent[nnodes] = -1;
+  nnodes++;
+  return nnodes - 1;
+}
+
+int pick_lightest() {
+  int best = -1;
+  int i;
+  for (i = 0; i < nnodes; i++) {
+    if (parent[i] == -1 && weight[i] > 0) {
+      if (best == -1 || weight[i] < weight[best]) best = i;
+    }
+  }
+  return best;
+}
+
+int depth_of(int n) {
+  int d = 0;
+  while (parent[n] != -1) {
+    d++;
+    n = parent[n];
+  }
+  return d;
+}
+
+int main() {
+  int c;
+  int i;
+  while ((c = getchar()) != -1) {
+    freq[c & 63] = freq[c & 63] + 1;
+  }
+  /* leaves */
+  for (i = 0; i < 64; i++) {
+    if (freq[i] > 0) new_node(freq[i], -1, -1);
+  }
+  int nleaves = nnodes;
+  /* repeatedly join the two lightest live nodes */
+  while (1) {
+    int a = pick_lightest();
+    if (a == -1) break;
+    parent[a] = -2; /* temporarily claim */
+    int b = pick_lightest();
+    if (b == -1) { parent[a] = -1; break; }
+    parent[a] = -1;
+    int n = new_node(weight[a] + weight[b], a, b);
+    parent[a] = n;
+    parent[b] = n;
+  }
+  /* weighted path length = total encoded bits */
+  int bits = 0;
+  for (i = 0; i < nleaves; i++) bits += weight[i] * depth_of(i);
+  print_int(nleaves);
+  putchar(' ');
+  print_int(bits);
+  putchar('\n');
+  return bits & 0x7F;
+}
+|};
+  }
+
+let bf =
+  {
+    name = "bf";
+    description = "a Brainfuck interpreter running a small program";
+    input = "";
+    source =
+      {|
+char prog[256];
+char tape[512];
+int np = 0;
+
+void emitp(char c) {
+  prog[np] = c;
+  np++;
+}
+
+int main() {
+  int pc = 0;
+  int ptr = 0;
+  int steps = 0;
+  int i;
+  /* ++++++++[>++++++++<-]>+. prints 'A'; then a second cell count */
+  for (i = 0; i < 8; i++) emitp('+');
+  emitp('[');
+  emitp('>');
+  for (i = 0; i < 8; i++) emitp('+');
+  emitp('<');
+  emitp('-');
+  emitp(']');
+  emitp('>');
+  emitp('+');
+  emitp('.');
+  while (pc < np && steps < 100000) {
+    char op = prog[pc];
+    steps++;
+    if (op == '+') tape[ptr]++;
+    else if (op == '-') tape[ptr]--;
+    else if (op == '>') ptr = (ptr + 1) % 512;
+    else if (op == '<') ptr = (ptr + 511) % 512;
+    else if (op == '.') putchar(tape[ptr]);
+    else if (op == '[') {
+      if (tape[ptr] == 0) {
+        int depth = 1;
+        while (depth > 0) {
+          pc++;
+          if (prog[pc] == '[') depth++;
+          if (prog[pc] == ']') depth--;
+        }
+      }
+    } else if (op == ']') {
+      if (tape[ptr] != 0) {
+        int depth = 1;
+        while (depth > 0) {
+          pc--;
+          if (prog[pc] == ']') depth++;
+          if (prog[pc] == '[') depth--;
+        }
+      }
+    }
+    pc++;
+  }
+  putchar('\n');
+  print_int(steps);
+  putchar('\n');
+  return steps & 0xFF;
+}
+|};
+  }
+
+let mixhash =
+  {
+    name = "mixhash";
+    description = "avalanche-style 32-bit mixing hash over generated keys";
+    input = "";
+    source =
+      {|
+int mix(int h, int k) {
+  k = k * 0xCC9E2D51;
+  k = (k << 15) | ((k >> 17) & 0x7FFF);
+  k = k * 0x1B873593;
+  h = h ^ k;
+  h = (h << 13) | ((h >> 19) & 0x1FFF);
+  h = h * 5 + 0xE6546B64;
+  return h;
+}
+
+int finalize(int h) {
+  h = h ^ ((h >> 16) & 0xFFFF);
+  h = h * 0x85EBCA6B;
+  h = h ^ ((h >> 13) & 0x7FFFF);
+  h = h * 0xC2B2AE35;
+  h = h ^ ((h >> 16) & 0xFFFF);
+  return h;
+}
+
+int buckets[64];
+
+int main() {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 5000; i++) {
+    int h = finalize(mix(i * 2654435761, i));
+    buckets[h & 63]++;
+    acc ^= h;
+  }
+  /* bucket spread: max - min occupancy should be modest for a good mix */
+  int mn = buckets[0];
+  int mx = buckets[0];
+  for (i = 1; i < 64; i++) {
+    if (buckets[i] < mn) mn = buckets[i];
+    if (buckets[i] > mx) mx = buckets[i];
+  }
+  print_int(mn); putchar(' ');
+  print_int(mx); putchar(' ');
+  print_int(acc); putchar('\n');
+  return mx - mn;
+}
+|};
+  }
+
+let all =
+  [ wc; rle; sieve; hanoi; queens; crc; life; mixhash; strlib; qsort; matmul;
+    huffman; bf; calc ]
+
+let find name = List.find_opt (fun e -> e.name = name) all

@@ -1,0 +1,42 @@
+(** Hand-written MiniC benchmark programs.
+
+    Each is a complete, runnable program with a known-good expected
+    output, so the same corpus drives correctness tests (all four
+    execution engines must agree), compression benchmarks, and the
+    delivery-scenario models. *)
+
+type entry = {
+  name : string;
+  description : string;
+  source : string;        (** MiniC source text *)
+  input : string;         (** stdin for the run *)
+}
+
+val wc : entry
+(** Word/line/character count — the paper's smallest benchmark. *)
+
+val sieve : entry
+val qsort : entry
+val queens : entry
+val matmul : entry
+val strlib : entry
+val calc : entry
+(** Recursive-descent expression parser and evaluator — the
+    compiler-shaped workload. *)
+
+val crc : entry
+val rle : entry
+val life : entry
+val hanoi : entry
+val huffman : entry
+(** Builds a Huffman code in MiniC — the compression-shaped workload. *)
+
+val bf : entry
+(** A Brainfuck interpreter — the interpreter-shaped workload. *)
+
+val mixhash : entry
+
+val all : entry list
+(** Every hand-written program, smallest first. *)
+
+val find : string -> entry option

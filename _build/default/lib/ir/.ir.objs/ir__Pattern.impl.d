@@ -1,0 +1,1 @@
+lib/ir/pattern.ml: Array Buffer Char Hashtbl List Op Printf Stdlib String Tree

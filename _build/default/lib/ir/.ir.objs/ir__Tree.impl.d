@@ -1,0 +1,1 @@
+lib/ir/tree.ml: List Op

@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Hashtbl List Op Printf String Tree

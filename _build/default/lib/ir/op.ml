@@ -1,0 +1,70 @@
+type ty = I | C | S | P | V
+
+let ty_to_string = function I -> "I" | C -> "C" | S -> "S" | P -> "P" | V -> "V"
+let ty_size = function I -> 4 | C -> 1 | S -> 2 | P -> 4 | V -> 0
+
+type width = W8 | W16 | W32
+
+let width_for v =
+  if v >= -128 && v <= 127 then W8
+  else if v >= -32768 && v <= 32767 then W16
+  else W32
+
+let width_suffix = function W8 -> "8" | W16 -> "16" | W32 -> ""
+
+type binop = Add | Sub | Mul | Div | Mod | Band | Bor | Bxor | Lsh | Rsh
+
+type relop = Eq | Ne | Lt | Le | Gt | Ge
+
+let binop_to_string = function
+  | Add -> "ADD"
+  | Sub -> "SUB"
+  | Mul -> "MUL"
+  | Div -> "DIV"
+  | Mod -> "MOD"
+  | Band -> "BAND"
+  | Bor -> "BOR"
+  | Bxor -> "BXOR"
+  | Lsh -> "LSH"
+  | Rsh -> "RSH"
+
+let relop_to_string = function
+  | Eq -> "EQ"
+  | Ne -> "NE"
+  | Lt -> "LT"
+  | Le -> "LE"
+  | Gt -> "GT"
+  | Ge -> "GE"
+
+let negate_relop = function
+  | Eq -> Ne
+  | Ne -> Eq
+  | Lt -> Ge
+  | Le -> Gt
+  | Gt -> Le
+  | Ge -> Lt
+
+type lit_class =
+  | Lc_addrl of width
+  | Lc_addrf of width
+  | Lc_addrg
+  | Lc_cnst of width
+  | Lc_label
+
+let lit_class_name = function
+  | Lc_addrl w -> "ADDRL" ^ width_suffix w
+  | Lc_addrf w -> "ADDRF" ^ width_suffix w
+  | Lc_addrg -> "ADDRG"
+  | Lc_cnst w -> "CNST" ^ width_suffix w
+  | Lc_label -> "LABEL"
+
+let all_lit_classes =
+  [
+    Lc_addrl W8; Lc_addrl W16; Lc_addrl W32;
+    Lc_addrf W8; Lc_addrf W16; Lc_addrf W32;
+    Lc_addrg;
+    Lc_cnst W8; Lc_cnst W16; Lc_cnst W32;
+    Lc_label;
+  ]
+
+let compare_lit_class a b = compare a b

@@ -1,0 +1,54 @@
+(** Operator vocabulary of the lcc-style tree intermediate representation.
+
+    Follows the paper's presentation (§3): a stack-based tree IR in which
+    literal operands appear in square brackets, and literal-bearing
+    operators come in width-suffixed variants (e.g. [ADDRLP8]) flagging
+    literals that fit in 8 or 16 bits. *)
+
+type ty =
+  | I   (** 32-bit signed integer *)
+  | C   (** 8-bit character *)
+  | S   (** 16-bit short *)
+  | P   (** pointer (32-bit in this VM) *)
+  | V   (** void — calls for effect *)
+
+val ty_to_string : ty -> string
+val ty_size : ty -> int
+(** Size in bytes of a value of this type; [V] has size 0. *)
+
+type width = W8 | W16 | W32
+(** Width class of a literal operand, per the paper's 8/16-suffixed ops. *)
+
+val width_for : int -> width
+(** Smallest width whose signed range contains the value. *)
+
+val width_suffix : width -> string
+(** "8", "16" or "" — [W32] is the unsuffixed base form. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Band | Bor | Bxor
+  | Lsh | Rsh
+
+type relop = Eq | Ne | Lt | Le | Gt | Ge
+
+val binop_to_string : binop -> string
+(** lcc-style mnemonic stem, e.g. "ADD". *)
+
+val relop_to_string : relop -> string
+val negate_relop : relop -> relop
+
+(** Literal stream classes for the wire format: every literal operand in
+    the program belongs to exactly one class, and the wire compressor
+    emits one stream per class (§3 step 2). *)
+type lit_class =
+  | Lc_addrl of width   (** local frame offsets *)
+  | Lc_addrf of width   (** formal (parameter) offsets *)
+  | Lc_addrg            (** global symbol names *)
+  | Lc_cnst of width    (** integer constants *)
+  | Lc_label            (** branch/jump/label-definition targets *)
+
+val lit_class_name : lit_class -> string
+val all_lit_classes : lit_class list
+
+val compare_lit_class : lit_class -> lit_class -> int

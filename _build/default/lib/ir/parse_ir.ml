@@ -1,0 +1,310 @@
+exception Parse_error of string
+
+type state = { src : string; mutable pos : int }
+
+let error st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance st;
+    skip_ws st
+  | Some '#' ->
+    (* comment to end of line *)
+    while peek st <> None && peek st <> Some '\n' do advance st done;
+    skip_ws st
+  | _ -> ()
+
+let expect st c =
+  skip_ws st;
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | _ -> error st (Printf.sprintf "expected '%c'" c)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '$' || c = '.'
+
+let ident st =
+  skip_ws st;
+  let start = st.pos in
+  while
+    match peek st with Some c when is_ident_char c -> true | _ -> false
+  do
+    advance st
+  done;
+  if st.pos = start then error st "expected identifier";
+  String.sub st.src start (st.pos - start)
+
+let int_lit st =
+  skip_ws st;
+  let start = st.pos in
+  (match peek st with Some '-' -> advance st | _ -> ());
+  while match peek st with Some c when c >= '0' && c <= '9' -> true | _ -> false
+  do
+    advance st
+  done;
+  if st.pos = start then error st "expected integer";
+  int_of_string (String.sub st.src start (st.pos - start))
+
+let bracketed_sym st =
+  expect st '[';
+  let s = ident st in
+  expect st ']';
+  s
+
+let bracketed_int st =
+  expect st '[';
+  let v = int_lit st in
+  expect st ']';
+  v
+
+let ty_of_char st = function
+  | 'I' -> Op.I
+  | 'C' -> Op.C
+  | 'S' -> Op.S
+  | 'P' -> Op.P
+  | 'V' -> Op.V
+  | _ -> error st "bad type suffix"
+
+(* Mnemonic suffix parsing: an operator name like "ASGNI" or "ADDRLP8". *)
+
+let split_mnemonic st name =
+  (* Returns (stem, trailing characters). *)
+  ignore st;
+  name
+
+let rec parse_tree st =
+  skip_ws st;
+  let name = ident st in
+  parse_tree_named st name
+
+and parse_tree_named st name =
+  let tree_with_child stem k =
+    ignore stem;
+    expect st '(';
+    let a = parse_tree st in
+    expect st ')';
+    k a
+  in
+  let binop_children k =
+    expect st '(';
+    let a = parse_tree st in
+    expect st ',';
+    let b = parse_tree st in
+    expect st ')';
+    k a b
+  in
+  match name with
+  | "CNSTC" -> Tree.Cnst (Op.I, Op.W8, bracketed_int st)
+  | "CNSTS" -> Tree.Cnst (Op.I, Op.W16, bracketed_int st)
+  | "CNSTI" -> Tree.Cnst (Op.I, Op.W32, bracketed_int st)
+  | "CNSTP" -> Tree.Cnst (Op.P, Op.W32, bracketed_int st)
+  | "ADDRLP" -> Tree.Addrl (Op.W32, bracketed_int st)
+  | "ADDRLP8" -> Tree.Addrl (Op.W8, bracketed_int st)
+  | "ADDRLP16" -> Tree.Addrl (Op.W16, bracketed_int st)
+  | "ADDRFP" -> Tree.Addrf (Op.W32, bracketed_int st)
+  | "ADDRFP8" -> Tree.Addrf (Op.W8, bracketed_int st)
+  | "ADDRFP16" -> Tree.Addrf (Op.W16, bracketed_int st)
+  | "ADDRGP" -> Tree.Addrg (bracketed_sym st)
+  | _ when String.length name >= 6 && String.sub name 0 5 = "INDIR" ->
+    let ty = ty_of_char st name.[5] in
+    tree_with_child "INDIR" (fun a -> Tree.Indir (ty, a))
+  | _ when String.length name >= 4 && String.sub name 0 3 = "NEG" ->
+    let ty = ty_of_char st name.[3] in
+    tree_with_child "NEG" (fun a -> Tree.Neg (ty, a))
+  | _ when String.length name >= 5 && String.sub name 0 4 = "BCOM" ->
+    let ty = ty_of_char st name.[4] in
+    tree_with_child "BCOM" (fun a -> Tree.Bcom (ty, a))
+  | _ when String.length name = 4 && String.sub name 0 2 = "CV" ->
+    let f = ty_of_char st name.[2] in
+    let t = ty_of_char st name.[3] in
+    tree_with_child "CV" (fun a -> Tree.Cvt (f, t, a))
+  | _ when String.length name >= 5 && String.sub name 0 4 = "CALL" ->
+    let ty = ty_of_char st name.[4] in
+    tree_with_child "CALL" (fun a -> Tree.Call (ty, a))
+  | _ -> (
+    (* binary operators: ADD, SUB, ... with a trailing type char *)
+    let stem = String.sub name 0 (String.length name - 1) in
+    let tyc = name.[String.length name - 1] in
+    let binop_of = function
+      | "ADD" -> Some Op.Add
+      | "SUB" -> Some Op.Sub
+      | "MUL" -> Some Op.Mul
+      | "DIV" -> Some Op.Div
+      | "MOD" -> Some Op.Mod
+      | "BAND" -> Some Op.Band
+      | "BOR" -> Some Op.Bor
+      | "BXOR" -> Some Op.Bxor
+      | "LSH" -> Some Op.Lsh
+      | "RSH" -> Some Op.Rsh
+      | _ -> None
+    in
+    match binop_of stem with
+    | Some op ->
+      let ty = ty_of_char st tyc in
+      binop_children (fun a b -> Tree.Binop (ty, op, a, b))
+    | None -> error st (Printf.sprintf "unknown tree operator %s" (split_mnemonic st name)))
+
+let relop_of_stem = function
+  | "EQ" -> Some Op.Eq
+  | "NE" -> Some Op.Ne
+  | "LT" -> Some Op.Lt
+  | "LE" -> Some Op.Le
+  | "GT" -> Some Op.Gt
+  | "GE" -> Some Op.Ge
+  | _ -> None
+
+let parse_stmt st =
+  skip_ws st;
+  let name = ident st in
+  match name with
+  | "JUMPV" -> Tree.Sjump (bracketed_sym st)
+  | "LABELV" -> Tree.Slabel (bracketed_sym st)
+  | "RETV" -> Tree.Sret (Op.V, None)
+  | _ when String.length name >= 5 && String.sub name 0 4 = "ASGN" ->
+    let ty = ty_of_char st name.[4] in
+    expect st '(';
+    let a = parse_tree st in
+    expect st ',';
+    let v = parse_tree st in
+    expect st ')';
+    Tree.Sasgn (ty, a, v)
+  | _ when String.length name >= 4 && String.sub name 0 3 = "ARG" ->
+    let ty = ty_of_char st name.[3] in
+    expect st '(';
+    let t = parse_tree st in
+    expect st ')';
+    Tree.Sarg (ty, t)
+  | _ when String.length name >= 5 && String.sub name 0 4 = "CALL" ->
+    let ty = ty_of_char st name.[4] in
+    expect st '(';
+    let t = parse_tree st in
+    expect st ')';
+    Tree.Scall (ty, t)
+  | _ when String.length name >= 4 && String.sub name 0 3 = "RET" ->
+    let ty = ty_of_char st name.[3] in
+    expect st '(';
+    let t = parse_tree st in
+    expect st ')';
+    Tree.Sret (ty, Some t)
+  | _ -> (
+    let stem = String.sub name 0 (String.length name - 1) in
+    let tyc = name.[String.length name - 1] in
+    match relop_of_stem stem with
+    | Some rel ->
+      let ty = ty_of_char st tyc in
+      let lbl = bracketed_sym st in
+      expect st '(';
+      let a = parse_tree st in
+      expect st ',';
+      let b = parse_tree st in
+      expect st ')';
+      Tree.Scnd (rel, ty, a, b, lbl)
+    | None -> error st (Printf.sprintf "unknown statement %s" name))
+
+let parse_ty st =
+  skip_ws st;
+  match peek st with
+  | Some c ->
+    advance st;
+    ty_of_char st c
+  | None -> error st "expected type"
+
+let parse_formals st =
+  skip_ws st;
+  if peek st = Some ')' then []
+  else begin
+    let rec go acc =
+      let n = ident st in
+      expect st ':';
+      let ty = parse_ty st in
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+        advance st;
+        go ((n, ty) :: acc)
+      | _ -> List.rev ((n, ty) :: acc)
+    in
+    go []
+  end
+
+let parse_function st =
+  let fname = ident st in
+  expect st '(';
+  let formals = parse_formals st in
+  expect st ')';
+  skip_ws st;
+  let kw = ident st in
+  if kw <> "frame" then error st "expected 'frame'";
+  let frame_size = int_lit st in
+  expect st '{';
+  let body = ref [] in
+  let rec stmts () =
+    skip_ws st;
+    if peek st = Some '}' then advance st
+    else begin
+      body := parse_stmt st :: !body;
+      stmts ()
+    end
+  in
+  stmts ();
+  { Tree.fname; formals; frame_size; body = List.rev !body }
+
+let parse_global st =
+  let gname = ident st in
+  let gsize = int_lit st in
+  skip_ws st;
+  let ginit =
+    if peek st = Some '=' then begin
+      advance st;
+      let rec go acc =
+        let v = int_lit st in
+        skip_ws st;
+        if peek st = Some ',' then begin
+          advance st;
+          go (v :: acc)
+        end
+        else List.rev (v :: acc)
+      in
+      Some (go [])
+    end
+    else None
+  in
+  { Tree.gname; gsize; ginit }
+
+let program_of_string src =
+  let st = { src; pos = 0 } in
+  let globals = ref [] and funcs = ref [] in
+  let rec go () =
+    skip_ws st;
+    if peek st = None then ()
+    else begin
+      (match ident st with
+      | "global" -> globals := parse_global st :: !globals
+      | "function" -> funcs := parse_function st :: !funcs
+      | other -> error st (Printf.sprintf "expected 'global' or 'function', got %s" other));
+      go ()
+    end
+  in
+  go ();
+  { Tree.globals = List.rev !globals; funcs = List.rev !funcs }
+
+let stmt_of_string src =
+  let st = { src; pos = 0 } in
+  let s = parse_stmt st in
+  skip_ws st;
+  if peek st <> None then error st "trailing input after statement";
+  s
+
+let tree_of_string src =
+  let st = { src; pos = 0 } in
+  let t = parse_tree st in
+  skip_ws st;
+  if peek st <> None then error st "trailing input after tree";
+  t

@@ -1,0 +1,19 @@
+(** Parser for the textual IR produced by {!Printer}, so programs can be
+    written by hand in tests, dumped, and re-read by the CLI tools.
+
+    Grammar (whitespace-insensitive inside expressions; ellipses denote
+    repetition):
+    {v
+      program  := { global | function } ...
+      global   := "global" NAME INT [ "=" INT { "," INT } ... ]
+      function := "function" NAME "(" [formals] ")" "frame" INT "{" stmts "}"
+      formals  := NAME ":" TY { "," NAME ":" TY } ...
+      stmt     := rendered statement form, e.g. ASGNI(ADDRLP8[72], CNSTC[1])
+    v} *)
+
+exception Parse_error of string
+(** Raised with a message naming the offending token and position. *)
+
+val program_of_string : string -> Tree.program
+val stmt_of_string : string -> Tree.stmt
+val tree_of_string : string -> Tree.tree

@@ -1,0 +1,75 @@
+let cnst_name ty w =
+  match (ty, w) with
+  | _, Op.W8 -> "CNSTC"
+  | _, Op.W16 -> "CNSTS"
+  | Op.P, Op.W32 -> "CNSTP"
+  | _, Op.W32 -> "CNSTI"
+
+let rec tree_to_string t =
+  match t with
+  | Tree.Cnst (ty, w, v) -> Printf.sprintf "%s[%d]" (cnst_name ty w) v
+  | Tree.Addrl (w, off) ->
+    Printf.sprintf "ADDRLP%s[%d]" (Op.width_suffix w) off
+  | Tree.Addrf (w, off) ->
+    Printf.sprintf "ADDRFP%s[%d]" (Op.width_suffix w) off
+  | Tree.Addrg name -> Printf.sprintf "ADDRGP[%s]" name
+  | Tree.Indir (ty, a) ->
+    Printf.sprintf "INDIR%s(%s)" (Op.ty_to_string ty) (tree_to_string a)
+  | Tree.Binop (ty, op, a, b) ->
+    Printf.sprintf "%s%s(%s,%s)" (Op.binop_to_string op) (Op.ty_to_string ty)
+      (tree_to_string a) (tree_to_string b)
+  | Tree.Neg (ty, a) ->
+    Printf.sprintf "NEG%s(%s)" (Op.ty_to_string ty) (tree_to_string a)
+  | Tree.Bcom (ty, a) ->
+    Printf.sprintf "BCOM%s(%s)" (Op.ty_to_string ty) (tree_to_string a)
+  | Tree.Cvt (from_, to_, a) ->
+    Printf.sprintf "CV%s%s(%s)" (Op.ty_to_string from_) (Op.ty_to_string to_)
+      (tree_to_string a)
+  | Tree.Call (ty, a) ->
+    Printf.sprintf "CALL%s(%s)" (Op.ty_to_string ty) (tree_to_string a)
+
+let stmt_to_string s =
+  match s with
+  | Tree.Sasgn (ty, a, v) ->
+    Printf.sprintf "ASGN%s(%s, %s)" (Op.ty_to_string ty) (tree_to_string a)
+      (tree_to_string v)
+  | Tree.Sarg (ty, t) ->
+    Printf.sprintf "ARG%s(%s)" (Op.ty_to_string ty) (tree_to_string t)
+  | Tree.Scall (ty, t) ->
+    Printf.sprintf "CALL%s(%s)" (Op.ty_to_string ty) (tree_to_string t)
+  | Tree.Scnd (rel, ty, a, b, lbl) ->
+    Printf.sprintf "%s%s[%s](%s,%s)" (Op.relop_to_string rel)
+      (Op.ty_to_string ty) lbl (tree_to_string a) (tree_to_string b)
+  | Tree.Sjump lbl -> Printf.sprintf "JUMPV[%s]" lbl
+  | Tree.Slabel lbl -> Printf.sprintf "LABELV[%s]" lbl
+  | Tree.Sret (_, None) -> "RETV"
+  | Tree.Sret (ty, Some t) ->
+    Printf.sprintf "RET%s(%s)" (Op.ty_to_string ty) (tree_to_string t)
+
+let func_to_string f =
+  let formals =
+    f.Tree.formals
+    |> List.map (fun (n, ty) -> Printf.sprintf "%s:%s" n (Op.ty_to_string ty))
+    |> String.concat ", "
+  in
+  let body = List.map (fun s -> "  " ^ stmt_to_string s) f.Tree.body in
+  Printf.sprintf "function %s(%s) frame %d {\n%s\n}" f.Tree.fname formals
+    f.Tree.frame_size
+    (String.concat "\n" body)
+
+let program_to_string p =
+  let globals =
+    List.map
+      (fun g ->
+        Printf.sprintf "global %s %d%s" g.Tree.gname g.Tree.gsize
+          (match g.Tree.ginit with
+          | None -> ""
+          | Some bytes ->
+            " = " ^ String.concat "," (List.map string_of_int bytes)))
+      p.Tree.globals
+  in
+  let funcs = List.map func_to_string p.Tree.funcs in
+  String.concat "\n" (globals @ funcs) ^ "\n"
+
+let pp_stmt fmt s = Format.pp_print_string fmt (stmt_to_string s)
+let pp_program fmt p = Format.pp_print_string fmt (program_to_string p)

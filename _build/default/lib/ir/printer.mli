@@ -1,0 +1,15 @@
+(** Textual rendering of the IR in the paper's lcc style, e.g.
+
+    {v ASGNI(ADDRLP8[72], SUBI(INDIRI(ADDRLP8[72]),CNSTC[1])) v}
+
+    Width-suffixed literal operators print as in the paper: the 8-bit
+    variant of CNST prints as CNSTC, 16-bit as CNSTS; ADDRLP carries an
+    explicit 8/16 suffix. *)
+
+val tree_to_string : Tree.tree -> string
+val stmt_to_string : Tree.stmt -> string
+val func_to_string : Tree.func -> string
+val program_to_string : Tree.program -> string
+
+val pp_stmt : Format.formatter -> Tree.stmt -> unit
+val pp_program : Format.formatter -> Tree.program -> unit

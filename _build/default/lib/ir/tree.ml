@@ -1,0 +1,93 @@
+type tree =
+  | Cnst of Op.ty * Op.width * int
+  | Addrl of Op.width * int
+  | Addrf of Op.width * int
+  | Addrg of string
+  | Indir of Op.ty * tree
+  | Binop of Op.ty * Op.binop * tree * tree
+  | Neg of Op.ty * tree
+  | Bcom of Op.ty * tree
+  | Cvt of Op.ty * Op.ty * tree
+  | Call of Op.ty * tree
+
+type stmt =
+  | Sasgn of Op.ty * tree * tree
+  | Sarg of Op.ty * tree
+  | Scall of Op.ty * tree
+  | Scnd of Op.relop * Op.ty * tree * tree * string
+  | Sjump of string
+  | Slabel of string
+  | Sret of Op.ty * tree option
+
+type func = {
+  fname : string;
+  formals : (string * Op.ty) list;
+  frame_size : int;
+  body : stmt list;
+}
+
+type global = { gname : string; gsize : int; ginit : int list option }
+
+type program = { globals : global list; funcs : func list }
+
+let cnst v = Cnst (Op.I, Op.width_for v, v)
+let addrl off = Addrl (Op.width_for off, off)
+let addrf off = Addrf (Op.width_for off, off)
+
+let tree_ty = function
+  | Cnst (ty, _, _) -> ty
+  | Addrl _ | Addrf _ | Addrg _ -> Op.P
+  | Indir (ty, _) -> ty
+  | Binop (ty, _, _, _) -> ty
+  | Neg (ty, _) -> ty
+  | Bcom (ty, _) -> ty
+  | Cvt (_, to_, _) -> to_
+  | Call (ty, _) -> ty
+
+let rec tree_size = function
+  | Cnst _ | Addrl _ | Addrf _ | Addrg _ -> 1
+  | Indir (_, t) | Neg (_, t) | Bcom (_, t) | Cvt (_, _, t) | Call (_, t) ->
+    1 + tree_size t
+  | Binop (_, _, a, b) -> 1 + tree_size a + tree_size b
+
+let stmt_size = function
+  | Sasgn (_, a, v) -> 1 + tree_size a + tree_size v
+  | Sarg (_, t) | Scall (_, t) -> 1 + tree_size t
+  | Scnd (_, _, a, b, _) -> 1 + tree_size a + tree_size b
+  | Sjump _ | Slabel _ -> 1
+  | Sret (_, None) -> 1
+  | Sret (_, Some t) -> 1 + tree_size t
+
+let func_size f = List.fold_left (fun acc s -> acc + stmt_size s) 0 f.body
+
+let program_size p = List.fold_left (fun acc f -> acc + func_size f) 0 p.funcs
+
+let iter_trees_stmt f = function
+  | Sasgn (_, a, v) ->
+    f a;
+    f v
+  | Sarg (_, t) | Scall (_, t) -> f t
+  | Scnd (_, _, a, b, _) ->
+    f a;
+    f b
+  | Sjump _ | Slabel _ | Sret (_, None) -> ()
+  | Sret (_, Some t) -> f t
+
+let rec iter_nodes f t =
+  f t;
+  match t with
+  | Cnst _ | Addrl _ | Addrf _ | Addrg _ -> ()
+  | Indir (_, a) | Neg (_, a) | Bcom (_, a) | Cvt (_, _, a) | Call (_, a) ->
+    iter_nodes f a
+  | Binop (_, _, a, b) ->
+    iter_nodes f a;
+    iter_nodes f b
+
+let map_stmts f p =
+  { p with funcs = List.map (fun fn -> { fn with body = List.map f fn.body }) p.funcs }
+
+let find_func p name = List.find_opt (fun f -> f.fname = name) p.funcs
+
+let equal_tree (a : tree) (b : tree) = a = b
+let equal_stmt (a : stmt) (b : stmt) = a = b
+let equal_program (a : program) (b : program) = a = b

@@ -1,0 +1,77 @@
+(** The tree intermediate representation proper.
+
+    A program is a set of globals plus functions; a function body is a
+    forest of statement trees, executed in order, exactly as lcc emits
+    them: ARG trees precede the CALL that consumes them, conditional
+    branches compare two subtrees and jump to a label, and assignments
+    store a value subtree through an address subtree. *)
+
+type tree =
+  | Cnst of Op.ty * Op.width * int
+      (** integer constant; width flags the literal's size class *)
+  | Addrl of Op.width * int   (** address of local at frame offset *)
+  | Addrf of Op.width * int   (** address of formal at parameter offset *)
+  | Addrg of string           (** address of global symbol *)
+  | Indir of Op.ty * tree     (** load of [ty] through an address *)
+  | Binop of Op.ty * Op.binop * tree * tree
+  | Neg of Op.ty * tree
+  | Bcom of Op.ty * tree      (** bitwise complement *)
+  | Cvt of Op.ty * Op.ty * tree  (** [Cvt (from_, to_, e)] *)
+  | Call of Op.ty * tree      (** value-returning call through address tree *)
+
+type stmt =
+  | Sasgn of Op.ty * tree * tree   (** address, value *)
+  | Sarg of Op.ty * tree           (** push outgoing argument *)
+  | Scall of Op.ty * tree          (** call for effect (result dropped) *)
+  | Scnd of Op.relop * Op.ty * tree * tree * string
+      (** conditional branch to label when the relation holds *)
+  | Sjump of string
+  | Slabel of string
+  | Sret of Op.ty * tree option
+
+type func = {
+  fname : string;
+  formals : (string * Op.ty) list;
+  frame_size : int;   (** bytes of locals *)
+  body : stmt list;
+}
+
+type global = {
+  gname : string;
+  gsize : int;                (** bytes *)
+  ginit : int list option;    (** optional byte initializer *)
+}
+
+type program = { globals : global list; funcs : func list }
+
+val cnst : int -> tree
+(** Integer constant with automatically assigned width class. *)
+
+val addrl : int -> tree
+val addrf : int -> tree
+
+val tree_ty : tree -> Op.ty
+(** Result type of a tree. *)
+
+val tree_size : tree -> int
+(** Number of operator nodes. *)
+
+val stmt_size : stmt -> int
+val func_size : func -> int
+val program_size : program -> int
+(** Total operator nodes across all function bodies. *)
+
+val iter_trees_stmt : (tree -> unit) -> stmt -> unit
+(** Apply to each root subtree of the statement (not recursively into
+    trees; use {!iter_nodes} for that). *)
+
+val iter_nodes : (tree -> unit) -> tree -> unit
+(** Prefix-order visit of every node of a tree. *)
+
+val map_stmts : (stmt -> stmt) -> program -> program
+
+val find_func : program -> string -> func option
+
+val equal_tree : tree -> tree -> bool
+val equal_stmt : stmt -> stmt -> bool
+val equal_program : program -> program -> bool

@@ -1,0 +1,94 @@
+type issue = { where : string; what : string }
+
+let width_ok w v =
+  match w with
+  | Op.W8 -> v >= -128 && v <= 127
+  | Op.W16 -> v >= -32768 && v <= 32767
+  | Op.W32 -> true
+
+let check_program (p : Tree.program) =
+  let issues = ref [] in
+  let problem where what = issues := { where; what } :: !issues in
+  (* unique function names *)
+  let fnames = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem fnames f.Tree.fname then
+        problem f.Tree.fname "duplicate function name"
+      else Hashtbl.add fnames f.Tree.fname ())
+    p.funcs;
+  let known_symbol = Hashtbl.create 64 in
+  List.iter (fun g -> Hashtbl.replace known_symbol g.Tree.gname ()) p.globals;
+  List.iter (fun f -> Hashtbl.replace known_symbol f.Tree.fname ()) p.funcs;
+  (* runtime-provided builtins are always in scope *)
+  List.iter
+    (fun b -> Hashtbl.replace known_symbol b ())
+    [ "putchar"; "getchar"; "print_int"; "abort" ];
+  let check_func f =
+    let where = f.Tree.fname in
+    let defined = Hashtbl.create 16 in
+    let used = ref [] in
+    List.iter
+      (fun s ->
+        match s with
+        | Tree.Slabel l ->
+          if Hashtbl.mem defined l then problem where ("label defined twice: " ^ l)
+          else Hashtbl.add defined l ()
+        | Tree.Sjump l -> used := l :: !used
+        | Tree.Scnd (_, _, _, _, l) -> used := l :: !used
+        | _ -> ())
+      f.Tree.body;
+    List.iter
+      (fun l ->
+        if not (Hashtbl.mem defined l) then
+          problem where ("branch to undefined label: " ^ l))
+      !used;
+    let check_tree t =
+      Tree.iter_nodes
+        (fun n ->
+          match n with
+          | Tree.Cnst (_, w, v) ->
+            if not (width_ok w v) then
+              problem where (Printf.sprintf "constant %d exceeds width class" v);
+            if v < -0x80000000 || v > 0x7FFFFFFF then
+              problem where (Printf.sprintf "constant %d exceeds 32 bits" v)
+          | Tree.Addrl (w, off) ->
+            if not (width_ok w off) then
+              problem where (Printf.sprintf "local offset %d exceeds width class" off);
+            if off < 0 || off >= max 1 f.Tree.frame_size then
+              problem where
+                (Printf.sprintf "local offset %d outside frame of %d bytes" off
+                   f.Tree.frame_size)
+          | Tree.Addrf (w, off) ->
+            if not (width_ok w off) then
+              problem where (Printf.sprintf "formal offset %d exceeds width class" off)
+          | Tree.Addrg sym ->
+            if not (Hashtbl.mem known_symbol sym) then
+              problem where ("reference to unknown symbol: " ^ sym)
+          | _ -> ())
+        t
+    in
+    List.iter
+      (fun s ->
+        Tree.iter_trees_stmt check_tree s;
+        match s with
+        | Tree.Sret (Op.V, Some _) -> problem where "void return with a value"
+        | Tree.Sret (ty, None) when ty <> Op.V ->
+          problem where "valueless return with non-void type"
+        | _ -> ())
+      f.Tree.body
+  in
+  List.iter check_func p.funcs;
+  List.rev !issues
+
+let check_exn p =
+  match check_program p with
+  | [] -> ()
+  | issues ->
+    let msgs =
+      List.map (fun i -> Printf.sprintf "%s: %s" i.where i.what) issues
+    in
+    failwith
+      (Printf.sprintf "IR validation failed (%d issues):\n%s"
+         (List.length issues)
+         (String.concat "\n" msgs))

@@ -1,0 +1,22 @@
+(** Well-formedness checks on IR programs.
+
+    Run after the frontend and after any decompressor to catch
+    structurally broken programs early (the wire decompressor in
+    particular must reproduce a valid program bit-for-bit). *)
+
+type issue = { where : string; what : string }
+
+val check_program : Tree.program -> issue list
+(** Empty list = well-formed. Checks performed:
+    - every label referenced by a branch/jump is defined in the same
+      function, and no label is defined twice;
+    - literal width classes are consistent with their values
+      (an [ADDRLP8] offset really fits in 8 bits, etc.);
+    - frame offsets of ADDRL are within [0, frame_size);
+    - every ADDRG symbol names a global or function of the program;
+    - function names are unique;
+    - a [Sret] with a value does not use type [V], and [Sret (V, None)]
+      is the only void return form. *)
+
+val check_exn : Tree.program -> unit
+(** @raise Failure with a readable summary when issues exist. *)

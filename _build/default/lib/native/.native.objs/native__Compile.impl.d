@@ -1,0 +1,1 @@
+lib/native/compile.ml: List Mach Vm

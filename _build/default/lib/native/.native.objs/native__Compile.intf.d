@@ -1,0 +1,1 @@
+lib/native/compile.mli: Mach Vm

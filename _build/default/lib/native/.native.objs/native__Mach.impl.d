@@ -1,0 +1,1 @@
+lib/native/mach.ml: Buffer Char Hashtbl List Printf String Vm

@@ -1,0 +1,1 @@
+lib/native/mach.mli: Vm

@@ -1,0 +1,1 @@
+lib/native/sim.ml: Array Buffer Bytes Char Hashtbl List Mach Printf String Vm

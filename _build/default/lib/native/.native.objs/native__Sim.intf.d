@@ -1,0 +1,1 @@
+lib/native/sim.mli: Mach

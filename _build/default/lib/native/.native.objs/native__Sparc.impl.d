@@ -1,0 +1,1 @@
+lib/native/sparc.ml: Buffer Char Hashtbl List Vm

@@ -1,0 +1,1 @@
+lib/native/sparc.mli: Vm

@@ -1,0 +1,51 @@
+let compile_instr (i : Vm.Isa.instr) : Mach.ninstr list =
+  match i with
+  | Vm.Isa.Ld (w, rd, imm, rs) -> [ Mach.Nmov (w, Mach.Reg rd, Mach.Mem (rs, imm)) ]
+  | Vm.Isa.St (w, rs2, imm, rs1) -> [ Mach.Nmov (w, Mach.Mem (rs1, imm), Mach.Reg rs2) ]
+  | Vm.Isa.Ldx (w, rd, rs) -> [ Mach.Nmov (w, Mach.Reg rd, Mach.Mem (rs, 0)) ]
+  | Vm.Isa.Stx (w, rs2, rs1) -> [ Mach.Nmov (w, Mach.Mem (rs1, 0), Mach.Reg rs2) ]
+  | Vm.Isa.Li (rd, v) -> [ Mach.Nmov (Vm.Isa.W, Mach.Reg rd, Mach.Imm v) ]
+  | Vm.Isa.La (rd, s) -> [ Mach.Nlea (rd, s) ]
+  | Vm.Isa.Mov (rd, rs) ->
+    if rd = rs then [] else [ Mach.Nmov (Vm.Isa.W, Mach.Reg rd, Mach.Reg rs) ]
+  | Vm.Isa.Alu (op, rd, rs1, rs2) ->
+    if rd = rs1 then [ Mach.Nalu (op, rd, Mach.Reg rs2) ]
+    else if rd = rs2 && (match op with Vm.Isa.Add | Vm.Isa.Mul | Vm.Isa.And | Vm.Isa.Or | Vm.Isa.Xor -> true | _ -> false)
+    then [ Mach.Nalu (op, rd, Mach.Reg rs1) ]
+    else
+      [ Mach.Nmov (Vm.Isa.W, Mach.Reg rd, Mach.Reg rs1); Mach.Nalu (op, rd, Mach.Reg rs2) ]
+  | Vm.Isa.Alui (op, rd, rs1, v) ->
+    if rd = rs1 then [ Mach.Nalu (op, rd, Mach.Imm v) ]
+    else [ Mach.Nmov (Vm.Isa.W, Mach.Reg rd, Mach.Reg rs1); Mach.Nalu (op, rd, Mach.Imm v) ]
+  | Vm.Isa.Neg (rd, rs) ->
+    if rd = rs then [ Mach.Nneg rd ]
+    else [ Mach.Nmov (Vm.Isa.W, Mach.Reg rd, Mach.Reg rs); Mach.Nneg rd ]
+  | Vm.Isa.Not (rd, rs) ->
+    if rd = rs then [ Mach.Nnot rd ]
+    else [ Mach.Nmov (Vm.Isa.W, Mach.Reg rd, Mach.Reg rs); Mach.Nnot rd ]
+  | Vm.Isa.Sext (w, rd, rs) ->
+    if rd = rs then [ Mach.Nsext (w, rd) ]
+    else [ Mach.Nmov (Vm.Isa.W, Mach.Reg rd, Mach.Reg rs); Mach.Nsext (w, rd) ]
+  | Vm.Isa.Br (rel, rs1, rs2, l) -> [ Mach.Ncmpbr (rel, rs1, Mach.Reg rs2, l) ]
+  | Vm.Isa.Bri (rel, rs1, v, l) -> [ Mach.Ncmpbr (rel, rs1, Mach.Imm v, l) ]
+  | Vm.Isa.Jmp l -> [ Mach.Njmp l ]
+  | Vm.Isa.Call s -> [ Mach.Ncall s ]
+  | Vm.Isa.Callr r -> [ Mach.Ncallr r ]
+  | Vm.Isa.Rjr -> [ Mach.Nret ]
+  | Vm.Isa.Enter k -> [ Mach.Naddsp (-k) ]
+  | Vm.Isa.Exit k -> [ Mach.Naddsp k ]
+  | Vm.Isa.Spill (r, off) -> [ Mach.Nmov (Vm.Isa.W, Mach.Mem (Vm.Isa.sp, off), Mach.Reg r) ]
+  | Vm.Isa.Reload (r, off) -> [ Mach.Nmov (Vm.Isa.W, Mach.Reg r, Mach.Mem (Vm.Isa.sp, off)) ]
+  | Vm.Isa.Label l -> [ Mach.Nlabel l ]
+
+let compile_func (f : Vm.Isa.vfunc) : Mach.nfunc =
+  { Mach.name = f.Vm.Isa.name; code = List.concat_map compile_instr f.Vm.Isa.code }
+
+let compile_program (p : Vm.Isa.vprogram) : Mach.nprogram =
+  { Mach.globals = p.Vm.Isa.globals; funcs = List.map compile_func p.Vm.Isa.funcs }
+
+let expansion_bytes_x86 i =
+  List.fold_left (fun a n -> a + Mach.encoded_size n) 0 (compile_instr i)
+
+let expansion_bytes_ppc i =
+  List.fold_left (fun a n -> a + Mach.ppc_size n) 0 (compile_instr i)

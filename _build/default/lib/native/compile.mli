@@ -1,0 +1,22 @@
+(** VM → native compiler (the back end of the BRISC JIT and the producer
+    of the "Visual C++" native baseline).
+
+    Maps OmniVM instructions to the x86-like target with the CISC
+    peepholes a simple native compiler would apply: ALU-immediate forms
+    become [op reg, imm]; two-address constraints are met with a [mov]
+    only when source and destination differ; [enter]/[exit] become stack
+    adjusts; [spill]/[reload] become [sp]-relative moves; compare-and-
+    branch pairs are already fused in the VM ISA and stay fused. *)
+
+val compile_instr : Vm.Isa.instr -> Mach.ninstr list
+(** Native expansion of one VM instruction (used per-dictionary-entry by
+    the BRISC JIT and by the W cost model). *)
+
+val compile_func : Vm.Isa.vfunc -> Mach.nfunc
+val compile_program : Vm.Isa.vprogram -> Mach.nprogram
+
+val expansion_bytes_x86 : Vm.Isa.instr -> int
+(** Native bytes {!compile_instr} produces for this instruction. *)
+
+val expansion_bytes_ppc : Vm.Isa.instr -> int
+(** Bytes on the PowerPC-like target (see {!Mach.ppc_size}). *)

@@ -1,0 +1,249 @@
+type operand = Reg of int | Imm of int | Mem of int * int
+
+type ninstr =
+  | Nmov of Vm.Isa.width * operand * operand
+  | Nlea of int * string
+  | Nalu of Vm.Isa.aluop * int * operand
+  | Nneg of int
+  | Nnot of int
+  | Nsext of Vm.Isa.width * int
+  | Ncmpbr of Vm.Isa.relop * int * operand * string
+  | Njmp of string
+  | Ncall of string
+  | Ncallr of int
+  | Nret
+  | Naddsp of int
+  | Nlabel of string
+
+type nfunc = { name : string; code : ninstr list }
+
+type nprogram = {
+  globals : (string * int * int list option) list;
+  funcs : nfunc list;
+}
+
+let disp_bytes d = if d = 0 then 0 else if d >= -128 && d <= 127 then 1 else 4
+let imm_bytes v = if v >= -128 && v <= 127 then 1 else 4
+
+let operand_extra = function
+  | Reg _ -> 0
+  | Imm v -> imm_bytes v
+  | Mem (_, d) -> disp_bytes d
+
+(* opcode byte + modrm byte + operand extras, in the x86 spirit *)
+let encoded_size i =
+  match i with
+  | Nlabel _ -> 0
+  | Nmov (_, a, b) -> 2 + operand_extra a + operand_extra b
+  | Nlea _ -> 5
+  | Nalu (_, _, src) -> 2 + operand_extra src
+  | Nneg _ | Nnot _ -> 2
+  | Nsext (_, _) -> 3
+  | Ncmpbr (_, _, src, _) -> 2 + operand_extra src + 2 (* cmp + jcc rel8 *)
+  | Njmp _ -> 2
+  | Ncall _ -> 5
+  | Ncallr _ -> 2
+  | Nret -> 1
+  | Naddsp v -> 2 + imm_bytes v
+
+let func_size f = List.fold_left (fun a i -> a + encoded_size i) 0 f.code
+
+let program_size p = List.fold_left (fun a f -> a + func_size f) 0 p.funcs
+
+let cycles = function
+  | Nlabel _ -> 0
+  | Nmov (_, Mem _, _) | Nmov (_, _, Mem _) -> 2
+  | Nmov _ -> 1
+  | Nlea _ -> 1
+  | Nalu (Vm.Isa.Mul, _, _) -> 4
+  | Nalu ((Vm.Isa.Div | Vm.Isa.Mod), _, _) -> 20
+  | Nalu (_, _, Mem _) -> 2
+  | Nalu _ -> 1
+  | Nneg _ | Nnot _ | Nsext _ -> 1
+  | Ncmpbr (_, _, Mem _, _) -> 3
+  | Ncmpbr _ -> 2
+  | Njmp _ -> 1
+  | Ncall _ | Ncallr _ | Nret -> 4
+  | Naddsp _ -> 1
+
+let ppc_size = function
+  | Nlabel _ -> 0
+  | Nmov (_, Reg _, Imm v) -> if imm_bytes v = 1 then 4 else 8 (* li / lis+ori *)
+  | Nmov (_, Reg _, Reg _) -> 4
+  | Nmov (_, Reg _, Mem (_, d)) | Nmov (_, Mem (_, d), Reg _) ->
+    if disp_bytes d <= 1 then 4 else 8
+  | Nmov _ -> 8
+  | Nlea _ -> 8 (* lis+ori *)
+  | Nalu (_, _, Imm v) -> if imm_bytes v = 1 then 4 else 12
+  | Nalu (_, _, Mem _) -> 8 (* load + op *)
+  | Nalu _ -> 4
+  | Nneg _ | Nnot _ | Nsext _ -> 4
+  | Ncmpbr _ -> 8 (* cmp + bc *)
+  | Njmp _ -> 4
+  | Ncall _ -> 4
+  | Ncallr _ -> 8 (* mtctr + bctrl *)
+  | Nret -> 4
+  | Naddsp _ -> 4
+
+let reg_name r = Vm.Isa.reg_name r
+
+let operand_to_string = function
+  | Reg r -> reg_name r
+  | Imm v -> Printf.sprintf "$%d" v
+  | Mem (b, d) -> Printf.sprintf "%d(%s)" d (reg_name b)
+
+let instr_to_string = function
+  | Nmov (w, a, b) ->
+    Printf.sprintf "mov.%s %s,%s" (Vm.Isa.width_name w) (operand_to_string a)
+      (operand_to_string b)
+  | Nlea (r, s) -> Printf.sprintf "lea %s,%s" (reg_name r) s
+  | Nalu (op, rd, src) ->
+    Printf.sprintf "%s %s,%s" (Vm.Isa.aluop_name op) (reg_name rd)
+      (operand_to_string src)
+  | Nneg r -> Printf.sprintf "neg %s" (reg_name r)
+  | Nnot r -> Printf.sprintf "not %s" (reg_name r)
+  | Nsext (w, r) -> Printf.sprintf "movsx.%s %s" (Vm.Isa.width_name w) (reg_name r)
+  | Ncmpbr (rel, r, src, l) ->
+    Printf.sprintf "cmp%s %s,%s,$%s" (Vm.Isa.relop_name rel) (reg_name r)
+      (operand_to_string src) l
+  | Njmp l -> Printf.sprintf "jmp $%s" l
+  | Ncall s -> Printf.sprintf "call %s" s
+  | Ncallr r -> Printf.sprintf "call *%s" (reg_name r)
+  | Nret -> "ret"
+  | Naddsp v -> Printf.sprintf "addsp %d" v
+  | Nlabel l -> Printf.sprintf "$%s:" l
+
+let program_to_string p =
+  String.concat "\n"
+    (List.map
+       (fun f ->
+         f.name ^ ":\n"
+         ^ String.concat "\n"
+             (List.map (fun i -> "  " ^ instr_to_string i) f.code))
+       p.funcs)
+  ^ "\n"
+
+(* ---- byte image ----
+
+   Emission is two-pass: first compute instruction offsets to resolve
+   labels to pc-relative displacements, then emit. Encoded operands:
+   ModRM-style byte packs the two register/mode selectors; displacements
+   and immediates are 1 or 4 bytes (little-endian). *)
+
+let encode_program p =
+  let buf = Buffer.create 4096 in
+  let emit_byte b = Buffer.add_char buf (Char.chr (b land 0xff)) in
+  let emit_int32 v =
+    emit_byte v;
+    emit_byte (v asr 8);
+    emit_byte (v asr 16);
+    emit_byte (v asr 24)
+  in
+  let emit_value v = if v >= -128 && v <= 127 then emit_byte v else emit_int32 v in
+  (* global symbol addresses for lea/call *)
+  let sym_addr = Hashtbl.create 64 in
+  let next = ref 0x1000 in
+  List.iter
+    (fun (n, sz, _) ->
+      Hashtbl.replace sym_addr n !next;
+      next := !next + ((max 1 sz + 3) / 4 * 4))
+    p.globals;
+  List.iteri
+    (fun i f -> Hashtbl.replace sym_addr f.name (8 * (i + 1)))
+    p.funcs;
+  let addr_of s = match Hashtbl.find_opt sym_addr s with Some a -> a | None -> 0 in
+  let opcode_of = function
+    | Nmov (Vm.Isa.B, _, _) -> 0x10
+    | Nmov (Vm.Isa.H, _, _) -> 0x11
+    | Nmov (Vm.Isa.W, _, _) -> 0x12
+    | Nlea _ -> 0x13
+    | Nalu (op, _, _) -> (
+      0x20
+      + match op with
+        | Vm.Isa.Add -> 0 | Vm.Isa.Sub -> 1 | Vm.Isa.Mul -> 2 | Vm.Isa.Div -> 3
+        | Vm.Isa.Mod -> 4 | Vm.Isa.And -> 5 | Vm.Isa.Or -> 6 | Vm.Isa.Xor -> 7
+        | Vm.Isa.Shl -> 8 | Vm.Isa.Shr -> 9)
+    | Nneg _ -> 0x30
+    | Nnot _ -> 0x31
+    | Nsext (Vm.Isa.B, _) -> 0x32
+    | Nsext (Vm.Isa.H, _) -> 0x33
+    | Nsext (Vm.Isa.W, _) -> 0x34
+    | Ncmpbr (rel, _, _, _) -> (
+      0x40
+      + match rel with
+        | Vm.Isa.Eq -> 0 | Vm.Isa.Ne -> 1 | Vm.Isa.Lt -> 2 | Vm.Isa.Le -> 3
+        | Vm.Isa.Gt -> 4 | Vm.Isa.Ge -> 5)
+    | Njmp _ -> 0x50
+    | Ncall _ -> 0x51
+    | Ncallr _ -> 0x52
+    | Nret -> 0x53
+    | Naddsp _ -> 0x54
+    | Nlabel _ -> 0x00
+  in
+  let reg_of = function Reg r -> r | Imm _ -> 0 | Mem (b, _) -> b in
+  (* The image is a compression corpus (it is never decoded back), so the
+     ModRM-style byte packs the two 4-bit register selectors and leaves
+     operand modes implicit in the opcode choice; emitted byte counts
+     match [encoded_size] exactly. *)
+  let modrm a b = emit_byte (((a land 0xf) lsl 4) lor (b land 0xf)) in
+  let operand_payload = function
+    | Reg _ -> ()
+    | Imm v -> emit_value v
+    | Mem (_, d) -> if d <> 0 then emit_value d
+  in
+  List.iter
+    (fun f ->
+      (* label offsets within the function, by encoded size *)
+      let offs = Hashtbl.create 8 in
+      let pos = ref 0 in
+      List.iter
+        (fun i ->
+          (match i with Nlabel l -> Hashtbl.replace offs l !pos | _ -> ());
+          pos := !pos + encoded_size i)
+        f.code;
+      let pc = ref 0 in
+      List.iter
+        (fun i ->
+          let here = !pc + encoded_size i in
+          (match i with
+          | Nlabel _ -> ()
+          | _ -> (
+            emit_byte (opcode_of i);
+            match i with
+            | Nmov (_, a, b) ->
+              modrm (reg_of a) (reg_of b);
+              operand_payload a;
+              operand_payload b
+            | Nlea (r, s) ->
+              (* counted as 5 bytes: opcode + reg/abs32 *)
+              modrm r 0;
+              emit_byte (addr_of s land 0xff);
+              emit_byte ((addr_of s asr 8) land 0xff);
+              emit_byte ((addr_of s asr 16) land 0xff)
+            | Nalu (_, rd, src) ->
+              modrm rd (reg_of src);
+              operand_payload src
+            | Nneg r | Nnot r | Ncallr r -> modrm r 0
+            | Nsext (w, r) ->
+              modrm r 0;
+              emit_byte (match w with Vm.Isa.B -> 0 | Vm.Isa.H -> 1 | Vm.Isa.W -> 2)
+            | Ncmpbr (_, r, src, l) ->
+              modrm r (reg_of src);
+              operand_payload src;
+              let target = try Hashtbl.find offs l with Not_found -> 0 in
+              let rel = target - here in
+              emit_byte rel;
+              emit_byte (rel asr 8)
+            | Njmp l ->
+              let target = try Hashtbl.find offs l with Not_found -> 0 in
+              emit_byte (target - here)
+            | Ncall s -> emit_int32 (addr_of s)
+            | Nret -> ()
+            | Naddsp v ->
+              modrm 16 0;
+              emit_value v
+            | Nlabel _ -> ()));
+          pc := here)
+        f.code)
+    p.funcs;
+  Buffer.contents buf

@@ -1,0 +1,63 @@
+(** The synthetic native target ("x86-like").
+
+    The paper measures against Pentium code produced by Visual C++ 5.0
+    and JITs BRISC to x86. We have no x86 hardware to run, so the repo
+    defines a Pentium-flavoured CISC: variable-length encoding (opcode +
+    ModRM-style register byte + 1- or 4-byte displacements/immediates),
+    two-address ALU ops, memory operands on ALU instructions, and a
+    hardware return stack ([call]/[ret]). Its encoder gives realistic
+    native code sizes; {!Sim} executes it with a simple cycle model. See
+    DESIGN.md ("Substitutions") for why this preserves the paper's
+    comparisons. *)
+
+type operand =
+  | Reg of int              (** native registers mirror VM registers 0–17 *)
+  | Imm of int
+  | Mem of int * int        (** [Mem (base, disp)] = [disp(base)] *)
+
+type ninstr =
+  | Nmov of Vm.Isa.width * operand * operand
+      (** move; at most one side a memory operand *)
+  | Nlea of int * string                   (** address of symbol -> reg *)
+  | Nalu of Vm.Isa.aluop * int * operand      (** two-address: [rd op= src] *)
+  | Nneg of int
+  | Nnot of int
+  | Nsext of Vm.Isa.width * int
+  | Ncmpbr of Vm.Isa.relop * int * operand * string  (** fused compare+branch *)
+  | Njmp of string
+  | Ncall of string
+  | Ncallr of int
+  | Nret
+  | Naddsp of int                          (** stack-pointer adjust *)
+  | Nlabel of string
+
+type nfunc = { name : string; code : ninstr list }
+
+type nprogram = {
+  globals : (string * int * int list option) list;
+  funcs : nfunc list;
+}
+
+val encoded_size : ninstr -> int
+(** Bytes under the x86-like encoding (0 for labels). *)
+
+val func_size : nfunc -> int
+val program_size : nprogram -> int
+
+val encode_program : nprogram -> string
+(** Flat byte image of all code segments (for compression baselines:
+    "gzipped x86"). Labels/symbols are resolved to pc-relative /
+    absolute offsets before encoding. *)
+
+val cycles : ninstr -> int
+(** Cost model used by {!Sim}: 1 for register ALU/moves, 2 for memory
+    operands, 4 for multiply, 20 for divide, 2 for taken-or-not
+    branches, 4 for call/ret. *)
+
+val instr_to_string : ninstr -> string
+val program_to_string : nprogram -> string
+
+val ppc_size : ninstr -> int
+(** Bytes the same operation would take on a PowerPC-601-like fixed
+    32-bit RISC (used for the paper's W = average of Pentium and PowerPC
+    decompressor table sizes). *)

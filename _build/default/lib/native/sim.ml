@@ -1,0 +1,200 @@
+exception Runtime_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Runtime_error m)) fmt
+
+type result = { exit_code : int; output : string; instrs : int; cycles : int }
+
+let norm v =
+  let v = v land 0xFFFFFFFF in
+  if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+type frame = { flat : Mach.ninstr array; label_of : (string, int) Hashtbl.t }
+
+let prepare (f : Mach.nfunc) =
+  let flat = Array.of_list f.Mach.code in
+  let label_of = Hashtbl.create 8 in
+  Array.iteri
+    (fun i ins ->
+      match ins with Mach.Nlabel l -> Hashtbl.replace label_of l i | _ -> ())
+    flat;
+  { flat; label_of }
+
+let run ?(mem_size = 1 lsl 22) ?(input = "") ?(fuel = 400_000_000)
+    ?(entry = "main") ?(on_instr = fun (_ : int) (_ : int) -> ())
+    (p : Mach.nprogram) : result =
+  let mem = Bytes.make mem_size '\000' in
+  (* globals: same layout as the VM interpreter *)
+  let vm_view = { Vm.Isa.globals = p.Mach.globals; funcs = [] } in
+  let globals, _ = Vm.Layout.globals_table vm_view in
+  List.iter
+    (fun (name, _, init) ->
+      match init with
+      | None -> ()
+      | Some bytes ->
+        let base = Hashtbl.find globals name in
+        List.iteri
+          (fun i b -> Bytes.set mem (base + i) (Char.chr (b land 0xff)))
+          bytes)
+    p.Mach.globals;
+  let funcs = Array.of_list p.Mach.funcs in
+  let frames = Array.map prepare funcs in
+  let fidx_of_name = Hashtbl.create 32 in
+  Array.iteri (fun i f -> Hashtbl.add fidx_of_name f.Mach.name i) funcs;
+  let addr_of_sym name =
+    match Hashtbl.find_opt fidx_of_name name with
+    | Some i -> Vm.Layout.func_address i
+    | None -> (
+      match Hashtbl.find_opt globals name with
+      | Some a -> a
+      | None -> fail "unresolved symbol %s" name)
+  in
+  let regs = Array.make Vm.Isa.num_regs 0 in
+  regs.(Vm.Isa.sp) <- mem_size - 16;
+  let output = Buffer.create 256 in
+  let in_pos = ref 0 in
+  let instrs = ref 0 in
+  let cycles = ref 0 in
+  let check_addr a n =
+    if a < 0 || a + n > mem_size then fail "memory access out of range: %d" a
+  in
+  let load w a =
+    match w with
+    | Vm.Isa.B ->
+      check_addr a 1;
+      let v = Char.code (Bytes.get mem a) in
+      if v land 0x80 <> 0 then v - 0x100 else v
+    | Vm.Isa.H ->
+      check_addr a 2;
+      let v =
+        Char.code (Bytes.get mem a) lor (Char.code (Bytes.get mem (a + 1)) lsl 8)
+      in
+      if v land 0x8000 <> 0 then v - 0x10000 else v
+    | Vm.Isa.W ->
+      check_addr a 4;
+      norm
+        (Char.code (Bytes.get mem a)
+        lor (Char.code (Bytes.get mem (a + 1)) lsl 8)
+        lor (Char.code (Bytes.get mem (a + 2)) lsl 16)
+        lor (Char.code (Bytes.get mem (a + 3)) lsl 24))
+  in
+  let store w a v =
+    match w with
+    | Vm.Isa.B ->
+      check_addr a 1;
+      Bytes.set mem a (Char.chr (v land 0xff))
+    | Vm.Isa.H ->
+      check_addr a 2;
+      Bytes.set mem a (Char.chr (v land 0xff));
+      Bytes.set mem (a + 1) (Char.chr ((v asr 8) land 0xff))
+    | Vm.Isa.W ->
+      check_addr a 4;
+      Bytes.set mem a (Char.chr (v land 0xff));
+      Bytes.set mem (a + 1) (Char.chr ((v asr 8) land 0xff));
+      Bytes.set mem (a + 2) (Char.chr ((v asr 16) land 0xff));
+      Bytes.set mem (a + 3) (Char.chr ((v asr 24) land 0xff))
+  in
+  let read_operand w = function
+    | Mach.Reg r -> regs.(r)
+    | Mach.Imm v -> norm v
+    | Mach.Mem (b, d) -> load w (regs.(b) + d)
+  in
+  let alu op a b =
+    match op with
+    | Vm.Isa.Add -> norm (a + b)
+    | Vm.Isa.Sub -> norm (a - b)
+    | Vm.Isa.Mul -> norm (a * b)
+    | Vm.Isa.Div -> if b = 0 then fail "division by zero" else norm (a / b)
+    | Vm.Isa.Mod -> if b = 0 then fail "modulo by zero" else norm (a mod b)
+    | Vm.Isa.And -> norm (a land b)
+    | Vm.Isa.Or -> norm (a lor b)
+    | Vm.Isa.Xor -> norm (a lxor b)
+    | Vm.Isa.Shl -> norm (a lsl (b land 31))
+    | Vm.Isa.Shr -> norm (a asr (b land 31))
+  in
+  let builtin name =
+    match name with
+    | "putchar" ->
+      Buffer.add_char output (Char.chr (regs.(0) land 0xff));
+      regs.(0) <- regs.(0) land 0xff
+    | "getchar" ->
+      if !in_pos < String.length input then begin
+        regs.(0) <- Char.code input.[!in_pos];
+        incr in_pos
+      end
+      else regs.(0) <- -1
+    | "print_int" -> Buffer.add_string output (string_of_int regs.(0))
+    | "abort" -> fail "abort called"
+    | _ -> fail "unknown builtin %s" name
+  in
+  let entry_idx =
+    match Hashtbl.find_opt fidx_of_name entry with
+    | Some i -> i
+    | None -> fail "entry function %s not found" entry
+  in
+  let call_stack = ref [] in
+  let fidx = ref entry_idx in
+  let pc = ref 0 in
+  let running = ref true in
+  while !running do
+    if !instrs >= fuel then fail "fuel exhausted after %d instructions" !instrs;
+    let frame = frames.(!fidx) in
+    if !pc >= Array.length frame.flat then
+      fail "%s: fell off the end" funcs.(!fidx).Mach.name;
+    let ins = frame.flat.(!pc) in
+    on_instr !fidx !pc;
+    incr instrs;
+    cycles := !cycles + Mach.cycles ins;
+    incr pc;
+    let branch l =
+      match Hashtbl.find_opt frame.label_of l with
+      | Some i -> pc := i
+      | None -> fail "undefined label %s" l
+    in
+    let do_call_idx ti =
+      call_stack := (!fidx, !pc) :: !call_stack;
+      fidx := ti;
+      pc := 0
+    in
+    match ins with
+    | Mach.Nlabel _ -> ()
+    | Mach.Nmov (w, dst, src) -> (
+      let v = read_operand w src in
+      match dst with
+      | Mach.Reg r -> regs.(r) <- v
+      | Mach.Mem (b, d) -> store w (regs.(b) + d) v
+      | Mach.Imm _ -> fail "store to immediate")
+    | Mach.Nlea (r, s) -> regs.(r) <- addr_of_sym s
+    | Mach.Nalu (op, rd, src) -> regs.(rd) <- alu op regs.(rd) (read_operand Vm.Isa.W src)
+    | Mach.Nneg r -> regs.(r) <- norm (-regs.(r))
+    | Mach.Nnot r -> regs.(r) <- norm (lnot regs.(r))
+    | Mach.Nsext (Vm.Isa.B, r) ->
+      let v = regs.(r) land 0xff in
+      regs.(r) <- (if v land 0x80 <> 0 then v - 0x100 else v)
+    | Mach.Nsext (Vm.Isa.H, r) ->
+      let v = regs.(r) land 0xffff in
+      regs.(r) <- (if v land 0x8000 <> 0 then v - 0x10000 else v)
+    | Mach.Nsext (Vm.Isa.W, _) -> ()
+    | Mach.Ncmpbr (rel, r, src, l) ->
+      if Vm.Isa.eval_rel rel regs.(r) (read_operand Vm.Isa.W src) then branch l
+    | Mach.Njmp l -> branch l
+    | Mach.Ncall s -> (
+      match Hashtbl.find_opt fidx_of_name s with
+      | Some ti -> do_call_idx ti
+      | None ->
+        if List.mem s Vm.Isa.builtins then builtin s
+        else fail "call to unknown function %s" s)
+    | Mach.Ncallr r -> (
+      match Vm.Layout.func_index_of_address regs.(r) with
+      | Some ti when ti < Array.length funcs -> do_call_idx ti
+      | _ -> fail "indirect call to non-function address %d" regs.(r))
+    | Mach.Nret -> (
+      match !call_stack with
+      | (rf, ri) :: rest ->
+        call_stack := rest;
+        fidx := rf;
+        pc := ri
+      | [] -> running := false)
+    | Mach.Naddsp v -> regs.(Vm.Isa.sp) <- regs.(Vm.Isa.sp) + v
+  done;
+  { exit_code = regs.(0); output = Buffer.contents output; instrs = !instrs;
+    cycles = !cycles }

@@ -1,0 +1,30 @@
+(** Execution engine for the x86-like native target.
+
+    Same memory model and calling convention as [Vm.Interp] (globals from
+    [Vm.Layout.data_base], stack at the top of memory, args in registers
+    0–5, result in 0) so that native code compiled from a VM program is
+    observationally equivalent to interpreting the VM program — the
+    equivalence the test suite checks. Returns both an instruction count
+    and a modelled cycle count ({!Mach.cycles}), the repo's stand-in for
+    the paper's Pentium timings. *)
+
+exception Runtime_error of string
+
+type result = {
+  exit_code : int;
+  output : string;
+  instrs : int;    (** native instructions retired *)
+  cycles : int;    (** modelled cycles *)
+}
+
+val run :
+  ?mem_size:int ->
+  ?input:string ->
+  ?fuel:int ->
+  ?entry:string ->
+  ?on_instr:(int -> int -> unit) ->
+  Mach.nprogram ->
+  result
+(** @raise Runtime_error on traps (see [Vm.Interp.run]). [on_instr]
+    fires before each retired instruction with (function index,
+    instruction index) — the instruction-cache scenario's fetch trace. *)

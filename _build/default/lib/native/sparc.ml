@@ -1,0 +1,152 @@
+let fits13 v = v >= -4096 && v <= 4095
+
+let words_of_instr (i : Vm.Isa.instr) =
+  match i with
+  | Vm.Isa.Label _ -> 0
+  | Vm.Isa.Li (_, v) -> if fits13 v then 1 else 2 (* mov / sethi+or *)
+  | Vm.Isa.La _ -> 2 (* sethi+or of an absolute address *)
+  | Vm.Isa.Ld (_, _, d, _) | Vm.Isa.St (_, _, d, _) -> if fits13 d then 1 else 3
+  | Vm.Isa.Ldx _ | Vm.Isa.Stx _ -> 1
+  | Vm.Isa.Mov _ -> 1
+  | Vm.Isa.Alu _ -> 1
+  | Vm.Isa.Alui (_, _, _, v) -> if fits13 v then 1 else 3
+  | Vm.Isa.Neg _ | Vm.Isa.Not _ -> 1
+  | Vm.Isa.Sext _ -> 2 (* sll+sra *)
+  | Vm.Isa.Br _ -> 2 (* cmp + bcc (delay slot filled) *)
+  | Vm.Isa.Bri (_, _, v, _) -> if fits13 v then 2 else 4
+  | Vm.Isa.Jmp _ -> 1
+  | Vm.Isa.Call _ -> 1
+  | Vm.Isa.Callr _ -> 1 (* jmpl *)
+  | Vm.Isa.Rjr -> 1 (* retl *)
+  | Vm.Isa.Enter _ | Vm.Isa.Exit _ -> 1 (* save/restore-style sp adjust *)
+  | Vm.Isa.Spill _ | Vm.Isa.Reload _ -> 1
+
+let program_size (p : Vm.Isa.vprogram) =
+  4
+  * List.fold_left
+      (fun acc f ->
+        acc + List.fold_left (fun a i -> a + words_of_instr i) 0 f.Vm.Isa.code)
+      0 p.Vm.Isa.funcs
+
+(* Word layout (op:6 | rd:5 | rs1:5 | rs2-or-imm13:16) — not a real SPARC
+   bit layout, but the same field structure and alignment, which is what
+   matters for the byte-level compressibility of the baseline. *)
+
+let opnum (i : Vm.Isa.instr) =
+  match i with
+  | Vm.Isa.Ld (Vm.Isa.B, _, _, _) -> 1
+  | Vm.Isa.Ld (Vm.Isa.H, _, _, _) -> 2
+  | Vm.Isa.Ld (Vm.Isa.W, _, _, _) -> 3
+  | Vm.Isa.St (Vm.Isa.B, _, _, _) -> 4
+  | Vm.Isa.St (Vm.Isa.H, _, _, _) -> 5
+  | Vm.Isa.St (Vm.Isa.W, _, _, _) -> 6
+  | Vm.Isa.Ldx _ -> 7
+  | Vm.Isa.Stx _ -> 8
+  | Vm.Isa.Li _ -> 9
+  | Vm.Isa.La _ -> 10
+  | Vm.Isa.Mov _ -> 11
+  | Vm.Isa.Alu (op, _, _, _) | Vm.Isa.Alui (op, _, _, _) -> (
+    12
+    + match op with
+      | Vm.Isa.Add -> 0 | Vm.Isa.Sub -> 1 | Vm.Isa.Mul -> 2 | Vm.Isa.Div -> 3
+      | Vm.Isa.Mod -> 4 | Vm.Isa.And -> 5 | Vm.Isa.Or -> 6 | Vm.Isa.Xor -> 7
+      | Vm.Isa.Shl -> 8 | Vm.Isa.Shr -> 9)
+  | Vm.Isa.Neg _ -> 22
+  | Vm.Isa.Not _ -> 23
+  | Vm.Isa.Sext _ -> 24
+  | Vm.Isa.Br (rel, _, _, _) | Vm.Isa.Bri (rel, _, _, _) -> (
+    25
+    + match rel with
+      | Vm.Isa.Eq -> 0 | Vm.Isa.Ne -> 1 | Vm.Isa.Lt -> 2 | Vm.Isa.Le -> 3
+      | Vm.Isa.Gt -> 4 | Vm.Isa.Ge -> 5)
+  | Vm.Isa.Jmp _ -> 31
+  | Vm.Isa.Call _ -> 32
+  | Vm.Isa.Callr _ -> 33
+  | Vm.Isa.Rjr -> 34
+  | Vm.Isa.Enter _ -> 35
+  | Vm.Isa.Exit _ -> 36
+  | Vm.Isa.Spill _ -> 37
+  | Vm.Isa.Reload _ -> 38
+  | Vm.Isa.Label _ -> 0
+
+let encode_program (p : Vm.Isa.vprogram) =
+  let buf = Buffer.create 4096 in
+  let word op rd rs1 low16 =
+    let w =
+      ((op land 0x3f) lsl 26)
+      lor ((rd land 0x1f) lsl 21)
+      lor ((rs1 land 0x1f) lsl 16)
+      lor (low16 land 0xffff)
+    in
+    (* big-endian like SPARC *)
+    Buffer.add_char buf (Char.chr ((w lsr 24) land 0xff));
+    Buffer.add_char buf (Char.chr ((w lsr 16) land 0xff));
+    Buffer.add_char buf (Char.chr ((w lsr 8) land 0xff));
+    Buffer.add_char buf (Char.chr (w land 0xff))
+  in
+  let sethi_or rd v =
+    word 60 rd 0 ((v asr 16) land 0xffff);
+    word 61 rd rd (v land 0xffff)
+  in
+  (* label word-offsets per function for branch displacement realism *)
+  List.iter
+    (fun f ->
+      let offs = Hashtbl.create 8 in
+      let pos = ref 0 in
+      List.iter
+        (fun i ->
+          (match i with Vm.Isa.Label l -> Hashtbl.replace offs l !pos | _ -> ());
+          pos := !pos + words_of_instr i)
+        f.Vm.Isa.code;
+      let pc = ref 0 in
+      let target l = try Hashtbl.find offs l - !pc with Not_found -> 0 in
+      List.iter
+        (fun i ->
+          let op = opnum i in
+          (match i with
+          | Vm.Isa.Label _ -> ()
+          | Vm.Isa.Li (rd, v) -> if fits13 v then word op rd 0 v else sethi_or rd v
+          | Vm.Isa.La (rd, _) -> sethi_or rd 0x1000
+          | Vm.Isa.Ld (_, rd, d, rs) | Vm.Isa.St (_, rd, d, rs) ->
+            if fits13 d then word op rd rs d
+            else begin
+              sethi_or 1 d;
+              word op rd rs 1
+            end
+          | Vm.Isa.Ldx (_, rd, rs) | Vm.Isa.Stx (_, rd, rs) -> word op rd rs 0
+          | Vm.Isa.Mov (rd, rs) -> word op rd rs 0
+          | Vm.Isa.Alu (_, rd, a, b) -> word op rd a b
+          | Vm.Isa.Alui (_, rd, a, v) ->
+            if fits13 v then word op rd a v
+            else begin
+              sethi_or 1 v;
+              word op rd a 1
+            end
+          | Vm.Isa.Neg (rd, rs) | Vm.Isa.Not (rd, rs) -> word op rd rs 0
+          | Vm.Isa.Sext (_, rd, rs) ->
+            word op rd rs 24;
+            word op rd rd 24
+          | Vm.Isa.Br (_, a, b, l) ->
+            word 39 a b 0;
+            word op 0 0 (target l)
+          | Vm.Isa.Bri (_, a, v, l) ->
+            if fits13 v then begin
+              word 39 a 0 v;
+              word op 0 0 (target l)
+            end
+            else begin
+              sethi_or 1 v;
+              word 39 a 1 0;
+              word op 0 0 (target l)
+            end
+          | Vm.Isa.Jmp l -> word op 0 0 (target l)
+          | Vm.Isa.Call _ -> word op 15 0 0
+          | Vm.Isa.Callr r -> word op 15 r 0
+          | Vm.Isa.Rjr -> word op 0 15 0
+          | Vm.Isa.Enter k -> word op 14 14 (-k)
+          | Vm.Isa.Exit k -> word op 14 14 k
+          | Vm.Isa.Spill (r, off) | Vm.Isa.Reload (r, off) -> word op r 14 off);
+          pc := !pc + words_of_instr i)
+        f.Vm.Isa.code)
+    p.Vm.Isa.funcs;
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** SPARC-like conventional baseline for the wire-format comparison (§3).
+
+    The paper's first table compares wire-format sizes against
+    "conventional SPARC code segments", uncompressed and gzipped. This
+    module produces a fixed 32-bit-word RISC image of a VM program in the
+    SPARC mould: one word per simple instruction, two for large-immediate
+    materializations ([sethi]/[or] pairs) and symbol addresses, two for
+    compare-and-branch (cmp + bcc). *)
+
+val words_of_instr : Vm.Isa.instr -> int
+(** 32-bit words this instruction occupies. *)
+
+val program_size : Vm.Isa.vprogram -> int
+(** Code bytes (words x 4). *)
+
+val encode_program : Vm.Isa.vprogram -> string
+(** The byte image (for the "gzipped SPARC" baseline). Each word packs
+    opcode and register fields SPARC-style: op in the top bits, rd/rs1 in
+    5-bit fields, 13-bit signed immediates when they fit. *)

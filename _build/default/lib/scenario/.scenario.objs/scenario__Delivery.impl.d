@@ -1,0 +1,1 @@
+lib/scenario/delivery.ml: List

@@ -1,0 +1,1 @@
+lib/scenario/icache.ml: Array Brisc List Native String

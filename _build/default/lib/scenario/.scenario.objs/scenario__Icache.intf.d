@@ -1,0 +1,1 @@
+lib/scenario/icache.mli: Brisc Native

@@ -1,0 +1,1 @@
+lib/scenario/paging.ml: Array Brisc Hashtbl List Native String Vm

@@ -1,0 +1,1 @@
+lib/scenario/paging.mli: Brisc Vm

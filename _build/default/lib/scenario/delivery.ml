@@ -1,0 +1,88 @@
+type rates = {
+  decompress_mbps : float;
+  jit_mbps : float;
+  interp_slowdown : float;
+  clock_hz : float;
+}
+
+(* Defaults in the spirit of the paper's 120 MHz Pentium setting; the
+   bench harness overrides the first two with rates measured on the
+   host. *)
+let default_rates =
+  { decompress_mbps = 8.0; jit_mbps = 2.5; interp_slowdown = 12.0;
+    clock_hz = 120.0e6 }
+
+type representation =
+  | Raw_native
+  | Gzipped_native
+  | Wire_format
+  | Brisc_jit
+  | Brisc_interp
+
+let repr_name = function
+  | Raw_native -> "native"
+  | Gzipped_native -> "gzip+native"
+  | Wire_format -> "wire+JIT"
+  | Brisc_jit -> "BRISC+JIT"
+  | Brisc_interp -> "BRISC interp"
+
+type sizes = {
+  native_bytes : int;
+  gzip_bytes : int;
+  wire_bytes : int;
+  brisc_bytes : int;
+}
+
+type outcome = {
+  transfer_s : float;
+  prepare_s : float;
+  run_s : float;
+  total_s : float;
+}
+
+let mb = 1048576.0
+
+let total_time ?(rates = default_rates) sizes ~run_cycles ~link_bps repr =
+  let native_mb = float_of_int sizes.native_bytes /. mb in
+  let run_native = float_of_int run_cycles /. rates.clock_hz in
+  let transfer bytes = float_of_int bytes *. 8.0 /. link_bps in
+  let transfer_s, prepare_s, run_s =
+    match repr with
+    | Raw_native -> (transfer sizes.native_bytes, 0.0, run_native)
+    | Gzipped_native ->
+      (transfer sizes.gzip_bytes, native_mb /. rates.decompress_mbps, run_native)
+    | Wire_format ->
+      (* decompress the wire bundle, then JIT the whole program *)
+      ( transfer sizes.wire_bytes,
+        (native_mb /. rates.decompress_mbps) +. (native_mb /. rates.jit_mbps),
+        run_native )
+    | Brisc_jit -> (transfer sizes.brisc_bytes, native_mb /. rates.jit_mbps, run_native)
+    | Brisc_interp ->
+      (transfer sizes.brisc_bytes, 0.0, run_native *. rates.interp_slowdown)
+  in
+  { transfer_s; prepare_s; run_s; total_s = transfer_s +. prepare_s +. run_s }
+
+let all_reprs = [ Raw_native; Gzipped_native; Wire_format; Brisc_jit; Brisc_interp ]
+
+let best ?rates sizes ~run_cycles ~link_bps =
+  let outcomes =
+    List.map (fun r -> (r, total_time ?rates sizes ~run_cycles ~link_bps r)) all_reprs
+  in
+  List.fold_left
+    (fun (br, bo) (r, o) -> if o.total_s < bo.total_s then (r, o) else (br, bo))
+    (List.hd outcomes) (List.tl outcomes)
+
+let sweep ?rates sizes ~run_cycles ~link_bps_list =
+  List.map
+    (fun bps ->
+      ( bps,
+        List.map
+          (fun r -> (r, total_time ?rates sizes ~run_cycles ~link_bps:bps r))
+          all_reprs ))
+    link_bps_list
+
+let modem_bps = 28_800.0
+let isdn_bps = 128_000.0
+let t1_bps = 1_544_000.0
+let lan_bps = 10_000_000.0
+let fast_lan_bps = 100_000_000.0

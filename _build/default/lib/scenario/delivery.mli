@@ -1,0 +1,83 @@
+(** Total-time delivery model (paper introduction and §4.5).
+
+    The paper's system-wide argument: when code travels over a slow
+    link, total time = transfer + client-side preparation + execution,
+    so the best representation depends on the bottleneck — the wire
+    format wins over a modem, BRISC wins on a LAN ("Over a modem, the
+    tree compression algorithm given above will do better at minimizing
+    the latency between when a program is requested and when the program
+    begins performing useful work").
+
+    Rates are parameters with measured defaults: the decompression and
+    JIT rates default to the values measured on this host by the
+    benchmark harness, and execution time comes from the native
+    simulator's cycle model scaled by a nominal clock. *)
+
+type rates = {
+  decompress_mbps : float;  (** wire decompress rate, MB/s of output *)
+  jit_mbps : float;         (** native code production rate, MB/s *)
+  interp_slowdown : float;  (** interpreted time / native time *)
+  clock_hz : float;         (** nominal CPU clock for cycle counts *)
+}
+
+val default_rates : rates
+
+type representation =
+  | Raw_native        (** ship native code, run it *)
+  | Gzipped_native    (** ship gzip, decompress, run *)
+  | Wire_format       (** ship wire code, decompress + JIT, run *)
+  | Brisc_jit         (** ship BRISC, JIT, run *)
+  | Brisc_interp      (** ship BRISC, interpret in place *)
+
+val repr_name : representation -> string
+
+type sizes = {
+  native_bytes : int;
+  gzip_bytes : int;
+  wire_bytes : int;
+  brisc_bytes : int;
+}
+
+type outcome = {
+  transfer_s : float;
+  prepare_s : float;    (** decompress and/or JIT *)
+  run_s : float;
+  total_s : float;
+}
+
+val total_time :
+  ?rates:rates ->
+  sizes ->
+  run_cycles:int ->
+  link_bps:float ->
+  representation ->
+  outcome
+
+val best :
+  ?rates:rates ->
+  sizes ->
+  run_cycles:int ->
+  link_bps:float ->
+  representation * outcome
+(** The representation minimizing total time at this link speed. *)
+
+val sweep :
+  ?rates:rates ->
+  sizes ->
+  run_cycles:int ->
+  link_bps_list:float list ->
+  (float * (representation * outcome) list) list
+(** For each link speed, every representation's outcome (for the
+    crossover table the bench prints). *)
+
+val modem_bps : float
+(** 28.8 kbaud, the paper's slow end. *)
+
+val isdn_bps : float
+val t1_bps : float
+
+val lan_bps : float
+(** 10 Mbit Ethernet. *)
+
+val fast_lan_bps : float
+(** 100 Mbit Ethernet. *)

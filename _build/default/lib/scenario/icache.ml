@@ -1,0 +1,73 @@
+type config = { line_bytes : int; lines : int; miss_cycles : int }
+
+let default_config ~lines = { line_bytes = 32; lines; miss_cycles = 20 }
+
+type result = { accesses : int; misses : int; miss_cycles_total : int }
+
+let simulate cfg trace =
+  let tags = Array.make cfg.lines (-1) in
+  let accesses = ref 0 in
+  let misses = ref 0 in
+  List.iter
+    (fun (off, len) ->
+      incr accesses;
+      let first = off / cfg.line_bytes in
+      let last = (off + max 1 len - 1) / cfg.line_bytes in
+      for line = first to last do
+        let slot = line mod cfg.lines in
+        if tags.(slot) <> line then begin
+          incr misses;
+          tags.(slot) <- line
+        end
+      done)
+    trace;
+  { accesses = !accesses; misses = !misses;
+    miss_cycles_total = !misses * cfg.miss_cycles }
+
+(* Per-instruction byte offsets of the native image: functions laid out
+   back to back, each instruction at the prefix sum of encoded sizes. *)
+let native_layout (np : Native.Mach.nprogram) =
+  let base = ref 0 in
+  List.map
+    (fun (f : Native.Mach.nfunc) ->
+      let offs =
+        Array.of_list
+          (List.rev
+             (snd
+                (List.fold_left
+                   (fun (pos, acc) i ->
+                     (pos + Native.Mach.encoded_size i,
+                      (pos, Native.Mach.encoded_size i) :: acc))
+                   (!base, []) f.Native.Mach.code)))
+      in
+      base := !base + Native.Mach.func_size f;
+      offs)
+    np.Native.Mach.funcs
+  |> Array.of_list
+
+let native_fetch_trace (np : Native.Mach.nprogram) ?input () =
+  let layout = native_layout np in
+  let trace = ref [] in
+  let (_ : Native.Sim.result) =
+    Native.Sim.run ?input
+      ~on_instr:(fun fidx iidx -> trace := layout.(fidx).(iidx) :: !trace)
+      np
+  in
+  List.rev !trace
+
+let brisc_fetch_trace (img : Brisc.Emit.image) ?input () =
+  (* function base offsets within the packed code section *)
+  let bases = Array.make (Array.length img.Brisc.Emit.ifuncs) 0 in
+  let acc = ref 0 in
+  Array.iteri
+    (fun i (f : Brisc.Emit.ifunc) ->
+      bases.(i) <- !acc;
+      acc := !acc + String.length f.Brisc.Emit.code)
+    img.Brisc.Emit.ifuncs;
+  let trace = ref [] in
+  let (_ : Brisc.Interp.result) =
+    Brisc.Interp.run ?input
+      ~on_dispatch:(fun fidx off len -> trace := (bases.(fidx) + off, len) :: !trace)
+      img
+  in
+  List.rev !trace

@@ -1,0 +1,36 @@
+(** Instruction-cache model (paper introduction: compression can pay
+    "even for cache misses if the decompressor is fast enough").
+
+    A direct-mapped instruction cache is fed the byte ranges of executed
+    instructions. Two images of the same program are compared: the
+    native encoding and the denser BRISC encoding. The denser image
+    touches fewer lines; whether that wins overall depends on the
+    per-dispatch decode overhead — exactly the trade the paper sketches.
+    The model returns both miss counts and a modelled cycle total so the
+    bench can print the crossover against cache size. *)
+
+type config = {
+  line_bytes : int;     (** cache line size, default 32 *)
+  lines : int;          (** number of lines (direct mapped) *)
+  miss_cycles : int;    (** memory fetch penalty, default 20 *)
+}
+
+val default_config : lines:int -> config
+
+type result = {
+  accesses : int;
+  misses : int;
+  miss_cycles_total : int;
+}
+
+val simulate : config -> (int * int) list -> result
+(** Feed (byte offset, length) instruction fetches through the cache.
+    Offsets are absolute within the code image. *)
+
+val native_fetch_trace : Native.Mach.nprogram -> ?input:string -> unit -> (int * int) list
+(** Instruction fetch trace (offset, encoded length) of an actual
+    execution of the native program. *)
+
+val brisc_fetch_trace : Brisc.Emit.image -> ?input:string -> unit -> (int * int) list
+(** Same for direct interpretation of the BRISC image: each dispatch
+    fetches the instruction's compressed bytes. *)

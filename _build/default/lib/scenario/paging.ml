@@ -1,0 +1,96 @@
+type config = {
+  page_bytes : int;
+  resident_pages : int;
+  fault_cost_us : float;
+  decompress_us_per_page : float;
+}
+
+let default_config ~resident_pages =
+  { page_bytes = 4096; resident_pages; fault_cost_us = 10_000.0;
+    decompress_us_per_page = 0.0 }
+
+type layout = { seg_page : int array; pages : int }
+
+let layout_of_sizes ~page_bytes sizes =
+  (* pack function segments onto pages first-fit in order: a function
+     starts on the current page if it fits in the remainder, else on a
+     fresh page; functions bigger than a page span several *)
+  let n = Array.length sizes in
+  let seg_page = Array.make n 0 in
+  let page = ref 0 in
+  let used = ref 0 in
+  for f = 0 to n - 1 do
+    let sz = max 1 sizes.(f) in
+    if !used > 0 && !used + sz > page_bytes then begin
+      incr page;
+      used := 0
+    end;
+    seg_page.(f) <- !page;
+    let total = !used + sz in
+    page := !page + ((total - 1) / page_bytes);
+    used := total mod page_bytes;
+    if !used = 0 && total > 0 then incr page
+  done;
+  let pages = !page + if !used > 0 then 1 else 0 in
+  { seg_page; pages = max pages 1 }
+
+type result = {
+  references : int;
+  faults : int;
+  fault_time_s : float;
+  working_set_pages : int;
+}
+
+(* LRU over page ids via a timestamped table. *)
+let simulate cfg layout trace =
+  let last_use : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let resident : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let touched : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let clock = ref 0 in
+  let faults = ref 0 in
+  let evict_lru () =
+    let victim = ref (-1) and oldest = ref max_int in
+    Hashtbl.iter
+      (fun p () ->
+        let t = try Hashtbl.find last_use p with Not_found -> 0 in
+        if t < !oldest then begin
+          oldest := t;
+          victim := p
+        end)
+      resident;
+    if !victim >= 0 then Hashtbl.remove resident !victim
+  in
+  let touch page =
+    incr clock;
+    Hashtbl.replace touched page ();
+    Hashtbl.replace last_use page !clock;
+    if not (Hashtbl.mem resident page) then begin
+      incr faults;
+      if Hashtbl.length resident >= cfg.resident_pages then evict_lru ();
+      Hashtbl.replace resident page ()
+    end
+  in
+  List.iter (fun f -> touch layout.seg_page.(f)) trace;
+  let per_fault = cfg.fault_cost_us +. cfg.decompress_us_per_page in
+  {
+    references = List.length trace;
+    faults = !faults;
+    fault_time_s = float_of_int !faults *. per_fault /. 1.0e6;
+    working_set_pages = Hashtbl.length touched;
+  }
+
+let trace_of_program ?input (vp : Vm.Isa.vprogram) =
+  let trace = ref [] in
+  let (_ : Vm.Interp.result) =
+    Vm.Interp.run ?input ~on_call:(fun f -> trace := f :: !trace) vp
+  in
+  List.rev !trace
+
+let func_sizes_native (vp : Vm.Isa.vprogram) =
+  vp.Vm.Isa.funcs
+  |> List.map (fun f -> Native.Mach.func_size (Native.Compile.compile_func f))
+  |> Array.of_list
+
+let func_sizes_brisc (img : Brisc.Emit.image) =
+  Array.map (fun (f : Brisc.Emit.ifunc) -> String.length f.Brisc.Emit.code)
+    img.Brisc.Emit.ifuncs

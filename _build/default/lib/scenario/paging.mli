@@ -1,0 +1,50 @@
+(** Working-set / paging simulator (paper introduction: "we have seen
+    the CPU idle for most of the time during paging, so compressing
+    pages can increase total performance even though the CPU must
+    decompress or interpret the page contents"; §4: interpretation "cuts
+    working set size by over 40%").
+
+    Model: a program's code is split into per-function segments laid out
+    on fixed-size pages; execution is a function-level reference trace
+    (from the VM interpreter's real call sequence); a resident set of N
+    pages is managed with LRU. Each fault costs a disk access, plus a
+    decompression cost when the stored image is compressed. Comparing
+    native code against compressed code on the same memory budget shows
+    when the smaller image's fewer faults pay for its interpretation
+    overhead. *)
+
+type config = {
+  page_bytes : int;        (** default 4096 *)
+  resident_pages : int;    (** memory budget *)
+  fault_cost_us : float;   (** disk access, default 10ms *)
+  decompress_us_per_page : float;
+      (** extra per-fault cost when the paged-in form must be expanded *)
+}
+
+val default_config : resident_pages:int -> config
+
+type layout = { seg_page : int array; pages : int }
+(** [seg_page.(f)] is the first page of function [f]'s code; [pages] is
+    the image's total page count. Functions smaller than a page share
+    pages (packed first-fit in order). *)
+
+val layout_of_sizes : page_bytes:int -> int array -> layout
+(** Lay out per-function code sizes onto pages. *)
+
+type result = {
+  references : int;        (** trace length *)
+  faults : int;
+  fault_time_s : float;
+  working_set_pages : int; (** distinct pages touched *)
+}
+
+val simulate : config -> layout -> int list -> result
+(** Run an LRU simulation over a function-reference trace. *)
+
+val trace_of_program :
+  ?input:string -> Vm.Isa.vprogram -> int list
+(** Function-level reference trace from actually interpreting the
+    program: one entry per function entered (callee index), in order. *)
+
+val func_sizes_native : Vm.Isa.vprogram -> int array
+val func_sizes_brisc : Brisc.Emit.image -> int array

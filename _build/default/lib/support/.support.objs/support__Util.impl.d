@@ -1,0 +1,1 @@
+lib/support/util.ml: Buffer Bytes Char List Printf String

@@ -1,0 +1,114 @@
+module Writer = struct
+  type t = {
+    mutable buf : Bytes.t;
+    mutable len : int;          (* complete bytes *)
+    mutable acc : int;          (* pending bits, LSB-first *)
+    mutable nacc : int;         (* number of pending bits, < 8 *)
+  }
+
+  let create ?(capacity = 256) () =
+    { buf = Bytes.create (max 16 capacity); len = 0; acc = 0; nacc = 0 }
+
+  let ensure w extra =
+    let need = w.len + extra in
+    if need > Bytes.length w.buf then begin
+      let cap = ref (Bytes.length w.buf * 2) in
+      while !cap < need do cap := !cap * 2 done;
+      let nb = Bytes.create !cap in
+      Bytes.blit w.buf 0 nb 0 w.len;
+      w.buf <- nb
+    end
+
+  let flush_acc w =
+    while w.nacc >= 8 do
+      ensure w 1;
+      Bytes.unsafe_set w.buf w.len (Char.unsafe_chr (w.acc land 0xff));
+      w.len <- w.len + 1;
+      w.acc <- w.acc lsr 8;
+      w.nacc <- w.nacc - 8
+    done
+
+  let put_bit w b =
+    w.acc <- w.acc lor ((b land 1) lsl w.nacc);
+    w.nacc <- w.nacc + 1;
+    if w.nacc = 8 then flush_acc w
+
+  let put_bits w v n =
+    if n < 0 || n > 56 then invalid_arg "Bitio.Writer.put_bits";
+    let v = if n = 56 then v else v land ((1 lsl n) - 1) in
+    w.acc <- w.acc lor (v lsl w.nacc);
+    w.nacc <- w.nacc + n;
+    flush_acc w
+
+  let put_bits_msb w v n =
+    if n < 0 || n > 56 then invalid_arg "Bitio.Writer.put_bits_msb";
+    for i = n - 1 downto 0 do put_bit w ((v lsr i) land 1) done
+
+  let align_byte w = if w.nacc > 0 then put_bits w 0 (8 - w.nacc)
+
+  let put_byte w b = put_bits w (b land 0xff) 8
+
+  let put_bytes w b =
+    if w.nacc = 0 then begin
+      let n = Bytes.length b in
+      ensure w n;
+      Bytes.blit b 0 w.buf w.len n;
+      w.len <- w.len + n
+    end
+    else Bytes.iter (fun c -> put_byte w (Char.code c)) b
+
+  let put_string w s = put_bytes w (Bytes.unsafe_of_string s)
+
+  let bit_length w = (w.len * 8) + w.nacc
+
+  let contents w =
+    let extra = if w.nacc > 0 then 1 else 0 in
+    let out = Bytes.create (w.len + extra) in
+    Bytes.blit w.buf 0 out 0 w.len;
+    if extra = 1 then Bytes.set out w.len (Char.chr (w.acc land 0xff));
+    out
+end
+
+module Reader = struct
+  type t = { data : Bytes.t; mutable pos : int (* bit position *) }
+
+  let of_bytes b = { data = b; pos = 0 }
+  let of_string s = of_bytes (Bytes.unsafe_of_string s)
+
+  let total_bits r = Bytes.length r.data * 8
+  let bits_remaining r = total_bits r - r.pos
+  let bit_position r = r.pos
+
+  let get_bit r =
+    if r.pos >= total_bits r then failwith "Bitio.Reader: out of bits";
+    let byte = Char.code (Bytes.unsafe_get r.data (r.pos lsr 3)) in
+    let bit = (byte lsr (r.pos land 7)) land 1 in
+    r.pos <- r.pos + 1;
+    bit
+
+  let get_bits r n =
+    if n < 0 || n > 56 then invalid_arg "Bitio.Reader.get_bits";
+    let v = ref 0 in
+    for i = 0 to n - 1 do
+      v := !v lor (get_bit r lsl i)
+    done;
+    !v
+
+  let get_bits_msb r n =
+    if n < 0 || n > 56 then invalid_arg "Bitio.Reader.get_bits_msb";
+    let v = ref 0 in
+    for _ = 1 to n do
+      v := (!v lsl 1) lor get_bit r
+    done;
+    !v
+
+  let align_byte r =
+    let rem = r.pos land 7 in
+    if rem > 0 then r.pos <- r.pos + (8 - rem)
+
+  let get_byte r = get_bits r 8
+
+  let seek_bit r p =
+    if p < 0 || p > total_bits r then invalid_arg "Bitio.Reader.seek_bit";
+    r.pos <- p
+end

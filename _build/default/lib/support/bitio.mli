@@ -1,0 +1,67 @@
+(** Bit-level readers and writers over growable byte buffers.
+
+    Bits are packed LSB-first within each byte (the DEFLATE convention):
+    the first bit written becomes bit 0 of byte 0. *)
+
+module Writer : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Fresh writer. [capacity] is an initial byte-buffer size hint. *)
+
+  val put_bit : t -> int -> unit
+  (** [put_bit w b] appends the low bit of [b]. *)
+
+  val put_bits : t -> int -> int -> unit
+  (** [put_bits w v n] appends the [n] low bits of [v], LSB first.
+      [n] must be within [0, 56]. *)
+
+  val put_bits_msb : t -> int -> int -> unit
+  (** [put_bits_msb w v n] appends the [n] low bits of [v], MSB first —
+      the natural order for canonical Huffman codes. *)
+
+  val align_byte : t -> unit
+  (** Pad with zero bits to the next byte boundary. *)
+
+  val put_byte : t -> int -> unit
+  (** Append a whole byte; the writer need not be byte-aligned. *)
+
+  val put_bytes : t -> Bytes.t -> unit
+  (** Append all bytes of the argument. *)
+
+  val put_string : t -> string -> unit
+
+  val bit_length : t -> int
+  (** Number of bits written so far. *)
+
+  val contents : t -> Bytes.t
+  (** Flush (zero-padding the final partial byte) and return a copy of the
+      written bytes. The writer remains usable. *)
+end
+
+module Reader : sig
+  type t
+
+  val of_bytes : Bytes.t -> t
+  val of_string : string -> t
+
+  val get_bit : t -> int
+  (** Next bit, LSB-first within bytes. @raise Failure on exhaustion. *)
+
+  val get_bits : t -> int -> int
+  (** [get_bits r n] reads [n] bits LSB-first, [n] within [0, 56]. *)
+
+  val get_bits_msb : t -> int -> int
+  (** [get_bits_msb r n] reads [n] bits MSB-first (Huffman order). *)
+
+  val align_byte : t -> unit
+  (** Skip to the next byte boundary. *)
+
+  val get_byte : t -> int
+  val bits_remaining : t -> int
+  val bit_position : t -> int
+
+  val seek_bit : t -> int -> unit
+  (** Absolute bit seek; used for random access into block-addressed
+      streams. @raise Invalid_argument when out of range. *)
+end

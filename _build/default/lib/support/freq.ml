@@ -1,0 +1,51 @@
+type 'a t = {
+  tbl : ('a, int ref) Hashtbl.t;
+  order : ('a, int) Hashtbl.t;    (* insertion order for deterministic ties *)
+  mutable next_ord : int;
+  mutable total : int;
+}
+
+let create () =
+  { tbl = Hashtbl.create 64; order = Hashtbl.create 64; next_ord = 0; total = 0 }
+
+let add_many t k n =
+  t.total <- t.total + n;
+  match Hashtbl.find_opt t.tbl k with
+  | Some r -> r := !r + n
+  | None ->
+    Hashtbl.add t.tbl k (ref n);
+    Hashtbl.add t.order k t.next_ord;
+    t.next_ord <- t.next_ord + 1
+
+let add t k = add_many t k 1
+
+let count t k = match Hashtbl.find_opt t.tbl k with Some r -> !r | None -> 0
+let total t = t.total
+let distinct t = Hashtbl.length t.tbl
+
+let to_list t =
+  let items =
+    Hashtbl.fold (fun k r acc -> (k, !r, Hashtbl.find t.order k) :: acc) t.tbl []
+  in
+  let sorted =
+    List.sort
+      (fun (_, c1, o1) (_, c2, o2) ->
+        if c1 <> c2 then compare c2 c1 else compare o1 o2)
+      items
+  in
+  List.map (fun (k, c, _) -> (k, c)) sorted
+
+let iter f t = Hashtbl.iter (fun k r -> f k !r) t.tbl
+
+let entropy_bits t =
+  if t.total = 0 then 0.0
+  else begin
+    let n = float_of_int t.total in
+    let h = ref 0.0 in
+    Hashtbl.iter
+      (fun _ r ->
+        let p = float_of_int !r /. n in
+        if p > 0.0 then h := !h -. (p *. (log p /. log 2.0)))
+      t.tbl;
+    !h
+  end

@@ -1,0 +1,21 @@
+(** Frequency tables over arbitrary keys, used to drive Huffman and
+    Markov model construction. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val add : 'a t -> 'a -> unit
+val add_many : 'a t -> 'a -> int -> unit
+val count : 'a t -> 'a -> int
+val total : 'a t -> int
+val distinct : 'a t -> int
+
+val to_list : 'a t -> ('a * int) list
+(** Pairs in decreasing count order; ties broken arbitrarily but
+    deterministically for keys added in a fixed order. *)
+
+val iter : ('a -> int -> unit) -> 'a t -> unit
+
+val entropy_bits : 'a t -> float
+(** Shannon entropy of the empirical distribution, in bits per symbol.
+    0.0 for an empty table. *)

@@ -1,0 +1,73 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable arr : 'a array;
+  mutable len : int;
+}
+
+let create ~cmp = { cmp; arr = [||]; len = 0 }
+
+let length h = h.len
+let is_empty h = h.len = 0
+
+let swap h i j =
+  let t = h.arr.(i) in
+  h.arr.(i) <- h.arr.(j);
+  h.arr.(j) <- t
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if h.cmp h.arr.(i) h.arr.(p) > 0 then begin
+      swap h i p;
+      sift_up h p
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < h.len && h.cmp h.arr.(l) h.arr.(!best) > 0 then best := l;
+  if r < h.len && h.cmp h.arr.(r) h.arr.(!best) > 0 then best := r;
+  if !best <> i then begin
+    swap h i !best;
+    sift_down h !best
+  end
+
+let push h x =
+  if h.len = Array.length h.arr then begin
+    let cap = max 16 (2 * Array.length h.arr) in
+    let na = Array.make cap x in
+    Array.blit h.arr 0 na 0 h.len;
+    h.arr <- na
+  end;
+  h.arr.(h.len) <- x;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let peek h = if h.len = 0 then None else Some h.arr.(0)
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.arr.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.arr.(0) <- h.arr.(h.len);
+      sift_down h 0
+    end;
+    Some top
+  end
+
+let pop_exn h =
+  match pop h with
+  | Some x -> x
+  | None -> invalid_arg "Heap.pop_exn: empty"
+
+let of_list ~cmp xs =
+  let h = create ~cmp in
+  List.iter (push h) xs;
+  h
+
+let to_sorted_list h =
+  let rec go acc = match pop h with None -> List.rev acc | Some x -> go (x :: acc) in
+  go []

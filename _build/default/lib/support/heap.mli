@@ -1,0 +1,24 @@
+(** Imperative binary max-heap parameterized by an explicit comparison.
+
+    Used by the BRISC dictionary builder to rank candidate instruction
+    patterns by benefit, and by the Huffman builder (as a min-heap via an
+    inverted comparison). *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Max-heap with respect to [cmp]: [pop] returns the greatest element. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+val pop : 'a t -> 'a option
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+val to_sorted_list : 'a t -> 'a list
+(** Destructively drains the heap; result is in decreasing order. *)

@@ -1,0 +1,43 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let next64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Int64.to_int keeps the low 63 bits, which can be negative as a
+     native int; mask to the non-negative range first. *)
+  let r = Int64.to_int (next64 t) land max_int in
+  r mod bound
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let float t =
+  let r = Int64.to_int (Int64.shift_right_logical (next64 t) 11) in
+  float_of_int r /. 9007199254740992.0 (* 2^53 *)
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let weighted t choices =
+  let total = List.fold_left (fun a (w, _) -> a + w) 0 choices in
+  if total <= 0 then invalid_arg "Prng.weighted: weights must sum positive";
+  let r = int t total in
+  let rec go acc = function
+    | [] -> invalid_arg "Prng.weighted: unreachable"
+    | (w, x) :: rest -> if r < acc + w then x else go (acc + w) rest
+  in
+  go 0 choices
+
+let geometric t ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Prng.geometric";
+  let rec go n = if n >= 64 || float t < p then n else go (n + 1) in
+  go 0

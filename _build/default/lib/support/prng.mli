@@ -1,0 +1,27 @@
+(** Deterministic splitmix64 pseudo-random generator.
+
+    The corpus program generator and workload sweeps must be reproducible
+    across runs and machines, so we avoid [Random] (whose sequence depends
+    on the stdlib version) in favour of a fixed, documented algorithm. *)
+
+type t
+
+val create : int64 -> t
+(** Seeded generator. The same seed always yields the same sequence. *)
+
+val next64 : t -> int64
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). [bound] must be positive. *)
+
+val bool : t -> bool
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val weighted : t -> (int * 'a) list -> 'a
+(** Pick by integer weight; weights must be non-negative with positive sum. *)
+
+val geometric : t -> p:float -> int
+(** Number of failures before first success; p in (0,1]. Capped at 64. *)

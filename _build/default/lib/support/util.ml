@@ -1,0 +1,77 @@
+let bytes_of_int_list xs =
+  let b = Bytes.create (List.length xs) in
+  List.iteri (fun i x -> Bytes.set b i (Char.chr (x land 0xff))) xs;
+  b
+
+let int_list_of_bytes b =
+  List.init (Bytes.length b) (fun i -> Char.code (Bytes.get b i))
+
+let chunks n xs =
+  if n <= 0 then invalid_arg "Util.chunks";
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if k = n then go (List.rev cur :: acc) [ x ] 1 rest
+      else go acc (x :: cur) (k + 1) rest
+  in
+  go [] [] 0 xs
+
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+
+let rec drop n = function
+  | [] -> []
+  | _ :: rest as l -> if n <= 0 then l else drop (n - 1) rest
+
+let zigzag n = if n >= 0 then 2 * n else (-2 * n) - 1
+let unzigzag u = if u land 1 = 0 then u / 2 else -((u + 1) / 2)
+
+let uleb128 buf v =
+  if v < 0 then invalid_arg "Util.uleb128: negative";
+  let rec go v =
+    if v < 0x80 then Buffer.add_char buf (Char.chr v)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7f)));
+      go (v lsr 7)
+    end
+  in
+  go v
+
+let sleb_of_int buf v = uleb128 buf (zigzag v)
+
+let read_uleb128 s pos =
+  let v = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    let b = Char.code s.[!pos] in
+    incr pos;
+    v := !v lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if b land 0x80 = 0 then continue := false
+  done;
+  !v
+
+let read_sleb s pos = unzigzag (read_uleb128 s pos)
+
+let human_bytes n =
+  let f = float_of_int n in
+  if n < 1024 then Printf.sprintf "%d B" n
+  else if n < 1024 * 1024 then Printf.sprintf "%.1f KB" (f /. 1024.0)
+  else Printf.sprintf "%.2f MB" (f /. (1024.0 *. 1024.0))
+
+let ratio a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let var =
+      List.fold_left (fun a x -> a +. ((x -. m) ** 2.0)) 0.0 xs
+      /. float_of_int (List.length xs - 1)
+    in
+    sqrt var

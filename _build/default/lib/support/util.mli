@@ -1,0 +1,37 @@
+(** Small shared helpers. *)
+
+val bytes_of_int_list : int list -> Bytes.t
+(** Each int is truncated to one byte. *)
+
+val int_list_of_bytes : Bytes.t -> int list
+
+val chunks : int -> 'a list -> 'a list list
+(** Split into runs of at most [n]; [n] must be positive. *)
+
+val take : int -> 'a list -> 'a list
+val drop : int -> 'a list -> 'a list
+
+val zigzag : int -> int
+(** Map signed to unsigned: 0,-1,1,-2,2... -> 0,1,2,3,4... *)
+
+val unzigzag : int -> int
+
+val uleb128 : Buffer.t -> int -> unit
+(** Append an unsigned LEB128 varint; the value must be non-negative. *)
+
+val sleb_of_int : Buffer.t -> int -> unit
+(** Signed value via zigzag + ULEB128. *)
+
+val read_uleb128 : string -> int ref -> int
+(** Read a ULEB128 varint at [!pos], advancing [pos]. *)
+
+val read_sleb : string -> int ref -> int
+
+val human_bytes : int -> string
+(** "12.3 KB"-style rendering for reports. *)
+
+val ratio : int -> int -> float
+(** [ratio a b] is a/b as float; 0.0 when [b] is zero. *)
+
+val mean : float list -> float
+val stddev : float list -> float

@@ -1,0 +1,1 @@
+lib/vm/asm.ml: Isa List Option Printf String

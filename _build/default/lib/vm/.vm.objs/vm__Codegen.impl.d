@@ -1,0 +1,1 @@
+lib/vm/codegen.ml: Ir Isa List Printf String

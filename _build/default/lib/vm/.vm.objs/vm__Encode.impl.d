@@ -1,0 +1,1 @@
+lib/vm/encode.ml: Array Buffer Char Hashtbl Isa List String Support

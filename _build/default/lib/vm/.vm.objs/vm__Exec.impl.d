@@ -1,0 +1,1 @@
+lib/vm/exec.ml: Array Buffer Bytes Char Hashtbl Isa List Printf String

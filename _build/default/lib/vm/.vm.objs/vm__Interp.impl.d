@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Buffer Bytes Char Hashtbl Isa Layout List Printf String

@@ -1,0 +1,1 @@
+lib/vm/layout.mli: Hashtbl Isa

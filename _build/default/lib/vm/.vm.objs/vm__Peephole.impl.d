@@ -1,0 +1,1 @@
+lib/vm/peephole.ml: Hashtbl Isa List

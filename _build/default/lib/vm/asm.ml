@@ -1,0 +1,207 @@
+exception Asm_error of string * int
+
+let err line fmt = Printf.ksprintf (fun m -> raise (Asm_error (m, line))) fmt
+
+(* ---- lexical helpers ---- *)
+
+let strip s =
+  let s =
+    match String.index_opt s '#' with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  String.trim s
+
+let reg_of_name line s =
+  match s with
+  | "sp" -> Isa.sp
+  | "ra" -> Isa.ra
+  | _ ->
+    if String.length s >= 2 && s.[0] = 'n' then
+      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+      | Some r when r >= 0 && r < Isa.num_regs -> r
+      | _ -> err line "bad register %S" s
+    else err line "bad register %S" s
+
+let int_of line s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> err line "bad integer %S" s
+
+let label_of line s =
+  if String.length s >= 2 && s.[0] = '$' then String.sub s 1 (String.length s - 1)
+  else err line "bad label %S (expected $name)" s
+
+(* split "a,b,c" honouring no nesting *)
+let operands s =
+  if String.trim s = "" then []
+  else List.map String.trim (String.split_on_char ',' s)
+
+(* "imm(reg)" *)
+let mem_operand line s =
+  match String.index_opt s '(' with
+  | Some i when String.length s > 0 && s.[String.length s - 1] = ')' ->
+    let imm = int_of line (String.sub s 0 i) in
+    let r = reg_of_name line (String.sub s (i + 1) (String.length s - i - 2)) in
+    (imm, r)
+  | _ -> err line "bad memory operand %S" s
+
+(* "(reg)" *)
+let ind_operand line s =
+  if String.length s >= 3 && s.[0] = '(' && s.[String.length s - 1] = ')' then
+    reg_of_name line (String.sub s 1 (String.length s - 2))
+  else err line "bad indirect operand %S" s
+
+let width_of_suffix line = function
+  | "b" -> Isa.B
+  | "h" -> Isa.H
+  | "w" -> Isa.W
+  | s -> err line "bad width suffix %S" s
+
+let parse_instr_line line text : Isa.instr =
+  let text = String.trim text in
+  let mnemonic, rest =
+    match String.index_opt text ' ' with
+    | Some i ->
+      (String.sub text 0 i, String.sub text (i + 1) (String.length text - i - 1))
+    | None -> (text, "")
+  in
+  let ops = operands rest in
+  let reg = reg_of_name line in
+  let imm = int_of line in
+  let lab = label_of line in
+  let aluop_of = function
+    | "add" -> Some Isa.Add
+    | "sub" -> Some Isa.Sub
+    | "mul" -> Some Isa.Mul
+    | "div" -> Some Isa.Div
+    | "mod" -> Some Isa.Mod
+    | "and" -> Some Isa.And
+    | "or" -> Some Isa.Or
+    | "xor" -> Some Isa.Xor
+    | "shl" -> Some Isa.Shl
+    | "shr" -> Some Isa.Shr
+    | _ -> None
+  in
+  let relop_of = function
+    | "beq" -> Some Isa.Eq
+    | "bne" -> Some Isa.Ne
+    | "blt" -> Some Isa.Lt
+    | "ble" -> Some Isa.Le
+    | "bgt" -> Some Isa.Gt
+    | "bge" -> Some Isa.Ge
+    | _ -> None
+  in
+  let stem, suffix =
+    match String.index_opt mnemonic '.' with
+    | Some i ->
+      ( String.sub mnemonic 0 i,
+        String.sub mnemonic (i + 1) (String.length mnemonic - i - 1) )
+    | None -> (mnemonic, "")
+  in
+  match (stem, suffix, ops) with
+  | "ld", s, [ rd; m ] when String.length s = 2 && s.[0] = 'i' ->
+    let imm_, rs = mem_operand line m in
+    Isa.Ld (width_of_suffix line (String.make 1 s.[1]), reg rd, imm_, rs)
+  | "st", s, [ rv; m ] when String.length s = 2 && s.[0] = 'i' ->
+    let imm_, rs = mem_operand line m in
+    Isa.St (width_of_suffix line (String.make 1 s.[1]), reg rv, imm_, rs)
+  | "ldx", s, [ rd; m ] when String.length s = 2 && s.[0] = 'i' ->
+    Isa.Ldx (width_of_suffix line (String.make 1 s.[1]), reg rd, ind_operand line m)
+  | "stx", s, [ rv; m ] when String.length s = 2 && s.[0] = 'i' ->
+    Isa.Stx (width_of_suffix line (String.make 1 s.[1]), reg rv, ind_operand line m)
+  | "li", "", [ rd; v ] -> Isa.Li (reg rd, imm v)
+  | "la", "", [ rd; s ] -> Isa.La (reg rd, s)
+  | "mov", "i", [ rd; rs ] -> Isa.Mov (reg rd, reg rs)
+  | "neg", "i", [ rd; rs ] -> Isa.Neg (reg rd, reg rs)
+  | "not", "i", [ rd; rs ] -> Isa.Not (reg rd, reg rs)
+  | "sext", s, [ rd; rs ] -> Isa.Sext (width_of_suffix line s, reg rd, reg rs)
+  | "jmp", "", [ l ] -> Isa.Jmp (lab l)
+  | "call", "", [ s ] -> Isa.Call s
+  | "callr", "", [ r ] -> Isa.Callr (reg r)
+  | "rjr", "", ([] | [ "ra" ]) -> Isa.Rjr
+  | "enter", "", [ "sp"; "sp"; k ] -> Isa.Enter (imm k)
+  | "exit", "", [ "sp"; "sp"; k ] -> Isa.Exit (imm k)
+  | "spill", "i", [ r; m ] ->
+    let off, base = mem_operand line m in
+    if base <> Isa.sp then err line "spill must address (sp)";
+    Isa.Spill (reg r, off)
+  | "reload", "i", [ r; m ] ->
+    let off, base = mem_operand line m in
+    if base <> Isa.sp then err line "reload must address (sp)";
+    Isa.Reload (reg r, off)
+  | _, "i", [ a; b; c ] when aluop_of stem <> None -> (
+    let op = Option.get (aluop_of stem) in
+    (* register or immediate third operand *)
+    match int_of_string_opt c with
+    | Some v -> Isa.Alui (op, reg a, reg b, v)
+    | None -> Isa.Alu (op, reg a, reg b, reg c))
+  | _, "i", [ a; b; l ] when relop_of stem <> None -> (
+    let rel = Option.get (relop_of stem) in
+    match int_of_string_opt b with
+    | Some v -> Isa.Bri (rel, reg a, v, lab l)
+    | None -> Isa.Br (rel, reg a, reg b, lab l))
+  | _ -> err line "cannot parse instruction %S" text
+
+let parse_instr text = parse_instr_line 0 text
+
+let parse_program src =
+  let lines = String.split_on_char '\n' src in
+  let globals = ref [] in
+  let funcs = ref [] in
+  let current : (string * Isa.instr list ref) option ref = ref None in
+  let finish () =
+    match !current with
+    | Some (name, code) ->
+      funcs := { Isa.name; code = List.rev !code } :: !funcs;
+      current := None
+    | None -> ()
+  in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let text = strip raw in
+      if text = "" then ()
+      else if String.length text > 8 && String.sub text 0 8 = ".global " then begin
+        let rest = String.sub text 8 (String.length text - 8) in
+        match String.split_on_char '=' rest with
+        | [ head ] -> (
+          match String.split_on_char ' ' (String.trim head) with
+          | [ name; size ] ->
+            globals := (name, int_of lineno size, None) :: !globals
+          | _ -> err lineno "bad .global")
+        | [ head; init ] -> (
+          match String.split_on_char ' ' (String.trim head) with
+          | [ name; size ] ->
+            let bytes =
+              List.map (fun b -> int_of lineno (String.trim b))
+                (String.split_on_char ',' init)
+            in
+            globals := (name, int_of lineno size, Some bytes) :: !globals
+          | _ -> err lineno "bad .global")
+        | _ -> err lineno "bad .global"
+      end
+      else if text.[0] = '$' then begin
+        (* label definition "$name:" *)
+        if text.[String.length text - 1] <> ':' then err lineno "label must end with ':'";
+        let l = String.sub text 1 (String.length text - 2) in
+        match !current with
+        | Some (_, code) -> code := Isa.Label l :: !code
+        | None -> err lineno "label outside a function"
+      end
+      else if text.[String.length text - 1] = ':' then begin
+        (* function start *)
+        finish ();
+        current := Some (String.sub text 0 (String.length text - 1), ref [])
+      end
+      else begin
+        match !current with
+        | Some (_, code) -> code := parse_instr_line lineno text :: !code
+        | None -> err lineno "instruction outside a function"
+      end)
+    lines;
+  finish ();
+  let p = { Isa.globals = List.rev !globals; funcs = List.rev !funcs } in
+  match Isa.validate p with
+  | [] -> p
+  | issues -> err 0 "invalid program:\n%s" (String.concat "\n" issues)

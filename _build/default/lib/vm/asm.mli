@@ -1,0 +1,24 @@
+(** Assembler for the textual OmniVM format that {!Isa.program_to_string}
+    prints, so VM programs can be written by hand, dumped by [mcc --emit
+    vm], edited, and reassembled.
+
+    Syntax (one item per line; [#] comments):
+    {v
+      .global NAME SIZE [= b0,b1,...]
+      NAME:                     function start
+      $label:                   label
+        ld.iw n0,4(sp)          instruction (exactly the printed forms)
+        ble.i n4,0,$L56
+        call pepper
+    v} *)
+
+exception Asm_error of string * int
+(** Message and 1-based line number. *)
+
+val parse_program : string -> Isa.vprogram
+(** @raise Asm_error on malformed input. The result passes
+    [Isa.validate]; validation issues are raised as [Asm_error] on
+    line 0. *)
+
+val parse_instr : string -> Isa.instr
+(** Parse a single instruction line (no label/function forms). *)

@@ -1,0 +1,22 @@
+(** Code generation from the lcc-style tree IR to OmniVM code.
+
+    A tree-walking generator with an on-the-fly register stack over the
+    callee-saved registers [n4]–[n15] (values that spill when the stack
+    outgrows the register file go to scratch frame slots), producing the
+    prologue/epilogue shape the paper's example shows: [enter], [spill.i]
+    of the callee-saved registers and [ra], body, [exit], [rjr].
+
+    The [features] argument selects the §5 ISA de-tunings: without
+    ALU-immediate forms every constant is materialized through [li];
+    without register-displacement addressing every memory access computes
+    its address explicitly and uses load/store-indirect. *)
+
+exception Codegen_error of string
+
+val gen_func :
+  ?features:Isa.feature_set -> Ir.Tree.program -> Ir.Tree.func -> Isa.vfunc
+
+val gen_program : ?features:Isa.feature_set -> Ir.Tree.program -> Isa.vprogram
+(** Translate every function; globals pass through. The result passes
+    [Isa.validate]. @raise Codegen_error on unsupported inputs (more than
+    6 arguments, V-typed value positions). *)

@@ -1,0 +1,139 @@
+type state = {
+  mem : Bytes.t;
+  regs : int array;
+  out_buf : Buffer.t;
+  input : string;
+  mutable in_pos : int;
+}
+
+exception Trap of string
+
+let trap fmt = Printf.ksprintf (fun m -> raise (Trap m)) fmt
+
+let create ?(mem_size = 1 lsl 22) ?(input = "") () =
+  let st =
+    {
+      mem = Bytes.make mem_size '\000';
+      regs = Array.make Isa.num_regs 0;
+      out_buf = Buffer.create 256;
+      input;
+      in_pos = 0;
+    }
+  in
+  st.regs.(Isa.sp) <- mem_size - 16;
+  st
+
+let norm v =
+  let v = v land 0xFFFFFFFF in
+  if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let check st a n =
+  if a < 0 || a + n > Bytes.length st.mem then
+    trap "memory access out of range: %d" a
+
+let load st w a =
+  match w with
+  | Isa.B ->
+    check st a 1;
+    let v = Char.code (Bytes.get st.mem a) in
+    if v land 0x80 <> 0 then v - 0x100 else v
+  | Isa.H ->
+    check st a 2;
+    let v =
+      Char.code (Bytes.get st.mem a)
+      lor (Char.code (Bytes.get st.mem (a + 1)) lsl 8)
+    in
+    if v land 0x8000 <> 0 then v - 0x10000 else v
+  | Isa.W ->
+    check st a 4;
+    norm
+      (Char.code (Bytes.get st.mem a)
+      lor (Char.code (Bytes.get st.mem (a + 1)) lsl 8)
+      lor (Char.code (Bytes.get st.mem (a + 2)) lsl 16)
+      lor (Char.code (Bytes.get st.mem (a + 3)) lsl 24))
+
+let store st w a v =
+  match w with
+  | Isa.B ->
+    check st a 1;
+    Bytes.set st.mem a (Char.chr (v land 0xff))
+  | Isa.H ->
+    check st a 2;
+    Bytes.set st.mem a (Char.chr (v land 0xff));
+    Bytes.set st.mem (a + 1) (Char.chr ((v asr 8) land 0xff))
+  | Isa.W ->
+    check st a 4;
+    Bytes.set st.mem a (Char.chr (v land 0xff));
+    Bytes.set st.mem (a + 1) (Char.chr ((v asr 8) land 0xff));
+    Bytes.set st.mem (a + 2) (Char.chr ((v asr 16) land 0xff));
+    Bytes.set st.mem (a + 3) (Char.chr ((v asr 24) land 0xff))
+
+let alu op a b =
+  match op with
+  | Isa.Add -> norm (a + b)
+  | Isa.Sub -> norm (a - b)
+  | Isa.Mul -> norm (a * b)
+  | Isa.Div -> if b = 0 then trap "division by zero" else norm (a / b)
+  | Isa.Mod -> if b = 0 then trap "modulo by zero" else norm (a mod b)
+  | Isa.And -> norm (a land b)
+  | Isa.Or -> norm (a lor b)
+  | Isa.Xor -> norm (a lxor b)
+  | Isa.Shl -> norm (a lsl (b land 31))
+  | Isa.Shr -> norm (a asr (b land 31))
+
+let init_globals st table globals =
+  List.iter
+    (fun (name, _, init) ->
+      match init with
+      | None -> ()
+      | Some bytes ->
+        let base = Hashtbl.find table name in
+        List.iteri
+          (fun i b -> Bytes.set st.mem (base + i) (Char.chr (b land 0xff)))
+          bytes)
+    globals
+
+let builtin st name =
+  match name with
+  | "putchar" ->
+    Buffer.add_char st.out_buf (Char.chr (st.regs.(0) land 0xff));
+    st.regs.(0) <- st.regs.(0) land 0xff
+  | "getchar" ->
+    if st.in_pos < String.length st.input then begin
+      st.regs.(0) <- Char.code st.input.[st.in_pos];
+      st.in_pos <- st.in_pos + 1
+    end
+    else st.regs.(0) <- -1
+  | "print_int" -> Buffer.add_string st.out_buf (string_of_int st.regs.(0))
+  | "abort" -> trap "abort called"
+  | _ -> trap "unknown builtin %s" name
+
+let step_data st ~branch_target ~sym_addr (i : Isa.instr) =
+  ignore branch_target;
+  let regs = st.regs in
+  match i with
+  | Isa.Label _ -> ()
+  | Isa.Ld (w, rd, imm, rs) -> regs.(rd) <- load st w (regs.(rs) + imm)
+  | Isa.St (w, rs2, imm, rs1) -> store st w (regs.(rs1) + imm) regs.(rs2)
+  | Isa.Ldx (w, rd, rs) -> regs.(rd) <- load st w regs.(rs)
+  | Isa.Stx (w, rs2, rs1) -> store st w regs.(rs1) regs.(rs2)
+  | Isa.Li (rd, v) -> regs.(rd) <- norm v
+  | Isa.La (rd, s) -> regs.(rd) <- sym_addr s
+  | Isa.Mov (rd, rs) -> regs.(rd) <- regs.(rs)
+  | Isa.Alu (op, rd, a, b) -> regs.(rd) <- alu op regs.(a) regs.(b)
+  | Isa.Alui (op, rd, a, v) -> regs.(rd) <- alu op regs.(a) v
+  | Isa.Neg (rd, rs) -> regs.(rd) <- norm (-regs.(rs))
+  | Isa.Not (rd, rs) -> regs.(rd) <- norm (lnot regs.(rs))
+  | Isa.Sext (Isa.B, rd, rs) ->
+    let v = regs.(rs) land 0xff in
+    regs.(rd) <- (if v land 0x80 <> 0 then v - 0x100 else v)
+  | Isa.Sext (Isa.H, rd, rs) ->
+    let v = regs.(rs) land 0xffff in
+    regs.(rd) <- (if v land 0x8000 <> 0 then v - 0x10000 else v)
+  | Isa.Sext (Isa.W, rd, rs) -> regs.(rd) <- regs.(rs)
+  | Isa.Enter k -> regs.(Isa.sp) <- regs.(Isa.sp) - k
+  | Isa.Exit k -> regs.(Isa.sp) <- regs.(Isa.sp) + k
+  | Isa.Spill (r, off) -> store st Isa.W (regs.(Isa.sp) + off) regs.(r)
+  | Isa.Reload (r, off) -> regs.(r) <- load st Isa.W (regs.(Isa.sp) + off)
+  | Isa.Br _ | Isa.Bri _ | Isa.Jmp _ | Isa.Call _ | Isa.Callr _ | Isa.Rjr ->
+    invalid_arg "Exec.step_data: control instruction"

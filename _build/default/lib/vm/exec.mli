@@ -1,0 +1,41 @@
+(** Shared execution core: machine state and the semantics of the
+    data-path instructions, used by both the VM interpreter and the
+    BRISC direct interpreter so the two cannot drift apart. Control
+    transfer (branches, calls, returns) stays with each engine because
+    their program counters differ (instruction index vs byte offset). *)
+
+type state = {
+  mem : Bytes.t;
+  regs : int array;           (** length {!Isa.num_regs} *)
+  out_buf : Buffer.t;
+  input : string;
+  mutable in_pos : int;
+}
+
+exception Trap of string
+
+val create : ?mem_size:int -> ?input:string -> unit -> state
+(** Fresh state with [sp] at the top of memory. *)
+
+val norm : int -> int
+(** 32-bit two's-complement normalization. *)
+
+val load : state -> Isa.width -> int -> int
+(** Sign-extending load. @raise Trap on out-of-range addresses. *)
+
+val store : state -> Isa.width -> int -> int -> unit
+val alu : Isa.aluop -> int -> int -> int
+(** @raise Trap on division or modulo by zero. *)
+
+val init_globals : state -> (string, int) Hashtbl.t -> (string * int * int list option) list -> unit
+(** Copy global initializers into memory at their laid-out addresses. *)
+
+val builtin : state -> string -> unit
+(** Execute a runtime builtin ([putchar] etc.) against [regs.(0)].
+    @raise Trap on [abort] or unknown names. *)
+
+val step_data : state -> branch_target:(string -> int) -> sym_addr:(string -> int) -> Isa.instr -> unit
+(** Execute one non-control instruction ([Ld]/[St]/[Li]/[La]/[Mov]/ALU/
+    [Sext]/[Enter]/[Exit]/[Spill]/[Reload]; [Label] is a no-op).
+    @raise Invalid_argument for control instructions — callers dispatch
+    those themselves. *)

@@ -1,0 +1,44 @@
+(** Reference interpreter for OmniVM code.
+
+    Executes a {!Isa.vprogram} over a flat byte memory: globals are laid
+    out from {!data_base} upwards, the stack occupies the top of memory
+    and grows down, and every function gets a synthetic code address so
+    function pointers stored in memory work. All arithmetic is 32-bit
+    two's-complement (values are kept sign-extended in 63-bit OCaml
+    ints). Division by zero and memory accesses outside the image raise
+    {!Runtime_error}.
+
+    The interpreter doubles as the semantic oracle for the BRISC
+    interpreter and the native-code simulator: all three must produce the
+    same outputs and exit codes on the corpus (tested in
+    [test/test_exec.ml]). *)
+
+exception Runtime_error of string
+
+type result = {
+  exit_code : int;        (** return value of [main] *)
+  output : string;        (** bytes written via [putchar]/[print_int] *)
+  steps : int;            (** instructions executed *)
+}
+
+val data_base : int
+val default_mem_size : int
+
+val run :
+  ?mem_size:int ->
+  ?input:string ->
+  ?fuel:int ->
+  ?entry:string ->
+  ?on_call:(int -> unit) ->
+  Isa.vprogram ->
+  result
+(** Run starting at [entry] (default ["main"], called with no
+    arguments). [input] feeds [getchar] (EOF = -1 afterwards). [fuel]
+    bounds executed instructions (default 200 million). [on_call] fires
+    with the callee's function index at the entry call and at every
+    direct or indirect call (the paging scenario's reference trace).
+    @raise Runtime_error on traps, unknown entry, or fuel exhaustion. *)
+
+val global_address : Isa.vprogram -> string -> int
+(** Address a global would get under this interpreter's layout (exposed
+    so tests can poke memory). *)

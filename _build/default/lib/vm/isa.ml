@@ -1,0 +1,229 @@
+type reg = int
+
+let sp = 14
+let ra = 15
+let num_regs = 16
+
+let reg_name r =
+  if r = sp then "sp"
+  else if r = ra then "ra"
+  else if r >= 0 && r < 16 then Printf.sprintf "n%d" r
+  else Printf.sprintf "r?%d" r
+
+type width = B | H | W
+
+let width_bytes = function B -> 1 | H -> 2 | W -> 4
+let width_name = function B -> "b" | H -> "h" | W -> "w"
+
+type aluop = Add | Sub | Mul | Div | Mod | And | Or | Xor | Shl | Shr
+
+let aluop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Mod -> "mod"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+
+type relop = Eq | Ne | Lt | Le | Gt | Ge
+
+let relop_name = function
+  | Eq -> "beq"
+  | Ne -> "bne"
+  | Lt -> "blt"
+  | Le -> "ble"
+  | Gt -> "bgt"
+  | Ge -> "bge"
+
+let eval_rel rel a b =
+  match rel with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+
+type instr =
+  | Ld of width * reg * int * reg
+  | St of width * reg * int * reg
+  | Ldx of width * reg * reg
+  | Stx of width * reg * reg
+  | Li of reg * int
+  | La of reg * string
+  | Mov of reg * reg
+  | Alu of aluop * reg * reg * reg
+  | Alui of aluop * reg * reg * int
+  | Neg of reg * reg
+  | Not of reg * reg
+  | Sext of width * reg * reg
+  | Br of relop * reg * reg * string
+  | Bri of relop * reg * int * string
+  | Jmp of string
+  | Call of string
+  | Callr of reg
+  | Rjr
+  | Enter of int
+  | Exit of int
+  | Spill of reg * int
+  | Reload of reg * int
+  | Label of string
+
+type vfunc = { name : string; code : instr list }
+
+type vprogram = {
+  globals : (string * int * int list option) list;
+  funcs : vfunc list;
+}
+
+type feature_set = { has_imm_alu : bool; has_reg_disp : bool }
+
+let full_risc = { has_imm_alu = true; has_reg_disp = true }
+let minus_immediates = { has_imm_alu = false; has_reg_disp = true }
+let minus_reg_disp = { has_imm_alu = true; has_reg_disp = false }
+let minimal = { has_imm_alu = false; has_reg_disp = false }
+
+let feature_set_name fs =
+  match (fs.has_imm_alu, fs.has_reg_disp) with
+  | true, true -> "RISC"
+  | false, true -> "minus immediates"
+  | true, false -> "minus register-displacement"
+  | false, false -> "minus both"
+
+let instr_to_string i =
+  let r = reg_name in
+  match i with
+  | Ld (w, rd, imm, rs) ->
+    Printf.sprintf "ld.i%s %s,%d(%s)" (width_name w) (r rd) imm (r rs)
+  | St (w, rs2, imm, rs1) ->
+    Printf.sprintf "st.i%s %s,%d(%s)" (width_name w) (r rs2) imm (r rs1)
+  | Ldx (w, rd, rs) -> Printf.sprintf "ldx.i%s %s,(%s)" (width_name w) (r rd) (r rs)
+  | Stx (w, rs2, rs1) ->
+    Printf.sprintf "stx.i%s %s,(%s)" (width_name w) (r rs2) (r rs1)
+  | Li (rd, imm) -> Printf.sprintf "li %s,%d" (r rd) imm
+  | La (rd, s) -> Printf.sprintf "la %s,%s" (r rd) s
+  | Mov (rd, rs) -> Printf.sprintf "mov.i %s,%s" (r rd) (r rs)
+  | Alu (op, rd, rs1, rs2) ->
+    Printf.sprintf "%s.i %s,%s,%s" (aluop_name op) (r rd) (r rs1) (r rs2)
+  | Alui (op, rd, rs1, imm) ->
+    Printf.sprintf "%s.i %s,%s,%d" (aluop_name op) (r rd) (r rs1) imm
+  | Neg (rd, rs) -> Printf.sprintf "neg.i %s,%s" (r rd) (r rs)
+  | Not (rd, rs) -> Printf.sprintf "not.i %s,%s" (r rd) (r rs)
+  | Sext (w, rd, rs) ->
+    Printf.sprintf "sext.%s %s,%s" (width_name w) (r rd) (r rs)
+  | Br (rel, rs1, rs2, lbl) ->
+    Printf.sprintf "%s.i %s,%s,$%s" (relop_name rel) (r rs1) (r rs2) lbl
+  | Bri (rel, rs1, imm, lbl) ->
+    Printf.sprintf "%s.i %s,%d,$%s" (relop_name rel) (r rs1) imm lbl
+  | Jmp lbl -> Printf.sprintf "jmp $%s" lbl
+  | Call s -> Printf.sprintf "call %s" s
+  | Callr rg -> Printf.sprintf "callr %s" (r rg)
+  | Rjr -> "rjr ra"
+  | Enter k -> Printf.sprintf "enter sp,sp,%d" k
+  | Exit k -> Printf.sprintf "exit sp,sp,%d" k
+  | Spill (rg, off) -> Printf.sprintf "spill.i %s,%d(sp)" (r rg) off
+  | Reload (rg, off) -> Printf.sprintf "reload.i %s,%d(sp)" (r rg) off
+  | Label lbl -> Printf.sprintf "$%s:" lbl
+
+let func_to_string f =
+  let body =
+    List.map
+      (fun i ->
+        match i with
+        | Label _ -> instr_to_string i
+        | _ -> "  " ^ instr_to_string i)
+      f.code
+  in
+  Printf.sprintf "%s:\n%s" f.name (String.concat "\n" body)
+
+let program_to_string p =
+  let globals =
+    List.map
+      (fun (n, sz, init) ->
+        match init with
+        | None -> Printf.sprintf ".global %s %d" n sz
+        | Some bytes ->
+          Printf.sprintf ".global %s %d = %s" n sz
+            (String.concat "," (List.map string_of_int bytes)))
+      p.globals
+  in
+  String.concat "\n" (globals @ List.map func_to_string p.funcs) ^ "\n"
+
+let instr_count p =
+  List.fold_left
+    (fun acc f ->
+      acc
+      + List.length (List.filter (fun i -> match i with Label _ -> false | _ -> true) f.code))
+    0 p.funcs
+
+let defined_labels f =
+  List.filter_map (fun i -> match i with Label l -> Some l | _ -> None) f.code
+
+let builtins = [ "putchar"; "getchar"; "print_int"; "abort" ]
+
+let validate p =
+  let issues = ref [] in
+  let problem fmt = Printf.ksprintf (fun m -> issues := m :: !issues) fmt in
+  let fnames = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem fnames f.name then problem "duplicate function %s" f.name
+      else Hashtbl.add fnames f.name ())
+    p.funcs;
+  let known_target s =
+    Hashtbl.mem fnames s || List.mem s builtins
+    || List.exists (fun (g, _, _) -> g = s) p.globals
+  in
+  let check_reg f r =
+    if r < 0 || r >= num_regs then problem "%s: bad register %d" f.name r
+  in
+  List.iter
+    (fun f ->
+      let labels = Hashtbl.create 16 in
+      List.iter
+        (fun i ->
+          match i with
+          | Label l ->
+            if Hashtbl.mem labels l then problem "%s: duplicate label %s" f.name l
+            else Hashtbl.add labels l ()
+          | _ -> ())
+        f.code;
+      let target l =
+        if not (Hashtbl.mem labels l) then
+          problem "%s: branch to undefined label %s" f.name l
+      in
+      List.iter
+        (fun i ->
+          match i with
+          | Ld (_, a, _, b) | St (_, a, _, b) | Ldx (_, a, b) | Stx (_, a, b)
+          | Mov (a, b) | Neg (a, b) | Not (a, b) | Sext (_, a, b) ->
+            check_reg f a;
+            check_reg f b
+          | Li (a, _) | Callr a | Spill (a, _) | Reload (a, _) -> check_reg f a
+          | La (a, s) ->
+            check_reg f a;
+            if not (known_target s) then problem "%s: la of unknown %s" f.name s
+          | Alu (_, a, b, c) ->
+            check_reg f a;
+            check_reg f b;
+            check_reg f c
+          | Alui (_, a, b, _) ->
+            check_reg f a;
+            check_reg f b
+          | Br (_, a, b, l) ->
+            check_reg f a;
+            check_reg f b;
+            target l
+          | Bri (_, a, _, l) ->
+            check_reg f a;
+            target l
+          | Jmp l -> target l
+          | Call s -> if not (known_target s) then problem "%s: call to unknown %s" f.name s
+          | Rjr | Enter _ | Exit _ | Label _ -> ())
+        f.code)
+    p.funcs;
+  List.rev !issues

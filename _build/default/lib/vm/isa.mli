@@ -1,0 +1,109 @@
+(** The OmniVM-like register virtual machine instruction set (§4).
+
+    Sixteen integer registers (with [sp] and [ra] aliased to the top
+    two, so every register field fits four bits), a
+    RISC core (loads/stores with register-displacement addressing,
+    three-address ALU ops, compare-and-branch), immediate forms, and the
+    frame macro-instructions the paper shows ([enter], [exit], [spill.i],
+    [reload.i], [rjr]).
+
+    Calling convention implemented by {!Codegen} and {!Interp}:
+    - up to 6 arguments in [n0]–[n5]; result in [n0];
+    - [call] writes the return address to [ra]; [rjr] returns through it;
+    - [n0]–[n3] are caller-saved scratch, [n4]–[n13] are callee-saved
+      (spilled/reloaded by the prologue/epilogue);
+    - the stack grows down; [enter k] subtracts [k] from [sp]; locals
+      live at [0..frame_size) from [sp], formal spill slots just above.
+
+    {!feature_set} captures the §5 "reducing RISC abstract machines"
+    de-tunings: dropping ALU-immediate forms (all immediates except
+    [li]), and dropping register-displacement addressing (leaving only
+    load/store-indirect). *)
+
+type reg = int
+(** The paper's OmniVM has 16 integer registers, all addressable in a
+    4-bit field: [n0]–[n13] are general, {!sp} aliases n14 and {!ra}
+    aliases n15. *)
+
+val sp : reg
+val ra : reg
+val num_regs : int
+(** Total addressable registers (16). *)
+
+val reg_name : reg -> string
+
+type width = B | H | W
+(** Byte, half-word (16-bit), word (32-bit) memory access widths. *)
+
+val width_bytes : width -> int
+val width_name : width -> string
+(** "b", "h", or "w" — the paper writes [ld.iw] for word loads. *)
+
+type aluop = Add | Sub | Mul | Div | Mod | And | Or | Xor | Shl | Shr
+
+val aluop_name : aluop -> string
+
+type relop = Eq | Ne | Lt | Le | Gt | Ge
+
+val relop_name : relop -> string
+val eval_rel : relop -> int -> int -> bool
+
+type instr =
+  | Ld of width * reg * int * reg      (** [ld.iw rd, imm(rs)] *)
+  | St of width * reg * int * reg      (** [st.iw rs2, imm(rs1)] *)
+  | Ldx of width * reg * reg           (** load-indirect (no displacement) *)
+  | Stx of width * reg * reg           (** store-indirect *)
+  | Li of reg * int                    (** load immediate *)
+  | La of reg * string                 (** load address of a symbol *)
+  | Mov of reg * reg                   (** [mov.i rd, rs] *)
+  | Alu of aluop * reg * reg * reg     (** [add.i rd, rs1, rs2] *)
+  | Alui of aluop * reg * reg * int    (** [add.i rd, rs1, imm] *)
+  | Neg of reg * reg
+  | Not of reg * reg                   (** bitwise complement *)
+  | Sext of width * reg * reg          (** sign-extend sub-word value *)
+  | Br of relop * reg * reg * string   (** [ble.i rs1, rs2, label] *)
+  | Bri of relop * reg * int * string  (** [ble.i rs, imm, label] *)
+  | Jmp of string
+  | Call of string                     (** direct call by symbol *)
+  | Callr of reg                       (** indirect call *)
+  | Rjr                                (** return through [ra] *)
+  | Enter of int                       (** [enter sp,sp,k] *)
+  | Exit of int                        (** [exit sp,sp,k] *)
+  | Spill of reg * int                 (** [spill.i r, k(sp)] *)
+  | Reload of reg * int                (** [reload.i r, k(sp)] *)
+  | Label of string
+
+type vfunc = { name : string; code : instr list }
+
+type vprogram = {
+  globals : (string * int * int list option) list;
+      (** name, size, optional byte init *)
+  funcs : vfunc list;
+}
+
+type feature_set = {
+  has_imm_alu : bool;   (** ALU-immediate + branch-immediate forms *)
+  has_reg_disp : bool;  (** imm(rs) addressing on loads/stores *)
+}
+
+val full_risc : feature_set
+val minus_immediates : feature_set
+val minus_reg_disp : feature_set
+val minimal : feature_set
+
+val feature_set_name : feature_set -> string
+
+val instr_to_string : instr -> string
+val func_to_string : vfunc -> string
+val program_to_string : vprogram -> string
+
+val instr_count : vprogram -> int
+val defined_labels : vfunc -> string list
+val validate : vprogram -> string list
+(** Empty list when well-formed: branch targets defined in the same
+    function, register indices in range, call targets defined (or
+    builtins), no duplicate function names. *)
+
+val builtins : string list
+(** Runtime-provided functions programs may call: [putchar], [getchar],
+    [print_int], [abort]. *)

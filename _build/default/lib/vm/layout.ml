@@ -1,0 +1,17 @@
+let data_base = 0x1000
+
+let func_address idx = 8 * (idx + 1)
+
+let func_index_of_address a =
+  if a >= 8 && a < data_base && a mod 8 = 0 then Some ((a / 8) - 1) else None
+
+let globals_table (p : Isa.vprogram) =
+  let tbl = Hashtbl.create 64 in
+  let next = ref data_base in
+  List.iter
+    (fun (name, size, _) ->
+      let aligned = (!next + 3) / 4 * 4 in
+      Hashtbl.add tbl name aligned;
+      next := aligned + max 1 size)
+    p.Isa.globals;
+  (tbl, !next)

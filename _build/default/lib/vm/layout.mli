@@ -1,0 +1,17 @@
+(** Memory layout shared by the VM interpreter, the BRISC interpreter and
+    the native simulator, so function pointers and global addresses agree
+    across all three execution engines. *)
+
+val data_base : int
+(** First data address; globals are laid out upward from here,
+    4-byte aligned. *)
+
+val func_address : int -> int
+(** Synthetic code address of the [i]-th function (multiples of 8
+    starting at 8, disjoint from data addresses). *)
+
+val func_index_of_address : int -> int option
+(** Inverse of {!func_address}; [None] for non-function addresses. *)
+
+val globals_table : Isa.vprogram -> (string, int) Hashtbl.t * int
+(** Address of every global, and the end of the data segment. *)

@@ -1,0 +1,158 @@
+(* Local rewrites over the instruction list. Applied to a fixed point
+   (each rule application can expose another). *)
+
+let is_barrier (i : Isa.instr) =
+  (* anything that invalidates knowledge of memory or registers *)
+  match i with
+  | Isa.Label _ | Isa.Call _ | Isa.Callr _ | Isa.Jmp _ | Isa.Br _ | Isa.Bri _
+  | Isa.Rjr | Isa.Enter _ | Isa.Exit _ ->
+    true
+  | _ -> false
+
+let writes_reg (i : Isa.instr) r =
+  match i with
+  | Isa.Ld (_, rd, _, _) | Isa.Ldx (_, rd, _) | Isa.Li (rd, _) | Isa.La (rd, _)
+  | Isa.Mov (rd, _) | Isa.Alu (_, rd, _, _) | Isa.Alui (_, rd, _, _)
+  | Isa.Neg (rd, _) | Isa.Not (rd, _) | Isa.Sext (_, rd, _)
+  | Isa.Reload (rd, _) ->
+    rd = r
+  | _ -> false
+
+(* one rewriting sweep; returns (changed, code') *)
+let sweep code =
+  let changed = ref false in
+  let rec go acc = function
+    | [] -> List.rev acc
+    (* mov to self *)
+    | Isa.Mov (a, b) :: rest when a = b ->
+      changed := true;
+      go acc rest
+    (* arithmetic identities *)
+    | Isa.Alui ((Isa.Add | Isa.Sub | Isa.Or | Isa.Xor | Isa.Shl | Isa.Shr), rd, rs, 0)
+      :: rest
+    | Isa.Alui ((Isa.Mul | Isa.Div), rd, rs, 1) :: rest ->
+      changed := true;
+      if rd = rs then go acc rest else go acc (Isa.Mov (rd, rs) :: rest)
+    | Isa.Alui (Isa.Mul, rd, _, 0) :: rest ->
+      changed := true;
+      go acc (Isa.Li (rd, 0) :: rest)
+    (* store-to-load forwarding on the same sp slot *)
+    | (Isa.St (Isa.W, rv, off, base) as st) :: Isa.Ld (Isa.W, rd, off2, base2) :: rest
+      when base = base2 && off = off2 ->
+      changed := true;
+      if rd = rv then go (st :: acc) rest
+      else go (st :: acc) (Isa.Mov (rd, rv) :: rest)
+    (* jump to the immediately following label *)
+    | Isa.Jmp l :: (Isa.Label l2 :: _ as rest) when l = l2 ->
+      changed := true;
+      go acc rest
+    (* dead load: ld into r immediately overwritten by another write to r
+       with no use in between (only handle back-to-back writes) *)
+    | i1 :: (i2 :: _ as rest)
+      when (match i1 with
+           | Isa.Ld (_, rd, _, _) | Isa.Li (rd, _) | Isa.Mov (rd, _) ->
+             (* i2 overwrites rd without reading it *)
+             writes_reg i2 rd && not (reads_reg i2 rd)
+           | _ -> false) ->
+      changed := true;
+      go acc rest
+    | i :: rest -> go (i :: acc) rest
+  and reads_reg (i : Isa.instr) r =
+    match i with
+    | Isa.Ld (_, _, _, rs) | Isa.Ldx (_, _, rs) -> rs = r
+    | Isa.St (_, rv, _, rb) | Isa.Stx (_, rv, rb) -> rv = r || rb = r
+    | Isa.Mov (_, rs) | Isa.Neg (_, rs) | Isa.Not (_, rs) | Isa.Sext (_, _, rs)
+      -> rs = r
+    | Isa.Alu (_, _, a, b) -> a = r || b = r
+    | Isa.Alui (_, _, a, _) -> a = r
+    | Isa.Br (_, a, b, _) -> a = r || b = r
+    | Isa.Bri (_, a, _, _) -> a = r
+    | Isa.Callr a -> a = r
+    | Isa.Spill (a, _) -> a = r
+    | Isa.Li _ | Isa.La _ | Isa.Jmp _ | Isa.Call _ | Isa.Rjr | Isa.Enter _
+    | Isa.Exit _ | Isa.Reload _ | Isa.Label _ ->
+      false
+  in
+  let code' = go [] code in
+  (!changed, code')
+
+(* redundant reload elimination needs a small window scan: a load of
+   k(sp) into rd is redundant if the previous non-barrier instructions
+   contain a load/store of the same slot establishing the same value in
+   some register, with neither the register nor memory touched since. *)
+let forward_loads code =
+  let changed = ref false in
+  (* map: (offset) -> register currently known to hold mem[sp+offset] *)
+  let known : (int, Isa.reg) Hashtbl.t = Hashtbl.create 16 in
+  let invalidate_reg r =
+    Hashtbl.iter
+      (fun off r' -> if r = r' then Hashtbl.remove known off)
+      (Hashtbl.copy known)
+  in
+  let out =
+    List.map
+      (fun (i : Isa.instr) ->
+        if is_barrier i then begin
+          Hashtbl.reset known;
+          i
+        end
+        else begin
+          let i' =
+            match i with
+            | Isa.Ld (Isa.W, rd, off, base)
+              when base = Isa.sp && off mod 4 = 0 -> (
+              match Hashtbl.find_opt known off with
+              | Some r when r <> rd ->
+                changed := true;
+                Isa.Mov (rd, r)
+              | Some r when r = rd ->
+                changed := true;
+                (* value already there: keep a self-move, removed by sweep *)
+                Isa.Mov (rd, rd)
+              | _ -> i)
+            | _ -> i
+          in
+          (* update knowledge *)
+          (match i' with
+          | Isa.St (Isa.W, rv, off, base)
+            when base = Isa.sp && off mod 4 = 0 ->
+            (* 4-aligned word slots cannot partially alias each other;
+               hand-written unaligned stores fall to the reset case *)
+            invalidate_reg rv;
+            Hashtbl.replace known off rv
+          | Isa.St _ | Isa.Stx _ | Isa.Spill _ ->
+            (* unknown memory write: drop everything *)
+            Hashtbl.reset known
+          | Isa.Ld (Isa.W, rd, off, base)
+            when base = Isa.sp && off mod 4 = 0 ->
+            invalidate_reg rd;
+            Hashtbl.replace known off rd
+          | Isa.Mov (rd, _) | Isa.Li (rd, _) | Isa.La (rd, _)
+          | Isa.Alu (_, rd, _, _) | Isa.Alui (_, rd, _, _) | Isa.Neg (rd, _)
+          | Isa.Not (rd, _) | Isa.Sext (_, rd, _) | Isa.Ld (_, rd, _, _)
+          | Isa.Ldx (_, rd, _) | Isa.Reload (rd, _) ->
+            invalidate_reg rd
+          | _ -> ());
+          i'
+        end)
+      code
+  in
+  (!changed, out)
+
+let optimize_func (f : Isa.vfunc) =
+  let rec fixpoint code n =
+    if n = 0 then code
+    else begin
+      let c1, code = forward_loads code in
+      let c2, code = sweep code in
+      if c1 || c2 then fixpoint code (n - 1) else code
+    end
+  in
+  { f with Isa.code = fixpoint f.Isa.code 8 }
+
+let optimize (p : Isa.vprogram) =
+  { p with Isa.funcs = List.map optimize_func p.Isa.funcs }
+
+let stats p =
+  let count q = Isa.instr_count q in
+  (count p, count (optimize p))

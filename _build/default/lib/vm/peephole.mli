@@ -1,0 +1,24 @@
+(** Peephole optimizer over OmniVM code.
+
+    The paper's BRISC inputs were "highly optimized using a commercial
+    compiler back end"; our tree-walking code generator is naive, so this
+    pass closes part of the gap. All rewrites are local, semantics
+    preserving (the test suite re-runs the corpus through every engine
+    after optimization), and deliberately conservative around labels and
+    calls:
+
+    - store-to-load forwarding: [st.iw r,k(sp); ld.iw r',k(sp)] becomes
+      [st.iw r,k(sp); mov.i r',r];
+    - redundant load elimination: a reload of the same [sp] slot into the
+      same register with no intervening store/call/label is dropped;
+    - mov collapsing: [mov.i a,b] where [a = b] is dropped;
+    - dead branch threading: a jump to a label that immediately precedes
+      the next instruction is dropped;
+    - arithmetic identities: [add/sub r,r,0], [mul/div r,r,1],
+      [shl/shr r,r,0] become moves (or vanish when source = dest). *)
+
+val optimize_func : Isa.vfunc -> Isa.vfunc
+val optimize : Isa.vprogram -> Isa.vprogram
+
+val stats : Isa.vprogram -> int * int
+(** (instructions before, instructions after) for reporting. *)

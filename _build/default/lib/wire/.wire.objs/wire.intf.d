@@ -1,0 +1,1 @@
+lib/wire/wire.mli: Chunked Wire_format

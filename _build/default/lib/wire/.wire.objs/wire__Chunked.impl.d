@@ -1,0 +1,1 @@
+lib/wire/chunked.ml: Buffer Char Ir List String Support Wire_format

@@ -1,0 +1,1 @@
+lib/wire/chunked.mli: Ir

@@ -1,0 +1,1 @@
+lib/wire/wire_format.ml: Array Buffer Bytes Char Hashtbl Ir List Printf String Support Zip

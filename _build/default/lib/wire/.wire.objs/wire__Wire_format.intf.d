@@ -1,0 +1,1 @@
+lib/wire/wire_format.mli: Ir

@@ -1,0 +1,107 @@
+(* Each function becomes its own single-function Wire program sharing no
+   state with its neighbours; globals live in the header chunk. Chunks
+   are deflated independently so any one can be expanded alone. *)
+
+type t = {
+  globals : Ir.Tree.global list;
+  chunks : (string * string) list;  (* function name -> compressed chunk *)
+}
+
+let compress (p : Ir.Tree.program) : t =
+  let chunks =
+    List.map
+      (fun (f : Ir.Tree.func) ->
+        let solo = { Ir.Tree.globals = []; funcs = [ f ] } in
+        (f.Ir.Tree.fname, Wire_format.compress solo))
+      p.Ir.Tree.funcs
+  in
+  { globals = p.Ir.Tree.globals; chunks }
+
+let function_names t = List.map fst t.chunks
+
+let chunk_size t name =
+  match List.assoc_opt name t.chunks with
+  | Some c -> String.length c
+  | None -> raise Not_found
+
+let decompress_function t name =
+  match List.assoc_opt name t.chunks with
+  | None -> raise Not_found
+  | Some chunk -> (
+    match (Wire_format.decompress chunk).Ir.Tree.funcs with
+    | [ f ] -> f
+    | _ -> failwith "Chunked: chunk does not hold exactly one function")
+
+let decompress_all t =
+  {
+    Ir.Tree.globals = t.globals;
+    funcs = List.map (fun (n, _) -> decompress_function t n) t.chunks;
+  }
+
+(* ---- serialization ---- *)
+
+let magic = "WCH1"
+
+let to_bytes t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Support.Util.uleb128 buf (List.length t.globals);
+  List.iter
+    (fun (g : Ir.Tree.global) ->
+      Support.Util.uleb128 buf (String.length g.Ir.Tree.gname);
+      Buffer.add_string buf g.Ir.Tree.gname;
+      Support.Util.uleb128 buf g.Ir.Tree.gsize;
+      match g.Ir.Tree.ginit with
+      | None -> Support.Util.uleb128 buf 0
+      | Some bytes ->
+        Support.Util.uleb128 buf (List.length bytes + 1);
+        List.iter (fun b -> Buffer.add_char buf (Char.chr (b land 0xff))) bytes)
+    t.globals;
+  Support.Util.uleb128 buf (List.length t.chunks);
+  List.iter
+    (fun (name, chunk) ->
+      Support.Util.uleb128 buf (String.length name);
+      Buffer.add_string buf name;
+      Support.Util.uleb128 buf (String.length chunk);
+      Buffer.add_string buf chunk)
+    t.chunks;
+  Buffer.contents buf
+
+let of_bytes s =
+  if String.length s < 4 || String.sub s 0 4 <> magic then
+    failwith "Chunked: bad magic";
+  let pos = ref 4 in
+  let u () = Support.Util.read_uleb128 s pos in
+  let str () =
+    let n = u () in
+    let r = String.sub s !pos n in
+    pos := !pos + n;
+    r
+  in
+  let nglob = u () in
+  let globals =
+    List.init nglob (fun _ ->
+        let gname = str () in
+        let gsize = u () in
+        let initlen = u () in
+        let ginit =
+          if initlen = 0 then None
+          else
+            Some
+              (List.init (initlen - 1) (fun _ ->
+                   let b = Char.code s.[!pos] in
+                   incr pos;
+                   b))
+        in
+        { Ir.Tree.gname; gsize; ginit })
+  in
+  let nchunks = u () in
+  let chunks =
+    List.init nchunks (fun _ ->
+        let name = str () in
+        let chunk = str () in
+        (name, chunk))
+  in
+  { globals; chunks }
+
+let size t = String.length (to_bytes t)

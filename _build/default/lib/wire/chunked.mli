@@ -1,0 +1,37 @@
+(** Function-at-a-time wire compression.
+
+    The paper notes that arithmetic/LZ wire codes "must be expanded
+    before interpretation, though we have used them successfully by
+    decompressing a function at a time". This module provides that
+    granularity: each function is compressed as an independent chunk
+    behind an index, so a pager or lazy loader can materialize one
+    function's IR without touching the rest of the image — the
+    paging-from-compressed-storage scenario of the introduction.
+
+    The trade-off against {!Wire.compress} is measured by the bench:
+    per-chunk compression loses cross-function redundancy (each chunk
+    carries its own Huffman tables), so the image is larger; what it
+    buys is O(function) decompression instead of O(program). *)
+
+type t
+
+val compress : Ir.Tree.program -> t
+val to_bytes : t -> string
+val of_bytes : string -> t
+(** @raise Failure on corrupt input. *)
+
+val size : t -> int
+(** Serialized size in bytes. *)
+
+val function_names : t -> string list
+
+val chunk_size : t -> string -> int
+(** Compressed bytes of one function's chunk.
+    @raise Not_found for unknown names. *)
+
+val decompress_function : t -> string -> Ir.Tree.func
+(** Materialize a single function, decompressing only its chunk.
+    @raise Not_found for unknown names. *)
+
+val decompress_all : t -> Ir.Tree.program
+(** Reassemble the whole program; equals the input of {!compress}. *)

@@ -1,0 +1,4 @@
+(* Facade: the monolithic wire format plus the function-at-a-time
+   chunked variant. *)
+include Wire_format
+module Chunked = Chunked

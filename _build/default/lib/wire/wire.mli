@@ -1,0 +1,7 @@
+(** The paper's wire format (§3). See {!Wire_format} for the pipeline
+    description; this facade re-exports it and adds the
+    function-at-a-time {!Chunked} variant. *)
+
+include module type of Wire_format
+
+module Chunked = Chunked

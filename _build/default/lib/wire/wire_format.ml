@@ -1,0 +1,417 @@
+let magic = "WIR1"
+
+type final_stage = Deflate | Arith of int
+
+
+(* ---- bundle writer helpers ---- *)
+
+let put_str buf s =
+  Support.Util.uleb128 buf (String.length s);
+  Buffer.add_string buf s
+
+let put_bytes buf (b : Bytes.t) =
+  Support.Util.uleb128 buf (Bytes.length b);
+  Buffer.add_bytes buf b
+
+type reader = { src : string; pos : int ref }
+
+let get_uleb r = Support.Util.read_uleb128 r.src r.pos
+let get_sleb r = Support.Util.read_sleb r.src r.pos
+
+let get_str r =
+  let n = get_uleb r in
+  let s = String.sub r.src !(r.pos) n in
+  r.pos := !(r.pos) + n;
+  s
+
+let get_raw r n =
+  let s = String.sub r.src !(r.pos) n in
+  r.pos := !(r.pos) + n;
+  s
+
+let ty_code = function
+  | Ir.Op.I -> 0
+  | Ir.Op.C -> 1
+  | Ir.Op.S -> 2
+  | Ir.Op.P -> 3
+  | Ir.Op.V -> 4
+
+let ty_of_code = function
+  | 0 -> Ir.Op.I
+  | 1 -> Ir.Op.C
+  | 2 -> Ir.Op.S
+  | 3 -> Ir.Op.P
+  | 4 -> Ir.Op.V
+  | _ -> failwith "Wire: bad type code"
+
+(* Literal-class key used when streams are split; a single shared key
+   otherwise. *)
+let class_key ~split cls =
+  if split then Ir.Op.lit_class_name cls else "ALL"
+
+(* ---- compression ---- *)
+
+type streams = {
+  mutable pattern_seq : Ir.Pattern.spat list;  (* reversed *)
+  lit_seqs : (string, Ir.Pattern.lit list ref) Hashtbl.t;  (* reversed *)
+  mutable lit_keys : string list;  (* in first-use order, reversed *)
+}
+
+let push_lit st key v =
+  (match Hashtbl.find_opt st.lit_seqs key with
+  | Some r -> r := v :: !r
+  | None ->
+    Hashtbl.add st.lit_seqs key (ref [ v ]);
+    st.lit_keys <- key :: st.lit_keys)
+
+let mtf_or_first ~use_mtf ~eq xs =
+  if use_mtf then Zip.Mtf.encode ~eq xs
+  else begin
+    (* ablation: index symbols by first-occurrence order, no move-to-front;
+       index 0 still means "novel" *)
+    let table = ref [] in
+    let novel = ref [] in
+    let indices =
+      List.map
+        (fun x ->
+          let rec find i = function
+            | [] -> None
+            | y :: rest -> if eq x y then Some i else find (i + 1) rest
+          in
+          match find 1 (List.rev !table) with
+          | Some i -> i
+          | None ->
+            table := x :: !table;
+            novel := x :: !novel;
+            0)
+        xs
+    in
+    { Zip.Mtf.indices; novel = List.rev !novel }
+  end
+
+let inverse_mtf_or_first ~use_mtf (e : 'a Zip.Mtf.encoded) =
+  if use_mtf then Zip.Mtf.decode e
+  else begin
+    let table = ref [||] in
+    let pending = ref e.Zip.Mtf.novel in
+    List.map
+      (fun i ->
+        if i = 0 then begin
+          match !pending with
+          | [] -> failwith "Wire: novel list exhausted"
+          | x :: rest ->
+            pending := rest;
+            table := Array.append !table [| x |];
+            x
+        end
+        else !table.(i - 1))
+      e.Zip.Mtf.indices
+  end
+
+let encode_indices buf indices =
+  let alphabet = List.fold_left max 0 indices + 1 in
+  let bytes = Zip.Huffman.encode_all indices ~alphabet in
+  put_bytes buf bytes
+
+let decode_indices r =
+  let n = get_uleb r in
+  let raw = get_raw r n in
+  Zip.Huffman.decode_all (Bytes.of_string raw)
+
+let compress ?(use_mtf = true) ?(split_streams = true)
+    ?(final_stage = Deflate) (p : Ir.Tree.program) =
+  let st =
+    { pattern_seq = []; lit_seqs = Hashtbl.create 16; lit_keys = [] }
+  in
+  (* patternize every statement of every function, in order *)
+  let func_pats =
+    List.map
+      (fun f ->
+        List.map
+          (fun s ->
+            let sp, lits = Ir.Pattern.of_stmt s in
+            st.pattern_seq <- sp :: st.pattern_seq;
+            List.iter
+              (fun (cls, v) -> push_lit st (class_key ~split:split_streams cls) v)
+              lits;
+            sp)
+          f.Ir.Tree.body)
+      p.Ir.Tree.funcs
+  in
+  ignore func_pats;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (if use_mtf then '\001' else '\000');
+  Buffer.add_char buf (if split_streams then '\001' else '\000');
+  (* globals *)
+  Support.Util.uleb128 buf (List.length p.Ir.Tree.globals);
+  List.iter
+    (fun g ->
+      put_str buf g.Ir.Tree.gname;
+      Support.Util.uleb128 buf g.Ir.Tree.gsize;
+      match g.Ir.Tree.ginit with
+      | None -> Support.Util.uleb128 buf 0
+      | Some bytes ->
+        Support.Util.uleb128 buf (List.length bytes + 1);
+        List.iter (fun b -> Buffer.add_char buf (Char.chr (b land 0xff))) bytes)
+    p.Ir.Tree.globals;
+  (* function headers *)
+  Support.Util.uleb128 buf (List.length p.Ir.Tree.funcs);
+  List.iter
+    (fun f ->
+      put_str buf f.Ir.Tree.fname;
+      Support.Util.uleb128 buf (List.length f.Ir.Tree.formals);
+      List.iter
+        (fun (n, ty) ->
+          put_str buf n;
+          Buffer.add_char buf (Char.chr (ty_code ty)))
+        f.Ir.Tree.formals;
+      Support.Util.uleb128 buf f.Ir.Tree.frame_size;
+      Support.Util.uleb128 buf (List.length f.Ir.Tree.body))
+    p.Ir.Tree.funcs;
+  (* pattern stream *)
+  let pattern_seq = List.rev st.pattern_seq in
+  let enc = mtf_or_first ~use_mtf ~eq:Ir.Pattern.equal pattern_seq in
+  encode_indices buf enc.Zip.Mtf.indices;
+  Support.Util.uleb128 buf (List.length enc.Zip.Mtf.novel);
+  List.iter
+    (fun sp -> put_str buf (Ir.Pattern.encode sp))
+    enc.Zip.Mtf.novel;
+  (* literal streams, in first-use order *)
+  let keys = List.rev st.lit_keys in
+  Support.Util.uleb128 buf (List.length keys);
+  List.iter
+    (fun key ->
+      put_str buf key;
+      let seq = List.rev !(Hashtbl.find st.lit_seqs key) in
+      let enc = mtf_or_first ~use_mtf ~eq:( = ) seq in
+      encode_indices buf enc.Zip.Mtf.indices;
+      Support.Util.uleb128 buf (List.length enc.Zip.Mtf.novel);
+      List.iter
+        (fun lit ->
+          match lit with
+          | Ir.Pattern.Lint v ->
+            Buffer.add_char buf '\000';
+            Support.Util.sleb_of_int buf v
+          | Ir.Pattern.Lsym s ->
+            Buffer.add_char buf '\001';
+            put_str buf s)
+        enc.Zip.Mtf.novel)
+    keys;
+  match final_stage with
+  | Deflate -> "D" ^ Zip.Deflate.compress (Buffer.contents buf)
+  | Arith order ->
+    if order < 0 || order > 3 then invalid_arg "Wire.compress: bad order";
+    Printf.sprintf "A%d" order
+    ^ Zip.Range_coder.compress_order_n ~order (Buffer.contents buf)
+
+(* ---- decompression ---- *)
+
+let decompress z =
+  if String.length z < 1 then failwith "Wire: empty input";
+  let bundle =
+    match z.[0] with
+    | 'D' -> Zip.Deflate.decompress (String.sub z 1 (String.length z - 1))
+    | 'A' ->
+      if String.length z < 2 then failwith "Wire: truncated header";
+      let order = Char.code z.[1] - Char.code '0' in
+      if order < 0 || order > 3 then failwith "Wire: bad arith order";
+      Zip.Range_coder.decompress_order_n ~order
+        (String.sub z 2 (String.length z - 2))
+    | _ -> failwith "Wire: unknown final stage"
+  in
+  let r = { src = bundle; pos = ref 0 } in
+  if get_raw r 4 <> magic then failwith "Wire: bad magic";
+  let use_mtf = get_raw r 1 = "\001" in
+  let split_streams = get_raw r 1 = "\001" in
+  (* globals *)
+  let nglob = get_uleb r in
+  let globals =
+    List.init nglob (fun _ ->
+        let gname = get_str r in
+        let gsize = get_uleb r in
+        let initlen = get_uleb r in
+        let ginit =
+          if initlen = 0 then None
+          else
+            Some
+              (List.init (initlen - 1) (fun _ ->
+                   let c = Char.code r.src.[!(r.pos)] in
+                   incr r.pos;
+                   c))
+        in
+        { Ir.Tree.gname; gsize; ginit })
+  in
+  (* function headers *)
+  let nfun = get_uleb r in
+  let headers =
+    List.init nfun (fun _ ->
+        let fname = get_str r in
+        let nformals = get_uleb r in
+        let formals =
+          List.init nformals (fun _ ->
+              let n = get_str r in
+              let ty =
+                ty_of_code (Char.code r.src.[!(r.pos)])
+              in
+              incr r.pos;
+              (n, ty))
+        in
+        let frame_size = get_uleb r in
+        let nstmts = get_uleb r in
+        (fname, formals, frame_size, nstmts))
+  in
+  (* pattern stream *)
+  let pat_indices = decode_indices r in
+  let n_novel = get_uleb r in
+  let novel_pats =
+    List.init n_novel (fun _ ->
+        let s = get_str r in
+        let pos = ref 0 in
+        let sp = Ir.Pattern.decode s pos in
+        if !pos <> String.length s then failwith "Wire: trailing pattern bytes";
+        sp)
+  in
+  let pattern_seq =
+    inverse_mtf_or_first ~use_mtf
+      { Zip.Mtf.indices = pat_indices; novel = novel_pats }
+  in
+  (* literal streams *)
+  let nstreams = get_uleb r in
+  let lit_streams : (string, Ir.Pattern.lit list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  for _ = 1 to nstreams do
+    let key = get_str r in
+    let indices = decode_indices r in
+    let n_novel = get_uleb r in
+    let novel =
+      List.init n_novel (fun _ ->
+          let tag = r.src.[!(r.pos)] in
+          incr r.pos;
+          match tag with
+          | '\000' -> Ir.Pattern.Lint (get_sleb r)
+          | '\001' -> Ir.Pattern.Lsym (get_str r)
+          | _ -> failwith "Wire: bad literal tag")
+    in
+    let seq = inverse_mtf_or_first ~use_mtf { Zip.Mtf.indices; novel } in
+    Hashtbl.add lit_streams key (ref seq)
+  done;
+  let next_lit cls =
+    let key = class_key ~split:split_streams cls in
+    match Hashtbl.find_opt lit_streams key with
+    | Some r -> (
+      match !r with
+      | [] -> failwith ("Wire: literal stream exhausted: " ^ key)
+      | v :: rest ->
+        r := rest;
+        v)
+    | None -> failwith ("Wire: missing literal stream: " ^ key)
+  in
+  (* reassemble functions *)
+  let remaining_patterns = ref pattern_seq in
+  let take_pattern () =
+    match !remaining_patterns with
+    | [] -> failwith "Wire: pattern stream exhausted"
+    | sp :: rest ->
+      remaining_patterns := rest;
+      sp
+  in
+  let funcs =
+    List.map
+      (fun (fname, formals, frame_size, nstmts) ->
+        let body =
+          List.init nstmts (fun _ ->
+              let sp = take_pattern () in
+              let slots = Ir.Pattern.lit_slots sp in
+              let lits = List.map (fun cls -> (cls, next_lit cls)) slots in
+              Ir.Pattern.to_stmt sp lits)
+        in
+        { Ir.Tree.fname; formals; frame_size; body })
+      headers
+  in
+  if !remaining_patterns <> [] then failwith "Wire: leftover patterns";
+  { Ir.Tree.globals; funcs }
+
+(* ---- stats ---- *)
+
+type stats = {
+  wire_bytes : int;
+  bundle_bytes : int;
+  pattern_count : int;
+  distinct_patterns : int;
+  pattern_stream_bytes : int;
+  novel_table_bytes : int;
+  literal_stream_bytes : (string * int) list;
+}
+
+let stats (p : Ir.Tree.program) =
+  (* replicate the pipeline, measuring as we go *)
+  let pattern_seq = ref [] in
+  let lit_seqs : (string, Ir.Pattern.lit list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let keys = ref [] in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun s ->
+          let sp, lits = Ir.Pattern.of_stmt s in
+          pattern_seq := sp :: !pattern_seq;
+          List.iter
+            (fun (cls, v) ->
+              let key = Ir.Op.lit_class_name cls in
+              match Hashtbl.find_opt lit_seqs key with
+              | Some r -> r := v :: !r
+              | None ->
+                Hashtbl.add lit_seqs key (ref [ v ]);
+                keys := key :: !keys)
+            lits)
+        f.Ir.Tree.body)
+    p.Ir.Tree.funcs;
+  let pattern_seq = List.rev !pattern_seq in
+  let enc = Zip.Mtf.encode ~eq:Ir.Pattern.equal pattern_seq in
+  let pat_stream =
+    Zip.Huffman.encode_all enc.Zip.Mtf.indices
+      ~alphabet:(List.fold_left max 0 enc.Zip.Mtf.indices + 1)
+  in
+  let novel_bytes =
+    List.fold_left
+      (fun a sp -> a + String.length (Ir.Pattern.encode sp) + 1)
+      0 enc.Zip.Mtf.novel
+  in
+  let lit_bytes =
+    List.rev_map
+      (fun key ->
+        let seq = List.rev !(Hashtbl.find lit_seqs key) in
+        let enc = Zip.Mtf.encode ~eq:( = ) seq in
+        let stream =
+          Zip.Huffman.encode_all enc.Zip.Mtf.indices
+            ~alphabet:(List.fold_left max 0 enc.Zip.Mtf.indices + 1)
+        in
+        let novel =
+          List.fold_left
+            (fun a lit ->
+              a
+              + match lit with
+                | Ir.Pattern.Lint v ->
+                  let b = Buffer.create 8 in
+                  Support.Util.sleb_of_int b v;
+                  1 + Buffer.length b
+                | Ir.Pattern.Lsym s -> 2 + String.length s)
+            0 enc.Zip.Mtf.novel
+        in
+        (key, Bytes.length stream + novel))
+      !keys
+  in
+  let z = compress p in
+  let bundle = Zip.Deflate.decompress (String.sub z 1 (String.length z - 1)) in
+  {
+    wire_bytes = String.length z;
+    bundle_bytes = String.length bundle;
+    pattern_count = List.length pattern_seq;
+    distinct_patterns = List.length enc.Zip.Mtf.novel;
+    pattern_stream_bytes = Bytes.length pat_stream;
+    novel_table_bytes = novel_bytes;
+    literal_stream_bytes = lit_bytes;
+  }

@@ -1,0 +1,51 @@
+(** The paper's wire format (§3), end to end:
+
+    1. compile the program into trees (done upstream by [Cc]);
+    2. patternize: replace every literal with a wildcard, producing one
+       stream of statement patterns and one stream of literal values per
+       operator class;
+    3. move-to-front code each stream in isolation (index 0 = first
+       occurrence; the novel symbols travel in first-occurrence tables,
+       so no MTF table is transmitted);
+    4. Huffman-code the MTF indices;
+    5. concatenate everything and deflate ("gzip") the bundle.
+
+    [decompress] inverts the pipeline exactly: the reconstructed program
+    is structurally equal to the input, which the test suite checks on
+    the whole corpus. *)
+
+type final_stage =
+  | Deflate          (** the paper's gzip stage (default) *)
+  | Arith of int     (** order-N adaptive range coder, N in 0..3 — the
+                         §2 design-space alternative: better ratios on
+                         some inputs, but strictly sequential decode *)
+
+val compress :
+  ?use_mtf:bool ->
+  ?split_streams:bool ->
+  ?final_stage:final_stage ->
+  Ir.Tree.program ->
+  string
+(** [use_mtf:false] (ablation) Huffman-codes first-occurrence indices
+    without move-to-front. [split_streams:false] (ablation) pools all
+    literal classes into one stream. Defaults are the paper's pipeline.
+    The chosen [final_stage] is recorded in the output, so
+    {!decompress} needs no flags. *)
+
+val decompress : string -> Ir.Tree.program
+(** @raise Failure on corrupt input or flag mismatch (the bundle records
+    which ablation switches produced it). *)
+
+type stats = {
+  wire_bytes : int;           (** final compressed size *)
+  bundle_bytes : int;         (** before the final deflate stage *)
+  pattern_count : int;        (** statements in the program *)
+  distinct_patterns : int;
+  pattern_stream_bytes : int; (** Huffman-coded pattern indices *)
+  novel_table_bytes : int;    (** first-occurrence pattern encodings *)
+  literal_stream_bytes : (string * int) list;
+      (** per literal class: Huffman-coded MTF indices + novel values *)
+}
+
+val stats : Ir.Tree.program -> stats
+(** Compresses and reports where the bytes went. *)

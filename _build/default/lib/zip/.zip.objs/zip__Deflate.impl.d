@@ -1,0 +1,1 @@
+lib/zip/deflate.ml: Array Buffer Bytes Char Huffman List Lz77 String Support

@@ -1,0 +1,1 @@
+lib/zip/mtf.ml: Int List

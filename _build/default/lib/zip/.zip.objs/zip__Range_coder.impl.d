@@ -1,0 +1,1 @@
+lib/zip/range_coder.ml: Array Buffer Char String Support

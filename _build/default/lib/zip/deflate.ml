@@ -1,0 +1,124 @@
+(* Length and distance class tables, as in RFC 1951. *)
+
+let length_base =
+  [| 3; 4; 5; 6; 7; 8; 9; 10; 11; 13; 15; 17; 19; 23; 27; 31; 35; 43; 51; 59;
+     67; 83; 99; 115; 131; 163; 195; 227; 258 |]
+
+let length_extra =
+  [| 0; 0; 0; 0; 0; 0; 0; 0; 1; 1; 1; 1; 2; 2; 2; 2; 3; 3; 3; 3; 4; 4; 4; 4;
+     5; 5; 5; 5; 0 |]
+
+let dist_base =
+  [| 1; 2; 3; 4; 5; 7; 9; 13; 17; 25; 33; 49; 65; 97; 129; 193; 257; 385; 513;
+     769; 1025; 1537; 2049; 3073; 4097; 6145; 8193; 12289; 16385; 24577 |]
+
+let dist_extra =
+  [| 0; 0; 0; 0; 1; 1; 2; 2; 3; 3; 4; 4; 5; 5; 6; 6; 7; 7; 8; 8; 9; 9; 10; 10;
+     11; 11; 12; 12; 13; 13 |]
+
+let eob = 256
+let litlen_alphabet = 286
+let dist_alphabet = 30
+
+let length_class len =
+  let rec go i =
+    if i = Array.length length_base - 1 then i
+    else if len < length_base.(i + 1) then i
+    else go (i + 1)
+  in
+  if len < 3 || len > 258 then invalid_arg "Deflate.length_class";
+  go 0
+
+let dist_class d =
+  let rec go i =
+    if i = Array.length dist_base - 1 then i
+    else if d < dist_base.(i + 1) then i
+    else go (i + 1)
+  in
+  if d < 1 || d > 32768 then invalid_arg "Deflate.dist_class";
+  go 0
+
+let compress s =
+  let tokens = Lz77.tokenize s in
+  (* frequency counts *)
+  let lit_freq = Array.make litlen_alphabet 0 in
+  let dist_freq = Array.make dist_alphabet 0 in
+  List.iter
+    (fun t ->
+      match t with
+      | Lz77.Literal b -> lit_freq.(b) <- lit_freq.(b) + 1
+      | Lz77.Match { length; dist } ->
+        let lc = 257 + length_class length in
+        lit_freq.(lc) <- lit_freq.(lc) + 1;
+        let dc = dist_class dist in
+        dist_freq.(dc) <- dist_freq.(dc) + 1)
+    tokens;
+  lit_freq.(eob) <- 1;
+  let lit_code = Huffman.lengths_of_freqs lit_freq in
+  let dist_code = Huffman.lengths_of_freqs dist_freq in
+  let w = Support.Bitio.Writer.create ~capacity:(String.length s / 2) () in
+  Support.Bitio.Writer.put_bits w (String.length s) 32;
+  Huffman.write_lengths w lit_code;
+  Huffman.write_lengths w dist_code;
+  let le = Huffman.make_encoder lit_code in
+  let de = Huffman.make_encoder dist_code in
+  List.iter
+    (fun t ->
+      match t with
+      | Lz77.Literal b -> Huffman.encode_symbol le w b
+      | Lz77.Match { length; dist } ->
+        let lc = length_class length in
+        Huffman.encode_symbol le w (257 + lc);
+        Support.Bitio.Writer.put_bits w (length - length_base.(lc))
+          length_extra.(lc);
+        let dc = dist_class dist in
+        Huffman.encode_symbol de w dc;
+        Support.Bitio.Writer.put_bits w (dist - dist_base.(dc)) dist_extra.(dc))
+    tokens;
+  Huffman.encode_symbol le w eob;
+  Bytes.to_string (Support.Bitio.Writer.contents w)
+
+let decompress z =
+  let r = Support.Bitio.Reader.of_string z in
+  let orig_len = Support.Bitio.Reader.get_bits r 32 in
+  let lit_code = Huffman.read_lengths r in
+  let dist_code = Huffman.read_lengths r in
+  let ld = Huffman.make_decoder lit_code in
+  let dd =
+    (* a stream with no matches has an empty distance code *)
+    if Array.exists (fun l -> l > 0) dist_code.Huffman.lengths then
+      Some (Huffman.make_decoder dist_code)
+    else None
+  in
+  let buf = Buffer.create orig_len in
+  let finished = ref false in
+  while not !finished do
+    let sym = Huffman.decode_symbol ld r in
+    if sym = eob then finished := true
+    else if sym < 256 then Buffer.add_char buf (Char.chr sym)
+    else begin
+      let lc = sym - 257 in
+      let length =
+        length_base.(lc) + Support.Bitio.Reader.get_bits r length_extra.(lc)
+      in
+      let dd =
+        match dd with
+        | Some d -> d
+        | None -> failwith "Deflate.decompress: match with empty distance code"
+      in
+      let dc = Huffman.decode_symbol dd r in
+      let dist =
+        dist_base.(dc) + Support.Bitio.Reader.get_bits r dist_extra.(dc)
+      in
+      let start = Buffer.length buf - dist in
+      if start < 0 then failwith "Deflate.decompress: bad distance";
+      for k = 0 to length - 1 do
+        Buffer.add_char buf (Buffer.nth buf (start + k))
+      done
+    end
+  done;
+  let out = Buffer.contents buf in
+  if String.length out <> orig_len then failwith "Deflate.decompress: length mismatch";
+  out
+
+let compressed_size s = String.length (compress s)

@@ -1,0 +1,16 @@
+(** Our gzip stand-in: LZ77 + dynamic canonical-Huffman entropy coding.
+
+    The format follows DEFLATE's structure — a literal/length alphabet
+    (256 literals, end-of-block, 29 length classes with extra bits) and a
+    30-class distance alphabet — in a single dynamic-Huffman block with a
+    plain 5-bit length table header. It is not bit-compatible with RFC
+    1951, but it is the same algorithm family, so compression ratios are
+    representative of gzip's. Used both as the paper's "gzip" baseline and
+    as the final stage of the wire format (§3 step 5). *)
+
+val compress : string -> string
+val decompress : string -> string
+(** [decompress (compress s) = s]. @raise Failure on corrupt input. *)
+
+val compressed_size : string -> int
+(** [String.length (compress s)] without keeping the output. *)

@@ -1,0 +1,184 @@
+type code = { lengths : int array }
+
+(* --- tree construction ------------------------------------------------ *)
+
+type node =
+  | Leaf of int                 (* symbol *)
+  | Node of node * node
+
+let build_tree freqs =
+  (* min-heap on (freq, tiebreak, node); tiebreak keeps construction
+     deterministic across runs. *)
+  let cmp (f1, t1, _) (f2, t2, _) =
+    if f1 <> f2 then compare f2 f1 else compare t2 t1
+  in
+  let h = Support.Heap.create ~cmp in
+  let tie = ref 0 in
+  Array.iteri
+    (fun sym f ->
+      if f > 0 then begin
+        Support.Heap.push h (f, !tie, Leaf sym);
+        incr tie
+      end)
+    freqs;
+  if Support.Heap.is_empty h then None
+  else begin
+    while Support.Heap.length h > 1 do
+      let f1, _, n1 = Support.Heap.pop_exn h in
+      let f2, _, n2 = Support.Heap.pop_exn h in
+      Support.Heap.push h (f1 + f2, !tie, Node (n1, n2));
+      incr tie
+    done;
+    let _, _, root = Support.Heap.pop_exn h in
+    Some root
+  end
+
+let rec fill_lengths lengths depth = function
+  | Leaf sym -> lengths.(sym) <- max 1 depth
+  | Node (l, r) ->
+    fill_lengths lengths (depth + 1) l;
+    fill_lengths lengths (depth + 1) r
+
+let lengths_of_freqs ?(max_len = 15) freqs =
+  let n = Array.length freqs in
+  let rec attempt freqs =
+    let lengths = Array.make n 0 in
+    (match build_tree freqs with
+    | None -> ()
+    | Some root -> fill_lengths lengths 0 root);
+    let deepest = Array.fold_left max 0 lengths in
+    if deepest <= max_len then { lengths }
+    else
+      (* Flatten the distribution and retry; converges because all
+         frequencies tend to 1, giving a balanced tree of depth
+         ceil(log2 n) <= max_len for any realistic alphabet. *)
+      attempt (Array.map (fun f -> if f = 0 then 0 else (f + 1) / 2) freqs)
+  in
+  attempt freqs
+
+(* --- canonical code assignment ---------------------------------------- *)
+
+let canonical_codes { lengths } =
+  let n = Array.length lengths in
+  let max_len = Array.fold_left max 0 lengths in
+  let bl_count = Array.make (max_len + 1) 0 in
+  Array.iter (fun l -> if l > 0 then bl_count.(l) <- bl_count.(l) + 1) lengths;
+  let next_code = Array.make (max_len + 2) 0 in
+  let code = ref 0 in
+  for bits = 1 to max_len do
+    code := (!code + bl_count.(bits - 1)) lsl 1;
+    next_code.(bits) <- !code
+  done;
+  let codes = Array.make n 0 in
+  for sym = 0 to n - 1 do
+    let l = lengths.(sym) in
+    if l > 0 then begin
+      codes.(sym) <- next_code.(l);
+      next_code.(l) <- next_code.(l) + 1
+    end
+  done;
+  codes
+
+(* --- encoder / decoder ------------------------------------------------- *)
+
+type encoder = { enc_lengths : int array; enc_codes : int array }
+
+type decoder = {
+  (* canonical decode tables indexed by length *)
+  first_code : int array;       (* smallest code of each length *)
+  first_index : int array;      (* index into sorted_syms of that code *)
+  counts : int array;           (* number of codes of each length *)
+  sorted_syms : int array;      (* symbols sorted by (length, code) *)
+  dec_max_len : int;
+}
+
+let make_encoder c = { enc_lengths = c.lengths; enc_codes = canonical_codes c }
+
+let make_decoder ({ lengths } as c) =
+  let max_len = Array.fold_left max 0 lengths in
+  let counts = Array.make (max_len + 1) 0 in
+  Array.iter (fun l -> if l > 0 then counts.(l) <- counts.(l) + 1) lengths;
+  let codes = canonical_codes c in
+  (* sort symbols by (length, code) *)
+  let syms =
+    Array.to_list lengths
+    |> List.mapi (fun s l -> (s, l))
+    |> List.filter (fun (_, l) -> l > 0)
+    |> List.sort (fun (s1, l1) (s2, l2) ->
+           if l1 <> l2 then compare l1 l2 else compare codes.(s1) codes.(s2))
+    |> List.map fst
+    |> Array.of_list
+  in
+  let first_code = Array.make (max_len + 1) 0 in
+  let first_index = Array.make (max_len + 1) 0 in
+  let idx = ref 0 in
+  let code = ref 0 in
+  for l = 1 to max_len do
+    code := (!code + if l = 1 then 0 else counts.(l - 1)) lsl 1;
+    (* recompute canonical first code of length l *)
+    first_code.(l) <- !code;
+    first_index.(l) <- !idx;
+    idx := !idx + counts.(l)
+  done;
+  { first_code; first_index; counts; sorted_syms = syms; dec_max_len = max_len }
+
+let encode_symbol e w sym =
+  let l = e.enc_lengths.(sym) in
+  if l = 0 then invalid_arg "Huffman.encode_symbol: symbol has no code";
+  Support.Bitio.Writer.put_bits_msb w e.enc_codes.(sym) l
+
+let decode_symbol d r =
+  let code = ref 0 in
+  let len = ref 0 in
+  let result = ref (-1) in
+  while !result < 0 do
+    code := (!code lsl 1) lor Support.Bitio.Reader.get_bit r;
+    incr len;
+    if !len > d.dec_max_len then failwith "Huffman.decode_symbol: bad code";
+    let c = d.counts.(!len) in
+    if c > 0 && !code - d.first_code.(!len) < c && !code >= d.first_code.(!len)
+    then result := d.sorted_syms.(d.first_index.(!len) + (!code - d.first_code.(!len)))
+  done;
+  !result
+
+(* --- length-table serialization ---------------------------------------- *)
+
+let write_lengths w { lengths } =
+  let n = Array.length lengths in
+  Support.Bitio.Writer.put_bits w n 16;
+  Array.iter (fun l -> Support.Bitio.Writer.put_bits w l 5) lengths
+
+let read_lengths r =
+  let n = Support.Bitio.Reader.get_bits r 16 in
+  let lengths = Array.init n (fun _ -> Support.Bitio.Reader.get_bits r 5) in
+  { lengths }
+
+let cost_bits { lengths } freqs =
+  let total = ref 0 in
+  Array.iteri
+    (fun sym f -> if f > 0 then total := !total + (f * lengths.(sym)))
+    freqs;
+  !total
+
+(* --- convenience whole-stream API -------------------------------------- *)
+
+let encode_all syms ~alphabet =
+  let freqs = Array.make alphabet 0 in
+  List.iter (fun s -> freqs.(s) <- freqs.(s) + 1) syms;
+  let code = lengths_of_freqs freqs in
+  let w = Support.Bitio.Writer.create () in
+  Support.Bitio.Writer.put_bits w (List.length syms) 32;
+  write_lengths w code;
+  let e = make_encoder code in
+  List.iter (fun s -> encode_symbol e w s) syms;
+  Support.Bitio.Writer.contents w
+
+let decode_all bytes =
+  let r = Support.Bitio.Reader.of_bytes bytes in
+  let count = Support.Bitio.Reader.get_bits r 32 in
+  let code = read_lengths r in
+  if count = 0 then []
+  else begin
+    let d = make_decoder code in
+    List.init count (fun _ -> decode_symbol d r)
+  end

@@ -1,0 +1,50 @@
+(** Canonical Huffman coding over integer symbol alphabets [0, n).
+
+    Code lengths are computed from symbol frequencies (optionally
+    length-limited by frequency flattening), then canonical codes are
+    assigned so that a decoder can be rebuilt from the lengths alone.
+    Codes are written MSB-first, the standard canonical convention. *)
+
+type code = { lengths : int array }
+(** [lengths.(sym)] is the code length in bits; 0 means the symbol does
+    not occur and has no code. *)
+
+val lengths_of_freqs : ?max_len:int -> int array -> code
+(** Package-merge-free construction: builds a Huffman tree over the
+    non-zero-frequency symbols. If the resulting depth exceeds [max_len]
+    (default 15), frequencies are repeatedly halved (rounding up) and the
+    tree rebuilt, which bounds the depth with negligible size loss.
+    A single-symbol alphabet gets a 1-bit code. *)
+
+val canonical_codes : code -> int array
+(** [codes.(sym)] is the canonical codeword (MSB-first) of length
+    [lengths.(sym)]. Symbols with length 0 map to 0 and must not be
+    encoded. *)
+
+type encoder
+type decoder
+
+val make_encoder : code -> encoder
+val make_decoder : code -> decoder
+
+val encode_symbol : encoder -> Support.Bitio.Writer.t -> int -> unit
+(** @raise Invalid_argument if the symbol has no code. *)
+
+val decode_symbol : decoder -> Support.Bitio.Reader.t -> int
+
+val write_lengths : Support.Bitio.Writer.t -> code -> unit
+(** Serialize the length table (alphabet size as a varint-ish field, then
+    4 bits... actually 5 bits per length). Enough for the decoder to
+    reconstruct the canonical code. *)
+
+val read_lengths : Support.Bitio.Reader.t -> code
+
+val cost_bits : code -> int array -> int
+(** [cost_bits code freqs] is the total encoded size in bits of a stream
+    with the given per-symbol frequencies. *)
+
+val encode_all : int list -> alphabet:int -> Bytes.t
+(** Convenience: frequency-count the input, build a code, serialize
+    lengths + symbols into one self-contained byte string. *)
+
+val decode_all : Bytes.t -> int list

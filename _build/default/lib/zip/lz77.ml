@@ -1,0 +1,106 @@
+type token = Literal of int | Match of { length : int; dist : int }
+
+let window_size = 32768
+let min_match = 3
+let max_match = 258
+
+(* Hash chains over 3-byte prefixes, as in zlib. *)
+
+let hash_bits = 15
+let hash_size = 1 lsl hash_bits
+
+let hash3 s i =
+  let a = Char.code s.[i]
+  and b = Char.code s.[i + 1]
+  and c = Char.code s.[i + 2] in
+  ((a lsl 10) lxor (b lsl 5) lxor c) land (hash_size - 1)
+
+let max_chain = 128
+
+let tokenize ?(good_enough = 64) s =
+  let n = String.length s in
+  let head = Array.make hash_size (-1) in
+  let prev = Array.make (max n 1) (-1) in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let match_len i j =
+    (* length of common prefix of s[i..] and s[j..], capped *)
+    let limit = min max_match (n - j) in
+    let k = ref 0 in
+    while !k < limit && s.[i + !k] = s.[j + !k] do incr k done;
+    !k
+  in
+  let insert i =
+    if i + min_match <= n then begin
+      let h = hash3 s i in
+      prev.(i) <- head.(h);
+      head.(h) <- i
+    end
+  in
+  let find_best i =
+    if i + min_match > n then None
+    else begin
+      let h = hash3 s i in
+      let best_len = ref 0 and best_pos = ref (-1) in
+      let cand = ref head.(h) in
+      let chain = ref 0 in
+      while !cand >= 0 && !chain < max_chain && !best_len < good_enough do
+        let c = !cand in
+        if i - c <= window_size then begin
+          let l = match_len c i in
+          if l > !best_len then begin
+            best_len := l;
+            best_pos := c
+          end
+        end
+        else cand := -1 (* out of window; chain is ordered so stop *)
+        ;
+        if !cand >= 0 then cand := prev.(c);
+        incr chain
+      done;
+      if !best_len >= min_match then Some (!best_len, i - !best_pos) else None
+    end
+  in
+  let i = ref 0 in
+  while !i < n do
+    (match find_best !i with
+    | Some (len, dist) ->
+      (* lazy matching: prefer a longer match starting at i+1 *)
+      let next_better =
+        if !i + 1 + min_match <= n then
+          match find_best (!i + 1) with
+          | Some (len2, _) when len2 > len -> true
+          | _ -> false
+        else false
+      in
+      if next_better then begin
+        emit (Literal (Char.code s.[!i]));
+        insert !i;
+        incr i
+      end
+      else begin
+        emit (Match { length = len; dist });
+        for k = !i to min (n - 1) (!i + len - 1) do insert k done;
+        i := !i + len
+      end
+    | None ->
+      emit (Literal (Char.code s.[!i]));
+      insert !i;
+      incr i)
+  done;
+  List.rev !tokens
+
+let reconstruct tokens =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun t ->
+      match t with
+      | Literal b -> Buffer.add_char buf (Char.chr b)
+      | Match { length; dist } ->
+        let start = Buffer.length buf - dist in
+        if start < 0 then failwith "Lz77.reconstruct: bad distance";
+        for k = 0 to length - 1 do
+          Buffer.add_char buf (Buffer.nth buf (start + k))
+        done)
+    tokens;
+  Buffer.contents buf

@@ -1,0 +1,22 @@
+(** Greedy-with-lazy-matching LZ77 over a sliding window.
+
+    This is the string-matching stage of our gzip-equivalent: it factors
+    the input into literals and (length, distance) references, which
+    {!Deflate} then entropy-codes. Window and match limits follow
+    DEFLATE's (32 KB window, match lengths 3..258). *)
+
+type token =
+  | Literal of int                       (** byte value 0..255 *)
+  | Match of { length : int; dist : int } (** copy [length] bytes from [dist] back *)
+
+val window_size : int
+val min_match : int
+val max_match : int
+
+val tokenize : ?good_enough:int -> string -> token list
+(** Factor the input. [good_enough] (default 64) stops hash-chain search
+    early once a match at least that long is found, trading a little
+    ratio for speed. *)
+
+val reconstruct : token list -> string
+(** Inverse: expand tokens back to the original string. *)

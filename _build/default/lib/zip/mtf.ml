@@ -1,0 +1,49 @@
+type 'a encoded = { indices : int list; novel : 'a list }
+
+let encode ~eq xs =
+  (* The table is a list with the most recently used symbol first. *)
+  let table = ref [] in
+  let novel = ref [] in
+  let index_of x =
+    let rec go i = function
+      | [] -> None
+      | y :: rest -> if eq x y then Some i else go (i + 1) rest
+    in
+    go 1 !table
+  in
+  let emit x =
+    match index_of x with
+    | Some i ->
+      (* move to front *)
+      table := x :: List.filter (fun y -> not (eq x y)) !table;
+      i
+    | None ->
+      novel := x :: !novel;
+      table := x :: !table;
+      0
+  in
+  let indices = List.map emit xs in
+  { indices; novel = List.rev !novel }
+
+let decode { indices; novel } =
+  let table = ref [] in
+  let pending = ref novel in
+  let emit i =
+    if i = 0 then begin
+      match !pending with
+      | [] -> failwith "Mtf.decode: novel list exhausted"
+      | x :: rest ->
+        pending := rest;
+        table := x :: !table;
+        x
+    end
+    else begin
+      let x = List.nth !table (i - 1) in
+      table := x :: List.filteri (fun j _ -> j <> i - 1) !table;
+      x
+    end
+  in
+  List.map emit indices
+
+let encode_ints xs = encode ~eq:Int.equal xs
+let decode_ints e = decode e

@@ -1,0 +1,24 @@
+(** Move-to-front coding over arbitrary symbol alphabets.
+
+    The paper's wire format MTF-codes each literal stream before Huffman
+    coding (§3 step 3). Following the paper, index 0 is reserved for
+    "symbol not seen previously": the first occurrence of a symbol emits 0
+    and the symbol itself is recovered from a side table of first
+    occurrences, so no MTF table needs to be transmitted. *)
+
+type 'a encoded = {
+  indices : int list;   (** one per input symbol; 0 = first occurrence *)
+  novel : 'a list;      (** symbols in order of first appearance *)
+}
+
+val encode : eq:('a -> 'a -> bool) -> 'a list -> 'a encoded
+(** MTF indices for the input sequence. An index [i >= 1] refers to the
+    symbol at (1-based) position [i] of the current table; 0 introduces
+    the next element of [novel]. *)
+
+val decode : 'a encoded -> 'a list
+(** Inverse of {!encode}: [decode (encode ~eq xs) = xs] whenever [eq] is
+    equality. *)
+
+val encode_ints : int list -> int encoded
+val decode_ints : int encoded -> int list

@@ -1,0 +1,186 @@
+(* 32-bit range coder (Subbotin style) with byte-wise renormalization. *)
+
+let top = 1 lsl 24
+let bot = 1 lsl 16
+let mask32 = 0xFFFFFFFF
+
+module Model = struct
+  type t = { freqs : int array; mutable total : int }
+
+  let max_total = bot - 1
+
+  let create n =
+    if n <= 0 then invalid_arg "Range_coder.Model.create";
+    { freqs = Array.make n 1; total = n }
+
+  let halve m =
+    m.total <- 0;
+    Array.iteri
+      (fun i f ->
+        let f' = (f + 1) / 2 in
+        m.freqs.(i) <- f';
+        m.total <- m.total + f')
+      m.freqs
+
+  let update m sym =
+    m.freqs.(sym) <- m.freqs.(sym) + 32;
+    m.total <- m.total + 32;
+    if m.total >= max_total then halve m
+
+  let cum_below m sym =
+    let c = ref 0 in
+    for i = 0 to sym - 1 do c := !c + m.freqs.(i) done;
+    !c
+
+  let find m target =
+    let c = ref 0 and i = ref 0 in
+    while !c + m.freqs.(!i) <= target do
+      c := !c + m.freqs.(!i);
+      incr i
+    done;
+    (!i, !c)
+end
+
+type encoder = {
+  mutable low : int;
+  mutable range : int;
+  buf : Buffer.t;
+}
+
+let encoder () = { low = 0; range = mask32; buf = Buffer.create 256 }
+
+let enc_normalize e =
+  while
+    (e.low lxor (e.low + e.range)) < top
+    || (e.range < bot
+       &&
+       (e.range <- -e.low land (bot - 1);
+        true))
+  do
+    Buffer.add_char e.buf (Char.chr ((e.low lsr 24) land 0xff));
+    e.low <- (e.low lsl 8) land mask32;
+    e.range <- (e.range lsl 8) land mask32
+  done
+
+let encode e m sym =
+  let cum = Model.cum_below m sym in
+  let f = m.Model.freqs.(sym) in
+  let r = e.range / m.Model.total in
+  e.low <- (e.low + (r * cum)) land mask32;
+  e.range <- r * f;
+  enc_normalize e
+
+let finish e =
+  for _ = 1 to 4 do
+    Buffer.add_char e.buf (Char.chr ((e.low lsr 24) land 0xff));
+    e.low <- (e.low lsl 8) land mask32
+  done;
+  Buffer.contents e.buf
+
+type decoder = {
+  mutable dlow : int;
+  mutable drange : int;
+  mutable code : int;
+  src : string;
+  mutable pos : int;
+}
+
+let next_byte d =
+  if d.pos < String.length d.src then begin
+    let b = Char.code d.src.[d.pos] in
+    d.pos <- d.pos + 1;
+    b
+  end
+  else 0
+
+let decoder s =
+  let d = { dlow = 0; drange = mask32; code = 0; src = s; pos = 0 } in
+  for _ = 1 to 4 do
+    d.code <- ((d.code lsl 8) lor next_byte d) land mask32
+  done;
+  d
+
+let dec_normalize d =
+  while
+    (d.dlow lxor (d.dlow + d.drange)) < top
+    || (d.drange < bot
+       &&
+       (d.drange <- -d.dlow land (bot - 1);
+        true))
+  do
+    d.code <- ((d.code lsl 8) lor next_byte d) land mask32;
+    d.dlow <- (d.dlow lsl 8) land mask32;
+    d.drange <- (d.drange lsl 8) land mask32
+  done
+
+let decode d m =
+  let r = d.drange / m.Model.total in
+  let target = min (m.Model.total - 1) ((d.code - d.dlow) land mask32 / r) in
+  let sym, cum = Model.find m target in
+  let f = m.Model.freqs.(sym) in
+  d.dlow <- (d.dlow + (r * cum)) land mask32;
+  d.drange <- r * f;
+  dec_normalize d;
+  sym
+
+(* ---- order-N byte compressor ---- *)
+
+let context_slots = 4096
+
+let ctx_hash order history =
+  if order = 0 then 0
+  else begin
+    let h = ref 0 in
+    for i = 0 to order - 1 do
+      h := (!h * 257) + history.(i)
+    done;
+    !h land (context_slots - 1)
+  end
+
+let compress_order_n ~order s =
+  if order < 0 || order > 3 then invalid_arg "Range_coder.compress_order_n";
+  let models = Array.init (if order = 0 then 1 else context_slots) (fun _ -> Model.create 256) in
+  let history = Array.make (max order 1) 0 in
+  let e = encoder () in
+  String.iter
+    (fun c ->
+      let b = Char.code c in
+      let m = models.(ctx_hash order history) in
+      encode e m b;
+      Model.update m b;
+      if order > 0 then begin
+        for i = order - 1 downto 1 do
+          history.(i) <- history.(i - 1)
+        done;
+        history.(0) <- b
+      end)
+    s;
+  let body = finish e in
+  let hdr = Buffer.create 8 in
+  Support.Util.uleb128 hdr (String.length s);
+  Buffer.add_char hdr (Char.chr order);
+  Buffer.contents hdr ^ body
+
+let decompress_order_n ~order z =
+  let pos = ref 0 in
+  let n = Support.Util.read_uleb128 z pos in
+  let stored_order = Char.code z.[!pos] in
+  incr pos;
+  if stored_order <> order then invalid_arg "Range_coder.decompress_order_n: order mismatch";
+  let models = Array.init (if order = 0 then 1 else context_slots) (fun _ -> Model.create 256) in
+  let history = Array.make (max order 1) 0 in
+  let d = decoder (String.sub z !pos (String.length z - !pos)) in
+  let buf = Buffer.create n in
+  for _ = 1 to n do
+    let m = models.(ctx_hash order history) in
+    let b = decode d m in
+    Model.update m b;
+    Buffer.add_char buf (Char.chr b);
+    if order > 0 then begin
+      for i = order - 1 downto 1 do
+        history.(i) <- history.(i - 1)
+      done;
+      history.(0) <- b
+    end
+  done;
+  Buffer.contents buf

@@ -1,0 +1,40 @@
+(** Binary-renormalizing range coder with adaptive frequency models.
+
+    The paper's design-space section (§2) contrasts byte codes with
+    arithmetic codes, which "compress better by coding for sequences
+    longer than individual symbols, but complicate direct interpretation".
+    This module provides that end of the design space so the wire-format
+    ablation benches can measure the gap. *)
+
+module Model : sig
+  type t
+  (** Adaptive frequency model over a fixed alphabet, with add-one
+      initialization and periodic halving to stay within the coder's
+      total-frequency bound. *)
+
+  val create : int -> t
+  (** [create n] models symbols in [0, n). *)
+
+  val update : t -> int -> unit
+end
+
+type encoder
+
+val encoder : unit -> encoder
+val encode : encoder -> Model.t -> int -> unit
+(** Encode a symbol under the model's current statistics; the caller is
+    responsible for calling [Model.update] afterwards (so encoder and
+    decoder stay in lock-step). *)
+
+val finish : encoder -> string
+
+type decoder
+
+val decoder : string -> decoder
+val decode : decoder -> Model.t -> int
+
+val compress_order_n : order:int -> string -> string
+(** Whole-string convenience: order-[order] context-mixed byte model
+    (contexts hash the previous [order] bytes), adaptive. *)
+
+val decompress_order_n : order:int -> string -> string

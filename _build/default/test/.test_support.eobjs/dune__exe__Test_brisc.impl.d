@@ -1,0 +1,1 @@
+test/test_brisc.ml: Alcotest Array Brisc Buffer Cc Corpus Lazy List Native QCheck QCheck_alcotest Vm

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Brisc Cc Corpus Int64 List Native Printf Vm

@@ -1,0 +1,1 @@
+test/test_native.ml: Alcotest Cc Corpus List Native Printf QCheck QCheck_alcotest String Vm

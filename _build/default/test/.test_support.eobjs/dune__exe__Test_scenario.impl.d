@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Array Brisc Cc Corpus List Native Scenario Vm

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Buffer Int64 List Printf QCheck QCheck_alcotest Support

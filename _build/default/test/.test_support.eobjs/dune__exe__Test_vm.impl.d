@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Cc Corpus List QCheck QCheck_alcotest Vm

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Bytes Cc Corpus Ir Lazy List Native Printf String Vm Wire Zip

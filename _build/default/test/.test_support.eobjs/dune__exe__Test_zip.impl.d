@@ -1,0 +1,1 @@
+test/test_zip.ml: Alcotest Array Bytes Char Gen List QCheck QCheck_alcotest String Support Zip

@@ -1,0 +1,469 @@
+(* Tests for BRISC: patterns, dictionary construction, Markov coding,
+   container serialization, decompression and in-place interpretation. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let compile src = Vm.Codegen.gen_program (Cc.Lower.compile src)
+
+(* ---- Pat ---- *)
+
+let sample_instrs =
+  [ Vm.Isa.Ld (Vm.Isa.W, 0, 4, Vm.Isa.sp); Vm.Isa.Mov (2, 0);
+    Vm.Isa.Alu (Vm.Isa.Add, 1, 2, 3); Vm.Isa.Alui (Vm.Isa.Add, 0, 1, 12);
+    Vm.Isa.Li (5, -77); Vm.Isa.Enter 24; Vm.Isa.Spill (4, 16);
+    Vm.Isa.Call "pepper"; Vm.Isa.Bri (Vm.Isa.Le, 4, 0, "L56"); Vm.Isa.Rjr ]
+
+let test_base_pattern_matches_self () =
+  List.iter
+    (fun i ->
+      let p = Brisc.Pat.base_pattern i in
+      Alcotest.(check bool) (Vm.Isa.instr_to_string i) true
+        (Brisc.Pat.matches p [ i ]))
+    sample_instrs
+
+let test_instantiate_inverse () =
+  List.iter
+    (fun i ->
+      let p = Brisc.Pat.base_pattern i in
+      let values = Brisc.Pat.wild_values p [ i ] in
+      Alcotest.(check bool) "reconstructs" true
+        (Brisc.Pat.instantiate p values = [ i ]))
+    sample_instrs
+
+let test_specialize_burns_field () =
+  let i = Vm.Isa.Ld (Vm.Isa.W, 0, 4, Vm.Isa.sp) in
+  let p = Brisc.Pat.base_pattern i in
+  (* burn field 0 (the destination register) *)
+  match Brisc.Pat.specialize p 0 (Vm.Encode.Freg 0) with
+  | None -> Alcotest.fail "specialization must succeed"
+  | Some sp ->
+    Alcotest.(check int) "one fewer wild" (Brisc.Pat.wild_count p - 1)
+      (Brisc.Pat.wild_count sp);
+    Alcotest.(check bool) "still matches" true (Brisc.Pat.matches sp [ i ]);
+    (* a different destination register no longer matches *)
+    let other = Vm.Isa.Ld (Vm.Isa.W, 3, 4, Vm.Isa.sp) in
+    Alcotest.(check bool) "rejects others" false (Brisc.Pat.matches sp [ other ])
+
+let test_specialize_never_burns_labels () =
+  let i = Vm.Isa.Bri (Vm.Isa.Le, 4, 0, "L56") in
+  let p = Brisc.Pat.base_pattern i in
+  (* slot order: reg, imm, label — burning the label slot must refuse *)
+  Alcotest.(check bool) "label refused" true
+    (Brisc.Pat.specialize p 2 (Vm.Encode.Flab "L56") = None)
+
+let test_combine_rules () =
+  let mov = Brisc.Pat.base_pattern (Vm.Isa.Mov (2, 0)) in
+  let ld = Brisc.Pat.base_pattern (Vm.Isa.Ld (Vm.Isa.W, 0, 4, Vm.Isa.sp)) in
+  let br = Brisc.Pat.base_pattern (Vm.Isa.Jmp "L") in
+  let call = Brisc.Pat.base_pattern (Vm.Isa.Call "f") in
+  Alcotest.(check bool) "ld;mov combines" true (Brisc.Pat.combine ld mov <> None);
+  Alcotest.(check bool) "branch first refused" true (Brisc.Pat.combine br mov = None);
+  Alcotest.(check bool) "call first refused" true (Brisc.Pat.combine call mov = None);
+  Alcotest.(check bool) "call second ok" true (Brisc.Pat.combine mov call <> None)
+
+let test_combine_saves_opcode_byte () =
+  let a = Vm.Isa.Mov (2, 0) and b = Vm.Isa.Mov (3, 1) in
+  let pa = Brisc.Pat.base_pattern a and pb = Brisc.Pat.base_pattern b in
+  match Brisc.Pat.combine pa pb with
+  | None -> Alcotest.fail "must combine"
+  | Some pc ->
+    (* two movs: 2 + 2 bytes separately; combined: 1 opcode + 2 operand
+       bytes = 3 *)
+    Alcotest.(check int) "separate" 4
+      (Brisc.Pat.encoded_bytes pa + Brisc.Pat.encoded_bytes pb);
+    Alcotest.(check int) "combined" 3 (Brisc.Pat.encoded_bytes pc);
+    Alcotest.(check bool) "matches pair" true (Brisc.Pat.matches pc [ a; b ])
+
+let test_specialization_monotone_bytes () =
+  List.iter
+    (fun i ->
+      let p = Brisc.Pat.base_pattern i in
+      let values = Brisc.Pat.wild_values p [ i ] in
+      List.iteri
+        (fun si v ->
+          match Brisc.Pat.specialize p si v with
+          | Some sp ->
+            Alcotest.(check bool) "specialized never bigger" true
+              (Brisc.Pat.encoded_bytes sp <= Brisc.Pat.encoded_bytes p)
+          | None -> ())
+        values)
+    sample_instrs
+
+let test_paper_enter_example () =
+  (* §4.3's worked example prices the dictionary entry for
+     [enter sp,*,*] at 2 bytes (shape byte + 2-bit field selector +
+     4-bit value). Our entries also ship a 3-bit width spec per wild
+     slot (slot widths are selectable here), so the same entry costs 3
+     bytes — one more than the paper, and still dominated by W. *)
+  let p = Brisc.Pat.base_pattern (Vm.Isa.Enter 24) in
+  match Brisc.Pat.specialize p 0 (Vm.Encode.Freg Vm.Isa.sp) with
+  | None -> Alcotest.fail "specialize"
+  | Some sp ->
+    Alcotest.(check int) "dict cost 3 bytes" 3 (Brisc.Pat.dict_entry_bytes sp);
+    Alcotest.(check bool) "W exceeds dict cost" true
+      (Brisc.Pat.native_bytes sp > Brisc.Pat.dict_entry_bytes sp)
+
+let test_epi_macro () =
+  let exit_rjr = [ Vm.Isa.Exit 24; Vm.Isa.Rjr ] in
+  Alcotest.(check bool) "epi matches exit+rjr" true
+    (Brisc.Pat.matches Brisc.Pat.epi exit_rjr);
+  let values = Brisc.Pat.wild_values Brisc.Pat.epi exit_rjr in
+  Alcotest.(check bool) "reconstructs" true
+    (Brisc.Pat.instantiate Brisc.Pat.epi values = exit_rjr)
+
+(* ---- Markov ---- *)
+
+let test_markov_roundtrip () =
+  let transitions = [ (0, 3); (0, 3); (0, 5); (4, 1); (4, 1); (4, 2); (6, 0) ] in
+  let m = Brisc.Markov.build ~n_entries:6 transitions in
+  let buf = Buffer.create 64 in
+  Brisc.Markov.write buf m;
+  let pos = ref 0 in
+  let m' = Brisc.Markov.read (Buffer.contents buf) pos in
+  Alcotest.(check bool) "tables equal" true (m = m')
+
+let test_markov_code_decode () =
+  let transitions = List.init 100 (fun i -> (0, i mod 7)) in
+  let m = Brisc.Markov.build ~n_entries:7 transitions in
+  for e = 0 to 6 do
+    let bytes = Brisc.Markov.code_of m ~ctx:0 e in
+    let q = ref bytes in
+    let next () = match !q with b :: r -> q := r; b | [] -> Alcotest.fail "short" in
+    Alcotest.(check int) "roundtrip" e (Brisc.Markov.entry_of m ~ctx:0 next)
+  done
+
+let test_markov_escape_codes () =
+  (* a context with 300 successors exercises the 255-escape *)
+  let transitions = List.init 300 (fun i -> (0, i)) in
+  let m = Brisc.Markov.build ~n_entries:300 transitions in
+  Alcotest.(check int) "max successors" 300 (Brisc.Markov.max_successors m);
+  let check e =
+    let bytes = Brisc.Markov.code_of m ~ctx:0 e in
+    let q = ref bytes in
+    let next () = match !q with b :: r -> q := r; b | [] -> Alcotest.fail "short" in
+    Alcotest.(check int) "escape roundtrip" e (Brisc.Markov.entry_of m ~ctx:0 next)
+  in
+  check 0; check 254; check 255; check 299;
+  Alcotest.(check bool) "escape uses 2 bytes" true
+    (List.length (Brisc.Markov.code_of m ~ctx:0 299) = 2)
+
+let test_markov_unreachable_entry () =
+  let m = Brisc.Markov.build ~n_entries:4 [ (0, 1) ] in
+  match Brisc.Markov.code_of m ~ctx:0 3 with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "unreachable entry must fail"
+
+(* ---- dictionary construction ---- *)
+
+let medium_vp =
+  lazy (compile (Corpus.Gen.generate Corpus.Gen.medium).Corpus.Programs.source)
+
+let test_dict_items_reconstruct_program () =
+  let vp = compile Corpus.Programs.strlib.Corpus.Programs.source in
+  let d = Brisc.Dict.build vp in
+  List.iter2
+    (fun (cf : Brisc.Dict.compiled_func) (f : Vm.Isa.vfunc) ->
+      let decoded = ref [] in
+      Array.iter
+        (fun (it : Brisc.Dict.item) ->
+          if it.Brisc.Dict.live then begin
+            let p = d.Brisc.Dict.entries.(it.Brisc.Dict.pat) in
+            Alcotest.(check bool) "pattern matches its instructions" true
+              (Brisc.Pat.matches p it.Brisc.Dict.insts);
+            decoded := List.rev_append it.Brisc.Dict.insts !decoded
+          end)
+        cf.Brisc.Dict.items;
+      let orig =
+        List.filter
+          (fun i -> match i with Vm.Isa.Label _ -> false | _ -> true)
+          f.Vm.Isa.code
+      in
+      Alcotest.(check bool) "exact instruction stream" true
+        (List.rev !decoded = orig))
+    d.Brisc.Dict.funcs vp.Vm.Isa.funcs
+
+let test_dict_shrinks_code () =
+  let vp = Lazy.force medium_vp in
+  let d = Brisc.Dict.build vp in
+  let orig = Vm.Encode.program_size vp in
+  let comp = Brisc.Dict.compressed_code_bytes d + Brisc.Dict.dictionary_bytes d in
+  Alcotest.(check bool) "smaller" true (comp < orig);
+  Alcotest.(check bool) "substantially" true
+    (float_of_int comp /. float_of_int orig < 0.75)
+
+let test_dict_grows_with_input () =
+  (* §4.3: bigger inputs yield bigger dictionaries (981 for lcc, 1232
+     for gcc) *)
+  let small = compile (Corpus.Gen.generate Corpus.Gen.small).Corpus.Programs.source in
+  let ds = Brisc.Dict.build small in
+  let dm = Brisc.Dict.build (Lazy.force medium_vp) in
+  Alcotest.(check bool) "monotone dictionary growth" true
+    (Array.length dm.Brisc.Dict.entries > Array.length ds.Brisc.Dict.entries);
+  Alcotest.(check bool) "candidates tested grows" true
+    (dm.Brisc.Dict.candidates_tested > ds.Brisc.Dict.candidates_tested)
+
+let test_ignore_w_compresses_harder () =
+  (* abundant-memory mode (B = P) accepts more candidates than B = P - W *)
+  let vp = compile (Corpus.Gen.generate Corpus.Gen.small).Corpus.Programs.source in
+  let normal = Brisc.Dict.build vp in
+  let abundant = Brisc.Dict.build ~ignore_w:true vp in
+  Alcotest.(check bool) "more entries" true
+    (Array.length abundant.Brisc.Dict.entries
+     >= Array.length normal.Brisc.Dict.entries);
+  Alcotest.(check bool) "code not bigger" true
+    (Brisc.Dict.compressed_code_bytes abundant
+     <= Brisc.Dict.compressed_code_bytes normal)
+
+let test_k_parameter () =
+  let vp = compile (Corpus.Gen.generate Corpus.Gen.small).Corpus.Programs.source in
+  let k5 = Brisc.Dict.build ~k:5 vp in
+  let k40 = Brisc.Dict.build ~k:40 vp in
+  (* both must converge to valid dictionaries *)
+  Alcotest.(check bool) "k5 valid" true (Array.length k5.Brisc.Dict.entries > 0);
+  Alcotest.(check bool) "k40 valid" true (Array.length k40.Brisc.Dict.entries > 0)
+
+(* ---- container / decompression ---- *)
+
+let test_image_roundtrip_bytes () =
+  let vp = compile Corpus.Programs.qsort.Corpus.Programs.source in
+  let img = Brisc.compress vp in
+  let bytes = Brisc.to_bytes img in
+  let img2 = Brisc.of_bytes bytes in
+  Alcotest.(check bool) "identical bytes" true (Brisc.to_bytes img2 = bytes)
+
+let check_decompress_exact (e : Corpus.Programs.entry) () =
+  let vp = compile e.Corpus.Programs.source in
+  let img = Brisc.of_bytes (Brisc.to_bytes (Brisc.compress vp)) in
+  let dec = Brisc.Decomp.decompress img in
+  Alcotest.(check bool) "normalized equality" true
+    (Brisc.Decomp.normalize_labels dec = Brisc.Decomp.normalize_labels vp)
+
+let decompress_cases =
+  List.map
+    (fun (e : Corpus.Programs.entry) ->
+      Alcotest.test_case e.Corpus.Programs.name `Quick (check_decompress_exact e))
+    Corpus.Programs.all
+
+let test_corrupt_container () =
+  match Brisc.of_bytes "not a brisc container" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "bad magic must be rejected"
+
+let test_apply_dictionary_salt () =
+  (* §4.4: compress the salt example with a dictionary trained on a big
+     program — the compressed form must still decode exactly *)
+  let salt_src = {|
+void pepper(int a, int b) { }
+int salt(int j, int i) {
+  if (j > 0) {
+    pepper(i, j);
+    j--;
+  }
+  return j;
+}|} in
+  let salt = compile salt_src in
+  let big = Lazy.force medium_vp in
+  let trained = Brisc.compress big in
+  let img = Brisc.compress_with trained salt in
+  let dec = Brisc.Decomp.decompress img in
+  Alcotest.(check bool) "decodes exactly" true
+    (Brisc.Decomp.normalize_labels dec = Brisc.Decomp.normalize_labels salt);
+  (* the trained dictionary beats salt's own base encoding, as in the
+     paper's 60 -> 17 byte example (our factor is smaller because the
+     whole function set is tiny) *)
+  let own = Brisc.compress salt in
+  Alcotest.(check bool) "trained code not bigger than own-dictionary code"
+    true
+    (Brisc.Emit.code_size img <= Brisc.Emit.code_size own)
+
+(* ---- in-place interpretation ---- *)
+
+let check_interp_equiv (e : Corpus.Programs.entry) () =
+  let vp = compile e.Corpus.Programs.source in
+  let img = Brisc.of_bytes (Brisc.to_bytes (Brisc.compress vp)) in
+  let r0 = Vm.Interp.run ~input:e.Corpus.Programs.input vp in
+  let r1 = Brisc.Interp.run ~input:e.Corpus.Programs.input img in
+  Alcotest.(check string) "output" r0.Vm.Interp.output r1.Brisc.Interp.output;
+  Alcotest.(check int) "exit" r0.Vm.Interp.exit_code r1.Brisc.Interp.exit_code
+
+let interp_cases =
+  List.map
+    (fun (e : Corpus.Programs.entry) ->
+      Alcotest.test_case e.Corpus.Programs.name `Quick (check_interp_equiv e))
+    Corpus.Programs.all
+
+let test_interp_random_access () =
+  (* heavy branching exercises label-offset random access *)
+  check_interp_equiv Corpus.Programs.life ();
+  check_interp_equiv Corpus.Programs.calc ()
+
+let test_interp_trap () =
+  let vp = compile "int main() { int z = 0; return 1 / z; }" in
+  let img = Brisc.compress vp in
+  match Brisc.Interp.run img with
+  | exception Brisc.Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "trap must propagate"
+
+let test_dispatches_less_than_steps () =
+  let vp = Lazy.force medium_vp in
+  let img = Brisc.compress vp in
+  let r = Brisc.Interp.run img in
+  Alcotest.(check bool) "opcode combination executed" true
+    (r.Brisc.Interp.dispatches < r.Brisc.Interp.vm_steps)
+
+(* ---- JIT ---- *)
+
+let test_jit_equiv_and_output_size () =
+  let e = Corpus.Programs.matmul in
+  let vp = compile e.Corpus.Programs.source in
+  let img = Brisc.compress vp in
+  let np, produced = Brisc.Jit.compile_with_stats img in
+  let direct = Native.Compile.compile_program vp in
+  Alcotest.(check int) "same native bytes as direct compile"
+    (Native.Mach.program_size direct) produced;
+  let r0 = Native.Sim.run ~input:e.Corpus.Programs.input direct in
+  let r1 = Native.Sim.run ~input:e.Corpus.Programs.input np in
+  Alcotest.(check string) "output" r0.Native.Sim.output r1.Native.Sim.output
+
+(* ---- qcheck properties over random instructions ---- *)
+
+let gen_reg = QCheck.Gen.int_bound 15
+
+let gen_instr : Vm.Isa.instr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let w = oneofl [ Vm.Isa.B; Vm.Isa.H; Vm.Isa.W ] in
+  let alu =
+    oneofl
+      [ Vm.Isa.Add; Vm.Isa.Sub; Vm.Isa.Mul; Vm.Isa.Div; Vm.Isa.Mod;
+        Vm.Isa.And; Vm.Isa.Or; Vm.Isa.Xor; Vm.Isa.Shl; Vm.Isa.Shr ]
+  in
+  let rel =
+    oneofl [ Vm.Isa.Eq; Vm.Isa.Ne; Vm.Isa.Lt; Vm.Isa.Le; Vm.Isa.Gt; Vm.Isa.Ge ]
+  in
+  let imm = int_range (-40000) 40000 in
+  oneof
+    [
+      map3 (fun w rd (i, rs) -> Vm.Isa.Ld (w, rd, i, rs)) w gen_reg (pair imm gen_reg);
+      map3 (fun w rd (i, rs) -> Vm.Isa.St (w, rd, i, rs)) w gen_reg (pair imm gen_reg);
+      map2 (fun rd v -> Vm.Isa.Li (rd, v)) gen_reg imm;
+      map2 (fun rd rs -> Vm.Isa.Mov (rd, rs)) gen_reg gen_reg;
+      map3 (fun op rd (a, b) -> Vm.Isa.Alu (op, rd, a, b)) alu gen_reg (pair gen_reg gen_reg);
+      map3 (fun op rd (a, v) -> Vm.Isa.Alui (op, rd, a, v)) alu gen_reg (pair gen_reg imm);
+      map3 (fun r a b -> Vm.Isa.Br (r, a, b, "L1")) rel gen_reg gen_reg;
+      map3 (fun r a v -> Vm.Isa.Bri (r, a, v, "L1")) rel gen_reg imm;
+      map (fun k -> Vm.Isa.Enter (abs k mod 256)) imm;
+      map2 (fun r k -> Vm.Isa.Spill (r, 4 * (abs k mod 64))) gen_reg imm;
+      return (Vm.Isa.Call "f");
+      return Vm.Isa.Rjr;
+    ]
+
+let arb_instr = QCheck.make ~print:Vm.Isa.instr_to_string gen_instr
+
+let prop_base_pattern_roundtrip =
+  QCheck.Test.make ~name:"base pattern matches and reconstructs" ~count:500
+    arb_instr (fun i ->
+      let p = Brisc.Pat.base_pattern i in
+      Brisc.Pat.matches p [ i ]
+      && Brisc.Pat.instantiate p (Brisc.Pat.wild_values p [ i ]) = [ i ])
+
+let prop_specializations_monotone =
+  QCheck.Test.make ~name:"all one-field specializations stay valid" ~count:500
+    arb_instr (fun i ->
+      let p = Brisc.Pat.base_pattern i in
+      let values = Brisc.Pat.wild_values p [ i ] in
+      List.for_all
+        (fun (si, v) ->
+          match Brisc.Pat.specialize p si v with
+          | None -> true (* labels refuse *)
+          | Some sp ->
+            Brisc.Pat.matches sp [ i ]
+            && Brisc.Pat.encoded_bytes sp <= Brisc.Pat.encoded_bytes p
+            && Brisc.Pat.instantiate sp (Brisc.Pat.wild_values sp [ i ]) = [ i ])
+        (List.mapi (fun si v -> (si, v)) values))
+
+let prop_combined_pairs_roundtrip =
+  QCheck.Test.make ~name:"combined pairs reconstruct both instructions"
+    ~count:500
+    QCheck.(pair arb_instr arb_instr)
+    (fun (a, b) ->
+      match
+        Brisc.Pat.combine (Brisc.Pat.base_pattern a) (Brisc.Pat.base_pattern b)
+      with
+      | None -> true
+      | Some p ->
+        Brisc.Pat.matches p [ a; b ]
+        && Brisc.Pat.instantiate p (Brisc.Pat.wild_values p [ a; b ]) = [ a; b ])
+
+let prop_dict_serialization =
+  (* random dictionaries of specialized/combined patterns survive the
+     container's write_pat/read_pat (exercised through a tiny program) *)
+  QCheck.Test.make ~name:"pattern encoded size bounded by base" ~count:500
+    arb_instr (fun i ->
+      let p = Brisc.Pat.base_pattern i in
+      Brisc.Pat.encoded_bytes p >= 1
+      && Brisc.Pat.dict_entry_bytes p >= 1
+      && Brisc.Pat.native_bytes p >= 0)
+
+let () =
+  Alcotest.run "brisc"
+    [
+      ( "pat",
+        [
+          Alcotest.test_case "base matches self" `Quick test_base_pattern_matches_self;
+          Alcotest.test_case "instantiate inverse" `Quick test_instantiate_inverse;
+          Alcotest.test_case "specialize burns field" `Quick test_specialize_burns_field;
+          Alcotest.test_case "labels never burned" `Quick test_specialize_never_burns_labels;
+          Alcotest.test_case "combine rules" `Quick test_combine_rules;
+          Alcotest.test_case "combine saves opcode" `Quick test_combine_saves_opcode_byte;
+          Alcotest.test_case "specialization monotone" `Quick test_specialization_monotone_bytes;
+          Alcotest.test_case "paper enter example" `Quick test_paper_enter_example;
+          Alcotest.test_case "epi macro" `Quick test_epi_macro;
+        ] );
+      ( "markov",
+        [
+          Alcotest.test_case "serialization roundtrip" `Quick test_markov_roundtrip;
+          Alcotest.test_case "code/decode" `Quick test_markov_code_decode;
+          Alcotest.test_case "escape codes" `Quick test_markov_escape_codes;
+          Alcotest.test_case "unreachable entry" `Quick test_markov_unreachable_entry;
+        ] );
+      ( "dict",
+        [
+          Alcotest.test_case "items reconstruct program" `Quick
+            test_dict_items_reconstruct_program;
+          Alcotest.test_case "shrinks code" `Slow test_dict_shrinks_code;
+          Alcotest.test_case "dictionary grows with input" `Slow
+            test_dict_grows_with_input;
+          Alcotest.test_case "abundant memory mode" `Slow
+            test_ignore_w_compresses_harder;
+          Alcotest.test_case "k parameter" `Slow test_k_parameter;
+        ] );
+      ("decompress", decompress_cases);
+      ( "container",
+        [
+          Alcotest.test_case "byte roundtrip" `Quick test_image_roundtrip_bytes;
+          Alcotest.test_case "corrupt container" `Quick test_corrupt_container;
+          Alcotest.test_case "trained dictionary (salt)" `Slow
+            test_apply_dictionary_salt;
+        ] );
+      ("interp", interp_cases);
+      ( "interp_extra",
+        [
+          Alcotest.test_case "random access branching" `Quick
+            test_interp_random_access;
+          Alcotest.test_case "traps propagate" `Quick test_interp_trap;
+          Alcotest.test_case "dispatches < steps" `Slow
+            test_dispatches_less_than_steps;
+        ] );
+      ( "jit",
+        [
+          Alcotest.test_case "equivalence and size" `Quick
+            test_jit_equiv_and_output_size;
+        ] );
+      ( "properties",
+        [
+          qcheck prop_base_pattern_roundtrip;
+          qcheck prop_specializations_monotone;
+          qcheck prop_combined_pairs_roundtrip;
+          qcheck prop_dict_serialization;
+        ] );
+    ]

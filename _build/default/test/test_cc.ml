@@ -1,0 +1,432 @@
+(* Tests for the MiniC frontend: lexer, parser, semantic checks, and
+   end-to-end language semantics (compiled to the VM and executed). *)
+
+(* ---- helpers ---- *)
+
+let run ?(input = "") src =
+  let ir = Cc.Lower.compile src in
+  let vp = Vm.Codegen.gen_program ir in
+  Vm.Interp.run ~input vp
+
+let check_exit name expected src =
+  Alcotest.(check int) name expected (run src).Vm.Interp.exit_code
+
+let check_out name expected src =
+  Alcotest.(check string) name expected (run src).Vm.Interp.output
+
+let expect_compile_error name src =
+  match Cc.Lower.compile src with
+  | exception Cc.Lower.Compile_error _ -> ()
+  | exception Cc.Parser.Parse_error _ -> ()
+  | exception Cc.Lexer.Lex_error _ -> ()
+  | _ -> Alcotest.fail (name ^ ": expected a compile error")
+
+(* ---- lexer ---- *)
+
+let toks src =
+  List.filter_map
+    (fun l -> match l.Cc.Lexer.tok with Cc.Lexer.EOF -> None | t -> Some t)
+    (Cc.Lexer.tokenize src)
+
+let test_lex_ints () =
+  Alcotest.(check bool) "decimal" true
+    (toks "42" = [ Cc.Lexer.INT_LIT 42 ]);
+  Alcotest.(check bool) "hex" true
+    (toks "0xFF" = [ Cc.Lexer.INT_LIT 255 ]);
+  Alcotest.(check bool) "zero" true (toks "0" = [ Cc.Lexer.INT_LIT 0 ])
+
+let test_lex_chars () =
+  Alcotest.(check bool) "plain" true (toks "'a'" = [ Cc.Lexer.CHAR_LIT 'a' ]);
+  Alcotest.(check bool) "newline" true (toks "'\\n'" = [ Cc.Lexer.CHAR_LIT '\n' ]);
+  Alcotest.(check bool) "nul" true (toks "'\\0'" = [ Cc.Lexer.CHAR_LIT '\000' ])
+
+let test_lex_strings () =
+  Alcotest.(check bool) "escape" true
+    (toks "\"a\\tb\"" = [ Cc.Lexer.STRING_LIT "a\tb" ])
+
+let test_lex_comments () =
+  Alcotest.(check bool) "line" true (toks "1 // comment\n2" = [ Cc.Lexer.INT_LIT 1; Cc.Lexer.INT_LIT 2 ]);
+  Alcotest.(check bool) "block" true (toks "1 /* x */ 2" = [ Cc.Lexer.INT_LIT 1; Cc.Lexer.INT_LIT 2 ])
+
+let test_lex_longest_match () =
+  Alcotest.(check bool) "shift vs lt" true
+    (toks "a<<=b" = [ Cc.Lexer.IDENT "a"; Cc.Lexer.PUNCT "<<="; Cc.Lexer.IDENT "b" ]);
+  Alcotest.(check bool) "le" true
+    (toks "a<=b" = [ Cc.Lexer.IDENT "a"; Cc.Lexer.PUNCT "<="; Cc.Lexer.IDENT "b" ])
+
+let test_lex_errors () =
+  (match Cc.Lexer.tokenize "'unterminated" with
+  | exception Cc.Lexer.Lex_error _ -> ()
+  | _ -> Alcotest.fail "char");
+  (match Cc.Lexer.tokenize "\"unterminated" with
+  | exception Cc.Lexer.Lex_error _ -> ()
+  | _ -> Alcotest.fail "string");
+  match Cc.Lexer.tokenize "/* unterminated" with
+  | exception Cc.Lexer.Lex_error _ -> ()
+  | _ -> Alcotest.fail "comment"
+
+let test_lex_keywords () =
+  Alcotest.(check bool) "kw vs ident" true
+    (toks "int integer" = [ Cc.Lexer.KW "int"; Cc.Lexer.IDENT "integer" ])
+
+(* ---- parser / precedence (checked by evaluation) ---- *)
+
+let test_precedence_mul_add () = check_exit "2+3*4" 14 "int main() { return 2 + 3 * 4; }"
+let test_precedence_parens () = check_exit "(2+3)*4" 20 "int main() { return (2 + 3) * 4; }"
+let test_precedence_shift () = check_exit "1<<2+1" 8 "int main() { return 1 << 2 + 1; }"
+let test_precedence_cmp_bitand () =
+  (* & binds looser than == in C *)
+  check_exit "x&1==1" 1 "int main() { int x = 3; return x & 1 == 1; }"
+let test_assoc_sub () = check_exit "10-3-2" 5 "int main() { return 10 - 3 - 2; }"
+let test_assoc_assign () =
+  check_exit "a=b=5" 10 "int main() { int a; int b; a = b = 5; return a + b; }"
+let test_unary_binds_tight () = check_exit "-2*3" (-6) "int main() { return -2 * 3; }"
+let test_cond_expr_nested () =
+  check_exit "nested ?:" 2 "int main() { int x = 5; return x < 3 ? 1 : x < 10 ? 2 : 3; }"
+
+let test_parse_errors () =
+  expect_compile_error "missing semi" "int main() { return 1 }";
+  expect_compile_error "missing paren" "int main( { return 1; }";
+  expect_compile_error "bad array size" "int main() { int a[x]; return 0; }";
+  expect_compile_error "stray rbrace" "int main() { } }"
+
+(* ---- semantic checks ---- *)
+
+let test_sema_unknown_var () =
+  expect_compile_error "unknown var" "int main() { return nope; }"
+
+let test_sema_unknown_func () =
+  expect_compile_error "unknown func" "int main() { return nope(); }"
+
+let test_sema_arity () =
+  expect_compile_error "too few"
+    "int f(int a, int b) { return a; } int main() { return f(1); }";
+  expect_compile_error "too many"
+    "int f(int a) { return a; } int main() { return f(1, 2); }"
+
+let test_sema_void_value () =
+  expect_compile_error "void used"
+    "void f() { } int main() { return f(); }"
+
+let test_sema_break_outside () =
+  expect_compile_error "break" "int main() { break; return 0; }";
+  expect_compile_error "continue" "int main() { continue; return 0; }"
+
+let test_sema_redefinition () =
+  expect_compile_error "local twice" "int main() { int x; int x; return 0; }";
+  expect_compile_error "func twice" "int f() { return 0; } int f() { return 1; } int main() { return 0; }";
+  expect_compile_error "global twice" "int g; int g; int main() { return 0; }"
+
+let test_sema_return_mismatch () =
+  expect_compile_error "void returns value" "void f() { return 1; } int main() { return 0; }";
+  expect_compile_error "int returns nothing used" "int main() { return; }"
+
+let test_sema_deref_int () =
+  expect_compile_error "deref int" "int main() { int x; return *x; }"
+
+let test_sema_assign_nonlvalue () =
+  expect_compile_error "assign to call"
+    "int f() { return 0; } int main() { f() = 3; return 0; }"
+
+let test_sema_nonconst_global_init () =
+  expect_compile_error "nonconst init"
+    "int g() { return 1; } int h = g(); int main() { return 0; }"
+
+let test_sema_scopes () =
+  (* an inner block variable disappears at block end *)
+  expect_compile_error "out of scope"
+    "int main() { if (1) { int x = 1; } return x; }";
+  (* shadowing is allowed *)
+  check_exit "shadow" 1
+    "int main() { int x = 1; if (1) { int x = 2; x = 3; } return x; }"
+
+(* ---- language semantics, end to end ---- *)
+
+let test_arith_div_trunc () =
+  check_exit "div toward zero" (-2) "int main() { return -7 / 3; }";
+  check_exit "mod sign" (-1) "int main() { return -7 % 3; }"
+
+let test_arith_wrap () =
+  check_exit "wraps 32-bit" 0 {|
+int main() {
+  int big = 2147483647;
+  big = big + 1;
+  return big == -2147483648 ? 0 : 1;
+}|}
+
+let test_const_fold_matches_runtime () =
+  (* the same expression folded and computed must agree *)
+  check_exit "fold agrees" 0 {|
+int main() {
+  int a = 1000000;
+  int folded = (1000000 * 4096) >> 3;
+  int computed = (a * 4096) >> 3;
+  return folded == computed ? 0 : 1;
+}|}
+
+let test_short_circuit_and () =
+  check_out "rhs not evaluated" "" {|
+int main() {
+  int zero = 0;
+  if (zero && putchar('x')) { }
+  return 0;
+}|}
+
+let test_short_circuit_or () =
+  check_out "rhs not evaluated" "" {|
+int main() {
+  int one = 1;
+  if (one || putchar('y')) { }
+  return 0;
+}|}
+
+let test_logical_values () =
+  check_exit "and value" 1 "int main() { int a = 2; int b = 3; return a && b; }";
+  check_exit "not value" 0 "int main() { return !5; }";
+  check_exit "or value" 1 "int main() { int z = 0; return z || 7; }"
+
+let test_char_signedness () =
+  check_exit "char sign extends" (-106) "int main() { char c = 150; return c; }"
+
+let test_short_narrowing () =
+  check_exit "short wraps" (-25536) "int main() { short s = 40000; return s; }"
+
+let test_char_array_store_load () =
+  check_exit "byte store" 200 {|
+char buf[4];
+int main() { buf[1] = 200; return buf[1] & 255; }|}
+
+let test_pointer_arith_scaling () =
+  check_exit "int* scales by 4" 30 {|
+int a[4];
+int main() {
+  int *p = a;
+  a[2] = 30;
+  return *(p + 2);
+}|}
+
+let test_pointer_diff () =
+  check_exit "pointer difference" 3 {|
+int a[8];
+int main() { int *p = &a[5]; int *q = &a[2]; return p - q; }|}
+
+let test_pointer_swap_via_args () =
+  check_exit "swap" 1 {|
+void swap(int *x, int *y) { int t = *x; *x = *y; *y = t; }
+int main() { int a = 2; int b = 1; swap(&a, &b); return a; }|}
+
+let test_global_scalar_init () =
+  check_exit "global init" 77 "int g = 77; int main() { return g; }"
+
+let test_global_array_init () =
+  check_exit "array init" 6 {|
+int t[3] = { 1, 2, 3 };
+int main() { return t[0] + t[1] + t[2]; }|}
+
+let test_global_string_init () =
+  check_exit "string global" 104 {|
+char msg[6] = "hello";
+int main() { return msg[0] + msg[5]; }|}
+
+let test_string_literal_interning () =
+  (* identical literals share one global *)
+  check_exit "same pointer" 1 {|
+int main() { char *a = "dup"; char *b = "dup"; return a == b; }|}
+
+let test_recursion_ackermann_small () =
+  check_exit "ackermann(2,3)" 9 {|
+int ack(int m, int n) {
+  if (m == 0) return n + 1;
+  if (n == 0) return ack(m - 1, 1);
+  return ack(m - 1, ack(m, n - 1));
+}
+int main() { return ack(2, 3); }|}
+
+let test_mutual_recursion () =
+  (* forward references need no prototypes: signatures are collected in
+     a first pass *)
+  check_exit "is_even 10" 1 {|
+int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+int main() { return is_even(10); }|}
+
+let test_compound_assign_all () =
+  check_exit "compound ops" 0 {|
+int main() {
+  int x = 100;
+  x += 10; if (x != 110) return 1;
+  x -= 20; if (x != 90) return 2;
+  x *= 2;  if (x != 180) return 3;
+  x /= 3;  if (x != 60) return 4;
+  x %= 7;  if (x != 4) return 5;
+  x <<= 3; if (x != 32) return 6;
+  x >>= 2; if (x != 8) return 7;
+  x |= 5;  if (x != 13) return 8;
+  x &= 6;  if (x != 4) return 9;
+  x ^= 7;  if (x != 3) return 10;
+  return 0;
+}|}
+
+let test_incr_decr () =
+  check_exit "postfix value" 0 {|
+int main() {
+  int i = 5;
+  int a = i++;
+  if (a != 5 || i != 6) return 1;
+  int b = i--;
+  if (b != 6 || i != 5) return 2;
+  int c = ++i;
+  if (c != 6 || i != 6) return 3;
+  return 0;
+}|}
+
+let test_sizeof () =
+  check_exit "sizeof" 0 {|
+int main() {
+  if (sizeof(int) != 4) return 1;
+  if (sizeof(char) != 1) return 2;
+  if (sizeof(short) != 2) return 3;
+  if (sizeof(int*) != 4) return 4;
+  return 0;
+}|}
+
+let test_for_scoping () =
+  check_exit "iterator scoped" 10 {|
+int main() {
+  int s = 0;
+  for (int i = 0; i < 5; i++) s += i;
+  for (int i = 0; i < 1; i++) s += 0;
+  return s;
+}|}
+
+let test_nested_loops_break_continue () =
+  check_exit "break/continue nesting" 12 {|
+int main() {
+  int s = 0;
+  for (int i = 0; i < 5; i++) {
+    if (i == 3) continue;
+    for (int j = 0; j < 5; j++) {
+      if (j == 3) break;
+      s = s + 1;
+    }
+  }
+  return s;
+}|}
+
+let test_do_while_runs_once () =
+  check_exit "do-while" 1 "int main() { int n = 0; do { n++; } while (0); return n; }"
+
+let test_function_six_args () =
+  check_exit "six args" 21 {|
+int sum6(int a, int b, int c, int d, int e, int f) {
+  return a + b + c + d + e + f;
+}
+int main() { return sum6(1, 2, 3, 4, 5, 6); }|}
+
+let test_too_many_args_rejected () =
+  let src = {|
+int f(int a, int b, int c, int d, int e, int g, int h) { return 0; }
+int main() { return f(1,2,3,4,5,6,7); }|} in
+  let ir = Cc.Lower.compile src in
+  match Vm.Codegen.gen_program ir with
+  | exception Vm.Codegen.Codegen_error _ -> ()
+  | _ -> Alcotest.fail "7 formals should be rejected by codegen"
+
+let test_deep_expression_spills () =
+  (* a balanced expression tree deeper than the 10-register eval stack
+     forces the codegen to spill to scratch frame slots *)
+  let rec balanced d = if d = 0 then "1" else
+    let s = balanced (d - 1) in "(" ^ s ^ "+" ^ s ^ ")"
+  in
+  let src = Printf.sprintf "int main() { return %s - 2000; }" (balanced 11) in
+  check_exit "deep expr" 48 src
+
+let test_comparison_chains_as_values () =
+  check_exit "cmp value" 1 "int main() { int x = 3; int y = (x > 2) + (x > 5); return y; }"
+
+let test_argument_evaluation_with_calls () =
+  check_out "nested calls in args" "abc" {|
+int emit(int c) { putchar(c); return c; }
+int pair(int x, int y) { return y; }
+int main() {
+  pair(emit('a'), pair(emit('b'), emit('c')));
+  return 0;
+}|}
+
+let test_getchar_eof () =
+  let r = run ~input:"" "int main() { return getchar() == -1; }" in
+  Alcotest.(check int) "eof" 1 r.Vm.Interp.exit_code
+
+let () =
+  Alcotest.run "cc"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "integers" `Quick test_lex_ints;
+          Alcotest.test_case "chars" `Quick test_lex_chars;
+          Alcotest.test_case "strings" `Quick test_lex_strings;
+          Alcotest.test_case "comments" `Quick test_lex_comments;
+          Alcotest.test_case "longest match" `Quick test_lex_longest_match;
+          Alcotest.test_case "errors" `Quick test_lex_errors;
+          Alcotest.test_case "keywords" `Quick test_lex_keywords;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "mul over add" `Quick test_precedence_mul_add;
+          Alcotest.test_case "parens" `Quick test_precedence_parens;
+          Alcotest.test_case "shift vs add" `Quick test_precedence_shift;
+          Alcotest.test_case "cmp vs bitand" `Quick test_precedence_cmp_bitand;
+          Alcotest.test_case "sub associativity" `Quick test_assoc_sub;
+          Alcotest.test_case "assign associativity" `Quick test_assoc_assign;
+          Alcotest.test_case "unary tightness" `Quick test_unary_binds_tight;
+          Alcotest.test_case "nested ?:" `Quick test_cond_expr_nested;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        ] );
+      ( "sema",
+        [
+          Alcotest.test_case "unknown variable" `Quick test_sema_unknown_var;
+          Alcotest.test_case "unknown function" `Quick test_sema_unknown_func;
+          Alcotest.test_case "arity" `Quick test_sema_arity;
+          Alcotest.test_case "void value" `Quick test_sema_void_value;
+          Alcotest.test_case "break/continue placement" `Quick test_sema_break_outside;
+          Alcotest.test_case "redefinition" `Quick test_sema_redefinition;
+          Alcotest.test_case "return mismatch" `Quick test_sema_return_mismatch;
+          Alcotest.test_case "deref non-pointer" `Quick test_sema_deref_int;
+          Alcotest.test_case "assign non-lvalue" `Quick test_sema_assign_nonlvalue;
+          Alcotest.test_case "non-const global init" `Quick test_sema_nonconst_global_init;
+          Alcotest.test_case "scoping" `Quick test_sema_scopes;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "division truncates" `Quick test_arith_div_trunc;
+          Alcotest.test_case "32-bit wrap" `Quick test_arith_wrap;
+          Alcotest.test_case "folding matches runtime" `Quick test_const_fold_matches_runtime;
+          Alcotest.test_case "&& short-circuits" `Quick test_short_circuit_and;
+          Alcotest.test_case "|| short-circuits" `Quick test_short_circuit_or;
+          Alcotest.test_case "logical values" `Quick test_logical_values;
+          Alcotest.test_case "char signedness" `Quick test_char_signedness;
+          Alcotest.test_case "short narrowing" `Quick test_short_narrowing;
+          Alcotest.test_case "char array" `Quick test_char_array_store_load;
+          Alcotest.test_case "pointer scaling" `Quick test_pointer_arith_scaling;
+          Alcotest.test_case "pointer difference" `Quick test_pointer_diff;
+          Alcotest.test_case "pointer args" `Quick test_pointer_swap_via_args;
+          Alcotest.test_case "global scalar init" `Quick test_global_scalar_init;
+          Alcotest.test_case "global array init" `Quick test_global_array_init;
+          Alcotest.test_case "global string init" `Quick test_global_string_init;
+          Alcotest.test_case "string interning" `Quick test_string_literal_interning;
+          Alcotest.test_case "recursion" `Quick test_recursion_ackermann_small;
+          Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+          Alcotest.test_case "compound assignment" `Quick test_compound_assign_all;
+          Alcotest.test_case "increment/decrement" `Quick test_incr_decr;
+          Alcotest.test_case "sizeof" `Quick test_sizeof;
+          Alcotest.test_case "for scoping" `Quick test_for_scoping;
+          Alcotest.test_case "break/continue" `Quick test_nested_loops_break_continue;
+          Alcotest.test_case "do-while" `Quick test_do_while_runs_once;
+          Alcotest.test_case "six arguments" `Quick test_function_six_args;
+          Alcotest.test_case "too many arguments" `Quick test_too_many_args_rejected;
+          Alcotest.test_case "register spilling" `Quick test_deep_expression_spills;
+          Alcotest.test_case "comparisons as values" `Quick test_comparison_chains_as_values;
+          Alcotest.test_case "calls in arguments" `Quick test_argument_evaluation_with_calls;
+          Alcotest.test_case "getchar eof" `Quick test_getchar_eof;
+        ] );
+    ]

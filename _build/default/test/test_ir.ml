@@ -1,0 +1,344 @@
+(* Tests for the tree IR: printing, parsing, patternization, validation. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ---- generators for random IR ---- *)
+
+let gen_ty = QCheck.Gen.oneofl [ Ir.Op.I; Ir.Op.C; Ir.Op.S; Ir.Op.P ]
+
+let gen_binop =
+  QCheck.Gen.oneofl
+    [ Ir.Op.Add; Ir.Op.Sub; Ir.Op.Mul; Ir.Op.Div; Ir.Op.Mod; Ir.Op.Band;
+      Ir.Op.Bor; Ir.Op.Bxor; Ir.Op.Lsh; Ir.Op.Rsh ]
+
+let gen_relop =
+  QCheck.Gen.oneofl [ Ir.Op.Eq; Ir.Op.Ne; Ir.Op.Lt; Ir.Op.Le; Ir.Op.Gt; Ir.Op.Ge ]
+
+let gen_small_int = QCheck.Gen.int_range (-200) 200
+
+let rec gen_tree depth st =
+  let open QCheck.Gen in
+  if depth <= 0 then
+    (oneof
+       [
+         map Ir.Tree.cnst gen_small_int;
+         map (fun v -> Ir.Tree.addrl (abs v mod 96)) gen_small_int;
+         map (fun v -> Ir.Tree.addrf (4 * (abs v mod 4))) gen_small_int;
+         return (Ir.Tree.Addrg "g");
+       ])
+      st
+  else
+    (frequency
+       [
+         (2, map Ir.Tree.cnst gen_small_int);
+         (2, map (fun v -> Ir.Tree.addrl (abs v mod 96)) gen_small_int);
+         ( 3,
+           map2
+             (fun ty t -> Ir.Tree.Indir (ty, t))
+             gen_ty
+             (gen_tree (depth - 1)) );
+         ( 3,
+           map3
+             (fun op a b -> Ir.Tree.Binop (Ir.Op.I, op, a, b))
+             gen_binop
+             (gen_tree (depth - 1))
+             (gen_tree (depth - 1)) );
+         (1, map (fun t -> Ir.Tree.Neg (Ir.Op.I, t)) (gen_tree (depth - 1)));
+         (1, map (fun t -> Ir.Tree.Bcom (Ir.Op.I, t)) (gen_tree (depth - 1)));
+         ( 1,
+           map
+             (fun t -> Ir.Tree.Cvt (Ir.Op.C, Ir.Op.I, t))
+             (gen_tree (depth - 1)) );
+       ])
+      st
+
+let gen_stmt st =
+  let open QCheck.Gen in
+  (frequency
+     [
+       ( 4,
+         map2
+           (fun a v -> Ir.Tree.Sasgn (Ir.Op.I, a, v))
+           (gen_tree 1) (gen_tree 2) );
+       (2, map (fun t -> Ir.Tree.Sarg (Ir.Op.I, t)) (gen_tree 2));
+       (1, return (Ir.Tree.Scall (Ir.Op.V, Ir.Tree.Addrg "f")));
+       ( 2,
+         map3
+           (fun rel a b -> Ir.Tree.Scnd (rel, Ir.Op.I, a, b, "L0"))
+           gen_relop (gen_tree 1) (gen_tree 1) );
+       (1, return (Ir.Tree.Sjump "L0"));
+       (1, return (Ir.Tree.Slabel "L0"));
+       (1, return (Ir.Tree.Sret (Ir.Op.V, None)));
+       (1, map (fun t -> Ir.Tree.Sret (Ir.Op.I, Some t)) (gen_tree 2));
+     ])
+    st
+
+let arb_stmt = QCheck.make ~print:Ir.Printer.stmt_to_string gen_stmt
+
+(* ---- width assignment ---- *)
+
+let test_width_for () =
+  Alcotest.(check bool) "w8" true (Ir.Op.width_for 100 = Ir.Op.W8);
+  Alcotest.(check bool) "w8 low" true (Ir.Op.width_for (-128) = Ir.Op.W8);
+  Alcotest.(check bool) "w16" true (Ir.Op.width_for 1000 = Ir.Op.W16);
+  Alcotest.(check bool) "w16 edge" true (Ir.Op.width_for 32767 = Ir.Op.W16);
+  Alcotest.(check bool) "w32" true (Ir.Op.width_for 32768 = Ir.Op.W32)
+
+let test_cnst_widths () =
+  (match Ir.Tree.cnst 1 with
+  | Ir.Tree.Cnst (Ir.Op.I, Ir.Op.W8, 1) -> ()
+  | _ -> Alcotest.fail "cnst 1 should be 8-bit");
+  match Ir.Tree.cnst 70000 with
+  | Ir.Tree.Cnst (Ir.Op.I, Ir.Op.W32, 70000) -> ()
+  | _ -> Alcotest.fail "cnst 70000 should be 32-bit"
+
+(* ---- printer / parser ---- *)
+
+let test_print_paper_form () =
+  (* the exact statement from §3 of the paper *)
+  let s =
+    Ir.Tree.Sasgn
+      ( Ir.Op.I,
+        Ir.Tree.Addrl (Ir.Op.W8, 72),
+        Ir.Tree.Binop
+          ( Ir.Op.I,
+            Ir.Op.Sub,
+            Ir.Tree.Indir (Ir.Op.I, Ir.Tree.Addrl (Ir.Op.W8, 72)),
+            Ir.Tree.Cnst (Ir.Op.I, Ir.Op.W8, 1) ) )
+  in
+  Alcotest.(check string) "paper rendering"
+    "ASGNI(ADDRLP8[72], SUBI(INDIRI(ADDRLP8[72]),CNSTC[1]))"
+    (Ir.Printer.stmt_to_string s)
+
+let test_parse_stmt () =
+  let s = Ir.Parse_ir.stmt_of_string "ASGNI(ADDRLP8[72], SUBI(INDIRI(ADDRLP8[72]),CNSTC[1]))" in
+  Alcotest.(check string) "reprint"
+    "ASGNI(ADDRLP8[72], SUBI(INDIRI(ADDRLP8[72]),CNSTC[1]))"
+    (Ir.Printer.stmt_to_string s)
+
+let test_parse_branch () =
+  let s = Ir.Parse_ir.stmt_of_string "LEI[L0](INDIRI(ADDRFP8[0]),CNSTC[0])" in
+  match s with
+  | Ir.Tree.Scnd (Ir.Op.Le, Ir.Op.I, _, _, "L0") -> ()
+  | _ -> Alcotest.fail "wrong parse"
+
+let test_parse_error () =
+  (match Ir.Parse_ir.stmt_of_string "BOGUS[1](X)" with
+  | exception Ir.Parse_ir.Parse_error _ -> ()
+  | _ -> Alcotest.fail "should not parse");
+  match Ir.Parse_ir.stmt_of_string "ASGNI(ADDRLP8[72])" with
+  | exception Ir.Parse_ir.Parse_error _ -> ()
+  | _ -> Alcotest.fail "missing operand should fail"
+
+let prop_print_parse_roundtrip =
+  QCheck.Test.make ~name:"print/parse roundtrip" ~count:300 arb_stmt (fun s ->
+      let printed = Ir.Printer.stmt_to_string s in
+      Ir.Tree.equal_stmt s (Ir.Parse_ir.stmt_of_string printed))
+
+let test_program_roundtrip () =
+  let src =
+    "global g 4\n\
+     global tab 16 = 1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16\n\
+     function f(a:I, p:P) frame 8 {\n\
+    \  ASGNI(ADDRLP8[0], CNSTC[5])\n\
+    \  LABELV[L0]\n\
+    \  GTI[L0](INDIRI(ADDRLP8[0]),CNSTC[0])\n\
+    \  RETI(INDIRI(ADDRLP8[0]))\n\
+     }\n"
+  in
+  let p = Ir.Parse_ir.program_of_string src in
+  let p2 = Ir.Parse_ir.program_of_string (Ir.Printer.program_to_string p) in
+  Alcotest.(check bool) "roundtrip" true (Ir.Tree.equal_program p p2)
+
+(* ---- patternization ---- *)
+
+let test_patternize_paper_example () =
+  let s = Ir.Parse_ir.stmt_of_string "ASGNI(ADDRLP8[72], SUBI(INDIRI(ADDRLP8[72]),CNSTC[1]))" in
+  let sp, lits = Ir.Pattern.of_stmt s in
+  Alcotest.(check string) "wildcarded"
+    "ASGNI(ADDRLP8[*], SUBI(INDIRI(ADDRLP8[*]),CNSTC[*]))"
+    (Ir.Pattern.spat_to_string sp);
+  Alcotest.(check int) "three literals" 3 (List.length lits);
+  (* literals come back in prefix order: 72, 72, 1 *)
+  let values =
+    List.map (fun (_, l) -> match l with Ir.Pattern.Lint v -> v | _ -> -1) lits
+  in
+  Alcotest.(check (list int)) "prefix order" [ 72; 72; 1 ] values
+
+let prop_patternize_roundtrip =
+  QCheck.Test.make ~name:"of_stmt/to_stmt roundtrip" ~count:400 arb_stmt
+    (fun s ->
+      let sp, lits = Ir.Pattern.of_stmt s in
+      Ir.Tree.equal_stmt s (Ir.Pattern.to_stmt sp lits))
+
+let prop_lit_slots_agree =
+  QCheck.Test.make ~name:"lit_slots matches of_stmt classes" ~count:400
+    arb_stmt (fun s ->
+      let sp, lits = Ir.Pattern.of_stmt s in
+      Ir.Pattern.lit_slots sp = List.map fst lits)
+
+let prop_pattern_encode_roundtrip =
+  QCheck.Test.make ~name:"pattern byte encode/decode roundtrip" ~count:400
+    arb_stmt (fun s ->
+      let sp, _ = Ir.Pattern.of_stmt s in
+      let enc = Ir.Pattern.encode sp in
+      let pos = ref 0 in
+      let sp' = Ir.Pattern.decode enc pos in
+      Ir.Pattern.equal sp sp' && !pos = String.length enc)
+
+let test_pattern_bytes_one_per_node () =
+  let s = Ir.Parse_ir.stmt_of_string "ASGNI(ADDRLP8[4], ADDI(CNSTC[1],CNSTC[2]))" in
+  let sp, _ = Ir.Pattern.of_stmt s in
+  (* ASGN, ADDRL, ADD, CNST, CNST = 5 nodes = 5 bytes *)
+  Alcotest.(check int) "bytes" 5 (String.length (Ir.Pattern.encode sp))
+
+let test_decode_garbage () =
+  let pos = ref 0 in
+  match Ir.Pattern.decode "\255\255" pos with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "garbage should not decode"
+
+(* ---- validation ---- *)
+
+let valid_src =
+  "function main() frame 8 {\n\
+  \  ASGNI(ADDRLP8[0], CNSTC[1])\n\
+  \  RETI(INDIRI(ADDRLP8[0]))\n\
+   }\n"
+
+let test_validate_ok () =
+  let p = Ir.Parse_ir.program_of_string valid_src in
+  Alcotest.(check int) "no issues" 0 (List.length (Ir.Validate.check_program p))
+
+let test_validate_undefined_label () =
+  let p =
+    Ir.Parse_ir.program_of_string
+      "function f() frame 0 { JUMPV[nowhere] RETV }\n"
+  in
+  Alcotest.(check bool) "caught" true (Ir.Validate.check_program p <> [])
+
+let test_validate_duplicate_label () =
+  let p =
+    Ir.Parse_ir.program_of_string
+      "function f() frame 0 { LABELV[a] LABELV[a] RETV }\n"
+  in
+  Alcotest.(check bool) "caught" true (Ir.Validate.check_program p <> [])
+
+let test_validate_width_violation () =
+  (* hand-build a tree whose literal exceeds its width class *)
+  let p =
+    {
+      Ir.Tree.globals = [];
+      funcs =
+        [
+          {
+            Ir.Tree.fname = "f";
+            formals = [];
+            frame_size = 4;
+            body =
+              [
+                Ir.Tree.Sasgn
+                  ( Ir.Op.I,
+                    Ir.Tree.Addrl (Ir.Op.W8, 0),
+                    Ir.Tree.Cnst (Ir.Op.I, Ir.Op.W8, 4000) );
+                Ir.Tree.Sret (Ir.Op.V, None);
+              ];
+          };
+        ];
+    }
+  in
+  Alcotest.(check bool) "caught" true (Ir.Validate.check_program p <> [])
+
+let test_validate_frame_bounds () =
+  let p =
+    Ir.Parse_ir.program_of_string
+      "function f() frame 4 { ASGNI(ADDRLP8[100], CNSTC[1]) RETV }\n"
+  in
+  Alcotest.(check bool) "caught" true (Ir.Validate.check_program p <> [])
+
+let test_validate_unknown_symbol () =
+  let p =
+    Ir.Parse_ir.program_of_string
+      "function f() frame 0 { CALLV(ADDRGP[missing]) RETV }\n"
+  in
+  Alcotest.(check bool) "caught" true (Ir.Validate.check_program p <> [])
+
+let test_validate_builtins_ok () =
+  let p =
+    Ir.Parse_ir.program_of_string
+      "function f() frame 0 { ARGI(CNSTC[65]) CALLI(ADDRGP[putchar]) RETV }\n"
+  in
+  Alcotest.(check int) "no issues" 0 (List.length (Ir.Validate.check_program p))
+
+let test_validate_void_return_with_value () =
+  let p =
+    {
+      Ir.Tree.globals = [];
+      funcs =
+        [
+          {
+            Ir.Tree.fname = "f";
+            formals = [];
+            frame_size = 0;
+            body = [ Ir.Tree.Sret (Ir.Op.V, Some (Ir.Tree.cnst 1)) ];
+          };
+        ];
+    }
+  in
+  Alcotest.(check bool) "caught" true (Ir.Validate.check_program p <> [])
+
+(* ---- sizes ---- *)
+
+let test_tree_size () =
+  let t = Ir.Parse_ir.tree_of_string "ADDI(INDIRI(ADDRLP8[0]),CNSTC[1])" in
+  Alcotest.(check int) "nodes" 4 (Ir.Tree.tree_size t)
+
+let test_program_size () =
+  let p = Ir.Parse_ir.program_of_string valid_src in
+  Alcotest.(check int) "nodes" 6 (Ir.Tree.program_size p)
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "widths",
+        [
+          Alcotest.test_case "width_for" `Quick test_width_for;
+          Alcotest.test_case "cnst widths" `Quick test_cnst_widths;
+        ] );
+      ( "printer_parser",
+        [
+          Alcotest.test_case "paper form" `Quick test_print_paper_form;
+          Alcotest.test_case "parse stmt" `Quick test_parse_stmt;
+          Alcotest.test_case "parse branch" `Quick test_parse_branch;
+          Alcotest.test_case "parse errors" `Quick test_parse_error;
+          Alcotest.test_case "program roundtrip" `Quick test_program_roundtrip;
+          qcheck prop_print_parse_roundtrip;
+        ] );
+      ( "pattern",
+        [
+          Alcotest.test_case "paper example" `Quick test_patternize_paper_example;
+          Alcotest.test_case "one byte per node" `Quick
+            test_pattern_bytes_one_per_node;
+          Alcotest.test_case "garbage decode" `Quick test_decode_garbage;
+          qcheck prop_patternize_roundtrip;
+          qcheck prop_lit_slots_agree;
+          qcheck prop_pattern_encode_roundtrip;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "accepts valid" `Quick test_validate_ok;
+          Alcotest.test_case "undefined label" `Quick test_validate_undefined_label;
+          Alcotest.test_case "duplicate label" `Quick test_validate_duplicate_label;
+          Alcotest.test_case "width violation" `Quick test_validate_width_violation;
+          Alcotest.test_case "frame bounds" `Quick test_validate_frame_bounds;
+          Alcotest.test_case "unknown symbol" `Quick test_validate_unknown_symbol;
+          Alcotest.test_case "builtins allowed" `Quick test_validate_builtins_ok;
+          Alcotest.test_case "void return value" `Quick
+            test_validate_void_return_with_value;
+        ] );
+      ( "sizes",
+        [
+          Alcotest.test_case "tree size" `Quick test_tree_size;
+          Alcotest.test_case "program size" `Quick test_program_size;
+        ] );
+    ]

