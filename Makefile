@@ -1,0 +1,20 @@
+.PHONY: all check test bench clean
+
+all:
+	dune build
+
+# the tier-1 gate: everything must compile and the test suite must pass
+check:
+	dune build && dune runtest
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe -- --quick --no-bechamel
+
+bench-json:
+	dune exec bench/main.exe -- --quick --json
+
+clean:
+	dune clean

@@ -13,6 +13,10 @@
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 let no_bechamel = Array.exists (fun a -> a = "--no-bechamel") Sys.argv
 
+(* --json replaces the human tables with a machine-readable summary of
+   sizes and rates, so successive PRs can diff BENCH_*.json files *)
+let json_mode = Array.exists (fun a -> a = "--json") Sys.argv
+
 let hr title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -427,6 +431,163 @@ let ablation_k () =
     [ 5; 20; 60 ];
   print_endline "paper uses K=20; the knob trades passes for selectivity"
 
+(* ---- the code-delivery server (lib/server) ---- *)
+
+let workload_config = { Server.Workload.default_config with requests = 240 }
+
+let server_catalog engine =
+  let generated =
+    if quick then [ { Corpus.Gen.functions = 12; seed = 1017L; bias16 = false } ]
+    else Server.Workload.default_generated
+  in
+  Server.Workload.build_catalog ~generated engine
+
+let compress_time rep =
+  List.fold_left
+    (fun a rr -> a +. rr.Server.Stats.compress_total_s)
+    0.0 rep.Server.Stats.by_repr
+
+(* run the seeded workload against one engine; compression time is the
+   workload phase only (publish-time compression is paid identically by
+   every server and would drown the cache's effect) *)
+let server_run engine =
+  let catalog = server_catalog engine in
+  let publish_compress_s = compress_time (Server.report engine) in
+  let summary, wall =
+    time (fun () -> Server.Workload.run engine ~config:workload_config catalog)
+  in
+  let serve_compress_s =
+    compress_time summary.Server.Workload.report -. publish_compress_s
+  in
+  (catalog, summary, wall, serve_compress_s)
+
+let scenario_server () =
+  hr "Scenario — code-delivery server (cache + adaptive selection)";
+  (* adaptive server with a byte-budgeted cache vs a zero-byte cache
+     that forces every request to compress from scratch *)
+  let engine = Server.create ~budget_bytes:(256 * 1024) () in
+  let catalog, summary, adaptive_wall, adaptive_compress = server_run engine in
+  let r = summary.Server.Workload.report in
+  let engine0 = Server.create ~budget_bytes:0 () in
+  let _, summary0, recompress_wall, recompress_compress = server_run engine0 in
+  let r0 = summary0.Server.Workload.report in
+  Printf.printf "%d requests over %d programs, 4 client profiles\n"
+    summary.Server.Workload.requests (List.length catalog);
+  Printf.printf "%-22s %12s %16s %12s\n" "server" "hit rate"
+    "serve compress" "wall clock";
+  Printf.printf "%-22s %11.1f%% %15.3fs %11.3fs\n" "cached (256 KB)"
+    (100.0 *. r.Server.Stats.cache_hit_rate)
+    adaptive_compress adaptive_wall;
+  Printf.printf "%-22s %11.1f%% %15.3fs %11.3fs\n" "always-recompress"
+    (100.0 *. r0.Server.Stats.cache_hit_rate)
+    recompress_compress recompress_wall;
+  Printf.printf
+    "\nadaptive vs one-size-fits-all, same %d fetches (modelled client time):\n"
+    summary.Server.Workload.fetches;
+  Printf.printf "  %-18s %12s %14s\n" "policy" "total time" "bytes shipped";
+  Printf.printf "  %-18s %11.1fs %14s\n" "adaptive"
+    summary.Server.Workload.adaptive_s
+    (Support.Util.human_bytes summary.Server.Workload.adaptive_fetch_bytes);
+  List.iter
+    (fun b ->
+      Printf.printf "  %-18s %11.1fs %14s\n"
+        ("all " ^ Scenario.Delivery.repr_name b.Server.Workload.fixed)
+        b.Server.Workload.modelled_s
+        (Support.Util.human_bytes b.Server.Workload.wire_bytes))
+    summary.Server.Workload.baselines;
+  Printf.printf
+    "\nchunked sessions: %d chunks streamed, %s vs %s as whole wire images\n"
+    r.Server.Stats.chunks_served
+    (Support.Util.human_bytes r.Server.Stats.session_bytes)
+    (Support.Util.human_bytes r.Server.Stats.session_wire_equiv);
+  print_endline
+    "the cache amortizes compression across requests; per-client selection";
+  print_endline
+    "never loses to a fixed representation and ships it to clients a";
+  print_endline "one-size-fits-all server couldn't serve at all (§4.5)"
+
+(* ---- --json: machine-readable sizes + rates ---- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_report () =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n  \"schema\": \"codecomp-bench-v1\",\n";
+  add "  \"quick\": %b,\n" quick;
+  (* per-point sizes *)
+  add "  \"points\": [\n";
+  let pts = Lazy.force points @ [ Lazy.force word97_point ] in
+  List.iteri
+    (fun i p ->
+      let _, rep = brisc_of p in
+      let native = Native.Mach.program_size p.np in
+      let sparc = String.length p.sparc_img in
+      let gz_sparc = String.length (Zip.Deflate.compress p.sparc_img) in
+      let gz_x86 = String.length (Zip.Deflate.compress p.x86_img) in
+      let wire = String.length (Wire.compress p.ir) in
+      add
+        "    {\"label\": \"%s\", \"native_bytes\": %d, \"sparc_bytes\": %d, \
+         \"gzip_sparc_bytes\": %d, \"gzip_native_bytes\": %d, \
+         \"wire_bytes\": %d, \"brisc_bytes\": %d, \"brisc_code_bytes\": %d, \
+         \"wire_vs_sparc\": %.4f, \"brisc_vs_native\": %.4f}%s\n"
+        (json_escape p.label) native sparc gz_sparc gz_x86 wire
+        rep.Brisc.brisc_total rep.Brisc.brisc_code
+        (float_of_int sparc /. float_of_int wire)
+        (float_of_int rep.Brisc.brisc_total /. float_of_int native)
+        (if i = List.length pts - 1 then "" else ","))
+    pts;
+  add "  ],\n";
+  (* measured rates, as in Table 2 *)
+  let strlib = make_point "strlib" Corpus.Programs.strlib in
+  let img = Brisc.compress strlib.vp in
+  let (_, produced), jit_s = time (fun () -> Brisc.Jit.compile_with_stats img) in
+  let wire_z = Wire.compress strlib.ir in
+  let _, dec_s = time (fun () -> ignore (Wire.decompress wire_z)) in
+  let native_mb =
+    float_of_int (Native.Mach.program_size strlib.np) /. 1048576.0
+  in
+  add "  \"rates\": {\"jit_mbps_measured\": %.3f, \
+       \"wire_decompress_mbps_measured\": %.3f, \"default_decompress_mbps\": \
+       %.1f, \"default_jit_mbps\": %.1f, \"default_interp_slowdown\": %.1f},\n"
+    (float_of_int produced /. jit_s /. 1048576.0)
+    (native_mb /. dec_s)
+    Scenario.Delivery.default_rates.Scenario.Delivery.decompress_mbps
+    Scenario.Delivery.default_rates.Scenario.Delivery.jit_mbps
+    Scenario.Delivery.default_rates.Scenario.Delivery.interp_slowdown;
+  (* server workload summary *)
+  let engine = Server.create ~budget_bytes:(256 * 1024) () in
+  let catalog = server_catalog engine in
+  let summary = Server.Workload.run engine ~config:workload_config catalog in
+  let r = summary.Server.Workload.report in
+  add
+    "  \"server\": {\"requests\": %d, \"cache_hit_rate\": %.4f, \
+     \"evictions\": %d, \"bytes_on_wire\": %d, \"adaptive_modelled_s\": %.2f, \
+     \"session_bytes\": %d, \"session_wire_equiv_bytes\": %d, \
+     \"distinct_reprs\": [%s]}\n"
+    r.Server.Stats.requests r.Server.Stats.cache_hit_rate
+    r.Server.Stats.cache.Server.Cache.evictions
+    r.Server.Stats.total_bytes_served summary.Server.Workload.adaptive_s
+    r.Server.Stats.session_bytes r.Server.Stats.session_wire_equiv
+    (String.concat ", "
+       (List.map
+          (fun s -> "\"" ^ json_escape s ^ "\"")
+          summary.Server.Workload.distinct_reprs));
+  add "}\n";
+  print_string (Buffer.contents b)
+
 (* ---- bechamel micro-benchmarks ---- *)
 
 let bechamel () =
@@ -477,6 +638,10 @@ let bechamel () =
     tests
 
 let () =
+  if json_mode then begin
+    json_report ();
+    exit 0
+  end;
   let total0 = Unix.gettimeofday () in
   table1 ();
   table2 ();
@@ -486,6 +651,7 @@ let () =
   scenario_delivery ();
   scenario_paging ();
   scenario_icache ();
+  scenario_server ();
   ablation_wire_stages ();
   ablation_benefit ();
   ablation_input_quality ();

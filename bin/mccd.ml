@@ -1,0 +1,188 @@
+(* mccd — the code-delivery server driver.
+
+   Replays a request workload against [Server] and prints the stats
+   report. Two modes:
+
+     dune exec bin/mccd.exe                       # synthetic workload
+     dune exec bin/mccd.exe -- --requests 500 --budget 131072 --seed 7
+     dune exec bin/mccd.exe -- --script reqs.txt  # scripted replay
+
+   Script lines (blank lines and #-comments ignored):
+
+     fetch <program> <profile>     one whole-image request
+     stream <program> [n]          chunked session: handshake, then the
+                                   first n functions a real run touches
+                                   (all of them if n is omitted)
+
+   Programs are corpus names (wc, sieve, qsort, ..., gen24, gen40);
+   profiles are modem-jit, lan-jit, embedded, datacenter. *)
+
+let usage () =
+  prerr_endline
+    "usage: mccd [--requests N] [--seed N] [--budget BYTES] [--drop PCT]\n\
+    \            [--quick] [--script FILE] [--no-check]";
+  exit 2
+
+let () =
+  let requests = ref 120 in
+  let seed = ref 42 in
+  let budget = ref (256 * 1024) in
+  let drop = ref 10 in
+  let quick = ref false in
+  let script = ref None in
+  let check = ref true in
+  let rec parse = function
+    | [] -> ()
+    | "--requests" :: v :: rest ->
+      requests := int_of_string v;
+      parse rest
+    | "--seed" :: v :: rest ->
+      seed := int_of_string v;
+      parse rest
+    | "--budget" :: v :: rest ->
+      budget := int_of_string v;
+      parse rest
+    | "--drop" :: v :: rest ->
+      drop := int_of_string v;
+      parse rest
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--script" :: v :: rest ->
+      script := Some v;
+      parse rest
+    | "--no-check" :: rest ->
+      check := false;
+      parse rest
+    | _ -> usage ()
+  in
+  (try parse (List.tl (Array.to_list Sys.argv)) with _ -> usage ());
+
+  let engine = Server.create ~budget_bytes:!budget () in
+  let generated =
+    if !quick then
+      [ { Corpus.Gen.functions = 12; seed = 1017L; bias16 = false } ]
+    else Server.Workload.default_generated
+  in
+  Printf.printf "mccd: publishing the corpus (budget %s)...\n%!"
+    (Support.Util.human_bytes !budget);
+  let t0 = Unix.gettimeofday () in
+  let catalog = Server.Workload.build_catalog ~generated engine in
+  (* generated programs get stable short names for the script mode *)
+  let catalog =
+    List.map
+      (fun (e : Server.Workload.entry) ->
+        if Corpus.Programs.find e.Server.Workload.name <> None then e
+        else
+          { e with Server.Workload.name =
+              Printf.sprintf "gen%d" e.Server.Workload.fn_count })
+      catalog
+  in
+  Printf.printf "mccd: %d programs published in %.1fs\n\n%!"
+    (List.length catalog)
+    (Unix.gettimeofday () -. t0);
+
+  let find_program name =
+    match
+      List.find_opt (fun e -> e.Server.Workload.name = name) catalog
+    with
+    | Some e -> e
+    | None -> failwith ("mccd: unknown program " ^ name)
+  in
+  let find_profile name =
+    match
+      List.find_opt
+        (fun p -> p.Server.Profile.name = name)
+        Server.Workload.default_profiles
+    with
+    | Some p -> p
+    | None -> failwith ("mccd: unknown profile " ^ name)
+  in
+
+  let rep, distinct_reprs =
+    match !script with
+    | Some file ->
+      let ic = open_in file in
+      let reprs = Hashtbl.create 8 in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if line <> "" && line.[0] <> '#' then
+             match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+             | [ "fetch"; prog; prof ] ->
+               let e = find_program prog in
+               let resp =
+                 Server.fetch engine e.Server.Workload.digest
+                   (find_profile prof)
+               in
+               Hashtbl.replace reprs
+                 (Scenario.Delivery.repr_name resp.Server.chosen) ();
+               Printf.printf "fetch %-10s %-12s -> %-12s %7d B %s\n" prog prof
+                 (Scenario.Delivery.repr_name resp.Server.chosen)
+                 resp.Server.size
+                 (if resp.Server.cache_hit then "(cache hit)" else "(compressed)")
+             | "stream" :: prog :: rest ->
+               let e = find_program prog in
+               let wanted = e.Server.Workload.wanted in
+               let n =
+                 match rest with
+                 | [ v ] -> min (int_of_string v) (List.length wanted)
+                 | _ -> List.length wanted
+               in
+               let sess = Server.open_session engine e.Server.Workload.digest in
+               List.iteri
+                 (fun i name ->
+                   if i < n then
+                     match
+                       Server.session_request engine sess
+                         ~seq:(Server.Session.next_seq sess) name
+                     with
+                     | Ok payload ->
+                       Printf.printf "chunk %-10s %-16s %7d B\n" prog name
+                         (String.length payload)
+                     | Error msg -> failwith ("mccd: " ^ msg))
+                 wanted
+             | _ -> failwith ("mccd: bad script line: " ^ line)
+         done
+       with End_of_file -> close_in ic);
+      print_newline ();
+      let rep = Server.report engine in
+      Server.Stats.print rep;
+      (* acceptance thresholds are calibrated for the synthetic
+         workload; a hand-written script is free to do anything *)
+      check := false;
+      (rep, Hashtbl.fold (fun k () acc -> k :: acc) reprs [])
+    | None ->
+      let config =
+        { Server.Workload.requests = !requests; seed = Int64.of_int !seed;
+          drop_pct = !drop }
+      in
+      let summary = Server.Workload.run engine ~config catalog in
+      Server.Workload.print_summary summary;
+      (summary.Server.Workload.report, summary.Server.Workload.distinct_reprs)
+  in
+
+  if !check then begin
+    let ok = ref true in
+    let check_line cond msg =
+      Printf.printf "  [%s] %s\n" (if cond then "ok" else "FAIL") msg;
+      if not cond then ok := false
+    in
+    Printf.printf "\nacceptance:\n";
+    check_line (rep.Server.Stats.cache_hit_rate > 0.0)
+      (Printf.sprintf "cache hit rate %.1f%% > 0 after warm-up"
+         (100.0 *. rep.Server.Stats.cache_hit_rate));
+    check_line
+      (List.length distinct_reprs >= 2)
+      (Printf.sprintf "%d distinct representations selected (%s)"
+         (List.length distinct_reprs)
+         (String.concat ", " distinct_reprs));
+    if rep.Server.Stats.sessions_opened > 0 then
+      check_line
+        (rep.Server.Stats.session_bytes < rep.Server.Stats.session_wire_equiv)
+        (Printf.sprintf
+           "chunked sessions shipped %s < %s whole-program wire equivalent"
+           (Support.Util.human_bytes rep.Server.Stats.session_bytes)
+           (Support.Util.human_bytes rep.Server.Stats.session_wire_equiv));
+    if not !ok then exit 1
+  end

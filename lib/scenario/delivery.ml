@@ -64,13 +64,19 @@ let total_time ?(rates = default_rates) sizes ~run_cycles ~link_bps repr =
 
 let all_reprs = [ Raw_native; Gzipped_native; Wire_format; Brisc_jit; Brisc_interp ]
 
-let best ?rates sizes ~run_cycles ~link_bps =
+let best_of ?rates candidates sizes ~run_cycles ~link_bps =
+  if candidates = [] then invalid_arg "Delivery.best_of: no candidates";
   let outcomes =
-    List.map (fun r -> (r, total_time ?rates sizes ~run_cycles ~link_bps r)) all_reprs
+    List.map
+      (fun r -> (r, total_time ?rates sizes ~run_cycles ~link_bps r))
+      candidates
   in
   List.fold_left
     (fun (br, bo) (r, o) -> if o.total_s < bo.total_s then (r, o) else (br, bo))
     (List.hd outcomes) (List.tl outcomes)
+
+let best ?rates sizes ~run_cycles ~link_bps =
+  best_of ?rates all_reprs sizes ~run_cycles ~link_bps
 
 let sweep ?rates sizes ~run_cycles ~link_bps_list =
   List.map

@@ -53,6 +53,8 @@ val total_time :
   representation ->
   outcome
 
+val all_reprs : representation list
+
 val best :
   ?rates:rates ->
   sizes ->
@@ -60,6 +62,18 @@ val best :
   link_bps:float ->
   representation * outcome
 (** The representation minimizing total time at this link speed. *)
+
+val best_of :
+  ?rates:rates ->
+  representation list ->
+  sizes ->
+  run_cycles:int ->
+  link_bps:float ->
+  representation * outcome
+(** {!best} restricted to a candidate list — the rate lookup the
+    code-delivery server's adaptive selector uses, with candidates
+    filtered by what the client can do (JIT, native compatibility,
+    memory budget). @raise Invalid_argument on an empty list. *)
 
 val sweep :
   ?rates:rates ->

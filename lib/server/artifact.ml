@@ -1,0 +1,40 @@
+(* The representations the delivery server stores and serves. A BRISC
+   image is one artifact whether the client will JIT it or interpret it
+   in place, so the serving-side repr is coarser than
+   [Scenario.Delivery.representation]; [of_delivery]/[to_delivery]
+   translate between the two views. *)
+
+type repr =
+  | Native        (* raw x86-like image *)
+  | Gzip_native   (* deflated native image *)
+  | Wire          (* monolithic §3 wire format *)
+  | Chunked_wire  (* function-at-a-time wire format *)
+  | Brisc         (* §4 byte-coded compressed executable *)
+
+let all = [ Native; Gzip_native; Wire; Chunked_wire; Brisc ]
+
+let name = function
+  | Native -> "native"
+  | Gzip_native -> "gzip+native"
+  | Wire -> "wire"
+  | Chunked_wire -> "chunked-wire"
+  | Brisc -> "brisc"
+
+let tag = function
+  | Native -> "n"
+  | Gzip_native -> "g"
+  | Wire -> "w"
+  | Chunked_wire -> "c"
+  | Brisc -> "b"
+
+let of_delivery = function
+  | Scenario.Delivery.Raw_native -> Native
+  | Scenario.Delivery.Gzipped_native -> Gzip_native
+  | Scenario.Delivery.Wire_format -> Wire
+  | Scenario.Delivery.Brisc_jit | Scenario.Delivery.Brisc_interp -> Brisc
+
+let to_delivery = function
+  | Native -> Scenario.Delivery.Raw_native
+  | Gzip_native -> Scenario.Delivery.Gzipped_native
+  | Wire | Chunked_wire -> Scenario.Delivery.Wire_format
+  | Brisc -> Scenario.Delivery.Brisc_interp

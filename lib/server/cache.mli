@@ -1,0 +1,34 @@
+(** Byte-budgeted LRU cache for compressed artifacts.
+
+    The artifact store compresses a program once and serves it many
+    times; this cache bounds how many compressed images stay resident.
+    All operations are O(1) (hashtable + intrusive recency list). *)
+
+type t
+
+val create : budget_bytes:int -> t
+
+val find : t -> string -> string option
+(** Lookup; a hit refreshes the entry's recency. Counts hits/misses. *)
+
+val add : t -> string -> string -> unit
+(** Insert (replacing any previous binding), then evict
+    least-recently-used entries until the resident bytes fit the
+    budget. A value larger than the whole budget is not cached at all
+    rather than flushing every other entry. *)
+
+val mem : t -> string -> bool
+(** Presence test without touching recency or counters. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  resident_bytes : int;
+  resident_count : int;
+  budget_bytes : int;
+}
+
+val stats : t -> stats
+val hit_rate : stats -> float
+(** hits / (hits + misses); 0 when no lookups happened. *)

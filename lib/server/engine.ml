@@ -1,0 +1,76 @@
+(* The code-delivery engine: content-addressed store + cache behind an
+   adaptive, per-request representation selector.
+
+   [fetch] is the whole-image path: select the total-time-minimizing
+   representation the client can use, materialize it (compressing on a
+   cache miss), and account for it. [open_session] is the streaming
+   path for paging clients. *)
+
+type t = {
+  store : Store.t;
+  stats : Stats.t;
+  rates : Scenario.Delivery.rates;
+  min_session_cycles : int;
+}
+
+(* Corpus drivers finish in milliseconds, but a delivered program runs
+   for a real session; like the bench's Table 2, model at least one
+   nominal CPU-second at the paper's 120 MHz so preparation cost
+   amortizes believably. *)
+let default_min_session_cycles = 120_000_000
+
+let default_budget_bytes = 256 * 1024
+
+let create ?(budget_bytes = default_budget_bytes)
+    ?(rates = Scenario.Delivery.default_rates)
+    ?(min_session_cycles = default_min_session_cycles) () =
+  let stats = Stats.create () in
+  { store = Store.create ~budget_bytes ~stats; stats; rates;
+    min_session_cycles }
+
+let publish t ?run_cycles ?input p = Store.publish t.store ?run_cycles ?input p
+let digests t = Store.digests t.store
+let store t = t.store
+let sizes_of t digest = (Store.meta t.store digest).Store.sizes
+
+type response = {
+  digest : string;
+  chosen : Scenario.Delivery.representation;
+  artifact : Artifact.repr;
+  bytes : string;
+  size : int;
+  cache_hit : bool;
+  outcome : Scenario.Delivery.outcome;
+}
+
+let session_cycles t (m : Store.meta) =
+  max m.Store.run_cycles t.min_session_cycles
+
+let select t digest (profile : Profile.t) =
+  let m = Store.meta t.store digest in
+  Profile.select ~rates:t.rates profile m.Store.sizes
+    ~run_cycles:(session_cycles t m)
+
+let outcome_for t digest (profile : Profile.t) repr =
+  let m = Store.meta t.store digest in
+  Scenario.Delivery.total_time ~rates:t.rates m.Store.sizes
+    ~run_cycles:(session_cycles t m) ~link_bps:profile.Profile.link_bps repr
+
+let fetch t digest (profile : Profile.t) =
+  Stats.record_request t.stats;
+  let chosen, outcome = select t digest profile in
+  let artifact = Artifact.of_delivery chosen in
+  let bytes, cache_hit = Store.materialize t.store digest artifact in
+  let size = String.length bytes in
+  Stats.record_served t.stats artifact size;
+  { digest; chosen; artifact; bytes; size; cache_hit; outcome }
+
+let open_session t digest =
+  Stats.record_request t.stats;
+  Session.open_ t.store t.stats digest
+
+let session_request t sess ~seq name =
+  Stats.record_request t.stats;
+  Session.request sess ~seq name
+
+let report t = Stats.report t.stats ~cache:(Store.cache t.store)

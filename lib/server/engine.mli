@@ -1,0 +1,60 @@
+(** The code-delivery engine: content-addressed artifact store + LRU
+    cache behind a per-request adaptive representation selector, plus
+    streaming chunked sessions. *)
+
+type t
+
+val create :
+  ?budget_bytes:int ->
+  ?rates:Scenario.Delivery.rates ->
+  ?min_session_cycles:int ->
+  unit ->
+  t
+(** [budget_bytes] bounds the artifact cache (default 256 KiB).
+    [rates] parameterize the delivery-time model. [min_session_cycles]
+    (default 120M — one nominal CPU-second) floors a program's modelled
+    execution so preparation cost amortizes over a believable session,
+    as in the bench's Table 2. *)
+
+val publish : t -> ?run_cycles:int -> ?input:string -> Ir.Tree.program -> string
+(** See {!Store.publish}. *)
+
+val digests : t -> string list
+val sizes_of : t -> string -> Scenario.Delivery.sizes
+val store : t -> Store.t
+
+type response = {
+  digest : string;
+  chosen : Scenario.Delivery.representation;  (** what the selector picked *)
+  artifact : Artifact.repr;                   (** the artifact serving it *)
+  bytes : string;
+  size : int;
+  cache_hit : bool;
+  outcome : Scenario.Delivery.outcome;        (** modelled client timing *)
+}
+
+val select :
+  t -> string -> Profile.t ->
+  Scenario.Delivery.representation * Scenario.Delivery.outcome
+(** The selector alone (no bytes served) — what {!fetch} will choose. *)
+
+val outcome_for :
+  t -> string -> Profile.t -> Scenario.Delivery.representation ->
+  Scenario.Delivery.outcome
+(** Modelled client timing of one {e fixed} representation for this
+    profile — what a one-size-fits-all server would cost, which the
+    bench compares against the adaptive selector. *)
+
+val fetch : t -> string -> Profile.t -> response
+(** One whole-image request: select, materialize (cache-first),
+    account. @raise Not_found for unknown digests. *)
+
+val open_session : t -> string -> Session.t
+(** Start a streaming chunked session for a paging client. *)
+
+val session_request :
+  t -> Session.t -> seq:int -> string -> (string, string) result
+(** {!Session.request} with engine-level request accounting — every
+    chunk request (including a resume retry) is a request. *)
+
+val report : t -> Stats.report

@@ -1,0 +1,63 @@
+(* Client profiles and the adaptive representation selector.
+
+   A profile is what the server knows about a client: its link speed,
+   whether it can JIT, whether our native images even run there, and
+   its memory budget. The selector filters the delivery-model
+   representations down to what the client can use, then asks
+   [Scenario.Delivery.best_of] which of those minimizes total time
+   (transfer + prepare + run) at the client's link speed — the paper's
+   modem/LAN crossover, applied per request. *)
+
+type t = {
+  name : string;
+  link_bps : float;
+  can_jit : bool;          (* client can run the wire/BRISC JIT *)
+  accepts_native : bool;   (* client matches our native target *)
+  memory_bytes : int option;  (* resident-code budget; None = ample *)
+  prefers_streaming : bool;
+      (* paging client: materialize functions lazily over a chunked
+         session instead of fetching the whole image *)
+}
+
+let make ?(can_jit = true) ?(accepts_native = false) ?memory_bytes
+    ?(prefers_streaming = false) name ~link_bps =
+  { name; link_bps; can_jit; accepts_native; memory_bytes; prefers_streaming }
+
+(* The driver's default population, spanning the paper's crossover. *)
+let modem = make "modem-jit" ~link_bps:Scenario.Delivery.modem_bps
+let lan = make "lan-jit" ~link_bps:Scenario.Delivery.lan_bps
+
+let embedded =
+  make "embedded" ~link_bps:Scenario.Delivery.isdn_bps ~can_jit:false
+    ~memory_bytes:(32 * 1024) ~prefers_streaming:true
+
+let datacenter =
+  make "datacenter" ~link_bps:Scenario.Delivery.fast_lan_bps
+    ~accepts_native:true
+
+let feasible p (sizes : Scenario.Delivery.sizes) =
+  let fits resident =
+    match p.memory_bytes with None -> true | Some m -> resident <= m
+  in
+  (* resident cost: anything that materializes native code holds the
+     native image; in-place interpretation holds only the BRISC bytes *)
+  let native_ok = fits sizes.Scenario.Delivery.native_bytes in
+  let cands =
+    (if p.accepts_native && native_ok then
+       [ Scenario.Delivery.Raw_native; Scenario.Delivery.Gzipped_native ]
+     else [])
+    @ (if p.can_jit && native_ok then
+         [ Scenario.Delivery.Wire_format; Scenario.Delivery.Brisc_jit ]
+       else [])
+    @
+    if fits sizes.Scenario.Delivery.brisc_bytes then
+      [ Scenario.Delivery.Brisc_interp ]
+    else []
+  in
+  (* in-place interpretation is the representation of last resort: it
+     needs no preparation memory beyond the image itself *)
+  if cands = [] then [ Scenario.Delivery.Brisc_interp ] else cands
+
+let select ?rates p sizes ~run_cycles =
+  Scenario.Delivery.best_of ?rates (feasible p sizes) sizes ~run_cycles
+    ~link_bps:p.link_bps

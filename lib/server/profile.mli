@@ -1,0 +1,50 @@
+(** Client profiles and the adaptive representation selector. *)
+
+type t = {
+  name : string;
+  link_bps : float;
+  can_jit : bool;            (** can run the wire/BRISC JIT *)
+  accepts_native : bool;     (** matches the server's native target *)
+  memory_bytes : int option; (** resident-code budget; [None] = ample *)
+  prefers_streaming : bool;
+      (** paging client: materialize functions lazily over a chunked
+          session instead of fetching the whole image *)
+}
+
+val make :
+  ?can_jit:bool ->
+  ?accepts_native:bool ->
+  ?memory_bytes:int ->
+  ?prefers_streaming:bool ->
+  string ->
+  link_bps:float ->
+  t
+(** Defaults: JIT-capable, not native-compatible, ample memory, no
+    streaming. *)
+
+val modem : t
+(** 28.8k link, JIT-capable — the wire format's home turf. *)
+
+val lan : t
+(** 10 Mbit link, JIT-capable — where BRISC wins. *)
+
+val embedded : t
+(** ISDN link, no JIT, 32 KB code budget, pages functions in lazily
+    over a chunked session. *)
+
+val datacenter : t
+(** 100 Mbit link, native-compatible — raw native code territory. *)
+
+val feasible : t -> Scenario.Delivery.sizes -> Scenario.Delivery.representation list
+(** The delivery representations this client can actually use, given
+    the program's size card. Never empty: in-place interpretation is
+    the last resort. *)
+
+val select :
+  ?rates:Scenario.Delivery.rates ->
+  t ->
+  Scenario.Delivery.sizes ->
+  run_cycles:int ->
+  Scenario.Delivery.representation * Scenario.Delivery.outcome
+(** Total-time-minimizing feasible representation at this client's link
+    speed, via {!Scenario.Delivery.best_of}. *)

@@ -1,0 +1,94 @@
+(* Streaming chunked-delivery session.
+
+   Protocol, one function chunk per request:
+
+   - handshake: the client opens a session on a digest and receives the
+     index — every function name with its compressed chunk size (plus
+     the globals, which ride along with the handshake);
+   - requests: the client asks for (seq, name); the server answers with
+     the function's chunk, a complete single-function wire image the
+     client expands with [Wire.decompress];
+   - resume: requests carry a sequence number. A client that never saw
+     the answer to seq N just asks for N again and the server
+     retransmits the saved response byte-for-byte; only an answered
+     request advances the window. Anything other than the last or the
+     next sequence number is rejected.
+
+   A paging client therefore materializes exactly the functions it
+   calls: the bytes on the wire are the handshake plus the chunks
+   actually requested, which the stats layer compares against shipping
+   the monolithic wire image. *)
+
+type t = {
+  digest : string;
+  image : Wire.Chunked.t;
+  stats : Stats.t;
+  mutable next_seq : int;
+  mutable last : (int * string * string) option;  (* seq, name, payload *)
+  delivered : (string, unit) Hashtbl.t;
+}
+
+(* What the handshake costs on the wire: each index row is a
+   length-prefixed name plus a uleb-ish size field; the globals of the
+   chunked image travel with it. *)
+let handshake_bytes image =
+  let row name =
+    String.length name + 1 + 4 (* length prefix + chunk size field *)
+  in
+  List.fold_left (fun a n -> a + row n) 8 (Wire.Chunked.function_names image)
+
+let open_ store stats digest =
+  let m = Store.meta store digest in
+  let bytes, _hit = Store.materialize store digest Artifact.Chunked_wire in
+  let image = Wire.Chunked.of_bytes bytes in
+  let hs = handshake_bytes image in
+  Stats.record_session_opened stats ~handshake_bytes:hs
+    ~wire_equiv_bytes:m.Store.sizes.Scenario.Delivery.wire_bytes;
+  {
+    digest;
+    image;
+    stats;
+    next_seq = 0;
+    last = None;
+    delivered = Hashtbl.create 16;
+  }
+
+let digest t = t.digest
+
+let index t =
+  List.map
+    (fun n -> (n, Wire.Chunked.chunk_size t.image n))
+    (Wire.Chunked.function_names t.image)
+
+let delivered t = Hashtbl.length t.delivered
+let next_seq t = t.next_seq
+
+let request t ~seq name =
+  match t.last with
+  | Some (s, n, payload) when seq = s ->
+    if n <> name then
+      Error
+        (Printf.sprintf "retransmit of seq %d must repeat %S, got %S" seq n
+           name)
+    else begin
+      (* the previous response was lost in flight; resend it verbatim *)
+      Stats.record_chunk t.stats ~bytes:(String.length payload)
+        ~retransmit:true;
+      Ok payload
+    end
+  | _ ->
+    if seq <> t.next_seq then
+      Error
+        (Printf.sprintf "bad sequence number %d (expected %d)" seq t.next_seq)
+    else begin
+      match Wire.Chunked.chunk t.image name with
+      | exception Not_found ->
+        Error (Printf.sprintf "no function %S in %s" name t.digest)
+      | payload ->
+        Stats.record_chunk t.stats ~bytes:(String.length payload)
+          ~retransmit:false;
+        Hashtbl.replace t.delivered name ();
+        t.last <- Some (seq, name, payload);
+        t.next_seq <- seq + 1;
+        Ok payload
+    end

@@ -1,0 +1,30 @@
+(** Streaming chunked-delivery session: one {!Wire.Chunked} function
+    chunk per request behind an index handshake, resumable after
+    dropped responses, so a paging client materializes only the
+    functions it calls. *)
+
+type t
+
+val open_ : Store.t -> Stats.t -> string -> t
+(** Open a session on a published digest. Materializes the chunked
+    artifact (through the cache) and records the handshake.
+    @raise Not_found for unknown digests. *)
+
+val digest : t -> string
+
+val index : t -> (string * int) list
+(** The handshake: every function name with its compressed chunk size. *)
+
+val request : t -> seq:int -> string -> (string, string) result
+(** [request t ~seq name] returns the function's chunk — a complete
+    single-function wire image, expandable with {!Wire.decompress}.
+    [seq] must be the session's next sequence number; repeating the
+    {e last} sequence number (the response was dropped in flight)
+    retransmits the saved payload byte-for-byte. Anything else, or an
+    unknown function name, is an [Error]. *)
+
+val next_seq : t -> int
+(** The sequence number the server expects next. *)
+
+val delivered : t -> int
+(** Distinct functions served so far. *)

@@ -1,0 +1,201 @@
+(* Server observability: every counter the driver's report prints.
+
+   Mutable counters live in [t]; [report] takes an immutable snapshot
+   (folding in the cache's own counters) so callers can diff two
+   snapshots across a workload phase. *)
+
+(* log10 buckets for compression wall-clock: <1ms, <10ms, <100ms, <1s, >=1s *)
+let histo_buckets = 5
+
+let bucket_of_seconds s =
+  if s < 0.001 then 0
+  else if s < 0.01 then 1
+  else if s < 0.1 then 2
+  else if s < 1.0 then 3
+  else 4
+
+let bucket_label = function
+  | 0 -> "<1ms"
+  | 1 -> "1-10ms"
+  | 2 -> "10-100ms"
+  | 3 -> "0.1-1s"
+  | _ -> ">=1s"
+
+type repr_counters = {
+  mutable responses : int;
+  mutable bytes_served : int;
+  mutable compressions : int;
+  mutable compress_s : float;
+  mutable compress_max_s : float;
+  histogram : int array;  (* compression times, log buckets *)
+}
+
+let fresh_counters () =
+  {
+    responses = 0;
+    bytes_served = 0;
+    compressions = 0;
+    compress_s = 0.0;
+    compress_max_s = 0.0;
+    histogram = Array.make histo_buckets 0;
+  }
+
+type t = {
+  per_repr : (Artifact.repr, repr_counters) Hashtbl.t;
+  mutable requests : int;
+  mutable publishes : int;
+  mutable sessions_opened : int;
+  mutable chunks_served : int;
+  mutable retransmits : int;
+  mutable session_bytes : int;       (* handshake + chunk bytes on the wire *)
+  mutable session_wire_equiv : int;  (* monolithic wire bytes the same
+                                        requests would have shipped *)
+}
+
+let create () =
+  {
+    per_repr = Hashtbl.create 8;
+    requests = 0;
+    publishes = 0;
+    sessions_opened = 0;
+    chunks_served = 0;
+    retransmits = 0;
+    session_bytes = 0;
+    session_wire_equiv = 0;
+  }
+
+let counters t repr =
+  match Hashtbl.find_opt t.per_repr repr with
+  | Some c -> c
+  | None ->
+    let c = fresh_counters () in
+    Hashtbl.add t.per_repr repr c;
+    c
+
+let record_request t = t.requests <- t.requests + 1
+let record_publish t = t.publishes <- t.publishes + 1
+
+let record_served t repr bytes =
+  let c = counters t repr in
+  c.responses <- c.responses + 1;
+  c.bytes_served <- c.bytes_served + bytes
+
+let record_compress t repr seconds =
+  let c = counters t repr in
+  c.compressions <- c.compressions + 1;
+  c.compress_s <- c.compress_s +. seconds;
+  if seconds > c.compress_max_s then c.compress_max_s <- seconds;
+  let b = bucket_of_seconds seconds in
+  c.histogram.(b) <- c.histogram.(b) + 1
+
+let record_session_opened t ~handshake_bytes ~wire_equiv_bytes =
+  t.sessions_opened <- t.sessions_opened + 1;
+  t.session_bytes <- t.session_bytes + handshake_bytes;
+  t.session_wire_equiv <- t.session_wire_equiv + wire_equiv_bytes
+
+let record_chunk t ~bytes ~retransmit =
+  if retransmit then t.retransmits <- t.retransmits + 1
+  else t.chunks_served <- t.chunks_served + 1;
+  t.session_bytes <- t.session_bytes + bytes
+
+(* ---- snapshot ---- *)
+
+type repr_report = {
+  repr : Artifact.repr;
+  responses : int;
+  bytes_served : int;
+  compressions : int;
+  compress_total_s : float;
+  compress_max_s : float;
+  compress_histogram : (string * int) list;
+}
+
+type report = {
+  requests : int;
+  publishes : int;
+  cache : Cache.stats;
+  cache_hit_rate : float;
+  by_repr : repr_report list;
+  total_bytes_served : int;
+  sessions_opened : int;
+  chunks_served : int;
+  retransmits : int;
+  session_bytes : int;
+  session_wire_equiv : int;
+}
+
+let report t ~cache =
+  let by_repr =
+    List.filter_map
+      (fun repr ->
+        match Hashtbl.find_opt t.per_repr repr with
+        | None -> None
+        | Some c ->
+          Some
+            {
+              repr;
+              responses = c.responses;
+              bytes_served = c.bytes_served;
+              compressions = c.compressions;
+              compress_total_s = c.compress_s;
+              compress_max_s = c.compress_max_s;
+              compress_histogram =
+                List.filter
+                  (fun (_, n) -> n > 0)
+                  (List.init histo_buckets (fun i ->
+                       (bucket_label i, c.histogram.(i))));
+            })
+      Artifact.all
+  in
+  let cs = Cache.stats cache in
+  {
+    requests = t.requests;
+    publishes = t.publishes;
+    cache = cs;
+    cache_hit_rate = Cache.hit_rate cs;
+    by_repr;
+    total_bytes_served =
+      List.fold_left (fun a r -> a + r.bytes_served) t.session_bytes by_repr;
+    sessions_opened = t.sessions_opened;
+    chunks_served = t.chunks_served;
+    retransmits = t.retransmits;
+    session_bytes = t.session_bytes;
+    session_wire_equiv = t.session_wire_equiv;
+  }
+
+let print (r : report) =
+  Printf.printf "requests            %d (programs published: %d)\n" r.requests
+    r.publishes;
+  Printf.printf "cache               %d hits / %d misses (%.1f%% hit rate), %d evictions\n"
+    r.cache.Cache.hits r.cache.Cache.misses (100.0 *. r.cache_hit_rate)
+    r.cache.Cache.evictions;
+  Printf.printf "cache residency     %s of %s budget in %d artifacts\n"
+    (Support.Util.human_bytes r.cache.Cache.resident_bytes)
+    (Support.Util.human_bytes r.cache.Cache.budget_bytes)
+    r.cache.Cache.resident_count;
+  Printf.printf "bytes on the wire   %s total\n"
+    (Support.Util.human_bytes r.total_bytes_served);
+  List.iter
+    (fun rr ->
+      Printf.printf "  %-14s %6d responses  %10s served  %3d compressions (%.3fs total, %.3fs max)\n"
+        (Artifact.name rr.repr) rr.responses
+        (Support.Util.human_bytes rr.bytes_served)
+        rr.compressions rr.compress_total_s rr.compress_max_s;
+      match rr.compress_histogram with
+      | [] -> ()
+      | h ->
+        Printf.printf "  %-14s %s\n" ""
+          (String.concat "  "
+             (List.map (fun (l, n) -> Printf.sprintf "%s:%d" l n) h)))
+    r.by_repr;
+  if r.sessions_opened > 0 then begin
+    Printf.printf
+      "chunked sessions    %d opened, %d chunks served, %d retransmits\n"
+      r.sessions_opened r.chunks_served r.retransmits;
+    Printf.printf
+      "  streamed %s vs %s as whole wire images (%.1f%% of full)\n"
+      (Support.Util.human_bytes r.session_bytes)
+      (Support.Util.human_bytes r.session_wire_equiv)
+      (100.0
+      *. Support.Util.ratio r.session_bytes r.session_wire_equiv)
+  end

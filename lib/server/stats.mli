@@ -1,0 +1,48 @@
+(** Server observability: cache behaviour, bytes served per
+    representation, compression-time histograms, chunked-session
+    traffic. The engine records into a mutable {!t}; {!report} takes the
+    immutable snapshot the driver and bench print. *)
+
+type t
+
+val create : unit -> t
+
+(** {2 Recording (used by the engine, store and sessions)} *)
+
+val record_request : t -> unit
+val record_publish : t -> unit
+val record_served : t -> Artifact.repr -> int -> unit
+val record_compress : t -> Artifact.repr -> float -> unit
+val record_session_opened : t -> handshake_bytes:int -> wire_equiv_bytes:int -> unit
+val record_chunk : t -> bytes:int -> retransmit:bool -> unit
+
+(** {2 Snapshot} *)
+
+type repr_report = {
+  repr : Artifact.repr;
+  responses : int;
+  bytes_served : int;
+  compressions : int;
+  compress_total_s : float;
+  compress_max_s : float;
+  compress_histogram : (string * int) list;
+      (** wall-clock buckets ("<1ms", "1-10ms", ...) with non-zero counts *)
+}
+
+type report = {
+  requests : int;
+  publishes : int;
+  cache : Cache.stats;
+  cache_hit_rate : float;
+  by_repr : repr_report list;
+  total_bytes_served : int;  (** full-image responses + session traffic *)
+  sessions_opened : int;
+  chunks_served : int;
+  retransmits : int;
+  session_bytes : int;       (** handshakes + chunks, including retransmits *)
+  session_wire_equiv : int;
+      (** what the same programs would have cost as monolithic wire images *)
+}
+
+val report : t -> cache:Cache.t -> report
+val print : report -> unit

@@ -1,0 +1,134 @@
+(* Content-addressed artifact store.
+
+   A program is published once, keyed by a digest of its IR text; the
+   store keeps only small per-digest metadata (the IR itself, the size
+   card for the delivery model, measured run cycles) permanently.
+   Compressed artifact bytes live in the byte-budgeted LRU cache: a hot
+   program is compressed once and served many times, a cold one that
+   gets evicted is recompressed on its next request — exactly the
+   trade-off the stats layer measures against the always-recompress
+   baseline. *)
+
+type meta = {
+  ir : Ir.Tree.program;
+  sizes : Scenario.Delivery.sizes;
+  chunked_bytes : int;      (* the function-at-a-time image is bigger *)
+  run_cycles : int;         (* measured (or estimated) native cycles *)
+  fn_names : string list;
+}
+
+type t = {
+  cache : Cache.t;
+  stats : Stats.t;
+  metas : (string, meta) Hashtbl.t;
+  mutable order : string list;  (* publish order, reversed *)
+}
+
+let create ~budget_bytes ~stats =
+  {
+    cache = Cache.create ~budget_bytes;
+    stats;
+    metas = Hashtbl.create 16;
+    order = [];
+  }
+
+let digest_of_program (p : Ir.Tree.program) =
+  Digest.to_hex (Digest.string (Ir.Printer.program_to_string p))
+
+let cache t = t.cache
+let find_meta t digest = Hashtbl.find_opt t.metas digest
+
+let meta t digest =
+  match find_meta t digest with
+  | Some m -> m
+  | None -> raise Not_found
+
+let digests t = List.rev t.order
+
+(* ---- artifact production ---- *)
+
+let cache_key digest repr = digest ^ ":" ^ Artifact.tag repr
+
+let compile_vm (m : meta) = Vm.Codegen.gen_program m.ir
+
+let rec produce t digest (m : meta) = function
+  | Artifact.Native ->
+    Native.Mach.encode_program (Native.Compile.compile_program (compile_vm m))
+  | Artifact.Gzip_native ->
+    (* derived from the native image, itself fetched through the cache *)
+    let native, _ = materialize t digest Artifact.Native in
+    Zip.Deflate.compress native
+  | Artifact.Wire -> Wire.compress m.ir
+  | Artifact.Chunked_wire -> Wire.Chunked.to_bytes (Wire.Chunked.compress m.ir)
+  | Artifact.Brisc -> Brisc.to_bytes (Brisc.compress (compile_vm m))
+
+and materialize t digest repr =
+  let m = meta t digest in
+  let key = cache_key digest repr in
+  match Cache.find t.cache key with
+  | Some bytes -> (bytes, true)
+  | None ->
+    let t0 = Unix.gettimeofday () in
+    let bytes = produce t digest m repr in
+    Stats.record_compress t.stats repr (Unix.gettimeofday () -. t0);
+    Cache.add t.cache key bytes;
+    (bytes, false)
+
+(* ---- publish ---- *)
+
+(* When the publisher gives neither measured cycles nor an input to
+   simulate with, charge a nominal 30 cycles per native code byte — the
+   order of one trip through the program. *)
+let estimated_cycles_per_byte = 30
+
+let publish t ?run_cycles ?(input = "") (p : Ir.Tree.program) =
+  let digest = digest_of_program p in
+  if Hashtbl.mem t.metas digest then digest
+  else begin
+    let vp = Vm.Codegen.gen_program p in
+    let np = Native.Compile.compile_program vp in
+    let native_img = Native.Mach.encode_program np in
+    let run_cycles =
+      match run_cycles with
+      | Some c -> c
+      | None -> (
+        try (Native.Sim.run ~input np).Native.Sim.cycles
+        with _ -> String.length native_img * estimated_cycles_per_byte)
+    in
+    (* compress every representation once, timed, to fill the size card
+       the adaptive selector needs; the bytes warm the cache *)
+    let timed repr f =
+      let t0 = Unix.gettimeofday () in
+      let bytes = f () in
+      Stats.record_compress t.stats repr (Unix.gettimeofday () -. t0);
+      Cache.add t.cache (cache_key digest repr) bytes;
+      String.length bytes
+    in
+    let native_bytes = timed Artifact.Native (fun () -> native_img) in
+    let gzip_bytes =
+      timed Artifact.Gzip_native (fun () -> Zip.Deflate.compress native_img)
+    in
+    let wire_bytes = timed Artifact.Wire (fun () -> Wire.compress p) in
+    let chunked_bytes =
+      timed Artifact.Chunked_wire (fun () ->
+          Wire.Chunked.to_bytes (Wire.Chunked.compress p))
+    in
+    let brisc_bytes =
+      timed Artifact.Brisc (fun () -> Brisc.to_bytes (Brisc.compress vp))
+    in
+    let m =
+      {
+        ir = p;
+        sizes =
+          { Scenario.Delivery.native_bytes; gzip_bytes; wire_bytes;
+            brisc_bytes };
+        chunked_bytes;
+        run_cycles;
+        fn_names = List.map (fun f -> f.Ir.Tree.fname) p.Ir.Tree.funcs;
+      }
+    in
+    Hashtbl.add t.metas digest m;
+    t.order <- digest :: t.order;
+    Stats.record_publish t.stats;
+    digest
+  end

@@ -1,0 +1,44 @@
+(** Content-addressed artifact store.
+
+    Programs are published once, keyed by a digest of their IR;
+    compressed artifacts are built on demand and live in a
+    byte-budgeted {!Cache}, so hot programs are compressed once and
+    served many times while cold ones pay recompression after
+    eviction. *)
+
+type meta = {
+  ir : Ir.Tree.program;
+  sizes : Scenario.Delivery.sizes;  (** size card for the selector *)
+  chunked_bytes : int;              (** the function-at-a-time image *)
+  run_cycles : int;                 (** measured or estimated native cycles *)
+  fn_names : string list;
+}
+
+type t
+
+val create : budget_bytes:int -> stats:Stats.t -> t
+
+val digest_of_program : Ir.Tree.program -> string
+(** Hex digest of the printed IR — the content address. *)
+
+val publish : t -> ?run_cycles:int -> ?input:string -> Ir.Tree.program -> string
+(** Register a program and return its digest. Idempotent: republishing
+    the same program is a no-op returning the same digest. Compresses
+    every representation once (timed into the stats layer) to build the
+    size card and warm the cache. [run_cycles] overrides the execution
+    cost; otherwise the program is run once on the native simulator
+    with [input] (default empty) to measure it. *)
+
+val find_meta : t -> string -> meta option
+val meta : t -> string -> meta
+(** @raise Not_found for unknown digests. *)
+
+val digests : t -> string list
+(** All published digests, in publish order. *)
+
+val materialize : t -> string -> Artifact.repr -> string * bool
+(** Artifact bytes for a digest, plus whether the cache already held
+    them. On a miss the artifact is (re)compressed, timed, and cached.
+    @raise Not_found for unknown digests. *)
+
+val cache : t -> Cache.t

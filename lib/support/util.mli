@@ -35,3 +35,8 @@ val ratio : int -> int -> float
 
 val mean : float list -> float
 val stddev : float list -> float
+
+val crc32 : ?pos:int -> ?len:int -> string -> int
+(** CRC-32 (IEEE, as in gzip/zlib) of a substring, defaulting to the
+    whole string. Detects any single-byte corruption, which the wire
+    decoders use to reject damaged images. *)

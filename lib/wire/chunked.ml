@@ -19,10 +19,12 @@ let compress (p : Ir.Tree.program) : t =
 
 let function_names t = List.map fst t.chunks
 
-let chunk_size t name =
+let chunk t name =
   match List.assoc_opt name t.chunks with
-  | Some c -> String.length c
+  | Some c -> c
   | None -> raise Not_found
+
+let chunk_size t name = String.length (chunk t name)
 
 let decompress_function t name =
   match List.assoc_opt name t.chunks with
@@ -40,11 +42,10 @@ let decompress_all t =
 
 (* ---- serialization ---- *)
 
-let magic = "WCH1"
+let magic = "WCH2"
 
 let to_bytes t =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf magic;
   Support.Util.uleb128 buf (List.length t.globals);
   List.iter
     (fun (g : Ir.Tree.global) ->
@@ -65,15 +66,34 @@ let to_bytes t =
       Support.Util.uleb128 buf (String.length chunk);
       Buffer.add_string buf chunk)
     t.chunks;
-  Buffer.contents buf
+  (* magic, then a CRC-32 of the body so any corruption or truncation is
+     rejected in [of_bytes] before parsing *)
+  let body = Buffer.contents buf in
+  let crc = Support.Util.crc32 body in
+  let hdr = Buffer.create 8 in
+  Buffer.add_string hdr magic;
+  Buffer.add_char hdr (Char.chr ((crc lsr 24) land 0xff));
+  Buffer.add_char hdr (Char.chr ((crc lsr 16) land 0xff));
+  Buffer.add_char hdr (Char.chr ((crc lsr 8) land 0xff));
+  Buffer.add_char hdr (Char.chr (crc land 0xff));
+  Buffer.contents hdr ^ body
 
 let of_bytes s =
-  if String.length s < 4 || String.sub s 0 4 <> magic then
+  if String.length s < 8 || String.sub s 0 4 <> magic then
     failwith "Chunked: bad magic";
-  let pos = ref 4 in
+  let stored =
+    (Char.code s.[4] lsl 24)
+    lor (Char.code s.[5] lsl 16)
+    lor (Char.code s.[6] lsl 8)
+    lor Char.code s.[7]
+  in
+  if Support.Util.crc32 ~pos:8 s <> stored then
+    failwith "Chunked: checksum mismatch (corrupt image)";
+  let pos = ref 8 in
   let u () = Support.Util.read_uleb128 s pos in
   let str () =
     let n = u () in
+    if n < 0 || !pos + n > String.length s then failwith "Chunked: truncated";
     let r = String.sub s !pos n in
     pos := !pos + n;
     r

@@ -25,6 +25,13 @@ val size : t -> int
 
 val function_names : t -> string list
 
+val chunk : t -> string -> string
+(** One function's compressed chunk, exactly as serialized — itself a
+    complete single-function {!Wire_format} image, so a client can
+    expand it with {!Wire_format.decompress}. The code-delivery
+    server's streaming sessions ship these one per request.
+    @raise Not_found for unknown names. *)
+
 val chunk_size : t -> string -> int
 (** Compressed bytes of one function's chunk.
     @raise Not_found for unknown names. *)

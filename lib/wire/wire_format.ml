@@ -18,16 +18,22 @@ type reader = { src : string; pos : int ref }
 let get_uleb r = Support.Util.read_uleb128 r.src r.pos
 let get_sleb r = Support.Util.read_sleb r.src r.pos
 
-let get_str r =
-  let n = get_uleb r in
+let get_raw r n =
+  if n < 0 || !(r.pos) + n > String.length r.src then
+    failwith "Wire: truncated bundle";
   let s = String.sub r.src !(r.pos) n in
   r.pos := !(r.pos) + n;
   s
 
-let get_raw r n =
-  let s = String.sub r.src !(r.pos) n in
-  r.pos := !(r.pos) + n;
-  s
+let get_str r =
+  let n = get_uleb r in
+  get_raw r n
+
+let get_byte r =
+  if !(r.pos) >= String.length r.src then failwith "Wire: truncated bundle";
+  let c = r.src.[!(r.pos)] in
+  incr r.pos;
+  c
 
 let ty_code = function
   | Ir.Op.I -> 0
@@ -198,26 +204,48 @@ let compress ?(use_mtf = true) ?(split_streams = true)
             put_str buf s)
         enc.Zip.Mtf.novel)
     keys;
-  match final_stage with
-  | Deflate -> "D" ^ Zip.Deflate.compress (Buffer.contents buf)
-  | Arith order ->
-    if order < 0 || order > 3 then invalid_arg "Wire.compress: bad order";
-    Printf.sprintf "A%d" order
-    ^ Zip.Range_coder.compress_order_n ~order (Buffer.contents buf)
+  let body =
+    match final_stage with
+    | Deflate -> "D" ^ Zip.Deflate.compress (Buffer.contents buf)
+    | Arith order ->
+      if order < 0 || order > 3 then invalid_arg "Wire.compress: bad order";
+      Printf.sprintf "A%d" order
+      ^ Zip.Range_coder.compress_order_n ~order (Buffer.contents buf)
+  in
+  (* integrity frame: 4-byte big-endian CRC-32 of the body, so a
+     damaged or truncated image is rejected before any parsing *)
+  let crc = Support.Util.crc32 body in
+  let hdr = Bytes.create 4 in
+  Bytes.set hdr 0 (Char.chr ((crc lsr 24) land 0xff));
+  Bytes.set hdr 1 (Char.chr ((crc lsr 16) land 0xff));
+  Bytes.set hdr 2 (Char.chr ((crc lsr 8) land 0xff));
+  Bytes.set hdr 3 (Char.chr (crc land 0xff));
+  Bytes.to_string hdr ^ body
 
 (* ---- decompression ---- *)
 
+let check_crc ~what z =
+  if String.length z < 5 then failwith (what ^ ": truncated input");
+  let stored =
+    (Char.code z.[0] lsl 24)
+    lor (Char.code z.[1] lsl 16)
+    lor (Char.code z.[2] lsl 8)
+    lor Char.code z.[3]
+  in
+  if Support.Util.crc32 ~pos:4 z <> stored then
+    failwith (what ^ ": checksum mismatch (corrupt image)")
+
 let decompress z =
-  if String.length z < 1 then failwith "Wire: empty input";
+  check_crc ~what:"Wire" z;
   let bundle =
-    match z.[0] with
-    | 'D' -> Zip.Deflate.decompress (String.sub z 1 (String.length z - 1))
+    match z.[4] with
+    | 'D' -> Zip.Deflate.decompress (String.sub z 5 (String.length z - 5))
     | 'A' ->
-      if String.length z < 2 then failwith "Wire: truncated header";
-      let order = Char.code z.[1] - Char.code '0' in
+      if String.length z < 6 then failwith "Wire: truncated header";
+      let order = Char.code z.[5] - Char.code '0' in
       if order < 0 || order > 3 then failwith "Wire: bad arith order";
       Zip.Range_coder.decompress_order_n ~order
-        (String.sub z 2 (String.length z - 2))
+        (String.sub z 6 (String.length z - 6))
     | _ -> failwith "Wire: unknown final stage"
   in
   let r = { src = bundle; pos = ref 0 } in
@@ -234,11 +262,7 @@ let decompress z =
         let ginit =
           if initlen = 0 then None
           else
-            Some
-              (List.init (initlen - 1) (fun _ ->
-                   let c = Char.code r.src.[!(r.pos)] in
-                   incr r.pos;
-                   c))
+            Some (List.init (initlen - 1) (fun _ -> Char.code (get_byte r)))
         in
         { Ir.Tree.gname; gsize; ginit })
   in
@@ -251,10 +275,7 @@ let decompress z =
         let formals =
           List.init nformals (fun _ ->
               let n = get_str r in
-              let ty =
-                ty_of_code (Char.code r.src.[!(r.pos)])
-              in
-              incr r.pos;
+              let ty = ty_of_code (Char.code (get_byte r)) in
               (n, ty))
         in
         let frame_size = get_uleb r in
@@ -287,9 +308,7 @@ let decompress z =
     let n_novel = get_uleb r in
     let novel =
       List.init n_novel (fun _ ->
-          let tag = r.src.[!(r.pos)] in
-          incr r.pos;
-          match tag with
+          match get_byte r with
           | '\000' -> Ir.Pattern.Lint (get_sleb r)
           | '\001' -> Ir.Pattern.Lsym (get_str r)
           | _ -> failwith "Wire: bad literal tag")
@@ -405,7 +424,8 @@ let stats (p : Ir.Tree.program) =
       !keys
   in
   let z = compress p in
-  let bundle = Zip.Deflate.decompress (String.sub z 1 (String.length z - 1)) in
+  (* skip the 4-byte CRC frame and the final-stage tag *)
+  let bundle = Zip.Deflate.decompress (String.sub z 5 (String.length z - 5)) in
   {
     wire_bytes = String.length z;
     bundle_bytes = String.length bundle;

@@ -42,6 +42,51 @@ let test_paper_crossover () =
   Alcotest.(check bool) "fast LAN -> not wire" true
     (lan_best <> Scenario.Delivery.Wire_format)
 
+let test_default_rates_crossover () =
+  (* the §4.5 story pinned under the stock rate card, for the client
+     population the server targets: a JIT-capable machine that cannot
+     run the server's native code (so the native forms are off the
+     menu, exactly what Profile.feasible computes for modem/lan).
+     Over the modem, transfer dominates and the densest form — wire —
+     wins; at 100 Mbit transfer is nearly free and wire's extra
+     decompress-then-JIT preparation loses to BRISC's JIT-only cost. *)
+  let candidates =
+    [ Scenario.Delivery.Wire_format; Scenario.Delivery.Brisc_jit;
+      Scenario.Delivery.Brisc_interp ]
+  in
+  let best bps =
+    fst
+      (Scenario.Delivery.best_of ~rates:Scenario.Delivery.default_rates
+         candidates sizes ~run_cycles ~link_bps:bps)
+  in
+  Alcotest.(check string) "28.8k modem -> wire" "wire+JIT"
+    (Scenario.Delivery.repr_name (best Scenario.Delivery.modem_bps));
+  Alcotest.(check string) "fast LAN -> BRISC" "BRISC+JIT"
+    (Scenario.Delivery.repr_name (best Scenario.Delivery.fast_lan_bps))
+
+let test_best_of_edges () =
+  let one =
+    Scenario.Delivery.best_of [ Scenario.Delivery.Brisc_interp ] sizes
+      ~run_cycles ~link_bps:Scenario.Delivery.lan_bps
+  in
+  Alcotest.(check string) "singleton candidate" "BRISC interp"
+    (Scenario.Delivery.repr_name (fst one));
+  (match
+     Scenario.Delivery.best_of [] sizes ~run_cycles
+       ~link_bps:Scenario.Delivery.lan_bps
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty candidate list must be rejected");
+  (* best = best_of over all representations *)
+  let a = Scenario.Delivery.best sizes ~run_cycles ~link_bps:Scenario.Delivery.modem_bps in
+  let b =
+    Scenario.Delivery.best_of Scenario.Delivery.all_reprs sizes ~run_cycles
+      ~link_bps:Scenario.Delivery.modem_bps
+  in
+  Alcotest.(check string) "best is best_of all"
+    (Scenario.Delivery.repr_name (fst a))
+    (Scenario.Delivery.repr_name (fst b))
+
 let test_transfer_monotone_in_bandwidth () =
   let t bps =
     (Scenario.Delivery.total_time sizes ~run_cycles ~link_bps:bps
@@ -197,6 +242,9 @@ let () =
           Alcotest.test_case "modem prefers compression" `Quick
             test_modem_prefers_compression;
           Alcotest.test_case "paper crossover" `Quick test_paper_crossover;
+          Alcotest.test_case "default-rates crossover" `Quick
+            test_default_rates_crossover;
+          Alcotest.test_case "best_of edges" `Quick test_best_of_edges;
           Alcotest.test_case "bandwidth monotone" `Quick
             test_transfer_monotone_in_bandwidth;
           Alcotest.test_case "interp skips prepare" `Quick test_interp_avoids_prepare;

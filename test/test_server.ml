@@ -1,0 +1,328 @@
+(* Tests for the code-delivery server: the byte-budgeted LRU artifact
+   cache, the adaptive representation selector against the delivery
+   model, the content-addressed store, and chunked-session resume. *)
+
+let d = String.make 1
+
+(* ---- cache: byte-budgeted LRU ---- *)
+
+let test_cache_eviction_under_budget () =
+  let c = Server.Cache.create ~budget_bytes:100 in
+  Server.Cache.add c "a" (String.make 40 'a');
+  Server.Cache.add c "b" (String.make 40 'b');
+  (* touching "a" makes "b" the LRU entry *)
+  Alcotest.(check bool) "a resident" true (Server.Cache.find c "a" <> None);
+  Server.Cache.add c "c" (String.make 40 'c');
+  Alcotest.(check bool) "b evicted" false (Server.Cache.mem c "b");
+  Alcotest.(check bool) "a survives (recently used)" true (Server.Cache.mem c "a");
+  Alcotest.(check bool) "c resident" true (Server.Cache.mem c "c");
+  let st = Server.Cache.stats c in
+  Alcotest.(check int) "one eviction" 1 st.Server.Cache.evictions;
+  Alcotest.(check int) "resident bytes fit budget" 80
+    st.Server.Cache.resident_bytes;
+  Alcotest.(check int) "two resident" 2 st.Server.Cache.resident_count
+
+let test_cache_counts_hits_and_misses () =
+  let c = Server.Cache.create ~budget_bytes:100 in
+  Server.Cache.add c "k" "v";
+  Alcotest.(check (option string)) "hit" (Some "v") (Server.Cache.find c "k");
+  Alcotest.(check (option string)) "miss" None (Server.Cache.find c "nope");
+  let st = Server.Cache.stats c in
+  Alcotest.(check int) "hits" 1 st.Server.Cache.hits;
+  Alcotest.(check int) "misses" 1 st.Server.Cache.misses;
+  Alcotest.(check (float 1e-9)) "hit rate" 0.5 (Server.Cache.hit_rate st)
+
+let test_cache_oversized_value_not_cached () =
+  let c = Server.Cache.create ~budget_bytes:16 in
+  Server.Cache.add c "small" (String.make 8 's');
+  (* a value bigger than the whole budget must not flush the cache *)
+  Server.Cache.add c "huge" (String.make 64 'h');
+  Alcotest.(check bool) "huge not cached" false (Server.Cache.mem c "huge");
+  Alcotest.(check bool) "small untouched" true (Server.Cache.mem c "small")
+
+let test_cache_replace_updates_bytes () =
+  let c = Server.Cache.create ~budget_bytes:100 in
+  Server.Cache.add c "k" (String.make 60 'x');
+  Server.Cache.add c "k" (String.make 10 'y');
+  let st = Server.Cache.stats c in
+  Alcotest.(check int) "rebinding replaces, not adds" 10
+    st.Server.Cache.resident_bytes;
+  Alcotest.(check (option string)) "new value wins"
+    (Some (String.make 10 'y'))
+    (Server.Cache.find c "k")
+
+let test_cache_lru_order_is_by_recency () =
+  let c = Server.Cache.create ~budget_bytes:30 in
+  List.iter (fun k -> Server.Cache.add c k (String.make 10 k.[0]))
+    [ "a"; "b"; "c" ];
+  (* recency now c > b > a; touch a, then overflow twice *)
+  ignore (Server.Cache.find c "a");
+  Server.Cache.add c "d" (String.make 10 'd');   (* evicts b *)
+  Server.Cache.add c "e" (String.make 10 'e');   (* evicts c *)
+  Alcotest.(check (list bool)) "survivors a/d/e, victims b/c"
+    [ true; false; false; true; true ]
+    (List.map (Server.Cache.mem c) [ "a"; "b"; "c"; "d"; "e" ])
+
+(* ---- selector: profiles against the delivery model ---- *)
+
+let sizes =
+  { Scenario.Delivery.native_bytes = 70_000; gzip_bytes = 30_000;
+    wire_bytes = 20_000; brisc_bytes = 45_000 }
+
+let run_cycles = 50_000_000
+
+let pick p = Scenario.Delivery.repr_name (fst (Server.Profile.select p sizes ~run_cycles))
+
+let test_selector_matches_best_of () =
+  (* on each hand-picked rate point the selector must agree with
+     Delivery.best_of restricted to the profile's feasible set *)
+  List.iter
+    (fun (p : Server.Profile.t) ->
+      let feas = Server.Profile.feasible p sizes in
+      let want =
+        fst
+          (Scenario.Delivery.best_of feas sizes ~run_cycles
+             ~link_bps:p.Server.Profile.link_bps)
+      in
+      Alcotest.(check string) p.Server.Profile.name
+        (Scenario.Delivery.repr_name want)
+        (pick p))
+    [ Server.Profile.modem; Server.Profile.lan; Server.Profile.embedded;
+      Server.Profile.datacenter ]
+
+let test_selector_hand_picked_points () =
+  (* the concrete choices at the stock rate card, derivable by hand
+     from the linear model (transfer + prepare + run) *)
+  Alcotest.(check string) "modem: densest form wins" "wire+JIT"
+    (pick Server.Profile.modem);
+  Alcotest.(check string) "datacenter: raw native, nothing to prepare"
+    "native" (pick Server.Profile.datacenter);
+  Alcotest.(check string) "embedded: interpretation is all that's feasible"
+    "BRISC interp" (pick Server.Profile.embedded);
+  (* a JIT client on a free link: BRISC's JIT-only preparation beats
+     wire's decompress-then-JIT once transfer stops mattering *)
+  let fast =
+    Server.Profile.make "fast" ~link_bps:Scenario.Delivery.fast_lan_bps
+  in
+  Alcotest.(check string) "fast link, no native" "BRISC+JIT" (pick fast)
+
+let test_feasibility_constraints () =
+  let feas p = Server.Profile.feasible p sizes in
+  Alcotest.(check bool) "embedded: only interp" true
+    (feas Server.Profile.embedded = [ Scenario.Delivery.Brisc_interp ]);
+  Alcotest.(check bool) "modem client can't take native" true
+    (not (List.mem Scenario.Delivery.Raw_native (feas Server.Profile.modem)));
+  Alcotest.(check bool) "datacenter can take native" true
+    (List.mem Scenario.Delivery.Raw_native (feas Server.Profile.datacenter));
+  (* never empty, even under an absurd memory budget *)
+  let tiny = Server.Profile.make "tiny" ~link_bps:1e6 ~memory_bytes:1 in
+  Alcotest.(check bool) "never empty" true (feas tiny <> [])
+
+(* ---- store: content addressing, publish, eviction recovery ---- *)
+
+let prog src = Cc.Lower.compile src
+
+let multi_fn_src =
+  "int a(int x) { return x + 1; }\n\
+   int b(int x) { return x * 2; }\n\
+   int c(int x) { return x - 3; }\n\
+   int main() { return a(1) + b(2) + c(3); }"
+
+let test_publish_idempotent () =
+  let e = Server.create () in
+  let ir = prog multi_fn_src in
+  let d1 = Server.publish e ~run_cycles:1_000_000 ir in
+  let d2 = Server.publish e ~run_cycles:1_000_000 ir in
+  Alcotest.(check string) "same digest" d1 d2;
+  Alcotest.(check int) "published once" 1 (List.length (Server.digests e));
+  Alcotest.(check string) "digest is content-derived"
+    (Server.Store.digest_of_program ir) d1
+
+let test_distinct_programs_distinct_digests () =
+  let e = Server.create () in
+  let d1 = Server.publish e ~run_cycles:1 (prog "int main() { return 1; }") in
+  let d2 = Server.publish e ~run_cycles:1 (prog "int main() { return 2; }") in
+  Alcotest.(check bool) "different addresses" true (d1 <> d2)
+
+let test_materialize_after_eviction () =
+  (* a cache too small for everything: artifacts get evicted and must
+     be recompressed on demand, byte-identical *)
+  let e = Server.create ~budget_bytes:512 () in
+  let ir = prog multi_fn_src in
+  let dg = Server.publish e ~run_cycles:1_000_000 ir in
+  let store = Server.store e in
+  let first, _ = Server.Store.materialize store dg Server.Artifact.Wire in
+  (* churn the cache with the other representations *)
+  List.iter
+    (fun r -> ignore (Server.Store.materialize store dg r))
+    Server.Artifact.all;
+  let again, _ = Server.Store.materialize store dg Server.Artifact.Wire in
+  Alcotest.(check string) "recompression is deterministic" first again;
+  Alcotest.(check bool) "artifact is a valid wire image" true
+    (Ir.Tree.equal_program ir (Wire.decompress again))
+
+let test_fetch_unknown_digest () =
+  let e = Server.create () in
+  match Server.fetch e (d 'x') Server.Profile.modem with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "unknown digest must raise Not_found"
+
+(* ---- chunked sessions: handshake, serving, resume ---- *)
+
+let session_fixture () =
+  let e = Server.create () in
+  let ir = prog multi_fn_src in
+  let dg = Server.publish e ~run_cycles:1_000_000 ir in
+  (e, ir, dg, Server.open_session e dg)
+
+let test_session_handshake () =
+  let _, _, dg, s = session_fixture () in
+  Alcotest.(check string) "session knows its digest" dg (Server.Session.digest s);
+  let names = List.map fst (Server.Session.index s) in
+  Alcotest.(check (list string)) "index lists every function"
+    [ "a"; "b"; "c"; "main" ] (List.sort compare names);
+  Alcotest.(check bool) "chunk sizes positive" true
+    (List.for_all (fun (_, n) -> n > 0) (Server.Session.index s))
+
+let test_session_chunks_are_wire_images () =
+  let _, ir, _, s = session_fixture () in
+  let seq = Server.Session.next_seq s in
+  match Server.Session.request s ~seq "b" with
+  | Error m -> Alcotest.fail m
+  | Ok payload ->
+    let p = Wire.decompress payload in
+    (match p.Ir.Tree.funcs with
+    | [ f ] ->
+      Alcotest.(check string) "the function asked for" "b" f.Ir.Tree.fname;
+      let orig =
+        List.find (fun (g : Ir.Tree.func) -> g.Ir.Tree.fname = "b")
+          ir.Ir.Tree.funcs
+      in
+      Alcotest.(check bool) "materializes exactly" true (f = orig)
+    | fs ->
+      Alcotest.fail
+        (Printf.sprintf "expected one function, got %d" (List.length fs)))
+
+let test_session_resume_after_drop () =
+  let _, _, _, s = session_fixture () in
+  let seq0 = Server.Session.next_seq s in
+  let p1 =
+    match Server.Session.request s ~seq:seq0 "a" with
+    | Ok p -> p
+    | Error m -> Alcotest.fail m
+  in
+  (* the response was dropped in flight: the client repeats the same
+     sequence number and must get the same bytes back *)
+  (match Server.Session.request s ~seq:seq0 "a" with
+  | Ok p -> Alcotest.(check string) "byte-for-byte retransmit" p1 p
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check int) "retransmit doesn't advance the window" (seq0 + 1)
+    (Server.Session.next_seq s);
+  (* the session then continues normally *)
+  (match Server.Session.request s ~seq:(seq0 + 1) "b" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check int) "two distinct functions delivered" 2
+    (Server.Session.delivered s)
+
+let test_session_rejects_bad_requests () =
+  let _, _, _, s = session_fixture () in
+  let seq0 = Server.Session.next_seq s in
+  ignore (Server.Session.request s ~seq:seq0 "a");
+  let is_err = function Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "future seq rejected" true
+    (is_err (Server.Session.request s ~seq:(seq0 + 5) "b"));
+  Alcotest.(check bool) "stale retransmit must repeat the same name" true
+    (is_err (Server.Session.request s ~seq:seq0 "b"));
+  ignore (Server.Session.request s ~seq:(seq0 + 1) "b");
+  Alcotest.(check bool) "old seq beyond the last is gone" true
+    (is_err (Server.Session.request s ~seq:seq0 "a"));
+  Alcotest.(check bool) "unknown function rejected" true
+    (is_err (Server.Session.request s ~seq:(Server.Session.next_seq s) "ghost"))
+
+(* ---- engine + workload: end to end ---- *)
+
+let test_workload_end_to_end () =
+  let e = Server.create ~budget_bytes:(256 * 1024) () in
+  (* hand-written corpus only: enough programs for the Zipf mix without
+     the expensive generated ones *)
+  let catalog = Server.Workload.build_catalog ~generated:[] e in
+  let config = { Server.Workload.default_config with requests = 80 } in
+  let s = Server.Workload.run e ~config catalog in
+  let r = s.Server.Workload.report in
+  Alcotest.(check bool) "cache hits after warm-up" true
+    (r.Server.Stats.cache_hit_rate > 0.0);
+  Alcotest.(check bool) "at least two representations" true
+    (List.length s.Server.Workload.distinct_reprs >= 2);
+  Alcotest.(check bool) "accounting adds up" true
+    (r.Server.Stats.requests
+     >= s.Server.Workload.fetches + s.Server.Workload.chunk_requests);
+  (* adaptive never loses to a feasibility-respecting fixed policy *)
+  List.iter
+    (fun b ->
+      Alcotest.(check bool)
+        ("adaptive <= all " ^ Scenario.Delivery.repr_name b.Server.Workload.fixed)
+        true
+        (s.Server.Workload.adaptive_s <= b.Server.Workload.modelled_s +. 1e-6))
+    s.Server.Workload.baselines
+
+let test_workload_deterministic () =
+  let run_once () =
+    let e = Server.create () in
+    let catalog = Server.Workload.build_catalog ~generated:[] e in
+    let config = { Server.Workload.default_config with requests = 40 } in
+    let s = Server.Workload.run e ~config catalog in
+    (s.Server.Workload.selections, s.Server.Workload.chunk_requests)
+  in
+  let a = run_once () and b = run_once () in
+  Alcotest.(check bool) "same seed, same stream" true (a = b)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "eviction under byte budget" `Quick
+            test_cache_eviction_under_budget;
+          Alcotest.test_case "hit/miss counters" `Quick
+            test_cache_counts_hits_and_misses;
+          Alcotest.test_case "oversized value" `Quick
+            test_cache_oversized_value_not_cached;
+          Alcotest.test_case "rebinding replaces" `Quick
+            test_cache_replace_updates_bytes;
+          Alcotest.test_case "LRU order" `Quick test_cache_lru_order_is_by_recency;
+        ] );
+      ( "selector",
+        [
+          Alcotest.test_case "matches Delivery.best_of" `Quick
+            test_selector_matches_best_of;
+          Alcotest.test_case "hand-picked rate points" `Quick
+            test_selector_hand_picked_points;
+          Alcotest.test_case "feasibility constraints" `Quick
+            test_feasibility_constraints;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "publish idempotent" `Quick test_publish_idempotent;
+          Alcotest.test_case "content addressing" `Quick
+            test_distinct_programs_distinct_digests;
+          Alcotest.test_case "rematerialize after eviction" `Quick
+            test_materialize_after_eviction;
+          Alcotest.test_case "unknown digest" `Quick test_fetch_unknown_digest;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "handshake index" `Quick test_session_handshake;
+          Alcotest.test_case "chunks are wire images" `Quick
+            test_session_chunks_are_wire_images;
+          Alcotest.test_case "resume after dropped response" `Quick
+            test_session_resume_after_drop;
+          Alcotest.test_case "bad requests rejected" `Quick
+            test_session_rejects_bad_requests;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "end to end" `Slow test_workload_end_to_end;
+          Alcotest.test_case "deterministic" `Slow test_workload_deterministic;
+        ] );
+    ]

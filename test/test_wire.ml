@@ -45,15 +45,29 @@ let test_preserves_semantics () =
   Alcotest.(check string) "same output" a.Vm.Interp.output b.Vm.Interp.output;
   Alcotest.(check int) "same exit" a.Vm.Interp.exit_code b.Vm.Interp.exit_code
 
+let frame body =
+  (* the CRC-32 header Wire.compress prepends (big-endian) *)
+  let crc = Support.Util.crc32 body in
+  let hdr = Bytes.create 4 in
+  Bytes.set hdr 0 (Char.chr ((crc lsr 24) land 0xff));
+  Bytes.set hdr 1 (Char.chr ((crc lsr 16) land 0xff));
+  Bytes.set hdr 2 (Char.chr ((crc lsr 8) land 0xff));
+  Bytes.set hdr 3 (Char.chr (crc land 0xff));
+  Bytes.to_string hdr ^ body
+
 let test_corrupt_magic () =
   let ir = compile "int main() { return 0; }" in
   let z = Wire.compress ir in
-  (* valid deflate around a corrupted bundle: flip a bundle byte by
-     recompressing mangled plaintext (z.[0] is the final-stage tag) *)
-  let bundle = Zip.Deflate.decompress (String.sub z 1 (String.length z - 1)) in
+  (* a well-formed frame (valid CRC, valid deflate) around a corrupted
+     bundle: the parser itself must still reject the bad magic. The
+     image is [crc32][tag][deflate(bundle)]. *)
+  let body = String.sub z 4 (String.length z - 4) in
+  let bundle =
+    Zip.Deflate.decompress (String.sub body 1 (String.length body - 1))
+  in
   let mangled = Bytes.of_string bundle in
   Bytes.set mangled 0 'X';
-  let z' = "D" ^ Zip.Deflate.compress (Bytes.to_string mangled) in
+  let z' = frame ("D" ^ Zip.Deflate.compress (Bytes.to_string mangled)) in
   match Wire.decompress z' with
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "bad magic must be rejected"
@@ -65,6 +79,65 @@ let test_truncated_input () =
   match Wire.decompress truncated with
   | exception _ -> ()
   | _ -> Alcotest.fail "truncated input must be rejected"
+
+(* ---- corruption: the CRC frame must catch every single-byte error ---- *)
+
+let flip s i =
+  let b = Bytes.of_string s in
+  Bytes.set b i (Char.chr (Char.code s.[i] lxor 0x41));
+  Bytes.to_string b
+
+let small_ir = lazy (compile Corpus.Programs.calc.Corpus.Programs.source)
+
+let test_wire_flip_every_byte () =
+  (* exhaustive, not sampled: CRC-32 detects any error burst <= 32 bits,
+     so every possible single-byte flip must raise Failure *)
+  let z = Wire.compress (Lazy.force small_ir) in
+  for i = 0 to String.length z - 1 do
+    match Wire.decompress (flip z i) with
+    | exception Failure _ -> ()
+    | exception e ->
+      Alcotest.fail
+        (Printf.sprintf "byte %d: expected Failure, got %s" i
+           (Printexc.to_string e))
+    | _ -> Alcotest.fail (Printf.sprintf "byte %d: corruption undetected" i)
+  done
+
+let test_wire_every_truncation () =
+  let z = Wire.compress (Lazy.force small_ir) in
+  for len = 0 to String.length z - 1 do
+    match Wire.decompress (String.sub z 0 len) with
+    | exception Failure _ -> ()
+    | exception e ->
+      Alcotest.fail
+        (Printf.sprintf "length %d: expected Failure, got %s" len
+           (Printexc.to_string e))
+    | _ -> Alcotest.fail (Printf.sprintf "length %d: truncation undetected" len)
+  done
+
+let test_chunked_flip_every_byte () =
+  let img = Wire.Chunked.to_bytes (Wire.Chunked.compress (Lazy.force small_ir)) in
+  for i = 0 to String.length img - 1 do
+    match Wire.Chunked.of_bytes (flip img i) with
+    | exception Failure _ -> ()
+    | exception e ->
+      Alcotest.fail
+        (Printf.sprintf "byte %d: expected Failure, got %s" i
+           (Printexc.to_string e))
+    | _ -> Alcotest.fail (Printf.sprintf "byte %d: corruption undetected" i)
+  done
+
+let test_chunked_every_truncation () =
+  let img = Wire.Chunked.to_bytes (Wire.Chunked.compress (Lazy.force small_ir)) in
+  for len = 0 to String.length img - 1 do
+    match Wire.Chunked.of_bytes (String.sub img 0 len) with
+    | exception Failure _ -> ()
+    | exception e ->
+      Alcotest.fail
+        (Printf.sprintf "length %d: expected Failure, got %s" len
+           (Printexc.to_string e))
+    | _ -> Alcotest.fail (Printf.sprintf "length %d: truncation undetected" len)
+  done
 
 (* ---- statistics / size claims ---- *)
 
@@ -197,6 +270,17 @@ let () =
           Alcotest.test_case "corrupt magic" `Quick test_corrupt_magic;
           Alcotest.test_case "truncated" `Quick test_truncated_input;
           Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "wire: flip every byte" `Quick
+            test_wire_flip_every_byte;
+          Alcotest.test_case "wire: every truncation" `Quick
+            test_wire_every_truncation;
+          Alcotest.test_case "chunked: flip every byte" `Quick
+            test_chunked_flip_every_byte;
+          Alcotest.test_case "chunked: every truncation" `Quick
+            test_chunked_every_truncation;
         ] );
       ( "sizes",
         [
