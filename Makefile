@@ -1,4 +1,4 @@
-.PHONY: all check test bench clean
+.PHONY: all check test bench bench-quick clean
 
 all:
 	dune build
@@ -15,6 +15,12 @@ bench:
 
 bench-json:
 	dune exec bench/main.exe -- --quick --json
+
+# compressor-timing slice only: Dict.build in full-scan / incremental /
+# parallel modes on the gcc-like point, tracked across PRs
+bench-quick:
+	dune exec bench/main.exe -- --quick --compressor-json > BENCH_compressor.json
+	@cat BENCH_compressor.json
 
 clean:
 	dune clean

@@ -17,6 +17,21 @@ let no_bechamel = Array.exists (fun a -> a = "--no-bechamel") Sys.argv
    sizes and rates, so successive PRs can diff BENCH_*.json files *)
 let json_mode = Array.exists (fun a -> a = "--json") Sys.argv
 
+(* --compressor-json times Dict.build on the gcc-like point in every
+   mode (full-scan, incremental, parallel) and prints the telemetry as
+   JSON — the BENCH_compressor.json the Makefile's bench-quick target
+   tracks across PRs *)
+let compressor_json_mode = Array.exists (fun a -> a = "--compressor-json") Sys.argv
+
+(* --domains N sizes the parallel mode's pool (default 4) *)
+let domains_flag =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--domains" then Some (int_of_string Sys.argv.(i + 1))
+    else find (i + 1)
+  in
+  find 1
+
 let hr title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -588,6 +603,75 @@ let json_report () =
   add "}\n";
   print_string (Buffer.contents b)
 
+(* ---- --compressor-json: Dict.build timing across modes ---- *)
+
+let compressor_json () =
+  let p = List.nth (Lazy.force points) 2 (* gcc-like *) in
+  let domains = match domains_flag with Some n -> n | None -> 4 in
+  let measure_mode mode f =
+    (* drop the previous mode's garbage first: retained dead heap inflates
+       every GC slice taken during the timed build (brutally so for the
+       multi-domain mode, where minor collections barrier all domains) *)
+    Gc.compact ();
+    let (img, rep), wall = time f in
+    (mode, Brisc.to_bytes img, rep, wall)
+  in
+  let full =
+    measure_mode "full-scan" (fun () -> Brisc.measure ~full_scan:true p.vp)
+  in
+  let inc = measure_mode "incremental" (fun () -> Brisc.measure p.vp) in
+  let par =
+    let pool = Support.Pool.create ~domains in
+    let r =
+      measure_mode
+        (Printf.sprintf "parallel-%d" domains)
+        (fun () -> Brisc.measure ~pool p.vp)
+    in
+    Support.Pool.shutdown pool;
+    r
+  in
+  let modes = [ full; inc; par ] in
+  let _, baseline_bytes, _, full_wall = full in
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n  \"schema\": \"codecomp-compressor-bench-v1\",\n";
+  add "  \"quick\": %b,\n  \"label\": \"%s\",\n  \"domains\": %d,\n" quick
+    (json_escape p.label) domains;
+  add "  \"modes\": [\n";
+  List.iteri
+    (fun i (mode, bytes, rep, wall) ->
+      let bt = rep.Brisc.build in
+      add
+        "    {\"mode\": \"%s\", \"wall_s\": %.4f, \"scan_s\": %.4f, \
+         \"rank_s\": %.4f, \"rewrite_s\": %.4f, \"passes\": %d, \
+         \"items_scanned\": %d, \"candidates_tested\": %d, \
+         \"candidates_per_s\": %.1f, \"domains\": %d, \"dict_entries\": %d, \
+         \"brisc_bytes\": %d, \"identical_to_full_scan\": %b, \
+         \"speedup_vs_full_scan\": %.3f,\n     \"passes_detail\": [%s]}%s\n"
+        mode wall bt.Brisc.scan_s bt.Brisc.rank_s bt.Brisc.rewrite_s
+        rep.Brisc.passes bt.Brisc.items_scanned rep.Brisc.candidates_tested
+        (float_of_int rep.Brisc.candidates_tested /. wall)
+        bt.Brisc.domains rep.Brisc.dict_entries (String.length bytes)
+        (bytes = baseline_bytes)
+        (full_wall /. wall)
+        (String.concat ", "
+           (List.map
+              (fun (s : Brisc.Dict.pass_stat) ->
+                Printf.sprintf
+                  "{\"pass\": %d, \"live\": %d, \"scanned\": %d, \
+                   \"cand_table\": %d, \"heap\": %d, \"selected\": %d, \
+                   \"scan_s\": %.4f, \"rank_s\": %.4f, \"rewrite_s\": %.4f}"
+                  s.Brisc.Dict.ps_pass s.Brisc.Dict.ps_live_items
+                  s.Brisc.Dict.ps_items_scanned s.Brisc.Dict.ps_candidate_table
+                  s.Brisc.Dict.ps_heap_size s.Brisc.Dict.ps_selected
+                  s.Brisc.Dict.ps_scan_s s.Brisc.Dict.ps_rank_s
+                  s.Brisc.Dict.ps_rewrite_s)
+              bt.Brisc.pass_stats))
+        (if i = List.length modes - 1 then "" else ","))
+    modes;
+  add "  ]\n}\n";
+  print_string (Buffer.contents b)
+
 (* ---- bechamel micro-benchmarks ---- *)
 
 let bechamel () =
@@ -638,6 +722,10 @@ let bechamel () =
     tests
 
 let () =
+  if compressor_json_mode then begin
+    compressor_json ();
+    exit 0
+  end;
   if json_mode then begin
     json_report ();
     exit 0

@@ -2,6 +2,8 @@
 
      briscc prog.c -o prog.brisc [--k 20] [--ignore-w] [--stats]
      briscc prog.c --features no-imm     (section 5 de-tunings)
+     briscc prog.c --domains 4           (parallel candidate scan)
+     briscc prog.c --full-scan           (disable incremental passes)
 *)
 
 let read_file path =
@@ -16,7 +18,7 @@ let write_file path s =
   output_string oc s;
   close_out oc
 
-let main file out k ignore_w stats features_name =
+let main file out k ignore_w stats features_name domains full_scan =
   let features =
     match features_name with
     | "full" -> Vm.Isa.full_risc
@@ -29,7 +31,11 @@ let main file out k ignore_w stats features_name =
   in
   let ir = Cc.Lower.compile (read_file file) in
   let vp = Vm.Codegen.gen_program ~features ir in
-  let img, rep = Brisc.measure ~k ~ignore_w vp in
+  let pool =
+    if domains > 1 then Some (Support.Pool.create ~domains) else None
+  in
+  let img, rep = Brisc.measure ~k ~ignore_w ~full_scan ?pool vp in
+  (match pool with Some p -> Support.Pool.shutdown p | None -> ());
   let bytes = Brisc.to_bytes img in
   let out = match out with Some o -> o | None -> file ^ ".brisc" in
   write_file out bytes;
@@ -43,7 +49,14 @@ let main file out k ignore_w stats features_name =
       rep.Brisc.dict_entries rep.Brisc.base_entries rep.Brisc.candidates_tested
       rep.Brisc.passes;
     Printf.printf "  largest Markov successor set: %d\n"
-      rep.Brisc.max_markov_successors
+      rep.Brisc.max_markov_successors;
+    let b = rep.Brisc.build in
+    Printf.printf
+      "  compressor: scan %.3fs, rank %.3fs, rewrite %.3fs (%d items scanned, %d domain%s%s)\n"
+      b.Brisc.scan_s b.Brisc.rank_s b.Brisc.rewrite_s b.Brisc.items_scanned
+      b.Brisc.domains
+      (if b.Brisc.domains = 1 then "" else "s")
+      (if full_scan then ", full-scan" else "")
   end;
   0
 
@@ -56,8 +69,24 @@ let ignore_w = Arg.(value & flag & info [ "ignore-w" ] ~doc:"Abundant-memory mod
 let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print dictionary statistics.")
 let features = Arg.(value & opt string "full" & info [ "features" ] ~docv:"SET")
 
+let domains =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ]
+        ~doc:"Fan the candidate scan across N domains (same output bytes).")
+
+let full_scan =
+  Arg.(
+    value & flag
+    & info [ "full-scan" ]
+        ~doc:
+          "Rescan every item each pass instead of only dirty items (same \
+           output bytes, original cost; for cross-checking).")
+
 let cmd =
   Cmd.v (Cmd.info "briscc" ~doc:"BRISC code compressor (PLDI'97 section 4)")
-    Term.(const main $ file0 $ out $ k $ ignore_w $ stats $ features)
+    Term.(
+      const main $ file0 $ out $ k $ ignore_w $ stats $ features $ domains
+      $ full_scan)
 
 let () = exit (Cmd.eval' cmd)

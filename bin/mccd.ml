@@ -20,7 +20,7 @@
 let usage () =
   prerr_endline
     "usage: mccd [--requests N] [--seed N] [--budget BYTES] [--drop PCT]\n\
-    \            [--quick] [--script FILE] [--no-check]";
+    \            [--quick] [--script FILE] [--no-check] [--domains N]";
   exit 2
 
 let () =
@@ -53,6 +53,10 @@ let () =
       parse rest
     | "--no-check" :: rest ->
       check := false;
+      parse rest
+    | "--domains" :: v :: rest ->
+      (* resizes the shared pool the engine's store compresses with *)
+      Support.Pool.set_shared_domains (int_of_string v);
       parse rest
     | _ -> usage ()
   in

@@ -6,8 +6,8 @@ module Decomp = Decomp
 module Interp = Interp
 module Jit = Jit
 
-let compress ?k ?ignore_w vp =
-  let d = Dict.build ?k ?ignore_w vp in
+let compress ?k ?ignore_w ?full_scan ?pool vp =
+  let d = Dict.build ?k ?ignore_w ?full_scan ?pool vp in
   Emit.of_dict d
 
 let compress_with (img : Emit.image) vp =
@@ -19,12 +19,23 @@ let compress_with (img : Emit.image) vp =
       globals = [];
       candidates_tested = 0;
       passes = 0;
+      pass_stats = [];
+      scan_domains = 1;
     }
   in
   Emit.of_dict (Dict.apply_dictionary t vp)
 
 let to_bytes = Emit.to_bytes
 let of_bytes = Emit.of_bytes
+
+type build_telemetry = {
+  scan_s : float;
+  rank_s : float;
+  rewrite_s : float;
+  items_scanned : int;
+  domains : int;
+  pass_stats : Dict.pass_stat list;
+}
 
 type report = {
   original_bytes : int;
@@ -36,10 +47,11 @@ type report = {
   candidates_tested : int;
   passes : int;
   max_markov_successors : int;
+  build : build_telemetry;
 }
 
-let measure ?k ?ignore_w vp =
-  let d = Dict.build ?k ?ignore_w vp in
+let measure ?k ?ignore_w ?full_scan ?pool vp =
+  let d = Dict.build ?k ?ignore_w ?full_scan ?pool vp in
   let img = Emit.of_dict d in
   let total = Emit.total_size img in
   let code = Emit.code_size img in
@@ -54,4 +66,13 @@ let measure ?k ?ignore_w vp =
       candidates_tested = d.Dict.candidates_tested;
       passes = d.Dict.passes;
       max_markov_successors = Markov.max_successors img.Emit.markov;
+      build =
+        {
+          scan_s = Dict.total_scan_s d;
+          rank_s = Dict.total_rank_s d;
+          rewrite_s = Dict.total_rewrite_s d;
+          items_scanned = Dict.total_items_scanned d;
+          domains = d.Dict.scan_domains;
+          pass_stats = d.Dict.pass_stats;
+        };
     } )

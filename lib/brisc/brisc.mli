@@ -20,9 +20,16 @@ module Decomp = Decomp
 module Interp = Interp
 module Jit = Jit
 
-val compress : ?k:int -> ?ignore_w:bool -> Vm.Isa.vprogram -> Emit.image
+val compress :
+  ?k:int ->
+  ?ignore_w:bool ->
+  ?full_scan:bool ->
+  ?pool:Support.Pool.t ->
+  Vm.Isa.vprogram ->
+  Emit.image
 (** Full compression: dictionary construction ([k] best candidates per
-    pass, default 20) + Markov coding + packing. *)
+    pass, default 20) + Markov coding + packing. [full_scan] and [pool]
+    are passed to {!Dict.build}; neither changes the output bytes. *)
 
 val compress_with : Emit.image -> Vm.Isa.vprogram -> Emit.image
 (** Compress using an existing image's dictionary (no candidate search) —
@@ -31,6 +38,17 @@ val compress_with : Emit.image -> Vm.Isa.vprogram -> Emit.image
 
 val to_bytes : Emit.image -> string
 val of_bytes : string -> Emit.image
+
+(** Compressor-side timing and work counters, summed over passes (the
+    per-pass breakdown is in [pass_stats]). *)
+type build_telemetry = {
+  scan_s : float;            (** candidate generation + merge *)
+  rank_s : float;            (** heap build + top-k selection *)
+  rewrite_s : float;         (** indexed rewrite + dirty sweep *)
+  items_scanned : int;       (** dirty items rescanned, all passes *)
+  domains : int;             (** pool lanes the scan fanned across *)
+  pass_stats : Dict.pass_stat list;
+}
 
 type report = {
   original_bytes : int;      (** VM binary code bytes *)
@@ -42,6 +60,13 @@ type report = {
   candidates_tested : int;
   passes : int;
   max_markov_successors : int;
+  build : build_telemetry;
 }
 
-val measure : ?k:int -> ?ignore_w:bool -> Vm.Isa.vprogram -> Emit.image * report
+val measure :
+  ?k:int ->
+  ?ignore_w:bool ->
+  ?full_scan:bool ->
+  ?pool:Support.Pool.t ->
+  Vm.Isa.vprogram ->
+  Emit.image * report

@@ -11,6 +11,19 @@ type compiled_func = {
   labels : (string * int) list;
 }
 
+type pass_stat = {
+  ps_pass : int;
+  ps_live_items : int;
+  ps_items_scanned : int;
+  ps_contributions : int;
+  ps_candidate_table : int;
+  ps_heap_size : int;
+  ps_selected : int;
+  ps_scan_s : float;
+  ps_rank_s : float;
+  ps_rewrite_s : float;
+}
+
 type t = {
   entries : Pat.pat array;
   base_count : int;
@@ -18,6 +31,8 @@ type t = {
   globals : (string * int * int list option) list;
   candidates_tested : int;
   passes : int;
+  pass_stats : pass_stat list;
+  scan_domains : int;
 }
 
 let item_pat_bytes entries it = Pat.encoded_bytes entries.(it.pat)
@@ -62,9 +77,61 @@ let itemize_func b (f : Vm.Isa.vfunc) =
   { cf_name = f.Vm.Isa.name; items = Array.of_list (List.rev !items);
     labels = List.rev !labels }
 
+(* ---- shape index ----
+
+   Pat.matches can only succeed when the pattern's first part has the
+   instruction sequence's head opcode and the part count equals the
+   sequence length, so bucketing entries by (head opcode key, arity)
+   turns the rewrite loops' scans over every candidate entry into O(1)
+   bucket lookups. Buckets preserve the priority order of the input
+   list, which is what makes the indexed rewrites pick the same entry
+   the linear scans did. *)
+
+let pat_head_key (p : Pat.pat) =
+  Vm.Encode.base_key (List.hd p.Pat.parts).Pat.templ
+
+let insts_head_key = function
+  | [] -> invalid_arg "Dict.insts_head_key: empty"
+  | (i : Vm.Isa.instr) :: _ -> Vm.Encode.base_key i
+
+let index_by_shape (pats : (int * Pat.pat) list) =
+  let tbl : (string * int, (int * Pat.pat) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun (id, p) ->
+      let k = (pat_head_key p, List.length p.Pat.parts) in
+      let prev = try Hashtbl.find tbl k with Not_found -> [] in
+      Hashtbl.replace tbl k ((id, p) :: prev))
+    (List.rev pats);
+  tbl
+
+let index_find tbl head arity =
+  try Hashtbl.find tbl (head, arity) with Not_found -> []
+
+(* cheapest strictly-shrinking match in [bucket], first-listed winning
+   ties — exactly the selection the old linear rewrite loops made *)
+let best_match bucket insts cur =
+  List.fold_left
+    (fun best (id, p) ->
+      if Pat.matches p insts then begin
+        let bytes = Pat.encoded_bytes p in
+        if
+          bytes < cur
+          && (match best with Some (_, bb) -> bytes < bb | None -> true)
+        then Some (id, bytes)
+        else best
+      end
+      else best)
+    None bucket
+
 (* ---- candidate generation ---- *)
 
-type cand = { cpat : Pat.pat; mutable savings : int }
+type cand = {
+  cpat : Pat.pat;
+  overhead : int;          (* dict entry cost + W, fixed per pattern *)
+  mutable savings : int;   (* sum of recorded per-item contributions *)
+}
 
 (* augmented operand-specialized set: the pattern itself plus its
    one-field specializations against this occurrence's field values *)
@@ -72,123 +139,275 @@ let augmented entries it =
   let p = entries.(it.pat) in
   let values = Pat.wild_values p it.insts in
   let specs =
-    List.filteri (fun _ _ -> true) values
-    |> List.mapi (fun i v -> Pat.specialize p i v)
+    List.mapi (fun i v -> Pat.specialize p i v) values
     |> List.filter_map (fun x -> x)
   in
   p :: specs
 
-(* ---- main pass loop ---- *)
+let now () = Unix.gettimeofday ()
 
-let build ?(k = 20) ?(ignore_w = false) ?(max_passes = 40) (vp : Vm.Isa.vprogram) : t =
+(* ---- main pass loop ----
+
+   Candidate bookkeeping is incremental: the candidate table persists
+   across passes and every item records the (key, savings)
+   contributions it last generated, so a pass only rescans the dirty
+   items — those the previous rewrite changed or killed, plus the
+   nearest live predecessor of each (its combination partner) — and
+   retracts their stale contributions before adding fresh ones. A
+   full-scan pass (the [~full_scan:true] escape hatch, and pass 1 where
+   everything starts dirty) is the degenerate case where the table is
+   rebuilt from scratch; the corpus cross-check test asserts both modes
+   build byte-identical dictionaries.
+
+   The scan itself is read-only with respect to shared state, so dirty
+   functions can be scanned by a Pool of domains; results are merged
+   sequentially in (function, item) order, which keeps every domain
+   count byte-identical to the sequential build. *)
+
+let build ?(k = 20) ?(ignore_w = false) ?(max_passes = 40) ?(full_scan = false)
+    ?pool (vp : Vm.Isa.vprogram) : t =
+  let scan_domains =
+    match pool with Some p -> Support.Pool.size p | None -> 1
+  in
   let b =
     { entry_list = []; entry_count = 0; entry_of_key = Hashtbl.create 512 }
   in
   ignore (add_entry b Pat.epi);
   let funcs = List.map (itemize_func b) vp.Vm.Isa.funcs in
+  let funcs_arr = Array.of_list funcs in
+  let nfuncs = Array.length funcs_arr in
   let base_count = ref b.entry_count in
   (* the paper's compressor keeps a hash table of previously generated
      candidates; candidates_tested counts distinct candidates ever
      generated, as §4.3 reports (93,211 for gcc) *)
   let ever_generated : (string, unit) Hashtbl.t = Hashtbl.create 8192 in
   let candidates_tested = ref 0 in
+  (* Candidates are keyed by their rendered form: OCaml's polymorphic
+     hash samples only a bounded prefix of a deep structure, which
+     collides badly on patterns; the string key hashes fully. *)
+  let cands : (string, cand) Hashtbl.t = Hashtbl.create 4096 in
+  let contribs =
+    Array.map
+      (fun cf -> Array.make (Array.length cf.items) ([] : (string * int) list))
+      funcs_arr
+  in
+  let dirty = Array.map (fun cf -> Array.make (Array.length cf.items) true) funcs_arr in
+  let stats = ref [] in
   let passes = ref 0 in
   let finished = ref false in
   while not !finished && !passes < max_passes do
     incr passes;
+    let t0 = now () in
+    if full_scan then begin
+      Hashtbl.reset cands;
+      Array.iteri
+        (fun fi cf ->
+          for i = 0 to Array.length cf.items - 1 do
+            dirty.(fi).(i) <- true;
+            contribs.(fi).(i) <- []
+          done)
+        funcs_arr
+    end;
     let entries = Array.of_list (List.rev b.entry_list) in
-    (* Candidates are keyed by their rendered form: OCaml's polymorphic
-       hash samples only a bounded prefix of a deep structure, which
-       collides badly on patterns; the string key hashes fully. *)
-    let cands : (string, cand) Hashtbl.t = Hashtbl.create 4096 in
-    let consider pat saved =
-      if saved > 0 then begin
-        let key = Pat.key pat in
-        if not (Hashtbl.mem b.entry_of_key key) then begin
-          match Hashtbl.find_opt cands key with
-          | Some c -> c.savings <- c.savings + saved
-          | None ->
-            if not (Hashtbl.mem ever_generated key) then begin
-              Hashtbl.add ever_generated key ();
-              incr candidates_tested
-            end;
-            Hashtbl.add cands key { cpat = pat; savings = saved }
-        end
-      end
-    in
-    (* scan: specializations and combinations *)
-    List.iter
-      (fun cf ->
-        let n = Array.length cf.items in
-        let rec next_live i = if i >= n then None
-          else if cf.items.(i).live then Some i else next_live (i + 1)
-        in
-        let i = ref 0 in
-        while !i < n do
-          let it = cf.items.(!i) in
-          if it.live then begin
-            let cur_bytes = item_pat_bytes entries it in
-            (* one-field specializations *)
+    (* scan: specializations and combinations for the dirty items of one
+       function; pure per function, hence safe to fan out over domains.
+       A candidate's encoded size is pure slot arithmetic (specializing
+       drops the burned slot's bits, combining sums both sides' bits),
+       so savings are computed BEFORE building the pattern — candidates
+       with nothing to save never allocate a pattern or render a key,
+       which is most of them on a byte-quantized encoding. *)
+    let scan_func fi =
+      let cf = funcs_arr.(fi) in
+      let dirt = dirty.(fi) in
+      let n = Array.length cf.items in
+      let rec next_live i =
+        if i >= n then None
+        else if cf.items.(i).live then Some i
+        else next_live (i + 1)
+      in
+      let out = ref [] in
+      for i = n - 1 downto 0 do
+        if dirt.(i) then begin
+          let it = cf.items.(i) in
+          if not it.live then out := (i, []) :: !out
+          else begin
+            let acc = ref [] in
+            let consider pat saved =
+              let key = Pat.key pat in
+              if not (Hashtbl.mem b.entry_of_key key) then
+                acc := (key, pat, saved) :: !acc
+            in
             let p = entries.(it.pat) in
+            let p_bits = Pat.operand_bits p in
+            let cur_bytes = 1 + ((p_bits + 7) / 8) in
+            (* one-field specializations: burning wild slot [si] shrinks
+               the operand bytes by its slot width (label slots refuse) *)
             let values = Pat.wild_values p it.insts in
+            let widths =
+              List.concat_map
+                (fun (part : Pat.part) ->
+                  List.filter_map
+                    (function Pat.Wild w -> Some w | Pat.Fixed _ -> None)
+                    part.Pat.slots)
+                p.Pat.parts
+            in
             List.iteri
-              (fun si v ->
-                match Pat.specialize p si v with
-                | Some sp -> consider sp (cur_bytes - Pat.encoded_bytes sp)
-                | None -> ())
-              values;
+              (fun si (v, w) ->
+                let saved = cur_bytes - (1 + ((p_bits - Pat.slot_bits w + 7) / 8)) in
+                if saved > 0 then
+                  match Pat.specialize p si v with
+                  | Some sp -> consider sp saved
+                  | None -> ())
+              (List.combine values widths);
             (* combination with the next live item in the same block *)
-            (match next_live (!i + 1) with
+            (match next_live (i + 1) with
             | Some j when cf.items.(j).block = it.block ->
               let jt = cf.items.(j) in
-              let j_bytes = item_pat_bytes entries jt in
-              let total = cur_bytes + j_bytes in
-              let lefts = augmented entries it in
-              let rights = augmented entries jt in
-              List.iter
-                (fun lp ->
-                  List.iter
-                    (fun rp ->
-                      match Pat.combine lp rp with
-                      | Some cp -> consider cp (total - Pat.encoded_bytes cp)
-                      | None -> ())
-                    rights)
-                lefts
-            | _ -> ())
-          end;
-          incr i
-        done)
-      funcs;
-    (* rank by benefit *)
+              let q = entries.(jt.pat) in
+              (* legality is per pattern-shape, identical across each
+                 side's augmented set: hoist it out of the cross product *)
+              let len_l = List.length p.Pat.parts in
+              if
+                len_l + List.length q.Pat.parts <= 4
+                && Pat.combine p q <> None
+              then begin
+                let total = cur_bytes + 1 + ((Pat.operand_bits q + 7) / 8) in
+                let with_bits ps =
+                  List.map (fun x -> (x, Pat.operand_bits x)) ps
+                in
+                let lefts = with_bits (augmented entries it) in
+                let rights = with_bits (augmented entries jt) in
+                List.iter
+                  (fun (lp, lbits) ->
+                    List.iter
+                      (fun (rp, rbits) ->
+                        let saved = total - (1 + ((lbits + rbits + 7) / 8)) in
+                        if saved > 0 then
+                          match Pat.combine lp rp with
+                          | Some cp -> consider cp saved
+                          | None -> ())
+                      rights)
+                  lefts
+              end
+            | _ -> ());
+            out := (i, List.rev !acc) :: !out
+          end
+        end
+      done;
+      !out
+    in
+    (* only functions holding a dirty item need scanning; later passes
+       touch a shrinking fraction of the program, so this keeps the
+       fan-out (and the sequential walk) proportional to actual work *)
+    let dirty_fis = ref [] in
+    for fi = nfuncs - 1 downto 0 do
+      if Array.exists (fun d -> d) dirty.(fi) then dirty_fis := fi :: !dirty_fis
+    done;
+    let dirty_fis = !dirty_fis in
+    let per_func =
+      match pool with
+      | Some p when Support.Pool.size p > 1 && List.length dirty_fis > 1 ->
+        (* chunk the fan-out so each task amortizes scheduling and the
+           domains see a handful of balanced batches, not one tiny task
+           per function; chunks keep their order, so flattening restores
+           the exact sequential (function, item) merge order *)
+        let nchunks = 4 * Support.Pool.size p in
+        let len = List.length dirty_fis in
+        let chunk_sz = max 1 ((len + nchunks - 1) / nchunks) in
+        let rec split acc cur k = function
+          | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+          | fi :: rest ->
+            if k = chunk_sz then split (List.rev cur :: acc) [ fi ] 1 rest
+            else split acc (fi :: cur) (k + 1) rest
+        in
+        let chunks = split [] [] 0 dirty_fis in
+        List.concat
+          (Support.Pool.run_list p
+             (List.map
+                (fun chunk () ->
+                  List.map (fun fi -> (fi, scan_func fi)) chunk)
+                chunks))
+      | _ -> List.map (fun fi -> (fi, scan_func fi)) dirty_fis
+    in
+    (* merge: retract each rescanned item's stale contributions, then
+       add the fresh ones; sequential and in (function, item) order so
+       every mode agrees byte for byte *)
+    let items_scanned = ref 0 and contributions = ref 0 in
+    List.iter
+      (fun (fi, results) ->
+        let ctr = contribs.(fi) in
+        List.iter
+          (fun (i, fresh) ->
+            incr items_scanned;
+            List.iter
+              (fun (key, saved) ->
+                match Hashtbl.find_opt cands key with
+                | Some c ->
+                  c.savings <- c.savings - saved;
+                  if c.savings <= 0 then Hashtbl.remove cands key
+                | None -> ())
+              ctr.(i);
+            List.iter
+              (fun (key, pat, saved) ->
+                incr contributions;
+                match Hashtbl.find_opt cands key with
+                | Some c -> c.savings <- c.savings + saved
+                | None ->
+                  if not (Hashtbl.mem ever_generated key) then begin
+                    Hashtbl.add ever_generated key ();
+                    incr candidates_tested
+                  end;
+                  let overhead =
+                    Pat.dict_entry_bytes pat
+                    + (if ignore_w then 0 else Pat.native_bytes pat)
+                  in
+                  Hashtbl.add cands key { cpat = pat; overhead; savings = saved })
+              fresh;
+            ctr.(i) <- List.map (fun (key, _, saved) -> (key, saved)) fresh;
+            dirty.(fi).(i) <- false)
+          results)
+      per_func;
+    let t_scan = now () in
+    (* rank by benefit B = P - W; ties break on the candidate's
+       canonical key so selection no longer depends on hash-table
+       iteration order (smaller key wins the tie) *)
     let heap =
-      Support.Heap.create ~cmp:(fun (b1, _) (b2, _) -> compare (b1 : int) b2)
+      Support.Heap.create
+        ~cmp:(fun (b1, k1, _) (b2, k2, _) ->
+          if (b1 : int) <> b2 then compare b1 b2
+          else compare (k2 : string) k1)
     in
     Hashtbl.iter
-      (fun _ c ->
-        let p_net = c.savings - Pat.dict_entry_bytes c.cpat in
-        let w = if ignore_w then 0 else Pat.native_bytes c.cpat in
-        let benefit = p_net - w in
-        if benefit > 0 then Support.Heap.push heap (benefit, c.cpat))
+      (fun key c ->
+        let benefit = c.savings - c.overhead in
+        if benefit > 0 then Support.Heap.push heap (benefit, key, c.cpat))
       cands;
-    let selected = ref [] in
+    let heap_size = Support.Heap.length heap in
+    let picked = ref [] in
     let rec take n =
       if n > 0 then
         match Support.Heap.pop heap with
-        | Some (_, p) ->
-          selected := p :: !selected;
+        | Some (_, key, p) ->
+          picked := (key, p) :: !picked;
           take (n - 1)
         | None -> ()
     in
     take k;
-    let selected = List.rev !selected in
+    let selected = List.rev !picked in
+    let t_rank = now () in
     if List.length selected < k then finished := true;
     if selected <> [] then begin
-      let new_ids = List.map (fun p -> (add_entry b p, p)) selected in
+      (* selected keys become dictionary entries; retire them from the
+         candidate table (consider will refuse them from now on) *)
+      List.iter (fun (key, _) -> Hashtbl.remove cands key) selected;
+      let new_ids = List.map (fun (_, p) -> (add_entry b p, p)) selected in
       let entries = Array.of_list (List.rev b.entry_list) in
+      let new_index = index_by_shape new_ids in
       (* rewrite, combinations first *)
-      List.iter
-        (fun cf ->
+      Array.iteri
+        (fun fi cf ->
           let n = Array.length cf.items in
+          let changed = Array.make n false in
           let rec next_live i =
             if i >= n then None
             else if cf.items.(i).live then Some i
@@ -203,60 +422,76 @@ let build ?(k = 20) ?(ignore_w = false) ?(max_passes = 40) (vp : Vm.Isa.vprogram
                match next_live (!i + 1) with
                | Some j when cf.items.(j).block = it.block ->
                  let jt = cf.items.(j) in
-                 let joint = it.insts @ jt.insts in
-                 let cur = item_pat_bytes entries it + item_pat_bytes entries jt in
-                 let best = ref None in
-                 List.iter
-                   (fun (id, p) ->
-                     if List.length p.Pat.parts > 1 && Pat.matches p joint then begin
-                       let bytes = Pat.encoded_bytes p in
-                       if
-                         bytes < cur
-                         &&
-                         match !best with
-                         | Some (_, bb) -> bytes < bb
-                         | None -> true
-                       then best := Some (id, bytes)
-                     end)
-                   new_ids;
-                 (match !best with
-                 | Some (id, _) ->
-                   it.pat <- id;
-                   it.insts <- joint;
-                   jt.live <- false
-                 | None -> ())
+                 let arity = List.length it.insts + List.length jt.insts in
+                 (match index_find new_index (insts_head_key it.insts) arity with
+                 | [] -> ()
+                 | bucket ->
+                   let joint = it.insts @ jt.insts in
+                   let cur =
+                     item_pat_bytes entries it + item_pat_bytes entries jt
+                   in
+                   (match best_match bucket joint cur with
+                   | Some (id, _) ->
+                     it.pat <- id;
+                     it.insts <- joint;
+                     jt.live <- false;
+                     changed.(!i) <- true;
+                     changed.(j) <- true
+                   | None -> ()))
                | _ -> ());
             incr i
           done;
           (* operand specialization: switch items to cheaper new entries *)
-          Array.iter
-            (fun it ->
-              if it.live then begin
-                let cur = item_pat_bytes entries it in
-                let best = ref None in
-                List.iter
-                  (fun (id, p) ->
-                    if
-                      List.length p.Pat.parts = List.length it.insts
-                      && Pat.matches p it.insts
-                    then begin
-                      let bytes = Pat.encoded_bytes p in
-                      if
-                        bytes < cur
-                        &&
-                        match !best with
-                        | Some (_, bb) -> bytes < bb
-                        | None -> true
-                      then best := Some (id, bytes)
-                    end)
-                  new_ids;
-                match !best with
-                | Some (id, _) -> it.pat <- id
-                | None -> ()
-              end)
-            cf.items)
-        funcs
-    end
+          Array.iteri
+            (fun i it ->
+              if it.live then
+                match
+                  index_find new_index (insts_head_key it.insts)
+                    (List.length it.insts)
+                with
+                | [] -> ()
+                | bucket -> (
+                  let cur = item_pat_bytes entries it in
+                  match best_match bucket it.insts cur with
+                  | Some (id, _) ->
+                    it.pat <- id;
+                    changed.(i) <- true
+                  | None -> ()))
+            cf.items;
+          (* dirty for the next pass: a changed or killed item
+             invalidates its own candidates and those of the nearest
+             live item before it (whose combination partner it is) *)
+          let last_live = ref (-1) in
+          for i = 0 to n - 1 do
+            if changed.(i) then begin
+              dirty.(fi).(i) <- true;
+              if !last_live >= 0 then dirty.(fi).(!last_live) <- true
+            end;
+            if cf.items.(i).live then last_live := i
+          done)
+        funcs_arr
+    end;
+    let t_rewrite = now () in
+    let live_items =
+      Array.fold_left
+        (fun a cf ->
+          Array.fold_left (fun a it -> if it.live then a + 1 else a) a cf.items)
+        0 funcs_arr
+    in
+    stats :=
+      {
+        ps_pass = !passes;
+        ps_live_items = live_items;
+        ps_items_scanned = !items_scanned;
+        ps_contributions = !contributions;
+        ps_candidate_table = Hashtbl.length cands;
+        ps_heap_size = heap_size;
+        ps_selected = List.length selected;
+        ps_scan_s = t_scan -. t0;
+        ps_rank_s = t_rank -. t_scan;
+        ps_rewrite_s = t_rewrite -. t_rank;
+      }
+      :: !stats
   done;
   {
     entries = Array.of_list (List.rev b.entry_list);
@@ -265,6 +500,8 @@ let build ?(k = 20) ?(ignore_w = false) ?(max_passes = 40) (vp : Vm.Isa.vprogram
     globals = vp.Vm.Isa.globals;
     candidates_tested = !candidates_tested;
     passes = !passes;
+    pass_stats = List.rev !stats;
+    scan_domains;
   }
 
 (* ---- re-encoding with a fixed dictionary ---- *)
@@ -281,27 +518,23 @@ let apply_dictionary (t : t) (vp : Vm.Isa.vprogram) : t =
   let funcs = List.map (itemize_func b) vp.Vm.Isa.funcs in
   let entries = Array.of_list (List.rev b.entry_list) in
   (* greedy longest-match rewrite per function: try combined entries on
-     adjacent runs, then cheapest matching single entry *)
-  let all_ids = Array.to_list (Array.mapi (fun i p -> (i, p)) entries) in
-  let multi = List.filter (fun (_, p) -> List.length p.Pat.parts > 1) all_ids in
-  let single = List.filter (fun (_, p) -> List.length p.Pat.parts = 1) all_ids in
+     adjacent runs (longest arity first, dictionary order within an
+     arity), then the cheapest matching single entry — all through the
+     shape index, so each item only looks at entries that could match *)
+  let index =
+    index_by_shape (Array.to_list (Array.mapi (fun i p -> (i, p)) entries))
+  in
+  let arities = [ 4; 3; 2 ] in
   List.iter
     (fun cf ->
       let n = Array.length cf.items in
       let rec next_live i =
         if i >= n then None else if cf.items.(i).live then Some i else next_live (i + 1)
       in
-      (* combinations, longest-first *)
-      let multi_sorted =
-        List.sort
-          (fun (_, p1) (_, p2) ->
-            compare (List.length p2.Pat.parts) (List.length p1.Pat.parts))
-          multi
-      in
       let i = ref 0 in
       while !i < n do
         let it = cf.items.(!i) in
-        (if it.live then
+        (if it.live then begin
            (* try to merge a run starting here *)
            let rec run acc len i0 =
              if len = 0 then Some (List.rev acc)
@@ -311,53 +544,54 @@ let apply_dictionary (t : t) (vp : Vm.Isa.vprogram) : t =
                  run (j :: acc) (len - 1) (j + 1)
                | _ -> None
            in
+           let head = insts_head_key it.insts in
            let applied = ref false in
            List.iter
-             (fun (id, p) ->
-               if not !applied then begin
-                 let nparts = List.length p.Pat.parts in
-                 match run [] (nparts - 1) (!i + 1) with
-                 | Some js ->
-                   let members = !i :: js in
-                   let joint =
-                     List.concat_map (fun j -> cf.items.(j).insts) members
-                   in
-                   if Pat.matches p joint then begin
+             (fun arity ->
+               if not !applied then
+                 match index_find index head arity with
+                 | [] -> ()
+                 | bucket -> (
+                   match run [] (arity - 1) (!i + 1) with
+                   | Some js ->
+                     let members = !i :: js in
+                     let joint =
+                       List.concat_map (fun j -> cf.items.(j).insts) members
+                     in
                      let cur =
                        List.fold_left
                          (fun a j -> a + item_pat_bytes entries cf.items.(j))
                          0 members
                      in
-                     if Pat.encoded_bytes p < cur then begin
-                       it.pat <- id;
-                       it.insts <- joint;
-                       List.iter (fun j -> cf.items.(j).live <- false) js;
-                       applied := true
-                     end
-                   end
-                 | None -> ()
-               end)
-             multi_sorted);
+                     List.iter
+                       (fun (id, p) ->
+                         if
+                           (not !applied)
+                           && Pat.matches p joint
+                           && Pat.encoded_bytes p < cur
+                         then begin
+                           it.pat <- id;
+                           it.insts <- joint;
+                           List.iter (fun j -> cf.items.(j).live <- false) js;
+                           applied := true
+                         end)
+                       bucket
+                   | None -> ()))
+             arities
+         end);
         incr i
       done;
       (* single-instruction specializations *)
       Array.iter
         (fun it ->
-          if it.live && List.length it.insts = 1 then begin
-            let cur = item_pat_bytes entries it in
-            let best = ref None in
-            List.iter
-              (fun (id, p) ->
-                if Pat.matches p it.insts then begin
-                  let bytes = Pat.encoded_bytes p in
-                  if
-                    bytes < cur
-                    && (match !best with Some (_, bb) -> bytes < bb | None -> true)
-                  then best := Some (id, bytes)
-                end)
-              single;
-            match !best with Some (id, _) -> it.pat <- id | None -> ()
-          end)
+          if it.live && List.length it.insts = 1 then
+            match index_find index (insts_head_key it.insts) 1 with
+            | [] -> ()
+            | bucket -> (
+              let cur = item_pat_bytes entries it in
+              match best_match bucket it.insts cur with
+              | Some (id, _) -> it.pat <- id
+              | None -> ()))
         cf.items)
     funcs;
   {
@@ -367,6 +601,8 @@ let apply_dictionary (t : t) (vp : Vm.Isa.vprogram) : t =
     globals = vp.Vm.Isa.globals;
     candidates_tested = 0;
     passes = 0;
+    pass_stats = [];
+    scan_domains = 1;
   }
 
 (* ---- sizes ---- *)
@@ -387,6 +623,15 @@ let dictionary_bytes t =
     (fun i p -> if i >= t.base_count then total := !total + Pat.dict_entry_bytes p)
     t.entries;
   !total
+
+let total_scan_s t = List.fold_left (fun a s -> a +. s.ps_scan_s) 0.0 t.pass_stats
+let total_rank_s t = List.fold_left (fun a s -> a +. s.ps_rank_s) 0.0 t.pass_stats
+
+let total_rewrite_s t =
+  List.fold_left (fun a s -> a +. s.ps_rewrite_s) 0.0 t.pass_stats
+
+let total_items_scanned t =
+  List.fold_left (fun a s -> a + s.ps_items_scanned) 0 t.pass_stats
 
 let stats_to_string t =
   Printf.sprintf

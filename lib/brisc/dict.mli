@@ -17,7 +17,20 @@
 
     In abundant-memory mode ([ignore_w]) the benefit is just [P], the
     variant the paper mentions for hosts where decompressor table space
-    is free; the ablation bench measures the difference. *)
+    is free; the ablation bench measures the difference.
+
+    The pass loop is incremental: the candidate table persists between
+    passes and only {e dirty} items — those the previous rewrite changed
+    or killed, plus each one's nearest live predecessor (its combination
+    partner) — are rescanned, with their stale savings contributions
+    retracted first. Rewrites go through a (head-opcode, arity) shape
+    index instead of scanning every new entry. Neither changes the
+    output: [~full_scan:true] forces the original rescan-everything
+    behavior and builds a byte-identical dictionary (the corpus
+    equivalence test asserts this), as does fanning the per-function
+    scan across a domain pool ([?pool]). Ties in the benefit heap break
+    lexicographically on {!Pat.key} so selection never depends on
+    hash-table iteration order. *)
 
 type item = {
   mutable pat : int;               (** dictionary index *)
@@ -34,6 +47,20 @@ type compiled_func = {
           [items]; dead items are skipped at emission) *)
 }
 
+(** Per-pass compressor telemetry. *)
+type pass_stat = {
+  ps_pass : int;
+  ps_live_items : int;        (** live items after this pass's rewrite *)
+  ps_items_scanned : int;     (** dirty items rescanned this pass *)
+  ps_contributions : int;     (** candidate savings contributions recorded *)
+  ps_candidate_table : int;   (** candidate table size after the scan *)
+  ps_heap_size : int;         (** positive-benefit candidates ranked *)
+  ps_selected : int;          (** entries adopted (< k ends the loop) *)
+  ps_scan_s : float;          (** wall time: candidate generation + merge *)
+  ps_rank_s : float;          (** wall time: heap build + top-k selection *)
+  ps_rewrite_s : float;       (** wall time: indexed rewrite + dirty sweep *)
+}
+
 type t = {
   entries : Pat.pat array;         (** the dictionary; base entries first *)
   base_count : int;                (** how many are base patterns + epi *)
@@ -41,11 +68,24 @@ type t = {
   globals : (string * int * int list option) list;
   candidates_tested : int;         (** §4.3 reports 93,211 for gcc *)
   passes : int;
+  pass_stats : pass_stat list;     (** oldest pass first *)
+  scan_domains : int;              (** pool lanes the scan fanned across *)
 }
 
 val build :
-  ?k:int -> ?ignore_w:bool -> ?max_passes:int -> Vm.Isa.vprogram -> t
-(** Run the compressor on a VM program. [k] defaults to the paper's 20. *)
+  ?k:int ->
+  ?ignore_w:bool ->
+  ?max_passes:int ->
+  ?full_scan:bool ->
+  ?pool:Support.Pool.t ->
+  Vm.Isa.vprogram ->
+  t
+(** Run the compressor on a VM program. [k] defaults to the paper's 20.
+    [full_scan] (default false) disables incremental candidate
+    maintenance and rescans every item each pass — same output, the
+    original cost. [pool] fans the per-function candidate scan across
+    the pool's domains; results are merged in deterministic (function,
+    item) order, so the dictionary is byte-identical at any pool size. *)
 
 val apply_dictionary : t -> Vm.Isa.vprogram -> t
 (** Re-encode a different program with an already-built dictionary and
@@ -59,6 +99,11 @@ val compressed_code_bytes : t -> int
 
 val dictionary_bytes : t -> int
 (** File cost of the non-base dictionary entries. *)
+
+val total_scan_s : t -> float
+val total_rank_s : t -> float
+val total_rewrite_s : t -> float
+val total_items_scanned : t -> int
 
 val item_bytes : t -> item -> int
 val stats_to_string : t -> string

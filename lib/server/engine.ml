@@ -21,11 +21,12 @@ let default_min_session_cycles = 120_000_000
 
 let default_budget_bytes = 256 * 1024
 
-let create ?(budget_bytes = default_budget_bytes)
+let create ?pool ?(budget_bytes = default_budget_bytes)
     ?(rates = Scenario.Delivery.default_rates)
     ?(min_session_cycles = default_min_session_cycles) () =
   let stats = Stats.create () in
-  { store = Store.create ~budget_bytes ~stats; stats; rates;
+  let pool = match pool with Some p -> p | None -> Support.Pool.shared () in
+  { store = Store.create ~pool ~budget_bytes ~stats (); stats; rates;
     min_session_cycles }
 
 let publish t ?run_cycles ?input p = Store.publish t.store ?run_cycles ?input p

@@ -5,6 +5,7 @@
 type t
 
 val create :
+  ?pool:Support.Pool.t ->
   ?budget_bytes:int ->
   ?rates:Scenario.Delivery.rates ->
   ?min_session_cycles:int ->
@@ -14,7 +15,9 @@ val create :
     [rates] parameterize the delivery-time model. [min_session_cycles]
     (default 120M — one nominal CPU-second) floors a program's modelled
     execution so preparation cost amortizes over a believable session,
-    as in the bench's Table 2. *)
+    as in the bench's Table 2. [pool] (default {!Support.Pool.shared})
+    parallelizes compression on multi-core hosts — see {!Store.create};
+    served bytes and counters are identical at any pool size. *)
 
 val publish : t -> ?run_cycles:int -> ?input:string -> Ir.Tree.program -> string
 (** See {!Store.publish}. *)

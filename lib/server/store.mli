@@ -16,7 +16,16 @@ type meta = {
 
 type t
 
-val create : budget_bytes:int -> stats:Stats.t -> t
+val create : ?pool:Support.Pool.t -> budget_bytes:int -> stats:Stats.t -> unit -> t
+(** [pool] (when its size exceeds 1) parallelizes the expensive paths:
+    {!publish} compresses the representation menu concurrently, the
+    first cache miss on a digest prefetches the missing menu entries
+    concurrently, and BRISC dictionary construction fans its candidate
+    scan across the pool. Compression thunks are pure and all
+    stats/cache mutation is sequential in fixed representation order,
+    so counters, cache contents, and artifact bytes are identical at
+    any pool size. Without a pool (or with a 1-lane pool) behavior is
+    the original serial one. *)
 
 val digest_of_program : Ir.Tree.program -> string
 (** Hex digest of the printed IR — the content address. *)

@@ -1,0 +1,166 @@
+(* Fixed domain pool.
+
+   One shared FIFO of closures guarded by a mutex/condition; workers
+   block on it, and a caller inside [run_list] helps drain it while its
+   own batch is outstanding. The help loop is what makes nested
+   [run_list] on the same pool safe: a worker blocked on an inner batch
+   keeps executing queued tasks (its own inner ones included) instead of
+   sleeping, so there is always a lane making progress. *)
+
+type t = {
+  domains : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable workers : unit Domain.t list;
+  mutable stopped : bool;
+}
+
+let size t = t.domains
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.stopped do
+    Condition.wait t.nonempty t.mutex
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.mutex (* stopped *)
+  else begin
+    let task = Queue.pop t.queue in
+    Mutex.unlock t.mutex;
+    task ();
+    worker_loop t
+  end
+
+let create ~domains =
+  let domains = max 1 domains in
+  let t =
+    {
+      domains;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      workers = [];
+      stopped = false;
+    }
+  in
+  if domains > 1 then begin
+    (* minor collections are stop-the-world barriers across every domain;
+       at the 256k-word default an allocation-heavy scan spends more time
+       synchronizing than working. Raise the minor heap (inherited by the
+       domains spawned below) so barriers amortize; never shrink it. *)
+    let gc = Gc.get () in
+    let want = 4 * 1024 * 1024 in
+    if gc.Gc.minor_heap_size < want then
+      Gc.set { gc with Gc.minor_heap_size = want };
+    t.workers <-
+      List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t))
+  end;
+  t
+
+let shutdown t =
+  let workers =
+    Mutex.lock t.mutex;
+    let ws = t.workers in
+    t.workers <- [];
+    t.stopped <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    ws
+  in
+  List.iter Domain.join workers
+
+let try_pop t =
+  Mutex.lock t.mutex;
+  let task = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+  Mutex.unlock t.mutex;
+  task
+
+let run_list t thunks =
+  let thunks = Array.of_list thunks in
+  let n = Array.length thunks in
+  if n = 0 then []
+  else if t.domains <= 1 || t.stopped || n = 1 then
+    Array.to_list (Array.map (fun f -> f ()) thunks)
+  else begin
+    let results = Array.make n None in
+    (* each batch has its own completion latch; the pool mutex only
+       guards the queue *)
+    let done_mutex = Mutex.create () in
+    let done_cond = Condition.create () in
+    let remaining = ref n in
+    let wrap i () =
+      let r = try Ok (thunks.(i) ()) with e -> Error e in
+      Mutex.lock done_mutex;
+      results.(i) <- Some r;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast done_cond;
+      Mutex.unlock done_mutex
+    in
+    Mutex.lock t.mutex;
+    for i = 1 to n - 1 do
+      Queue.push (wrap i) t.queue
+    done;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    wrap 0 ();
+    (* help: drain whatever is queued (this batch's tasks or a nested
+       batch's) rather than blocking while work is available *)
+    let rec help () =
+      match try_pop t with
+      | Some task ->
+        task ();
+        help ()
+      | None -> ()
+    in
+    help ();
+    Mutex.lock done_mutex;
+    while !remaining > 0 do
+      Condition.wait done_cond done_mutex
+    done;
+    Mutex.unlock done_mutex;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise e
+           | None -> assert false)
+         results)
+  end
+
+let map t f xs = run_list t (List.map (fun x () -> f x) xs)
+
+(* ---- shared process-wide pool ---- *)
+
+let shared_pool : t option ref = ref None
+let shared_override : int option ref = ref None
+let exit_hooked = ref false
+
+let default_shared_domains () =
+  match !shared_override with
+  | Some n -> max 1 n
+  | None -> min 8 (Domain.recommended_domain_count ())
+
+let shared () =
+  match !shared_pool with
+  | Some p -> p
+  | None ->
+    let p = create ~domains:(default_shared_domains ()) in
+    shared_pool := Some p;
+    if not !exit_hooked then begin
+      exit_hooked := true;
+      at_exit (fun () ->
+          match !shared_pool with
+          | Some p ->
+            shared_pool := None;
+            shutdown p
+          | None -> ())
+    end;
+    p
+
+let set_shared_domains n =
+  shared_override := Some n;
+  match !shared_pool with
+  | Some p ->
+    shared_pool := None;
+    shutdown p
+  | None -> ()

@@ -1,0 +1,43 @@
+(** Fixed pool of OCaml 5 domains for fork/join fan-out.
+
+    A pool owns [size - 1] worker domains blocked on a shared task
+    queue; the caller of {!run_list} participates as the remaining
+    lane, so a pool of size [n] runs at most [n] tasks concurrently.
+    Waiting callers help drain the queue, which makes nested
+    {!run_list} calls on the same pool (e.g. the server's menu fan-out
+    spawning a parallel dictionary build) deadlock-free.
+
+    Pools only schedule; determinism is the submitter's job. All users
+    in this repo fan out pure computations and merge results in task
+    order, so parallel and sequential runs are byte-identical. *)
+
+type t
+
+val create : domains:int -> t
+(** A pool running up to [domains] tasks concurrently ([domains - 1]
+    spawned workers plus the calling domain). [domains <= 1] creates a
+    pool that runs everything sequentially in the caller. *)
+
+val size : t -> int
+(** The concurrency bound the pool was created with (>= 1). *)
+
+val run_list : t -> (unit -> 'a) list -> 'a list
+(** Run the thunks to completion, possibly concurrently, and return
+    their results in input order. The first exception (in task order)
+    is re-raised after all tasks settle. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f xs] is [run_list t (List.map (fun x () -> f x) xs)]. *)
+
+val shutdown : t -> unit
+(** Join the worker domains. Idempotent; the pool degrades to
+    sequential execution afterwards. *)
+
+val shared : unit -> t
+(** A process-wide pool, created on first use with
+    [min 8 (Domain.recommended_domain_count ())] lanes (overridable by
+    {!set_shared_domains}) and joined automatically at exit. *)
+
+val set_shared_domains : int -> unit
+(** Resize the shared pool (shuts the old one down; the next {!shared}
+    call creates the replacement). The knob behind [--domains]. *)

@@ -222,6 +222,48 @@ let test_k_parameter () =
   Alcotest.(check bool) "k5 valid" true (Array.length k5.Brisc.Dict.entries > 0);
   Alcotest.(check bool) "k40 valid" true (Array.length k40.Brisc.Dict.entries > 0)
 
+let test_build_modes_identical () =
+  (* the full-scan (original) build is the reference; incremental
+     candidate maintenance and the parallel scan at several pool sizes
+     must reproduce it byte for byte on corpus programs *)
+  let programs =
+    [ ("strlib", compile Corpus.Programs.strlib.Corpus.Programs.source);
+      ( "gen-small",
+        compile (Corpus.Gen.generate Corpus.Gen.small).Corpus.Programs.source )
+    ]
+  in
+  List.iter
+    (fun (label, vp) ->
+      let baseline = Brisc.Dict.build ~full_scan:true vp in
+      let base_keys = Array.map Brisc.Pat.key baseline.Brisc.Dict.entries in
+      let base_bytes = Brisc.to_bytes (Brisc.compress ~full_scan:true vp) in
+      let check_mode mode (d : Brisc.Dict.t) bytes =
+        let name = label ^ " " ^ mode in
+        Alcotest.(check (array string))
+          (name ^ ": same dictionary") base_keys
+          (Array.map Brisc.Pat.key d.Brisc.Dict.entries);
+        Alcotest.(check int)
+          (name ^ ": same candidates tested")
+          baseline.Brisc.Dict.candidates_tested d.Brisc.Dict.candidates_tested;
+        Alcotest.(check int)
+          (name ^ ": same compressed code size")
+          (Brisc.Dict.compressed_code_bytes baseline)
+          (Brisc.Dict.compressed_code_bytes d);
+        Alcotest.(check bool)
+          (name ^ ": byte-identical image") true (bytes = base_bytes)
+      in
+      check_mode "incremental" (Brisc.Dict.build vp)
+        (Brisc.to_bytes (Brisc.compress vp));
+      List.iter
+        (fun domains ->
+          let pool = Support.Pool.create ~domains in
+          let d = Brisc.Dict.build ~pool vp in
+          let bytes = Brisc.to_bytes (Brisc.compress ~pool vp) in
+          Support.Pool.shutdown pool;
+          check_mode (Printf.sprintf "parallel-%d" domains) d bytes)
+        [ 1; 2; 4 ])
+    programs
+
 (* ---- container / decompression ---- *)
 
 let test_image_roundtrip_bytes () =
@@ -436,6 +478,8 @@ let () =
           Alcotest.test_case "abundant memory mode" `Slow
             test_ignore_w_compresses_harder;
           Alcotest.test_case "k parameter" `Slow test_k_parameter;
+          Alcotest.test_case "build modes byte-identical" `Slow
+            test_build_modes_identical;
         ] );
       ("decompress", decompress_cases);
       ( "container",

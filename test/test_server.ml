@@ -167,6 +167,36 @@ let test_fetch_unknown_digest () =
   | exception Not_found -> ()
   | _ -> Alcotest.fail "unknown digest must raise Not_found"
 
+let test_parallel_pool_equivalence () =
+  (* a parallel compression pool must not change anything observable:
+     same digest, same artifact bytes for every representation — both
+     with a budget that holds the menu (publish fan-out) and with one
+     that evicts (miss-path prefetch + sequential fallback) *)
+  let ir = prog multi_fn_src in
+  List.iter
+    (fun budget_bytes ->
+      let seq = Server.create ~budget_bytes () in
+      let pool = Support.Pool.create ~domains:3 in
+      let par = Server.create ~pool ~budget_bytes () in
+      let d1 = Server.publish seq ~run_cycles:1_000_000 ir in
+      let d2 = Server.publish par ~run_cycles:1_000_000 ir in
+      Alcotest.(check string) "same digest" d1 d2;
+      (* two rounds: the first parallel miss prefetches the whole menu,
+         the second exercises the per-representation path *)
+      for _ = 1 to 2 do
+        List.iter
+          (fun r ->
+            let a, _ = Server.Store.materialize (Server.store seq) d1 r in
+            let b, _ = Server.Store.materialize (Server.store par) d2 r in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s identical (budget %d)" (Server.Artifact.name r)
+                 budget_bytes)
+              true (a = b))
+          Server.Artifact.all
+      done;
+      Support.Pool.shutdown pool)
+    [ 256 * 1024; 512 ]
+
 (* ---- chunked sessions: handshake, serving, resume ---- *)
 
 let session_fixture () =
@@ -309,6 +339,8 @@ let () =
           Alcotest.test_case "rematerialize after eviction" `Quick
             test_materialize_after_eviction;
           Alcotest.test_case "unknown digest" `Quick test_fetch_unknown_digest;
+          Alcotest.test_case "parallel pool equivalence" `Quick
+            test_parallel_pool_equivalence;
         ] );
       ( "session",
         [

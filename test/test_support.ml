@@ -103,6 +103,66 @@ let prop_heap_sorts =
       let h = Support.Heap.of_list ~cmp:compare xs in
       Support.Heap.to_sorted_list h = List.sort (fun a b -> compare b a) xs)
 
+(* with duplicate priorities and a tie-breaking key in the comparison
+   (the shape Dict.build's benefit heap uses), the pop sequence is the
+   full sorted order, independent of insertion order *)
+let prop_heap_duplicate_priorities =
+  QCheck.Test.make ~name:"heap pop order with duplicate priorities" ~count:200
+    QCheck.(list (pair (int_bound 4) (int_bound 50)))
+    (fun xs ->
+      let cmp (p1, k1) (p2, k2) =
+        if (p1 : int) <> p2 then compare p1 p2 else compare (k2 : int) k1
+      in
+      let drained l = Support.Heap.to_sorted_list (Support.Heap.of_list ~cmp l) in
+      let expected = List.sort (fun a b -> cmp b a) xs in
+      drained xs = expected && drained (List.rev xs) = expected)
+
+(* ---- Pool ---- *)
+
+let test_pool_in_order () =
+  let p = Support.Pool.create ~domains:4 in
+  let r = Support.Pool.run_list p (List.init 50 (fun i () -> i * i)) in
+  Support.Pool.shutdown p;
+  Alcotest.(check (list int)) "results in input order"
+    (List.init 50 (fun i -> i * i))
+    r
+
+let test_pool_nested () =
+  (* a task that itself fans out on the same pool must not deadlock *)
+  let p = Support.Pool.create ~domains:2 in
+  let expected =
+    List.init 4 (fun i ->
+        List.fold_left ( + ) 0 (List.init 5 (fun j -> (i * 5) + j)))
+  in
+  let r =
+    Support.Pool.run_list p
+      (List.init 4 (fun i () ->
+           List.fold_left ( + ) 0
+             (Support.Pool.run_list p
+                (List.init 5 (fun j () -> (i * 5) + j)))))
+  in
+  Support.Pool.shutdown p;
+  Alcotest.(check (list int)) "nested sums" expected r
+
+let test_pool_exception () =
+  let p = Support.Pool.create ~domains:3 in
+  Alcotest.check_raises "first error re-raised" (Failure "boom") (fun () ->
+      ignore
+        (Support.Pool.run_list p
+           [ (fun () -> 1); (fun () -> failwith "boom"); (fun () -> 3) ]));
+  Alcotest.(check (list int)) "pool survives a failing batch" [ 1; 2 ]
+    (Support.Pool.run_list p [ (fun () -> 1); (fun () -> 2) ]);
+  Support.Pool.shutdown p
+
+let test_pool_sequential_degrade () =
+  let p = Support.Pool.create ~domains:1 in
+  Alcotest.(check int) "size floor" 1 (Support.Pool.size p);
+  Alcotest.(check (list int)) "map" [ 0; 2; 4 ]
+    (Support.Pool.map p (fun x -> 2 * x) [ 0; 1; 2 ]);
+  Support.Pool.shutdown p;
+  Alcotest.(check (list int)) "runs sequentially after shutdown" [ 5 ]
+    (Support.Pool.run_list p [ (fun () -> 5) ])
+
 (* ---- Prng ---- *)
 
 let test_prng_deterministic () =
@@ -229,6 +289,15 @@ let () =
           Alcotest.test_case "empty" `Quick test_heap_empty;
           Alcotest.test_case "peek" `Quick test_heap_peek;
           qcheck prop_heap_sorts;
+          qcheck prop_heap_duplicate_priorities;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "results in order" `Quick test_pool_in_order;
+          Alcotest.test_case "nested fan-out" `Quick test_pool_nested;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+          Alcotest.test_case "sequential degrade" `Quick
+            test_pool_sequential_degrade;
         ] );
       ( "prng",
         [
