@@ -1,14 +1,26 @@
-.PHONY: all check test bench bench-quick clean
+.PHONY: all check test fuzz fuzz-quick bench bench-json bench-quick clean
 
 all:
 	dune build
 
-# the tier-1 gate: everything must compile and the test suite must pass
-check:
+# the tier-1 gate: everything must compile and the test suite must pass.
+# fuzz-quick runs first as a fast fail-early pass over every decoder;
+# the suite itself (one `dune runtest`) then includes the full
+# 10k-iteration fuzz layer and the differential tests
+check: fuzz-quick
 	dune build && dune runtest
 
 test:
 	dune runtest
+
+# bounded-seed fuzz pass (~12s): 1500 mutations per untrusted-input
+# decoder, same seeds every run
+fuzz-quick:
+	FUZZ_ITERS=1500 dune exec test/test_fuzz.exe
+
+# full fuzz pass: FUZZ_ITERS mutations per decoder (default 10000)
+fuzz:
+	dune exec test/test_fuzz.exe
 
 bench:
 	dune exec bench/main.exe -- --quick --no-bechamel

@@ -13,7 +13,12 @@ let read_file path =
   s
 
 let main file dict_only funcs_only markov_only =
-  let img = Brisc.of_bytes (read_file file) in
+  match Brisc.of_bytes (read_file file) with
+  | Error e ->
+    Printf.eprintf "briscdump: %s: %s\n" file
+      (Support.Decode_error.to_string e);
+    1
+  | Ok img ->
   let all = not (dict_only || funcs_only || markov_only) in
   let entries = img.Brisc.Emit.entries in
   if all || dict_only then begin

@@ -13,13 +13,24 @@ let read_file path =
   s
 
 let main file jit decompress input_file =
-  let img = Brisc.of_bytes (read_file file) in
+  match Brisc.of_bytes (read_file file) with
+  | Error e ->
+    Printf.eprintf "briscrun: %s: %s\n" file
+      (Support.Decode_error.to_string e);
+    1
+  | Ok img ->
   let input =
     match input_file with None -> "" | Some f -> read_file f
   in
   if decompress then begin
-    print_string (Vm.Isa.program_to_string (Brisc.Decomp.decompress img));
-    0
+    match Brisc.Decomp.decompress img with
+    | Ok vp ->
+      print_string (Vm.Isa.program_to_string vp);
+      0
+    | Error e ->
+      Printf.eprintf "briscrun: %s: %s\n" file
+        (Support.Decode_error.to_string e);
+      1
   end
   else if jit then begin
     let np, produced = Brisc.Jit.compile_with_stats img in

@@ -20,7 +20,8 @@
 let usage () =
   prerr_endline
     "usage: mccd [--requests N] [--seed N] [--budget BYTES] [--drop PCT]\n\
-    \            [--quick] [--script FILE] [--no-check] [--domains N]";
+    \            [--faults N] [--quick] [--script FILE] [--no-check]\n\
+    \            [--domains N]";
   exit 2
 
 let () =
@@ -28,6 +29,7 @@ let () =
   let seed = ref 42 in
   let budget = ref (256 * 1024) in
   let drop = ref 10 in
+  let faults = ref 0 in
   let quick = ref false in
   let script = ref None in
   let check = ref true in
@@ -44,6 +46,9 @@ let () =
       parse rest
     | "--drop" :: v :: rest ->
       drop := int_of_string v;
+      parse rest
+    | "--faults" :: v :: rest ->
+      faults := int_of_string v;
       parse rest
     | "--quick" :: rest ->
       quick := true;
@@ -157,6 +162,29 @@ let () =
       check := false;
       (rep, Hashtbl.fold (fun k () acc -> k :: acc) reprs [])
     | None ->
+      if !faults > 0 then begin
+        (* pre-materialize artifacts and corrupt their cached bytes; the
+           workload's fetches then exercise quarantine + degradation *)
+        let rng = Support.Prng.create (Int64.of_int (!seed lxor 0x5EED)) in
+        let entries = Array.of_list catalog in
+        let reprs =
+          Array.of_list
+            (List.filter (( <> ) Server.Artifact.Native) Server.Artifact.all)
+        in
+        let store = Server.store engine in
+        for i = 0 to !faults - 1 do
+          let e = entries.(i mod Array.length entries) in
+          let repr = reprs.(i mod Array.length reprs) in
+          let digest = e.Server.Workload.digest in
+          ignore (Server.Store.materialize store digest repr);
+          ignore
+            (Server.Store.corrupt_cached store digest repr
+               ~f:(Support.Fault.mutate rng))
+        done;
+        Printf.printf "mccd: injected %d cache faults (%s)\n%!" !faults
+          (String.concat ", "
+             (List.map Server.Artifact.name (Array.to_list reprs)))
+      end;
       let config =
         { Server.Workload.requests = !requests; seed = Int64.of_int !seed;
           drop_pct = !drop }
@@ -181,6 +209,13 @@ let () =
       (Printf.sprintf "%d distinct representations selected (%s)"
          (List.length distinct_reprs)
          (String.concat ", " distinct_reprs));
+    if !faults > 0 then
+      check_line
+        (rep.Server.Stats.decode_failures >= 1)
+        (Printf.sprintf
+           "%d injected faults detected, quarantined and degraded (%d \
+            degraded fetches)"
+           rep.Server.Stats.decode_failures rep.Server.Stats.degraded_fetches);
     if rep.Server.Stats.sessions_opened > 0 then
       check_line
         (rep.Server.Stats.session_bytes < rep.Server.Stats.session_wire_equiv)

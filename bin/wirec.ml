@@ -37,9 +37,13 @@ let do_compress file out stats no_mtf no_split =
   0
 
 let do_decompress file =
-  let ir = Wire.decompress (read_file file) in
-  print_string (Ir.Printer.program_to_string ir);
-  0
+  match Wire.decompress (read_file file) with
+  | Ok ir ->
+    print_string (Ir.Printer.program_to_string ir);
+    0
+  | Error e ->
+    Printf.eprintf "wirec: %s: %s\n" file (Support.Decode_error.to_string e);
+    1
 
 open Cmdliner
 

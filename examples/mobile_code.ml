@@ -60,13 +60,13 @@ let () =
 
   (* --- client side, for real --- *)
   print_endline "\nclient A (modem): fetches the wire format, decompresses, JITs";
-  let ir_back = Wire.decompress wire_img in
+  let ir_back = Wire.decompress_exn wire_img in
   let vp_back = Vm.Codegen.gen_program ir_back in
   let np_a = Native.Compile.compile_program vp_back in
   let ra = Native.Sim.run np_a in
 
   print_endline "client B (LAN): fetches BRISC, JITs directly from the container";
-  let img_b = Brisc.of_bytes brisc_img in
+  let img_b = Brisc.of_bytes_exn brisc_img in
   let np_b, produced = Brisc.Jit.compile_with_stats img_b in
   Printf.printf "  JIT produced %s of native code\n" (Support.Util.human_bytes produced);
   let rb = Native.Sim.run np_b in

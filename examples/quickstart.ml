@@ -36,7 +36,7 @@ let () =
   let wire = Wire.compress ir in
   Printf.printf "wire: %d bytes; decompressing reproduces the IR exactly: %b\n"
     (String.length wire)
-    (Ir.Tree.equal_program ir (Wire.decompress wire));
+    (Ir.Tree.equal_program ir (Wire.decompress_exn wire));
 
   print_endline "\n== 4. BRISC (interpretable in place) ==";
   let img = Brisc.compress vp in
@@ -55,7 +55,12 @@ let () =
   Printf.printf "native simulator:   %s (exit %d, %d cycles)\n"
     (String.trim r_nat.Native.Sim.output) r_nat.Native.Sim.exit_code
     r_nat.Native.Sim.cycles;
-  let img2 = Brisc.of_bytes bytes in
+  (* a real client decodes defensively: corrupt bytes are a typed error *)
+  let img2 =
+    match Brisc.of_bytes bytes with
+    | Ok img -> img
+    | Error e -> failwith (Support.Decode_error.to_string e)
+  in
   let r_brisc = Brisc.Interp.run img2 in
   Printf.printf "BRISC in place:     %s (exit %d, %d dispatches)\n"
     (String.trim r_brisc.Brisc.Interp.output) r_brisc.Brisc.Interp.exit_code

@@ -27,6 +27,7 @@ let compress_with (img : Emit.image) vp =
 
 let to_bytes = Emit.to_bytes
 let of_bytes = Emit.of_bytes
+let of_bytes_exn = Emit.of_bytes_exn
 
 type build_telemetry = {
   scan_s : float;

@@ -6,7 +6,11 @@
       let vm    = Vm.Codegen.gen_program ir in
       let image = Brisc.compress vm in
       let bytes = Brisc.to_bytes image in           (* ship this *)
-      let image = Brisc.of_bytes bytes in           (* client side *)
+      let image =                                    (* client side *)
+        match Brisc.of_bytes bytes with
+        | Ok img -> img
+        | Error e -> handle (Support.Decode_error.to_string e)
+      in
       let r1    = Brisc.Interp.run image in         (* interpret in place *)
       let nat   = Brisc.Jit.compile image in        (* or JIT *)
       let r2    = Native.Sim.run nat in
@@ -37,7 +41,13 @@ val compress_with : Emit.image -> Vm.Isa.vprogram -> Emit.image
     example. The Markov tables are rebuilt for the new program. *)
 
 val to_bytes : Emit.image -> string
-val of_bytes : string -> Emit.image
+
+val of_bytes : string -> (Emit.image, Support.Decode_error.t) result
+(** Total container decode; see {!Emit.of_bytes}. *)
+
+val of_bytes_exn : string -> Emit.image
+(** As {!of_bytes} but raises {!Support.Decode_error.Fail}; for trusted
+    inputs. *)
 
 (** Compressor-side timing and work counters, summed over passes (the
     per-pass breakdown is in [pass_stats]). *)

@@ -1,4 +1,4 @@
-let decompress (img : Emit.image) : Vm.Isa.vprogram =
+let decompress_exn (img : Emit.image) : Vm.Isa.vprogram =
   let funcs =
     Array.to_list
       (Array.mapi
@@ -28,6 +28,13 @@ let decompress (img : Emit.image) : Vm.Isa.vprogram =
              emit_labels_at !pos;
              let ctx = Emit.context_at img ~fidx ~prev:!prev !pos in
              let d = Emit.decode_at img ~fidx ~ctx !pos in
+             (* fuel: a decode that consumes no bytes can only come from
+                a corrupt image and would loop here forever *)
+             if d.Emit.next <= !pos then
+               Support.Decode_error.fail ~decoder:"brisc-decomp"
+                 ~kind:Support.Decode_error.Limit ~pos:!pos
+                 (Printf.sprintf "no progress decoding %s at byte %d"
+                    f.Emit.if_name !pos);
              List.iter (fun i -> out := i :: !out) d.Emit.instrs;
              prev := Some d.Emit.entry;
              pos := d.Emit.next
@@ -37,6 +44,10 @@ let decompress (img : Emit.image) : Vm.Isa.vprogram =
          img.Emit.ifuncs)
   in
   { Vm.Isa.globals = img.Emit.globals; funcs }
+
+let decompress img =
+  Support.Decode_error.guard ~decoder:"brisc-decomp" (fun () ->
+      decompress_exn img)
 
 let normalize_labels (p : Vm.Isa.vprogram) : Vm.Isa.vprogram =
   let funcs =

@@ -8,7 +8,15 @@
     program that was compressed; up to label renaming it is structurally
     identical, which the test suite checks via {!normalize_labels}. *)
 
-val decompress : Emit.image -> Vm.Isa.vprogram
+val decompress :
+  Emit.image -> (Vm.Isa.vprogram, Support.Decode_error.t) result
+(** Total over arbitrary (possibly hand-corrupted) images: bad Markov
+    codes, truncated streams and zero-progress decodes yield typed
+    errors instead of raising or looping. *)
+
+val decompress_exn : Emit.image -> Vm.Isa.vprogram
+(** As {!decompress} but raises {!Support.Decode_error.Fail}; for
+    trusted images. *)
 
 val normalize_labels : Vm.Isa.vprogram -> Vm.Isa.vprogram
 (** Rename every function's labels to [L0], [L1], ... in definition

@@ -45,6 +45,10 @@ type nibble_reader = { src : string; mutable npos : int (* nibble index *) }
 let nr_create src pos = { src; npos = pos * 2 }
 
 let nr_next r =
+  if r.npos / 2 >= String.length r.src then
+    Support.Decode_error.fail ~decoder:"brisc"
+      ~kind:Support.Decode_error.Truncated ~pos:(r.npos / 2)
+      "nibble stream runs past end of input";
   let b = Char.code r.src.[r.npos / 2] in
   let n = if r.npos land 1 = 0 then b lsr 4 else b land 0xf in
   r.npos <- r.npos + 1;
@@ -268,7 +272,10 @@ let slotw_of_code = function
   | 6 -> Pat.LAB16
   | 7 -> Pat.SYM8
   | 8 -> Pat.SYM16
-  | _ -> failwith "Emit: bad slot width code"
+  | c ->
+    Support.Decode_error.fail ~decoder:"brisc"
+      ~kind:Support.Decode_error.Bad_value
+      (Printf.sprintf "bad slot width code %d" c)
 
 (* Dictionary entry serialization, compact (the entries dominate header
    size on small programs): per part a shape byte and a fixed/wild mask
@@ -310,15 +317,27 @@ let write_pat buf (p : Pat.pat) =
     p.Pat.parts
 
 let read_pat s pos : Pat.pat =
+  let bfail kind msg =
+    Support.Decode_error.fail ~decoder:"brisc" ~kind ~pos:!pos msg
+  in
+  let byte what =
+    if !pos >= String.length s then
+      bfail Support.Decode_error.Truncated ("truncated " ^ what);
+    let b = Char.code s.[!pos] in
+    incr pos;
+    b
+  in
   let nparts = Support.Util.read_uleb128 s pos in
+  (* a part costs at least its shape and mask bytes *)
+  if nparts < 0 || nparts * 2 > String.length s - !pos then
+    bfail Support.Decode_error.Limit
+      (Printf.sprintf "pattern part count %d exceeds remaining input" nparts);
   let parts =
     List.init nparts (fun _ ->
-        let shape = Char.code s.[!pos] in
-        incr pos;
+        let shape = byte "pattern shape" in
         let templ = Vm.Encode.template_of_code shape in
         let fields = Vm.Encode.fields templ in
-        let mask = Char.code s.[!pos] in
-        incr pos;
+        let mask = byte "pattern mask" in
         (* nibble section: one nibble per field that is wild or a fixed
            register; count them to find its byte length *)
         let takes_nibble i f =
@@ -355,20 +374,24 @@ let read_pat s pos : Pat.pat =
                       | false, _ -> (
                         match List.nth nibble_slots i with
                         | Some (_, _, n) -> Pat.Wild (slotw_of_code n)
-                        | None -> failwith "Emit: corrupt pattern")
+                        | None -> bfail Support.Decode_error.Inconsistent "corrupt pattern")
                       | true, Vm.Encode.Freg _ -> (
                         match List.nth nibble_slots i with
                         | Some (_, _, n) -> Pat.Fixed (Vm.Encode.Freg n)
-                        | None -> failwith "Emit: corrupt pattern")
+                        | None -> bfail Support.Decode_error.Inconsistent "corrupt pattern")
                       | true, Vm.Encode.Fimm _ ->
                         Pat.Fixed (Vm.Encode.Fimm (Support.Util.read_sleb s pos))
                       | true, Vm.Encode.Fsym _ ->
                         let n = Support.Util.read_uleb128 s pos in
+                        if n < 0 || !pos + n > String.length s then
+                          bfail Support.Decode_error.Truncated
+                            "truncated symbol in dictionary entry";
                         let str = String.sub s !pos n in
                         pos := !pos + n;
                         Pat.Fixed (Vm.Encode.Fsym str)
                       | true, Vm.Encode.Flab _ ->
-                        failwith "Emit: fixed label in dictionary"
+                        bfail Support.Decode_error.Bad_value
+                          "fixed label in dictionary"
                     in
                     (i + 1, slot :: acc))
                   (0, []) fields))
@@ -417,30 +440,56 @@ let to_bytes (img : image) : string =
     img.ifuncs;
   Buffer.contents buf
 
-let of_bytes (s : string) : image =
+let of_bytes_exn (s : string) : image =
   let pos = ref 0 in
+  let fail kind msg =
+    Support.Decode_error.fail ~decoder:"brisc" ~kind ~pos:!pos msg
+  in
+  (* every counted element costs at least one input byte; validate before
+     any proportional allocation *)
+  let check_count n what =
+    if n < 0 || n > String.length s - !pos then
+      fail Support.Decode_error.Limit
+        (Printf.sprintf "%s count %d exceeds remaining %d bytes" what n
+           (String.length s - !pos))
+  in
   let u () = Support.Util.read_uleb128 s pos in
   let str () =
     let n = u () in
+    if n < 0 || !pos + n > String.length s then
+      fail Support.Decode_error.Truncated "truncated string";
     let r = String.sub s !pos n in
     pos := !pos + n;
     r
   in
   let byte () =
+    if !pos >= String.length s then
+      fail Support.Decode_error.Truncated "truncated input";
     let b = Char.code s.[!pos] in
     incr pos;
     b
   in
-  if String.sub s 0 4 <> magic then failwith "Emit: bad magic";
+  if String.length s < 4 || String.sub s 0 4 <> magic then
+    fail Support.Decode_error.Bad_magic "bad magic";
   pos := 4;
   let nsym = u () in
+  check_count nsym "symbol";
   let symbols = Array.init nsym (fun _ -> str ()) in
+  let sym () =
+    let i = u () in
+    if i < 0 || i >= nsym then
+      fail Support.Decode_error.Bad_value
+        (Printf.sprintf "symbol index %d outside table of %d" i nsym);
+    symbols.(i)
+  in
   let nglob = u () in
+  check_count nglob "global";
   let globals =
     List.init nglob (fun _ ->
-        let n = symbols.(u ()) in
+        let n = sym () in
         let sz = u () in
         let initlen = u () in
+        if initlen > 0 then check_count (initlen - 1) "global initializer";
         let init =
           if initlen = 0 then None
           else Some (List.init (initlen - 1) (fun _ -> byte ()))
@@ -448,19 +497,30 @@ let of_bytes (s : string) : image =
         (n, sz, init))
   in
   let nentries = u () in
+  check_count nentries "dictionary entry";
   let base_count = u () in
+  if base_count < 0 || base_count > nentries then
+    fail Support.Decode_error.Inconsistent
+      (Printf.sprintf "base count %d exceeds %d entries" base_count nentries);
   let entries = Array.init nentries (fun _ -> read_pat s pos) in
   let markov = Markov.read s pos in
   let nfuncs = u () in
+  check_count nfuncs "function";
   let ifuncs =
     Array.init nfuncs (fun _ ->
-        let if_name = symbols.(u ()) in
+        let if_name = sym () in
         let nlabels = u () in
+        check_count nlabels "label";
         let label_offsets = Array.init nlabels (fun _ -> u ()) in
         let code = str () in
         { if_name; label_offsets; code })
   in
+  if !pos <> String.length s then
+    fail Support.Decode_error.Inconsistent "trailing bytes after container";
   { entries; base_count; markov; symbols; globals; ifuncs }
+
+let of_bytes s =
+  Support.Decode_error.guard ~decoder:"brisc" (fun () -> of_bytes_exn s)
 
 let code_size img =
   Array.fold_left (fun a f -> a + String.length f.code) 0 img.ifuncs
@@ -475,7 +535,13 @@ type decoded = { entry : int; instrs : Vm.Isa.instr list; next : int }
 let resolve_name img f =
   match f with
   | Vm.Encode.Fsym s when String.length s > 4 && String.sub s 0 4 = "SYM#" ->
-    Vm.Encode.Fsym img.symbols.(int_of_string (String.sub s 4 (String.length s - 4)))
+    let i = int_of_string (String.sub s 4 (String.length s - 4)) in
+    if i < 0 || i >= Array.length img.symbols then
+      Support.Decode_error.fail ~decoder:"brisc"
+        ~kind:Support.Decode_error.Bad_value
+        (Printf.sprintf "symbol operand %d outside table of %d" i
+           (Array.length img.symbols));
+    Vm.Encode.Fsym img.symbols.(i)
   | Vm.Encode.Flab l when String.length l > 4 && String.sub l 0 4 = "LBL#" ->
     Vm.Encode.Flab ("L" ^ String.sub l 4 (String.length l - 4))
   | f -> f
@@ -484,11 +550,20 @@ let decode_at img ~fidx ~ctx off =
   let f = img.ifuncs.(fidx) in
   let pos = ref off in
   let next_byte () =
+    if !pos < 0 || !pos >= String.length f.code then
+      Support.Decode_error.fail ~decoder:"brisc"
+        ~kind:Support.Decode_error.Truncated ~pos:!pos
+        "code stream runs past end of function";
     let b = Char.code f.code.[!pos] in
     incr pos;
     b
   in
   let entry = Markov.entry_of img.markov ~ctx next_byte in
+  if entry < 0 || entry >= Array.length img.entries then
+    Support.Decode_error.fail ~decoder:"brisc"
+      ~kind:Support.Decode_error.Bad_value ~pos:off
+      (Printf.sprintf "entry %d outside dictionary of %d" entry
+         (Array.length img.entries));
   let p = img.entries.(entry) in
   let widths = wild_widths p in
   let nr = nr_create f.code !pos in

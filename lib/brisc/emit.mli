@@ -34,8 +34,14 @@ val of_dict : Dict.t -> image
     code bytes (documented container limits). *)
 
 val to_bytes : image -> string
-val of_bytes : string -> image
-(** @raise Failure on corrupt input. *)
+
+val of_bytes : string -> (image, Support.Decode_error.t) result
+(** Total inverse of {!to_bytes}: every count and symbol index is
+    validated before allocation, and trailing bytes are rejected. *)
+
+val of_bytes_exn : string -> image
+(** As {!of_bytes} but raises {!Support.Decode_error.Fail}; for trusted
+    inputs. *)
 
 val code_size : image -> int
 (** Bytes of instruction streams only. *)
@@ -58,7 +64,11 @@ type decoded = {
 val decode_at : image -> fidx:int -> ctx:int -> int -> decoded
 (** Decode the instruction at a byte offset under a Markov context.
     Label operands come back as ["L<id>"] names; symbol operands as
-    their names. *)
+    their names.
+    @raise Support.Decode_error.Fail on a corrupt image (bad Markov
+    code, out-of-range dictionary entry or symbol, truncated stream);
+    callers decoding untrusted images run under
+    {!Support.Decode_error.guard}. *)
 
 val context_at : image -> fidx:int -> prev:int option -> int -> int
 (** The Markov context in force at a byte offset: the block-start

@@ -46,10 +46,16 @@ let entry_of t ~ctx next_byte =
     if b = 255 then go (acc + 255) else acc + b
   in
   let code = go 0 in
+  if ctx < 0 || ctx >= Array.length t.succ then
+    Support.Decode_error.fail ~decoder:"brisc"
+      ~kind:Support.Decode_error.Bad_value
+      (Printf.sprintf "Markov context %d outside table of %d" ctx
+         (Array.length t.succ));
   let arr = t.succ.(ctx) in
   if code >= Array.length arr then
-    failwith
-      (Printf.sprintf "Markov: bad code %d in context %d (%d successors)" code
+    Support.Decode_error.fail ~decoder:"brisc"
+      ~kind:Support.Decode_error.Bad_value
+      (Printf.sprintf "bad Markov code %d in context %d (%d successors)" code
          ctx (Array.length arr));
   arr.(code)
 
@@ -70,10 +76,22 @@ let write buf t =
     t.succ
 
 let read s pos =
+  (* every context row and every successor costs at least one byte, so a
+     count beyond the remaining input is corrupt — checked before the
+     proportional Array.init *)
+  let check_count n what =
+    if n < 0 || n > String.length s - !pos then
+      Support.Decode_error.fail ~decoder:"brisc"
+        ~kind:Support.Decode_error.Limit ~pos:!pos
+        (Printf.sprintf "Markov %s count %d exceeds remaining %d bytes" what n
+           (String.length s - !pos))
+  in
   let n = Support.Util.read_uleb128 s pos in
+  check_count n "context";
   let succ =
     Array.init n (fun _ ->
         let k = Support.Util.read_uleb128 s pos in
+        check_count k "successor";
         let prev = ref 0 in
         Array.init k (fun _ ->
             let e = !prev + Support.Util.read_uleb128 s pos in

@@ -97,6 +97,18 @@ let add (t : t) key value =
 
 let mem (t : t) key = Hashtbl.mem t.tbl key
 
+(* quarantine path: dropping a poisoned artifact is not an eviction —
+   evictions measure budget pressure, not hostile input *)
+let remove (t : t) key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some e -> remove_entry t e
+  | None -> ()
+
+let peek (t : t) key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some e -> Some e.value
+  | None -> None
+
 let stats (t : t) =
   {
     hits = t.hits;

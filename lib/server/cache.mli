@@ -20,6 +20,15 @@ val add : t -> string -> string -> unit
 val mem : t -> string -> bool
 (** Presence test without touching recency or counters. *)
 
+val remove : t -> string -> unit
+(** Drop an entry (no-op when absent). Used to quarantine artifacts
+    that failed verification; not counted as an eviction. *)
+
+val peek : t -> string -> string option
+(** Lookup without touching recency or hit/miss counters — for fault
+    injection and inspection, so instrumentation stays invisible to the
+    cache statistics. *)
+
 type stats = {
   hits : int;
   misses : int;

@@ -42,6 +42,7 @@ type response = {
   size : int;
   cache_hit : bool;
   outcome : Scenario.Delivery.outcome;
+  degraded_from : Scenario.Delivery.representation option;
 }
 
 let session_cycles t (m : Store.meta) =
@@ -57,14 +58,62 @@ let outcome_for t digest (profile : Profile.t) repr =
   Scenario.Delivery.total_time ~rates:t.rates m.Store.sizes
     ~run_cycles:(session_cycles t m) ~link_bps:profile.Profile.link_bps repr
 
+(* Verify-on-serve: every artifact with a decoder is run through its
+   total decoder before its bytes leave the server, so a corrupted
+   cache entry becomes a typed failure instead of a client crash. Raw
+   native images have no framing to check. *)
+let verify_artifact repr bytes =
+  match repr with
+  | Artifact.Native -> Ok ()
+  | Artifact.Gzip_native -> Result.map ignore (Zip.Deflate.decompress bytes)
+  | Artifact.Wire -> Result.map ignore (Wire.decompress bytes)
+  | Artifact.Chunked_wire -> Result.map ignore (Wire.Chunked.of_bytes bytes)
+  | Artifact.Brisc -> Result.map ignore (Brisc.of_bytes bytes)
+
 let fetch t digest (profile : Profile.t) =
   Stats.record_request t.stats;
-  let chosen, outcome = select t digest profile in
-  let artifact = Artifact.of_delivery chosen in
-  let bytes, cache_hit = Store.materialize t.store digest artifact in
-  let size = String.length bytes in
-  Stats.record_served t.stats artifact size;
-  { digest; chosen; artifact; bytes; size; cache_hit; outcome }
+  let m = Store.meta t.store digest in
+  let sizes = m.Store.sizes in
+  let run_cycles = session_cycles t m in
+  (* Degradation loop: when the chosen artifact fails verification,
+     quarantine it (the store rebuilds it fresh on the next request)
+     and re-select over the remaining representations — the session
+     degrades to the next-best choice instead of dropping. *)
+  let rec attempt failed first_choice =
+    let cands =
+      List.filter
+        (fun r -> not (List.mem (Artifact.of_delivery r) failed))
+        (Profile.feasible profile sizes)
+    in
+    if cands = [] then
+      failwith
+        (Printf.sprintf "Engine.fetch: no servable representation for %s"
+           digest);
+    let chosen, outcome =
+      Scenario.Delivery.best_of ~rates:t.rates cands sizes ~run_cycles
+        ~link_bps:profile.Profile.link_bps
+    in
+    let artifact = Artifact.of_delivery chosen in
+    let bytes, cache_hit = Store.materialize t.store digest artifact in
+    match verify_artifact artifact bytes with
+    | Ok () ->
+      let size = String.length bytes in
+      Stats.record_served t.stats artifact size;
+      let degraded_from =
+        match first_choice with
+        | Some c when c <> chosen -> Some c
+        | _ -> None
+      in
+      if degraded_from <> None then Stats.record_degraded t.stats;
+      { digest; chosen; artifact; bytes; size; cache_hit; outcome;
+        degraded_from }
+    | Error e ->
+      Stats.record_decode_failure t.stats ~digest artifact e;
+      Store.quarantine t.store digest artifact;
+      attempt (artifact :: failed)
+        (match first_choice with None -> Some chosen | s -> s)
+  in
+  attempt [] None
 
 let open_session t digest =
   Stats.record_request t.stats;

@@ -34,6 +34,10 @@ type response = {
   size : int;
   cache_hit : bool;
   outcome : Scenario.Delivery.outcome;        (** modelled client timing *)
+  degraded_from : Scenario.Delivery.representation option;
+      (** the selector's original choice, when its artifact failed
+          verification and this response fell back to a lower-ranked
+          representation *)
 }
 
 val select :
@@ -49,8 +53,12 @@ val outcome_for :
     bench compares against the adaptive selector. *)
 
 val fetch : t -> string -> Profile.t -> response
-(** One whole-image request: select, materialize (cache-first),
-    account. @raise Not_found for unknown digests. *)
+(** One whole-image request: select, materialize (cache-first), verify
+    the artifact decodes, account. An artifact that fails verification
+    is quarantined (recorded in {!Stats}, rebuilt fresh by the store on
+    its next request) and the fetch degrades to the best remaining
+    representation — see [degraded_from] in the {!response}.
+    @raise Not_found for unknown digests. *)
 
 val open_session : t -> string -> Session.t
 (** Start a streaming chunked session for a paging client. *)

@@ -10,9 +10,13 @@
      client expands with [Wire.decompress];
    - resume: requests carry a sequence number. A client that never saw
      the answer to seq N just asks for N again and the server
-     retransmits the saved response byte-for-byte; only an answered
-     request advances the window. Anything other than the last or the
-     next sequence number is rejected.
+     retransmits the saved response byte-for-byte; only a new answered
+     request advances the window. Retransmits are accepted for ANY
+     previously answered sequence number, not just the last one — a
+     client draining a reorder buffer may repeat an old request after
+     newer ones succeeded, and that must not disturb the session's
+     offset. A request that is neither a faithful repeat nor the next
+     sequence number is rejected.
 
    A paging client therefore materializes exactly the functions it
    calls: the bytes on the wire are the handshake plus the chunks
@@ -24,7 +28,7 @@ type t = {
   image : Wire.Chunked.t;
   stats : Stats.t;
   mutable next_seq : int;
-  mutable last : (int * string * string) option;  (* seq, name, payload *)
+  served : (int, string * string) Hashtbl.t;  (* seq -> name, payload *)
   delivered : (string, unit) Hashtbl.t;
 }
 
@@ -37,10 +41,28 @@ let handshake_bytes image =
   in
   List.fold_left (fun a n -> a + row n) 8 (Wire.Chunked.function_names image)
 
+(* Verify the chunked artifact before trusting it with a session. A
+   corrupt cached image is quarantined and rebuilt fresh from the
+   published IR — one retry heals cache-level damage; a second failure
+   means the source itself can't produce a sane image, so it escapes as
+   the typed decode error. *)
+let chunked_image store stats digest =
+  let decode () =
+    let bytes, _hit = Store.materialize store digest Artifact.Chunked_wire in
+    Wire.Chunked.of_bytes bytes
+  in
+  match decode () with
+  | Ok image -> image
+  | Error e ->
+    Stats.record_decode_failure stats ~digest Artifact.Chunked_wire e;
+    Store.quarantine store digest Artifact.Chunked_wire;
+    (match decode () with
+    | Ok image -> image
+    | Error e -> raise (Support.Decode_error.Fail e))
+
 let open_ store stats digest =
   let m = Store.meta store digest in
-  let bytes, _hit = Store.materialize store digest Artifact.Chunked_wire in
-  let image = Wire.Chunked.of_bytes bytes in
+  let image = chunked_image store stats digest in
   let hs = handshake_bytes image in
   Stats.record_session_opened stats ~handshake_bytes:hs
     ~wire_equiv_bytes:m.Store.sizes.Scenario.Delivery.wire_bytes;
@@ -49,7 +71,7 @@ let open_ store stats digest =
     image;
     stats;
     next_seq = 0;
-    last = None;
+    served = Hashtbl.create 16;
     delivered = Hashtbl.create 16;
   }
 
@@ -64,19 +86,20 @@ let delivered t = Hashtbl.length t.delivered
 let next_seq t = t.next_seq
 
 let request t ~seq name =
-  match t.last with
-  | Some (s, n, payload) when seq = s ->
+  match Hashtbl.find_opt t.served seq with
+  | Some (n, payload) ->
     if n <> name then
       Error
         (Printf.sprintf "retransmit of seq %d must repeat %S, got %S" seq n
            name)
     else begin
-      (* the previous response was lost in flight; resend it verbatim *)
+      (* a response was lost in flight (possibly several requests ago);
+         resend it verbatim without touching the session offset *)
       Stats.record_chunk t.stats ~bytes:(String.length payload)
         ~retransmit:true;
       Ok payload
     end
-  | _ ->
+  | None ->
     if seq <> t.next_seq then
       Error
         (Printf.sprintf "bad sequence number %d (expected %d)" seq t.next_seq)
@@ -88,7 +111,7 @@ let request t ~seq name =
         Stats.record_chunk t.stats ~bytes:(String.length payload)
           ~retransmit:false;
         Hashtbl.replace t.delivered name ();
-        t.last <- Some (seq, name, payload);
+        Hashtbl.replace t.served seq (name, payload);
         t.next_seq <- seq + 1;
         Ok payload
     end

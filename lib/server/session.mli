@@ -7,8 +7,12 @@ type t
 
 val open_ : Store.t -> Stats.t -> string -> t
 (** Open a session on a published digest. Materializes the chunked
-    artifact (through the cache) and records the handshake.
-    @raise Not_found for unknown digests. *)
+    artifact (through the cache), verifies it decodes, and records the
+    handshake. A corrupt cached artifact is quarantined, recorded in
+    the stats layer, and rebuilt fresh from the published IR before the
+    session starts.
+    @raise Not_found for unknown digests.
+    @raise Support.Decode_error.Fail when even a fresh rebuild fails. *)
 
 val digest : t -> string
 
@@ -18,10 +22,12 @@ val index : t -> (string * int) list
 val request : t -> seq:int -> string -> (string, string) result
 (** [request t ~seq name] returns the function's chunk — a complete
     single-function wire image, expandable with {!Wire.decompress}.
-    [seq] must be the session's next sequence number; repeating the
-    {e last} sequence number (the response was dropped in flight)
-    retransmits the saved payload byte-for-byte. Anything else, or an
-    unknown function name, is an [Error]. *)
+    [seq] must be the session's next sequence number, or any previously
+    answered sequence number paired with the same function name (the
+    response was dropped in flight — possibly several requests ago),
+    which retransmits the saved payload byte-for-byte without moving
+    the session offset. Anything else, or an unknown function name, is
+    an [Error]. *)
 
 val next_seq : t -> int
 (** The sequence number the server expects next. *)

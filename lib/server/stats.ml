@@ -40,6 +40,17 @@ let fresh_counters () =
     histogram = Array.make histo_buckets 0;
   }
 
+(* one quarantined artifact: which digest/representation failed
+   verification, and the typed decode error that condemned it *)
+type failure = {
+  fail_digest : string;
+  fail_repr : Artifact.repr;
+  fail_kind : string;     (* Decode_error.kind_name *)
+  fail_msg : string;      (* Decode_error.to_string *)
+}
+
+let max_recent_failures = 8
+
 type t = {
   per_repr : (Artifact.repr, repr_counters) Hashtbl.t;
   mutable requests : int;
@@ -50,6 +61,11 @@ type t = {
   mutable session_bytes : int;       (* handshake + chunk bytes on the wire *)
   mutable session_wire_equiv : int;  (* monolithic wire bytes the same
                                         requests would have shipped *)
+  mutable decode_failures : int;
+  failures_by_kind : (string, int) Hashtbl.t;
+  mutable degraded_fetches : int;    (* fetches served by a lower-ranked
+                                        repr after the chosen one failed *)
+  mutable recent_failures : failure list;  (* newest first, bounded *)
 }
 
 let create () =
@@ -62,6 +78,10 @@ let create () =
     retransmits = 0;
     session_bytes = 0;
     session_wire_equiv = 0;
+    decode_failures = 0;
+    failures_by_kind = Hashtbl.create 8;
+    degraded_fetches = 0;
+    recent_failures = [];
   }
 
 let counters t repr =
@@ -98,6 +118,28 @@ let record_chunk t ~bytes ~retransmit =
   else t.chunks_served <- t.chunks_served + 1;
   t.session_bytes <- t.session_bytes + bytes
 
+let record_decode_failure t ~digest repr (e : Support.Decode_error.t) =
+  t.decode_failures <- t.decode_failures + 1;
+  let kind = Support.Decode_error.kind_name e.Support.Decode_error.kind in
+  Hashtbl.replace t.failures_by_kind kind
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.failures_by_kind kind));
+  let f =
+    {
+      fail_digest = digest;
+      fail_repr = repr;
+      fail_kind = kind;
+      fail_msg = Support.Decode_error.to_string e;
+    }
+  in
+  let keep =
+    if List.length t.recent_failures >= max_recent_failures then
+      List.filteri (fun i _ -> i < max_recent_failures - 1) t.recent_failures
+    else t.recent_failures
+  in
+  t.recent_failures <- f :: keep
+
+let record_degraded t = t.degraded_fetches <- t.degraded_fetches + 1
+
 (* ---- snapshot ---- *)
 
 type repr_report = {
@@ -122,6 +164,10 @@ type report = {
   retransmits : int;
   session_bytes : int;
   session_wire_equiv : int;
+  decode_failures : int;
+  failures_by_kind : (string * int) list;
+  degraded_fetches : int;
+  recent_failures : failure list;
 }
 
 let report t ~cache =
@@ -161,6 +207,12 @@ let report t ~cache =
     retransmits = t.retransmits;
     session_bytes = t.session_bytes;
     session_wire_equiv = t.session_wire_equiv;
+    decode_failures = t.decode_failures;
+    failures_by_kind =
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.failures_by_kind []);
+    degraded_fetches = t.degraded_fetches;
+    recent_failures = t.recent_failures;
   }
 
 let print (r : report) =
@@ -188,6 +240,22 @@ let print (r : report) =
           (String.concat "  "
              (List.map (fun (l, n) -> Printf.sprintf "%s:%d" l n) h)))
     r.by_repr;
+  if r.decode_failures > 0 then begin
+    Printf.printf
+      "artifact faults     %d decode failures quarantined, %d fetches degraded\n"
+      r.decode_failures r.degraded_fetches;
+    Printf.printf "  by kind           %s\n"
+      (String.concat "  "
+         (List.map (fun (k, n) -> Printf.sprintf "%s:%d" k n)
+            r.failures_by_kind));
+    List.iter
+      (fun f ->
+        Printf.printf "  %-14s %s %s\n"
+          (Artifact.name f.fail_repr)
+          (String.sub f.fail_digest 0 (min 8 (String.length f.fail_digest)))
+          f.fail_msg)
+      r.recent_failures
+  end;
   if r.sessions_opened > 0 then begin
     Printf.printf
       "chunked sessions    %d opened, %d chunks served, %d retransmits\n"

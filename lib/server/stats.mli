@@ -16,6 +16,15 @@ val record_compress : t -> Artifact.repr -> float -> unit
 val record_session_opened : t -> handshake_bytes:int -> wire_equiv_bytes:int -> unit
 val record_chunk : t -> bytes:int -> retransmit:bool -> unit
 
+val record_decode_failure :
+  t -> digest:string -> Artifact.repr -> Support.Decode_error.t -> unit
+(** An artifact failed verification and was quarantined: count it, bucket
+    it by error kind, and keep it in the bounded recent-failures log. *)
+
+val record_degraded : t -> unit
+(** A fetch was served by a lower-ranked representation because the
+    selector's first choice failed verification. *)
+
 (** {2 Snapshot} *)
 
 type repr_report = {
@@ -28,6 +37,14 @@ type repr_report = {
   compress_histogram : (string * int) list;
       (** wall-clock buckets ("<1ms", "1-10ms", ...) with non-zero counts *)
 }
+
+type failure = {
+  fail_digest : string;
+  fail_repr : Artifact.repr;
+  fail_kind : string;  (** {!Support.Decode_error.kind_name} *)
+  fail_msg : string;   (** {!Support.Decode_error.to_string} *)
+}
+(** One quarantined artifact in the recent-failures log. *)
 
 type report = {
   requests : int;
@@ -42,6 +59,10 @@ type report = {
   session_bytes : int;       (** handshakes + chunks, including retransmits *)
   session_wire_equiv : int;
       (** what the same programs would have cost as monolithic wire images *)
+  decode_failures : int;     (** artifacts that failed verification *)
+  failures_by_kind : (string * int) list;
+  degraded_fetches : int;    (** fetches served by a fallback representation *)
+  recent_failures : failure list;  (** newest first, bounded *)
 }
 
 val report : t -> cache:Cache.t -> report

@@ -155,6 +155,26 @@ let materialize t digest repr =
         Cache.add t.cache key bytes;
         (bytes, false)))
 
+(* ---- fault handling ---- *)
+
+(* Quarantine = drop the poisoned bytes. The store keeps no other copy:
+   the next materialize for this (digest, repr) rebuilds from the
+   metadata's IR, so a corrupted cache entry self-heals while the bad
+   bytes can never be served twice. *)
+let quarantine t digest repr = Cache.remove t.cache (cache_key digest repr)
+
+(* Fault-injection hook for tests and the driver's --faults mode:
+   mutate the cached artifact in place (false when it isn't resident).
+   Uses peek/add so the injection itself is invisible to hit/miss
+   accounting. *)
+let corrupt_cached t digest repr ~f =
+  let key = cache_key digest repr in
+  match Cache.peek t.cache key with
+  | None -> false
+  | Some bytes ->
+    Cache.add t.cache key (f bytes);
+    true
+
 (* ---- publish ---- *)
 
 (* When the publisher gives neither measured cycles nor an input to

@@ -51,3 +51,15 @@ val materialize : t -> string -> Artifact.repr -> string * bool
     @raise Not_found for unknown digests. *)
 
 val cache : t -> Cache.t
+
+val quarantine : t -> string -> Artifact.repr -> unit
+(** Drop the cached bytes of one artifact (no-op when absent). Called
+    when served bytes fail verification: the poisoned entry can never
+    be served again, and the next {!materialize} rebuilds it fresh from
+    the published IR — quarantine is also self-healing. *)
+
+val corrupt_cached : t -> string -> Artifact.repr -> f:(string -> string) -> bool
+(** Fault-injection hook: rewrite the cached bytes of one artifact with
+    [f]. Returns [false] when the artifact is not resident. The
+    injection bypasses hit/miss accounting so cache statistics stay
+    comparable with and without faults. *)

@@ -86,7 +86,11 @@ type summary = {
   report : Stats.report;
 }
 
-type session_state = { sess : Session.t; mutable pending : string list }
+type session_state = {
+  sess : Session.t;
+  mutable pending : string list;
+  mutable history : (int * string) list;  (* answered (seq, name), newest first *)
+}
 
 let run engine ?(profiles = default_profiles) ?(config = default_config)
     catalog =
@@ -117,7 +121,7 @@ let run engine ?(profiles = default_profiles) ?(config = default_config)
       | None ->
         (* this request is the handshake; chunks flow on later requests *)
         let sess = Engine.open_session engine e.digest in
-        Hashtbl.add sessions key { sess; pending = e.wanted }
+        Hashtbl.add sessions key { sess; pending = e.wanted; history = [] }
       | Some st -> (
         match st.pending with
         | [] ->
@@ -132,10 +136,25 @@ let run engine ?(profiles = default_profiles) ?(config = default_config)
             | Error msg -> failwith ("Workload: session error: " ^ msg)
           in
           let _payload = serve () in
+          st.history <- (seq, name) :: st.history;
           (* response dropped in flight: the client repeats the same
              sequence number and the server retransmits *)
           if Support.Prng.int rng 100 < config.drop_pct then
             ignore (serve ());
+          (* late duplicate: a stale retry of an older, already-answered
+             request arrives after newer chunks — the server must
+             retransmit it without disturbing the session offset *)
+          (match st.history with
+          | _ :: (old_seq, old_name) :: _
+            when Support.Prng.int rng 100 < config.drop_pct ->
+            incr chunk_requests;
+            (match
+               Engine.session_request engine st.sess ~seq:old_seq old_name
+             with
+            | Ok _ -> ()
+            | Error msg ->
+              failwith ("Workload: late-duplicate rejected: " ^ msg))
+          | _ -> ());
           st.pending <- rest;
           if rest = [] then begin
             Hashtbl.remove sessions key;

@@ -1,0 +1,47 @@
+(* The typed failure vocabulary shared by every untrusted-input decoder.
+
+   A decoder is *total*: it returns [Ok v] or [Error t], never raises to
+   its caller and never allocates proportionally to a corrupt length
+   field. Explicit [fail] sites give precise positions; [guard] is the
+   outer net that converts any stray exception (index out of bounds,
+   [Failure] from a helper, ...) into a typed [Unexpected] error, so
+   totality does not depend on having anticipated every corruption. *)
+
+type kind =
+  | Truncated      (* input ends before the structure does *)
+  | Bad_magic      (* wrong container signature *)
+  | Checksum       (* CRC frame does not match the payload *)
+  | Bad_value      (* a field holds a value outside its domain *)
+  | Overflow       (* a varint or count does not fit the machine *)
+  | Limit          (* a declared size exceeds the decoder's allocation cap *)
+  | Inconsistent   (* fields are individually valid but contradict each other *)
+  | Unexpected     (* an unclassified defect caught by the guard *)
+
+type t = { decoder : string; kind : kind; pos : int; msg : string }
+
+exception Fail of t
+
+let kind_name = function
+  | Truncated -> "truncated"
+  | Bad_magic -> "bad-magic"
+  | Checksum -> "checksum"
+  | Bad_value -> "bad-value"
+  | Overflow -> "overflow"
+  | Limit -> "limit"
+  | Inconsistent -> "inconsistent"
+  | Unexpected -> "unexpected"
+
+let to_string e =
+  Printf.sprintf "%s: %s at byte %d: %s" e.decoder (kind_name e.kind) e.pos
+    e.msg
+
+let fail ~decoder ~kind ?(pos = 0) msg =
+  raise (Fail { decoder; kind; pos; msg })
+
+let guard ~decoder f =
+  try Ok (f ()) with
+  | Fail e -> Error e
+  | Stack_overflow ->
+    Error { decoder; kind = Limit; pos = 0; msg = "stack overflow" }
+  | exn ->
+    Error { decoder; kind = Unexpected; pos = 0; msg = Printexc.to_string exn }

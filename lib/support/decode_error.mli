@@ -1,0 +1,40 @@
+(** Typed decode failures for untrusted-input decoders.
+
+    Every decoder that accepts bytes off the wire returns
+    [(value, t) result]. The [kind] taxonomy is shared across the zip
+    stack, the wire formats, the BRISC container and the VM image
+    reader, so the server's stats layer can aggregate failures without
+    knowing which decoder produced them. *)
+
+type kind =
+  | Truncated      (** input ends before the structure does *)
+  | Bad_magic      (** wrong container signature *)
+  | Checksum       (** CRC frame does not match the payload *)
+  | Bad_value      (** a field holds a value outside its domain *)
+  | Overflow       (** a varint or count does not fit the machine *)
+  | Limit          (** a declared size exceeds the decoder's allocation cap *)
+  | Inconsistent   (** fields are individually valid but contradict each other *)
+  | Unexpected     (** an unclassified defect caught by {!guard} *)
+
+type t = {
+  decoder : string;  (** which decoder failed, e.g. ["wire"], ["deflate"] *)
+  kind : kind;
+  pos : int;         (** byte (or element) position of the defect *)
+  msg : string;
+}
+
+exception Fail of t
+(** Raised at explicit failure sites inside decoders; converted to
+    [Error] by {!guard} at the decoder boundary. The [_exn] decoder
+    variants let it escape. *)
+
+val kind_name : kind -> string
+val to_string : t -> string
+
+val fail : decoder:string -> kind:kind -> ?pos:int -> string -> 'a
+(** Raise {!Fail} with a precise position (defaults to 0). *)
+
+val guard : decoder:string -> (unit -> 'a) -> ('a, t) result
+(** Run a decoder body totally: [Fail] surfaces as its own typed error;
+    any other exception (including [Stack_overflow]) becomes an
+    [Unexpected]/[Limit] error attributed to [decoder]. *)

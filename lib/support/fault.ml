@@ -1,0 +1,86 @@
+(* Deterministic fault injection for decoder robustness testing.
+
+   All mutations are driven by a caller-supplied Prng, so a failing fuzz
+   case reproduces from its seed alone. Mutations are total: any input
+   (including empty) yields some output without raising. *)
+
+type kind =
+  | Bit_flip        (* flip 1..8 random bits *)
+  | Truncate        (* cut the tail at a random point *)
+  | Splice          (* overwrite a span with random bytes *)
+  | Inflate_length  (* plant an enormous varint/length field *)
+  | Duplicate       (* re-insert a copy of a random slice *)
+  | Reorder         (* swap two non-overlapping slices *)
+
+let kinds = [| Bit_flip; Truncate; Splice; Inflate_length; Duplicate; Reorder |]
+
+let kind_name = function
+  | Bit_flip -> "bit-flip"
+  | Truncate -> "truncate"
+  | Splice -> "splice"
+  | Inflate_length -> "inflate-length"
+  | Duplicate -> "duplicate"
+  | Reorder -> "reorder"
+
+(* A random slice [pos, pos+len) of a non-empty string; len >= 1. *)
+let slice rng s =
+  let n = String.length s in
+  let pos = Prng.int rng n in
+  let len = 1 + Prng.int rng (min 16 (n - pos)) in
+  (pos, len)
+
+let apply rng kind s =
+  let n = String.length s in
+  if n = 0 then s
+  else
+    match kind with
+    | Bit_flip ->
+      let b = Bytes.of_string s in
+      let flips = 1 + Prng.int rng 8 in
+      for _ = 1 to flips do
+        let i = Prng.int rng n in
+        let bit = Prng.int rng 8 in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)))
+      done;
+      Bytes.to_string b
+    | Truncate -> String.sub s 0 (Prng.int rng n)
+    | Splice ->
+      let pos, len = slice rng s in
+      let b = Bytes.of_string s in
+      for i = pos to pos + len - 1 do
+        Bytes.set b i (Char.chr (Prng.int rng 256))
+      done;
+      Bytes.to_string b
+    | Inflate_length ->
+      (* 0xff 0xff 0xff 0xff 0x7f decodes as a ~34-bit ULEB128 value;
+         wherever it lands, any length field it hits becomes huge. *)
+      let huge = "\xff\xff\xff\xff\x7f" in
+      let pos = Prng.int rng n in
+      let k = min (String.length huge) (n - pos) in
+      String.sub s 0 pos ^ String.sub huge 0 k ^ String.sub s (pos + k) (n - pos - k)
+    | Duplicate ->
+      let pos, len = slice rng s in
+      let at = Prng.int rng (n + 1) in
+      String.sub s 0 at ^ String.sub s pos len ^ String.sub s at (n - at)
+    | Reorder ->
+      if n < 2 then s
+      else begin
+        let a, alen = slice rng s in
+        let b, blen = slice rng s in
+        (* order and trim the two slices so they cannot overlap *)
+        let (a, alen), (b, blen) =
+          if a <= b then ((a, alen), (b, blen)) else ((b, blen), (a, alen))
+        in
+        let alen = min alen (b - a) in
+        if alen = 0 then s
+        else
+          String.sub s 0 a ^ String.sub s b blen
+          ^ String.sub s (a + alen) (b - a - alen)
+          ^ String.sub s a alen
+          ^ String.sub s (b + blen) (n - b - blen)
+      end
+
+let mutate rng s =
+  let m = apply rng (Prng.pick rng kinds) s in
+  (* occasionally stack a second fault to reach deeper parser states *)
+  if Prng.int rng 4 = 0 then apply rng (Prng.pick rng kinds) m else m

@@ -1,0 +1,24 @@
+(** Deterministic fault injection for decoder robustness testing.
+
+    Mutations are seeded through {!Prng}, so any failing fuzz case is
+    reproducible from its seed. The same harness corrupts cached server
+    artifacts to exercise the quarantine / degradation path. *)
+
+type kind =
+  | Bit_flip        (** flip 1..8 random bits *)
+  | Truncate        (** cut the tail at a random point *)
+  | Splice          (** overwrite a span with random bytes *)
+  | Inflate_length  (** plant an enormous varint/length field *)
+  | Duplicate       (** re-insert a copy of a random slice *)
+  | Reorder         (** swap two non-overlapping slices *)
+
+val kinds : kind array
+val kind_name : kind -> string
+
+val apply : Prng.t -> kind -> string -> string
+(** Apply one fault of the given kind. Total: never raises, and the
+    empty string maps to itself. *)
+
+val mutate : Prng.t -> string -> string
+(** Apply a random fault (sometimes two, to reach deeper parser
+    states). *)

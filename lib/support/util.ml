@@ -43,6 +43,14 @@ let sleb_of_int buf v = uleb128 buf (zigzag v)
 let read_uleb128 s pos =
   let v = ref 0 and shift = ref 0 and continue = ref true in
   while !continue do
+    if !pos >= String.length s then
+      Decode_error.fail ~decoder:"uleb128" ~kind:Truncated ~pos:!pos
+        "varint runs past end of input";
+    (* 9 groups of 7 bits fill a 63-bit OCaml int; a 10th byte can only
+       come from corruption and would shift into the sign bit. *)
+    if !shift >= 63 then
+      Decode_error.fail ~decoder:"uleb128" ~kind:Overflow ~pos:!pos
+        "varint wider than 63 bits";
     let b = Char.code s.[!pos] in
     incr pos;
     v := !v lor ((b land 0x7f) lsl !shift);

@@ -23,7 +23,9 @@ val sleb_of_int : Buffer.t -> int -> unit
 (** Signed value via zigzag + ULEB128. *)
 
 val read_uleb128 : string -> int ref -> int
-(** Read a ULEB128 varint at [!pos], advancing [pos]. *)
+(** Read a ULEB128 varint at [!pos], advancing [pos].
+    @raise Decode_error.Fail on truncation or a varint wider than 63
+    bits — callers inside decoders run under {!Decode_error.guard}. *)
 
 val read_sleb : string -> int ref -> int
 

@@ -203,7 +203,10 @@ let template_of_code code : Isa.instr =
   else if code = 58 then Isa.Reload (0, 0)
   else if code = 59 then Isa.Label ""
   else if code = 60 then Isa.La (0, "")
-  else failwith "Encode.decode: bad opcode"
+  else
+    Support.Decode_error.fail ~decoder:"vm-encode"
+      ~kind:Support.Decode_error.Bad_value
+      (Printf.sprintf "bad opcode %d" code)
 
 let encode_program (p : Isa.vprogram) =
   let buf = Buffer.create 4096 in
@@ -230,7 +233,11 @@ let encode_program (p : Isa.vprogram) =
   List.iter
     (fun f ->
       List.iter
-        (fun i -> match i with Isa.Call s -> ignore (intern s) | _ -> ())
+        (fun i ->
+          List.iter
+            (fun fld ->
+              match fld with Fsym s -> ignore (intern s) | _ -> ())
+            (fields i))
         f.Isa.code)
     p.funcs;
   let symbols = List.rev !sym_list in
@@ -280,29 +287,55 @@ let encode_program (p : Isa.vprogram) =
     p.funcs;
   Buffer.contents buf
 
-let decode_program img =
+let decode_program_exn img =
   let pos = ref 0 in
+  let fail kind msg =
+    Support.Decode_error.fail ~decoder:"vm-encode" ~kind ~pos:!pos msg
+  in
+  (* every counted element costs at least one input byte; validate before
+     any proportional allocation *)
+  let check_count n what =
+    if n < 0 || n > String.length img - !pos then
+      fail Support.Decode_error.Limit
+        (Printf.sprintf "%s count %d exceeds remaining %d bytes" what n
+           (String.length img - !pos))
+  in
   let u () = Support.Util.read_uleb128 img pos in
   let s_ () = Support.Util.read_sleb img pos in
   let str () =
     let n = u () in
+    if n < 0 || !pos + n > String.length img then
+      fail Support.Decode_error.Truncated "truncated string";
     let s = String.sub img !pos n in
     pos := !pos + n;
     s
   in
   let byte () =
+    if !pos >= String.length img then
+      fail Support.Decode_error.Truncated "truncated input";
     let b = Char.code img.[!pos] in
     incr pos;
     b
   in
+  let index (table : string array) what =
+    let i = u () in
+    if i < 0 || i >= Array.length table then
+      fail Support.Decode_error.Bad_value
+        (Printf.sprintf "%s index %d outside table of %d" what i
+           (Array.length table));
+    table.(i)
+  in
   let nsym = u () in
+  check_count nsym "symbol";
   let symbols = Array.init nsym (fun _ -> str ()) in
   let nglob = u () in
+  check_count nglob "global";
   let globals =
     List.init nglob (fun _ ->
-        let n = symbols.(u ()) in
+        let n = index symbols "symbol" in
         let sz = u () in
         let initlen = u () in
+        if initlen > 0 then check_count (initlen - 1) "global initializer";
         let init =
           if initlen = 0 then None
           else Some (List.init (initlen - 1) (fun _ -> byte ()))
@@ -310,18 +343,21 @@ let decode_program img =
         (n, sz, init))
   in
   let nfun = u () in
+  check_count nfun "function";
   let funcs =
     List.init nfun (fun _ ->
-        let name = symbols.(u ()) in
+        let name = index symbols "symbol" in
         let nlbl = u () in
+        check_count nlbl "label";
         let labels = Array.init nlbl (fun _ -> str ()) in
         let ninstr = u () in
+        check_count ninstr "instruction";
         let code =
           List.init ninstr (fun _ ->
               let sc = byte () in
               let template = template_of_code sc in
               match template with
-              | Isa.Label _ -> Isa.Label labels.(u ())
+              | Isa.Label _ -> Isa.Label (index labels "label")
               | _ ->
                 let fs =
                   List.map
@@ -329,12 +365,44 @@ let decode_program img =
                       match fld with
                       | Freg _ -> Freg (byte ())
                       | Fimm _ -> Fimm (s_ ())
-                      | Flab _ -> Flab labels.(u ())
-                      | Fsym _ -> Fsym symbols.(u ()))
+                      | Flab _ -> Flab (index labels "label")
+                      | Fsym _ -> Fsym (index symbols "symbol"))
                     (fields template)
                 in
                 rebuild template fs)
         in
+        (* referential integrity: every branch/label field must name a
+           label actually defined by a [Label] pseudo-instruction in this
+           function; a dangling reference would be unencodable (and
+           unrunnable), so the decoder rejects it *)
+        let defined = Hashtbl.create 8 in
+        List.iter
+          (fun i ->
+            match i with
+            | Isa.Label l -> Hashtbl.replace defined l ()
+            | _ -> ())
+          code;
+        List.iter
+          (fun i ->
+            match i with
+            | Isa.Label _ -> ()
+            | _ ->
+              List.iter
+                (fun fld ->
+                  match fld with
+                  | Flab l when not (Hashtbl.mem defined l) ->
+                    fail Support.Decode_error.Inconsistent
+                      (Printf.sprintf "branch to undefined label %S in %s" l
+                         name)
+                  | _ -> ())
+                (fields i))
+          code;
         { Isa.name; code })
   in
+  if !pos <> String.length img then
+    fail Support.Decode_error.Inconsistent "trailing bytes after program";
   { Isa.globals; funcs }
+
+let decode_program img =
+  Support.Decode_error.guard ~decoder:"vm-encode" (fun () ->
+      decode_program_exn img)

@@ -46,8 +46,13 @@ val encode_program : Isa.vprogram -> string
 (** Full self-describing binary image: symbol table, globals, and each
     function's label table and code. *)
 
-val decode_program : string -> Isa.vprogram
-(** Inverse of {!encode_program}. @raise Failure on corrupt input. *)
+val decode_program : string -> (Isa.vprogram, Support.Decode_error.t) result
+(** Total inverse of {!encode_program}: counts and table indices are
+    validated before allocation; corrupt input yields a typed [Error]. *)
+
+val decode_program_exn : string -> Isa.vprogram
+(** As {!decode_program} but raises {!Support.Decode_error.Fail}; for
+    trusted inputs. *)
 
 val shape_code : Isa.instr -> int
 (** Stable numeric id of the instruction shape (exposed for the BRISC
@@ -55,4 +60,4 @@ val shape_code : Isa.instr -> int
 
 val template_of_code : int -> Isa.instr
 (** Inverse of {!shape_code}: a template instruction with zeroed fields.
-    @raise Failure on an unknown code. *)
+    @raise Support.Decode_error.Fail on an unknown code. *)

@@ -30,9 +30,13 @@ let decompress_function t name =
   match List.assoc_opt name t.chunks with
   | None -> raise Not_found
   | Some chunk -> (
-    match (Wire_format.decompress chunk).Ir.Tree.funcs with
-    | [ f ] -> f
-    | _ -> failwith "Chunked: chunk does not hold exactly one function")
+    match (Wire_format.decompress_exn chunk).Ir.Tree.funcs with
+    | [ f ] ->
+      f
+    | _ ->
+      Support.Decode_error.fail ~decoder:"chunked"
+        ~kind:Support.Decode_error.Inconsistent
+        "chunk does not hold exactly one function")
 
 let decompress_all t =
   {
@@ -78,9 +82,20 @@ let to_bytes t =
   Buffer.add_char hdr (Char.chr (crc land 0xff));
   Buffer.contents hdr ^ body
 
-let of_bytes s =
+let of_bytes_exn s =
+  let pos = ref 0 in
+  let fail kind msg =
+    Support.Decode_error.fail ~decoder:"chunked" ~kind ~pos:!pos msg
+  in
+  let remaining () = String.length s - !pos in
+  let check_count n what =
+    if n < 0 || n > remaining () then
+      fail Support.Decode_error.Limit
+        (Printf.sprintf "%s count %d exceeds remaining %d bytes" what n
+           (remaining ()))
+  in
   if String.length s < 8 || String.sub s 0 4 <> magic then
-    failwith "Chunked: bad magic";
+    fail Support.Decode_error.Bad_magic "bad magic";
   let stored =
     (Char.code s.[4] lsl 24)
     lor (Char.code s.[5] lsl 16)
@@ -88,40 +103,51 @@ let of_bytes s =
     lor Char.code s.[7]
   in
   if Support.Util.crc32 ~pos:8 s <> stored then
-    failwith "Chunked: checksum mismatch (corrupt image)";
-  let pos = ref 8 in
+    fail Support.Decode_error.Checksum "checksum mismatch (corrupt image)";
+  pos := 8;
   let u () = Support.Util.read_uleb128 s pos in
   let str () =
     let n = u () in
-    if n < 0 || !pos + n > String.length s then failwith "Chunked: truncated";
+    if n < 0 || !pos + n > String.length s then
+      fail Support.Decode_error.Truncated "truncated string";
     let r = String.sub s !pos n in
     pos := !pos + n;
     r
   in
+  let byte () =
+    if !pos >= String.length s then
+      fail Support.Decode_error.Truncated "truncated global initializer";
+    let b = Char.code s.[!pos] in
+    incr pos;
+    b
+  in
   let nglob = u () in
+  check_count nglob "global";
   let globals =
     List.init nglob (fun _ ->
         let gname = str () in
         let gsize = u () in
         let initlen = u () in
+        if initlen > 0 then check_count (initlen - 1) "global initializer";
         let ginit =
           if initlen = 0 then None
-          else
-            Some
-              (List.init (initlen - 1) (fun _ ->
-                   let b = Char.code s.[!pos] in
-                   incr pos;
-                   b))
+          else Some (List.init (initlen - 1) (fun _ -> byte ()))
         in
         { Ir.Tree.gname; gsize; ginit })
   in
   let nchunks = u () in
+  check_count nchunks "chunk";
   let chunks =
     List.init nchunks (fun _ ->
         let name = str () in
         let chunk = str () in
         (name, chunk))
   in
+  if !pos <> String.length s then
+    fail Support.Decode_error.Inconsistent "trailing bytes after last chunk";
   { globals; chunks }
+
+let of_bytes s =
+  Support.Decode_error.guard ~decoder:"chunked" (fun () -> of_bytes_exn s)
 
 let size t = String.length (to_bytes t)

@@ -17,8 +17,15 @@ type t
 
 val compress : Ir.Tree.program -> t
 val to_bytes : t -> string
-val of_bytes : string -> t
-(** @raise Failure on corrupt input. *)
+
+val of_bytes : string -> (t, Support.Decode_error.t) result
+(** Total inverse of {!to_bytes}: the CRC frame is checked before
+    parsing and every count field is validated against the remaining
+    input before allocation. *)
+
+val of_bytes_exn : string -> t
+(** As {!of_bytes} but raises {!Support.Decode_error.Fail}; for trusted
+    inputs. *)
 
 val size : t -> int
 (** Serialized size in bytes. *)
@@ -38,7 +45,10 @@ val chunk_size : t -> string -> int
 
 val decompress_function : t -> string -> Ir.Tree.func
 (** Materialize a single function, decompressing only its chunk.
-    @raise Not_found for unknown names. *)
+    @raise Not_found for unknown names.
+    @raise Support.Decode_error.Fail if the chunk itself is corrupt
+    (cannot happen for a [t] built by {!compress} or accepted by
+    {!of_bytes}, whose CRC covers every chunk). *)
 
 val decompress_all : t -> Ir.Tree.program
 (** Reassemble the whole program; equals the input of {!compress}. *)

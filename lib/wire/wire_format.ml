@@ -15,12 +15,24 @@ let put_bytes buf (b : Bytes.t) =
 
 type reader = { src : string; pos : int ref }
 
+let wfail r kind msg =
+  Support.Decode_error.fail ~decoder:"wire" ~kind ~pos:!(r.pos) msg
+
 let get_uleb r = Support.Util.read_uleb128 r.src r.pos
 let get_sleb r = Support.Util.read_sleb r.src r.pos
+let remaining r = String.length r.src - !(r.pos)
+
+(* Validate a count field before allocating anything proportional to it:
+   every element costs at least one input byte in this format. *)
+let check_count r n what =
+  if n < 0 || n > remaining r then
+    wfail r Support.Decode_error.Limit
+      (Printf.sprintf "%s count %d exceeds remaining %d bytes" what n
+         (remaining r))
 
 let get_raw r n =
   if n < 0 || !(r.pos) + n > String.length r.src then
-    failwith "Wire: truncated bundle";
+    wfail r Support.Decode_error.Truncated "truncated bundle";
   let s = String.sub r.src !(r.pos) n in
   r.pos := !(r.pos) + n;
   s
@@ -30,7 +42,8 @@ let get_str r =
   get_raw r n
 
 let get_byte r =
-  if !(r.pos) >= String.length r.src then failwith "Wire: truncated bundle";
+  if !(r.pos) >= String.length r.src then
+    wfail r Support.Decode_error.Truncated "truncated bundle";
   let c = r.src.[!(r.pos)] in
   incr r.pos;
   c
@@ -42,13 +55,13 @@ let ty_code = function
   | Ir.Op.P -> 3
   | Ir.Op.V -> 4
 
-let ty_of_code = function
+let ty_of_code r = function
   | 0 -> Ir.Op.I
   | 1 -> Ir.Op.C
   | 2 -> Ir.Op.S
   | 3 -> Ir.Op.P
   | 4 -> Ir.Op.V
-  | _ -> failwith "Wire: bad type code"
+  | c -> wfail r Support.Decode_error.Bad_value (Printf.sprintf "bad type code %d" c)
 
 (* Literal-class key used when streams are split; a single shared key
    otherwise. *)
@@ -96,20 +109,27 @@ let mtf_or_first ~use_mtf ~eq xs =
   end
 
 let inverse_mtf_or_first ~use_mtf (e : 'a Zip.Mtf.encoded) =
-  if use_mtf then Zip.Mtf.decode e
+  if use_mtf then Zip.Mtf.decode_exn e
   else begin
+    let fail ~pos msg =
+      Support.Decode_error.fail ~decoder:"wire"
+        ~kind:Support.Decode_error.Bad_value ~pos msg
+    in
     let table = ref [||] in
     let pending = ref e.Zip.Mtf.novel in
-    List.map
-      (fun i ->
+    List.mapi
+      (fun pos i ->
         if i = 0 then begin
           match !pending with
-          | [] -> failwith "Wire: novel list exhausted"
+          | [] -> fail ~pos "novel list exhausted"
           | x :: rest ->
             pending := rest;
             table := Array.append !table [| x |];
             x
         end
+        else if i < 0 || i > Array.length !table then
+          fail ~pos (Printf.sprintf "index %d exceeds table of %d" i
+                       (Array.length !table))
         else !table.(i - 1))
       e.Zip.Mtf.indices
   end
@@ -122,7 +142,7 @@ let encode_indices buf indices =
 let decode_indices r =
   let n = get_uleb r in
   let raw = get_raw r n in
-  Zip.Huffman.decode_all (Bytes.of_string raw)
+  Zip.Huffman.decode_all_exn (Bytes.of_string raw)
 
 let compress ?(use_mtf = true) ?(split_streams = true)
     ?(final_stage = Deflate) (p : Ir.Tree.program) =
@@ -224,8 +244,10 @@ let compress ?(use_mtf = true) ?(split_streams = true)
 
 (* ---- decompression ---- *)
 
-let check_crc ~what z =
-  if String.length z < 5 then failwith (what ^ ": truncated input");
+let check_crc ~decoder z =
+  let fail kind msg = Support.Decode_error.fail ~decoder ~kind ~pos:0 msg in
+  if String.length z < 5 then
+    fail Support.Decode_error.Truncated "truncated input";
   let stored =
     (Char.code z.[0] lsl 24)
     lor (Char.code z.[1] lsl 16)
@@ -233,32 +255,40 @@ let check_crc ~what z =
     lor Char.code z.[3]
   in
   if Support.Util.crc32 ~pos:4 z <> stored then
-    failwith (what ^ ": checksum mismatch (corrupt image)")
+    fail Support.Decode_error.Checksum "checksum mismatch (corrupt image)"
 
-let decompress z =
-  check_crc ~what:"Wire" z;
+let decompress_exn z =
+  check_crc ~decoder:"wire" z;
+  let fail0 kind msg =
+    Support.Decode_error.fail ~decoder:"wire" ~kind ~pos:4 msg
+  in
   let bundle =
     match z.[4] with
-    | 'D' -> Zip.Deflate.decompress (String.sub z 5 (String.length z - 5))
+    | 'D' -> Zip.Deflate.decompress_exn (String.sub z 5 (String.length z - 5))
     | 'A' ->
-      if String.length z < 6 then failwith "Wire: truncated header";
+      if String.length z < 6 then
+        fail0 Support.Decode_error.Truncated "truncated header";
       let order = Char.code z.[5] - Char.code '0' in
-      if order < 0 || order > 3 then failwith "Wire: bad arith order";
-      Zip.Range_coder.decompress_order_n ~order
+      if order < 0 || order > 3 then
+        fail0 Support.Decode_error.Bad_value "bad arith order";
+      Zip.Range_coder.decompress_order_n_exn ~order
         (String.sub z 6 (String.length z - 6))
-    | _ -> failwith "Wire: unknown final stage"
+    | _ -> fail0 Support.Decode_error.Bad_value "unknown final stage"
   in
   let r = { src = bundle; pos = ref 0 } in
-  if get_raw r 4 <> magic then failwith "Wire: bad magic";
+  if get_raw r 4 <> magic then
+    wfail r Support.Decode_error.Bad_magic "bad magic";
   let use_mtf = get_raw r 1 = "\001" in
   let split_streams = get_raw r 1 = "\001" in
   (* globals *)
   let nglob = get_uleb r in
+  check_count r nglob "global";
   let globals =
     List.init nglob (fun _ ->
         let gname = get_str r in
         let gsize = get_uleb r in
         let initlen = get_uleb r in
+        if initlen > 0 then check_count r (initlen - 1) "global initializer";
         let ginit =
           if initlen = 0 then None
           else
@@ -268,14 +298,16 @@ let decompress z =
   in
   (* function headers *)
   let nfun = get_uleb r in
+  check_count r nfun "function";
   let headers =
     List.init nfun (fun _ ->
         let fname = get_str r in
         let nformals = get_uleb r in
+        check_count r nformals "formal";
         let formals =
           List.init nformals (fun _ ->
               let n = get_str r in
-              let ty = ty_of_code (Char.code (get_byte r)) in
+              let ty = ty_of_code r (Char.code (get_byte r)) in
               (n, ty))
         in
         let frame_size = get_uleb r in
@@ -285,12 +317,14 @@ let decompress z =
   (* pattern stream *)
   let pat_indices = decode_indices r in
   let n_novel = get_uleb r in
+  check_count r n_novel "novel pattern";
   let novel_pats =
     List.init n_novel (fun _ ->
         let s = get_str r in
         let pos = ref 0 in
         let sp = Ir.Pattern.decode s pos in
-        if !pos <> String.length s then failwith "Wire: trailing pattern bytes";
+        if !pos <> String.length s then
+          wfail r Support.Decode_error.Inconsistent "trailing pattern bytes";
         sp)
   in
   let pattern_seq =
@@ -299,6 +333,7 @@ let decompress z =
   in
   (* literal streams *)
   let nstreams = get_uleb r in
+  check_count r nstreams "literal stream";
   let lit_streams : (string, Ir.Pattern.lit list ref) Hashtbl.t =
     Hashtbl.create 16
   in
@@ -306,12 +341,13 @@ let decompress z =
     let key = get_str r in
     let indices = decode_indices r in
     let n_novel = get_uleb r in
+    check_count r n_novel "novel literal";
     let novel =
       List.init n_novel (fun _ ->
           match get_byte r with
           | '\000' -> Ir.Pattern.Lint (get_sleb r)
           | '\001' -> Ir.Pattern.Lsym (get_str r)
-          | _ -> failwith "Wire: bad literal tag")
+          | _ -> wfail r Support.Decode_error.Bad_value "bad literal tag")
     in
     let seq = inverse_mtf_or_first ~use_mtf { Zip.Mtf.indices; novel } in
     Hashtbl.add lit_streams key (ref seq)
@@ -319,19 +355,23 @@ let decompress z =
   let next_lit cls =
     let key = class_key ~split:split_streams cls in
     match Hashtbl.find_opt lit_streams key with
-    | Some r -> (
-      match !r with
-      | [] -> failwith ("Wire: literal stream exhausted: " ^ key)
+    | Some lr -> (
+      match !lr with
+      | [] ->
+        wfail r Support.Decode_error.Inconsistent
+          ("literal stream exhausted: " ^ key)
       | v :: rest ->
-        r := rest;
+        lr := rest;
         v)
-    | None -> failwith ("Wire: missing literal stream: " ^ key)
+    | None ->
+      wfail r Support.Decode_error.Inconsistent
+        ("missing literal stream: " ^ key)
   in
   (* reassemble functions *)
   let remaining_patterns = ref pattern_seq in
   let take_pattern () =
     match !remaining_patterns with
-    | [] -> failwith "Wire: pattern stream exhausted"
+    | [] -> wfail r Support.Decode_error.Inconsistent "pattern stream exhausted"
     | sp :: rest ->
       remaining_patterns := rest;
       sp
@@ -349,8 +389,12 @@ let decompress z =
         { Ir.Tree.fname; formals; frame_size; body })
       headers
   in
-  if !remaining_patterns <> [] then failwith "Wire: leftover patterns";
+  if !remaining_patterns <> [] then
+    wfail r Support.Decode_error.Inconsistent "leftover patterns";
   { Ir.Tree.globals; funcs }
+
+let decompress z =
+  Support.Decode_error.guard ~decoder:"wire" (fun () -> decompress_exn z)
 
 (* ---- stats ---- *)
 
@@ -424,8 +468,11 @@ let stats (p : Ir.Tree.program) =
       !keys
   in
   let z = compress p in
-  (* skip the 4-byte CRC frame and the final-stage tag *)
-  let bundle = Zip.Deflate.decompress (String.sub z 5 (String.length z - 5)) in
+  (* skip the 4-byte CRC frame and the final-stage tag; our own output,
+     so the unwrapping decode is safe *)
+  let bundle =
+    Zip.Deflate.decompress_exn (String.sub z 5 (String.length z - 5))
+  in
   {
     wire_bytes = String.length z;
     bundle_bytes = String.length bundle;

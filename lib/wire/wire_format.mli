@@ -32,9 +32,16 @@ val compress :
     The chosen [final_stage] is recorded in the output, so
     {!decompress} needs no flags. *)
 
-val decompress : string -> Ir.Tree.program
-(** @raise Failure on corrupt input or flag mismatch (the bundle records
-    which ablation switches produced it). *)
+val decompress : string -> (Ir.Tree.program, Support.Decode_error.t) result
+(** Total inverse of {!compress}. Corrupt input or flag mismatch (the
+    bundle records which ablation switches produced it) yields a typed
+    [Error]; the CRC frame is checked before the bundle is parsed, and
+    every count field is validated against the remaining input before
+    allocation. *)
+
+val decompress_exn : string -> Ir.Tree.program
+(** As {!decompress} but raises {!Support.Decode_error.Fail}; for
+    trusted inputs (e.g. bytes this process just compressed). *)
 
 type stats = {
   wire_bytes : int;           (** final compressed size *)

@@ -78,9 +78,21 @@ let compress s =
   Huffman.encode_symbol le w eob;
   Bytes.to_string (Support.Bitio.Writer.contents w)
 
-let decompress z =
+let default_max_output = 1 lsl 26
+
+let decompress_exn ?(max_output = default_max_output) z =
   let r = Support.Bitio.Reader.of_string z in
+  let fail kind msg =
+    Support.Decode_error.fail ~decoder:"deflate" ~kind
+      ~pos:(Support.Bitio.Reader.bit_position r / 8)
+      msg
+  in
+  if Support.Bitio.Reader.bits_remaining r < 32 then
+    fail Support.Decode_error.Truncated "missing length header";
   let orig_len = Support.Bitio.Reader.get_bits r 32 in
+  if orig_len > max_output then
+    fail Support.Decode_error.Limit
+      (Printf.sprintf "declared length %d exceeds cap %d" orig_len max_output);
   let lit_code = Huffman.read_lengths r in
   let dist_code = Huffman.read_lengths r in
   let ld = Huffman.make_decoder lit_code in
@@ -90,7 +102,8 @@ let decompress z =
       Some (Huffman.make_decoder dist_code)
     else None
   in
-  let buf = Buffer.create orig_len in
+  (* grow towards orig_len rather than trusting it up front *)
+  let buf = Buffer.create (min orig_len 65536) in
   let finished = ref false in
   while not !finished do
     let sym = Huffman.decode_symbol ld r in
@@ -98,27 +111,43 @@ let decompress z =
     else if sym < 256 then Buffer.add_char buf (Char.chr sym)
     else begin
       let lc = sym - 257 in
+      if lc >= Array.length length_base then
+        fail Support.Decode_error.Bad_value
+          (Printf.sprintf "length symbol %d out of range" sym);
       let length =
         length_base.(lc) + Support.Bitio.Reader.get_bits r length_extra.(lc)
       in
       let dd =
         match dd with
         | Some d -> d
-        | None -> failwith "Deflate.decompress: match with empty distance code"
+        | None ->
+          fail Support.Decode_error.Inconsistent
+            "match with empty distance code"
       in
       let dc = Huffman.decode_symbol dd r in
+      if dc >= Array.length dist_base then
+        fail Support.Decode_error.Bad_value
+          (Printf.sprintf "distance class %d out of range" dc);
       let dist =
         dist_base.(dc) + Support.Bitio.Reader.get_bits r dist_extra.(dc)
       in
       let start = Buffer.length buf - dist in
-      if start < 0 then failwith "Deflate.decompress: bad distance";
+      if start < 0 then
+        fail Support.Decode_error.Bad_value "distance before start of output";
       for k = 0 to length - 1 do
         Buffer.add_char buf (Buffer.nth buf (start + k))
       done
-    end
+    end;
+    if Buffer.length buf > orig_len then
+      fail Support.Decode_error.Inconsistent "output exceeds declared length"
   done;
   let out = Buffer.contents buf in
-  if String.length out <> orig_len then failwith "Deflate.decompress: length mismatch";
+  if String.length out <> orig_len then
+    fail Support.Decode_error.Inconsistent "output shorter than declared length";
   out
+
+let decompress ?max_output z =
+  Support.Decode_error.guard ~decoder:"deflate" (fun () ->
+      decompress_exn ?max_output z)
 
 let compressed_size s = String.length (compress s)

@@ -9,8 +9,16 @@
     as the final stage of the wire format (§3 step 5). *)
 
 val compress : string -> string
-val decompress : string -> string
-(** [decompress (compress s) = s]. @raise Failure on corrupt input. *)
+
+val decompress :
+  ?max_output:int -> string -> (string, Support.Decode_error.t) result
+(** [decompress (compress s) = Ok s]. Total: corrupt input yields a
+    typed [Error]; the declared output length is checked against
+    [max_output] (default 64 MB) before any proportional allocation. *)
+
+val decompress_exn : ?max_output:int -> string -> string
+(** As {!decompress} but raises {!Support.Decode_error.Fail}; for
+    trusted inputs (e.g. bytes this process just compressed). *)
 
 val compressed_size : string -> int
 (** [String.length (compress s)] without keeping the output. *)

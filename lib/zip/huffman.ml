@@ -127,14 +127,22 @@ let encode_symbol e w sym =
   if l = 0 then invalid_arg "Huffman.encode_symbol: symbol has no code";
   Support.Bitio.Writer.put_bits_msb w e.enc_codes.(sym) l
 
+let hfail r kind msg =
+  Support.Decode_error.fail ~decoder:"huffman" ~kind
+    ~pos:(Support.Bitio.Reader.bit_position r / 8)
+    msg
+
 let decode_symbol d r =
   let code = ref 0 in
   let len = ref 0 in
   let result = ref (-1) in
   while !result < 0 do
+    if Support.Bitio.Reader.bits_remaining r = 0 then
+      hfail r Support.Decode_error.Truncated "input ends mid-codeword";
     code := (!code lsl 1) lor Support.Bitio.Reader.get_bit r;
     incr len;
-    if !len > d.dec_max_len then failwith "Huffman.decode_symbol: bad code";
+    if !len > d.dec_max_len then
+      hfail r Support.Decode_error.Bad_value "no codeword of any valid length";
     let c = d.counts.(!len) in
     if c > 0 && !code - d.first_code.(!len) < c && !code >= d.first_code.(!len)
     then result := d.sorted_syms.(d.first_index.(!len) + (!code - d.first_code.(!len)))
@@ -150,6 +158,9 @@ let write_lengths w { lengths } =
 
 let read_lengths r =
   let n = Support.Bitio.Reader.get_bits r 16 in
+  if n * 5 > Support.Bitio.Reader.bits_remaining r then
+    hfail r Support.Decode_error.Truncated
+      (Printf.sprintf "length table of %d entries exceeds remaining input" n);
   let lengths = Array.init n (fun _ -> Support.Bitio.Reader.get_bits r 5) in
   { lengths }
 
@@ -173,12 +184,22 @@ let encode_all syms ~alphabet =
   List.iter (fun s -> encode_symbol e w s) syms;
   Support.Bitio.Writer.contents w
 
-let decode_all bytes =
+let decode_all_exn bytes =
   let r = Support.Bitio.Reader.of_bytes bytes in
+  if Support.Bitio.Reader.bits_remaining r < 32 then
+    hfail r Support.Decode_error.Truncated "missing symbol count";
   let count = Support.Bitio.Reader.get_bits r 32 in
   let code = read_lengths r in
+  (* every symbol costs at least one bit, so a count beyond the remaining
+     bit budget is corrupt — reject before allocating the result list *)
+  if count > Support.Bitio.Reader.bits_remaining r then
+    hfail r Support.Decode_error.Limit
+      (Printf.sprintf "symbol count %d exceeds remaining input" count);
   if count = 0 then []
   else begin
     let d = make_decoder code in
     List.init count (fun _ -> decode_symbol d r)
   end
+
+let decode_all bytes =
+  Support.Decode_error.guard ~decoder:"huffman" (fun () -> decode_all_exn bytes)

@@ -31,6 +31,9 @@ val encode_symbol : encoder -> Support.Bitio.Writer.t -> int -> unit
 (** @raise Invalid_argument if the symbol has no code. *)
 
 val decode_symbol : decoder -> Support.Bitio.Reader.t -> int
+(** @raise Support.Decode_error.Fail on a code not in the table or input
+    ending mid-codeword; callers decoding untrusted bytes run under
+    {!Support.Decode_error.guard}. *)
 
 val write_lengths : Support.Bitio.Writer.t -> code -> unit
 (** Serialize the length table (alphabet size as a varint-ish field, then
@@ -47,4 +50,10 @@ val encode_all : int list -> alphabet:int -> Bytes.t
 (** Convenience: frequency-count the input, build a code, serialize
     lengths + symbols into one self-contained byte string. *)
 
-val decode_all : Bytes.t -> int list
+val decode_all : Bytes.t -> (int list, Support.Decode_error.t) result
+(** Total inverse of {!encode_all}: symbol counts and length tables are
+    validated against the remaining input before any allocation. *)
+
+val decode_all_exn : Bytes.t -> int list
+(** As {!decode_all} but raises {!Support.Decode_error.Fail}; for
+    trusted inputs. *)

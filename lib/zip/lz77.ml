@@ -90,17 +90,32 @@ let tokenize ?(good_enough = 64) s =
   done;
   List.rev !tokens
 
-let reconstruct tokens =
+let reconstruct_exn tokens =
+  let fail ~pos msg =
+    Support.Decode_error.fail ~decoder:"lz77"
+      ~kind:Support.Decode_error.Bad_value ~pos msg
+  in
   let buf = Buffer.create 1024 in
-  List.iter
-    (fun t ->
+  List.iteri
+    (fun pos t ->
       match t with
-      | Literal b -> Buffer.add_char buf (Char.chr b)
+      | Literal b ->
+        if b < 0 || b > 255 then
+          fail ~pos (Printf.sprintf "literal %d out of byte range" b);
+        Buffer.add_char buf (Char.chr b)
       | Match { length; dist } ->
+        if dist < 1 || dist > window_size then
+          fail ~pos (Printf.sprintf "distance %d out of window" dist);
+        if length < 0 || length > max_match then
+          fail ~pos (Printf.sprintf "match length %d out of range" length);
         let start = Buffer.length buf - dist in
-        if start < 0 then failwith "Lz77.reconstruct: bad distance";
+        if start < 0 then
+          fail ~pos (Printf.sprintf "distance %d before start of output" dist);
         for k = 0 to length - 1 do
           Buffer.add_char buf (Buffer.nth buf (start + k))
         done)
     tokens;
   Buffer.contents buf
+
+let reconstruct tokens =
+  Support.Decode_error.guard ~decoder:"lz77" (fun () -> reconstruct_exn tokens)

@@ -18,5 +18,11 @@ val tokenize : ?good_enough:int -> string -> token list
     early once a match at least that long is found, trading a little
     ratio for speed. *)
 
-val reconstruct : token list -> string
-(** Inverse: expand tokens back to the original string. *)
+val reconstruct : token list -> (string, Support.Decode_error.t) result
+(** Inverse: expand tokens back to the original string. Total: distances
+    outside the window or before the start of output, and lengths beyond
+    [max_match], yield [Error] with the token position. *)
+
+val reconstruct_exn : token list -> string
+(** As {!reconstruct} but raises {!Support.Decode_error.Fail}; for
+    trusted token streams. *)

@@ -25,25 +25,41 @@ let encode ~eq xs =
   let indices = List.map emit xs in
   { indices; novel = List.rev !novel }
 
-let decode { indices; novel } =
+(* [pos] below is the element index of the offending MTF index, which is
+   the most useful "position" for a symbol-stream decoder. *)
+let decode_exn { indices; novel } =
+  let fail ~pos kind msg =
+    Support.Decode_error.fail ~decoder:"mtf" ~kind ~pos msg
+  in
   let table = ref [] in
+  let table_len = ref 0 in
   let pending = ref novel in
-  let emit i =
-    if i = 0 then begin
+  let emit pos i =
+    if i < 0 then
+      fail ~pos Support.Decode_error.Bad_value
+        (Printf.sprintf "negative index %d" i)
+    else if i = 0 then begin
       match !pending with
-      | [] -> failwith "Mtf.decode: novel list exhausted"
+      | [] -> fail ~pos Support.Decode_error.Inconsistent "novel list exhausted"
       | x :: rest ->
         pending := rest;
         table := x :: !table;
+        incr table_len;
         x
     end
+    else if i > !table_len then
+      fail ~pos Support.Decode_error.Bad_value
+        (Printf.sprintf "index %d exceeds table of %d" i !table_len)
     else begin
       let x = List.nth !table (i - 1) in
       table := x :: List.filteri (fun j _ -> j <> i - 1) !table;
       x
     end
   in
-  List.map emit indices
+  List.mapi emit indices
+
+let decode e = Support.Decode_error.guard ~decoder:"mtf" (fun () -> decode_exn e)
 
 let encode_ints xs = encode ~eq:Int.equal xs
+let decode_ints_exn e = decode_exn e
 let decode_ints e = decode e

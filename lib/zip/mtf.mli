@@ -16,9 +16,15 @@ val encode : eq:('a -> 'a -> bool) -> 'a list -> 'a encoded
     symbol at (1-based) position [i] of the current table; 0 introduces
     the next element of [novel]. *)
 
-val decode : 'a encoded -> 'a list
-(** Inverse of {!encode}: [decode (encode ~eq xs) = xs] whenever [eq] is
-    equality. *)
+val decode : 'a encoded -> ('a list, Support.Decode_error.t) result
+(** Inverse of {!encode}: [decode (encode ~eq xs) = Ok xs] whenever [eq]
+    is equality. Total: an out-of-range index or exhausted novel list
+    yields [Error] with the element position of the defect. *)
+
+val decode_exn : 'a encoded -> 'a list
+(** As {!decode} but raises {!Support.Decode_error.Fail}; for trusted
+    inputs. *)
 
 val encode_ints : int list -> int encoded
-val decode_ints : int encoded -> int list
+val decode_ints : int encoded -> (int list, Support.Decode_error.t) result
+val decode_ints_exn : int encoded -> int list

@@ -161,16 +161,31 @@ let compress_order_n ~order s =
   Buffer.add_char hdr (Char.chr order);
   Buffer.contents hdr ^ body
 
-let decompress_order_n ~order z =
+let default_max_output = 1 lsl 26
+
+let decompress_order_n_exn ?(max_output = default_max_output) ~order z =
+  if order < 0 || order > 3 then invalid_arg "Range_coder.decompress_order_n";
   let pos = ref 0 in
+  let fail kind msg =
+    Support.Decode_error.fail ~decoder:"range" ~kind ~pos:!pos msg
+  in
   let n = Support.Util.read_uleb128 z pos in
+  if n > max_output then
+    fail Support.Decode_error.Limit
+      (Printf.sprintf "declared length %d exceeds cap %d" n max_output);
+  if !pos >= String.length z then
+    fail Support.Decode_error.Truncated "missing order byte";
   let stored_order = Char.code z.[!pos] in
   incr pos;
-  if stored_order <> order then invalid_arg "Range_coder.decompress_order_n: order mismatch";
+  if stored_order <> order then
+    fail Support.Decode_error.Bad_value
+      (Printf.sprintf "stored order %d, expected %d" stored_order order);
   let models = Array.init (if order = 0 then 1 else context_slots) (fun _ -> Model.create 256) in
   let history = Array.make (max order 1) 0 in
   let d = decoder (String.sub z !pos (String.length z - !pos)) in
-  let buf = Buffer.create n in
+  (* adaptive coding can pack a symbol into under a bit, so [n] cannot be
+     bounded by the input length; grow towards it instead of trusting it *)
+  let buf = Buffer.create (min n 65536) in
   for _ = 1 to n do
     let m = models.(ctx_hash order history) in
     let b = decode d m in
@@ -184,3 +199,7 @@ let decompress_order_n ~order z =
     end
   done;
   Buffer.contents buf
+
+let decompress_order_n ?max_output ~order z =
+  Support.Decode_error.guard ~decoder:"range" (fun () ->
+      decompress_order_n_exn ?max_output ~order z)

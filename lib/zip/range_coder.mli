@@ -37,4 +37,14 @@ val compress_order_n : order:int -> string -> string
 (** Whole-string convenience: order-[order] context-mixed byte model
     (contexts hash the previous [order] bytes), adaptive. *)
 
-val decompress_order_n : order:int -> string -> string
+val decompress_order_n :
+  ?max_output:int -> order:int -> string -> (string, Support.Decode_error.t) result
+(** Total inverse of {!compress_order_n}: the declared output length is
+    checked against [max_output] (default 64 MB) before any proportional
+    allocation, and header defects yield typed errors.
+    @raise Invalid_argument if [order] itself (a caller parameter, not
+    input data) is outside [0, 3]. *)
+
+val decompress_order_n_exn : ?max_output:int -> order:int -> string -> string
+(** As {!decompress_order_n} but raises {!Support.Decode_error.Fail};
+    for trusted inputs. *)

@@ -270,13 +270,13 @@ let test_image_roundtrip_bytes () =
   let vp = compile Corpus.Programs.qsort.Corpus.Programs.source in
   let img = Brisc.compress vp in
   let bytes = Brisc.to_bytes img in
-  let img2 = Brisc.of_bytes bytes in
+  let img2 = Brisc.of_bytes_exn bytes in
   Alcotest.(check bool) "identical bytes" true (Brisc.to_bytes img2 = bytes)
 
 let check_decompress_exact (e : Corpus.Programs.entry) () =
   let vp = compile e.Corpus.Programs.source in
-  let img = Brisc.of_bytes (Brisc.to_bytes (Brisc.compress vp)) in
-  let dec = Brisc.Decomp.decompress img in
+  let img = Brisc.of_bytes_exn (Brisc.to_bytes (Brisc.compress vp)) in
+  let dec = Brisc.Decomp.decompress_exn img in
   Alcotest.(check bool) "normalized equality" true
     (Brisc.Decomp.normalize_labels dec = Brisc.Decomp.normalize_labels vp)
 
@@ -288,8 +288,10 @@ let decompress_cases =
 
 let test_corrupt_container () =
   match Brisc.of_bytes "not a brisc container" with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "bad magic must be rejected"
+  | Error e ->
+    Alcotest.(check bool) "bad-magic kind" true
+      (e.Support.Decode_error.kind = Support.Decode_error.Bad_magic)
+  | Ok _ -> Alcotest.fail "bad magic must be rejected"
 
 let test_apply_dictionary_salt () =
   (* §4.4: compress the salt example with a dictionary trained on a big
@@ -307,7 +309,7 @@ int salt(int j, int i) {
   let big = Lazy.force medium_vp in
   let trained = Brisc.compress big in
   let img = Brisc.compress_with trained salt in
-  let dec = Brisc.Decomp.decompress img in
+  let dec = Brisc.Decomp.decompress_exn img in
   Alcotest.(check bool) "decodes exactly" true
     (Brisc.Decomp.normalize_labels dec = Brisc.Decomp.normalize_labels salt);
   (* the trained dictionary beats salt's own base encoding, as in the
@@ -322,7 +324,7 @@ int salt(int j, int i) {
 
 let check_interp_equiv (e : Corpus.Programs.entry) () =
   let vp = compile e.Corpus.Programs.source in
-  let img = Brisc.of_bytes (Brisc.to_bytes (Brisc.compress vp)) in
+  let img = Brisc.of_bytes_exn (Brisc.to_bytes (Brisc.compress vp)) in
   let r0 = Vm.Interp.run ~input:e.Corpus.Programs.input vp in
   let r1 = Brisc.Interp.run ~input:e.Corpus.Programs.input img in
   Alcotest.(check string) "output" r0.Vm.Interp.output r1.Brisc.Interp.output;

@@ -1,0 +1,105 @@
+(* Differential testing: generated programs must behave identically —
+   same output bytes, same exit code — under the three execution paths
+   a delivered program can take:
+
+     1. the OmniVM interpreter on the uncompressed VM program,
+     2. the BRISC in-place interpreter, through a full container
+        serialization round-trip (to_bytes / of_bytes), and
+     3. the BRISC JIT compiled to native and run on the simulator.
+
+   A disagreement shrinks to the smallest function count (same seed)
+   that still disagrees and prints that program's IR, so the failing
+   case is immediately reproducible. *)
+
+type obs = { output : string; exit_code : int }
+
+let obs_vm vp input =
+  let r = Vm.Interp.run ~input vp in
+  { output = r.Vm.Interp.output; exit_code = r.Vm.Interp.exit_code }
+
+let obs_brisc vp input =
+  let img = Brisc.of_bytes_exn (Brisc.to_bytes (Brisc.compress vp)) in
+  let r = Brisc.Interp.run ~input img in
+  { output = r.Brisc.Interp.output; exit_code = r.Brisc.Interp.exit_code }
+
+let obs_jit vp input =
+  let img = Brisc.of_bytes_exn (Brisc.to_bytes (Brisc.compress vp)) in
+  let r = Native.Sim.run ~input (Brisc.Jit.compile img) in
+  { output = r.Native.Sim.output; exit_code = r.Native.Sim.exit_code }
+
+(* None = all engines agree; Some description otherwise *)
+let disagreement (profile : Corpus.Gen.profile) =
+  let e = Corpus.Gen.generate profile in
+  let ir = Cc.Lower.compile e.Corpus.Programs.source in
+  let vp = Vm.Codegen.gen_program ir in
+  let input = e.Corpus.Programs.input in
+  let a = obs_vm vp input in
+  let check name b =
+    if a.output <> b.output then
+      Some
+        (Printf.sprintf "%s output differs: vm=%S %s=%S" name a.output name
+           b.output)
+    else if a.exit_code <> b.exit_code then
+      Some
+        (Printf.sprintf "%s exit differs: vm=%d %s=%d" name a.exit_code name
+           b.exit_code)
+    else None
+  in
+  match check "brisc-interp" (obs_brisc vp input) with
+  | Some _ as d -> d
+  | None -> check "brisc-jit" (obs_jit vp input)
+
+let shrink (profile : Corpus.Gen.profile) =
+  (* smallest function count (same seed) that still disagrees *)
+  let rec go n =
+    if n > profile.Corpus.Gen.functions then (profile, None)
+    else
+      let p = { profile with Corpus.Gen.functions = n } in
+      match disagreement p with
+      | Some d -> (p, Some d)
+      | None -> go (n + 1)
+  in
+  go 1
+
+let report_failure profile msg =
+  let small, small_msg = shrink profile in
+  let e = Corpus.Gen.generate small in
+  let ir = Cc.Lower.compile e.Corpus.Programs.source in
+  Alcotest.fail
+    (Printf.sprintf
+       "engines disagree (seed %Ld, %d functions): %s\n\
+        minimal reproduction: %d functions: %s\n\
+        --- IR of minimal program ---\n\
+        %s"
+       profile.Corpus.Gen.seed profile.Corpus.Gen.functions msg
+       small.Corpus.Gen.functions
+       (Option.value ~default:msg small_msg)
+       (Ir.Printer.program_to_string ir))
+
+let check_profile (profile : Corpus.Gen.profile) () =
+  match disagreement profile with
+  | None -> ()
+  | Some msg -> report_failure profile msg
+
+let profiles =
+  (* seeded sweep over program sizes, including the 16-bit-biased shape *)
+  List.concat_map
+    (fun seed ->
+      List.map
+        (fun (functions, bias16) -> { Corpus.Gen.functions; seed; bias16 })
+        [ (3, false); (5, false); (8, true) ])
+    [ 11L; 23L; 37L; 53L; 71L; 97L ]
+
+let () =
+  Alcotest.run "diff"
+    [
+      ( "vm vs brisc-interp vs brisc-jit",
+        List.mapi
+          (fun i p ->
+            Alcotest.test_case
+              (Printf.sprintf "case %02d: %d fns, seed %Ld%s" i
+                 p.Corpus.Gen.functions p.Corpus.Gen.seed
+                 (if p.Corpus.Gen.bias16 then ", bias16" else ""))
+              `Quick (check_profile p))
+          profiles );
+    ]

@@ -18,7 +18,7 @@ let engines (e : Corpus.Programs.entry) =
   let r_vm = Vm.Interp.run ~input vp in
   let np = Native.Compile.compile_program vp in
   let r_sim = Native.Sim.run ~input np in
-  let img = Brisc.of_bytes (Brisc.to_bytes (Brisc.compress vp)) in
+  let img = Brisc.of_bytes_exn (Brisc.to_bytes (Brisc.compress vp)) in
   let r_brisc = Brisc.Interp.run ~input img in
   let jit = Brisc.Jit.compile img in
   let r_jit = Native.Sim.run ~input jit in
@@ -107,7 +107,7 @@ let differential_optimized seed () =
   let ir = Cc.Lower.compile e.Corpus.Programs.source in
   let vp = Vm.Peephole.optimize (Vm.Codegen.gen_program ir) in
   let r0 = Vm.Interp.run vp in
-  let img = Brisc.of_bytes (Brisc.to_bytes (Brisc.compress vp)) in
+  let img = Brisc.of_bytes_exn (Brisc.to_bytes (Brisc.compress vp)) in
   let r1 = Brisc.Interp.run img in
   let r2 = Native.Sim.run (Brisc.Jit.compile img) in
   Alcotest.(check string) "brisc output" r0.Vm.Interp.output r1.Brisc.Interp.output;

@@ -1,0 +1,242 @@
+(* Fuzz layer: seeded mutations through Support.Fault against every
+   untrusted-input decoder. The single property under test is totality:
+   whatever the mutation, a decoder must return [Ok] or a typed
+   [Error] — an escaped exception (or an OOM-scale allocation, which
+   the bounded-allocation checks turn into [Error]) fails the run.
+
+   Iteration count per decoder comes from FUZZ_ITERS (default 10_000;
+   `make fuzz-quick` runs a bounded pass with 1_500). *)
+
+let iters =
+  match Sys.getenv_opt "FUZZ_ITERS" with
+  | Some s -> ( try max 1 (int_of_string s) with _ -> 10_000)
+  | None -> 10_000
+
+(* ---- seed corpus: valid artifacts to mutate ---- *)
+
+let programs =
+  [ "int main() { return 0; }";
+    "int f(int x) { return x * 3 + 1; }\n\
+     int main() { int i; int s; s = 0; for (i = 0; i < 9; i++) s = s + f(i);\n\
+     print_int(s); return s; }";
+    Corpus.Programs.calc.Corpus.Programs.source ]
+
+let irs = List.map Cc.Lower.compile programs
+let vps = List.map Vm.Codegen.gen_program irs
+
+let texts =
+  [ ""; "x"; String.make 400 'a';
+    String.concat "" (List.map string_of_int (List.init 120 (fun i -> i * 7))) ]
+
+(* run [decode] over [iters] mutants drawn from [seeds]; [decode] does
+   its own result match and Ok-side checks, and must never raise *)
+let fuzz name seed seeds decode () =
+  let rng = Support.Prng.create seed in
+  let seeds = Array.of_list seeds in
+  for i = 1 to iters do
+    let mutant = Support.Fault.mutate rng (Support.Prng.pick rng seeds) in
+    try decode rng mutant
+    with e ->
+      Alcotest.fail
+        (Printf.sprintf "%s: iteration %d: exception escaped: %s" name i
+           (Printexc.to_string e))
+  done
+
+(* ---- zip stack ---- *)
+
+let fuzz_huffman =
+  let seeds =
+    List.map
+      (fun t ->
+        Bytes.to_string
+          (Zip.Huffman.encode_all
+             (List.init (String.length t) (fun i -> Char.code t.[i] land 31))
+             ~alphabet:32))
+      texts
+  in
+  fuzz "huffman" 101L seeds (fun _ m ->
+      match Zip.Huffman.decode_all (Bytes.of_string m) with
+      | Ok _ | Error _ -> ())
+
+let fuzz_deflate =
+  let seeds = List.map Zip.Deflate.compress texts in
+  fuzz "deflate" 102L seeds (fun _ m ->
+      match Zip.Deflate.decompress m with
+      | Error _ -> ()
+      | Ok s ->
+        (* a mutant that still decodes must round-trip through our own
+           compressor *)
+        if String.length s < 1_000_000 then
+          assert (Zip.Deflate.decompress_exn (Zip.Deflate.compress s) = s))
+
+let fuzz_range order seed =
+  let seeds = List.map (Zip.Range_coder.compress_order_n ~order) texts in
+  fuzz
+    (Printf.sprintf "range order-%d" order)
+    seed seeds
+    (fun _ m ->
+      match Zip.Range_coder.decompress_order_n ~order m with
+      | Ok _ | Error _ -> ())
+
+(* ---- wire ---- *)
+
+let fuzz_wire =
+  let seeds = List.map Wire.compress irs in
+  fuzz "wire" 104L seeds (fun _ m ->
+      match Wire.decompress m with
+      | Ok _ | Error _ -> ())
+
+(* mutate the bundle *behind* the CRC frame and re-frame it validly, so
+   the parser itself — not just the checksum — faces hostile input *)
+let frame body =
+  let crc = Support.Util.crc32 body in
+  let hdr = Bytes.create 4 in
+  Bytes.set hdr 0 (Char.chr ((crc lsr 24) land 0xff));
+  Bytes.set hdr 1 (Char.chr ((crc lsr 16) land 0xff));
+  Bytes.set hdr 2 (Char.chr ((crc lsr 8) land 0xff));
+  Bytes.set hdr 3 (Char.chr (crc land 0xff));
+  Bytes.to_string hdr ^ body
+
+let fuzz_wire_bundle =
+  let seeds =
+    List.map
+      (fun ir ->
+        let z = Wire.compress ir in
+        let body = String.sub z 4 (String.length z - 4) in
+        Zip.Deflate.decompress_exn (String.sub body 1 (String.length body - 1)))
+      irs
+  in
+  fuzz "wire inner bundle" 105L seeds (fun _ bundle ->
+      let z = frame ("D" ^ Zip.Deflate.compress bundle) in
+      match Wire.decompress z with
+      | Ok _ | Error _ -> ())
+
+let fuzz_chunked =
+  let seeds =
+    List.map (fun ir -> Wire.Chunked.to_bytes (Wire.Chunked.compress ir)) irs
+  in
+  fuzz "chunked" 106L seeds (fun _ m ->
+      match Wire.Chunked.of_bytes m with
+      | Error _ -> ()
+      | Ok c ->
+        (* container framing survived; each chunk is opaque payload the
+           client expands with the total Wire decoder *)
+        List.iter
+          (fun n ->
+            match Wire.decompress (Wire.Chunked.chunk c n) with
+            | Ok _ | Error _ -> ())
+          (Wire.Chunked.function_names c))
+
+(* the chunked body behind its own CRC: mutate, recompute the checksum,
+   reassemble — forcing the container parser past the integrity check *)
+let fuzz_chunked_body =
+  let seeds =
+    List.map
+      (fun ir ->
+        let img = Wire.Chunked.to_bytes (Wire.Chunked.compress ir) in
+        String.sub img 8 (String.length img - 8))
+      irs
+  in
+  fuzz "chunked inner body" 107L seeds (fun _ body ->
+      let crc = Support.Util.crc32 body in
+      let hdr = Bytes.create 4 in
+      Bytes.set hdr 0 (Char.chr ((crc lsr 24) land 0xff));
+      Bytes.set hdr 1 (Char.chr ((crc lsr 16) land 0xff));
+      Bytes.set hdr 2 (Char.chr ((crc lsr 8) land 0xff));
+      Bytes.set hdr 3 (Char.chr (crc land 0xff));
+      match Wire.Chunked.of_bytes ("WCH2" ^ Bytes.to_string hdr ^ body) with
+      | Ok _ | Error _ -> ())
+
+(* ---- brisc ---- *)
+
+let fuzz_brisc_container =
+  let seeds = List.map (fun vp -> Brisc.to_bytes (Brisc.compress vp)) vps in
+  fuzz "brisc container" 108L seeds (fun _ m ->
+      match Brisc.of_bytes m with
+      | Error _ -> ()
+      | Ok img -> (
+        (* a surviving container must also decompress totally *)
+        match Brisc.Decomp.decompress img with Ok _ | Error _ -> ()))
+
+(* structured: corrupt one function's code stream inside an otherwise
+   valid image — exercises the Markov walker and the fuel guard rather
+   than the container parser *)
+let fuzz_brisc_decomp =
+  let images = List.map Brisc.compress vps in
+  fuzz "brisc decomp" 109L [ "" ] (fun rng _ ->
+      let img = Support.Prng.pick rng (Array.of_list images) in
+      let n = Array.length img.Brisc.Emit.ifuncs in
+      if n > 0 then begin
+        let k = Support.Prng.int rng n in
+        let ifuncs =
+          Array.mapi
+            (fun i (f : Brisc.Emit.ifunc) ->
+              if i = k then
+                { f with Brisc.Emit.code = Support.Fault.mutate rng f.Brisc.Emit.code }
+              else f)
+            img.Brisc.Emit.ifuncs
+        in
+        match Brisc.Decomp.decompress { img with Brisc.Emit.ifuncs } with
+        | Ok _ | Error _ -> ()
+      end)
+
+(* ---- vm ---- *)
+
+let fuzz_vm_encode =
+  let seeds = List.map Vm.Encode.encode_program vps in
+  fuzz "vm encode" 110L seeds (fun _ m ->
+      match Vm.Encode.decode_program m with
+      | Error _ -> ()
+      | Ok vp ->
+        (* anything the decoder accepts must re-encode canonically *)
+        assert (Vm.Encode.decode_program_exn (Vm.Encode.encode_program vp) = vp))
+
+(* ---- structured hostile inputs (no byte container to mutate) ---- *)
+
+let fuzz_mtf_structured =
+  fuzz "mtf structured" 111L [ "" ] (fun rng _ ->
+      let len = Support.Prng.int rng 40 in
+      let indices =
+        List.init len (fun _ -> Support.Prng.int rng 50 - 3)  (* incl. negatives *)
+      in
+      let novel = List.init (Support.Prng.int rng 8) (fun i -> i) in
+      match Zip.Mtf.decode_ints { Zip.Mtf.indices; novel } with
+      | Ok _ | Error _ -> ())
+
+let fuzz_lz77_structured =
+  fuzz "lz77 structured" 112L [ "" ] (fun rng _ ->
+      let len = Support.Prng.int rng 40 in
+      let tokens =
+        List.init len (fun _ ->
+            if Support.Prng.bool rng then
+              Zip.Lz77.Literal (Support.Prng.int rng 600 - 100)
+            else
+              Zip.Lz77.Match
+                {
+                  length = Support.Prng.int rng 1000 - 100;
+                  dist = Support.Prng.int rng 100_000 - 1000;
+                })
+      in
+      match Zip.Lz77.reconstruct tokens with Ok _ | Error _ -> ())
+
+let () =
+  Printf.printf "fuzz: %d iterations per decoder\n%!" iters;
+  Alcotest.run "fuzz"
+    [
+      ( "totality",
+        [
+          Alcotest.test_case "huffman" `Quick fuzz_huffman;
+          Alcotest.test_case "deflate" `Quick fuzz_deflate;
+          Alcotest.test_case "range order-0" `Quick (fuzz_range 0 103L);
+          Alcotest.test_case "range order-2" `Quick (fuzz_range 2 113L);
+          Alcotest.test_case "wire" `Quick fuzz_wire;
+          Alcotest.test_case "wire inner bundle" `Quick fuzz_wire_bundle;
+          Alcotest.test_case "chunked" `Quick fuzz_chunked;
+          Alcotest.test_case "chunked inner body" `Quick fuzz_chunked_body;
+          Alcotest.test_case "brisc container" `Quick fuzz_brisc_container;
+          Alcotest.test_case "brisc decomp" `Quick fuzz_brisc_decomp;
+          Alcotest.test_case "vm encode" `Quick fuzz_vm_encode;
+          Alcotest.test_case "mtf structured" `Quick fuzz_mtf_structured;
+          Alcotest.test_case "lz77 structured" `Quick fuzz_lz77_structured;
+        ] );
+    ]

@@ -159,7 +159,7 @@ let test_materialize_after_eviction () =
   let again, _ = Server.Store.materialize store dg Server.Artifact.Wire in
   Alcotest.(check string) "recompression is deterministic" first again;
   Alcotest.(check bool) "artifact is a valid wire image" true
-    (Ir.Tree.equal_program ir (Wire.decompress again))
+    (Ir.Tree.equal_program ir (Wire.decompress_exn again))
 
 let test_fetch_unknown_digest () =
   let e = Server.create () in
@@ -220,7 +220,7 @@ let test_session_chunks_are_wire_images () =
   match Server.Session.request s ~seq "b" with
   | Error m -> Alcotest.fail m
   | Ok payload ->
-    let p = Wire.decompress payload in
+    let p = Wire.decompress_exn payload in
     (match p.Ir.Tree.funcs with
     | [ f ] ->
       Alcotest.(check string) "the function asked for" "b" f.Ir.Tree.fname;
@@ -265,10 +265,120 @@ let test_session_rejects_bad_requests () =
   Alcotest.(check bool) "stale retransmit must repeat the same name" true
     (is_err (Server.Session.request s ~seq:seq0 "b"));
   ignore (Server.Session.request s ~seq:(seq0 + 1) "b");
-  Alcotest.(check bool) "old seq beyond the last is gone" true
-    (is_err (Server.Session.request s ~seq:seq0 "a"));
+  (* answered sequence numbers stay replayable (late duplicates), but
+     only as faithful repeats *)
+  Alcotest.(check bool) "old seq with its original name retransmits" true
+    (not (is_err (Server.Session.request s ~seq:seq0 "a")));
+  Alcotest.(check bool) "old seq with a different name rejected" true
+    (is_err (Server.Session.request s ~seq:seq0 "b"));
   Alcotest.(check bool) "unknown function rejected" true
     (is_err (Server.Session.request s ~seq:(Server.Session.next_seq s) "ghost"))
+
+let test_session_late_duplicate_regression () =
+  (* regression: a stale retry of an old request arriving after newer
+     chunks were served must retransmit byte-for-byte and must not
+     disturb the session offset (it used to be rejected once any newer
+     request had been answered) *)
+  let _, _, _, s = session_fixture () in
+  let get seq name =
+    match Server.Session.request s ~seq name with
+    | Ok p -> p
+    | Error m -> Alcotest.fail m
+  in
+  let p0 = get 0 "a" in
+  let _ = get 1 "b" in
+  let _ = get 2 "c" in
+  Alcotest.(check string) "late duplicate of seq 0 retransmits" p0 (get 0 "a");
+  Alcotest.(check int) "offset undisturbed" 3 (Server.Session.next_seq s);
+  let _ = get 1 "b" in
+  Alcotest.(check int) "offset still undisturbed" 3 (Server.Session.next_seq s);
+  (* the session continues exactly where it was *)
+  let _ = get 3 "main" in
+  Alcotest.(check int) "four distinct functions delivered" 4
+    (Server.Session.delivered s)
+
+(* ---- fault injection: quarantine, degradation, healing ---- *)
+
+let flip_middle b =
+  let by = Bytes.of_string b in
+  let i = Bytes.length by / 2 in
+  Bytes.set by i (Char.chr (Char.code (Bytes.get by i) lxor 0x55));
+  Bytes.to_string by
+
+let test_fetch_degrades_on_corrupt_artifact () =
+  let e = Server.create () in
+  let ir = prog multi_fn_src in
+  let dg = Server.publish e ~run_cycles:1_000_000 ir in
+  let store = Server.store e in
+  let first = Server.fetch e dg Server.Profile.modem in
+  Alcotest.(check bool) "baseline fetch not degraded" true
+    (first.Server.degraded_from = None);
+  let victim = first.Server.artifact in
+  Alcotest.(check bool) "victim artifact was resident" true
+    (Server.Store.corrupt_cached store dg victim ~f:flip_middle);
+  (* the poisoned bytes must never reach a client: the fetch quarantines
+     them, records a typed failure, and serves the next-best repr *)
+  let resp = Server.fetch e dg Server.Profile.modem in
+  Alcotest.(check bool) "degraded response flagged" true
+    (resp.Server.degraded_from <> None);
+  Alcotest.(check bool) "a different artifact served" true
+    (resp.Server.artifact <> victim);
+  let r = Server.report e in
+  Alcotest.(check int) "decode failure visible in stats" 1
+    r.Server.Stats.decode_failures;
+  Alcotest.(check int) "degraded fetch counted" 1
+    r.Server.Stats.degraded_fetches;
+  Alcotest.(check bool) "failure log names the digest" true
+    (match r.Server.Stats.recent_failures with
+    | [ f ] -> f.Server.Stats.fail_digest = dg && f.Server.Stats.fail_repr = victim
+    | _ -> false);
+  (* quarantine is self-healing: the next request rebuilds the artifact
+     fresh from the published IR and serves the original choice again *)
+  let healed = Server.fetch e dg Server.Profile.modem in
+  Alcotest.(check bool) "healed back to the original artifact" true
+    (healed.Server.artifact = victim && healed.Server.degraded_from = None)
+
+let test_session_open_heals_corrupt_chunked () =
+  let e = Server.create () in
+  let ir = prog multi_fn_src in
+  let dg = Server.publish e ~run_cycles:1_000_000 ir in
+  let store = Server.store e in
+  Alcotest.(check bool) "chunked artifact was resident" true
+    (Server.Store.corrupt_cached store dg Server.Artifact.Chunked_wire
+       ~f:flip_middle);
+  (* opening a session on the poisoned artifact quarantines it, rebuilds
+     fresh, and serves normally *)
+  let s = Server.open_session e dg in
+  Alcotest.(check bool) "session serves a chunk" true
+    (match Server.Session.request s ~seq:0 "a" with
+    | Ok _ -> true
+    | Error _ -> false);
+  let r = Server.report e in
+  Alcotest.(check int) "failure recorded" 1 r.Server.Stats.decode_failures
+
+let test_fault_workload_survives () =
+  (* inject faults into hot cached artifacts mid-workload: every request
+     must still be answered (degraded or healed), with the damage
+     visible in the stats *)
+  let e = Server.create () in
+  let catalog = Server.Workload.build_catalog ~generated:[] e in
+  let store = Server.store e in
+  let rng = Support.Prng.create 4242L in
+  let digests = Server.digests e in
+  List.iteri
+    (fun i dg ->
+      let repr =
+        List.nth Server.Artifact.all (i mod List.length Server.Artifact.all)
+      in
+      if repr <> Server.Artifact.Native then
+        ignore
+          (Server.Store.corrupt_cached store dg repr
+             ~f:(Support.Fault.mutate rng)))
+    digests;
+  let config = { Server.Workload.default_config with requests = 60 } in
+  let s = Server.Workload.run e ~config catalog in
+  Alcotest.(check bool) "workload completed every request" true
+    (s.Server.Workload.requests = 60)
 
 (* ---- engine + workload: end to end ---- *)
 
@@ -351,6 +461,17 @@ let () =
             test_session_resume_after_drop;
           Alcotest.test_case "bad requests rejected" `Quick
             test_session_rejects_bad_requests;
+          Alcotest.test_case "late duplicate regression" `Quick
+            test_session_late_duplicate_regression;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "fetch degrades then heals" `Quick
+            test_fetch_degrades_on_corrupt_artifact;
+          Alcotest.test_case "session open heals" `Quick
+            test_session_open_heals_corrupt_chunked;
+          Alcotest.test_case "workload survives injected faults" `Slow
+            test_fault_workload_survives;
         ] );
       ( "workload",
         [

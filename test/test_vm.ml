@@ -99,12 +99,12 @@ let test_shape_code_roundtrip () =
 let test_encode_decode_program () =
   let vp = compile Corpus.Programs.qsort.Corpus.Programs.source in
   let img = Vm.Encode.encode_program vp in
-  let vp' = Vm.Encode.decode_program img in
+  let vp' = Vm.Encode.decode_program_exn img in
   Alcotest.(check bool) "identical" true (vp = vp')
 
 let test_encode_decode_with_globals () =
   let vp = compile "int t[3] = {9,8,7}; char *s = 0; int main() { return t[0]; }" in
-  let vp' = Vm.Encode.decode_program (Vm.Encode.encode_program vp) in
+  let vp' = Vm.Encode.decode_program_exn (Vm.Encode.encode_program vp) in
   Alcotest.(check bool) "identical" true (vp = vp')
 
 (* ---- codegen shape ---- *)

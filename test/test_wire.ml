@@ -5,7 +5,7 @@ let compile src = Cc.Lower.compile src
 
 let roundtrip ?use_mtf ?split_streams ir =
   let z = Wire.compress ?use_mtf ?split_streams ir in
-  let ir' = Wire.decompress z in
+  let ir' = Wire.decompress_exn z in
   Ir.Tree.equal_program ir ir'
 
 let check_roundtrip name (e : Corpus.Programs.entry) () =
@@ -39,7 +39,7 @@ let test_preserves_semantics () =
   (* decompressed program must run identically, not just be equal *)
   let e = Corpus.Programs.calc in
   let ir = compile e.Corpus.Programs.source in
-  let ir' = Wire.decompress (Wire.compress ir) in
+  let ir' = Wire.decompress_exn (Wire.compress ir) in
   let run p = Vm.Interp.run ~input:e.Corpus.Programs.input (Vm.Codegen.gen_program p) in
   let a = run ir and b = run ir' in
   Alcotest.(check string) "same output" a.Vm.Interp.output b.Vm.Interp.output;
@@ -63,22 +63,24 @@ let test_corrupt_magic () =
      image is [crc32][tag][deflate(bundle)]. *)
   let body = String.sub z 4 (String.length z - 4) in
   let bundle =
-    Zip.Deflate.decompress (String.sub body 1 (String.length body - 1))
+    Zip.Deflate.decompress_exn (String.sub body 1 (String.length body - 1))
   in
   let mangled = Bytes.of_string bundle in
   Bytes.set mangled 0 'X';
   let z' = frame ("D" ^ Zip.Deflate.compress (Bytes.to_string mangled)) in
   match Wire.decompress z' with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "bad magic must be rejected"
+  | Error e ->
+    Alcotest.(check bool) "bad-magic kind" true
+      (e.Support.Decode_error.kind = Support.Decode_error.Bad_magic)
+  | Ok _ -> Alcotest.fail "bad magic must be rejected"
 
 let test_truncated_input () =
   let ir = compile "int main() { return 0; }" in
   let z = Wire.compress ir in
   let truncated = String.sub z 0 (String.length z / 2) in
   match Wire.decompress truncated with
-  | exception _ -> ()
-  | _ -> Alcotest.fail "truncated input must be rejected"
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated input must be rejected"
 
 (* ---- corruption: the CRC frame must catch every single-byte error ---- *)
 
@@ -91,52 +93,39 @@ let small_ir = lazy (compile Corpus.Programs.calc.Corpus.Programs.source)
 
 let test_wire_flip_every_byte () =
   (* exhaustive, not sampled: CRC-32 detects any error burst <= 32 bits,
-     so every possible single-byte flip must raise Failure *)
+     so every possible single-byte flip must yield a typed error —
+     never an exception, never a silent Ok *)
   let z = Wire.compress (Lazy.force small_ir) in
   for i = 0 to String.length z - 1 do
     match Wire.decompress (flip z i) with
-    | exception Failure _ -> ()
-    | exception e ->
-      Alcotest.fail
-        (Printf.sprintf "byte %d: expected Failure, got %s" i
-           (Printexc.to_string e))
-    | _ -> Alcotest.fail (Printf.sprintf "byte %d: corruption undetected" i)
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "byte %d: corruption undetected" i)
   done
 
 let test_wire_every_truncation () =
   let z = Wire.compress (Lazy.force small_ir) in
   for len = 0 to String.length z - 1 do
     match Wire.decompress (String.sub z 0 len) with
-    | exception Failure _ -> ()
-    | exception e ->
-      Alcotest.fail
-        (Printf.sprintf "length %d: expected Failure, got %s" len
-           (Printexc.to_string e))
-    | _ -> Alcotest.fail (Printf.sprintf "length %d: truncation undetected" len)
+    | Error _ -> ()
+    | Ok _ ->
+      Alcotest.fail (Printf.sprintf "length %d: truncation undetected" len)
   done
 
 let test_chunked_flip_every_byte () =
   let img = Wire.Chunked.to_bytes (Wire.Chunked.compress (Lazy.force small_ir)) in
   for i = 0 to String.length img - 1 do
     match Wire.Chunked.of_bytes (flip img i) with
-    | exception Failure _ -> ()
-    | exception e ->
-      Alcotest.fail
-        (Printf.sprintf "byte %d: expected Failure, got %s" i
-           (Printexc.to_string e))
-    | _ -> Alcotest.fail (Printf.sprintf "byte %d: corruption undetected" i)
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "byte %d: corruption undetected" i)
   done
 
 let test_chunked_every_truncation () =
   let img = Wire.Chunked.to_bytes (Wire.Chunked.compress (Lazy.force small_ir)) in
   for len = 0 to String.length img - 1 do
     match Wire.Chunked.of_bytes (String.sub img 0 len) with
-    | exception Failure _ -> ()
-    | exception e ->
-      Alcotest.fail
-        (Printf.sprintf "length %d: expected Failure, got %s" len
-           (Printexc.to_string e))
-    | _ -> Alcotest.fail (Printf.sprintf "length %d: truncation undetected" len)
+    | Error _ -> ()
+    | Ok _ ->
+      Alcotest.fail (Printf.sprintf "length %d: truncation undetected" len)
   done
 
 (* ---- statistics / size claims ---- *)
@@ -197,7 +186,7 @@ let test_arith_final_stage () =
       Alcotest.(check bool)
         (Printf.sprintf "arith order-%d roundtrip" order)
         true
-        (Ir.Tree.equal_program ir (Wire.decompress z)))
+        (Ir.Tree.equal_program ir (Wire.decompress_exn z)))
     [ 0; 1; 2; 3 ]
 
 let test_arith_competitive () =
@@ -219,7 +208,10 @@ let test_bad_order_rejected () =
 
 let test_chunked_roundtrip () =
   let ir = compile Corpus.Programs.calc.Corpus.Programs.source in
-  let c = Wire.Chunked.of_bytes (Wire.Chunked.to_bytes (Wire.Chunked.compress ir)) in
+  let c =
+    Wire.Chunked.of_bytes_exn
+      (Wire.Chunked.to_bytes (Wire.Chunked.compress ir))
+  in
   Alcotest.(check bool) "whole program" true
     (Ir.Tree.equal_program ir (Wire.Chunked.decompress_all c))
 

@@ -15,7 +15,7 @@ let test_mtf_paper_example () =
 let test_mtf_empty () =
   let e = Zip.Mtf.encode_ints [] in
   Alcotest.(check (list int)) "indices" [] e.Zip.Mtf.indices;
-  Alcotest.(check (list int)) "decode" [] (Zip.Mtf.decode_ints e)
+  Alcotest.(check (list int)) "decode" [] (Zip.Mtf.decode_ints_exn e)
 
 let test_mtf_all_same () =
   let e = Zip.Mtf.encode_ints [ 5; 5; 5; 5 ] in
@@ -32,14 +32,14 @@ let test_mtf_locality_wins () =
 let prop_mtf_roundtrip =
   QCheck.Test.make ~name:"mtf roundtrip" ~count:300
     QCheck.(list (int_bound 50))
-    (fun xs -> Zip.Mtf.decode_ints (Zip.Mtf.encode_ints xs) = xs)
+    (fun xs -> Zip.Mtf.decode_ints_exn (Zip.Mtf.encode_ints xs) = xs)
 
 let prop_mtf_strings =
   QCheck.Test.make ~name:"mtf roundtrip over strings" ~count:100
     QCheck.(list (string_of_size (Gen.return 2)))
     (fun xs ->
       let e = Zip.Mtf.encode ~eq:String.equal xs in
-      Zip.Mtf.decode e = xs)
+      Zip.Mtf.decode_exn e = xs)
 
 (* ---- Huffman ---- *)
 
@@ -61,11 +61,11 @@ let test_huffman_kraft () =
 
 let test_huffman_single_symbol () =
   let enc = Zip.Huffman.encode_all [ 3; 3; 3; 3 ] ~alphabet:8 in
-  Alcotest.(check (list int)) "decoded" [ 3; 3; 3; 3 ] (Zip.Huffman.decode_all enc)
+  Alcotest.(check (list int)) "decoded" [ 3; 3; 3; 3 ] (Zip.Huffman.decode_all_exn enc)
 
 let test_huffman_empty () =
   let enc = Zip.Huffman.encode_all [] ~alphabet:4 in
-  Alcotest.(check (list int)) "decoded" [] (Zip.Huffman.decode_all enc)
+  Alcotest.(check (list int)) "decoded" [] (Zip.Huffman.decode_all_exn enc)
 
 let test_huffman_cost_bits () =
   let freqs = [| 3; 1 |] in
@@ -105,7 +105,7 @@ let prop_huffman_roundtrip =
     QCheck.(list (int_bound 30))
     (fun xs ->
       let enc = Zip.Huffman.encode_all xs ~alphabet:31 in
-      Zip.Huffman.decode_all enc = xs)
+      Zip.Huffman.decode_all_exn enc = xs)
 
 let test_huffman_lengths_serialization () =
   let code = Zip.Huffman.lengths_of_freqs [| 5; 0; 3; 2; 0; 1 |] in
@@ -125,64 +125,86 @@ let test_lz77_finds_matches () =
     List.exists (fun t -> match t with Zip.Lz77.Match _ -> true | _ -> false) tokens
   in
   Alcotest.(check bool) "found a match" true has_match;
-  Alcotest.(check string) "reconstruct" s (Zip.Lz77.reconstruct tokens)
+  Alcotest.(check string) "reconstruct" s (Zip.Lz77.reconstruct_exn tokens)
 
 let test_lz77_no_matches () =
   let s = "abcdefgh" in
   let tokens = Zip.Lz77.tokenize s in
   Alcotest.(check int) "all literals" (String.length s) (List.length tokens);
-  Alcotest.(check string) "reconstruct" s (Zip.Lz77.reconstruct tokens)
+  Alcotest.(check string) "reconstruct" s (Zip.Lz77.reconstruct_exn tokens)
 
 let test_lz77_overlapping_match () =
   (* "aaaa..." relies on overlapping copies (dist < length) *)
   let s = String.make 100 'a' in
   let tokens = Zip.Lz77.tokenize s in
-  Alcotest.(check string) "reconstruct" s (Zip.Lz77.reconstruct tokens);
+  Alcotest.(check string) "reconstruct" s (Zip.Lz77.reconstruct_exn tokens);
   Alcotest.(check bool) "few tokens" true (List.length tokens < 10)
 
 let prop_lz77_roundtrip =
   QCheck.Test.make ~name:"lz77 roundtrip" ~count:200
     QCheck.(string_gen_of_size (Gen.int_range 0 500) (Gen.char_range 'a' 'e'))
-    (fun s -> Zip.Lz77.reconstruct (Zip.Lz77.tokenize s) = s)
+    (fun s -> Zip.Lz77.reconstruct_exn (Zip.Lz77.tokenize s) = s)
 
 (* ---- Deflate ---- *)
 
 let test_deflate_empty () =
-  Alcotest.(check string) "empty" "" (Zip.Deflate.decompress (Zip.Deflate.compress ""))
+  Alcotest.(check string) "empty" "" (Zip.Deflate.decompress_exn (Zip.Deflate.compress ""))
 
 let test_deflate_one_byte () =
-  Alcotest.(check string) "x" "x" (Zip.Deflate.decompress (Zip.Deflate.compress "x"))
+  Alcotest.(check string) "x" "x" (Zip.Deflate.decompress_exn (Zip.Deflate.compress "x"))
 
 let test_deflate_binary () =
   let s = String.init 256 Char.chr in
-  Alcotest.(check string) "all bytes" s (Zip.Deflate.decompress (Zip.Deflate.compress s))
+  Alcotest.(check string) "all bytes" s (Zip.Deflate.decompress_exn (Zip.Deflate.compress s))
 
 let test_deflate_compresses_repetition () =
   let s = String.concat "" (List.init 100 (fun _ -> "hello world! ")) in
   let z = Zip.Deflate.compress s in
   Alcotest.(check bool) "smaller" true (String.length z < String.length s / 5);
-  Alcotest.(check string) "roundtrip" s (Zip.Deflate.decompress z)
+  Alcotest.(check string) "roundtrip" s (Zip.Deflate.decompress_exn z)
 
 let test_deflate_corrupt () =
   let z = Zip.Deflate.compress "some data to mangle, long enough to matter" in
   let mangled = Bytes.of_string z in
   Bytes.set mangled (Bytes.length mangled - 2) '\xFF';
+  (* the total decoder must return a typed error or a (different) string —
+     never raise *)
   (match Zip.Deflate.decompress (Bytes.to_string mangled) with
-  | exception Failure _ -> ()
-  | s' ->
+  | Error _ -> ()
+  | Ok s' ->
     (* corruption near the end may decode but must not silently agree *)
     Alcotest.(check bool) "detected or different" true
       (s' <> "some data to mangle, long enough to matter" || true))
 
+let test_deflate_truncated () =
+  let z = Zip.Deflate.compress (String.concat "" (List.init 40 (fun i -> string_of_int i))) in
+  for cut = 0 to min 24 (String.length z - 1) do
+    match Zip.Deflate.decompress (String.sub z 0 cut) with
+    | Error _ | Ok _ -> ()   (* must simply not raise *)
+  done
+
+let test_deflate_inflated_length () =
+  (* a declared output length beyond max_output must be refused before
+     any allocation happens *)
+  let z = Zip.Deflate.compress "abc" in
+  let b = Bytes.of_string z in
+  Bytes.set b 0 '\xff'; Bytes.set b 1 '\xff';
+  Bytes.set b 2 '\xff'; Bytes.set b 3 '\x7f';
+  match Zip.Deflate.decompress (Bytes.to_string b) with
+  | Error e ->
+    Alcotest.(check bool) "limit error" true
+      (e.Support.Decode_error.kind = Support.Decode_error.Limit)
+  | Ok _ -> Alcotest.fail "accepted a 2GB declared length"
+
 let prop_deflate_roundtrip =
   QCheck.Test.make ~name:"deflate roundtrip" ~count:150
     QCheck.(string_gen_of_size (Gen.int_range 0 2000) Gen.printable)
-    (fun s -> Zip.Deflate.decompress (Zip.Deflate.compress s) = s)
+    (fun s -> Zip.Deflate.decompress_exn (Zip.Deflate.compress s) = s)
 
 let prop_deflate_roundtrip_lowentropy =
   QCheck.Test.make ~name:"deflate roundtrip low-entropy" ~count:100
     QCheck.(string_gen_of_size (Gen.int_range 0 3000) (Gen.char_range 'a' 'c'))
-    (fun s -> Zip.Deflate.decompress (Zip.Deflate.compress s) = s)
+    (fun s -> Zip.Deflate.decompress_exn (Zip.Deflate.compress s) = s)
 
 (* ---- Range coder ---- *)
 
@@ -209,7 +231,7 @@ let prop_range_order0 =
   QCheck.Test.make ~name:"range coder order-0 roundtrip" ~count:50
     QCheck.(string_gen_of_size (Gen.int_range 0 500) Gen.printable)
     (fun s ->
-      Zip.Range_coder.decompress_order_n ~order:0
+      Zip.Range_coder.decompress_order_n_exn ~order:0
         (Zip.Range_coder.compress_order_n ~order:0 s)
       = s)
 
@@ -217,7 +239,7 @@ let prop_range_order2 =
   QCheck.Test.make ~name:"range coder order-2 roundtrip" ~count:30
     QCheck.(string_gen_of_size (Gen.int_range 0 500) (Gen.char_range 'a' 'f'))
     (fun s ->
-      Zip.Range_coder.decompress_order_n ~order:2
+      Zip.Range_coder.decompress_order_n_exn ~order:2
         (Zip.Range_coder.compress_order_n ~order:2 s)
       = s)
 
@@ -228,6 +250,74 @@ let test_range_order1_beats_order0 () =
   let z0 = Zip.Range_coder.compress_order_n ~order:0 s in
   let z1 = Zip.Range_coder.compress_order_n ~order:1 s in
   Alcotest.(check bool) "order-1 wins" true (String.length z1 < String.length z0)
+
+(* ---- edge corpora: Prng-generated strings plus the degenerate shapes
+   every coder must handle (empty, one byte, all-equal bytes) ---- *)
+
+let edge_corpus =
+  let rng = Support.Prng.create 0xC0DEC0DEL in
+  let rand_string n =
+    String.init n (fun _ -> Char.chr (Support.Prng.int rng 256))
+  in
+  [ ""; "x"; "\x00"; "\xff"; String.make 1 '\x80';
+    String.make 64 '\x00'; String.make 257 'q'; String.make 1000 '\xff' ]
+  @ List.init 24 (fun i -> rand_string (1 + (i * 17)))
+
+let test_deflate_edge_corpus () =
+  List.iter
+    (fun s ->
+      let z = Zip.Deflate.compress s in
+      Alcotest.(check string) "roundtrip" s (Zip.Deflate.decompress_exn z);
+      (* compression is a pure function: same input, same bytes *)
+      Alcotest.(check string) "deterministic" z (Zip.Deflate.compress s))
+    edge_corpus
+
+let test_range_edge_corpus () =
+  List.iter
+    (fun s ->
+      List.iter
+        (fun order ->
+          let z = Zip.Range_coder.compress_order_n ~order s in
+          Alcotest.(check string) "roundtrip" s
+            (Zip.Range_coder.decompress_order_n_exn ~order z);
+          Alcotest.(check string) "deterministic" z
+            (Zip.Range_coder.compress_order_n ~order s))
+        [ 0; 1; 2; 3 ])
+    edge_corpus
+
+let test_lz77_edge_corpus () =
+  List.iter
+    (fun s ->
+      let tokens = Zip.Lz77.tokenize s in
+      Alcotest.(check string) "roundtrip" s (Zip.Lz77.reconstruct_exn tokens))
+    edge_corpus
+
+let test_mtf_edge_corpus () =
+  let rng = Support.Prng.create 77L in
+  let cases =
+    [ []; [ 0 ]; [ 9; 9; 9; 9; 9 ] ]
+    @ List.init 16 (fun i ->
+          List.init (i * 11) (fun _ -> Support.Prng.int rng 40))
+  in
+  List.iter
+    (fun xs ->
+      let e = Zip.Mtf.encode_ints xs in
+      Alcotest.(check (list int)) "roundtrip" xs (Zip.Mtf.decode_ints_exn e))
+    cases
+
+let test_huffman_edge_corpus () =
+  let rng = Support.Prng.create 78L in
+  let cases =
+    [ []; [ 0 ]; [ 7; 7; 7; 7 ] ]
+    @ List.init 16 (fun i ->
+          List.init (i * 13) (fun _ -> Support.Prng.int rng 31))
+  in
+  List.iter
+    (fun xs ->
+      let enc = Zip.Huffman.encode_all xs ~alphabet:31 in
+      Alcotest.(check (list int)) "roundtrip" xs
+        (Zip.Huffman.decode_all_exn enc))
+    cases
 
 let () =
   Alcotest.run "zip"
@@ -269,8 +359,19 @@ let () =
           Alcotest.test_case "compresses repetition" `Quick
             test_deflate_compresses_repetition;
           Alcotest.test_case "corrupt input" `Quick test_deflate_corrupt;
+          Alcotest.test_case "truncated input" `Quick test_deflate_truncated;
+          Alcotest.test_case "inflated length field" `Quick
+            test_deflate_inflated_length;
           qcheck prop_deflate_roundtrip;
           qcheck prop_deflate_roundtrip_lowentropy;
+        ] );
+      ( "edge corpora",
+        [
+          Alcotest.test_case "mtf" `Quick test_mtf_edge_corpus;
+          Alcotest.test_case "huffman" `Quick test_huffman_edge_corpus;
+          Alcotest.test_case "lz77" `Quick test_lz77_edge_corpus;
+          Alcotest.test_case "deflate" `Quick test_deflate_edge_corpus;
+          Alcotest.test_case "range coder" `Quick test_range_edge_corpus;
         ] );
       ( "range_coder",
         [
