@@ -1,13 +1,14 @@
-.PHONY: all check test fuzz fuzz-quick bench bench-json bench-quick clean
+.PHONY: all check test fuzz fuzz-quick bench bench-json bench-quick bench-codecs clean
 
 all:
 	dune build
 
 # the tier-1 gate: everything must compile and the test suite must pass.
 # fuzz-quick runs first as a fast fail-early pass over every decoder;
-# the suite itself (one `dune runtest`) then includes the full
-# 10k-iteration fuzz layer and the differential tests
-check: fuzz-quick
+# bench-codecs proves every registered codec encodes+decodes and tracks
+# the per-stage matrix; the suite itself (one `dune runtest`) then
+# includes the full 10k-iteration fuzz layer and the differential tests
+check: fuzz-quick bench-codecs
 	dune build && dune runtest
 
 test:
@@ -32,6 +33,13 @@ bench-json:
 # parallel modes on the gcc-like point, tracked across PRs
 bench-quick:
 	dune exec bench/main.exe -- --quick --compressor-json > BENCH_compressor.json
+	@cat BENCH_compressor.json
+
+# per-stage codec matrix: bytes-in/bytes-out/wall time for every stage
+# of every registered codec on the smallest and largest corpus points,
+# written to BENCH_compressor.json for cross-PR tracking
+bench-codecs:
+	dune exec bench/main.exe -- --quick --codecs-json > BENCH_compressor.json
 	@cat BENCH_compressor.json
 
 clean:

@@ -23,6 +23,11 @@ let json_mode = Array.exists (fun a -> a = "--json") Sys.argv
    tracks across PRs *)
 let compressor_json_mode = Array.exists (fun a -> a = "--compressor-json") Sys.argv
 
+(* --codecs-json runs every registered codec over two corpus points and
+   prints the per-stage size/time matrix (encode and decode) as JSON —
+   the Makefile's bench-codecs target tracks it across PRs *)
+let codecs_json_mode = Array.exists (fun a -> a = "--codecs-json") Sys.argv
+
 (* --domains N sizes the parallel mode's pool (default 4) *)
 let domains_flag =
   let rec find i =
@@ -537,6 +542,65 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* ---- per-stage codec matrix (--codecs-json, "codecs" key of --json) ---- *)
+
+let stage_json (s : Codec.stage) =
+  Printf.sprintf
+    "{\"stage\": \"%s\", \"bytes_in\": %d, \"bytes_out\": %d, \"wall_s\": %.6f}"
+    (json_escape s.Codec.stage) s.Codec.bytes_in s.Codec.bytes_out
+    s.Codec.wall_s
+
+(* every registered codec encoded (and its output decoded) from one
+   shared source, with the traces both directions report *)
+let codec_rows p =
+  let src = Codec.Source.of_ir ~vm:p.vp ~native:p.x86_img p.ir in
+  List.map
+    (fun (e : Codec.entry) ->
+      let c = e.Codec.codec in
+      let bytes, enc = Codec.encode c src in
+      let dec =
+        match Codec.decode c bytes with Ok (_, tr) -> tr | Error _ -> []
+      in
+      (c, bytes, enc, dec))
+    (Codec.all ())
+
+let codec_point_json ?(indent = "    ") p =
+  let rows = codec_rows p in
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "%s{\"label\": \"%s\", \"codecs\": [\n" indent (json_escape p.label);
+  List.iteri
+    (fun i (c, bytes, enc, dec) ->
+      add
+        "%s  {\"name\": \"%s\", \"tag\": \"%s\", \"bytes\": %d,\n\
+         %s   \"encode_stages\": [%s],\n\
+         %s   \"decode_stages\": [%s]}%s\n"
+        indent
+        (json_escape (Codec.name c))
+        (json_escape (Codec.tag c))
+        (String.length bytes) indent
+        (String.concat ", " (List.map stage_json enc))
+        indent
+        (String.concat ", " (List.map stage_json dec))
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  add "%s]}" indent;
+  Buffer.contents buf
+
+let codecs_json () =
+  let pts =
+    [ List.nth (Lazy.force points) 0; List.nth (Lazy.force points) 1 ]
+  in
+  Printf.printf "{\n  \"schema\": \"codecomp-codecs-bench-v1\",\n  \"quick\": %b,\n"
+    quick;
+  print_string "  \"points\": [\n";
+  List.iteri
+    (fun i p ->
+      print_string (codec_point_json p);
+      print_string (if i = List.length pts - 1 then "\n" else ",\n"))
+    pts;
+  print_string "  ]\n}\n"
+
 let json_report () =
   let b = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
@@ -582,6 +646,8 @@ let json_report () =
     Scenario.Delivery.default_rates.Scenario.Delivery.decompress_mbps
     Scenario.Delivery.default_rates.Scenario.Delivery.jit_mbps
     Scenario.Delivery.default_rates.Scenario.Delivery.interp_slowdown;
+  (* per-stage matrix for every registered codec (wc point) *)
+  add "  \"codecs\":\n%s,\n" (codec_point_json ~indent:"  " (List.nth pts 0));
   (* server workload summary *)
   let engine = Server.create ~budget_bytes:(256 * 1024) () in
   let catalog = server_catalog engine in
@@ -722,6 +788,10 @@ let bechamel () =
     tests
 
 let () =
+  if codecs_json_mode then begin
+    codecs_json ();
+    exit 0
+  end;
   if compressor_json_mode then begin
     compressor_json ();
     exit 0

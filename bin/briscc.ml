@@ -6,18 +6,6 @@
      briscc prog.c --full-scan           (disable incremental passes)
 *)
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
-let write_file path s =
-  let oc = open_out_bin path in
-  output_string oc s;
-  close_out oc
-
 let main file out k ignore_w stats features_name domains full_scan =
   let features =
     match features_name with
@@ -29,16 +17,19 @@ let main file out k ignore_w stats features_name domains full_scan =
       Printf.eprintf "unknown feature set %S\n" s;
       exit 2
   in
-  let ir = Cc.Lower.compile (read_file file) in
+  let ir = Cc.Lower.compile (Cli.read_file file) in
   let vp = Vm.Codegen.gen_program ~features ir in
   let pool =
     if domains > 1 then Some (Support.Pool.create ~domains) else None
   in
+  let t0 = Unix.gettimeofday () in
   let img, rep = Brisc.measure ~k ~ignore_w ~full_scan ?pool vp in
+  let t1 = Unix.gettimeofday () in
   (match pool with Some p -> Support.Pool.shutdown p | None -> ());
   let bytes = Brisc.to_bytes img in
+  let t2 = Unix.gettimeofday () in
   let out = match out with Some o -> o | None -> file ^ ".brisc" in
-  write_file out bytes;
+  Cli.write_file out bytes;
   Printf.printf "%s -> %s: %d OmniVM bytes -> %d BRISC bytes (%.2fx)\n" file out
     rep.Brisc.original_bytes (String.length bytes)
     (float_of_int rep.Brisc.original_bytes /. float_of_int (String.length bytes));
@@ -56,7 +47,13 @@ let main file out k ignore_w stats features_name domains full_scan =
       b.Brisc.scan_s b.Brisc.rank_s b.Brisc.rewrite_s b.Brisc.items_scanned
       b.Brisc.domains
       (if b.Brisc.domains = 1 then "" else "s")
-      (if full_scan then ", full-scan" else "")
+      (if full_scan then ", full-scan" else "");
+    (* the same stages the codec registry reports for "brisc" *)
+    Cli.print_trace
+      [ { Codec.stage = "dict+markov"; bytes_in = rep.Brisc.original_bytes;
+          bytes_out = rep.Brisc.brisc_code; wall_s = t1 -. t0 };
+        { Codec.stage = "container"; bytes_in = rep.Brisc.brisc_code;
+          bytes_out = String.length bytes; wall_s = t2 -. t1 } ]
   end;
   0
 
@@ -84,9 +81,13 @@ let full_scan =
            output bytes, original cost; for cross-checking).")
 
 let cmd =
-  Cmd.v (Cmd.info "briscc" ~doc:"BRISC code compressor (PLDI'97 section 4)")
+  Cmd.v
+    (Cmd.info "briscc" ~doc:"BRISC code compressor (PLDI'97 section 4)"
+       ~man:Cli.man_codecs)
     Term.(
       const main $ file0 $ out $ k $ ignore_w $ stats $ features $ domains
       $ full_scan)
 
-let () = exit (Cmd.eval' cmd)
+let () =
+  Cli.handle_list_codecs ();
+  exit (Cmd.eval' cmd)

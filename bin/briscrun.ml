@@ -5,22 +5,15 @@
      briscrun prog.brisc --decompress   print the recovered OmniVM code
 *)
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
 let main file jit decompress input_file =
-  match Brisc.of_bytes (read_file file) with
+  match Brisc.of_bytes (Cli.read_file file) with
   | Error e ->
     Printf.eprintf "briscrun: %s: %s\n" file
       (Support.Decode_error.to_string e);
     1
   | Ok img ->
   let input =
-    match input_file with None -> "" | Some f -> read_file f
+    match input_file with None -> "" | Some f -> Cli.read_file f
   in
   if decompress then begin
     match Brisc.Decomp.decompress img with
@@ -55,7 +48,11 @@ let decompress = Arg.(value & flag & info [ "decompress" ] ~doc:"Print the recov
 let input_file = Arg.(value & opt (some file) None & info [ "input" ] ~docv:"FILE")
 
 let cmd =
-  Cmd.v (Cmd.info "briscrun" ~doc:"Run BRISC code: in-place interpretation or JIT")
+  Cmd.v
+    (Cmd.info "briscrun" ~doc:"Run BRISC code: in-place interpretation or JIT"
+       ~man:Cli.man_codecs)
     Term.(const main $ file0 $ jit $ decompress $ input_file)
 
-let () = exit (Cmd.eval' cmd)
+let () =
+  Cli.handle_list_codecs ();
+  exit (Cmd.eval' cmd)

@@ -1,11 +1,12 @@
 (* mccd — the code-delivery server driver.
 
    Replays a request workload against [Server] and prints the stats
-   report. Two modes:
+   report (including each codec's per-stage bytes/time matrix). Modes:
 
      dune exec bin/mccd.exe                       # synthetic workload
      dune exec bin/mccd.exe -- --requests 500 --budget 131072 --seed 7
      dune exec bin/mccd.exe -- --script reqs.txt  # scripted replay
+     dune exec bin/mccd.exe -- --list-codecs      # the registry menu
 
    Script lines (blank lines and #-comments ignored):
 
@@ -17,64 +18,17 @@
    Programs are corpus names (wc, sieve, qsort, ..., gen24, gen40);
    profiles are modem-jit, lan-jit, embedded, datacenter. *)
 
-let usage () =
-  prerr_endline
-    "usage: mccd [--requests N] [--seed N] [--budget BYTES] [--drop PCT]\n\
-    \            [--faults N] [--quick] [--script FILE] [--no-check]\n\
-    \            [--domains N]";
-  exit 2
-
-let () =
-  let requests = ref 120 in
-  let seed = ref 42 in
-  let budget = ref (256 * 1024) in
-  let drop = ref 10 in
-  let faults = ref 0 in
-  let quick = ref false in
-  let script = ref None in
-  let check = ref true in
-  let rec parse = function
-    | [] -> ()
-    | "--requests" :: v :: rest ->
-      requests := int_of_string v;
-      parse rest
-    | "--seed" :: v :: rest ->
-      seed := int_of_string v;
-      parse rest
-    | "--budget" :: v :: rest ->
-      budget := int_of_string v;
-      parse rest
-    | "--drop" :: v :: rest ->
-      drop := int_of_string v;
-      parse rest
-    | "--faults" :: v :: rest ->
-      faults := int_of_string v;
-      parse rest
-    | "--quick" :: rest ->
-      quick := true;
-      parse rest
-    | "--script" :: v :: rest ->
-      script := Some v;
-      parse rest
-    | "--no-check" :: rest ->
-      check := false;
-      parse rest
-    | "--domains" :: v :: rest ->
-      (* resizes the shared pool the engine's store compresses with *)
-      Support.Pool.set_shared_domains (int_of_string v);
-      parse rest
-    | _ -> usage ()
-  in
-  (try parse (List.tl (Array.to_list Sys.argv)) with _ -> usage ());
-
-  let engine = Server.create ~budget_bytes:!budget () in
+let main requests seed budget drop faults quick script no_check domains =
+  if domains > 0 then Support.Pool.set_shared_domains domains;
+  let check = ref (not no_check) in
+  let engine = Server.create ~budget_bytes:budget () in
   let generated =
-    if !quick then
+    if quick then
       [ { Corpus.Gen.functions = 12; seed = 1017L; bias16 = false } ]
     else Server.Workload.default_generated
   in
   Printf.printf "mccd: publishing the corpus (budget %s)...\n%!"
-    (Support.Util.human_bytes !budget);
+    (Support.Util.human_bytes budget);
   let t0 = Unix.gettimeofday () in
   let catalog = Server.Workload.build_catalog ~generated engine in
   (* generated programs get stable short names for the script mode *)
@@ -109,7 +63,7 @@ let () =
   in
 
   let rep, distinct_reprs =
-    match !script with
+    match script with
     | Some file ->
       let ic = open_in file in
       let reprs = Hashtbl.create 8 in
@@ -124,11 +78,9 @@ let () =
                  Server.fetch engine e.Server.Workload.digest
                    (find_profile prof)
                in
-               Hashtbl.replace reprs
-                 (Scenario.Delivery.repr_name resp.Server.chosen) ();
-               Printf.printf "fetch %-10s %-12s -> %-12s %7d B %s\n" prog prof
-                 (Scenario.Delivery.repr_name resp.Server.chosen)
-                 resp.Server.size
+               Hashtbl.replace reprs resp.Server.label ();
+               Printf.printf "fetch %-10s %-12s -> %-14s %7d B %s\n" prog prof
+                 resp.Server.label resp.Server.size
                  (if resp.Server.cache_hit then "(cache hit)" else "(compressed)")
              | "stream" :: prog :: rest ->
                let e = find_program prog in
@@ -162,17 +114,21 @@ let () =
       check := false;
       (rep, Hashtbl.fold (fun k () acc -> k :: acc) reprs [])
     | None ->
-      if !faults > 0 then begin
+      if faults > 0 then begin
         (* pre-materialize artifacts and corrupt their cached bytes; the
-           workload's fetches then exercise quarantine + degradation *)
-        let rng = Support.Prng.create (Int64.of_int (!seed lxor 0x5EED)) in
+           workload's fetches then exercise quarantine + degradation.
+           The menu is registry-derived, so every servable codec
+           (including wire+range) gets fault coverage. *)
+        let rng = Support.Prng.create (Int64.of_int (seed lxor 0x5EED)) in
         let entries = Array.of_list catalog in
         let reprs =
           Array.of_list
-            (List.filter (( <> ) Server.Artifact.Native) Server.Artifact.all)
+            (List.filter
+               (fun r -> r <> Server.Artifact.native)
+               (Server.Artifact.all ()))
         in
         let store = Server.store engine in
-        for i = 0 to !faults - 1 do
+        for i = 0 to faults - 1 do
           let e = entries.(i mod Array.length entries) in
           let repr = reprs.(i mod Array.length reprs) in
           let digest = e.Server.Workload.digest in
@@ -181,20 +137,20 @@ let () =
             (Server.Store.corrupt_cached store digest repr
                ~f:(Support.Fault.mutate rng))
         done;
-        Printf.printf "mccd: injected %d cache faults (%s)\n%!" !faults
+        Printf.printf "mccd: injected %d cache faults (%s)\n%!" faults
           (String.concat ", "
              (List.map Server.Artifact.name (Array.to_list reprs)))
       end;
       let config =
-        { Server.Workload.requests = !requests; seed = Int64.of_int !seed;
-          drop_pct = !drop }
+        { Server.Workload.requests; seed = Int64.of_int seed; drop_pct = drop }
       in
       let summary = Server.Workload.run engine ~config catalog in
       Server.Workload.print_summary summary;
       (summary.Server.Workload.report, summary.Server.Workload.distinct_reprs)
   in
 
-  if !check then begin
+  if not !check then 0
+  else begin
     let ok = ref true in
     let check_line cond msg =
       Printf.printf "  [%s] %s\n" (if cond then "ok" else "FAIL") msg;
@@ -209,7 +165,7 @@ let () =
       (Printf.sprintf "%d distinct representations selected (%s)"
          (List.length distinct_reprs)
          (String.concat ", " distinct_reprs));
-    if !faults > 0 then
+    if faults > 0 then
       check_line
         (rep.Server.Stats.decode_failures >= 1)
         (Printf.sprintf
@@ -223,5 +179,51 @@ let () =
            "chunked sessions shipped %s < %s whole-program wire equivalent"
            (Support.Util.human_bytes rep.Server.Stats.session_bytes)
            (Support.Util.human_bytes rep.Server.Stats.session_wire_equiv));
-    if not !ok then exit 1
+    if !ok then 0 else 1
   end
+
+open Cmdliner
+
+let requests =
+  Arg.(value & opt int 120 & info [ "requests" ] ~docv:"N"
+       ~doc:"Synthetic workload request count.")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+let budget =
+  Arg.(value & opt int (256 * 1024) & info [ "budget" ] ~docv:"BYTES"
+       ~doc:"Artifact-cache byte budget.")
+
+let drop =
+  Arg.(value & opt int 10 & info [ "drop" ] ~docv:"PCT"
+       ~doc:"Percent of chunk responses dropped in flight (exercises resume).")
+
+let faults =
+  Arg.(value & opt int 0 & info [ "faults" ] ~docv:"N"
+       ~doc:"Corrupt N cached artifacts before the workload (exercises \
+             quarantine and degradation).")
+
+let quick =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Small generated corpus (fast CI).")
+
+let script =
+  Arg.(value & opt (some file) None & info [ "script" ] ~docv:"FILE"
+       ~doc:"Replay a request script instead of the synthetic workload.")
+
+let no_check =
+  Arg.(value & flag & info [ "no-check" ] ~doc:"Skip the acceptance checks.")
+
+let domains =
+  Arg.(value & opt int 0 & info [ "domains" ] ~docv:"N"
+       ~doc:"Resize the shared pool the engine's store compresses with.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "mccd" ~doc:"Code-delivery server driver" ~man:Cli.man_codecs)
+    Term.(
+      const main $ requests $ seed $ budget $ drop $ faults $ quick $ script
+      $ no_check $ domains)
+
+let () =
+  Cli.handle_list_codecs ();
+  exit (Cmd.eval' cmd)

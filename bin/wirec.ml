@@ -4,23 +4,11 @@
      wirec decompress prog.wire          (prints the recovered IR)
 *)
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
-let write_file path s =
-  let oc = open_out_bin path in
-  output_string oc s;
-  close_out oc
-
 let do_compress file out stats no_mtf no_split =
-  let ir = Cc.Lower.compile (read_file file) in
+  let ir = Cc.Lower.compile (Cli.read_file file) in
   let z = Wire.compress ~use_mtf:(not no_mtf) ~split_streams:(not no_split) ir in
   let out = match out with Some o -> o | None -> file ^ ".wire" in
-  write_file out z;
+  Cli.write_file out z;
   Printf.printf "%s -> %s (%d bytes)\n" file out (String.length z);
   if stats then begin
     let s = Wire.stats ir in
@@ -37,7 +25,7 @@ let do_compress file out stats no_mtf no_split =
   0
 
 let do_decompress file =
-  match Wire.decompress (read_file file) with
+  match Wire.decompress (Cli.read_file file) with
   | Ok ir ->
     print_string (Ir.Printer.program_to_string ir);
     0
@@ -62,7 +50,11 @@ let decompress_cmd =
     Term.(const do_decompress $ file0)
 
 let cmd =
-  Cmd.group (Cmd.info "wirec" ~doc:"Wire-format code compressor (PLDI'97 section 3)")
+  Cmd.group
+    (Cmd.info "wirec" ~doc:"Wire-format code compressor (PLDI'97 section 3)"
+       ~man:Cli.man_codecs)
     [ compress_cmd; decompress_cmd ]
 
-let () = exit (Cmd.eval' cmd)
+let () =
+  Cli.handle_list_codecs ();
+  exit (Cmd.eval' cmd)

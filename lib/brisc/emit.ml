@@ -404,11 +404,7 @@ let to_bytes (img : image) : string =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf magic;
   Support.Util.uleb128 buf (Array.length img.symbols);
-  Array.iter
-    (fun s ->
-      Support.Util.uleb128 buf (String.length s);
-      Buffer.add_string buf s)
-    img.symbols;
+  Array.iter (fun s -> Support.Frame.put_str buf s) img.symbols;
   Support.Util.uleb128 buf (List.length img.globals);
   let sym_idx =
     let h = Hashtbl.create 64 in
@@ -435,43 +431,21 @@ let to_bytes (img : image) : string =
       Support.Util.uleb128 buf (Hashtbl.find sym_idx f.if_name);
       Support.Util.uleb128 buf (Array.length f.label_offsets);
       Array.iter (fun o -> Support.Util.uleb128 buf o) f.label_offsets;
-      Support.Util.uleb128 buf (String.length f.code);
-      Buffer.add_string buf f.code)
+      Support.Frame.put_str buf f.code)
     img.ifuncs;
   Buffer.contents buf
 
 let of_bytes_exn (s : string) : image =
-  let pos = ref 0 in
-  let fail kind msg =
-    Support.Decode_error.fail ~decoder:"brisc" ~kind ~pos:!pos msg
-  in
+  let r = Support.Frame.reader ~decoder:"brisc" s in
+  let pos = Support.Frame.cursor r in
+  let fail kind msg = Support.Frame.fail r kind msg in
   (* every counted element costs at least one input byte; validate before
      any proportional allocation *)
-  let check_count n what =
-    if n < 0 || n > String.length s - !pos then
-      fail Support.Decode_error.Limit
-        (Printf.sprintf "%s count %d exceeds remaining %d bytes" what n
-           (String.length s - !pos))
-  in
-  let u () = Support.Util.read_uleb128 s pos in
-  let str () =
-    let n = u () in
-    if n < 0 || !pos + n > String.length s then
-      fail Support.Decode_error.Truncated "truncated string";
-    let r = String.sub s !pos n in
-    pos := !pos + n;
-    r
-  in
-  let byte () =
-    if !pos >= String.length s then
-      fail Support.Decode_error.Truncated "truncated input";
-    let b = Char.code s.[!pos] in
-    incr pos;
-    b
-  in
-  if String.length s < 4 || String.sub s 0 4 <> magic then
-    fail Support.Decode_error.Bad_magic "bad magic";
-  pos := 4;
+  let check_count n what = Support.Frame.check_count r n what in
+  let u () = Support.Frame.u r in
+  let str () = Support.Frame.str ~what:"string" r in
+  let byte () = Char.code (Support.Frame.byte r ()) in
+  Support.Frame.expect_magic r magic;
   let nsym = u () in
   check_count nsym "symbol";
   let symbols = Array.init nsym (fun _ -> str ()) in
@@ -515,8 +489,7 @@ let of_bytes_exn (s : string) : image =
         let code = str () in
         { if_name; label_offsets; code })
   in
-  if !pos <> String.length s then
-    fail Support.Decode_error.Inconsistent "trailing bytes after container";
+  Support.Frame.expect_end r "container";
   { entries; base_count; markov; symbols; globals; ifuncs }
 
 let of_bytes s =

@@ -1,0 +1,345 @@
+(* The composable codec layer.
+
+   Every representation the tree can produce — the paper's wire format,
+   the BRISC container, deflated native images — is a [Codec.t]: a
+   named encode/decode pair whose encode emits a per-stage trace
+   (bytes-in / bytes-out / wall time per pipeline stage) and whose
+   decode is TOTAL, returning a typed [Decode_error.t] on hostile
+   input. [compose] chains a structural front codec with byte-to-byte
+   back stages, concatenating their traces; the registry makes the
+   set of representations an open, one-registration-per-format list
+   that the delivery server, the benches, and the fuzz harness all
+   derive their menus from. *)
+
+type stage = {
+  stage : string;
+  bytes_in : int;
+  bytes_out : int;
+  wall_s : float;
+}
+
+type trace = stage list
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let st name bytes_in bytes_out wall_s = { stage = name; bytes_in; bytes_out; wall_s }
+
+(* ---- sources ---- *)
+
+module Source = struct
+  (* The views of one program a codec may consume, all lazy so a codec
+     forces only what its pipeline needs (the wire family reads the IR,
+     BRISC the VM program, the native family the machine image), and
+     shared so sibling codecs reuse the forced value. *)
+  type t = {
+    ir : Ir.Tree.program Lazy.t;
+    vm : Vm.Isa.vprogram Lazy.t;
+    native : string Lazy.t;
+    payload : string Lazy.t;  (* the byte view: native image, or raw bytes *)
+    pool : Support.Pool.t option;
+  }
+
+  let of_ir ?pool ?vm:vm_prog ?native:native_img (p : Ir.Tree.program) =
+    let ir = Lazy.from_val p in
+    let vm =
+      match vm_prog with
+      | Some v -> Lazy.from_val v
+      | None -> lazy (Vm.Codegen.gen_program p)
+    in
+    let native =
+      match native_img with
+      | Some img -> Lazy.from_val img
+      | None ->
+        lazy
+          (Native.Mach.encode_program
+             (Native.Compile.compile_program (Lazy.force vm)))
+    in
+    { ir; vm; native; payload = native; pool }
+
+  (* As [of_ir], but the native view is an arbitrary suspension — e.g.
+     a cache-aware fetch — forced only by codecs that need it. *)
+  let of_ir_lazy ?pool ?vm:vm_prog ~native (p : Ir.Tree.program) =
+    let vm =
+      match vm_prog with
+      | Some v -> Lazy.from_val v
+      | None -> lazy (Vm.Codegen.gen_program p)
+    in
+    { ir = Lazy.from_val p; vm; native; payload = native; pool }
+
+  let of_bytes ?pool s =
+    let no what = invalid_arg ("Codec.Source: byte source has no " ^ what) in
+    { ir = lazy (no "IR"); vm = lazy (no "VM program"); native = lazy s;
+      payload = lazy s; pool }
+
+  let ir t = Lazy.force t.ir
+  let vm t = Lazy.force t.vm
+  let native t = Lazy.force t.native
+  let payload t = Lazy.force t.payload
+  let pool t = t.pool
+end
+
+(* ---- codecs ---- *)
+
+type t = {
+  name : string;
+  tag : string;
+  encode : Source.t -> string * trace;
+  decode : string -> (string * trace, Support.Decode_error.t) result;
+}
+
+let name c = c.name
+let tag c = c.tag
+let encode c src = c.encode src
+let encode_bytes c s = c.encode (Source.of_bytes s)
+let decode c s = c.decode s
+
+let make ~name ~tag ~encode ~decode = { name; tag; encode; decode }
+
+(* [compose front back]: encode runs [front] on the source, then pipes
+   its bytes through [back] (which must be a pure byte codec — its
+   encode may only read the payload view); decode inverts [back] first,
+   then [front]. Traces concatenate in the order the work happened. *)
+let compose ?name:n ?tag:tg front back =
+  let name = match n with Some s -> s | None -> front.name ^ "|" ^ back.name in
+  let tag = match tg with Some s -> s | None -> front.tag ^ back.tag in
+  {
+    name;
+    tag;
+    encode =
+      (fun src ->
+        let b1, t1 = front.encode src in
+        let b2, t2 = back.encode (Source.of_bytes ?pool:src.Source.pool b1) in
+        (b2, t1 @ t2));
+    decode =
+      (fun s ->
+        Result.bind (back.decode s) (fun (b1, t2) ->
+            Result.map (fun (b0, t1) -> (b0, t2 @ t1)) (front.decode b1)));
+  }
+
+(* ---- the built-in pipeline stages ---- *)
+
+(* LZ77 token stream footprint: a literal costs ~1 byte, a match ~3
+   (length class + distance class + extra bits) before entropy coding.
+   Only used for the trace; the real sizing happens in the Huffman
+   stage. *)
+let token_bytes tokens =
+  List.fold_left
+    (fun a t -> a + match t with Zip.Lz77.Literal _ -> 1 | Zip.Lz77.Match _ -> 3)
+    0 tokens
+
+let native_codec =
+  make ~name:"native" ~tag:"n"
+    ~encode:(fun src ->
+      let img, dt = timed (fun () -> Source.native src) in
+      let n = String.length img in
+      (img, [ st "emit" n n dt ]))
+    ~decode:(fun s ->
+      (* raw machine images carry no framing to check *)
+      Ok (s, [ st "identity" (String.length s) (String.length s) 0.0 ]))
+
+let deflate_codec =
+  make ~name:"deflate" ~tag:"z"
+    ~encode:(fun src ->
+      let s = Source.payload src in
+      let tokens, dt1 = timed (fun () -> Zip.Lz77.tokenize s) in
+      let tb = token_bytes tokens in
+      let z, dt2 =
+        timed (fun () ->
+            Zip.Deflate.encode_tokens ~orig_len:(String.length s) tokens)
+      in
+      (z, [ st "lz77" (String.length s) tb dt1;
+            st "huffman" tb (String.length z) dt2 ]))
+    ~decode:(fun z ->
+      Support.Decode_error.guard ~decoder:"deflate" (fun () ->
+          let s, dt = timed (fun () -> Zip.Deflate.decompress_exn z) in
+          (s, [ st "inflate" (String.length z) (String.length s) dt ])))
+
+let gzip_native_codec = compose ~name:"gzip+native" ~tag:"g" native_codec deflate_codec
+
+let printed ir = Ir.Printer.program_to_string ir
+
+let wire_bundle_codec =
+  make ~name:"wire-bundle" ~tag:"W"
+    ~encode:(fun src ->
+      let ir = Source.ir src in
+      let in0 = String.length (printed ir) in
+      let pz, dt1 = timed (fun () -> Wire.patternize ir) in
+      let sy = Wire.symbols pz in
+      let bundle, dt2 = timed (fun () -> Wire.bundle_of_patternized pz) in
+      (bundle,
+       [ st "patternize" in0 sy dt1;
+         st "mtf+huffman" sy (String.length bundle) dt2 ]))
+    ~decode:(fun bundle ->
+      Support.Decode_error.guard ~decoder:"wire" (fun () ->
+          let p, dt = timed (fun () -> Wire.program_of_bundle_exn bundle) in
+          let txt = printed p in
+          (txt, [ st "unbundle" (String.length bundle) (String.length txt) dt ])))
+
+(* The final entropy stage of the wire pipeline, tagged into the stream
+   ([D] / [A<order>]) so decode is self-describing: either final codec
+   decodes either tag. *)
+let final_decode body =
+  Support.Decode_error.guard ~decoder:"wire" (fun () ->
+      let name =
+        if String.length body > 0 && body.[0] = 'A' then "range-decode"
+        else "inflate"
+      in
+      let bundle, dt = timed (fun () -> Wire.unwrap_final_stage_exn body) in
+      (bundle, [ st name (String.length body) (String.length bundle) dt ]))
+
+let final_deflate_codec =
+  make ~name:"final-deflate" ~tag:"D"
+    ~encode:(fun src ->
+      let bundle = Source.payload src in
+      let tokens, dt1 = timed (fun () -> Zip.Lz77.tokenize bundle) in
+      let tb = token_bytes tokens in
+      let z, dt2 =
+        timed (fun () ->
+            "D" ^ Zip.Deflate.encode_tokens ~orig_len:(String.length bundle) tokens)
+      in
+      (z, [ st "lz77" (String.length bundle) tb dt1;
+            st "huffman" tb (String.length z) dt2 ]))
+    ~decode:final_decode
+
+let final_range_codec ~order =
+  make ~name:(Printf.sprintf "final-range%d" order) ~tag:"A"
+    ~encode:(fun src ->
+      let bundle = Source.payload src in
+      let z, dt =
+        timed (fun () -> Wire.apply_final_stage (Wire.Arith order) bundle)
+      in
+      (z, [ st (Printf.sprintf "range-%d" order) (String.length bundle)
+              (String.length z) dt ]))
+    ~decode:final_decode
+
+let crc_codec =
+  make ~name:"crc32" ~tag:"+"
+    ~encode:(fun src ->
+      let body = Source.payload src in
+      let sealed, dt = timed (fun () -> Support.Frame.seal body) in
+      (sealed, [ st "crc32" (String.length body) (String.length sealed) dt ]))
+    ~decode:(fun s ->
+      Support.Decode_error.guard ~decoder:"wire" (fun () ->
+          let off, dt = timed (fun () -> Support.Frame.verify ~decoder:"wire" s) in
+          let body = String.sub s off (String.length s - off) in
+          (body, [ st "crc32" (String.length s) (String.length body) dt ])))
+
+let wire_codec =
+  compose ~name:"wire" ~tag:"w"
+    (compose wire_bundle_codec final_deflate_codec)
+    crc_codec
+
+let wire_range_codec =
+  compose ~name:"wire+range" ~tag:"r"
+    (compose wire_bundle_codec (final_range_codec ~order:2))
+    crc_codec
+
+let chunked_codec =
+  make ~name:"chunked-wire" ~tag:"c"
+    ~encode:(fun src ->
+      let ir = Source.ir src in
+      let in0 = String.length (printed ir) in
+      let img, dt1 = timed (fun () -> Wire.Chunked.compress ir) in
+      let chunk_sum =
+        List.fold_left
+          (fun a n -> a + Wire.Chunked.chunk_size img n)
+          0
+          (Wire.Chunked.function_names img)
+      in
+      let bytes, dt2 = timed (fun () -> Wire.Chunked.to_bytes img) in
+      (bytes,
+       [ st "chunk+wire" in0 chunk_sum dt1;
+         st "frame" chunk_sum (String.length bytes) dt2 ]))
+    ~decode:(fun s ->
+      Support.Decode_error.guard ~decoder:"chunked" (fun () ->
+          let img, dt1 = timed (fun () -> Wire.Chunked.of_bytes_exn s) in
+          let p, dt2 = timed (fun () -> Wire.Chunked.decompress_all img) in
+          let txt = printed p in
+          let chunk_sum =
+            List.fold_left
+              (fun a n -> a + Wire.Chunked.chunk_size img n)
+              0
+              (Wire.Chunked.function_names img)
+          in
+          (txt,
+           [ st "unframe" (String.length s) chunk_sum dt1;
+             st "unchunk" chunk_sum (String.length txt) dt2 ])))
+
+let brisc_codec =
+  make ~name:"brisc" ~tag:"b"
+    ~encode:(fun src ->
+      let vm = Source.vm src in
+      let vm_bytes = Vm.Encode.program_size vm in
+      let image, dt1 =
+        timed (fun () -> Brisc.compress ?pool:(Source.pool src) vm)
+      in
+      let code_bytes =
+        Array.fold_left
+          (fun a f -> a + String.length f.Brisc.Emit.code)
+          0 image.Brisc.Emit.ifuncs
+      in
+      let bytes, dt2 = timed (fun () -> Brisc.to_bytes image) in
+      (bytes,
+       [ st "dict+markov" vm_bytes code_bytes dt1;
+         st "container" code_bytes (String.length bytes) dt2 ]))
+    ~decode:(fun s ->
+      Support.Decode_error.guard ~decoder:"brisc" (fun () ->
+          let img, dt = timed (fun () -> Brisc.of_bytes_exn s) in
+          (* canonical form: the re-serialized container, which
+             round-trips byte-for-byte for well-formed input *)
+          let out = Brisc.to_bytes img in
+          (out, [ st "parse" (String.length s) (String.length out) dt ])))
+
+(* ---- registry ---- *)
+
+type entry = {
+  codec : t;
+  modes : Scenario.Delivery.representation list;
+      (* whole-image delivery modes this codec can serve; [] for
+         stage/streaming-only codecs *)
+  streamable : bool;  (* served function-at-a-time over a session *)
+}
+
+let entries : entry list ref = ref []
+
+let register ?(modes = []) ?(streamable = false) codec =
+  List.iter
+    (fun e ->
+      if e.codec.name = codec.name then
+        invalid_arg ("Codec.register: duplicate name " ^ codec.name);
+      if e.codec.tag = codec.tag then
+        invalid_arg ("Codec.register: duplicate tag " ^ codec.tag))
+    !entries;
+  entries := !entries @ [ { codec; modes; streamable } ]
+
+let all () = !entries
+
+(* artifact = something the delivery server stores and serves, whether
+   whole-image (modes) or streamed (streamable) *)
+let artifacts () = List.filter (fun e -> e.modes <> [] || e.streamable) !entries
+
+let find name = List.find_opt (fun e -> e.codec.name = name) !entries
+
+let find_exn name =
+  match find name with
+  | Some e -> e
+  | None -> invalid_arg ("Codec.find_exn: unknown codec " ^ name)
+
+let find_tag tag = List.find_opt (fun e -> e.codec.tag = tag) !entries
+
+(* Registration order is the serving tie-break order: with equal
+   modeled total time the earlier registration wins, which preserves
+   the pre-registry selector's preferences. *)
+let () =
+  register ~modes:[ Scenario.Delivery.Raw_native ] native_codec;
+  register ~modes:[ Scenario.Delivery.Gzipped_native ] gzip_native_codec;
+  register ~modes:[ Scenario.Delivery.Wire_format ] wire_codec;
+  register ~modes:[ Scenario.Delivery.Wire_format ] wire_range_codec;
+  register ~streamable:true chunked_codec;
+  register
+    ~modes:[ Scenario.Delivery.Brisc_jit; Scenario.Delivery.Brisc_interp ]
+    brisc_codec;
+  register deflate_codec

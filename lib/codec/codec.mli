@@ -1,0 +1,127 @@
+(** The composable codec layer: every representation in the tree as a
+    named encode/decode pair with a per-stage trace, plus a registry
+    the delivery server, benches, and fuzz harness derive their
+    representation menus from. Adding a representation is one
+    {!register} call. *)
+
+type stage = {
+  stage : string;      (** pipeline stage name, e.g. ["mtf+huffman"] *)
+  bytes_in : int;      (** stage input footprint (bytes, or symbols for
+                           the patternize stage, whose output is not yet
+                           serialized) *)
+  bytes_out : int;
+  wall_s : float;
+}
+
+type trace = stage list
+(** Stages in the order the work happened. *)
+
+(** The views of one program a codec may consume — IR, VM program,
+    native image, raw payload bytes — all lazy and shared, so a codec
+    forces only what its pipeline needs and sibling codecs reuse it. *)
+module Source : sig
+  type t
+
+  val of_ir :
+    ?pool:Support.Pool.t -> ?vm:Vm.Isa.vprogram -> ?native:string ->
+    Ir.Tree.program -> t
+  (** A program source. [vm]/[native] short-circuit those views when the
+      caller already has them (prefilled views are also safe to share
+      across parallel encoders); [pool] parallelizes BRISC dictionary
+      construction. *)
+
+  val of_ir_lazy :
+    ?pool:Support.Pool.t -> ?vm:Vm.Isa.vprogram -> native:string Lazy.t ->
+    Ir.Tree.program -> t
+  (** As {!of_ir}, but the native view is an arbitrary suspension (e.g.
+      a cache-aware fetch), forced only by codecs that need it. *)
+
+  val of_bytes : ?pool:Support.Pool.t -> string -> t
+  (** A raw byte source, for pure byte codecs; forcing its IR or VM
+      view raises [Invalid_argument]. *)
+
+  val ir : t -> Ir.Tree.program
+  val vm : t -> Vm.Isa.vprogram
+  val native : t -> string
+  val payload : t -> string
+  val pool : t -> Support.Pool.t option
+end
+
+type t
+(** A codec: name, one-letter artifact tag, tracing encode, and a
+    TOTAL decode — hostile input yields a typed error, never an
+    exception. Decode returns the codec's canonical expansion (the
+    inflated image for byte codecs, the printed IR for the wire family,
+    the re-serialized container for BRISC). *)
+
+val name : t -> string
+val tag : t -> string
+
+val encode : t -> Source.t -> string * trace
+val encode_bytes : t -> string -> string * trace
+(** [encode] on {!Source.of_bytes}; only for pure byte codecs. *)
+
+val decode : t -> string -> (string * trace, Support.Decode_error.t) result
+
+val make :
+  name:string ->
+  tag:string ->
+  encode:(Source.t -> string * trace) ->
+  decode:(string -> (string * trace, Support.Decode_error.t) result) ->
+  t
+
+val compose : ?name:string -> ?tag:string -> t -> t -> t
+(** [compose front back] pipes [front]'s encoded bytes through [back]
+    (a pure byte codec); decode inverts [back] then [front]; traces
+    concatenate in work order. *)
+
+(** {2 Built-in codecs}
+
+    All byte-identical to the historical formats (pinned by tests). *)
+
+val native_codec : t
+
+val deflate_codec : t
+(** lz77 ∘ huffman over the payload. *)
+
+val gzip_native_codec : t
+(** native ∘ deflate. *)
+
+val wire_codec : t
+(** patternize ∘ mtf+huffman ∘ deflate ∘ crc32. *)
+
+val wire_range_codec : t
+(** wire with an order-2 range coder final stage. *)
+
+val chunked_codec : t
+(** Function-at-a-time wire container. *)
+
+val brisc_codec : t
+(** §4 byte-coded compressed executable. *)
+
+(** {2 Registry} *)
+
+type entry = {
+  codec : t;
+  modes : Scenario.Delivery.representation list;
+      (** whole-image delivery modes this codec can serve; [[]] for
+          stage or streaming-only codecs *)
+  streamable : bool;
+      (** served function-at-a-time over a chunked session *)
+}
+
+val register : ?modes:Scenario.Delivery.representation list ->
+  ?streamable:bool -> t -> unit
+(** Add a codec to the registry. Names and tags must be unique.
+    Registration order is the serving tie-break order. *)
+
+val all : unit -> entry list
+(** Every registered codec, in registration order. *)
+
+val artifacts : unit -> entry list
+(** The entries the delivery server stores and serves (whole-image
+    modes or streamable). *)
+
+val find : string -> entry option
+val find_exn : string -> entry
+val find_tag : string -> entry option

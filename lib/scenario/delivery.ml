@@ -42,25 +42,39 @@ type outcome = {
 
 let mb = 1048576.0
 
-let total_time ?(rates = default_rates) sizes ~run_cycles ~link_bps repr =
-  let native_mb = float_of_int sizes.native_bytes /. mb in
+(* The cost model for one concrete artifact: transfer the artifact's own
+   bytes, then pay the mode's preparation (decompress and/or JIT, scaled
+   by the native image the client must materialize) and run cost. The
+   registry-driven server calls this with each registered codec's actual
+   stored size; {!total_time} below is the size-card view over the five
+   canonical representations. *)
+let total_time_for ?(rates = default_rates) ~mode ~artifact_bytes ~native_bytes
+    ~run_cycles ~link_bps () =
+  let native_mb = float_of_int native_bytes /. mb in
   let run_native = float_of_int run_cycles /. rates.clock_hz in
-  let transfer bytes = float_of_int bytes *. 8.0 /. link_bps in
-  let transfer_s, prepare_s, run_s =
-    match repr with
-    | Raw_native -> (transfer sizes.native_bytes, 0.0, run_native)
-    | Gzipped_native ->
-      (transfer sizes.gzip_bytes, native_mb /. rates.decompress_mbps, run_native)
+  let transfer_s = float_of_int artifact_bytes *. 8.0 /. link_bps in
+  let prepare_s, run_s =
+    match mode with
+    | Raw_native -> (0.0, run_native)
+    | Gzipped_native -> (native_mb /. rates.decompress_mbps, run_native)
     | Wire_format ->
       (* decompress the wire bundle, then JIT the whole program *)
-      ( transfer sizes.wire_bytes,
-        (native_mb /. rates.decompress_mbps) +. (native_mb /. rates.jit_mbps),
+      ( (native_mb /. rates.decompress_mbps) +. (native_mb /. rates.jit_mbps),
         run_native )
-    | Brisc_jit -> (transfer sizes.brisc_bytes, native_mb /. rates.jit_mbps, run_native)
-    | Brisc_interp ->
-      (transfer sizes.brisc_bytes, 0.0, run_native *. rates.interp_slowdown)
+    | Brisc_jit -> (native_mb /. rates.jit_mbps, run_native)
+    | Brisc_interp -> (0.0, run_native *. rates.interp_slowdown)
   in
   { transfer_s; prepare_s; run_s; total_s = transfer_s +. prepare_s +. run_s }
+
+let bytes_for sizes = function
+  | Raw_native -> sizes.native_bytes
+  | Gzipped_native -> sizes.gzip_bytes
+  | Wire_format -> sizes.wire_bytes
+  | Brisc_jit | Brisc_interp -> sizes.brisc_bytes
+
+let total_time ?rates sizes ~run_cycles ~link_bps repr =
+  total_time_for ?rates ~mode:repr ~artifact_bytes:(bytes_for sizes repr)
+    ~native_bytes:sizes.native_bytes ~run_cycles ~link_bps ()
 
 let all_reprs = [ Raw_native; Gzipped_native; Wire_format; Brisc_jit; Brisc_interp ]
 

@@ -53,6 +53,23 @@ val total_time :
   representation ->
   outcome
 
+val total_time_for :
+  ?rates:rates ->
+  mode:representation ->
+  artifact_bytes:int ->
+  native_bytes:int ->
+  run_cycles:int ->
+  link_bps:float ->
+  unit ->
+  outcome
+(** The same model for one concrete artifact: transfer its actual
+    stored bytes, pay the mode's preparation and run costs.
+    {!total_time} is this applied to the size card's canonical bytes
+    per representation. *)
+
+val bytes_for : sizes -> representation -> int
+(** Which size-card field a representation ships. *)
+
 val all_reprs : representation list
 
 val best :

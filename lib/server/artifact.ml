@@ -1,40 +1,50 @@
-(* The representations the delivery server stores and serves. A BRISC
-   image is one artifact whether the client will JIT it or interpret it
-   in place, so the serving-side repr is coarser than
-   [Scenario.Delivery.representation]; [of_delivery]/[to_delivery]
-   translate between the two views. *)
+(* The representations the delivery server stores and serves — a thin
+   veneer over the [Codec] registry. A repr is just a registered
+   codec's (name, tag), so it compares structurally (safe as a Hashtbl
+   key), and the full menu is derived from the registry: adding a
+   representation to the server is one [Codec.register] call. *)
 
-type repr =
-  | Native        (* raw x86-like image *)
-  | Gzip_native   (* deflated native image *)
-  | Wire          (* monolithic §3 wire format *)
-  | Chunked_wire  (* function-at-a-time wire format *)
-  | Brisc         (* §4 byte-coded compressed executable *)
+type repr = { name : string; tag : string }
 
-let all = [ Native; Gzip_native; Wire; Chunked_wire; Brisc ]
+let of_entry (e : Codec.entry) =
+  { name = Codec.name e.Codec.codec; tag = Codec.tag e.Codec.codec }
 
-let name = function
-  | Native -> "native"
-  | Gzip_native -> "gzip+native"
-  | Wire -> "wire"
-  | Chunked_wire -> "chunked-wire"
-  | Brisc -> "brisc"
+(* every artifact the server materializes, in registry (= serving
+   tie-break) order *)
+let all () = List.map of_entry (Codec.artifacts ())
 
-let tag = function
-  | Native -> "n"
-  | Gzip_native -> "g"
-  | Wire -> "w"
-  | Chunked_wire -> "c"
-  | Brisc -> "b"
+let name r = r.name
+let tag r = r.tag
 
+let entry r = Codec.find_exn r.name
+let codec r = (entry r).Codec.codec
+let modes r = (entry r).Codec.modes
+let streamable r = (entry r).Codec.streamable
+
+let by_name n =
+  match Codec.find n with
+  | Some e -> of_entry e
+  | None -> invalid_arg ("Artifact.by_name: unknown codec " ^ n)
+
+(* The built-ins, by name; [by_name] validates against the registry at
+   module init. *)
+let native = by_name "native"
+let gzip_native = by_name "gzip+native"
+let wire = by_name "wire"
+let wire_range = by_name "wire+range"
+let chunked_wire = by_name "chunked-wire"
+let brisc = by_name "brisc"
+
+(* Legacy size-card mapping: which canonical artifact a delivery-model
+   representation ships. The registry-driven engine picks per-codec
+   candidates instead; this backs the sizes-record paths. *)
 let of_delivery = function
-  | Scenario.Delivery.Raw_native -> Native
-  | Scenario.Delivery.Gzipped_native -> Gzip_native
-  | Scenario.Delivery.Wire_format -> Wire
-  | Scenario.Delivery.Brisc_jit | Scenario.Delivery.Brisc_interp -> Brisc
+  | Scenario.Delivery.Raw_native -> native
+  | Scenario.Delivery.Gzipped_native -> gzip_native
+  | Scenario.Delivery.Wire_format -> wire
+  | Scenario.Delivery.Brisc_jit | Scenario.Delivery.Brisc_interp -> brisc
 
-let to_delivery = function
-  | Native -> Scenario.Delivery.Raw_native
-  | Gzip_native -> Scenario.Delivery.Gzipped_native
-  | Wire | Chunked_wire -> Scenario.Delivery.Wire_format
-  | Brisc -> Scenario.Delivery.Brisc_interp
+let to_delivery r =
+  match modes r with
+  | m :: _ -> m
+  | [] -> Scenario.Delivery.Wire_format (* streaming-only: wire-equivalent *)

@@ -1,10 +1,16 @@
 (* The code-delivery engine: content-addressed store + cache behind an
    adaptive, per-request representation selector.
 
-   [fetch] is the whole-image path: select the total-time-minimizing
-   representation the client can use, materialize it (compressing on a
-   cache miss), and account for it. [open_session] is the streaming
-   path for paging clients. *)
+   [fetch] is the whole-image path: enumerate every (artifact, mode)
+   candidate the codec registry offers, keep those the client profile
+   can use, pick the one minimizing modelled total time (transfer of
+   the artifact's actual stored bytes + preparation + run), materialize
+   it (compressing on a cache miss), verify it decodes, and account for
+   it. [open_session] is the streaming path for paging clients.
+
+   The candidate menu is registry-derived: a newly registered codec
+   with delivery modes enters selection, degradation, and stats with no
+   engine changes. *)
 
 type t = {
   store : Store.t;
@@ -34,15 +40,26 @@ let digests t = Store.digests t.store
 let store t = t.store
 let sizes_of t digest = (Store.meta t.store digest).Store.sizes
 
+(* How a response describes itself: the artifact's registry name plus
+   the delivery mode's preparation verb. *)
+let label_of artifact (mode : Scenario.Delivery.representation) =
+  match mode with
+  | Scenario.Delivery.Raw_native | Scenario.Delivery.Gzipped_native ->
+    Artifact.name artifact
+  | Scenario.Delivery.Wire_format | Scenario.Delivery.Brisc_jit ->
+    Artifact.name artifact ^ "+JIT"
+  | Scenario.Delivery.Brisc_interp -> Artifact.name artifact ^ " interp"
+
 type response = {
   digest : string;
   chosen : Scenario.Delivery.representation;
   artifact : Artifact.repr;
+  label : string;
   bytes : string;
   size : int;
   cache_hit : bool;
   outcome : Scenario.Delivery.outcome;
-  degraded_from : Scenario.Delivery.representation option;
+  degraded_from : string option;
 }
 
 let session_cycles t (m : Store.meta) =
@@ -58,60 +75,94 @@ let outcome_for t digest (profile : Profile.t) repr =
   Scenario.Delivery.total_time ~rates:t.rates m.Store.sizes
     ~run_cycles:(session_cycles t m) ~link_bps:profile.Profile.link_bps repr
 
-(* Verify-on-serve: every artifact with a decoder is run through its
-   total decoder before its bytes leave the server, so a corrupted
-   cache entry becomes a typed failure instead of a client crash. Raw
-   native images have no framing to check. *)
-let verify_artifact repr bytes =
-  match repr with
-  | Artifact.Native -> Ok ()
-  | Artifact.Gzip_native -> Result.map ignore (Zip.Deflate.decompress bytes)
-  | Artifact.Wire -> Result.map ignore (Wire.decompress bytes)
-  | Artifact.Chunked_wire -> Result.map ignore (Wire.Chunked.of_bytes bytes)
-  | Artifact.Brisc -> Result.map ignore (Brisc.of_bytes bytes)
+(* Every (artifact, mode) pair the registry offers this client, minus
+   artifacts that already failed verification this fetch. Feasibility is
+   per concrete artifact: the mode's resident-memory rule applied to the
+   artifact's actual stored size. *)
+let candidates (m : Store.meta) (profile : Profile.t) ~failed =
+  let native_bytes = m.Store.sizes.Scenario.Delivery.native_bytes in
+  List.concat_map
+    (fun r ->
+      if List.mem (Artifact.name r) failed then []
+      else
+        let artifact_bytes = Store.size_of m r in
+        List.filter_map
+          (fun mode ->
+            if
+              Profile.mode_feasible profile ~mode ~artifact_bytes
+                ~native_bytes
+            then Some (r, mode, artifact_bytes)
+            else None)
+          (Artifact.modes r))
+    (Artifact.all ())
+
+(* In-place interpretation is the mode of last resort: when nothing fits
+   the client's constraints, serve any live artifact that can be
+   interpreted, memory rule waived (as the legacy selector did). *)
+let last_resort (m : Store.meta) ~failed =
+  List.filter_map
+    (fun r ->
+      if
+        (not (List.mem (Artifact.name r) failed))
+        && List.mem Scenario.Delivery.Brisc_interp (Artifact.modes r)
+      then Some (r, Scenario.Delivery.Brisc_interp, Store.size_of m r)
+      else None)
+    (Artifact.all ())
 
 let fetch t digest (profile : Profile.t) =
   Stats.record_request t.stats;
   let m = Store.meta t.store digest in
-  let sizes = m.Store.sizes in
+  let native_bytes = m.Store.sizes.Scenario.Delivery.native_bytes in
   let run_cycles = session_cycles t m in
   (* Degradation loop: when the chosen artifact fails verification,
      quarantine it (the store rebuilds it fresh on the next request)
-     and re-select over the remaining representations — the session
-     degrades to the next-best choice instead of dropping. *)
+     and re-select over the remaining candidates — the session degrades
+     to the next-best choice instead of dropping. *)
   let rec attempt failed first_choice =
     let cands =
-      List.filter
-        (fun r -> not (List.mem (Artifact.of_delivery r) failed))
-        (Profile.feasible profile sizes)
+      match candidates m profile ~failed with
+      | [] -> last_resort m ~failed
+      | cs -> cs
     in
     if cands = [] then
       failwith
         (Printf.sprintf "Engine.fetch: no servable representation for %s"
            digest);
-    let chosen, outcome =
-      Scenario.Delivery.best_of ~rates:t.rates cands sizes ~run_cycles
-        ~link_bps:profile.Profile.link_bps
+    let score (r, mode, artifact_bytes) =
+      ( (r, mode),
+        Scenario.Delivery.total_time_for ~rates:t.rates ~mode ~artifact_bytes
+          ~native_bytes ~run_cycles ~link_bps:profile.Profile.link_bps () )
     in
-    let artifact = Artifact.of_delivery chosen in
+    let scored = List.map score cands in
+    (* strict-min fold: ties keep the earlier (registry-order) entry *)
+    let (artifact, chosen), outcome =
+      List.fold_left
+        (fun (bc, bo) (c, o) ->
+          if o.Scenario.Delivery.total_s < bo.Scenario.Delivery.total_s then
+            (c, o)
+          else (bc, bo))
+        (List.hd scored) (List.tl scored)
+    in
+    let label = label_of artifact chosen in
     let bytes, cache_hit = Store.materialize t.store digest artifact in
-    match verify_artifact artifact bytes with
-    | Ok () ->
+    match Codec.decode (Artifact.codec artifact) bytes with
+    | Ok _ ->
       let size = String.length bytes in
       Stats.record_served t.stats artifact size;
       let degraded_from =
         match first_choice with
-        | Some c when c <> chosen -> Some c
+        | Some l when l <> label -> Some l
         | _ -> None
       in
       if degraded_from <> None then Stats.record_degraded t.stats;
-      { digest; chosen; artifact; bytes; size; cache_hit; outcome;
+      { digest; chosen; artifact; label; bytes; size; cache_hit; outcome;
         degraded_from }
     | Error e ->
       Stats.record_decode_failure t.stats ~digest artifact e;
       Store.quarantine t.store digest artifact;
-      attempt (artifact :: failed)
-        (match first_choice with None -> Some chosen | s -> s)
+      attempt
+        (Artifact.name artifact :: failed)
+        (match first_choice with None -> Some label | s -> s)
   in
   attempt [] None
 

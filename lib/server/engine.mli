@@ -28,16 +28,18 @@ val store : t -> Store.t
 
 type response = {
   digest : string;
-  chosen : Scenario.Delivery.representation;  (** what the selector picked *)
+  chosen : Scenario.Delivery.representation;  (** the delivery mode picked *)
   artifact : Artifact.repr;                   (** the artifact serving it *)
+  label : string;
+      (** human-readable (artifact, mode) pair, e.g. ["wire+range+JIT"] *)
   bytes : string;
   size : int;
   cache_hit : bool;
   outcome : Scenario.Delivery.outcome;        (** modelled client timing *)
-  degraded_from : Scenario.Delivery.representation option;
-      (** the selector's original choice, when its artifact failed
-          verification and this response fell back to a lower-ranked
-          representation *)
+  degraded_from : string option;
+      (** the selector's original choice (its {!label}), when its
+          artifact failed verification and this response fell back to
+          the next-best candidate *)
 }
 
 val select :
@@ -53,12 +55,14 @@ val outcome_for :
     bench compares against the adaptive selector. *)
 
 val fetch : t -> string -> Profile.t -> response
-(** One whole-image request: select, materialize (cache-first), verify
-    the artifact decodes, account. An artifact that fails verification
-    is quarantined (recorded in {!Stats}, rebuilt fresh by the store on
-    its next request) and the fetch degrades to the best remaining
-    representation — see [degraded_from] in the {!response}.
-    @raise Not_found for unknown digests. *)
+(** One whole-image request: enumerate the registry's (artifact, mode)
+    candidates the profile can use, pick the total-time minimizer over
+    each artifact's actual stored size, materialize it (cache-first),
+    run it through its codec's total decoder, account. An artifact that
+    fails verification is quarantined (recorded in {!Stats}, rebuilt
+    fresh by the store on its next request) and the fetch degrades to
+    the best remaining candidate — see [degraded_from] in the
+    {!response}. @raise Not_found for unknown digests. *)
 
 val open_session : t -> string -> Session.t
 (** Start a streaming chunked session for a paging client. *)

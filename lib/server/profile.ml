@@ -35,6 +35,21 @@ let datacenter =
   make "datacenter" ~link_bps:Scenario.Delivery.fast_lan_bps
     ~accepts_native:true
 
+(* Per-mode gating for one concrete artifact, mirroring [feasible]'s
+   group rules: whole-image modes that materialize native code are
+   bounded by the native image's resident size; in-place interpretation
+   only by the artifact itself. *)
+let mode_feasible p ~mode ~artifact_bytes ~native_bytes =
+  let fits resident =
+    match p.memory_bytes with None -> true | Some m -> resident <= m
+  in
+  match (mode : Scenario.Delivery.representation) with
+  | Scenario.Delivery.Raw_native | Scenario.Delivery.Gzipped_native ->
+    p.accepts_native && fits native_bytes
+  | Scenario.Delivery.Wire_format | Scenario.Delivery.Brisc_jit ->
+    p.can_jit && fits native_bytes
+  | Scenario.Delivery.Brisc_interp -> fits artifact_bytes
+
 let feasible p (sizes : Scenario.Delivery.sizes) =
   let fits resident =
     match p.memory_bytes with None -> true | Some m -> resident <= m

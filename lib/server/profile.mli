@@ -40,6 +40,13 @@ val feasible : t -> Scenario.Delivery.sizes -> Scenario.Delivery.representation 
     the program's size card. Never empty: in-place interpretation is
     the last resort. *)
 
+val mode_feasible :
+  t -> mode:Scenario.Delivery.representation -> artifact_bytes:int ->
+  native_bytes:int -> bool
+(** Per-mode gating for one concrete artifact, mirroring {!feasible}'s
+    group rules. Used by the registry-driven engine, which enumerates
+    (codec, mode) candidates instead of the closed size card. *)
+
 val select :
   ?rates:Scenario.Delivery.rates ->
   t ->

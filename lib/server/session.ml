@@ -48,14 +48,14 @@ let handshake_bytes image =
    the typed decode error. *)
 let chunked_image store stats digest =
   let decode () =
-    let bytes, _hit = Store.materialize store digest Artifact.Chunked_wire in
+    let bytes, _hit = Store.materialize store digest Artifact.chunked_wire in
     Wire.Chunked.of_bytes bytes
   in
   match decode () with
   | Ok image -> image
   | Error e ->
-    Stats.record_decode_failure stats ~digest Artifact.Chunked_wire e;
-    Store.quarantine store digest Artifact.Chunked_wire;
+    Stats.record_decode_failure stats ~digest Artifact.chunked_wire e;
+    Store.quarantine store digest Artifact.chunked_wire;
     (match decode () with
     | Ok image -> image
     | Error e -> raise (Support.Decode_error.Fail e))

@@ -21,6 +21,14 @@ let bucket_label = function
   | 3 -> "0.1-1s"
   | _ -> ">=1s"
 
+(* accumulated totals for one pipeline stage of one codec *)
+type stage_acc = {
+  mutable stage_calls : int;
+  mutable stage_bytes_in : int;
+  mutable stage_bytes_out : int;
+  mutable stage_wall_s : float;
+}
+
 type repr_counters = {
   mutable responses : int;
   mutable bytes_served : int;
@@ -28,6 +36,8 @@ type repr_counters = {
   mutable compress_s : float;
   mutable compress_max_s : float;
   histogram : int array;  (* compression times, log buckets *)
+  stage_accs : (string, stage_acc) Hashtbl.t;
+  mutable stage_names : string list;  (* pipeline order, reversed *)
 }
 
 let fresh_counters () =
@@ -38,6 +48,8 @@ let fresh_counters () =
     compress_s = 0.0;
     compress_max_s = 0.0;
     histogram = Array.make histo_buckets 0;
+    stage_accs = Hashtbl.create 8;
+    stage_names = [];
   }
 
 (* one quarantined artifact: which digest/representation failed
@@ -100,13 +112,32 @@ let record_served t repr bytes =
   c.responses <- c.responses + 1;
   c.bytes_served <- c.bytes_served + bytes
 
-let record_compress t repr seconds =
+let record_compress t repr ?(trace = []) seconds =
   let c = counters t repr in
   c.compressions <- c.compressions + 1;
   c.compress_s <- c.compress_s +. seconds;
   if seconds > c.compress_max_s then c.compress_max_s <- seconds;
   let b = bucket_of_seconds seconds in
-  c.histogram.(b) <- c.histogram.(b) + 1
+  c.histogram.(b) <- c.histogram.(b) + 1;
+  List.iter
+    (fun (s : Codec.stage) ->
+      let acc =
+        match Hashtbl.find_opt c.stage_accs s.Codec.stage with
+        | Some a -> a
+        | None ->
+          let a =
+            { stage_calls = 0; stage_bytes_in = 0; stage_bytes_out = 0;
+              stage_wall_s = 0.0 }
+          in
+          Hashtbl.add c.stage_accs s.Codec.stage a;
+          c.stage_names <- s.Codec.stage :: c.stage_names;
+          a
+      in
+      acc.stage_calls <- acc.stage_calls + 1;
+      acc.stage_bytes_in <- acc.stage_bytes_in + s.Codec.bytes_in;
+      acc.stage_bytes_out <- acc.stage_bytes_out + s.Codec.bytes_out;
+      acc.stage_wall_s <- acc.stage_wall_s +. s.Codec.wall_s)
+    trace
 
 let record_session_opened t ~handshake_bytes ~wire_equiv_bytes =
   t.sessions_opened <- t.sessions_opened + 1;
@@ -142,6 +173,15 @@ let record_degraded t = t.degraded_fetches <- t.degraded_fetches + 1
 
 (* ---- snapshot ---- *)
 
+(* one pipeline stage's accumulated totals in a snapshot *)
+type stage_report = {
+  stage_name : string;
+  calls : int;
+  bytes_in : int;
+  bytes_out : int;
+  wall_s : float;
+}
+
 type repr_report = {
   repr : Artifact.repr;
   responses : int;
@@ -150,6 +190,7 @@ type repr_report = {
   compress_total_s : float;
   compress_max_s : float;
   compress_histogram : (string * int) list;
+  stages : stage_report list;  (* pipeline order *)
 }
 
 type report = {
@@ -190,8 +231,20 @@ let report t ~cache =
                   (fun (_, n) -> n > 0)
                   (List.init histo_buckets (fun i ->
                        (bucket_label i, c.histogram.(i))));
+              stages =
+                List.rev_map
+                  (fun name ->
+                    let a = Hashtbl.find c.stage_accs name in
+                    {
+                      stage_name = name;
+                      calls = a.stage_calls;
+                      bytes_in = a.stage_bytes_in;
+                      bytes_out = a.stage_bytes_out;
+                      wall_s = a.stage_wall_s;
+                    })
+                  c.stage_names;
             })
-      Artifact.all
+      (Artifact.all ())
   in
   let cs = Cache.stats cache in
   {
@@ -233,12 +286,21 @@ let print (r : report) =
         (Artifact.name rr.repr) rr.responses
         (Support.Util.human_bytes rr.bytes_served)
         rr.compressions rr.compress_total_s rr.compress_max_s;
-      match rr.compress_histogram with
+      (match rr.compress_histogram with
       | [] -> ()
       | h ->
         Printf.printf "  %-14s %s\n" ""
           (String.concat "  "
-             (List.map (fun (l, n) -> Printf.sprintf "%s:%d" l n) h)))
+             (List.map (fun (l, n) -> Printf.sprintf "%s:%d" l n) h)));
+      List.iter
+        (fun s ->
+          Printf.printf
+            "    stage %-12s %3d calls  %10s in -> %10s out  %.3fs\n"
+            s.stage_name s.calls
+            (Support.Util.human_bytes s.bytes_in)
+            (Support.Util.human_bytes s.bytes_out)
+            s.wall_s)
+        rr.stages)
     r.by_repr;
   if r.decode_failures > 0 then begin
     Printf.printf

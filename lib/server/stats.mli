@@ -12,7 +12,11 @@ val create : unit -> t
 val record_request : t -> unit
 val record_publish : t -> unit
 val record_served : t -> Artifact.repr -> int -> unit
-val record_compress : t -> Artifact.repr -> float -> unit
+val record_compress : t -> Artifact.repr -> ?trace:Codec.trace -> float -> unit
+(** One compression of [repr]: wall-clock histogram plus, when the
+    codec reported a per-stage trace, accumulation into that repr's
+    stage matrix (bytes-in / bytes-out / time per pipeline stage). *)
+
 val record_session_opened : t -> handshake_bytes:int -> wire_equiv_bytes:int -> unit
 val record_chunk : t -> bytes:int -> retransmit:bool -> unit
 
@@ -27,6 +31,15 @@ val record_degraded : t -> unit
 
 (** {2 Snapshot} *)
 
+type stage_report = {
+  stage_name : string;
+  calls : int;
+  bytes_in : int;
+  bytes_out : int;
+  wall_s : float;
+}
+(** Accumulated totals for one pipeline stage of one codec. *)
+
 type repr_report = {
   repr : Artifact.repr;
   responses : int;
@@ -36,6 +49,8 @@ type repr_report = {
   compress_max_s : float;
   compress_histogram : (string * int) list;
       (** wall-clock buckets ("<1ms", "1-10ms", ...) with non-zero counts *)
+  stages : stage_report list;
+      (** the codec's per-stage matrix, in pipeline order *)
 }
 
 type failure = {

@@ -9,17 +9,22 @@
    trade-off the stats layer measures against the always-recompress
    baseline.
 
+   The artifact menu is the codec registry: publish and the first-miss
+   prefetch iterate [Artifact.all ()], so a newly registered codec is
+   stored, sized, timed (with its per-stage trace) and served with no
+   store changes.
+
    With a parallel domain pool the expensive paths fan out: publish
    compresses the whole representation menu concurrently, and the first
    cache miss for a digest prefetches whatever part of the menu is
    missing. Compression thunks are pure — all Stats/Cache mutation
-   happens sequentially afterwards in fixed representation order, so
-   counters and cache contents are deterministic at any pool size. *)
+   happens sequentially afterwards in fixed registry order, so counters
+   and cache contents are deterministic at any pool size. *)
 
 type meta = {
   ir : Ir.Tree.program;
   sizes : Scenario.Delivery.sizes;
-  chunked_bytes : int;      (* the function-at-a-time image is bigger *)
+  sizes_by : (string * int) list;  (* artifact name -> stored bytes *)
   run_cycles : int;         (* measured (or estimated) native cycles *)
   fn_names : string list;
 }
@@ -61,23 +66,18 @@ let meta t digest =
   | Some m -> m
   | None -> raise Not_found
 
+let size_of (m : meta) repr =
+  match List.assoc_opt (Artifact.name repr) m.sizes_by with
+  | Some n -> n
+  | None -> 0
+
+let chunked_bytes m = size_of m Artifact.chunked_wire
+
 let digests t = List.rev t.order
 
 (* ---- artifact production ---- *)
 
 let cache_key digest repr = digest ^ ":" ^ Artifact.tag repr
-
-let compile_vm (m : meta) = Vm.Codegen.gen_program m.ir
-
-(* pure compression of one representation, given the native image (the
-   only cross-representation dependency) *)
-let compress_repr t (m : meta) ~native = function
-  | Artifact.Native -> native
-  | Artifact.Gzip_native -> Zip.Deflate.compress native
-  | Artifact.Wire -> Wire.compress m.ir
-  | Artifact.Chunked_wire -> Wire.Chunked.to_bytes (Wire.Chunked.compress m.ir)
-  | Artifact.Brisc ->
-    Brisc.to_bytes (Brisc.compress ?pool:t.pool (compile_vm m))
 
 let timed f =
   let t0 = Unix.gettimeofday () in
@@ -85,8 +85,8 @@ let timed f =
   (bytes, Unix.gettimeofday () -. t0)
 
 (* run the (repr, thunk) batch — concurrently when a parallel pool is
-   available — then record timings and fill the cache sequentially in
-   list order *)
+   available — then record timings/traces and fill the cache
+   sequentially in list order. Thunks return (bytes, trace). *)
 let run_batch t digest tasks =
   let results =
     let thunks = List.map (fun (_, f) () -> timed f) tasks in
@@ -95,24 +95,32 @@ let run_batch t digest tasks =
     | None -> List.map (fun f -> f ()) thunks
   in
   List.map2
-    (fun (repr, _) (bytes, dt) ->
-      Stats.record_compress t.stats repr dt;
+    (fun (repr, _) ((bytes, trace), dt) ->
+      Stats.record_compress t.stats repr ~trace dt;
       Cache.add t.cache (cache_key digest repr) bytes;
       (repr, bytes))
     tasks results
 
 let native_image t digest (m : meta) =
-  match Cache.find t.cache (cache_key digest Artifact.Native) with
+  match Cache.find t.cache (cache_key digest Artifact.native) with
   | Some bytes -> bytes
   | None ->
-    let bytes, dt =
+    let (bytes, trace), dt =
       timed (fun () ->
-          Native.Mach.encode_program
-            (Native.Compile.compile_program (compile_vm m)))
+          Codec.encode (Artifact.codec Artifact.native)
+            (Codec.Source.of_ir m.ir))
     in
-    Stats.record_compress t.stats Artifact.Native dt;
-    Cache.add t.cache (cache_key digest Artifact.Native) bytes;
+    Stats.record_compress t.stats Artifact.native ~trace dt;
+    Cache.add t.cache (cache_key digest Artifact.native) bytes;
     bytes
+
+(* the shared lazy source sibling codecs encode from; the native view
+   goes through the cache so the machine image is built at most once,
+   and only when a codec actually needs it *)
+let source_for t digest (m : meta) =
+  Codec.Source.of_ir_lazy ?pool:t.pool
+    ~native:(lazy (native_image t digest m))
+    m.ir
 
 let materialize t digest repr =
   let m = meta t digest in
@@ -127,33 +135,37 @@ let materialize t digest repr =
          compression instead of a serial sum, and sibling
          representations are warm for the next request *)
       Hashtbl.add t.prefetched digest ();
-      let native = native_image t digest m in
+      let src = source_for t digest m in
+      (* force the shared native view before fanning out, so parallel
+         thunks stay pure (no cache/stats mutation from pool lanes) *)
+      ignore (Codec.Source.native src);
       let missing =
         List.filter
           (fun r ->
-            r <> Artifact.Native
+            r <> Artifact.native
             && Cache.find t.cache (cache_key digest r) = None)
-          Artifact.all
+          (Artifact.all ())
       in
       ignore
         (run_batch t digest
-           (List.map (fun r -> (r, fun () -> compress_repr t m ~native r)) missing))
+           (List.map
+              (fun r ->
+                (r, fun () -> Codec.encode (Artifact.codec r) src))
+              missing))
     | _ -> ());
     (match Cache.find t.cache key with
     | Some bytes -> (bytes, false)   (* compressed by the prefetch *)
-    | None -> (
-      match repr with
-      | Artifact.Native -> (native_image t digest m, false)
-      | repr ->
-        let native =
-          match repr with
-          | Artifact.Gzip_native -> native_image t digest m
-          | _ -> ""
+    | None ->
+      if repr = Artifact.native then (native_image t digest m, false)
+      else begin
+        let src = source_for t digest m in
+        let (bytes, trace), dt =
+          timed (fun () -> Codec.encode (Artifact.codec repr) src)
         in
-        let bytes, dt = timed (fun () -> compress_repr t m ~native repr) in
-        Stats.record_compress t.stats repr dt;
+        Stats.record_compress t.stats repr ~trace dt;
         Cache.add t.cache key bytes;
-        (bytes, false)))
+        (bytes, false)
+      end)
 
 (* ---- fault handling ---- *)
 
@@ -196,31 +208,31 @@ let publish t ?run_cycles ?(input = "") (p : Ir.Tree.program) =
         try (Native.Sim.run ~input np).Native.Sim.cycles
         with _ -> String.length native_img * estimated_cycles_per_byte)
     in
-    (* compress every representation once, timed, to fill the size card
-       the adaptive selector needs; the bytes warm the cache. The dummy
-       meta lets the shared compress_repr path run before registration *)
+    (* compress the whole registry menu once, timed, to fill the size
+       card the adaptive selector needs; the bytes warm the cache. All
+       source views are prefilled values, so the parallel batch shares
+       them race-free. *)
     let m0 =
       {
         ir = p;
         sizes =
           { Scenario.Delivery.native_bytes = 0; gzip_bytes = 0; wire_bytes = 0;
             brisc_bytes = 0 };
-        chunked_bytes = 0;
+        sizes_by = [];
         run_cycles;
         fn_names = List.map (fun f -> f.Ir.Tree.fname) p.Ir.Tree.funcs;
       }
     in
+    let src = Codec.Source.of_ir ?pool:t.pool ~vm:vp ~native:native_img p in
     let produced =
       run_batch t digest
-        [
-          (Artifact.Native, fun () -> native_img);
-          (Artifact.Gzip_native, fun () -> Zip.Deflate.compress native_img);
-          (Artifact.Wire, fun () -> Wire.compress p);
-          ( Artifact.Chunked_wire,
-            fun () -> Wire.Chunked.to_bytes (Wire.Chunked.compress p) );
-          ( Artifact.Brisc,
-            fun () -> Brisc.to_bytes (Brisc.compress ?pool:t.pool vp) );
-        ]
+        (List.map
+           (fun r -> (r, fun () -> Codec.encode (Artifact.codec r) src))
+           (Artifact.all ()))
+    in
+    let sizes_by =
+      List.map (fun (r, bytes) -> (Artifact.name r, String.length bytes))
+        produced
     in
     let size r = String.length (List.assoc r produced) in
     let m =
@@ -228,12 +240,12 @@ let publish t ?run_cycles ?(input = "") (p : Ir.Tree.program) =
         m0 with
         sizes =
           {
-            Scenario.Delivery.native_bytes = size Artifact.Native;
-            gzip_bytes = size Artifact.Gzip_native;
-            wire_bytes = size Artifact.Wire;
-            brisc_bytes = size Artifact.Brisc;
+            Scenario.Delivery.native_bytes = size Artifact.native;
+            gzip_bytes = size Artifact.gzip_native;
+            wire_bytes = size Artifact.wire;
+            brisc_bytes = size Artifact.brisc;
           };
-        chunked_bytes = size Artifact.Chunked_wire;
+        sizes_by;
       }
     in
     Hashtbl.add t.metas digest m;

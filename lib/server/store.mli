@@ -8,11 +8,19 @@
 
 type meta = {
   ir : Ir.Tree.program;
-  sizes : Scenario.Delivery.sizes;  (** size card for the selector *)
-  chunked_bytes : int;              (** the function-at-a-time image *)
+  sizes : Scenario.Delivery.sizes;  (** legacy size card for the selector *)
+  sizes_by : (string * int) list;
+      (** stored bytes per registered artifact, by codec name — the
+          registry-driven engine's per-candidate transfer sizes *)
   run_cycles : int;                 (** measured or estimated native cycles *)
   fn_names : string list;
 }
+
+val size_of : meta -> Artifact.repr -> int
+(** Stored bytes of one artifact (0 when unknown). *)
+
+val chunked_bytes : meta -> int
+(** Stored bytes of the function-at-a-time image. *)
 
 type t
 

@@ -164,9 +164,7 @@ let run engine ?(profiles = default_profiles) ?(config = default_config)
     else begin
       incr fetches;
       let resp = Engine.fetch engine e.digest profile in
-      let key =
-        (profile.Profile.name, Scenario.Delivery.repr_name resp.Engine.chosen)
-      in
+      let key = (profile.Profile.name, resp.Engine.label) in
       Hashtbl.replace tally key
         (1 + Option.value ~default:0 (Hashtbl.find_opt tally key));
       adaptive_s :=

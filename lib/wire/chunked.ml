@@ -53,8 +53,7 @@ let to_bytes t =
   Support.Util.uleb128 buf (List.length t.globals);
   List.iter
     (fun (g : Ir.Tree.global) ->
-      Support.Util.uleb128 buf (String.length g.Ir.Tree.gname);
-      Buffer.add_string buf g.Ir.Tree.gname;
+      Support.Frame.put_str buf g.Ir.Tree.gname;
       Support.Util.uleb128 buf g.Ir.Tree.gsize;
       match g.Ir.Tree.ginit with
       | None -> Support.Util.uleb128 buf 0
@@ -65,62 +64,19 @@ let to_bytes t =
   Support.Util.uleb128 buf (List.length t.chunks);
   List.iter
     (fun (name, chunk) ->
-      Support.Util.uleb128 buf (String.length name);
-      Buffer.add_string buf name;
-      Support.Util.uleb128 buf (String.length chunk);
-      Buffer.add_string buf chunk)
+      Support.Frame.put_str buf name;
+      Support.Frame.put_str buf chunk)
     t.chunks;
   (* magic, then a CRC-32 of the body so any corruption or truncation is
      rejected in [of_bytes] before parsing *)
-  let body = Buffer.contents buf in
-  let crc = Support.Util.crc32 body in
-  let hdr = Buffer.create 8 in
-  Buffer.add_string hdr magic;
-  Buffer.add_char hdr (Char.chr ((crc lsr 24) land 0xff));
-  Buffer.add_char hdr (Char.chr ((crc lsr 16) land 0xff));
-  Buffer.add_char hdr (Char.chr ((crc lsr 8) land 0xff));
-  Buffer.add_char hdr (Char.chr (crc land 0xff));
-  Buffer.contents hdr ^ body
+  Support.Frame.seal ~magic (Buffer.contents buf)
 
 let of_bytes_exn s =
-  let pos = ref 0 in
-  let fail kind msg =
-    Support.Decode_error.fail ~decoder:"chunked" ~kind ~pos:!pos msg
-  in
-  let remaining () = String.length s - !pos in
-  let check_count n what =
-    if n < 0 || n > remaining () then
-      fail Support.Decode_error.Limit
-        (Printf.sprintf "%s count %d exceeds remaining %d bytes" what n
-           (remaining ()))
-  in
-  if String.length s < 8 || String.sub s 0 4 <> magic then
-    fail Support.Decode_error.Bad_magic "bad magic";
-  let stored =
-    (Char.code s.[4] lsl 24)
-    lor (Char.code s.[5] lsl 16)
-    lor (Char.code s.[6] lsl 8)
-    lor Char.code s.[7]
-  in
-  if Support.Util.crc32 ~pos:8 s <> stored then
-    fail Support.Decode_error.Checksum "checksum mismatch (corrupt image)";
-  pos := 8;
-  let u () = Support.Util.read_uleb128 s pos in
-  let str () =
-    let n = u () in
-    if n < 0 || !pos + n > String.length s then
-      fail Support.Decode_error.Truncated "truncated string";
-    let r = String.sub s !pos n in
-    pos := !pos + n;
-    r
-  in
-  let byte () =
-    if !pos >= String.length s then
-      fail Support.Decode_error.Truncated "truncated global initializer";
-    let b = Char.code s.[!pos] in
-    incr pos;
-    b
-  in
+  let off = Support.Frame.verify ~decoder:"chunked" ~magic s in
+  let r = Support.Frame.reader ~decoder:"chunked" ~pos:off s in
+  let u () = Support.Frame.u r in
+  let str () = Support.Frame.str ~what:"string" r in
+  let check_count n what = Support.Frame.check_count r n what in
   let nglob = u () in
   check_count nglob "global";
   let globals =
@@ -131,7 +87,10 @@ let of_bytes_exn s =
         if initlen > 0 then check_count (initlen - 1) "global initializer";
         let ginit =
           if initlen = 0 then None
-          else Some (List.init (initlen - 1) (fun _ -> byte ()))
+          else
+            Some
+              (List.init (initlen - 1) (fun _ ->
+                   Char.code (Support.Frame.byte r ~what:"global initializer" ())))
         in
         { Ir.Tree.gname; gsize; ginit })
   in
@@ -143,8 +102,7 @@ let of_bytes_exn s =
         let chunk = str () in
         (name, chunk))
   in
-  if !pos <> String.length s then
-    fail Support.Decode_error.Inconsistent "trailing bytes after last chunk";
+  Support.Frame.expect_end r "last chunk";
   { globals; chunks }
 
 let of_bytes s =

@@ -2,51 +2,7 @@ let magic = "WIR1"
 
 type final_stage = Deflate | Arith of int
 
-
-(* ---- bundle writer helpers ---- *)
-
-let put_str buf s =
-  Support.Util.uleb128 buf (String.length s);
-  Buffer.add_string buf s
-
-let put_bytes buf (b : Bytes.t) =
-  Support.Util.uleb128 buf (Bytes.length b);
-  Buffer.add_bytes buf b
-
-type reader = { src : string; pos : int ref }
-
-let wfail r kind msg =
-  Support.Decode_error.fail ~decoder:"wire" ~kind ~pos:!(r.pos) msg
-
-let get_uleb r = Support.Util.read_uleb128 r.src r.pos
-let get_sleb r = Support.Util.read_sleb r.src r.pos
-let remaining r = String.length r.src - !(r.pos)
-
-(* Validate a count field before allocating anything proportional to it:
-   every element costs at least one input byte in this format. *)
-let check_count r n what =
-  if n < 0 || n > remaining r then
-    wfail r Support.Decode_error.Limit
-      (Printf.sprintf "%s count %d exceeds remaining %d bytes" what n
-         (remaining r))
-
-let get_raw r n =
-  if n < 0 || !(r.pos) + n > String.length r.src then
-    wfail r Support.Decode_error.Truncated "truncated bundle";
-  let s = String.sub r.src !(r.pos) n in
-  r.pos := !(r.pos) + n;
-  s
-
-let get_str r =
-  let n = get_uleb r in
-  get_raw r n
-
-let get_byte r =
-  if !(r.pos) >= String.length r.src then
-    wfail r Support.Decode_error.Truncated "truncated bundle";
-  let c = r.src.[!(r.pos)] in
-  incr r.pos;
-  c
+let wfail r kind msg = Support.Frame.fail r kind msg
 
 let ty_code = function
   | Ir.Op.I -> 0
@@ -68,7 +24,21 @@ let ty_of_code r = function
 let class_key ~split cls =
   if split then Ir.Op.lit_class_name cls else "ALL"
 
-(* ---- compression ---- *)
+(* ---- stage 1: patternize ----
+
+   Split every statement into a shape (spat) and its literal operands,
+   the operands fanning out into per-class streams (§3 step 2). The
+   result carries everything the bundle writer needs, so the two stages
+   can be timed and sized independently by the codec layer. *)
+
+type patternized = {
+  prog : Ir.Tree.program;
+  use_mtf : bool;
+  split : bool;
+  pattern_seq : Ir.Pattern.spat list;           (* statement order *)
+  lit_streams : (string * Ir.Pattern.lit list) list;  (* first-use order *)
+  symbols : int;  (* patterns + literals: the stage's output "bytes" *)
+}
 
 type streams = {
   mutable pattern_seq : Ir.Pattern.spat list;  (* reversed *)
@@ -82,6 +52,40 @@ let push_lit st key v =
   | None ->
     Hashtbl.add st.lit_seqs key (ref [ v ]);
     st.lit_keys <- key :: st.lit_keys)
+
+let patternize ?(use_mtf = true) ?(split_streams = true)
+    (p : Ir.Tree.program) : patternized =
+  let st =
+    { pattern_seq = []; lit_seqs = Hashtbl.create 16; lit_keys = [] }
+  in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun s ->
+          let sp, lits = Ir.Pattern.of_stmt s in
+          st.pattern_seq <- sp :: st.pattern_seq;
+          List.iter
+            (fun (cls, v) -> push_lit st (class_key ~split:split_streams cls) v)
+            lits)
+        f.Ir.Tree.body)
+    p.Ir.Tree.funcs;
+  let pattern_seq = List.rev st.pattern_seq in
+  let lit_streams =
+    List.rev_map
+      (fun key -> (key, List.rev !(Hashtbl.find st.lit_seqs key)))
+      st.lit_keys
+  in
+  let symbols =
+    List.fold_left
+      (fun a (_, l) -> a + List.length l)
+      (List.length pattern_seq) lit_streams
+  in
+  { prog = p; use_mtf; split = split_streams; pattern_seq; lit_streams;
+    symbols }
+
+let symbols pz = pz.symbols
+
+(* ---- stage 2: MTF + Huffman into the bundle ---- *)
 
 let mtf_or_first ~use_mtf ~eq xs =
   if use_mtf then Zip.Mtf.encode ~eq xs
@@ -137,43 +141,24 @@ let inverse_mtf_or_first ~use_mtf (e : 'a Zip.Mtf.encoded) =
 let encode_indices buf indices =
   let alphabet = List.fold_left max 0 indices + 1 in
   let bytes = Zip.Huffman.encode_all indices ~alphabet in
-  put_bytes buf bytes
+  Support.Frame.put_bytes buf bytes
 
 let decode_indices r =
-  let n = get_uleb r in
-  let raw = get_raw r n in
+  let raw = Support.Frame.str ~what:"bundle" r in
   Zip.Huffman.decode_all_exn (Bytes.of_string raw)
 
-let compress ?(use_mtf = true) ?(split_streams = true)
-    ?(final_stage = Deflate) (p : Ir.Tree.program) =
-  let st =
-    { pattern_seq = []; lit_seqs = Hashtbl.create 16; lit_keys = [] }
-  in
-  (* patternize every statement of every function, in order *)
-  let func_pats =
-    List.map
-      (fun f ->
-        List.map
-          (fun s ->
-            let sp, lits = Ir.Pattern.of_stmt s in
-            st.pattern_seq <- sp :: st.pattern_seq;
-            List.iter
-              (fun (cls, v) -> push_lit st (class_key ~split:split_streams cls) v)
-              lits;
-            sp)
-          f.Ir.Tree.body)
-      p.Ir.Tree.funcs
-  in
-  ignore func_pats;
+let bundle_of_patternized (pz : patternized) : string =
+  let p = pz.prog in
+  let use_mtf = pz.use_mtf in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf magic;
   Buffer.add_char buf (if use_mtf then '\001' else '\000');
-  Buffer.add_char buf (if split_streams then '\001' else '\000');
+  Buffer.add_char buf (if pz.split then '\001' else '\000');
   (* globals *)
   Support.Util.uleb128 buf (List.length p.Ir.Tree.globals);
   List.iter
     (fun g ->
-      put_str buf g.Ir.Tree.gname;
+      Support.Frame.put_str buf g.Ir.Tree.gname;
       Support.Util.uleb128 buf g.Ir.Tree.gsize;
       match g.Ir.Tree.ginit with
       | None -> Support.Util.uleb128 buf 0
@@ -185,31 +170,28 @@ let compress ?(use_mtf = true) ?(split_streams = true)
   Support.Util.uleb128 buf (List.length p.Ir.Tree.funcs);
   List.iter
     (fun f ->
-      put_str buf f.Ir.Tree.fname;
+      Support.Frame.put_str buf f.Ir.Tree.fname;
       Support.Util.uleb128 buf (List.length f.Ir.Tree.formals);
       List.iter
         (fun (n, ty) ->
-          put_str buf n;
+          Support.Frame.put_str buf n;
           Buffer.add_char buf (Char.chr (ty_code ty)))
         f.Ir.Tree.formals;
       Support.Util.uleb128 buf f.Ir.Tree.frame_size;
       Support.Util.uleb128 buf (List.length f.Ir.Tree.body))
     p.Ir.Tree.funcs;
   (* pattern stream *)
-  let pattern_seq = List.rev st.pattern_seq in
-  let enc = mtf_or_first ~use_mtf ~eq:Ir.Pattern.equal pattern_seq in
+  let enc = mtf_or_first ~use_mtf ~eq:Ir.Pattern.equal pz.pattern_seq in
   encode_indices buf enc.Zip.Mtf.indices;
   Support.Util.uleb128 buf (List.length enc.Zip.Mtf.novel);
   List.iter
-    (fun sp -> put_str buf (Ir.Pattern.encode sp))
+    (fun sp -> Support.Frame.put_str buf (Ir.Pattern.encode sp))
     enc.Zip.Mtf.novel;
   (* literal streams, in first-use order *)
-  let keys = List.rev st.lit_keys in
-  Support.Util.uleb128 buf (List.length keys);
+  Support.Util.uleb128 buf (List.length pz.lit_streams);
   List.iter
-    (fun key ->
-      put_str buf key;
-      let seq = List.rev !(Hashtbl.find st.lit_seqs key) in
+    (fun (key, seq) ->
+      Support.Frame.put_str buf key;
       let enc = mtf_or_first ~use_mtf ~eq:( = ) seq in
       encode_indices buf enc.Zip.Mtf.indices;
       Support.Util.uleb128 buf (List.length enc.Zip.Mtf.novel);
@@ -221,106 +203,102 @@ let compress ?(use_mtf = true) ?(split_streams = true)
             Support.Util.sleb_of_int buf v
           | Ir.Pattern.Lsym s ->
             Buffer.add_char buf '\001';
-            put_str buf s)
+            Support.Frame.put_str buf s)
         enc.Zip.Mtf.novel)
-    keys;
-  let body =
-    match final_stage with
-    | Deflate -> "D" ^ Zip.Deflate.compress (Buffer.contents buf)
-    | Arith order ->
-      if order < 0 || order > 3 then invalid_arg "Wire.compress: bad order";
-      Printf.sprintf "A%d" order
-      ^ Zip.Range_coder.compress_order_n ~order (Buffer.contents buf)
+    pz.lit_streams;
+  Buffer.contents buf
+
+(* ---- stage 3: the final entropy stage, tagged ---- *)
+
+let apply_final_stage stage bundle =
+  match stage with
+  | Deflate -> "D" ^ Zip.Deflate.compress bundle
+  | Arith order ->
+    if order < 0 || order > 3 then invalid_arg "Wire.compress: bad order";
+    Printf.sprintf "A%d" order
+    ^ Zip.Range_coder.compress_order_n ~order bundle
+
+(* body (everything behind the CRC seal) -> bundle *)
+let unwrap_final_stage_exn body =
+  let fail0 kind msg =
+    Support.Decode_error.fail ~decoder:"wire" ~kind ~pos:0 msg
   in
+  if String.length body < 1 then
+    fail0 Support.Decode_error.Truncated "missing final-stage tag";
+  match body.[0] with
+  | 'D' -> Zip.Deflate.decompress_exn (String.sub body 1 (String.length body - 1))
+  | 'A' ->
+    if String.length body < 2 then
+      fail0 Support.Decode_error.Truncated "truncated header";
+    let order = Char.code body.[1] - Char.code '0' in
+    if order < 0 || order > 3 then
+      fail0 Support.Decode_error.Bad_value "bad arith order";
+    Zip.Range_coder.decompress_order_n_exn ~order
+      (String.sub body 2 (String.length body - 2))
+  | _ -> fail0 Support.Decode_error.Bad_value "unknown final stage"
+
+(* ---- the whole pipeline ---- *)
+
+let compress ?use_mtf ?split_streams ?(final_stage = Deflate)
+    (p : Ir.Tree.program) =
+  let pz = patternize ?use_mtf ?split_streams p in
+  let bundle = bundle_of_patternized pz in
   (* integrity frame: 4-byte big-endian CRC-32 of the body, so a
      damaged or truncated image is rejected before any parsing *)
-  let crc = Support.Util.crc32 body in
-  let hdr = Bytes.create 4 in
-  Bytes.set hdr 0 (Char.chr ((crc lsr 24) land 0xff));
-  Bytes.set hdr 1 (Char.chr ((crc lsr 16) land 0xff));
-  Bytes.set hdr 2 (Char.chr ((crc lsr 8) land 0xff));
-  Bytes.set hdr 3 (Char.chr (crc land 0xff));
-  Bytes.to_string hdr ^ body
+  Support.Frame.seal (apply_final_stage final_stage bundle)
 
 (* ---- decompression ---- *)
 
-let check_crc ~decoder z =
-  let fail kind msg = Support.Decode_error.fail ~decoder ~kind ~pos:0 msg in
-  if String.length z < 5 then
-    fail Support.Decode_error.Truncated "truncated input";
-  let stored =
-    (Char.code z.[0] lsl 24)
-    lor (Char.code z.[1] lsl 16)
-    lor (Char.code z.[2] lsl 8)
-    lor Char.code z.[3]
-  in
-  if Support.Util.crc32 ~pos:4 z <> stored then
-    fail Support.Decode_error.Checksum "checksum mismatch (corrupt image)"
-
-let decompress_exn z =
-  check_crc ~decoder:"wire" z;
-  let fail0 kind msg =
-    Support.Decode_error.fail ~decoder:"wire" ~kind ~pos:4 msg
-  in
-  let bundle =
-    match z.[4] with
-    | 'D' -> Zip.Deflate.decompress_exn (String.sub z 5 (String.length z - 5))
-    | 'A' ->
-      if String.length z < 6 then
-        fail0 Support.Decode_error.Truncated "truncated header";
-      let order = Char.code z.[5] - Char.code '0' in
-      if order < 0 || order > 3 then
-        fail0 Support.Decode_error.Bad_value "bad arith order";
-      Zip.Range_coder.decompress_order_n_exn ~order
-        (String.sub z 6 (String.length z - 6))
-    | _ -> fail0 Support.Decode_error.Bad_value "unknown final stage"
-  in
-  let r = { src = bundle; pos = ref 0 } in
-  if get_raw r 4 <> magic then
-    wfail r Support.Decode_error.Bad_magic "bad magic";
-  let use_mtf = get_raw r 1 = "\001" in
-  let split_streams = get_raw r 1 = "\001" in
+let program_of_bundle_exn bundle : Ir.Tree.program =
+  let r = Support.Frame.reader ~decoder:"wire" bundle in
+  Support.Frame.expect_magic r magic;
+  let use_mtf = Support.Frame.raw r ~what:"bundle" 1 = "\001" in
+  let split_streams = Support.Frame.raw r ~what:"bundle" 1 = "\001" in
+  let get_uleb () = Support.Frame.u r in
+  let get_str () = Support.Frame.str ~what:"bundle" r in
+  let get_byte () = Support.Frame.byte r ~what:"bundle" () in
+  let check_count n what = Support.Frame.check_count r n what in
   (* globals *)
-  let nglob = get_uleb r in
-  check_count r nglob "global";
+  let nglob = get_uleb () in
+  check_count nglob "global";
   let globals =
     List.init nglob (fun _ ->
-        let gname = get_str r in
-        let gsize = get_uleb r in
-        let initlen = get_uleb r in
-        if initlen > 0 then check_count r (initlen - 1) "global initializer";
+        let gname = get_str () in
+        let gsize = get_uleb () in
+        let initlen = get_uleb () in
+        if initlen > 0 then check_count (initlen - 1) "global initializer";
         let ginit =
           if initlen = 0 then None
           else
-            Some (List.init (initlen - 1) (fun _ -> Char.code (get_byte r)))
+            Some (List.init (initlen - 1) (fun _ -> Char.code (get_byte ())))
         in
         { Ir.Tree.gname; gsize; ginit })
   in
   (* function headers *)
-  let nfun = get_uleb r in
-  check_count r nfun "function";
+  let nfun = get_uleb () in
+  check_count nfun "function";
   let headers =
     List.init nfun (fun _ ->
-        let fname = get_str r in
-        let nformals = get_uleb r in
-        check_count r nformals "formal";
+        let fname = get_str () in
+        let nformals = get_uleb () in
+        check_count nformals "formal";
         let formals =
           List.init nformals (fun _ ->
-              let n = get_str r in
-              let ty = ty_of_code r (Char.code (get_byte r)) in
+              let n = get_str () in
+              let ty = ty_of_code r (Char.code (get_byte ())) in
               (n, ty))
         in
-        let frame_size = get_uleb r in
-        let nstmts = get_uleb r in
+        let frame_size = get_uleb () in
+        let nstmts = get_uleb () in
         (fname, formals, frame_size, nstmts))
   in
   (* pattern stream *)
   let pat_indices = decode_indices r in
-  let n_novel = get_uleb r in
-  check_count r n_novel "novel pattern";
+  let n_novel = get_uleb () in
+  check_count n_novel "novel pattern";
   let novel_pats =
     List.init n_novel (fun _ ->
-        let s = get_str r in
+        let s = get_str () in
         let pos = ref 0 in
         let sp = Ir.Pattern.decode s pos in
         if !pos <> String.length s then
@@ -332,21 +310,21 @@ let decompress_exn z =
       { Zip.Mtf.indices = pat_indices; novel = novel_pats }
   in
   (* literal streams *)
-  let nstreams = get_uleb r in
-  check_count r nstreams "literal stream";
+  let nstreams = get_uleb () in
+  check_count nstreams "literal stream";
   let lit_streams : (string, Ir.Pattern.lit list ref) Hashtbl.t =
     Hashtbl.create 16
   in
   for _ = 1 to nstreams do
-    let key = get_str r in
+    let key = get_str () in
     let indices = decode_indices r in
-    let n_novel = get_uleb r in
-    check_count r n_novel "novel literal";
+    let n_novel = get_uleb () in
+    check_count n_novel "novel literal";
     let novel =
       List.init n_novel (fun _ ->
-          match get_byte r with
-          | '\000' -> Ir.Pattern.Lint (get_sleb r)
-          | '\001' -> Ir.Pattern.Lsym (get_str r)
+          match get_byte () with
+          | '\000' -> Ir.Pattern.Lint (Support.Frame.sleb r)
+          | '\001' -> Ir.Pattern.Lsym (get_str ())
           | _ -> wfail r Support.Decode_error.Bad_value "bad literal tag")
     in
     let seq = inverse_mtf_or_first ~use_mtf { Zip.Mtf.indices; novel } in
@@ -393,6 +371,11 @@ let decompress_exn z =
     wfail r Support.Decode_error.Inconsistent "leftover patterns";
   { Ir.Tree.globals; funcs }
 
+let decompress_exn z =
+  let off = Support.Frame.verify ~decoder:"wire" z in
+  let body = String.sub z off (String.length z - off) in
+  program_of_bundle_exn (unwrap_final_stage_exn body)
+
 let decompress z =
   Support.Decode_error.guard ~decoder:"wire" (fun () -> decompress_exn z)
 
@@ -410,30 +393,8 @@ type stats = {
 
 let stats (p : Ir.Tree.program) =
   (* replicate the pipeline, measuring as we go *)
-  let pattern_seq = ref [] in
-  let lit_seqs : (string, Ir.Pattern.lit list ref) Hashtbl.t =
-    Hashtbl.create 16
-  in
-  let keys = ref [] in
-  List.iter
-    (fun f ->
-      List.iter
-        (fun s ->
-          let sp, lits = Ir.Pattern.of_stmt s in
-          pattern_seq := sp :: !pattern_seq;
-          List.iter
-            (fun (cls, v) ->
-              let key = Ir.Op.lit_class_name cls in
-              match Hashtbl.find_opt lit_seqs key with
-              | Some r -> r := v :: !r
-              | None ->
-                Hashtbl.add lit_seqs key (ref [ v ]);
-                keys := key :: !keys)
-            lits)
-        f.Ir.Tree.body)
-    p.Ir.Tree.funcs;
-  let pattern_seq = List.rev !pattern_seq in
-  let enc = Zip.Mtf.encode ~eq:Ir.Pattern.equal pattern_seq in
+  let pz = patternize p in
+  let enc = Zip.Mtf.encode ~eq:Ir.Pattern.equal pz.pattern_seq in
   let pat_stream =
     Zip.Huffman.encode_all enc.Zip.Mtf.indices
       ~alphabet:(List.fold_left max 0 enc.Zip.Mtf.indices + 1)
@@ -444,9 +405,8 @@ let stats (p : Ir.Tree.program) =
       0 enc.Zip.Mtf.novel
   in
   let lit_bytes =
-    List.rev_map
-      (fun key ->
-        let seq = List.rev !(Hashtbl.find lit_seqs key) in
+    List.map
+      (fun (key, seq) ->
         let enc = Zip.Mtf.encode ~eq:( = ) seq in
         let stream =
           Zip.Huffman.encode_all enc.Zip.Mtf.indices
@@ -465,18 +425,14 @@ let stats (p : Ir.Tree.program) =
             0 enc.Zip.Mtf.novel
         in
         (key, Bytes.length stream + novel))
-      !keys
+      pz.lit_streams
   in
-  let z = compress p in
-  (* skip the 4-byte CRC frame and the final-stage tag; our own output,
-     so the unwrapping decode is safe *)
-  let bundle =
-    Zip.Deflate.decompress_exn (String.sub z 5 (String.length z - 5))
-  in
+  let bundle = bundle_of_patternized pz in
+  let z = Support.Frame.seal (apply_final_stage Deflate bundle) in
   {
     wire_bytes = String.length z;
     bundle_bytes = String.length bundle;
-    pattern_count = List.length pattern_seq;
+    pattern_count = List.length pz.pattern_seq;
     distinct_patterns = List.length enc.Zip.Mtf.novel;
     pattern_stream_bytes = Bytes.length pat_stream;
     novel_table_bytes = novel_bytes;

@@ -43,6 +43,38 @@ val decompress_exn : string -> Ir.Tree.program
 (** As {!decompress} but raises {!Support.Decode_error.Fail}; for
     trusted inputs (e.g. bytes this process just compressed). *)
 
+(** {2 Staged pipeline}
+
+    The same transform split at its stage boundaries, so the codec
+    layer can time and size each stage independently. Composing them —
+    [seal (apply_final_stage st (bundle_of_patternized (patternize p)))]
+    — produces exactly the bytes of {!compress}. *)
+
+type patternized
+(** Stage-1 output: statement shapes plus per-class literal streams
+    (§3 step 2), before any entropy coding. *)
+
+val patternize :
+  ?use_mtf:bool -> ?split_streams:bool -> Ir.Tree.program -> patternized
+
+val symbols : patternized -> int
+(** Symbols (patterns + literals) the stage emitted; the stage's output
+    size for the trace, since nothing is byte-serialized yet. *)
+
+val bundle_of_patternized : patternized -> string
+(** Stage 2: MTF + Huffman each stream and serialize the bundle
+    (magic, flags, globals, headers, streams). *)
+
+val apply_final_stage : final_stage -> string -> string
+(** Stage 3: entropy-code the bundle, prefixed with the stage tag
+    ([D] or [A<order>]) so decode needs no flags. *)
+
+val unwrap_final_stage_exn : string -> string
+(** Inverse of {!apply_final_stage} on the body behind the CRC seal. *)
+
+val program_of_bundle_exn : string -> Ir.Tree.program
+(** Inverse of {!bundle_of_patternized}∘{!patternize}. *)
+
 type stats = {
   wire_bytes : int;           (** final compressed size *)
   bundle_bytes : int;         (** before the final deflate stage *)

@@ -38,8 +38,7 @@ let dist_class d =
   if d < 1 || d > 32768 then invalid_arg "Deflate.dist_class";
   go 0
 
-let compress s =
-  let tokens = Lz77.tokenize s in
+let encode_tokens ~orig_len tokens =
   (* frequency counts *)
   let lit_freq = Array.make litlen_alphabet 0 in
   let dist_freq = Array.make dist_alphabet 0 in
@@ -56,8 +55,8 @@ let compress s =
   lit_freq.(eob) <- 1;
   let lit_code = Huffman.lengths_of_freqs lit_freq in
   let dist_code = Huffman.lengths_of_freqs dist_freq in
-  let w = Support.Bitio.Writer.create ~capacity:(String.length s / 2) () in
-  Support.Bitio.Writer.put_bits w (String.length s) 32;
+  let w = Support.Bitio.Writer.create ~capacity:(orig_len / 2) () in
+  Support.Bitio.Writer.put_bits w orig_len 32;
   Huffman.write_lengths w lit_code;
   Huffman.write_lengths w dist_code;
   let le = Huffman.make_encoder lit_code in
@@ -77,6 +76,8 @@ let compress s =
     tokens;
   Huffman.encode_symbol le w eob;
   Bytes.to_string (Support.Bitio.Writer.contents w)
+
+let compress s = encode_tokens ~orig_len:(String.length s) (Lz77.tokenize s)
 
 let default_max_output = 1 lsl 26
 

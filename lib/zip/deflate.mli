@@ -9,6 +9,12 @@
     as the final stage of the wire format (§3 step 5). *)
 
 val compress : string -> string
+(** [encode_tokens ~orig_len:(String.length s) (Lz77.tokenize s)]. *)
+
+val encode_tokens : orig_len:int -> Lz77.token list -> string
+(** The entropy-coding half of {!compress}, split out so the codec layer
+    can time the LZ77 and Huffman stages independently. [orig_len] is
+    the uncompressed length recorded in the 32-bit header. *)
 
 val decompress :
   ?max_output:int -> string -> (string, Support.Decode_error.t) result

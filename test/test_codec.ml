@@ -1,0 +1,209 @@
+(* The codec layer: golden-pinned byte identity for every registered
+   representation, registry-driven round-trips, compose/trace sanity,
+   and registry invariants.
+
+   The golden digests below were computed from the pre-codec pipelines
+   (Wire.compress, Brisc.to_bytes ∘ Brisc.compress, ...) at the commit
+   that introduced lib/codec — they pin the refactor to the historical
+   formats byte-for-byte. *)
+
+let digest s = Digest.to_hex (Digest.string s)
+
+type prog = { pname : string; ir : Ir.Tree.program; vp : Vm.Isa.vprogram;
+              native : string }
+
+let prog pname src =
+  let ir = Cc.Lower.compile src in
+  let vp = Vm.Codegen.gen_program ir in
+  let native = Native.Mach.encode_program (Native.Compile.compile_program vp) in
+  { pname; ir; vp; native }
+
+let progs =
+  lazy
+    [ prog "wc" Corpus.Programs.wc.Corpus.Programs.source;
+      prog "qsort" Corpus.Programs.qsort.Corpus.Programs.source;
+      prog "calc" Corpus.Programs.calc.Corpus.Programs.source ]
+
+let source_of p = Codec.Source.of_ir ~vm:p.vp ~native:p.native p.ir
+
+(* (program, codec name, md5 of the encoded bytes) *)
+let golden =
+  [ ("wc", "native", "3c413a67213331d484a919a0aae89001");
+    ("wc", "gzip+native", "99ae6bf8dc58b0216aae84c424976ad7");
+    ("wc", "wire", "3bfcae0afc4202341d210441453e3d08");
+    ("wc", "wire+range", "425dd7b3ae495f47768e33a140b2d068");
+    ("wc", "chunked-wire", "59e421904c55254087494a18adcf04c4");
+    ("wc", "brisc", "03ef78bbb491e2b7d522a7139c26203b");
+    ("qsort", "native", "7c649fc4d4403644a00339c3c073af31");
+    ("qsort", "gzip+native", "0a3d14f22ac14c0ea706046865afeca6");
+    ("qsort", "wire", "9ca482a89f2dc91a43142630194dc9dd");
+    ("qsort", "wire+range", "85411fb6a381dee016c2a7dcd6a97915");
+    ("qsort", "chunked-wire", "6c374715aa11e33d063c7fdab32a9e8c");
+    ("qsort", "brisc", "2fa334732af01718ea2d186a57aa06f5");
+    ("calc", "native", "4c4bcc0fdadf5a775efec41b592a744d");
+    ("calc", "gzip+native", "d4756c0b3d456a37ccbeb88bf117e5cb");
+    ("calc", "wire", "43e048d19189eadfb86c6873a9f37676");
+    ("calc", "wire+range", "eba14c37c4fab7a8a4467e4e74f29735");
+    ("calc", "chunked-wire", "c94c2112a75dc960048fa255660d091a");
+    ("calc", "brisc", "864bcab5e9416b18f3802fe1d95b1755") ]
+
+let test_golden_pins () =
+  List.iter
+    (fun (pn, cn, want) ->
+      let p = List.find (fun p -> p.pname = pn) (Lazy.force progs) in
+      let c = (Codec.find_exn cn).Codec.codec in
+      let bytes, _ = Codec.encode c (source_of p) in
+      Alcotest.(check string)
+        (Printf.sprintf "%s/%s byte-identical to pre-codec pipeline" pn cn)
+        want (digest bytes))
+    golden
+
+(* the canonical expansion each codec's decode is documented to return *)
+let expected_expansion p (e : Codec.entry) encoded =
+  match Codec.name e.Codec.codec with
+  | "native" | "brisc" -> encoded
+  | "gzip+native" | "deflate" -> p.native
+  | "wire" | "wire+range" | "chunked-wire" ->
+    Ir.Printer.program_to_string p.ir
+  | other -> Alcotest.failf "no canonical expansion known for codec %s" other
+
+let test_registry_round_trips () =
+  List.iter
+    (fun p ->
+      let src = source_of p in
+      List.iter
+        (fun (e : Codec.entry) ->
+          let c = e.Codec.codec in
+          let n = Codec.name c in
+          let bytes, etr = Codec.encode c src in
+          Alcotest.(check bool)
+            (p.pname ^ "/" ^ n ^ " encode non-empty") true
+            (String.length bytes > 0);
+          Alcotest.(check bool)
+            (p.pname ^ "/" ^ n ^ " encode trace non-empty") true (etr <> []);
+          List.iter
+            (fun (s : Codec.stage) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s/%s stage %s sane" p.pname n s.Codec.stage)
+                true
+                (s.Codec.bytes_in >= 0 && s.Codec.bytes_out >= 0
+                && s.Codec.wall_s >= 0.0))
+            etr;
+          (* the final stage's output footprint is the encoded image *)
+          let last = List.nth etr (List.length etr - 1) in
+          Alcotest.(check int)
+            (p.pname ^ "/" ^ n ^ " trace ends at encoded size")
+            (String.length bytes) last.Codec.bytes_out;
+          match Codec.decode c bytes with
+          | Error err ->
+            Alcotest.failf "%s/%s decode failed: %s" p.pname n
+              (Support.Decode_error.to_string err)
+          | Ok (out, dtr) ->
+            Alcotest.(check bool)
+              (p.pname ^ "/" ^ n ^ " decode trace non-empty") true (dtr <> []);
+            Alcotest.(check string)
+              (p.pname ^ "/" ^ n ^ " canonical expansion")
+              (digest (expected_expansion p e bytes))
+              (digest out))
+        (Codec.all ()))
+    (Lazy.force progs)
+
+(* decode must reject obvious corruption with a typed error, never an
+   exception (the fuzz suite hammers this; here a deterministic smoke) *)
+let test_decode_totality () =
+  let p = List.hd (Lazy.force progs) in
+  let src = source_of p in
+  List.iter
+    (fun (e : Codec.entry) ->
+      let c = e.Codec.codec in
+      let n = Codec.name c in
+      let bytes, _ = Codec.encode c src in
+      let flipped =
+        let b = Bytes.of_string bytes in
+        Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+        Bytes.to_string b
+      in
+      let truncated = String.sub bytes 0 (String.length bytes / 2) in
+      List.iter
+        (fun m ->
+          match Codec.decode c m with
+          | Ok _ | Error _ -> ())
+        [ flipped; truncated; ""; "garbage input that is not a container" ];
+      (* CRC/magic-framed formats must actually notice a flipped leading byte *)
+      if List.mem n [ "wire"; "wire+range"; "chunked-wire" ] then
+        match Codec.decode c flipped with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.failf "%s accepted a corrupted leading byte" n)
+    (Codec.all ())
+
+let test_compose () =
+  let z = Codec.deflate_codec in
+  let c = Codec.compose ~name:"native|z" ~tag:"T" Codec.native_codec z in
+  Alcotest.(check string) "composed name" "native|z" (Codec.name c);
+  let p = List.hd (Lazy.force progs) in
+  let bytes, tr = Codec.encode c (source_of p) in
+  let _, tr_n = Codec.encode Codec.native_codec (source_of p) in
+  let _, tr_z = Codec.encode_bytes z p.native in
+  Alcotest.(check int) "trace concatenates in work order"
+    (List.length tr_n + List.length tr_z)
+    (List.length tr);
+  (* identical pipeline to gzip+native, so identical bytes *)
+  let g, _ = Codec.encode Codec.gzip_native_codec (source_of p) in
+  Alcotest.(check string) "compose equals built-in gzip+native"
+    (digest g) (digest bytes);
+  match Codec.decode c bytes with
+  | Error e -> Alcotest.failf "compose decode: %s" (Support.Decode_error.to_string e)
+  | Ok (out, _) ->
+    Alcotest.(check string) "compose decode inverts back then front"
+      (digest p.native) (digest out)
+
+let test_registry_invariants () =
+  let es = Codec.all () in
+  let names = List.map (fun e -> Codec.name e.Codec.codec) es in
+  let tags = List.map (fun e -> Codec.tag e.Codec.codec) es in
+  Alcotest.(check int) "names unique"
+    (List.length names)
+    (List.length (List.sort_uniq compare names));
+  Alcotest.(check int) "tags unique"
+    (List.length tags)
+    (List.length (List.sort_uniq compare tags));
+  (* every delivery mode is served by some registered artifact *)
+  List.iter
+    (fun mode ->
+      Alcotest.(check bool)
+        ("mode served: " ^ Scenario.Delivery.repr_name mode)
+        true
+        (List.exists (fun e -> List.mem mode e.Codec.modes) (Codec.artifacts ())))
+    [ Scenario.Delivery.Raw_native; Scenario.Delivery.Gzipped_native;
+      Scenario.Delivery.Wire_format; Scenario.Delivery.Brisc_jit;
+      Scenario.Delivery.Brisc_interp ];
+  (* a streamable codec is an artifact even with no whole-image modes *)
+  Alcotest.(check bool) "chunked-wire is an artifact" true
+    (List.exists
+       (fun e -> Codec.name e.Codec.codec = "chunked-wire")
+       (Codec.artifacts ()));
+  (* lookups *)
+  Alcotest.(check bool) "find wire" true (Codec.find "wire" <> None);
+  Alcotest.(check bool) "find unknown" true (Codec.find "nope" = None);
+  (match Codec.find_tag "r" with
+  | Some e -> Alcotest.(check string) "tag r is wire+range" "wire+range"
+                (Codec.name e.Codec.codec)
+  | None -> Alcotest.fail "find_tag r");
+  Alcotest.check_raises "duplicate name rejected"
+    (Invalid_argument "Codec.register: duplicate name wire")
+    (fun () -> Codec.register (Codec.find_exn "wire").Codec.codec)
+
+let () =
+  Alcotest.run "codec"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "golden byte-identity pins" `Quick test_golden_pins;
+          Alcotest.test_case "registry round-trips" `Quick
+            test_registry_round_trips;
+          Alcotest.test_case "decode totality smoke" `Quick test_decode_totality;
+          Alcotest.test_case "compose" `Quick test_compose;
+          Alcotest.test_case "registry invariants" `Quick
+            test_registry_invariants;
+        ] );
+    ]

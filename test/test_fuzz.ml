@@ -203,6 +203,32 @@ let fuzz_mtf_structured =
       match Zip.Mtf.decode_ints { Zip.Mtf.indices; novel } with
       | Ok _ | Error _ -> ())
 
+(* ---- registry-driven: one mutation row per registered codec ----
+
+   Seeds come from [Codec.encode] on the same programs, so the rows
+   track the registry: registering a new representation adds its
+   totality row here with no edits. *)
+
+let codec_rows =
+  let sources =
+    lazy
+      (List.map2 (fun ir vp -> Codec.Source.of_ir ~vm:vp ir) irs vps)
+  in
+  List.mapi
+    (fun i (e : Codec.entry) ->
+      let c = e.Codec.codec in
+      let name = "codec:" ^ Codec.name c in
+      let run () =
+        let seeds =
+          List.map (fun src -> fst (Codec.encode c src)) (Lazy.force sources)
+        in
+        fuzz name (Int64.of_int (200 + i)) seeds
+          (fun _ m -> match Codec.decode c m with Ok _ | Error _ -> ())
+          ()
+      in
+      Alcotest.test_case name `Quick run)
+    (Codec.all ())
+
 let fuzz_lz77_structured =
   fuzz "lz77 structured" 112L [ "" ] (fun rng _ ->
       let len = Support.Prng.int rng 40 in
@@ -238,5 +264,6 @@ let () =
           Alcotest.test_case "vm encode" `Quick fuzz_vm_encode;
           Alcotest.test_case "mtf structured" `Quick fuzz_mtf_structured;
           Alcotest.test_case "lz77 structured" `Quick fuzz_lz77_structured;
-        ] );
+        ]
+        @ codec_rows );
     ]

@@ -151,12 +151,12 @@ let test_materialize_after_eviction () =
   let ir = prog multi_fn_src in
   let dg = Server.publish e ~run_cycles:1_000_000 ir in
   let store = Server.store e in
-  let first, _ = Server.Store.materialize store dg Server.Artifact.Wire in
+  let first, _ = Server.Store.materialize store dg Server.Artifact.wire in
   (* churn the cache with the other representations *)
   List.iter
     (fun r -> ignore (Server.Store.materialize store dg r))
-    Server.Artifact.all;
-  let again, _ = Server.Store.materialize store dg Server.Artifact.Wire in
+    (Server.Artifact.all ());
+  let again, _ = Server.Store.materialize store dg Server.Artifact.wire in
   Alcotest.(check string) "recompression is deterministic" first again;
   Alcotest.(check bool) "artifact is a valid wire image" true
     (Ir.Tree.equal_program ir (Wire.decompress_exn again))
@@ -192,7 +192,7 @@ let test_parallel_pool_equivalence () =
               (Printf.sprintf "%s identical (budget %d)" (Server.Artifact.name r)
                  budget_bytes)
               true (a = b))
-          Server.Artifact.all
+          (Server.Artifact.all ())
       done;
       Support.Pool.shutdown pool)
     [ 256 * 1024; 512 ]
@@ -344,7 +344,7 @@ let test_session_open_heals_corrupt_chunked () =
   let dg = Server.publish e ~run_cycles:1_000_000 ir in
   let store = Server.store e in
   Alcotest.(check bool) "chunked artifact was resident" true
-    (Server.Store.corrupt_cached store dg Server.Artifact.Chunked_wire
+    (Server.Store.corrupt_cached store dg Server.Artifact.chunked_wire
        ~f:flip_middle);
   (* opening a session on the poisoned artifact quarantines it, rebuilds
      fresh, and serves normally *)
@@ -365,12 +365,11 @@ let test_fault_workload_survives () =
   let store = Server.store e in
   let rng = Support.Prng.create 4242L in
   let digests = Server.digests e in
+  let arts = Server.Artifact.all () in
   List.iteri
     (fun i dg ->
-      let repr =
-        List.nth Server.Artifact.all (i mod List.length Server.Artifact.all)
-      in
-      if repr <> Server.Artifact.Native then
+      let repr = List.nth arts (i mod List.length arts) in
+      if repr <> Server.Artifact.native then
         ignore
           (Server.Store.corrupt_cached store dg repr
              ~f:(Support.Fault.mutate rng)))
@@ -379,6 +378,76 @@ let test_fault_workload_survives () =
   let s = Server.Workload.run e ~config catalog in
   Alcotest.(check bool) "workload completed every request" true
     (s.Server.Workload.requests = 60)
+
+(* ---- wire+range: a registry-added representation, end to end ---- *)
+
+let test_wire_range_adaptive_selection () =
+  let e = Server.create () in
+  let ir = prog multi_fn_src in
+  let dg = Server.publish e ~run_cycles:1_000_000 ir in
+  let m = Server.Store.meta (Server.store e) dg in
+  (* the order-2 range coder beats deflate on this program, so the
+     bandwidth-bound profile must pick the range-coded wire image *)
+  Alcotest.(check bool) "wire+range denser than wire" true
+    (Server.Store.size_of m Server.Artifact.wire_range
+    < Server.Store.size_of m Server.Artifact.wire);
+  let resp = Server.fetch e dg Server.Profile.modem in
+  Alcotest.(check bool) "modem served wire+range" true
+    (resp.Server.artifact = Server.Artifact.wire_range);
+  Alcotest.(check string) "labelled as range-coded JIT delivery"
+    "wire+range+JIT" resp.Server.label;
+  Alcotest.(check bool) "not a degraded response" true
+    (resp.Server.degraded_from = None);
+  (* the served bytes are a self-describing image the stock total wire
+     decoder expands — no client-side registry needed *)
+  Alcotest.(check bool) "client decodes with the total wire decoder" true
+    (Ir.Tree.equal_program ir (Wire.decompress_exn resp.Server.bytes));
+  (* per-stage telemetry for the new codec lands in its stats bucket *)
+  let r = Server.report e in
+  let rr =
+    List.find
+      (fun rr -> rr.Server.Stats.repr = Server.Artifact.wire_range)
+      r.Server.Stats.by_repr
+  in
+  Alcotest.(check bool) "range-2 stage visible in stats" true
+    (List.exists
+       (fun (s : Server.Stats.stage_report) -> s.Server.Stats.stage_name = "range-2")
+       rr.Server.Stats.stages);
+  Alcotest.(check bool) "every stage carries byte accounting" true
+    (List.for_all
+       (fun (s : Server.Stats.stage_report) ->
+         s.Server.Stats.calls > 0 && s.Server.Stats.bytes_in > 0
+         && s.Server.Stats.bytes_out > 0)
+       rr.Server.Stats.stages)
+
+let test_wire_range_degradation () =
+  let e = Server.create () in
+  let ir = prog multi_fn_src in
+  let dg = Server.publish e ~run_cycles:1_000_000 ir in
+  let store = Server.store e in
+  Alcotest.(check bool) "wire+range artifact resident" true
+    (Server.Store.corrupt_cached store dg Server.Artifact.wire_range
+       ~f:flip_middle);
+  (* the poisoned first choice is quarantined and the next-best repr
+     answers, flagged with what it degraded from *)
+  let resp = Server.fetch e dg Server.Profile.modem in
+  Alcotest.(check (option string)) "degraded from the range-coded choice"
+    (Some "wire+range+JIT") resp.Server.degraded_from;
+  Alcotest.(check bool) "fallback is a different artifact" true
+    (resp.Server.artifact <> Server.Artifact.wire_range);
+  Alcotest.(check bool) "fallback bytes verify" true
+    (String.length resp.Server.bytes > 0);
+  let r = Server.report e in
+  Alcotest.(check bool) "quarantine log names wire+range" true
+    (match r.Server.Stats.recent_failures with
+    | f :: _ -> f.Server.Stats.fail_repr = Server.Artifact.wire_range
+    | [] -> false);
+  (* self-healing: the next fetch rebuilds from the published IR and
+     serves the range-coded image again *)
+  let healed = Server.fetch e dg Server.Profile.modem in
+  Alcotest.(check bool) "healed back to wire+range" true
+    (healed.Server.artifact = Server.Artifact.wire_range
+    && healed.Server.degraded_from = None)
 
 (* ---- engine + workload: end to end ---- *)
 
@@ -472,6 +541,13 @@ let () =
             test_session_open_heals_corrupt_chunked;
           Alcotest.test_case "workload survives injected faults" `Slow
             test_fault_workload_survives;
+        ] );
+      ( "wire+range",
+        [
+          Alcotest.test_case "adaptive selection serves it" `Quick
+            test_wire_range_adaptive_selection;
+          Alcotest.test_case "degrades and heals" `Quick
+            test_wire_range_degradation;
         ] );
       ( "workload",
         [
