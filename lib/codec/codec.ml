@@ -148,7 +148,8 @@ let deflate_codec =
       let tb = token_bytes tokens in
       let z, dt2 =
         timed (fun () ->
-            Zip.Deflate.encode_tokens ~orig_len:(String.length s) tokens)
+            Zip.Deflate.encode_tokens ~source:s ~orig_len:(String.length s)
+              tokens)
       in
       (z, [ st "lz77" (String.length s) tb dt1;
             st "huffman" tb (String.length z) dt2 ]))
@@ -168,7 +169,10 @@ let wire_bundle_codec =
       let in0 = String.length (printed ir) in
       let pz, dt1 = timed (fun () -> Wire.patternize ir) in
       let sy = Wire.symbols pz in
-      let bundle, dt2 = timed (fun () -> Wire.bundle_of_patternized pz) in
+      let bundle, dt2 =
+        timed (fun () ->
+            Wire.bundle_of_patternized ?pool:(Source.pool src) pz)
+      in
       (bundle,
        [ st "patternize" in0 sy dt1;
          st "mtf+huffman" sy (String.length bundle) dt2 ]))
@@ -198,7 +202,9 @@ let final_deflate_codec =
       let tb = token_bytes tokens in
       let z, dt2 =
         timed (fun () ->
-            "D" ^ Zip.Deflate.encode_tokens ~orig_len:(String.length bundle) tokens)
+            "D"
+            ^ Zip.Deflate.encode_tokens ~source:bundle
+                ~orig_len:(String.length bundle) tokens)
       in
       (z, [ st "lz77" (String.length bundle) tb dt1;
             st "huffman" tb (String.length z) dt2 ]))
@@ -242,7 +248,9 @@ let chunked_codec =
     ~encode:(fun src ->
       let ir = Source.ir src in
       let in0 = String.length (printed ir) in
-      let img, dt1 = timed (fun () -> Wire.Chunked.compress ir) in
+      let img, dt1 =
+        timed (fun () -> Wire.Chunked.compress ?pool:(Source.pool src) ir)
+      in
       let chunk_sum =
         List.fold_left
           (fun a n -> a + Wire.Chunked.chunk_size img n)

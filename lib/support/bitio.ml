@@ -33,12 +33,29 @@ module Writer = struct
     w.nacc <- w.nacc + 1;
     if w.nacc = 8 then flush_acc w
 
-  let put_bits w v n =
+  (* The accumulator is a native int, so with up to 7 pending bits a
+     full 56-bit field shifted by [nacc] needs 63 bits — the exact edge
+     of the representation. Rather than ride that edge (and silently
+     drop high bits if the window ever widens), split the field so the
+     shifted chunk always stays within 56 bits: emit what fits, flush
+     the now-byte-aligned accumulator, then emit the remainder. The
+     emitted bit sequence is unchanged, so output stays byte-identical. *)
+  let rec put_bits w v n =
     if n < 0 || n > 56 then invalid_arg "Bitio.Writer.put_bits";
-    let v = if n = 56 then v else v land ((1 lsl n) - 1) in
-    w.acc <- w.acc lor (v lsl w.nacc);
-    w.nacc <- w.nacc + n;
-    flush_acc w
+    let v = v land ((1 lsl n) - 1) in
+    if w.nacc + n > 56 then begin
+      let k = 56 - w.nacc in
+      w.acc <- w.acc lor ((v land ((1 lsl k) - 1)) lsl w.nacc);
+      w.nacc <- 56;
+      flush_acc w;
+      (* nacc is now 0, so the recursion terminates immediately *)
+      put_bits w (v lsr k) (n - k)
+    end
+    else begin
+      w.acc <- w.acc lor (v lsl w.nacc);
+      w.nacc <- w.nacc + n;
+      flush_acc w
+    end
 
   let put_bits_msb w v n =
     if n < 0 || n > 56 then invalid_arg "Bitio.Writer.put_bits_msb";
@@ -86,13 +103,44 @@ module Reader = struct
     r.pos <- r.pos + 1;
     bit
 
+  (* Word-at-a-time refill: gather the next [n] bits (LSB-first) without
+     consuming them. Bits past the end of the data read as zero, which
+     lets a table-driven Huffman decoder probe a full root-table index
+     near the end of the stream and reject truncation only when the
+     decoded codeword actually overruns. At most 5 bytes are touched
+     (7 offset bits + 32 field bits = 39 bits), well inside a native
+     int. *)
+  let peek_bits r n =
+    if n < 0 || n > 32 then invalid_arg "Bitio.Reader.peek_bits";
+    let len = Bytes.length r.data in
+    let base = r.pos lsr 3 in
+    let off = r.pos land 7 in
+    let last = min (base + ((off + n + 7) lsr 3)) len - 1 in
+    let acc = ref 0 in
+    for i = last downto base do
+      acc := (!acc lsl 8) lor Char.code (Bytes.unsafe_get r.data i)
+    done;
+    (!acc lsr off) land ((1 lsl n) - 1)
+
+  let advance_bits r n =
+    if n < 0 || r.pos + n > total_bits r then
+      failwith "Bitio.Reader: out of bits";
+    r.pos <- r.pos + n
+
   let get_bits r n =
     if n < 0 || n > 56 then invalid_arg "Bitio.Reader.get_bits";
-    let v = ref 0 in
-    for i = 0 to n - 1 do
-      v := !v lor (get_bit r lsl i)
-    done;
-    !v
+    if n <= 32 && r.pos + n <= total_bits r then begin
+      let v = peek_bits r n in
+      r.pos <- r.pos + n;
+      v
+    end
+    else begin
+      let v = ref 0 in
+      for i = 0 to n - 1 do
+        v := !v lor (get_bit r lsl i)
+      done;
+      !v
+    end
 
   let get_bits_msb r n =
     if n < 0 || n > 56 then invalid_arg "Bitio.Reader.get_bits_msb";
@@ -107,6 +155,19 @@ module Reader = struct
     if rem > 0 then r.pos <- r.pos + (8 - rem)
 
   let get_byte r = get_bits r 8
+
+  (* Byte-aligned bulk read: one blit instead of 8n bit extractions.
+     Only valid on a byte boundary (stored deflate blocks align first). *)
+  let get_string r n =
+    if n < 0 then invalid_arg "Bitio.Reader.get_string";
+    if r.pos land 7 <> 0 then
+      invalid_arg "Bitio.Reader.get_string: reader not byte-aligned";
+    let base = r.pos lsr 3 in
+    if base + n > Bytes.length r.data then
+      failwith "Bitio.Reader: out of bits";
+    let s = Bytes.sub_string r.data base n in
+    r.pos <- r.pos + (n * 8);
+    s
 
   let seek_bit r p =
     if p < 0 || p > total_bits r then invalid_arg "Bitio.Reader.seek_bit";

@@ -14,7 +14,9 @@ module Writer : sig
 
   val put_bits : t -> int -> int -> unit
   (** [put_bits w v n] appends the [n] low bits of [v], LSB first.
-      [n] must be within [0, 56]. *)
+      [n] must be within [0, 56]. Safe at the full window even with
+      pending bits: wide fields are split internally so no high bit is
+      ever shifted out of the native-int accumulator. *)
 
   val put_bits_msb : t -> int -> int -> unit
   (** [put_bits_msb w v n] appends the [n] low bits of [v], MSB first —
@@ -58,6 +60,23 @@ module Reader : sig
   (** Skip to the next byte boundary. *)
 
   val get_byte : t -> int
+
+  val get_string : t -> int -> string
+  (** [get_string r n] reads [n] whole bytes with a single blit. The
+      reader must be byte-aligned ([Invalid_argument] otherwise);
+      @raise Failure on exhaustion. *)
+
+  val peek_bits : t -> int -> int
+  (** [peek_bits r n] returns the next [n] bits (LSB-first, [n] within
+      [0, 32]) without consuming them, reading whole words rather than
+      single bits. Bits past the end of the input read as zero — the
+      word-at-a-time refill path for table-driven decoders, which must
+      be able to probe a full table index near the end of the stream. *)
+
+  val advance_bits : t -> int -> unit
+  (** Consume [n] bits previously examined with {!peek_bits}.
+      @raise Failure if fewer than [n] bits remain. *)
+
   val bits_remaining : t -> int
   val bit_position : t -> int
 

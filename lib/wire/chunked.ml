@@ -7,13 +7,20 @@ type t = {
   chunks : (string * string) list;  (* function name -> compressed chunk *)
 }
 
-let compress (p : Ir.Tree.program) : t =
+let compress ?pool (p : Ir.Tree.program) : t =
+  (* chunks are independent whole pipelines — the natural fan-out unit;
+     each solo compress stays sequential inside (a one-function program
+     has too few streams to split further). Results join in function
+     order, so parallel and sequential runs are byte-identical. *)
+  let chunk_of (f : Ir.Tree.func) =
+    let solo = { Ir.Tree.globals = []; funcs = [ f ] } in
+    (f.Ir.Tree.fname, Wire_format.compress solo)
+  in
   let chunks =
-    List.map
-      (fun (f : Ir.Tree.func) ->
-        let solo = { Ir.Tree.globals = []; funcs = [ f ] } in
-        (f.Ir.Tree.fname, Wire_format.compress solo))
-      p.Ir.Tree.funcs
+    match pool with
+    | Some pool when List.length p.Ir.Tree.funcs > 1 ->
+      Support.Pool.map pool chunk_of p.Ir.Tree.funcs
+    | _ -> List.map chunk_of p.Ir.Tree.funcs
   in
   { globals = p.Ir.Tree.globals; chunks }
 

@@ -15,7 +15,12 @@
 
 type t
 
-val compress : Ir.Tree.program -> t
+val compress : ?pool:Support.Pool.t -> Ir.Tree.program -> t
+(** With [pool], functions are compressed into their chunks in
+    parallel (chunks are independent single-function images); results
+    join in function order, so the output never depends on
+    scheduling. *)
+
 val to_bytes : t -> string
 
 val of_bytes : string -> (t, Support.Decode_error.t) result

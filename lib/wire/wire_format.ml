@@ -87,29 +87,22 @@ let symbols pz = pz.symbols
 
 (* ---- stage 2: MTF + Huffman into the bundle ---- *)
 
-let mtf_or_first ~use_mtf ~eq xs =
-  if use_mtf then Zip.Mtf.encode ~eq xs
+(* Stream indices from the dense first-occurrence ids ([Mtf.intern_hashed]):
+   MTF-coded normally, or — the ablation — the plain first-occurrence
+   position (id + 1; 0 still introduces the next novel symbol). Ids are
+   numbered by first occurrence, so "seen before" is exactly
+   [id < distinct-so-far]. *)
+let indices_of_ids ~use_mtf ids =
+  if use_mtf then Zip.Mtf.encode_ids ids
   else begin
-    (* ablation: index symbols by first-occurrence order, no move-to-front;
-       index 0 still means "novel" *)
-    let table = ref [] in
-    let novel = ref [] in
-    let indices =
-      List.map
-        (fun x ->
-          let rec find i = function
-            | [] -> None
-            | y :: rest -> if eq x y then Some i else find (i + 1) rest
-          in
-          match find 1 (List.rev !table) with
-          | Some i -> i
-          | None ->
-            table := x :: !table;
-            novel := x :: !novel;
-            0)
-        xs
-    in
-    { Zip.Mtf.indices; novel = List.rev !novel }
+    let n = Array.length ids in
+    let out = Array.make n 0 in
+    let seen = ref 0 in
+    for i = 0 to n - 1 do
+      let id = ids.(i) in
+      if id < !seen then out.(i) <- id + 1 else incr seen
+    done;
+    out
   end
 
 let inverse_mtf_or_first ~use_mtf (e : 'a Zip.Mtf.encoded) =
@@ -139,15 +132,52 @@ let inverse_mtf_or_first ~use_mtf (e : 'a Zip.Mtf.encoded) =
   end
 
 let encode_indices buf indices =
-  let alphabet = List.fold_left max 0 indices + 1 in
-  let bytes = Zip.Huffman.encode_all indices ~alphabet in
+  let alphabet = Array.fold_left max 0 indices + 1 in
+  let bytes = Zip.Huffman.encode_all_arr indices ~alphabet in
   Support.Frame.put_bytes buf bytes
 
 let decode_indices r =
   let raw = Support.Frame.str ~what:"bundle" r in
   Zip.Huffman.decode_all_exn (Bytes.of_string raw)
 
-let bundle_of_patternized (pz : patternized) : string =
+(* Each stream (the pattern stream, each literal stream) is encoded
+   into its own byte segment by a pure function of [pz] alone, so the
+   segments can be produced on a domain pool; concatenating them in the
+   fixed wire order keeps the output byte-identical to a sequential
+   run. *)
+let pattern_segment (pz : patternized) : string =
+  let use_mtf = pz.use_mtf in
+  let buf = Buffer.create 1024 in
+  let ids, novel =
+    Zip.Mtf.intern_hashed ~hash:Ir.Pattern.hash ~eq:Ir.Pattern.equal
+      pz.pattern_seq
+  in
+  encode_indices buf (indices_of_ids ~use_mtf ids);
+  Support.Util.uleb128 buf (List.length novel);
+  List.iter
+    (fun sp -> Support.Frame.put_str buf (Ir.Pattern.encode sp))
+    novel;
+  Buffer.contents buf
+
+let lit_segment ~use_mtf (key, seq) : string =
+  let buf = Buffer.create 256 in
+  Support.Frame.put_str buf key;
+  let ids, novel = Zip.Mtf.intern_hashed ~hash:Hashtbl.hash ~eq:( = ) seq in
+  encode_indices buf (indices_of_ids ~use_mtf ids);
+  Support.Util.uleb128 buf (List.length novel);
+  List.iter
+    (fun lit ->
+      match lit with
+      | Ir.Pattern.Lint v ->
+        Buffer.add_char buf '\000';
+        Support.Util.sleb_of_int buf v
+      | Ir.Pattern.Lsym s ->
+        Buffer.add_char buf '\001';
+        Support.Frame.put_str buf s)
+    novel;
+  Buffer.contents buf
+
+let bundle_of_patternized ?pool (pz : patternized) : string =
   let p = pz.prog in
   let use_mtf = pz.use_mtf in
   let buf = Buffer.create 4096 in
@@ -180,32 +210,24 @@ let bundle_of_patternized (pz : patternized) : string =
       Support.Util.uleb128 buf f.Ir.Tree.frame_size;
       Support.Util.uleb128 buf (List.length f.Ir.Tree.body))
     p.Ir.Tree.funcs;
-  (* pattern stream *)
-  let enc = mtf_or_first ~use_mtf ~eq:Ir.Pattern.equal pz.pattern_seq in
-  encode_indices buf enc.Zip.Mtf.indices;
-  Support.Util.uleb128 buf (List.length enc.Zip.Mtf.novel);
-  List.iter
-    (fun sp -> Support.Frame.put_str buf (Ir.Pattern.encode sp))
-    enc.Zip.Mtf.novel;
-  (* literal streams, in first-use order *)
-  Support.Util.uleb128 buf (List.length pz.lit_streams);
-  List.iter
-    (fun (key, seq) ->
-      Support.Frame.put_str buf key;
-      let enc = mtf_or_first ~use_mtf ~eq:( = ) seq in
-      encode_indices buf enc.Zip.Mtf.indices;
-      Support.Util.uleb128 buf (List.length enc.Zip.Mtf.novel);
-      List.iter
-        (fun lit ->
-          match lit with
-          | Ir.Pattern.Lint v ->
-            Buffer.add_char buf '\000';
-            Support.Util.sleb_of_int buf v
-          | Ir.Pattern.Lsym s ->
-            Buffer.add_char buf '\001';
-            Support.Frame.put_str buf s)
-        enc.Zip.Mtf.novel)
-    pz.lit_streams;
+  (* pattern stream, then literal streams in first-use order; the
+     segments are independent, so fan them out when a pool is given
+     and join in input order (byte-identical either way) *)
+  let jobs =
+    (fun () -> pattern_segment pz)
+    :: List.map (fun s () -> lit_segment ~use_mtf s) pz.lit_streams
+  in
+  let segments =
+    match pool with
+    | Some pool when List.length jobs > 1 -> Support.Pool.run_list pool jobs
+    | _ -> List.map (fun f -> f ()) jobs
+  in
+  (match segments with
+  | pat :: lits ->
+    Buffer.add_string buf pat;
+    Support.Util.uleb128 buf (List.length pz.lit_streams);
+    List.iter (Buffer.add_string buf) lits
+  | [] -> assert false);
   Buffer.contents buf
 
 (* ---- stage 3: the final entropy stage, tagged ---- *)
@@ -239,10 +261,10 @@ let unwrap_final_stage_exn body =
 
 (* ---- the whole pipeline ---- *)
 
-let compress ?use_mtf ?split_streams ?(final_stage = Deflate)
+let compress ?pool ?use_mtf ?split_streams ?(final_stage = Deflate)
     (p : Ir.Tree.program) =
   let pz = patternize ?use_mtf ?split_streams p in
-  let bundle = bundle_of_patternized pz in
+  let bundle = bundle_of_patternized ?pool pz in
   (* integrity frame: 4-byte big-endian CRC-32 of the body, so a
      damaged or truncated image is rejected before any parsing *)
   Support.Frame.seal (apply_final_stage final_stage bundle)

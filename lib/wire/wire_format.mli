@@ -21,6 +21,7 @@ type final_stage =
                          some inputs, but strictly sequential decode *)
 
 val compress :
+  ?pool:Support.Pool.t ->
   ?use_mtf:bool ->
   ?split_streams:bool ->
   ?final_stage:final_stage ->
@@ -30,7 +31,9 @@ val compress :
     without move-to-front. [split_streams:false] (ablation) pools all
     literal classes into one stream. Defaults are the paper's pipeline.
     The chosen [final_stage] is recorded in the output, so
-    {!decompress} needs no flags. *)
+    {!decompress} needs no flags. With [pool], the independent streams
+    are entropy-coded in parallel; output is byte-identical either
+    way. *)
 
 val decompress : string -> (Ir.Tree.program, Support.Decode_error.t) result
 (** Total inverse of {!compress}. Corrupt input or flag mismatch (the
@@ -61,9 +64,11 @@ val symbols : patternized -> int
 (** Symbols (patterns + literals) the stage emitted; the stage's output
     size for the trace, since nothing is byte-serialized yet. *)
 
-val bundle_of_patternized : patternized -> string
+val bundle_of_patternized : ?pool:Support.Pool.t -> patternized -> string
 (** Stage 2: MTF + Huffman each stream and serialize the bundle
-    (magic, flags, globals, headers, streams). *)
+    (magic, flags, globals, headers, streams). The streams are
+    independent: with [pool] they are coded concurrently and joined in
+    wire order, so the bytes never depend on scheduling. *)
 
 val apply_final_stage : final_stage -> string -> string
 (** Stage 3: entropy-code the bundle, prefixed with the stage tag

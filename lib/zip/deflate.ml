@@ -38,7 +38,23 @@ let dist_class d =
   if d < 1 || d > 32768 then invalid_arg "Deflate.dist_class";
   go 0
 
-let encode_tokens ~orig_len tokens =
+(* A 1-bit block type follows the 32-bit length header: 0 = dynamic
+   Huffman (the original layout after that bit), 1 = stored. A stored
+   block byte-aligns and copies the input verbatim, so output is capped
+   at orig_len + 5 bytes and compression can never expand pathological
+   input (RFC 1951's escape hatch, §3.2.4). The encoder picks stored
+   only when the caller supplies [source] and it is strictly smaller. *)
+let stored_overhead = 5
+
+let encode_stored ~orig_len source =
+  let w = Support.Bitio.Writer.create ~capacity:(orig_len + 8) () in
+  Support.Bitio.Writer.put_bits w orig_len 32;
+  Support.Bitio.Writer.put_bit w 1;
+  Support.Bitio.Writer.align_byte w;
+  Support.Bitio.Writer.put_string w source;
+  Bytes.to_string (Support.Bitio.Writer.contents w)
+
+let encode_tokens ?source ~orig_len tokens =
   (* frequency counts *)
   let lit_freq = Array.make litlen_alphabet 0 in
   let dist_freq = Array.make dist_alphabet 0 in
@@ -57,6 +73,7 @@ let encode_tokens ~orig_len tokens =
   let dist_code = Huffman.lengths_of_freqs dist_freq in
   let w = Support.Bitio.Writer.create ~capacity:(orig_len / 2) () in
   Support.Bitio.Writer.put_bits w orig_len 32;
+  Support.Bitio.Writer.put_bit w 0;
   Huffman.write_lengths w lit_code;
   Huffman.write_lengths w dist_code;
   let le = Huffman.make_encoder lit_code in
@@ -75,9 +92,18 @@ let encode_tokens ~orig_len tokens =
         Support.Bitio.Writer.put_bits w (dist - dist_base.(dc)) dist_extra.(dc))
     tokens;
   Huffman.encode_symbol le w eob;
-  Bytes.to_string (Support.Bitio.Writer.contents w)
+  let huff = Bytes.to_string (Support.Bitio.Writer.contents w) in
+  match source with
+  | Some s ->
+    if String.length s <> orig_len then
+      invalid_arg "Deflate.encode_tokens: source length <> orig_len";
+    if orig_len + stored_overhead < String.length huff then
+      encode_stored ~orig_len s
+    else huff
+  | None -> huff
 
-let compress s = encode_tokens ~orig_len:(String.length s) (Lz77.tokenize s)
+let compress s =
+  encode_tokens ~source:s ~orig_len:(String.length s) (Lz77.tokenize s)
 
 let default_max_output = 1 lsl 26
 
@@ -94,6 +120,18 @@ let decompress_exn ?(max_output = default_max_output) z =
   if orig_len > max_output then
     fail Support.Decode_error.Limit
       (Printf.sprintf "declared length %d exceeds cap %d" orig_len max_output);
+  if Support.Bitio.Reader.bits_remaining r < 1 then
+    fail Support.Decode_error.Truncated "missing block-type bit";
+  let block_type = Support.Bitio.Reader.get_bit r in
+  if block_type = 1 then begin
+    Support.Bitio.Reader.align_byte r;
+    if Support.Bitio.Reader.bits_remaining r < orig_len * 8 then
+      fail Support.Decode_error.Truncated
+        (Printf.sprintf "stored block of %d bytes exceeds remaining input"
+           orig_len);
+    Support.Bitio.Reader.get_string r orig_len
+  end
+  else begin
   let lit_code = Huffman.read_lengths r in
   let dist_code = Huffman.read_lengths r in
   let ld = Huffman.make_decoder lit_code in
@@ -146,6 +184,7 @@ let decompress_exn ?(max_output = default_max_output) z =
   if String.length out <> orig_len then
     fail Support.Decode_error.Inconsistent "output shorter than declared length";
   out
+  end
 
 let decompress ?max_output z =
   Support.Decode_error.guard ~decoder:"deflate" (fun () ->

@@ -9,12 +9,19 @@
     as the final stage of the wire format (§3 step 5). *)
 
 val compress : string -> string
-(** [encode_tokens ~orig_len:(String.length s) (Lz77.tokenize s)]. *)
+(** [encode_tokens ~source:s ~orig_len:(String.length s) (Lz77.tokenize s)].
+    Output never exceeds input + 5 bytes: incompressible input falls back
+    to a stored block (a 1-bit block type after the length header, then
+    the bytes verbatim — RFC 1951 §3.2.4's escape hatch). *)
 
-val encode_tokens : orig_len:int -> Lz77.token list -> string
+val encode_tokens : ?source:string -> orig_len:int -> Lz77.token list -> string
 (** The entropy-coding half of {!compress}, split out so the codec layer
     can time the LZ77 and Huffman stages independently. [orig_len] is
-    the uncompressed length recorded in the 32-bit header. *)
+    the uncompressed length recorded in the 32-bit header. When [source]
+    (the uncompressed bytes, length [orig_len]) is given, the encoder
+    emits a stored block instead whenever that is strictly smaller, so
+    output is bounded by [orig_len + 5]. Without [source] the output is
+    always a Huffman block. *)
 
 val decompress :
   ?max_output:int -> string -> (string, Support.Decode_error.t) result

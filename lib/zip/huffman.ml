@@ -81,7 +81,29 @@ let canonical_codes { lengths } =
 
 (* --- encoder / decoder ------------------------------------------------- *)
 
-type encoder = { enc_lengths : int array; enc_codes : int array }
+(* [bit_reverse v n] reverses the low [n] bits of [v]. The bit stream is
+   LSB-first within bytes (DEFLATE convention), so writing the reversed
+   code LSB-first emits exactly the same bit sequence as writing the
+   canonical code MSB-first — one [put_bits] call instead of a loop of
+   [put_bit], and the key that lets the decoder index a flat table with
+   an LSB-first peek. *)
+let bit_reverse v n =
+  let r = ref 0 in
+  for i = 0 to n - 1 do
+    r := (!r lsl 1) lor ((v lsr i) land 1)
+  done;
+  !r
+
+type encoder = {
+  enc_lengths : int array;
+  enc_codes : int array;
+  enc_rev : int array;          (* bit-reversed codes, for LSB-first emit *)
+}
+
+(* Root-table entries pack (symbol lsl 5) lor length; length >= 1 for
+   any real codeword, so 0 marks "longer than the root or invalid" and
+   routes to the bit-at-a-time fallback. *)
+let root_bits_cap = 10
 
 type decoder = {
   (* canonical decode tables indexed by length *)
@@ -90,9 +112,14 @@ type decoder = {
   counts : int array;           (* number of codes of each length *)
   sorted_syms : int array;      (* symbols sorted by (length, code) *)
   dec_max_len : int;
+  root_bits : int;              (* table index width, min(max_len, cap) *)
+  root_table : int array;       (* 2^root_bits packed entries *)
 }
 
-let make_encoder c = { enc_lengths = c.lengths; enc_codes = canonical_codes c }
+let make_encoder c =
+  let codes = canonical_codes c in
+  let rev = Array.mapi (fun sym cd -> bit_reverse cd c.lengths.(sym)) codes in
+  { enc_lengths = c.lengths; enc_codes = codes; enc_rev = rev }
 
 let make_decoder ({ lengths } as c) =
   let max_len = Array.fold_left max 0 lengths in
@@ -120,19 +147,40 @@ let make_decoder ({ lengths } as c) =
     first_index.(l) <- !idx;
     idx := !idx + counts.(l)
   done;
-  { first_code; first_index; counts; sorted_syms = syms; dec_max_len = max_len }
+  (* Flat lookup table over the next [root_bits] bits of the stream
+     (LSB-first, as peeked). A codeword of length l <= root_bits owns
+     every table slot whose low l bits are its reversed code; slots left
+     at 0 (longer codewords, or bit patterns outside the code) fall back
+     to the canonical bit-at-a-time walk. *)
+  let root_bits = min max_len root_bits_cap in
+  let root_table = Array.make (1 lsl root_bits) 0 in
+  Array.iteri
+    (fun sym l ->
+      if l > 0 && l <= root_bits then begin
+        let rev = bit_reverse codes.(sym) l in
+        let fillers = 1 lsl (root_bits - l) in
+        for j = 0 to fillers - 1 do
+          root_table.(rev lor (j lsl l)) <- (sym lsl 5) lor l
+        done
+      end)
+    lengths;
+  { first_code; first_index; counts; sorted_syms = syms;
+    dec_max_len = max_len; root_bits; root_table }
 
 let encode_symbol e w sym =
   let l = e.enc_lengths.(sym) in
   if l = 0 then invalid_arg "Huffman.encode_symbol: symbol has no code";
-  Support.Bitio.Writer.put_bits_msb w e.enc_codes.(sym) l
+  Support.Bitio.Writer.put_bits w e.enc_rev.(sym) l
 
 let hfail r kind msg =
   Support.Decode_error.fail ~decoder:"huffman" ~kind
     ~pos:(Support.Bitio.Reader.bit_position r / 8)
     msg
 
-let decode_symbol d r =
+(* Canonical bit-at-a-time decode: the fallback for codewords longer
+   than the root table, near-end-of-stream probes, and corrupt input
+   (where it owns the exact error positions and messages). *)
+let decode_symbol_slow d r =
   let code = ref 0 in
   let len = ref 0 in
   let result = ref (-1) in
@@ -148,6 +196,24 @@ let decode_symbol d r =
     then result := d.sorted_syms.(d.first_index.(!len) + (!code - d.first_code.(!len)))
   done;
   !result
+
+let decode_symbol d r =
+  (* Peek a full table index (zero-padded past end of input); the entry,
+     when present, names the unique codeword that is a prefix of those
+     bits. The prefix property makes the fallback safe: if the matched
+     length overruns the real input, no shorter codeword could have
+     matched either, so the slow path correctly reports truncation. *)
+  let idx = Support.Bitio.Reader.peek_bits r d.root_bits in
+  let entry = Array.unsafe_get d.root_table idx in
+  if entry <> 0 then begin
+    let l = entry land 31 in
+    if l <= Support.Bitio.Reader.bits_remaining r then begin
+      Support.Bitio.Reader.advance_bits r l;
+      entry lsr 5
+    end
+    else decode_symbol_slow d r
+  end
+  else decode_symbol_slow d r
 
 (* --- length-table serialization ---------------------------------------- *)
 
@@ -173,33 +239,41 @@ let cost_bits { lengths } freqs =
 
 (* --- convenience whole-stream API -------------------------------------- *)
 
-let encode_all syms ~alphabet =
+let encode_all_arr syms ~alphabet =
   let freqs = Array.make alphabet 0 in
-  List.iter (fun s -> freqs.(s) <- freqs.(s) + 1) syms;
+  Array.iter (fun s -> freqs.(s) <- freqs.(s) + 1) syms;
   let code = lengths_of_freqs freqs in
   let w = Support.Bitio.Writer.create () in
-  Support.Bitio.Writer.put_bits w (List.length syms) 32;
+  Support.Bitio.Writer.put_bits w (Array.length syms) 32;
   write_lengths w code;
   let e = make_encoder code in
-  List.iter (fun s -> encode_symbol e w s) syms;
+  Array.iter (fun s -> encode_symbol e w s) syms;
   Support.Bitio.Writer.contents w
 
-let decode_all_exn bytes =
+let encode_all syms ~alphabet = encode_all_arr (Array.of_list syms) ~alphabet
+
+let decode_all_arr_exn bytes =
   let r = Support.Bitio.Reader.of_bytes bytes in
   if Support.Bitio.Reader.bits_remaining r < 32 then
     hfail r Support.Decode_error.Truncated "missing symbol count";
   let count = Support.Bitio.Reader.get_bits r 32 in
   let code = read_lengths r in
   (* every symbol costs at least one bit, so a count beyond the remaining
-     bit budget is corrupt — reject before allocating the result list *)
+     bit budget is corrupt — reject before allocating the result *)
   if count > Support.Bitio.Reader.bits_remaining r then
     hfail r Support.Decode_error.Limit
       (Printf.sprintf "symbol count %d exceeds remaining input" count);
-  if count = 0 then []
+  if count = 0 then [||]
   else begin
     let d = make_decoder code in
-    List.init count (fun _ -> decode_symbol d r)
+    let out = Array.make count 0 in
+    for i = 0 to count - 1 do
+      out.(i) <- decode_symbol d r
+    done;
+    out
   end
+
+let decode_all_exn bytes = Array.to_list (decode_all_arr_exn bytes)
 
 let decode_all bytes =
   Support.Decode_error.guard ~decoder:"huffman" (fun () -> decode_all_exn bytes)

@@ -28,12 +28,21 @@ val make_encoder : code -> encoder
 val make_decoder : code -> decoder
 
 val encode_symbol : encoder -> Support.Bitio.Writer.t -> int -> unit
-(** @raise Invalid_argument if the symbol has no code. *)
+(** Single [put_bits] of the precomputed bit-reversed code (the bit
+    stream is LSB-first within bytes, so this emits the canonical code
+    MSB-first). @raise Invalid_argument if the symbol has no code. *)
 
 val decode_symbol : decoder -> Support.Bitio.Reader.t -> int
-(** @raise Support.Decode_error.Fail on a code not in the table or input
+(** Table-driven: peeks up to 10 bits and resolves codewords of that
+    length or shorter in one lookup; longer codewords, near-end probes
+    and corrupt input fall back to the canonical bit-at-a-time walk.
+    @raise Support.Decode_error.Fail on a code not in the table or input
     ending mid-codeword; callers decoding untrusted bytes run under
     {!Support.Decode_error.guard}. *)
+
+val decode_symbol_slow : decoder -> Support.Bitio.Reader.t -> int
+(** The bit-at-a-time decode path on its own; the oracle for
+    differential tests against the table-driven {!decode_symbol}. *)
 
 val write_lengths : Support.Bitio.Writer.t -> code -> unit
 (** Serialize the length table (alphabet size as a varint-ish field, then
@@ -50,6 +59,10 @@ val encode_all : int list -> alphabet:int -> Bytes.t
 (** Convenience: frequency-count the input, build a code, serialize
     lengths + symbols into one self-contained byte string. *)
 
+val encode_all_arr : int array -> alphabet:int -> Bytes.t
+(** As {!encode_all} over an int array — byte-identical output, no
+    intermediate list. The hot path for the wire format's streams. *)
+
 val decode_all : Bytes.t -> (int list, Support.Decode_error.t) result
 (** Total inverse of {!encode_all}: symbol counts and length tables are
     validated against the remaining input before any allocation. *)
@@ -57,3 +70,6 @@ val decode_all : Bytes.t -> (int list, Support.Decode_error.t) result
 val decode_all_exn : Bytes.t -> int list
 (** As {!decode_all} but raises {!Support.Decode_error.Fail}; for
     trusted inputs. *)
+
+val decode_all_arr_exn : Bytes.t -> int array
+(** As {!decode_all_exn} into an int array. *)

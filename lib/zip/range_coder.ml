@@ -4,41 +4,177 @@ let top = 1 lsl 24
 let bot = 1 lsl 16
 let mask32 = 0xFFFFFFFF
 
+(* The adaptive model is the coder's inner loop: [cum_below] on encode
+   and [find] on decode run once per symbol. The naive per-symbol scan
+   is O(alphabet); a Fenwick (binary-indexed) tree makes both O(log
+   alphabet) while the model state — per-symbol frequencies and their
+   total — evolves identically, so every emitted byte is unchanged
+   (DESIGN.md §10). The scan implementation survives as
+   [Model.Reference], the differential-test oracle.
+
+   Storage is uint16 cells in [Bytes], not int arrays: every frequency
+   and every Fenwick node is bounded by the total, which the halving
+   rule keeps under [max_total] = 65535 at rest, so 16 bits always
+   suffice. That shrinks a 256-symbol model from ~4 KB to ~1 KB — the
+   order-2 compressor keeps 4096 context models live, and at int-array
+   size their working set (~16 MB) turns every O(log n) probe into a
+   cache miss, slower than the scan it replaced. At uint16 size the
+   whole model bank (~4.4 MB) stays cache-resident and the tree wins on
+   both counts (measured in DESIGN.md §10). *)
 module Model = struct
-  type t = { freqs : int array; mutable total : int }
+  type t = {
+    n : int;
+    freqs : Bytes.t;  (* n uint16 cells, per-symbol frequency >= 1 *)
+    tree : Bytes.t;   (* n+1 uint16 cells, 1-based Fenwick over freqs *)
+    mutable total : int;
+    start_bit : int;  (* first probe width for the descent, see create *)
+  }
 
   let max_total = bot - 1
 
+  (* 16-bit cell access; offsets are cell index * 2, in range by
+     construction (hot-path indices are bounded by [n]). The compiler
+     primitives load/store one unsigned 16-bit cell — native endian,
+     which is fine for state that never leaves the process. *)
+  external get16 : Bytes.t -> int -> int = "%caml_bytes_get16u"
+  external set16 : Bytes.t -> int -> int -> unit = "%caml_bytes_set16u"
+
+  (* rebuild [tree] from [freqs] in O(n); every cell of [tree] is
+     overwritten (pass 1) before the in-place prefix propagation *)
+  let rebuild m =
+    for i = 1 to m.n do
+      set16 m.tree (i * 2) (get16 m.freqs ((i - 1) * 2))
+    done;
+    for i = 1 to m.n - 1 do
+      let j = i + (i land -i) in
+      if j <= m.n then set16 m.tree (j * 2) (get16 m.tree (j * 2) + get16 m.tree (i * 2))
+    done
+
   let create n =
-    if n <= 0 then invalid_arg "Range_coder.Model.create";
-    { freqs = Array.make n 1; total = n }
+    (* n > max_total would overflow the uint16 cells — and the coder
+       itself, whose range division needs total < 2^16 *)
+    if n <= 0 || n > max_total then invalid_arg "Range_coder.Model.create";
+    let top_bit = ref 1 in
+    while !top_bit * 2 <= n do top_bit := !top_bit * 2 done;
+    (* For a power-of-two alphabet the root probe at [idx + n] reads
+       tree node n = total, and total > target always, so that branch is
+       never taken: start the descent one bit lower. *)
+    let start_bit = if !top_bit = n then !top_bit lsr 1 else !top_bit in
+    let m =
+      { n; freqs = Bytes.make (n * 2) '\000';
+        tree = Bytes.make ((n + 1) * 2) '\000';
+        total = n; start_bit }
+    in
+    for i = 0 to n - 1 do set16 m.freqs (i * 2) 1 done;
+    rebuild m;
+    m
 
-  let halve m =
-    m.total <- 0;
-    Array.iteri
-      (fun i f ->
-        let f' = (f + 1) / 2 in
-        m.freqs.(i) <- f';
-        m.total <- m.total + f')
-      m.freqs
+  (* Halve every frequency (the add-one-and-shift rule), with [extra]
+     added to [esym]'s frequency first: the pre-halve frequency can
+     transiently exceed 16 bits, so it lives in an immediate int here
+     and is never stored un-halved. *)
+  let halve_with m esym extra =
+    let tot = ref 0 in
+    for i = 0 to m.n - 1 do
+      let f = get16 m.freqs (i * 2) + if i = esym then extra else 0 in
+      let f' = (f + 1) / 2 in
+      set16 m.freqs (i * 2) f';
+      tot := !tot + f'
+    done;
+    m.total <- !tot;
+    rebuild m
 
+  (* The three per-symbol operations are the coder's inner loop across
+     thousands of context models; they are written as tail recursions
+     over immediate ints (no ref cells, so no per-symbol allocation). *)
   let update m sym =
-    m.freqs.(sym) <- m.freqs.(sym) + 32;
-    m.total <- m.total + 32;
-    if m.total >= max_total then halve m
+    let nt = m.total + 32 in
+    if nt < max_total then begin
+      set16 m.freqs (sym * 2) (get16 m.freqs (sym * 2) + 32);
+      let t = m.tree and n = m.n in
+      let rec add i =
+        if i <= n then begin
+          set16 t (i * 2) (get16 t (i * 2) + 32);
+          add (i + (i land -i))
+        end
+      in
+      add (sym + 1);
+      m.total <- nt
+    end
+    else
+      (* the incremented total would cross the bound: skip the
+         incremental tree touch-up and halve+rebuild directly, exactly
+         what update-then-halve computed over int arrays *)
+      halve_with m sym 32
 
   let cum_below m sym =
-    let c = ref 0 in
-    for i = 0 to sym - 1 do c := !c + m.freqs.(i) done;
-    !c
+    let t = m.tree in
+    let rec go i acc =
+      if i > 0 then go (i - (i land -i)) (acc + get16 t (i * 2))
+      else acc
+    in
+    go sym 0
 
+  (* Largest [sym] with cumulative frequency <= [target]; since every
+     frequency stays >= 1, prefix sums are strictly increasing and the
+     top-down bit descent lands on exactly the symbol the linear scan
+     finds, with its cumulative as a by-product. *)
   let find m target =
-    let c = ref 0 and i = ref 0 in
-    while !c + m.freqs.(!i) <= target do
-      c := !c + m.freqs.(!i);
-      incr i
-    done;
-    (!i, !c)
+    let t = m.tree and n = m.n in
+    let rec go idx cum bit =
+      if bit = 0 then (idx, cum)
+      else begin
+        let nxt = idx + bit in
+        if nxt <= n then begin
+          let c = cum + get16 t (nxt * 2) in
+          if c <= target then go nxt c (bit lsr 1) else go idx cum (bit lsr 1)
+        end
+        else go idx cum (bit lsr 1)
+      end
+    in
+    go 0 0 m.start_bit
+
+  let freq m sym = get16 m.freqs (sym * 2)
+  let total m = m.total
+
+  (* the original linear-scan model, kept as the test oracle *)
+  module Reference = struct
+    type t = { freqs : int array; mutable total : int }
+
+    let create n =
+      if n <= 0 then invalid_arg "Range_coder.Model.Reference.create";
+      { freqs = Array.make n 1; total = n }
+
+    let halve m =
+      m.total <- 0;
+      Array.iteri
+        (fun i f ->
+          let f' = (f + 1) / 2 in
+          m.freqs.(i) <- f';
+          m.total <- m.total + f')
+        m.freqs
+
+    let update m sym =
+      m.freqs.(sym) <- m.freqs.(sym) + 32;
+      m.total <- m.total + 32;
+      if m.total >= max_total then halve m
+
+    let cum_below m sym =
+      let c = ref 0 in
+      for i = 0 to sym - 1 do c := !c + m.freqs.(i) done;
+      !c
+
+    let find m target =
+      let c = ref 0 and i = ref 0 in
+      while !c + m.freqs.(!i) <= target do
+        c := !c + m.freqs.(!i);
+        incr i
+      done;
+      (!i, !c)
+
+    let freq m sym = m.freqs.(sym)
+    let total m = m.total
+  end
 end
 
 type encoder = {
@@ -64,8 +200,8 @@ let enc_normalize e =
 
 let encode e m sym =
   let cum = Model.cum_below m sym in
-  let f = m.Model.freqs.(sym) in
-  let r = e.range / m.Model.total in
+  let f = Model.freq m sym in
+  let r = e.range / Model.total m in
   e.low <- (e.low + (r * cum)) land mask32;
   e.range <- r * f;
   enc_normalize e
@@ -114,10 +250,10 @@ let dec_normalize d =
   done
 
 let decode d m =
-  let r = d.drange / m.Model.total in
-  let target = min (m.Model.total - 1) ((d.code - d.dlow) land mask32 / r) in
+  let r = d.drange / Model.total m in
+  let target = min (Model.total m - 1) ((d.code - d.dlow) land mask32 / r) in
   let sym, cum = Model.find m target in
-  let f = m.Model.freqs.(sym) in
+  let f = Model.freq m sym in
   d.dlow <- (d.dlow + (r * cum)) land mask32;
   d.drange <- r * f;
   dec_normalize d;

@@ -16,6 +16,30 @@ module Model : sig
   (** [create n] models symbols in [0, n). *)
 
   val update : t -> int -> unit
+
+  val cum_below : t -> int -> int
+  (** Cumulative frequency of all symbols below the argument; O(log n)
+      via a Fenwick tree over the frequency array. *)
+
+  val find : t -> int -> int * int
+  (** [find m target] is the symbol whose cumulative interval contains
+      [target], paired with its cumulative base; O(log n). *)
+
+  val freq : t -> int -> int
+  val total : t -> int
+
+  (** The original linear-scan model, kept verbatim as the oracle for
+      randomized differential tests. Not used on any production path. *)
+  module Reference : sig
+    type t
+
+    val create : int -> t
+    val update : t -> int -> unit
+    val cum_below : t -> int -> int
+    val find : t -> int -> int * int
+    val freq : t -> int -> int
+    val total : t -> int
+  end
 end
 
 type encoder

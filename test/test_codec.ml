@@ -26,25 +26,32 @@ let progs =
 
 let source_of p = Codec.Source.of_ir ~vm:p.vp ~native:p.native p.ir
 
-(* (program, codec name, md5 of the encoded bytes) *)
+(* (program, codec name, md5 of the encoded bytes)
+
+   Re-pinned once: the deflate format gained a 1-bit block type after
+   the 32-bit length header (stored-block fallback so compression never
+   expands — see Zip.Deflate). That bit shifts every deflate stream, so
+   the gzip+native, wire and chunked-wire digests changed in lock-step;
+   native, wire+range and brisc contain no deflate stream and kept their
+   original pins. *)
 let golden =
   [ ("wc", "native", "3c413a67213331d484a919a0aae89001");
-    ("wc", "gzip+native", "99ae6bf8dc58b0216aae84c424976ad7");
-    ("wc", "wire", "3bfcae0afc4202341d210441453e3d08");
+    ("wc", "gzip+native", "31686d15c0f7579b4805eb50bdcb0735");
+    ("wc", "wire", "08edbda94475356f2cc79a10a35a2ab8");
     ("wc", "wire+range", "425dd7b3ae495f47768e33a140b2d068");
-    ("wc", "chunked-wire", "59e421904c55254087494a18adcf04c4");
+    ("wc", "chunked-wire", "c96344ca99553fd97413b48eb308ea52");
     ("wc", "brisc", "03ef78bbb491e2b7d522a7139c26203b");
     ("qsort", "native", "7c649fc4d4403644a00339c3c073af31");
-    ("qsort", "gzip+native", "0a3d14f22ac14c0ea706046865afeca6");
-    ("qsort", "wire", "9ca482a89f2dc91a43142630194dc9dd");
+    ("qsort", "gzip+native", "020f8e68c17f230db866196e6cabe213");
+    ("qsort", "wire", "dd7a7b2c1003262bd22495d8fef65c7f");
     ("qsort", "wire+range", "85411fb6a381dee016c2a7dcd6a97915");
-    ("qsort", "chunked-wire", "6c374715aa11e33d063c7fdab32a9e8c");
+    ("qsort", "chunked-wire", "9b2e966e400a7ee2e54a4e82d113d926");
     ("qsort", "brisc", "2fa334732af01718ea2d186a57aa06f5");
     ("calc", "native", "4c4bcc0fdadf5a775efec41b592a744d");
-    ("calc", "gzip+native", "d4756c0b3d456a37ccbeb88bf117e5cb");
-    ("calc", "wire", "43e048d19189eadfb86c6873a9f37676");
+    ("calc", "gzip+native", "9cec19be4dac678e8bf223f51b6b25f9");
+    ("calc", "wire", "b22f213721d50f8bb583365014e95a01");
     ("calc", "wire+range", "eba14c37c4fab7a8a4467e4e74f29735");
-    ("calc", "chunked-wire", "c94c2112a75dc960048fa255660d091a");
+    ("calc", "chunked-wire", "3d45e5a45de683122607dd7bfa94e580");
     ("calc", "brisc", "864bcab5e9416b18f3802fe1d95b1755") ]
 
 let test_golden_pins () =

@@ -58,6 +58,31 @@ let fuzz_huffman =
       match Zip.Huffman.decode_all (Bytes.of_string m) with
       | Ok _ | Error _ -> ())
 
+(* seeds whose code pushes past the 10-bit root table (skewed,
+   wide-alphabet frequencies force 11..15-bit words), so mutants drive
+   both the table hit and the slow-path fallback of the table-driven
+   decoder; surviving mutants must decode identically on both paths *)
+let fuzz_huffman_decode_table =
+  let skewed =
+    let rng = Support.Prng.create 0x7AB1EL in
+    List.init 3
+      (fun k ->
+        List.init (600 + (k * 200)) (fun i ->
+            if i land 7 = 0 then Support.Prng.int rng 200
+            else Support.Prng.int rng 4))
+  in
+  let seeds =
+    List.map (fun syms -> Bytes.to_string (Zip.Huffman.encode_all syms ~alphabet:200)) skewed
+  in
+  fuzz "huffman decode-table" 114L seeds (fun _ m ->
+      match Zip.Huffman.decode_all (Bytes.of_string m) with
+      | Error _ -> ()
+      | Ok syms ->
+        (* accepted mutants re-encode and decode to the same stream *)
+        let alphabet = List.fold_left max 0 syms + 1 in
+        let z = Zip.Huffman.encode_all syms ~alphabet in
+        assert (Zip.Huffman.decode_all_exn z = syms))
+
 let fuzz_deflate =
   let seeds = List.map Zip.Deflate.compress texts in
   fuzz "deflate" 102L seeds (fun _ m ->
@@ -252,6 +277,8 @@ let () =
       ( "totality",
         [
           Alcotest.test_case "huffman" `Quick fuzz_huffman;
+          Alcotest.test_case "huffman decode-table" `Quick
+            fuzz_huffman_decode_table;
           Alcotest.test_case "deflate" `Quick fuzz_deflate;
           Alcotest.test_case "range order-0" `Quick (fuzz_range 0 103L);
           Alcotest.test_case "range order-2" `Quick (fuzz_range 2 113L);

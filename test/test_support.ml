@@ -63,6 +63,76 @@ let test_reader_exhaustion () =
   Alcotest.check_raises "empty read" (Failure "Bitio.Reader: out of bits")
     (fun () -> ignore (Support.Bitio.Reader.get_bit r))
 
+(* The overflow window of the pre-fix [put_bits]: with up to 7 pending
+   bits in the accumulator, an all-ones field of n in {48..56} shifts
+   past OCaml's 63-bit int unless the writer splits the field. Every
+   (pending, n) combination must round-trip with no dropped high bits. *)
+let test_put_bits_wide_window () =
+  for pending = 0 to 7 do
+    for n = 48 to 56 do
+      let w = Support.Bitio.Writer.create () in
+      if pending > 0 then
+        Support.Bitio.Writer.put_bits w ((1 lsl pending) - 1) pending;
+      let v = (1 lsl n) - 1 in
+      Support.Bitio.Writer.put_bits w v n;
+      (* a trailing sentinel proves the bit cursor also stayed exact *)
+      Support.Bitio.Writer.put_bits w 0b10110 5;
+      let r = Support.Bitio.Reader.of_bytes (Support.Bitio.Writer.contents w) in
+      if pending > 0 then
+        Alcotest.(check int)
+          (Printf.sprintf "pending %d" pending)
+          ((1 lsl pending) - 1)
+          (Support.Bitio.Reader.get_bits r pending);
+      Alcotest.(check int) (Printf.sprintf "wide %d+%d" pending n) v
+        (Support.Bitio.Reader.get_bits r n);
+      Alcotest.(check int) "sentinel" 0b10110 (Support.Bitio.Reader.get_bits r 5)
+    done
+  done
+
+let prop_put_bits_wide =
+  QCheck.Test.make ~name:"put_bits wide fields with pending bits" ~count:300
+    QCheck.(triple (int_range 0 7) (int_range 48 56) (int_bound max_int))
+    (fun (pending, n, v) ->
+      let v = v land ((1 lsl n) - 1) in
+      let w = Support.Bitio.Writer.create () in
+      Support.Bitio.Writer.put_bits w 0x55 pending;
+      Support.Bitio.Writer.put_bits w v n;
+      let r = Support.Bitio.Reader.of_bytes (Support.Bitio.Writer.contents w) in
+      ignore (Support.Bitio.Reader.get_bits r pending);
+      Support.Bitio.Reader.get_bits r n = v)
+
+(* peek_bits/advance_bits must agree with get_bits over the same
+   stream, and zero-fill — not fail — when the probe runs past the
+   end (the table-driven Huffman decoder probes a full index width
+   regardless of how many bits remain). *)
+let prop_peek_advance_consistency =
+  QCheck.Test.make ~name:"peek_bits+advance_bits = get_bits" ~count:300
+    QCheck.(small_list (pair (int_bound 0xFFFF) (int_range 1 16)))
+    (fun fields ->
+      let w = Support.Bitio.Writer.create () in
+      List.iter
+        (fun (v, n) -> Support.Bitio.Writer.put_bits w (v land ((1 lsl n) - 1)) n)
+        fields;
+      let bytes = Support.Bitio.Writer.contents w in
+      let r1 = Support.Bitio.Reader.of_bytes bytes in
+      let r2 = Support.Bitio.Reader.of_bytes bytes in
+      List.for_all
+        (fun (_, n) ->
+          let peeked = Support.Bitio.Reader.peek_bits r1 n in
+          Support.Bitio.Reader.advance_bits r1 n;
+          peeked = Support.Bitio.Reader.get_bits r2 n)
+        fields)
+
+let test_peek_past_end () =
+  let r = Support.Bitio.Reader.of_string "\xff" in
+  (* 8 real bits (all ones) then zero fill *)
+  Alcotest.(check int) "zero filled" 0xFF (Support.Bitio.Reader.peek_bits r 20);
+  Support.Bitio.Reader.advance_bits r 8;
+  Alcotest.(check int) "empty probe" 0 (Support.Bitio.Reader.peek_bits r 16);
+  Alcotest.check_raises "advance past end"
+    (Failure "Bitio.Reader: out of bits") (fun () ->
+      Support.Bitio.Reader.advance_bits r 1)
+
 let prop_bits_roundtrip =
   QCheck.Test.make ~name:"bitio roundtrip random fields" ~count:200
     QCheck.(small_list (pair (int_bound 0xFFFF) (int_range 1 16)))
@@ -281,7 +351,12 @@ let () =
           Alcotest.test_case "bit length" `Quick test_bit_length;
           Alcotest.test_case "seek" `Quick test_seek;
           Alcotest.test_case "exhaustion" `Quick test_reader_exhaustion;
+          Alcotest.test_case "wide fields window" `Quick
+            test_put_bits_wide_window;
+          Alcotest.test_case "peek past end" `Quick test_peek_past_end;
           qcheck prop_bits_roundtrip;
+          qcheck prop_put_bits_wide;
+          qcheck prop_peek_advance_consistency;
         ] );
       ( "heap",
         [

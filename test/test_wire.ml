@@ -245,6 +245,25 @@ let test_chunked_names () =
     (List.for_all (fun n -> Wire.Chunked.chunk_size c n > 0)
        (Wire.Chunked.function_names c))
 
+(* parallel stream encode must be a pure speedup: identical bytes to
+   the sequential path, for both the flat bundle and the chunked
+   container, across ablation variants *)
+let test_pool_byte_identical () =
+  let pool = Support.Pool.create ~domains:4 in
+  List.iter
+    (fun (e : Corpus.Programs.entry) ->
+      let ir = compile e.Corpus.Programs.source in
+      Alcotest.(check string) "wire" (Wire.compress ir)
+        (Wire.compress ~pool ir);
+      Alcotest.(check string) "wire no-mtf"
+        (Wire.compress ~use_mtf:false ir)
+        (Wire.compress ~use_mtf:false ~pool ir);
+      Alcotest.(check string) "chunked"
+        (Wire.Chunked.to_bytes (Wire.Chunked.compress ir))
+        (Wire.Chunked.to_bytes (Wire.Chunked.compress ~pool ir)))
+    Corpus.Programs.all;
+  Support.Pool.shutdown pool
+
 let test_deterministic () =
   let ir = compile Corpus.Programs.strlib.Corpus.Programs.source in
   Alcotest.(check bool) "same bytes" true (Wire.compress ir = Wire.compress ir)
@@ -262,6 +281,8 @@ let () =
           Alcotest.test_case "corrupt magic" `Quick test_corrupt_magic;
           Alcotest.test_case "truncated" `Quick test_truncated_input;
           Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "pool byte-identical" `Quick
+            test_pool_byte_identical;
         ] );
       ( "corruption",
         [

@@ -41,6 +41,27 @@ let prop_mtf_strings =
       let e = Zip.Mtf.encode ~eq:String.equal xs in
       Zip.Mtf.decode_exn e = xs)
 
+(* ---- MTF differentials: array engine vs the retained list oracle ---- *)
+
+let prop_mtf_differential =
+  QCheck.Test.make ~name:"mtf array vs Reference oracle" ~count:300
+    QCheck.(list (int_bound 60))
+    (fun xs ->
+      let a = Zip.Mtf.encode ~eq:( = ) xs in
+      let b = Zip.Mtf.Reference.encode ~eq:( = ) xs in
+      a.Zip.Mtf.indices = b.Zip.Mtf.indices
+      && a.Zip.Mtf.novel = b.Zip.Mtf.novel
+      && Zip.Mtf.decode_exn a = Zip.Mtf.Reference.decode_exn b)
+
+let prop_mtf_hashed_differential =
+  QCheck.Test.make ~name:"mtf hashed vs Reference oracle" ~count:200
+    QCheck.(list (string_of_size (Gen.int_range 0 3)))
+    (fun xs ->
+      let a = Zip.Mtf.encode_hashed ~hash:Hashtbl.hash ~eq:String.equal xs in
+      let b = Zip.Mtf.Reference.encode ~eq:String.equal xs in
+      a.Zip.Mtf.indices = b.Zip.Mtf.indices
+      && a.Zip.Mtf.novel = b.Zip.Mtf.novel)
+
 (* ---- Huffman ---- *)
 
 let test_huffman_known_code () =
@@ -115,6 +136,56 @@ let test_huffman_lengths_serialization () =
   let code' = Zip.Huffman.read_lengths r in
   Alcotest.(check (array int)) "lengths" code.Zip.Huffman.lengths
     code'.Zip.Huffman.lengths
+
+(* table-driven decode vs the bit-at-a-time walk, over a code whose
+   longest words exceed the 10-bit root table so both paths run *)
+let test_huffman_table_vs_slow () =
+  (* 16 fibonacci frequencies: tree depth exactly 15, no flattening *)
+  let freqs = [| 1; 1; 2; 3; 5; 8; 13; 21; 34; 55; 89; 144; 233; 377; 610;
+                 987 |] in
+  let code = Zip.Huffman.lengths_of_freqs ~max_len:15 freqs in
+  Alcotest.(check bool) "has a long codeword" true
+    (Array.exists (fun l -> l > 10) code.Zip.Huffman.lengths);
+  let rng = Support.Prng.create 4242L in
+  let syms =
+    (* skew towards the frequent (short-code) symbols but hit them all *)
+    List.init 4000 (fun i ->
+        if i < 16 then i else Support.Prng.int rng 16)
+  in
+  let enc = Zip.Huffman.make_encoder code in
+  let w = Support.Bitio.Writer.create () in
+  List.iter (Zip.Huffman.encode_symbol enc w) syms;
+  let bytes = Support.Bitio.Writer.contents w in
+  let dec = Zip.Huffman.make_decoder code in
+  let r_fast = Support.Bitio.Reader.of_bytes bytes in
+  let r_slow = Support.Bitio.Reader.of_bytes bytes in
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "fast" s (Zip.Huffman.decode_symbol dec r_fast);
+      Alcotest.(check int) "slow" s (Zip.Huffman.decode_symbol_slow dec r_slow))
+    syms
+
+let prop_huffman_table_vs_slow =
+  QCheck.Test.make ~name:"huffman table decode = slow decode" ~count:150
+    QCheck.(list_of_size (Gen.int_range 1 200) (int_bound 40))
+    (fun syms ->
+      (* frequencies straight from the stream: small alphabets give
+         all-table codes, skewed ones push past the root table *)
+      let freqs = Array.make 41 0 in
+      List.iter (fun s -> freqs.(s) <- freqs.(s) + 1) syms;
+      let code = Zip.Huffman.lengths_of_freqs freqs in
+      let enc = Zip.Huffman.make_encoder code in
+      let w = Support.Bitio.Writer.create () in
+      List.iter (Zip.Huffman.encode_symbol enc w) syms;
+      let bytes = Support.Bitio.Writer.contents w in
+      let dec = Zip.Huffman.make_decoder code in
+      let r_fast = Support.Bitio.Reader.of_bytes bytes in
+      let r_slow = Support.Bitio.Reader.of_bytes bytes in
+      List.for_all
+        (fun s ->
+          Zip.Huffman.decode_symbol dec r_fast = s
+          && Zip.Huffman.decode_symbol_slow dec r_slow = s)
+        syms)
 
 (* ---- LZ77 ---- *)
 
@@ -206,7 +277,96 @@ let prop_deflate_roundtrip_lowentropy =
     QCheck.(string_gen_of_size (Gen.int_range 0 3000) (Gen.char_range 'a' 'c'))
     (fun s -> Zip.Deflate.decompress_exn (Zip.Deflate.compress s) = s)
 
+(* ---- Deflate stored-block fallback ---- *)
+
+let incompressible n seed =
+  let rng = Support.Prng.create seed in
+  String.init n (fun _ -> Char.chr (Support.Prng.int rng 256))
+
+let test_deflate_stored_roundtrip () =
+  (* random bytes defeat LZ77+Huffman, forcing the stored path *)
+  let s = incompressible 512 0xBEEFL in
+  let z = Zip.Deflate.compress s in
+  Alcotest.(check int) "stored size = payload + 5"
+    (String.length s + 5) (String.length z);
+  Alcotest.(check string) "roundtrip" s (Zip.Deflate.decompress_exn z)
+
+let prop_deflate_never_expands =
+  QCheck.Test.make ~name:"deflate never expands beyond header" ~count:200
+    QCheck.(string_gen_of_size (Gen.int_range 0 2000)
+              (Gen.char_range '\x00' '\xff'))
+    (fun s ->
+      let z = Zip.Deflate.compress s in
+      String.length z <= String.length s + 5
+      && Zip.Deflate.decompress_exn z = s)
+
+let test_deflate_stored_truncated () =
+  let s = incompressible 300 0xFACEL in
+  let z = Zip.Deflate.compress s in
+  (* cut inside the verbatim payload: typed Truncated error, no raise *)
+  match Zip.Deflate.decompress (String.sub z 0 (String.length z - 40)) with
+  | Error e ->
+    Alcotest.(check bool) "truncated kind" true
+      (e.Support.Decode_error.kind = Support.Decode_error.Truncated)
+  | Ok _ -> Alcotest.fail "decoded a truncated stored block"
+
 (* ---- Range coder ---- *)
+
+(* Fenwick model vs the retained linear-scan oracle: identical
+   cum_below/find/freq/total through thousands of updates, across the
+   halving threshold (with +32 per update a model crosses it after
+   ~2000 updates). *)
+let check_models_agree n m r =
+  let module M = Zip.Range_coder.Model in
+  Alcotest.(check int) "total" (M.Reference.total r) (M.total m);
+  for s = 0 to n - 1 do
+    Alcotest.(check int) "freq" (M.Reference.freq r s) (M.freq m s);
+    Alcotest.(check int) "cum_below" (M.Reference.cum_below r s)
+      (M.cum_below m s)
+  done
+
+let test_fenwick_differential_halving () =
+  let module M = Zip.Range_coder.Model in
+  List.iter
+    (fun n ->
+      let m = M.create n and r = M.Reference.create n in
+      let rng = Support.Prng.create (Int64.of_int (9000 + n)) in
+      for i = 1 to 5000 do
+        let s = Support.Prng.int rng n in
+        M.update m s;
+        M.Reference.update r s;
+        if i mod 611 = 0 then check_models_agree n m r
+      done;
+      check_models_agree n m r;
+      (* find must agree on every reachable target *)
+      let total = M.total m in
+      for _ = 1 to 200 do
+        let t = Support.Prng.int rng total in
+        let sym, cum = M.find m t in
+        let sym', cum' = M.Reference.find r t in
+        Alcotest.(check (pair int int)) "find" (sym', cum') (sym, cum)
+      done)
+    [ 1; 2; 3; 7; 16; 64; 256; 300 ]
+
+let prop_fenwick_differential =
+  QCheck.Test.make ~name:"fenwick model vs Reference oracle" ~count:100
+    QCheck.(pair (int_range 1 48) (list_of_size (Gen.int_range 0 300) (int_bound 1000)))
+    (fun (n, updates) ->
+      let module M = Zip.Range_coder.Model in
+      let m = M.create n and r = M.Reference.create n in
+      List.for_all
+        (fun u ->
+          let s = u mod n in
+          M.update m s;
+          M.Reference.update r s;
+          let ok_state =
+            M.total m = M.Reference.total r
+            && M.freq m s = M.Reference.freq r s
+            && M.cum_below m s = M.Reference.cum_below r s
+          in
+          let t = u mod M.total m in
+          ok_state && M.find m t = M.Reference.find r t)
+        updates)
 
 let test_range_coder_basic () =
   let m = Zip.Range_coder.Model.create 4 in
@@ -330,6 +490,8 @@ let () =
           Alcotest.test_case "locality" `Quick test_mtf_locality_wins;
           qcheck prop_mtf_roundtrip;
           qcheck prop_mtf_strings;
+          qcheck prop_mtf_differential;
+          qcheck prop_mtf_hashed_differential;
         ] );
       ( "huffman",
         [
@@ -342,7 +504,10 @@ let () =
           Alcotest.test_case "length limited" `Quick test_huffman_length_limit;
           Alcotest.test_case "lengths serialization" `Quick
             test_huffman_lengths_serialization;
+          Alcotest.test_case "table vs slow decode" `Quick
+            test_huffman_table_vs_slow;
           qcheck prop_huffman_roundtrip;
+          qcheck prop_huffman_table_vs_slow;
         ] );
       ( "lz77",
         [
@@ -362,8 +527,13 @@ let () =
           Alcotest.test_case "truncated input" `Quick test_deflate_truncated;
           Alcotest.test_case "inflated length field" `Quick
             test_deflate_inflated_length;
+          Alcotest.test_case "stored-block roundtrip" `Quick
+            test_deflate_stored_roundtrip;
+          Alcotest.test_case "stored-block truncated" `Quick
+            test_deflate_stored_truncated;
           qcheck prop_deflate_roundtrip;
           qcheck prop_deflate_roundtrip_lowentropy;
+          qcheck prop_deflate_never_expands;
         ] );
       ( "edge corpora",
         [
@@ -378,7 +548,10 @@ let () =
           Alcotest.test_case "basic roundtrip" `Quick test_range_coder_basic;
           Alcotest.test_case "order-1 beats order-0" `Quick
             test_range_order1_beats_order0;
+          Alcotest.test_case "fenwick vs oracle across halving" `Quick
+            test_fenwick_differential_halving;
           qcheck prop_range_order0;
           qcheck prop_range_order2;
+          qcheck prop_fenwick_differential;
         ] );
     ]
