@@ -1,4 +1,4 @@
-.PHONY: all check test fuzz fuzz-quick bench bench-json bench-quick bench-codecs perf-gate maybe-perf-gate clean
+.PHONY: all check test fuzz fuzz-quick bench bench-json bench-quick bench-codecs perf-gate maybe-perf-gate server-bench clean
 
 all:
 	dune build
@@ -28,6 +28,18 @@ perf-gate:
 	dune exec bench/main.exe -- --quick --codecs-json > BENCH_compressor.new.json
 	dune exec bench/perf_gate.exe -- BENCH_compressor.json BENCH_compressor.new.json
 	@rm -f BENCH_compressor.new.json
+	$(MAKE) server-bench
+	dune exec bench/perf_gate.exe -- --server BENCH_server.json
+
+# drive the real daemon over loopback TCP with the seeded streaming-heavy
+# mix and write the latency/QPS report to BENCH_server.json; the server
+# half of perf-gate then checks the absolute floors (>= 1000 QPS, zero
+# corruption, zero errors)
+server-bench:
+	dune build bin/mccload.exe
+	dune exec bin/mccload.exe -- --self --quick --clients 16 --requests 8000 \
+	  --stream-pct 70 --chunks 24 --json BENCH_server.json
+	@cat BENCH_server.json
 
 test:
 	dune runtest

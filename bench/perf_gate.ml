@@ -2,6 +2,13 @@
    BENCH_compressor.json and fail when any stage regresses.
 
    Usage:  perf_gate BASELINE.json FRESH.json
+           perf_gate --server BENCH_server.json
+
+   The --server mode gates the network daemon's load report
+   (`mccload --json`) on absolute floors rather than a baseline diff:
+   wall-clock latency on shared runners is too noisy to diff, but
+   "sustains at least 1000 QPS with zero corruption and zero errors"
+   is a property of the implementation, not the runner.
 
    A stage regresses when its fresh wall time exceeds the baseline by
    more than 25% AND by more than a 2 ms absolute floor — the floor
@@ -117,9 +124,75 @@ let parse (s : string) : row list =
   done;
   List.rev !rows
 
+(* ---- --server mode: absolute floors over mccload's JSON report ---- *)
+
+let min_qps = 1000.0
+
+(* Last numeric value of a key: the summary counters come after the
+   echoed "config" object (which reuses "qps" for the requested rate),
+   so the last occurrence is the measured one. *)
+let scan_number (s : string) key =
+  let pat = "\"" ^ key ^ "\":" in
+  let n = String.length s and pn = String.length pat in
+  let rec find i best =
+    if i + pn > n then best
+    else if String.sub s i pn = pat then begin
+      let j = ref (i + pn) in
+      while !j < n && s.[!j] = ' ' do incr j done;
+      let k = ref !j in
+      let is_num c = (c >= '0' && c <= '9') || c = '-' || c = '.' || c = 'e' in
+      while !k < n && is_num s.[!k] do incr k done;
+      if !k > !j then
+        find !k (Some (float_of_string (String.sub s !j (!k - !j))))
+      else find (i + 1) best
+    end
+    else find (i + 1) best
+  in
+  find 0 None
+
+let server_gate path =
+  let s = read_file path in
+  let get key =
+    match scan_number s key with
+    | Some v -> v
+    | None ->
+      Printf.eprintf "perf-gate: no \"%s\" in %s\n" key path;
+      exit 2
+  in
+  let qps = get "qps" in
+  let corrupt = get "corrupt" in
+  let errors = get "errors" in
+  let shed = get "shed" in
+  let failures = ref 0 in
+  let check cond msg =
+    Printf.printf "  [%s] %s\n" (if cond then "ok" else "FAIL") msg;
+    if not cond then incr failures
+  in
+  Printf.printf "server gate on %s:\n" path;
+  check (qps >= min_qps)
+    (Printf.sprintf "sustained %.0f QPS >= %.0f" qps min_qps);
+  check (corrupt = 0.0)
+    (Printf.sprintf "%.0f corrupt responses (every response decode-verified)"
+       corrupt);
+  check (errors = 0.0) (Printf.sprintf "%.0f error responses" errors);
+  (* sheds are legal under overload but the bench run is sized within
+     capacity, so report them without failing *)
+  Printf.printf "  [--] %.0f connections shed\n" shed;
+  if !failures > 0 then begin
+    Printf.printf "\nperf-gate: FAIL — %d server floor(s) missed\n" !failures;
+    exit 1
+  end
+  else print_endline "\nperf-gate: OK — server floors hold"
+
 let () =
+  if Array.length Sys.argv = 3 && Sys.argv.(1) = "--server" then begin
+    server_gate Sys.argv.(2);
+    exit 0
+  end;
   if Array.length Sys.argv <> 3 then begin
-    prerr_endline "usage: perf_gate BASELINE.json FRESH.json";
+    prerr_endline
+      "usage: perf_gate BASELINE.json FRESH.json | perf_gate --server \
+       BENCH_server.json";
     exit 2
   end;
   let base = parse (read_file Sys.argv.(1)) in

@@ -7,6 +7,7 @@
      dune exec bin/mccd.exe -- --requests 500 --budget 131072 --seed 7
      dune exec bin/mccd.exe -- --script reqs.txt  # scripted replay
      dune exec bin/mccd.exe -- --list-codecs      # the registry menu
+     dune exec bin/mccd.exe -- serve --port 7070  # the network daemon
 
    Script lines (blank lines and #-comments ignored):
 
@@ -22,25 +23,10 @@ let main requests seed budget drop faults quick script no_check domains =
   if domains > 0 then Support.Pool.set_shared_domains domains;
   let check = ref (not no_check) in
   let engine = Server.create ~budget_bytes:budget () in
-  let generated =
-    if quick then
-      [ { Corpus.Gen.functions = 12; seed = 1017L; bias16 = false } ]
-    else Server.Workload.default_generated
-  in
   Printf.printf "mccd: publishing the corpus (budget %s)...\n%!"
     (Support.Util.human_bytes budget);
   let t0 = Unix.gettimeofday () in
-  let catalog = Server.Workload.build_catalog ~generated engine in
-  (* generated programs get stable short names for the script mode *)
-  let catalog =
-    List.map
-      (fun (e : Server.Workload.entry) ->
-        if Corpus.Programs.find e.Server.Workload.name <> None then e
-        else
-          { e with Server.Workload.name =
-              Printf.sprintf "gen%d" e.Server.Workload.fn_count })
-      catalog
-  in
+  let catalog = Cli.publish_catalog ~quick engine in
   Printf.printf "mccd: %d programs published in %.1fs\n\n%!"
     (List.length catalog)
     (Unix.gettimeofday () -. t0);
@@ -182,6 +168,48 @@ let main requests seed budget drop faults quick script no_check domains =
     if !ok then 0 else 1
   end
 
+(* ---- serve: the network daemon ---- *)
+
+let serve port domains queue_depth max_sessions budget quick =
+  let engine = Server.create ~shards:(max 1 domains) ~budget_bytes:budget () in
+  Printf.printf "mccd: publishing the corpus (budget %s)...\n%!"
+    (Support.Util.human_bytes budget);
+  let t0 = Unix.gettimeofday () in
+  let catalog = Cli.publish_catalog ~quick engine in
+  Printf.printf "mccd: %d programs published in %.1fs\n%!"
+    (List.length catalog)
+    (Unix.gettimeofday () -. t0);
+  let rows =
+    List.map
+      (fun (e : Server.Workload.entry) ->
+        {
+          Net.Protocol.prog_name = e.Server.Workload.name;
+          prog_digest = e.Server.Workload.digest;
+          fn_count = e.Server.Workload.fn_count;
+        })
+      catalog
+  in
+  let cfg =
+    { Net.Daemon.default_config with port; domains; queue_depth; max_sessions }
+  in
+  let daemon = Net.Daemon.create engine ~catalog:rows cfg in
+  (* graceful drain on SIGINT/SIGTERM: stop accepting, let the workers
+     finish in-flight requests and exit; [run] then returns *)
+  let stop _ = Net.Daemon.request_stop daemon in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  Printf.printf "mccd: serving on 127.0.0.1:%d (%d worker domains, %d conns \
+                 each)\n%!"
+    (Net.Daemon.port daemon) domains queue_depth;
+  Net.Daemon.run daemon;
+  let s = Net.Daemon.stats daemon in
+  Printf.printf
+    "mccd: drained. accepted %d, served %d frames, shed %d, bad frames %d\n"
+    s.Net.Daemon.c_accepted s.Net.Daemon.c_served s.Net.Daemon.c_shed
+    s.Net.Daemon.c_bad_frames;
+  Server.Stats.print (Server.report engine);
+  0
+
 open Cmdliner
 
 let requests =
@@ -217,12 +245,40 @@ let domains =
   Arg.(value & opt int 0 & info [ "domains" ] ~docv:"N"
        ~doc:"Resize the shared pool the engine's store compresses with.")
 
-let cmd =
+let run_term =
+  Term.(
+    const main $ requests $ seed $ budget $ drop $ faults $ quick $ script
+    $ no_check $ domains)
+
+let serve_cmd =
+  let port =
+    Arg.(value & opt int 0 & info [ "port" ] ~docv:"PORT"
+         ~doc:"Listen port on loopback (0 picks an ephemeral port).")
+  in
+  let serve_domains =
+    Arg.(value & opt int 4 & info [ "domains" ] ~docv:"N"
+         ~doc:"Worker event-loop domains (the store is sharded to match).")
+  in
+  let queue_depth =
+    Arg.(value & opt int 64 & info [ "queue-depth" ] ~docv:"N"
+         ~doc:"Max live connections per worker; beyond that new \
+               connections are shed with a typed Overloaded response.")
+  in
+  let max_sessions =
+    Arg.(value & opt int 1024 & info [ "max-sessions" ] ~docv:"N"
+         ~doc:"Bound on the resumable chunked-session table.")
+  in
   Cmd.v
-    (Cmd.info "mccd" ~doc:"Code-delivery server driver" ~man:Cli.man_codecs)
+    (Cmd.info "serve"
+       ~doc:"Run the concurrent network daemon over loopback TCP")
     Term.(
-      const main $ requests $ seed $ budget $ drop $ faults $ quick $ script
-      $ no_check $ domains)
+      const serve $ port $ serve_domains $ queue_depth $ max_sessions $ budget
+      $ quick)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "mccd" ~doc:"Code-delivery server driver" ~man:Cli.man_codecs)
+    ~default:run_term [ serve_cmd ]
 
 let () =
   Cli.handle_list_codecs ();

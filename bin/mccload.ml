@@ -1,0 +1,142 @@
+(* mccload — closed/open-loop load generator for the mccd daemon.
+
+     dune exec bin/mccload.exe -- --self --quick        # spin up a
+         daemon in-process, hammer it, print the latency table
+     dune exec bin/mccload.exe -- --connect 7070        # against a
+         daemon already running (mccd serve --port 7070)
+     dune exec bin/mccload.exe -- --self --json BENCH_server.json
+
+   Closed loop by default (clients fire back-to-back, measuring max
+   sustained QPS); --qps switches to open-loop arrivals where latency
+   includes server-side queueing delay. Every response is verified
+   through its codec's total decoder unless --no-verify. Exit status is
+   1 when any response failed verification. *)
+
+let main connect self clients requests qps seed stream_pct chunks domains
+    server_domains budget quick json no_verify =
+  let load_against port =
+    let cfg =
+      {
+        Net.Load.default_config with
+        port;
+        clients;
+        requests;
+        qps;
+        seed = Int64.of_int seed;
+        stream_pct;
+        chunks_per_session = chunks;
+        domains;
+        verify = not no_verify;
+      }
+    in
+    let report = Net.Load.run cfg in
+    Net.Load.print_human stdout report;
+    (match json with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      Net.Load.print_json oc cfg report;
+      close_out oc;
+      Printf.printf "wrote %s\n" path);
+    if report.Net.Load.corrupt > 0 then 1 else 0
+  in
+  match (connect, self) with
+  | Some port, false -> load_against port
+  | None, true ->
+    (* self-hosted: daemon on an ephemeral port in a spawned domain,
+       load from this one, graceful stop when the run is done *)
+    let engine =
+      Server.create ~shards:(max 1 server_domains) ~budget_bytes:budget ()
+    in
+    Printf.printf "mccload: publishing the corpus...\n%!";
+    let catalog = Cli.publish_catalog ~quick engine in
+    let rows =
+      List.map
+        (fun (e : Server.Workload.entry) ->
+          {
+            Net.Protocol.prog_name = e.Server.Workload.name;
+            prog_digest = e.Server.Workload.digest;
+            fn_count = e.Server.Workload.fn_count;
+          })
+        catalog
+    in
+    let cfg =
+      { Net.Daemon.default_config with port = 0; domains = server_domains }
+    in
+    let daemon = Net.Daemon.create engine ~catalog:rows cfg in
+    let runner = Domain.spawn (fun () -> Net.Daemon.run daemon) in
+    Printf.printf "mccload: daemon on 127.0.0.1:%d (%d worker domains)\n%!"
+      (Net.Daemon.port daemon) server_domains;
+    let code = load_against (Net.Daemon.port daemon) in
+    Net.Daemon.request_stop daemon;
+    Domain.join runner;
+    code
+  | _ ->
+    prerr_endline "mccload: pass exactly one of --connect PORT or --self";
+    124
+
+open Cmdliner
+
+let connect =
+  Arg.(value & opt (some int) None & info [ "connect" ] ~docv:"PORT"
+       ~doc:"Drive a daemon already listening on loopback PORT.")
+
+let self =
+  Arg.(value & flag & info [ "self" ]
+       ~doc:"Spin up a daemon in-process on an ephemeral port and drive it.")
+
+let clients =
+  Arg.(value & opt int 16 & info [ "clients" ] ~docv:"N"
+       ~doc:"Concurrent client connections.")
+
+let requests =
+  Arg.(value & opt int 2000 & info [ "requests" ] ~docv:"N"
+       ~doc:"Total requests across all clients.")
+
+let qps =
+  Arg.(value & opt float 0. & info [ "qps" ] ~docv:"RATE"
+       ~doc:"Open-loop arrival rate; 0 (default) runs closed-loop.")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+let stream_pct =
+  Arg.(value & opt int 25 & info [ "stream-pct" ] ~docv:"PCT"
+       ~doc:"Percent of ops that open a chunked streaming session.")
+
+let chunks =
+  Arg.(value & opt int 6 & info [ "chunks" ] ~docv:"N"
+       ~doc:"Chunks pulled per streaming session.")
+
+let domains =
+  Arg.(value & opt int 4 & info [ "domains" ] ~docv:"N"
+       ~doc:"Domains the client threads are spread over.")
+
+let server_domains =
+  Arg.(value & opt int 4 & info [ "server-domains" ] ~docv:"N"
+       ~doc:"Worker domains of the self-hosted daemon (--self only).")
+
+let budget =
+  Arg.(value & opt int (256 * 1024) & info [ "budget" ] ~docv:"BYTES"
+       ~doc:"Artifact-cache budget of the self-hosted daemon (--self only).")
+
+let quick =
+  Arg.(value & flag & info [ "quick" ]
+       ~doc:"Small generated corpus for the self-hosted daemon (fast CI).")
+
+let json =
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+       ~doc:"Also write the report as JSON to FILE.")
+
+let no_verify =
+  Arg.(value & flag & info [ "no-verify" ]
+       ~doc:"Skip end-to-end decode verification of every response.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "mccload" ~doc:"Load generator for the mccd network daemon")
+    Term.(
+      const main $ connect $ self $ clients $ requests $ qps $ seed
+      $ stream_pct $ chunks $ domains $ server_domains $ budget $ quick $ json
+      $ no_verify)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,15 @@
+(** Minimal blocking mccd client: one loopback TCP connection, one
+    request in flight. Responses are decoded through the shared total
+    decoder — a lying server yields a typed error, not an exception. *)
+
+type t
+
+val connect : port:int -> t
+(** Connect to a daemon on loopback. @raise Unix.Unix_error on refusal. *)
+
+val close : t -> unit
+
+val rpc : t -> Protocol.req -> (Protocol.resp, Support.Decode_error.t) result
+(** Send one request and block for its response. A connection closed
+    by the server (including an [Overloaded] shed followed by close)
+    surfaces the shed frame first, then [Truncated] errors. *)

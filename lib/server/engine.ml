@@ -27,12 +27,12 @@ let default_min_session_cycles = 120_000_000
 
 let default_budget_bytes = 256 * 1024
 
-let create ?pool ?(budget_bytes = default_budget_bytes)
+let create ?pool ?shards ?(budget_bytes = default_budget_bytes)
     ?(rates = Scenario.Delivery.default_rates)
     ?(min_session_cycles = default_min_session_cycles) () =
   let stats = Stats.create () in
   let pool = match pool with Some p -> p | None -> Support.Pool.shared () in
-  { store = Store.create ~pool ~budget_bytes ~stats (); stats; rates;
+  { store = Store.create ~pool ?shards ~budget_bytes ~stats (); stats; rates;
     min_session_cycles }
 
 let publish t ?run_cycles ?input p = Store.publish t.store ?run_cycles ?input p
@@ -170,8 +170,19 @@ let open_session t digest =
   Stats.record_request t.stats;
   Session.open_ t.store t.stats digest
 
+(* The serve path's registry-hygiene gate: a chunked session may only
+   stream a codec the registry marked streamable; everything else is a
+   typed refusal, not an attempt. *)
+let open_session_for t ~codec digest =
+  Stats.record_request t.stats;
+  match Codec.find codec with
+  | None -> Error (`Unknown_codec codec)
+  | Some e when not e.Codec.streamable -> Error (`Not_streamable codec)
+  | Some _ ->
+    Ok (Session.open_artifact t.store t.stats digest (Artifact.by_name codec))
+
 let session_request t sess ~seq name =
   Stats.record_request t.stats;
   Session.request sess ~seq name
 
-let report t = Stats.report t.stats ~cache:(Store.cache t.store)
+let report t = Stats.report t.stats ~cache:(Store.cache_stats t.store)

@@ -6,6 +6,7 @@ type t
 
 val create :
   ?pool:Support.Pool.t ->
+  ?shards:int ->
   ?budget_bytes:int ->
   ?rates:Scenario.Delivery.rates ->
   ?min_session_cycles:int ->
@@ -17,7 +18,10 @@ val create :
     execution so preparation cost amortizes over a believable session,
     as in the bench's Table 2. [pool] (default {!Support.Pool.shared})
     parallelizes compression on multi-core hosts — see {!Store.create};
-    served bytes and counters are identical at any pool size. *)
+    served bytes and counters are identical at any pool size.
+    [shards] (default 1) lock-stripes the artifact cache for the
+    multi-domain daemon — see {!Store.create}; every engine operation
+    is domain-safe, and materialization is single-flight. *)
 
 val publish : t -> ?run_cycles:int -> ?input:string -> Ir.Tree.program -> string
 (** See {!Store.publish}. *)
@@ -66,6 +70,16 @@ val fetch : t -> string -> Profile.t -> response
 
 val open_session : t -> string -> Session.t
 (** Start a streaming chunked session for a paging client. *)
+
+val open_session_for :
+  t -> codec:string -> string ->
+  (Session.t, [ `Unknown_codec of string | `Not_streamable of string ]) result
+(** As {!open_session}, but over a client-named codec. The registry's
+    [streamable] flag is honored: a codec that is not registered
+    streamable is refused with a typed error instead of opening a
+    session it cannot serve. [`Unknown_codec] covers names the registry
+    has never seen.
+    @raise Not_found for unknown digests. *)
 
 val session_request :
   t -> Session.t -> seq:int -> string -> (string, string) result

@@ -46,23 +46,30 @@ let handshake_bytes image =
    published IR — one retry heals cache-level damage; a second failure
    means the source itself can't produce a sane image, so it escapes as
    the typed decode error. *)
-let chunked_image store stats digest =
+let chunked_image store stats digest artifact =
   let decode () =
-    let bytes, _hit = Store.materialize store digest Artifact.chunked_wire in
+    let bytes, _hit = Store.materialize store digest artifact in
     Wire.Chunked.of_bytes bytes
   in
   match decode () with
   | Ok image -> image
   | Error e ->
-    Stats.record_decode_failure stats ~digest Artifact.chunked_wire e;
-    Store.quarantine store digest Artifact.chunked_wire;
+    Stats.record_decode_failure stats ~digest artifact e;
+    Store.quarantine store digest artifact;
     (match decode () with
     | Ok image -> image
     | Error e -> raise (Support.Decode_error.Fail e))
 
-let open_ store stats digest =
+let open_artifact store stats digest artifact =
+  (* the registry's streamable flag is the contract: a codec that is
+     not registered streamable has no function-at-a-time container, so
+     a chunked session over it must be refused, not attempted *)
+  if not (Artifact.streamable artifact) then
+    invalid_arg
+      (Printf.sprintf "Session.open_artifact: codec %S is not streamable"
+         (Artifact.name artifact));
   let m = Store.meta store digest in
-  let image = chunked_image store stats digest in
+  let image = chunked_image store stats digest artifact in
   let hs = handshake_bytes image in
   Stats.record_session_opened stats ~handshake_bytes:hs
     ~wire_equiv_bytes:m.Store.sizes.Scenario.Delivery.wire_bytes;
@@ -74,6 +81,9 @@ let open_ store stats digest =
     served = Hashtbl.create 16;
     delivered = Hashtbl.create 16;
   }
+
+let open_ store stats digest =
+  open_artifact store stats digest Artifact.chunked_wire
 
 let digest t = t.digest
 

@@ -14,6 +14,14 @@ val open_ : Store.t -> Stats.t -> string -> t
     @raise Not_found for unknown digests.
     @raise Support.Decode_error.Fail when even a fresh rebuild fails. *)
 
+val open_artifact : Store.t -> Stats.t -> string -> Artifact.repr -> t
+(** As {!open_}, but streaming a caller-chosen registered artifact.
+    The artifact must be registered [streamable]; {!open_} is
+    [open_artifact ... Artifact.chunked_wire].
+    @raise Invalid_argument when the codec is not streamable — callers
+    on the serve path convert this to the typed [Not_streamable] wire
+    error rather than letting a non-chunked codec corrupt a session. *)
+
 val digest : t -> string
 
 val index : t -> (string * int) list

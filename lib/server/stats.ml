@@ -2,7 +2,14 @@
 
    Mutable counters live in [t]; [report] takes an immutable snapshot
    (folding in the cache's own counters) so callers can diff two
-   snapshots across a workload phase. *)
+   snapshots across a workload phase.
+
+   The network daemon records from several domains at once, so every
+   mutation and the snapshot itself run under one mutex. The critical
+   sections are a handful of integer bumps (and one bounded list
+   splice), far cheaper than the compression/decode work around them,
+   so a single lock never shows up next to the request path it
+   accounts. *)
 
 (* log10 buckets for compression wall-clock: <1ms, <10ms, <100ms, <1s, >=1s *)
 let histo_buckets = 5
@@ -64,6 +71,7 @@ type failure = {
 let max_recent_failures = 8
 
 type t = {
+  mu : Mutex.t;  (* guards every mutable field below; domain-safe *)
   per_repr : (Artifact.repr, repr_counters) Hashtbl.t;
   mutable requests : int;
   mutable publishes : int;
@@ -82,6 +90,7 @@ type t = {
 
 let create () =
   {
+    mu = Mutex.create ();
     per_repr = Hashtbl.create 8;
     requests = 0;
     publishes = 0;
@@ -96,6 +105,16 @@ let create () =
     recent_failures = [];
   }
 
+let locked t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+    Mutex.unlock t.mu;
+    v
+  | exception e ->
+    Mutex.unlock t.mu;
+    raise e
+
 let counters t repr =
   match Hashtbl.find_opt t.per_repr repr with
   | Some c -> c
@@ -104,15 +123,17 @@ let counters t repr =
     Hashtbl.add t.per_repr repr c;
     c
 
-let record_request t = t.requests <- t.requests + 1
-let record_publish t = t.publishes <- t.publishes + 1
+let record_request t = locked t (fun () -> t.requests <- t.requests + 1)
+let record_publish t = locked t (fun () -> t.publishes <- t.publishes + 1)
 
 let record_served t repr bytes =
-  let c = counters t repr in
-  c.responses <- c.responses + 1;
-  c.bytes_served <- c.bytes_served + bytes
+  locked t (fun () ->
+      let c = counters t repr in
+      c.responses <- c.responses + 1;
+      c.bytes_served <- c.bytes_served + bytes)
 
 let record_compress t repr ?(trace = []) seconds =
+  locked t @@ fun () ->
   let c = counters t repr in
   c.compressions <- c.compressions + 1;
   c.compress_s <- c.compress_s +. seconds;
@@ -140,16 +161,19 @@ let record_compress t repr ?(trace = []) seconds =
     trace
 
 let record_session_opened t ~handshake_bytes ~wire_equiv_bytes =
-  t.sessions_opened <- t.sessions_opened + 1;
-  t.session_bytes <- t.session_bytes + handshake_bytes;
-  t.session_wire_equiv <- t.session_wire_equiv + wire_equiv_bytes
+  locked t (fun () ->
+      t.sessions_opened <- t.sessions_opened + 1;
+      t.session_bytes <- t.session_bytes + handshake_bytes;
+      t.session_wire_equiv <- t.session_wire_equiv + wire_equiv_bytes)
 
 let record_chunk t ~bytes ~retransmit =
-  if retransmit then t.retransmits <- t.retransmits + 1
-  else t.chunks_served <- t.chunks_served + 1;
-  t.session_bytes <- t.session_bytes + bytes
+  locked t (fun () ->
+      if retransmit then t.retransmits <- t.retransmits + 1
+      else t.chunks_served <- t.chunks_served + 1;
+      t.session_bytes <- t.session_bytes + bytes)
 
 let record_decode_failure t ~digest repr (e : Support.Decode_error.t) =
+  locked t @@ fun () ->
   t.decode_failures <- t.decode_failures + 1;
   let kind = Support.Decode_error.kind_name e.Support.Decode_error.kind in
   Hashtbl.replace t.failures_by_kind kind
@@ -162,6 +186,9 @@ let record_decode_failure t ~digest repr (e : Support.Decode_error.t) =
       fail_msg = Support.Decode_error.to_string e;
     }
   in
+  (* hard cap: the list can never exceed [max_recent_failures] no
+     matter how many domains are recording — the trim runs under the
+     same lock as the cons *)
   let keep =
     if List.length t.recent_failures >= max_recent_failures then
       List.filteri (fun i _ -> i < max_recent_failures - 1) t.recent_failures
@@ -169,7 +196,8 @@ let record_decode_failure t ~digest repr (e : Support.Decode_error.t) =
   in
   t.recent_failures <- f :: keep
 
-let record_degraded t = t.degraded_fetches <- t.degraded_fetches + 1
+let record_degraded t =
+  locked t (fun () -> t.degraded_fetches <- t.degraded_fetches + 1)
 
 (* ---- snapshot ---- *)
 
@@ -211,7 +239,8 @@ type report = {
   recent_failures : failure list;
 }
 
-let report t ~cache =
+let report t ~cache:cs =
+  locked t @@ fun () ->
   let by_repr =
     List.filter_map
       (fun repr ->
@@ -246,7 +275,6 @@ let report t ~cache =
             })
       (Artifact.all ())
   in
-  let cs = Cache.stats cache in
   {
     requests = t.requests;
     publishes = t.publishes;

@@ -1,7 +1,9 @@
 (** Server observability: cache behaviour, bytes served per
     representation, compression-time histograms, chunked-session
     traffic. The engine records into a mutable {!t}; {!report} takes the
-    immutable snapshot the driver and bench print. *)
+    immutable snapshot the driver and bench print. All recording and
+    the snapshot are domain-safe (one internal mutex), so the network
+    daemon's workers share a single [t]. *)
 
 type t
 
@@ -80,5 +82,9 @@ type report = {
   recent_failures : failure list;  (** newest first, bounded *)
 }
 
-val report : t -> cache:Cache.t -> report
+val report : t -> cache:Cache.stats -> report
+(** Locked snapshot; [cache] is the (possibly shard-merged) cache
+    counters sampled by the store. Safe to call while other domains are
+    recording. *)
+
 val print : report -> unit

@@ -19,7 +19,22 @@
    cache miss for a digest prefetches whatever part of the menu is
    missing. Compression thunks are pure — all Stats/Cache mutation
    happens sequentially afterwards in fixed registry order, so counters
-   and cache contents are deterministic at any pool size. *)
+   and cache contents are deterministic at any pool size.
+
+   Shared-state concurrency (the network daemon's workers hit one store
+   from several domains at once):
+
+   - the cache is lock-striped into [shards] independent LRU shards
+     (key-hash -> shard, each with its own mutex and budget slice), so
+     hits on different artifacts never contend on one lock. The default
+     is a single shard, which is byte- and counter-identical to the
+     historical serial store;
+   - metadata and publish order sit behind one small mutex (lookups are
+     a hashtable probe);
+   - materialization is single-flight: a thundering herd of cold
+     requests for the same (digest, repr) elects one builder — everyone
+     else blocks on the flight's condition variable and shares the one
+     compression. Publish is single-flight per digest the same way. *)
 
 type meta = {
   ir : Ir.Tree.program;
@@ -29,24 +44,51 @@ type meta = {
   fn_names : string list;
 }
 
+type shard = { smu : Mutex.t; cache : Cache.t }
+
+(* One in-flight build (a materialization or a publish). The winner
+   computes, then parks the result here and broadcasts; late arrivals
+   found the flight in the table and wait on [fc] instead of repeating
+   the work. *)
+type flight = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable outcome : (string, exn) result option;
+}
+
 type t = {
-  cache : Cache.t;
+  shards : shard array;
   stats : Stats.t;
   pool : Support.Pool.t option;
+  meta_mu : Mutex.t;   (* guards metas, prefetched, order *)
   metas : (string, meta) Hashtbl.t;
   prefetched : (string, unit) Hashtbl.t;
       (* digests whose menu a miss already prefetched once; bounds the
          recompression blow-up when the budget can't hold a menu *)
+  flights_mu : Mutex.t;
+  flights : (string, flight) Hashtbl.t;
   mutable order : string list;  (* publish order, reversed *)
 }
 
-let create ?pool ~budget_bytes ~stats () =
+let create ?pool ?(shards = 1) ~budget_bytes ~stats () =
+  let shards = max 1 shards in
+  let slice = budget_bytes / shards in
   {
-    cache = Cache.create ~budget_bytes;
+    shards =
+      Array.init shards (fun i ->
+          (* shard 0 absorbs the division remainder so the summed
+             budget is exactly the requested one *)
+          let budget_bytes =
+            if i = 0 then budget_bytes - (slice * (shards - 1)) else slice
+          in
+          { smu = Mutex.create (); cache = Cache.create ~budget_bytes });
     stats;
     pool;
+    meta_mu = Mutex.create ();
     metas = Hashtbl.create 16;
     prefetched = Hashtbl.create 16;
+    flights_mu = Mutex.create ();
+    flights = Hashtbl.create 8;
     order = [];
   }
 
@@ -58,8 +100,58 @@ let parallel_pool t =
 let digest_of_program (p : Ir.Tree.program) =
   Digest.to_hex (Digest.string (Ir.Printer.program_to_string p))
 
-let cache t = t.cache
-let find_meta t digest = Hashtbl.find_opt t.metas digest
+(* ---- locked cache access (striped) ---- *)
+
+let shard_of t key = t.shards.(Hashtbl.hash key mod Array.length t.shards)
+
+let with_shard t key f =
+  let s = shard_of t key in
+  Mutex.lock s.smu;
+  match f s.cache with
+  | v ->
+    Mutex.unlock s.smu;
+    v
+  | exception e ->
+    Mutex.unlock s.smu;
+    raise e
+
+let cache_find t key = with_shard t key (fun c -> Cache.find c key)
+let cache_peek t key = with_shard t key (fun c -> Cache.peek c key)
+let cache_add t key v = with_shard t key (fun c -> Cache.add c key v)
+let cache_remove t key = with_shard t key (fun c -> Cache.remove c key)
+
+let cache_stats t =
+  Array.fold_left
+    (fun (acc : Cache.stats) s ->
+      Mutex.lock s.smu;
+      let cs = Cache.stats s.cache in
+      Mutex.unlock s.smu;
+      {
+        Cache.hits = acc.Cache.hits + cs.Cache.hits;
+        misses = acc.Cache.misses + cs.Cache.misses;
+        evictions = acc.Cache.evictions + cs.Cache.evictions;
+        resident_bytes = acc.Cache.resident_bytes + cs.Cache.resident_bytes;
+        resident_count = acc.Cache.resident_count + cs.Cache.resident_count;
+        budget_bytes = acc.Cache.budget_bytes + cs.Cache.budget_bytes;
+      })
+    {
+      Cache.hits = 0; misses = 0; evictions = 0; resident_bytes = 0;
+      resident_count = 0; budget_bytes = 0;
+    }
+    t.shards
+
+let shard_count t = Array.length t.shards
+
+(* ---- locked metadata access ---- *)
+
+let with_meta_mu t f =
+  Mutex.lock t.meta_mu;
+  let v = f () in
+  Mutex.unlock t.meta_mu;
+  v
+
+let find_meta t digest =
+  with_meta_mu t (fun () -> Hashtbl.find_opt t.metas digest)
 
 let meta t digest =
   match find_meta t digest with
@@ -73,7 +165,57 @@ let size_of (m : meta) repr =
 
 let chunked_bytes m = size_of m Artifact.chunked_wire
 
-let digests t = List.rev t.order
+let digests t = with_meta_mu t (fun () -> List.rev t.order)
+
+(* first caller wins the right (and the duty) to prefetch the menu *)
+let claim_prefetch t digest =
+  with_meta_mu t (fun () ->
+      if Hashtbl.mem t.prefetched digest then false
+      else begin
+        Hashtbl.add t.prefetched digest ();
+        true
+      end)
+
+(* ---- single flight ---- *)
+
+let single_flight t key (build : unit -> string) =
+  Mutex.lock t.flights_mu;
+  match Hashtbl.find_opt t.flights key with
+  | Some fl ->
+    (* join the herd: someone is already building this key *)
+    Mutex.unlock t.flights_mu;
+    Mutex.lock fl.fm;
+    while fl.outcome = None do
+      Condition.wait fl.fc fl.fm
+    done;
+    let r = fl.outcome in
+    Mutex.unlock fl.fm;
+    (match r with
+    | Some (Ok v) -> v
+    | Some (Error e) -> raise e
+    | None -> assert false)
+  | None ->
+    let fl = { fm = Mutex.create (); fc = Condition.create (); outcome = None } in
+    Hashtbl.add t.flights key fl;
+    Mutex.unlock t.flights_mu;
+    let finish r =
+      (* unpublish first: anyone arriving after this point re-checks the
+         cache (the build filled it) instead of joining a dead flight *)
+      Mutex.lock t.flights_mu;
+      Hashtbl.remove t.flights key;
+      Mutex.unlock t.flights_mu;
+      Mutex.lock fl.fm;
+      fl.outcome <- Some r;
+      Condition.broadcast fl.fc;
+      Mutex.unlock fl.fm
+    in
+    (match build () with
+    | v ->
+      finish (Ok v);
+      v
+    | exception e ->
+      finish (Error e);
+      raise e)
 
 (* ---- artifact production ---- *)
 
@@ -97,22 +239,34 @@ let run_batch t digest tasks =
   List.map2
     (fun (repr, _) ((bytes, trace), dt) ->
       Stats.record_compress t.stats repr ~trace dt;
-      Cache.add t.cache (cache_key digest repr) bytes;
+      cache_add t (cache_key digest repr) bytes;
       (repr, bytes))
     tasks results
 
+(* Flight keys live in two namespaces: "mat:" for materialize's
+   whole-miss-path flights and "img:" for the native image builder —
+   materialize(native)'s menu prefetch forces the native view from
+   inside its own flight, so the two must never share a key. *)
+
 let native_image t digest (m : meta) =
-  match Cache.find t.cache (cache_key digest Artifact.native) with
+  match cache_find t (cache_key digest Artifact.native) with
   | Some bytes -> bytes
   | None ->
-    let (bytes, trace), dt =
-      timed (fun () ->
-          Codec.encode (Artifact.codec Artifact.native)
-            (Codec.Source.of_ir m.ir))
-    in
-    Stats.record_compress t.stats Artifact.native ~trace dt;
-    Cache.add t.cache (cache_key digest Artifact.native) bytes;
-    bytes
+    single_flight t ("img:" ^ cache_key digest Artifact.native) @@ fun () ->
+    (* the build re-checks residency without touching hit/miss
+       counters: a flight that lost the cache race just returns the
+       winner's bytes *)
+    (match cache_peek t (cache_key digest Artifact.native) with
+    | Some bytes -> bytes
+    | None ->
+      let (bytes, trace), dt =
+        timed (fun () ->
+            Codec.encode (Artifact.codec Artifact.native)
+              (Codec.Source.of_ir m.ir))
+      in
+      Stats.record_compress t.stats Artifact.native ~trace dt;
+      cache_add t (cache_key digest Artifact.native) bytes;
+      bytes)
 
 (* the shared lazy source sibling codecs encode from; the native view
    goes through the cache so the machine image is built at most once,
@@ -125,47 +279,50 @@ let source_for t digest (m : meta) =
 let materialize t digest repr =
   let m = meta t digest in
   let key = cache_key digest repr in
-  match Cache.find t.cache key with
+  match cache_find t key with
   | Some bytes -> (bytes, true)
   | None ->
-    (match parallel_pool t with
-    | Some _ when not (Hashtbl.mem t.prefetched digest) ->
-      (* first miss on this digest: rebuild the whole missing menu
-         concurrently — the request pays roughly the slowest single
-         compression instead of a serial sum, and sibling
-         representations are warm for the next request *)
-      Hashtbl.add t.prefetched digest ();
-      let src = source_for t digest m in
-      (* force the shared native view before fanning out, so parallel
-         thunks stay pure (no cache/stats mutation from pool lanes) *)
-      ignore (Codec.Source.native src);
-      let missing =
-        List.filter
-          (fun r ->
-            r <> Artifact.native
-            && Cache.find t.cache (cache_key digest r) = None)
-          (Artifact.all ())
-      in
-      ignore
-        (run_batch t digest
-           (List.map
-              (fun r ->
-                (r, fun () -> Codec.encode (Artifact.codec r) src))
-              missing))
-    | _ -> ());
-    (match Cache.find t.cache key with
-    | Some bytes -> (bytes, false)   (* compressed by the prefetch *)
-    | None ->
-      if repr = Artifact.native then (native_image t digest m, false)
-      else begin
+    let bytes =
+      single_flight t ("mat:" ^ key) @@ fun () ->
+      (match parallel_pool t with
+      | Some _ when claim_prefetch t digest ->
+        (* first miss on this digest: rebuild the whole missing menu
+           concurrently — the request pays roughly the slowest single
+           compression instead of a serial sum, and sibling
+           representations are warm for the next request *)
         let src = source_for t digest m in
-        let (bytes, trace), dt =
-          timed (fun () -> Codec.encode (Artifact.codec repr) src)
+        (* force the shared native view before fanning out, so parallel
+           thunks stay pure (no cache/stats mutation from pool lanes) *)
+        ignore (Codec.Source.native src);
+        let missing =
+          List.filter
+            (fun r ->
+              r <> Artifact.native
+              && cache_find t (cache_key digest r) = None)
+            (Artifact.all ())
         in
-        Stats.record_compress t.stats repr ~trace dt;
-        Cache.add t.cache key bytes;
-        (bytes, false)
-      end)
+        ignore
+          (run_batch t digest
+             (List.map
+                (fun r ->
+                  (r, fun () -> Codec.encode (Artifact.codec r) src))
+                missing))
+      | _ -> ());
+      match cache_find t key with
+      | Some bytes -> bytes   (* compressed by the prefetch (or a racer) *)
+      | None ->
+        if repr = Artifact.native then native_image t digest m
+        else begin
+          let src = source_for t digest m in
+          let (bytes, trace), dt =
+            timed (fun () -> Codec.encode (Artifact.codec repr) src)
+          in
+          Stats.record_compress t.stats repr ~trace dt;
+          cache_add t key bytes;
+          bytes
+        end
+    in
+    (bytes, false)
 
 (* ---- fault handling ---- *)
 
@@ -173,7 +330,7 @@ let materialize t digest repr =
    the next materialize for this (digest, repr) rebuilds from the
    metadata's IR, so a corrupted cache entry self-heals while the bad
    bytes can never be served twice. *)
-let quarantine t digest repr = Cache.remove t.cache (cache_key digest repr)
+let quarantine t digest repr = cache_remove t (cache_key digest repr)
 
 (* Fault-injection hook for tests and the driver's --faults mode:
    mutate the cached artifact in place (false when it isn't resident).
@@ -181,10 +338,10 @@ let quarantine t digest repr = Cache.remove t.cache (cache_key digest repr)
    accounting. *)
 let corrupt_cached t digest repr ~f =
   let key = cache_key digest repr in
-  match Cache.peek t.cache key with
+  match cache_peek t key with
   | None -> false
   | Some bytes ->
-    Cache.add t.cache key (f bytes);
+    cache_add t key (f bytes);
     true
 
 (* ---- publish ---- *)
@@ -196,60 +353,67 @@ let estimated_cycles_per_byte = 30
 
 let publish t ?run_cycles ?(input = "") (p : Ir.Tree.program) =
   let digest = digest_of_program p in
-  if Hashtbl.mem t.metas digest then digest
-  else begin
-    let vp = Vm.Codegen.gen_program p in
-    let np = Native.Compile.compile_program vp in
-    let native_img = Native.Mach.encode_program np in
-    let run_cycles =
-      match run_cycles with
-      | Some c -> c
-      | None -> (
-        try (Native.Sim.run ~input np).Native.Sim.cycles
-        with _ -> String.length native_img * estimated_cycles_per_byte)
-    in
-    (* compress the whole registry menu once, timed, to fill the size
-       card the adaptive selector needs; the bytes warm the cache. All
-       source views are prefilled values, so the parallel batch shares
-       them race-free. *)
-    let m0 =
-      {
-        ir = p;
-        sizes =
-          { Scenario.Delivery.native_bytes = 0; gzip_bytes = 0; wire_bytes = 0;
-            brisc_bytes = 0 };
-        sizes_by = [];
-        run_cycles;
-        fn_names = List.map (fun f -> f.Ir.Tree.fname) p.Ir.Tree.funcs;
-      }
-    in
-    let src = Codec.Source.of_ir ?pool:t.pool ~vm:vp ~native:native_img p in
-    let produced =
-      run_batch t digest
-        (List.map
-           (fun r -> (r, fun () -> Codec.encode (Artifact.codec r) src))
-           (Artifact.all ()))
-    in
-    let sizes_by =
-      List.map (fun (r, bytes) -> (Artifact.name r, String.length bytes))
-        produced
-    in
-    let size r = String.length (List.assoc r produced) in
-    let m =
-      {
-        m0 with
-        sizes =
-          {
-            Scenario.Delivery.native_bytes = size Artifact.native;
-            gzip_bytes = size Artifact.gzip_native;
-            wire_bytes = size Artifact.wire;
-            brisc_bytes = size Artifact.brisc;
-          };
-        sizes_by;
-      }
-    in
-    Hashtbl.add t.metas digest m;
-    t.order <- digest :: t.order;
-    Stats.record_publish t.stats;
-    digest
-  end
+  if find_meta t digest <> None then digest
+  else
+    (* concurrent publishes of the same program compress the menu once;
+       the "publish:" prefix keeps the key clear of the cache_key
+       namespace (digest ^ ":" ^ one-char tag) *)
+    single_flight t ("publish:" ^ digest) @@ fun () ->
+    if find_meta t digest <> None then digest
+    else begin
+      let vp = Vm.Codegen.gen_program p in
+      let np = Native.Compile.compile_program vp in
+      let native_img = Native.Mach.encode_program np in
+      let run_cycles =
+        match run_cycles with
+        | Some c -> c
+        | None -> (
+          try (Native.Sim.run ~input np).Native.Sim.cycles
+          with _ -> String.length native_img * estimated_cycles_per_byte)
+      in
+      (* compress the whole registry menu once, timed, to fill the size
+         card the adaptive selector needs; the bytes warm the cache. All
+         source views are prefilled values, so the parallel batch shares
+         them race-free. *)
+      let m0 =
+        {
+          ir = p;
+          sizes =
+            { Scenario.Delivery.native_bytes = 0; gzip_bytes = 0;
+              wire_bytes = 0; brisc_bytes = 0 };
+          sizes_by = [];
+          run_cycles;
+          fn_names = List.map (fun f -> f.Ir.Tree.fname) p.Ir.Tree.funcs;
+        }
+      in
+      let src = Codec.Source.of_ir ?pool:t.pool ~vm:vp ~native:native_img p in
+      let produced =
+        run_batch t digest
+          (List.map
+             (fun r -> (r, fun () -> Codec.encode (Artifact.codec r) src))
+             (Artifact.all ()))
+      in
+      let sizes_by =
+        List.map (fun (r, bytes) -> (Artifact.name r, String.length bytes))
+          produced
+      in
+      let size r = String.length (List.assoc r produced) in
+      let m =
+        {
+          m0 with
+          sizes =
+            {
+              Scenario.Delivery.native_bytes = size Artifact.native;
+              gzip_bytes = size Artifact.gzip_native;
+              wire_bytes = size Artifact.wire;
+              brisc_bytes = size Artifact.brisc;
+            };
+          sizes_by;
+        }
+      in
+      with_meta_mu t (fun () ->
+          Hashtbl.add t.metas digest m;
+          t.order <- digest :: t.order);
+      Stats.record_publish t.stats;
+      digest
+    end

@@ -24,7 +24,9 @@ val chunked_bytes : meta -> int
 
 type t
 
-val create : ?pool:Support.Pool.t -> budget_bytes:int -> stats:Stats.t -> unit -> t
+val create :
+  ?pool:Support.Pool.t -> ?shards:int -> budget_bytes:int -> stats:Stats.t ->
+  unit -> t
 (** [pool] (when its size exceeds 1) parallelizes the expensive paths:
     {!publish} compresses the representation menu concurrently, the
     first cache miss on a digest prefetches the missing menu entries
@@ -33,7 +35,18 @@ val create : ?pool:Support.Pool.t -> budget_bytes:int -> stats:Stats.t -> unit -
     stats/cache mutation is sequential in fixed representation order,
     so counters, cache contents, and artifact bytes are identical at
     any pool size. Without a pool (or with a 1-lane pool) behavior is
-    the original serial one. *)
+    the original serial one.
+
+    [shards] (default 1) lock-stripes the artifact cache into that many
+    independent LRU shards (key-hash routed, budget split evenly), so
+    the network daemon's domains rarely contend on a cache lock. Every
+    store operation is domain-safe at any shard count; materialization
+    and publish are additionally {e single-flight} — concurrent cold
+    requests for the same (digest, repr) elect one builder and share
+    its result, so a thundering herd compresses once. With the default
+    single shard and no concurrency, behavior (bytes, hit/miss
+    counters, eviction order) is identical to the historical serial
+    store. *)
 
 val digest_of_program : Ir.Tree.program -> string
 (** Hex digest of the printed IR — the content address. *)
@@ -58,7 +71,11 @@ val materialize : t -> string -> Artifact.repr -> string * bool
     them. On a miss the artifact is (re)compressed, timed, and cached.
     @raise Not_found for unknown digests. *)
 
-val cache : t -> Cache.t
+val cache_stats : t -> Cache.stats
+(** Cache counters summed across the shards (equals the single cache's
+    stats when [shards = 1]). *)
+
+val shard_count : t -> int
 
 val quarantine : t -> string -> Artifact.repr -> unit
 (** Drop the cached bytes of one artifact (no-op when absent). Called

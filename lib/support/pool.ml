@@ -57,6 +57,12 @@ let create ~domains =
   end;
   t
 
+(* Teardown drains before it joins: a worker that sees [stopped] keeps
+   popping until the queue is empty (see [worker_loop]), so every task
+   queued before the shutdown call still runs. The mutex-guarded swap of
+   the worker list makes the call idempotent and safe to race from
+   several domains — exactly one caller joins each worker, later calls
+   see an empty list and return immediately. *)
 let shutdown t =
   let workers =
     Mutex.lock t.mutex;
@@ -68,6 +74,12 @@ let shutdown t =
     ws
   in
   List.iter Domain.join workers
+
+let is_stopped t =
+  Mutex.lock t.mutex;
+  let s = t.stopped in
+  Mutex.unlock t.mutex;
+  s
 
 let try_pop t =
   Mutex.lock t.mutex;

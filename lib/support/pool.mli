@@ -30,8 +30,15 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map t f xs] is [run_list t (List.map (fun x () -> f x) xs)]. *)
 
 val shutdown : t -> unit
-(** Join the worker domains. Idempotent; the pool degrades to
-    sequential execution afterwards. *)
+(** Drain and join the worker domains: every task already queued still
+    runs before the workers exit. Idempotent (a second call — even a
+    concurrent one from another domain — is a no-op), and the pool
+    degrades to sequential execution afterwards, so late {!run_list}
+    callers still make progress. The daemon's SIGINT/SIGTERM path
+    relies on both properties. *)
+
+val is_stopped : t -> bool
+(** Whether {!shutdown} has been called. *)
 
 val shared : unit -> t
 (** A process-wide pool, created on first use with

@@ -1,0 +1,482 @@
+(* Tests for the network layer: protocol totality, the daemon end to
+   end over real loopback sockets, session resume across reconnects,
+   overload shedding, registry gating on the serve path, and graceful
+   drain. *)
+
+let prog src = Cc.Lower.compile src
+
+let multi_fn_src =
+  "int a(int x) { return x + 1; }\n\
+   int b(int x) { return x * 2; }\n\
+   int c(int x) { return x - 3; }\n\
+   int main() { return a(1) + b(2) + c(3); }"
+
+(* ---- protocol: encode/decode round trips ---- *)
+
+(* encode_* emit the full frame (length prefix included); decode_*
+   take the body after the prefix *)
+let body_of frame = String.sub frame 4 (String.length frame - 4)
+
+let roundtrip_req r =
+  match Net.Protocol.decode_req (body_of (Net.Protocol.encode_req r)) with
+  | Ok r' -> r' = r
+  | Error _ -> false
+
+let roundtrip_resp r =
+  match Net.Protocol.decode_resp (body_of (Net.Protocol.encode_resp r)) with
+  | Ok r' -> r' = r
+  | Error _ -> false
+
+let test_req_roundtrip () =
+  List.iter
+    (fun r -> Alcotest.(check bool) "request round-trips" true (roundtrip_req r))
+    [
+      Net.Protocol.Ping;
+      Net.Protocol.List;
+      Net.Protocol.Fetch { profile = "modem-jit"; digest = "abc123" };
+      Net.Protocol.Open { codec = ""; digest = "abc123"; resume = "" };
+      Net.Protocol.Open { codec = "chunked-wire"; digest = "d"; resume = "s7" };
+      Net.Protocol.Chunk { token = "s0"; seq = 42; name = "main" };
+    ]
+
+let test_resp_roundtrip () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "response round-trips" true (roundtrip_resp r))
+    [
+      Net.Protocol.Pong;
+      Net.Protocol.Catalog [];
+      Net.Protocol.Catalog
+        [
+          { Net.Protocol.prog_name = "wc"; prog_digest = "d1"; fn_count = 3 };
+          { Net.Protocol.prog_name = "gen24"; prog_digest = "d2"; fn_count = 24 };
+        ];
+      Net.Protocol.Artifact
+        { label = "wire+JIT"; codec = "wire"; cache_hit = true;
+          degraded_from = ""; body = String.init 256 Char.chr };
+      Net.Protocol.Artifact
+        { label = "brisc"; codec = "brisc"; cache_hit = false;
+          degraded_from = "wire+JIT"; body = "" };
+      Net.Protocol.Index
+        { token = "s3"; next_seq = 2; rows = [ ("main", 120); ("a", 33) ] };
+      Net.Protocol.Chunk_data "\x00\xff payload";
+      Net.Protocol.Err (Net.Protocol.Bad_session, "unknown token");
+      Net.Protocol.Err (Net.Protocol.Server_error, "");
+      Net.Protocol.Overloaded;
+    ]
+
+(* ---- protocol: hostile input is a typed error, never an exception ---- *)
+
+let decode_fails ?kind body =
+  match Net.Protocol.decode_req body with
+  | Ok _ -> false
+  | Error e -> (
+    match kind with None -> true | Some k -> e.Support.Decode_error.kind = k)
+
+let test_hostile_requests () =
+  let good =
+    body_of (Net.Protocol.encode_req
+               (Net.Protocol.Fetch { profile = "p"; digest = "d" }))
+  in
+  Alcotest.(check bool) "empty input" true
+    (decode_fails ~kind:Support.Decode_error.Bad_magic "");
+  Alcotest.(check bool) "wrong magic" true
+    (decode_fails ~kind:Support.Decode_error.Bad_magic
+       ("XXX" ^ String.sub good 3 (String.length good - 3)));
+  Alcotest.(check bool) "truncated" true
+    (decode_fails (String.sub good 0 (String.length good - 2)));
+  (let corrupt = Bytes.of_string good in
+   Bytes.set corrupt (String.length good - 1)
+     (Char.chr (Char.code good.[String.length good - 1] lxor 1));
+   Alcotest.(check bool) "flipped payload byte fails the CRC" true
+     (decode_fails ~kind:Support.Decode_error.Checksum
+        (Bytes.to_string corrupt)));
+  Alcotest.(check bool) "trailing garbage" true
+    (decode_fails ~kind:Support.Decode_error.Checksum (good ^ "junk"));
+  (* unknown tag inside a correctly sealed frame *)
+  Alcotest.(check bool) "unknown tag" true
+    (decode_fails ~kind:Support.Decode_error.Bad_value
+       (Support.Frame.seal ~magic:Net.Protocol.magic "Znonsense"));
+  (* a length-prefixed string claiming more bytes than the frame has *)
+  let b = Buffer.create 16 in
+  Buffer.add_char b 'F';
+  Support.Util.uleb128 b 1000;
+  Buffer.add_string b "short";
+  Alcotest.(check bool) "oversized string length" true
+    (decode_fails (Support.Frame.seal ~magic:Net.Protocol.magic
+                     (Buffer.contents b)))
+
+let test_hostile_responses () =
+  let check name body =
+    Alcotest.(check bool) name true
+      (match Net.Protocol.decode_resp body with Ok _ -> false | Error _ -> true)
+  in
+  check "empty" "";
+  check "unknown tag"
+    (Support.Frame.seal ~magic:Net.Protocol.magic "qnonsense");
+  check "error code out of domain"
+    (Support.Frame.seal ~magic:Net.Protocol.magic "e\x63\x00");
+  check "cache flag out of domain"
+    (Support.Frame.seal ~magic:Net.Protocol.magic
+       (let b = Buffer.create 16 in
+        Buffer.add_char b 'a';
+        Support.Frame.put_str b "l";
+        Support.Frame.put_str b "wire";
+        Buffer.add_char b '\x07';
+        Support.Frame.put_str b "";
+        Support.Frame.put_str b "x";
+        Buffer.contents b));
+  (* catalog count larger than the remaining frame *)
+  check "oversized catalog count"
+    (Support.Frame.seal ~magic:Net.Protocol.magic
+       (let b = Buffer.create 8 in
+        Buffer.add_char b 'l';
+        Support.Util.uleb128 b 100000;
+        Buffer.contents b))
+
+(* ---- daemon end to end over real sockets ---- *)
+
+type harness = {
+  daemon : Net.Daemon.t;
+  runner : unit Domain.t;
+  digest : string;
+  engine : Server.t;
+}
+
+let start ?(domains = 2) ?(queue_depth = 8) () =
+  let engine = Server.create ~shards:domains () in
+  let digest = Server.publish engine ~run_cycles:1_000_000 (prog multi_fn_src) in
+  let catalog =
+    [ { Net.Protocol.prog_name = "multi"; prog_digest = digest; fn_count = 4 } ]
+  in
+  let cfg =
+    { Net.Daemon.default_config with port = 0; domains; queue_depth }
+  in
+  let daemon = Net.Daemon.create engine ~catalog cfg in
+  let runner = Domain.spawn (fun () -> Net.Daemon.run daemon) in
+  { daemon; runner; digest; engine }
+
+let stop h =
+  Net.Daemon.request_stop h.daemon;
+  Domain.join h.runner
+
+let rpc_ok c req =
+  match Net.Client.rpc c req with
+  | Ok resp -> resp
+  | Error e -> Alcotest.fail (Support.Decode_error.to_string e)
+
+let test_daemon_ping_list_fetch () =
+  let h = start () in
+  Fun.protect ~finally:(fun () -> stop h) @@ fun () ->
+  let c = Net.Client.connect ~port:(Net.Daemon.port h.daemon) in
+  Fun.protect ~finally:(fun () -> Net.Client.close c) @@ fun () ->
+  (match rpc_ok c Net.Protocol.Ping with
+  | Net.Protocol.Pong -> ()
+  | _ -> Alcotest.fail "expected Pong");
+  (match rpc_ok c Net.Protocol.List with
+  | Net.Protocol.Catalog [ row ] ->
+    Alcotest.(check string) "catalog digest" h.digest
+      row.Net.Protocol.prog_digest
+  | _ -> Alcotest.fail "expected one catalog row");
+  (match
+     rpc_ok c
+       (Net.Protocol.Fetch { profile = "modem-jit"; digest = h.digest })
+   with
+  | Net.Protocol.Artifact { codec; body; _ } ->
+    (* round-trip corruption check: the served bytes must decode
+       through the codec the response names *)
+    let e = Codec.find_exn codec in
+    (match Codec.decode e.Codec.codec body with
+    | Ok _ -> ()
+    | Error err ->
+      Alcotest.fail ("served artifact does not decode: "
+                     ^ Support.Decode_error.to_string err))
+  | _ -> Alcotest.fail "expected Artifact");
+  (match
+     rpc_ok c (Net.Protocol.Fetch { profile = "modem-jit"; digest = "nope" })
+   with
+  | Net.Protocol.Err (Net.Protocol.Unknown_name, _) -> ()
+  | _ -> Alcotest.fail "unknown digest must be a typed error");
+  match rpc_ok c (Net.Protocol.Fetch { profile = "never"; digest = h.digest })
+  with
+  | Net.Protocol.Err (Net.Protocol.Unknown_name, _) -> ()
+  | _ -> Alcotest.fail "unknown profile must be a typed error"
+
+let open_session c digest =
+  match
+    rpc_ok c (Net.Protocol.Open { codec = ""; digest; resume = "" })
+  with
+  | Net.Protocol.Index { token; next_seq; rows } -> (token, next_seq, rows)
+  | _ -> Alcotest.fail "expected Index"
+
+let get_chunk c token seq name =
+  match rpc_ok c (Net.Protocol.Chunk { token; seq; name }) with
+  | Net.Protocol.Chunk_data payload -> payload
+  | Net.Protocol.Err (_, m) -> Alcotest.fail ("chunk refused: " ^ m)
+  | _ -> Alcotest.fail "expected Chunk_data"
+
+let test_daemon_streaming_session () =
+  let h = start () in
+  Fun.protect ~finally:(fun () -> stop h) @@ fun () ->
+  let c = Net.Client.connect ~port:(Net.Daemon.port h.daemon) in
+  Fun.protect ~finally:(fun () -> Net.Client.close c) @@ fun () ->
+  let token, next_seq, rows = open_session c h.digest in
+  Alcotest.(check int) "fresh session starts at 0" 0 next_seq;
+  Alcotest.(check bool) "index has rows" true (List.length rows >= 4);
+  List.iteri
+    (fun i (name, size) ->
+      let payload = get_chunk c token i name in
+      Alcotest.(check int) ("index size of " ^ name) size
+        (String.length payload);
+      (* every chunk is a complete, decodable single-function image *)
+      match Wire.decompress payload with
+      | Ok _ -> ()
+      | Error e ->
+        Alcotest.fail ("chunk does not decode: "
+                       ^ Support.Decode_error.to_string e))
+    rows;
+  (* session-level refusals surface as typed wire errors *)
+  (match rpc_ok c (Net.Protocol.Chunk { token; seq = 99; name = "main" }) with
+  | Net.Protocol.Err (Net.Protocol.Bad_seq, _) -> ()
+  | _ -> Alcotest.fail "bad seq must be a typed error");
+  match
+    rpc_ok c (Net.Protocol.Chunk { token = "s999"; seq = 0; name = "main" })
+  with
+  | Net.Protocol.Err (Net.Protocol.Bad_session, _) -> ()
+  | _ -> Alcotest.fail "unknown token must be a typed error"
+
+(* the tentpole resume scenario: kill the TCP connection mid-stream,
+   reconnect, resume by token, and verify the replay table retransmits
+   previously served seqs byte-for-byte *)
+let test_daemon_resume_across_reconnect () =
+  let h = start () in
+  Fun.protect ~finally:(fun () -> stop h) @@ fun () ->
+  let port = Net.Daemon.port h.daemon in
+  let c1 = Net.Client.connect ~port in
+  let token, _, rows = open_session c1 h.digest in
+  let names = Array.of_list (List.map fst rows) in
+  let p0 = get_chunk c1 token 0 names.(0) in
+  let p1 = get_chunk c1 token 1 names.(1) in
+  (* connection dies mid-stream (no goodbye) *)
+  Net.Client.close c1;
+  let c2 = Net.Client.connect ~port in
+  Fun.protect ~finally:(fun () -> Net.Client.close c2) @@ fun () ->
+  (match
+     rpc_ok c2
+       (Net.Protocol.Open { codec = ""; digest = h.digest; resume = token })
+   with
+  | Net.Protocol.Index { token = t'; next_seq; _ } ->
+    Alcotest.(check string) "same session" token t';
+    Alcotest.(check int) "window preserved across reconnect" 2 next_seq
+  | _ -> Alcotest.fail "expected Index on resume");
+  (* replayed seqs come back byte-for-byte *)
+  Alcotest.(check string) "seq 0 retransmitted byte-for-byte" p0
+    (get_chunk c2 token 0 names.(0));
+  Alcotest.(check string) "seq 1 retransmitted byte-for-byte" p1
+    (get_chunk c2 token 1 names.(1));
+  (* and the stream continues where it left off *)
+  let p2 = get_chunk c2 token 2 names.(2) in
+  Alcotest.(check bool) "stream continues" true (String.length p2 > 0);
+  match
+    rpc_ok c2
+      (Net.Protocol.Open { codec = ""; digest = h.digest; resume = "s999" })
+  with
+  | Net.Protocol.Err (Net.Protocol.Bad_session, _) -> ()
+  | _ -> Alcotest.fail "bogus resume token must be a typed error"
+
+(* overload: with every worker at queue_depth, a new connection gets the
+   typed Overloaded frame, and existing connections keep working *)
+let test_daemon_sheds_when_full () =
+  let h = start ~domains:1 ~queue_depth:1 () in
+  Fun.protect ~finally:(fun () -> stop h) @@ fun () ->
+  let port = Net.Daemon.port h.daemon in
+  let c1 = Net.Client.connect ~port in
+  Fun.protect ~finally:(fun () -> Net.Client.close c1) @@ fun () ->
+  (match rpc_ok c1 Net.Protocol.Ping with
+  | Net.Protocol.Pong -> ()
+  | _ -> Alcotest.fail "expected Pong");
+  let c2 = Net.Client.connect ~port in
+  (match Net.Client.rpc c2 Net.Protocol.Ping with
+  | Ok Net.Protocol.Overloaded -> ()
+  | Ok _ -> Alcotest.fail "expected Overloaded shed"
+  | Error e -> Alcotest.fail (Support.Decode_error.to_string e));
+  Net.Client.close c2;
+  (* the resident connection is unaffected by the shed *)
+  (match rpc_ok c1 Net.Protocol.Ping with
+  | Net.Protocol.Pong -> ()
+  | _ -> Alcotest.fail "expected Pong after shed");
+  let s = Net.Daemon.stats h.daemon in
+  Alcotest.(check bool) "shed counted" true (s.Net.Daemon.c_shed >= 1)
+
+(* hostile bytes on the socket: typed error reply, then disconnect —
+   the daemon survives *)
+let test_daemon_rejects_bad_frames () =
+  let h = start () in
+  Fun.protect ~finally:(fun () -> stop h) @@ fun () ->
+  let port = Net.Daemon.port h.daemon in
+  let raw () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    fd
+  in
+  (* garbage with a plausible length prefix *)
+  let fd = raw () in
+  Unix.write_substring fd "\x00\x00\x00\x08AAAAAAAA" 0 12 |> ignore;
+  (match Net.Protocol.read_frame fd with
+  | Ok (Some body) -> (
+    match Net.Protocol.decode_resp body with
+    | Ok (Net.Protocol.Err (Net.Protocol.Bad_request, _)) -> ()
+    | _ -> Alcotest.fail "expected Bad_request for garbage")
+  | _ -> Alcotest.fail "expected an error frame");
+  (match Net.Protocol.read_frame fd with
+  | Ok None -> ()  (* server hung up after the typed error *)
+  | _ -> Alcotest.fail "expected disconnect after bad frame");
+  Unix.close fd;
+  (* a length prefix over the request cap is refused before allocation *)
+  let fd = raw () in
+  Unix.write_substring fd "\x7f\xff\xff\xff" 0 4 |> ignore;
+  (match Net.Protocol.read_frame fd with
+  | Ok (Some body) -> (
+    match Net.Protocol.decode_resp body with
+    | Ok (Net.Protocol.Err (Net.Protocol.Bad_request, _)) -> ()
+    | _ -> Alcotest.fail "expected Bad_request for oversized frame")
+  | _ -> Alcotest.fail "expected an error frame");
+  Unix.close fd;
+  (* the daemon still serves *)
+  let c = Net.Client.connect ~port in
+  Fun.protect ~finally:(fun () -> Net.Client.close c) @@ fun () ->
+  (match rpc_ok c Net.Protocol.Ping with
+  | Net.Protocol.Pong -> ()
+  | _ -> Alcotest.fail "expected Pong after hostile clients");
+  let s = Net.Daemon.stats h.daemon in
+  Alcotest.(check bool) "bad frames counted" true
+    (s.Net.Daemon.c_bad_frames >= 2)
+
+(* registry hygiene on the serve path: every registered codec's
+   streamable flag decides whether a chunked session may open over it *)
+let test_streamable_gating_per_registry_entry () =
+  let engine = Server.create () in
+  let digest = Server.publish engine ~run_cycles:1_000_000 (prog multi_fn_src) in
+  List.iter
+    (fun (e : Codec.entry) ->
+      let name = Codec.name e.Codec.codec in
+      match Server.open_session_for engine ~codec:name digest with
+      | Ok _ ->
+        Alcotest.(check bool) (name ^ " opened because streamable") true
+          e.Codec.streamable
+      | Error (`Not_streamable n) ->
+        Alcotest.(check bool) (name ^ " refused because not streamable") false
+          e.Codec.streamable;
+        Alcotest.(check string) "refusal names the codec" name n
+      | Error (`Unknown_codec _) ->
+        Alcotest.fail (name ^ ": registered codec reported unknown"))
+    (Codec.all ());
+  match Server.open_session_for engine ~codec:"no-such-codec" digest with
+  | Error (`Unknown_codec _) -> ()
+  | _ -> Alcotest.fail "unknown codec must be a typed error"
+
+(* the same gate at the wire level *)
+let test_daemon_open_gating () =
+  let h = start () in
+  Fun.protect ~finally:(fun () -> stop h) @@ fun () ->
+  let c = Net.Client.connect ~port:(Net.Daemon.port h.daemon) in
+  Fun.protect ~finally:(fun () -> Net.Client.close c) @@ fun () ->
+  (match
+     rpc_ok c
+       (Net.Protocol.Open
+          { codec = "wire"; digest = h.digest; resume = "" })
+   with
+  | Net.Protocol.Err (Net.Protocol.Not_streamable, _) -> ()
+  | _ -> Alcotest.fail "non-streamable codec must be refused");
+  match
+    rpc_ok c
+      (Net.Protocol.Open
+         { codec = "no-such-codec"; digest = h.digest; resume = "" })
+  with
+  | Net.Protocol.Err (Net.Protocol.Unknown_name, _) -> ()
+  | _ -> Alcotest.fail "unknown codec must be refused"
+
+(* graceful drain: request_stop is exactly what the SIGINT/SIGTERM
+   handlers call; the daemon must stop accepting and run must return *)
+let test_daemon_drains_on_stop () =
+  let h = start () in
+  let port = Net.Daemon.port h.daemon in
+  let c = Net.Client.connect ~port in
+  (match rpc_ok c Net.Protocol.Ping with
+  | Net.Protocol.Pong -> ()
+  | _ -> Alcotest.fail "expected Pong");
+  Net.Client.close c;
+  stop h;  (* request_stop + join: run returned, workers drained *)
+  (match Net.Client.connect ~port with
+  | c ->
+    (* a connect may still succeed briefly (TCP races a closing
+       listener); the next rpc must observe the shutdown *)
+    (match Net.Client.rpc c Net.Protocol.Ping with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "daemon answered after drain");
+    Net.Client.close c
+  | exception Unix.Unix_error _ -> ());
+  let s = Net.Daemon.stats h.daemon in
+  Alcotest.(check bool) "served before drain" true (s.Net.Daemon.c_served >= 1)
+
+(* the load generator against a live daemon: every response verified,
+   none corrupt *)
+let test_load_generator_end_to_end () =
+  let h = start () in
+  Fun.protect ~finally:(fun () -> stop h) @@ fun () ->
+  let cfg =
+    {
+      Net.Load.default_config with
+      port = Net.Daemon.port h.daemon;
+      clients = 4;
+      requests = 150;
+      domains = 2;
+      stream_pct = 50;
+    }
+  in
+  let r = Net.Load.run cfg in
+  Alcotest.(check int) "all ops sent" 150 r.Net.Load.sent;
+  Alcotest.(check int) "no errors" 0 r.Net.Load.errors;
+  Alcotest.(check int) "no corruption" 0 r.Net.Load.corrupt;
+  Alcotest.(check int) "all ok" 150 r.Net.Load.ok;
+  Alcotest.(check bool) "latencies recorded" true
+    (r.Net.Load.lat_all.Net.Load.count = 150)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "request round-trip" `Quick test_req_roundtrip;
+          Alcotest.test_case "response round-trip" `Quick test_resp_roundtrip;
+          Alcotest.test_case "hostile requests" `Quick test_hostile_requests;
+          Alcotest.test_case "hostile responses" `Quick test_hostile_responses;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "ping, list, fetch" `Quick
+            test_daemon_ping_list_fetch;
+          Alcotest.test_case "streaming session" `Quick
+            test_daemon_streaming_session;
+          Alcotest.test_case "resume across reconnect" `Quick
+            test_daemon_resume_across_reconnect;
+          Alcotest.test_case "sheds when full" `Quick
+            test_daemon_sheds_when_full;
+          Alcotest.test_case "rejects bad frames" `Quick
+            test_daemon_rejects_bad_frames;
+          Alcotest.test_case "drains on stop" `Quick
+            test_daemon_drains_on_stop;
+        ] );
+      ( "gating",
+        [
+          Alcotest.test_case "streamable flag per registry entry" `Quick
+            test_streamable_gating_per_registry_entry;
+          Alcotest.test_case "gate at the wire level" `Quick
+            test_daemon_open_gating;
+        ] );
+      ( "load",
+        [
+          Alcotest.test_case "generator end to end" `Quick
+            test_load_generator_end_to_end;
+        ] );
+    ]

@@ -486,6 +486,97 @@ let test_workload_deterministic () =
   let a = run_once () and b = run_once () in
   Alcotest.(check bool) "same seed, same stream" true (a = b)
 
+(* ---- concurrency: the daemon's shared-state contracts ---- *)
+
+(* four domains hammering one Stats.t: every record lands exactly once
+   and the recent-failures log stays hard-bounded *)
+let test_stats_concurrent_recording () =
+  let stats = Server.Stats.create () in
+  let repr = Server.Artifact.wire in
+  let err =
+    { Support.Decode_error.decoder = "test"; kind = Support.Decode_error.Checksum;
+      pos = 0; msg = "injected" }
+  in
+  let per_domain = 500 and domains = 4 in
+  let pool = Support.Pool.create ~domains in
+  ignore
+    (Support.Pool.run_list pool
+       (List.init domains (fun _ () ->
+            for _ = 1 to per_domain do
+              Server.Stats.record_request stats;
+              Server.Stats.record_served stats repr 10;
+              Server.Stats.record_chunk stats ~bytes:5 ~retransmit:false;
+              Server.Stats.record_decode_failure stats ~digest:"d" repr err
+            done)));
+  Support.Pool.shutdown pool;
+  let cache = Server.Cache.stats (Server.Cache.create ~budget_bytes:1) in
+  let r = Server.Stats.report stats ~cache in
+  let total = domains * per_domain in
+  Alcotest.(check int) "requests" total r.Server.Stats.requests;
+  Alcotest.(check int) "chunks" total r.Server.Stats.chunks_served;
+  Alcotest.(check int) "decode failures" total r.Server.Stats.decode_failures;
+  Alcotest.(check bool) "recent failures hard-capped" true
+    (List.length r.Server.Stats.recent_failures <= 8);
+  let wire =
+    List.find
+      (fun (rr : Server.Stats.repr_report) ->
+        Server.Artifact.name rr.Server.Stats.repr = "wire")
+      r.Server.Stats.by_repr
+  in
+  Alcotest.(check int) "responses" total wire.Server.Stats.responses;
+  Alcotest.(check int) "bytes served" (total * 10)
+    wire.Server.Stats.bytes_served
+
+(* the acceptance scenario: 32 concurrent cold fetches of the same
+   artifact compress exactly once (single-flight), and every caller
+   gets byte-identical results *)
+let test_single_flight_32_cold_fetches () =
+  let e = Server.create ~shards:4 () in
+  let dg = Server.publish e ~run_cycles:1_000_000 (prog multi_fn_src) in
+  let store = Server.store e in
+  let repr = Server.Artifact.wire in
+  let compressions () =
+    match
+      List.find_opt
+        (fun (rr : Server.Stats.repr_report) ->
+          Server.Artifact.name rr.Server.Stats.repr = "wire")
+        (Server.report e).Server.Stats.by_repr
+    with
+    | Some rr -> rr.Server.Stats.compressions
+    | None -> 0
+  in
+  Server.Store.quarantine store dg repr;
+  let before = compressions () in
+  let pool = Support.Pool.create ~domains:4 in
+  let results =
+    Support.Pool.run_list pool
+      (List.init 32 (fun _ () -> fst (Server.Store.materialize store dg repr)))
+  in
+  Support.Pool.shutdown pool;
+  Alcotest.(check int) "32 cold fetches, one materialization" 1
+    (compressions () - before);
+  match results with
+  | first :: rest ->
+    List.iteri
+      (fun i b ->
+        Alcotest.(check bool)
+          (Printf.sprintf "caller %d got identical bytes" (i + 1))
+          true (String.equal b first))
+      rest
+  | [] -> Alcotest.fail "no results"
+
+(* lock striping must not change what is served: a 4-shard store
+   returns the same bytes as the serial 1-shard store *)
+let test_sharded_store_equivalence () =
+  let serve shards =
+    let e = Server.create ~shards () in
+    let dg = Server.publish e ~run_cycles:1_000_000 (prog multi_fn_src) in
+    let r = Server.fetch e dg Server.Profile.modem in
+    (r.Server.label, r.Server.bytes)
+  in
+  Alcotest.(check bool) "same label and bytes at any shard count" true
+    (serve 1 = serve 4)
+
 let () =
   Alcotest.run "server"
     [
@@ -553,5 +644,14 @@ let () =
         [
           Alcotest.test_case "end to end" `Slow test_workload_end_to_end;
           Alcotest.test_case "deterministic" `Slow test_workload_deterministic;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "stats recording from 4 domains" `Quick
+            test_stats_concurrent_recording;
+          Alcotest.test_case "single-flight on 32 cold fetches" `Quick
+            test_single_flight_32_cold_fetches;
+          Alcotest.test_case "sharded store equivalence" `Quick
+            test_sharded_store_equivalence;
         ] );
     ]

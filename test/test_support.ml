@@ -233,6 +233,30 @@ let test_pool_sequential_degrade () =
   Alcotest.(check (list int)) "runs sequentially after shutdown" [ 5 ]
     (Support.Pool.run_list p [ (fun () -> 5) ])
 
+(* the daemon's SIGINT/SIGTERM teardown path: shutdown must be
+   idempotent, safe to race from several domains, and leave the pool
+   usable (sequentially) for stragglers *)
+let test_pool_shutdown_teardown () =
+  let p = Support.Pool.create ~domains:3 in
+  Alcotest.(check bool) "fresh pool not stopped" false
+    (Support.Pool.is_stopped p);
+  Alcotest.(check (list int)) "work completes" (List.init 16 (fun i -> i * 2))
+    (Support.Pool.run_list p (List.init 16 (fun i () -> i * 2)));
+  Support.Pool.shutdown p;
+  Alcotest.(check bool) "stopped" true (Support.Pool.is_stopped p);
+  Support.Pool.shutdown p;
+  Alcotest.(check bool) "double shutdown is a no-op" true
+    (Support.Pool.is_stopped p);
+  let p2 = Support.Pool.create ~domains:3 in
+  let shutters =
+    List.init 3 (fun _ -> Domain.spawn (fun () -> Support.Pool.shutdown p2))
+  in
+  List.iter Domain.join shutters;
+  Alcotest.(check bool) "concurrent shutdowns all settle" true
+    (Support.Pool.is_stopped p2);
+  Alcotest.(check (list int)) "late caller degrades to sequential" [ 9 ]
+    (Support.Pool.run_list p2 [ (fun () -> 9) ])
+
 (* ---- Prng ---- *)
 
 let test_prng_deterministic () =
@@ -373,6 +397,8 @@ let () =
           Alcotest.test_case "exception propagation" `Quick test_pool_exception;
           Alcotest.test_case "sequential degrade" `Quick
             test_pool_sequential_degrade;
+          Alcotest.test_case "shutdown teardown" `Quick
+            test_pool_shutdown_teardown;
         ] );
       ( "prng",
         [
