@@ -1,4 +1,4 @@
-.PHONY: all check test fuzz fuzz-quick bench bench-json bench-quick bench-codecs perf-gate maybe-perf-gate server-bench clean
+.PHONY: all check test fuzz fuzz-quick bench bench-json bench-quick bench-codecs perf-gate maybe-perf-gate server-bench tune policy-check clean
 
 all:
 	dune build
@@ -8,9 +8,11 @@ all:
 # maybe-perf-gate (opt-in via PERF_GATE=1) compares stage wall times
 # against the committed baseline BEFORE bench-codecs overwrites it;
 # bench-codecs proves every registered codec encodes+decodes and tracks
-# the per-stage matrix; the suite itself (one `dune runtest`) then
-# includes the full 10k-iteration fuzz layer and the differential tests
-check: fuzz-quick maybe-perf-gate bench-codecs
+# the per-stage matrix; policy-check validates the committed serving
+# policy against the registry and smoke-runs the tuner; the suite
+# itself (one `dune runtest`) then includes the full 10k-iteration
+# fuzz layer and the differential tests
+check: fuzz-quick maybe-perf-gate bench-codecs policy-check
 	dune build && dune runtest
 
 # off by default (timings on shared runners are noisy); opt in with
@@ -71,6 +73,18 @@ bench-quick:
 bench-codecs:
 	dune exec bench/main.exe -- --quick --codecs-json > BENCH_compressor.json
 	@cat BENCH_compressor.json
+
+# regenerate the committed serving-policy table: search the registry's
+# (codec x mode) grid per corpus point against each client profile's
+# modelled total delivery time and write the argmins to POLICY.tune
+tune:
+	dune exec bin/mcctune.exe -- -o POLICY.tune
+
+# validate the committed table (parses, current version, references
+# only registered whole-image codecs) and smoke-run the tuner on two
+# corpus points so a search-path regression fails here, not in serving
+policy-check:
+	dune exec bin/mcctune.exe -- check POLICY.tune --smoke
 
 clean:
 	dune clean

@@ -569,8 +569,13 @@ let best_of ~runs f =
         if y.Codec.wall_s < x.Codec.wall_s then y else x)
       a b
   in
-  let first = f () in
-  let rec go best n = if n = 0 then best else go (min_stages best (f ())) (n - 1) in
+  (* start every run from a settled heap: earlier codecs in the same
+     process leave major-GC debt behind, and a collection slice landing
+     inside a timed stage shows up as a phantom 5-10x regression that
+     min-of-runs cannot dodge (all runs in the indebted process pay it) *)
+  let run () = Gc.full_major (); f () in
+  let first = run () in
+  let rec go best n = if n = 0 then best else go (min_stages best (run ())) (n - 1) in
   go first (runs - 1)
 
 (* every registered codec encoded (and its output decoded) from one
@@ -581,9 +586,9 @@ let codec_rows p =
     (fun (e : Codec.entry) ->
       let c = e.Codec.codec in
       let bytes, _ = Codec.encode c src in
-      let enc = best_of ~runs:3 (fun () -> snd (Codec.encode c src)) in
+      let enc = best_of ~runs:5 (fun () -> snd (Codec.encode c src)) in
       let dec =
-        best_of ~runs:3 (fun () ->
+        best_of ~runs:5 (fun () ->
             match Codec.decode c bytes with Ok (_, tr) -> tr | Error _ -> [])
       in
       (c, bytes, enc, dec))
@@ -596,14 +601,29 @@ let codec_point_json ?(indent = "    ") p =
   add "%s{\"label\": \"%s\", \"codecs\": [\n" indent (json_escape p.label);
   List.iteri
     (fun i (c, bytes, enc, dec) ->
+      (* the ratio/throughput frontier the perf gate holds: bytes out
+         over the pipeline's input footprint, and end-to-end encode
+         rate over the best-of-runs stage walls *)
+      let in0 =
+        match enc with s :: _ -> s.Codec.bytes_in | [] -> String.length bytes
+      in
+      let enc_wall = List.fold_left (fun a s -> a +. s.Codec.wall_s) 0.0 enc in
+      let ratio =
+        if in0 > 0 then float_of_int (String.length bytes) /. float_of_int in0
+        else 1.0
+      in
+      let enc_mb_s =
+        if enc_wall > 1e-9 then float_of_int in0 /. enc_wall /. 1e6 else 0.0
+      in
       add
-        "%s  {\"name\": \"%s\", \"tag\": \"%s\", \"bytes\": %d,\n\
+        "%s  {\"name\": \"%s\", \"tag\": \"%s\", \"bytes\": %d, \
+         \"ratio\": %.4f, \"encode_mb_s\": %.2f,\n\
          %s   \"encode_stages\": [%s],\n\
          %s   \"decode_stages\": [%s]}%s\n"
         indent
         (json_escape (Codec.name c))
         (json_escape (Codec.tag c))
-        (String.length bytes) indent
+        (String.length bytes) ratio enc_mb_s indent
         (String.concat ", " (List.map stage_json enc))
         indent
         (String.concat ", " (List.map stage_json dec))

@@ -1,5 +1,6 @@
 (* Perf gate: compare a fresh `--codecs-json` run against the committed
-   BENCH_compressor.json and fail when any stage regresses.
+   BENCH_compressor.json and fail when any stage regresses — and hold
+   the ratio/throughput frontier for the bit-optimal codecs.
 
    Usage:  perf_gate BASELINE.json FRESH.json
            perf_gate --server BENCH_server.json
@@ -16,6 +17,13 @@
    noise) from tripping the gate; the ratio protects the stages the
    kernels of DESIGN.md §10 are accountable for. Stages present only on
    one side (renames, new codecs) warn but do not fail.
+
+   Sizes are deterministic, so they get a harder rule than walls: a
+   `-opt` codec exists only to buy ratio with encode time, and any
+   byte of growth on any point means the optimal parse or its cost
+   model got worse — fail on a single byte, no tolerance. Other codecs'
+   sizes are reported but not gated (their parses are pinned by the
+   golden-digest tests instead).
 
    The input is this repo's own fixed-format bench output, so this is a
    purpose-built scanner — the container has no JSON library, and the
@@ -45,10 +53,16 @@ type row = {
   wall : float;
 }
 
-let parse (s : string) : row list =
+(* artifact size per (point label, codec name): the "bytes" key of each
+   codec row (the nested stage objects use "bytes_in"/"bytes_out", so
+   the bare key is unambiguous) *)
+type size_row = { spoint : string; scodec : string; bytes : float }
+
+let parse (s : string) : row list * size_row list =
   let n = String.length s in
   let i = ref 0 in
   let rows = ref [] in
+  let sizes = ref [] in
   let point = ref "" and codec = ref "" and dir = ref "" in
   let pending_stage = ref None in
   let occs : (string * string * string * string, int) Hashtbl.t =
@@ -103,6 +117,8 @@ let parse (s : string) : row list =
         match (key, sval, fval) with
         | "label", Some v, _ -> point := v
         | "name", Some v, _ -> codec := v
+        | "bytes", _, Some b ->
+          sizes := { spoint = !point; scodec = !codec; bytes = b } :: !sizes
         | ("encode_stages" | "decode_stages"), _, _ -> dir := key
         | "stage", Some v, _ -> pending_stage := Some v
         | "wall_s", _, Some w -> (
@@ -122,7 +138,7 @@ let parse (s : string) : row list =
     end
     else incr i
   done;
-  List.rev !rows
+  (List.rev !rows, List.rev !sizes)
 
 (* ---- --server mode: absolute floors over mccload's JSON report ---- *)
 
@@ -195,8 +211,8 @@ let () =
        BENCH_server.json";
     exit 2
   end;
-  let base = parse (read_file Sys.argv.(1)) in
-  let fresh = parse (read_file Sys.argv.(2)) in
+  let base, base_sizes = parse (read_file Sys.argv.(1)) in
+  let fresh, fresh_sizes = parse (read_file Sys.argv.(2)) in
   if base = [] then begin
     Printf.eprintf "perf-gate: no stages in baseline %s\n" Sys.argv.(1);
     exit 2
@@ -236,12 +252,47 @@ let () =
           (if f.dir = "encode_stages" then "enc" else "dec")
           f.stage "-" (f.wall *. 1e3) "new")
     fresh;
-  if !regressions > 0 then begin
-    Printf.printf
-      "\nperf-gate: FAIL — %d stage(s) regressed more than %.0f%% (and %g ms)\n"
-      !regressions
-      ((tolerance -. 1.0) *. 100.0)
-      (floor_s *. 1e3);
+  (* the ratio side of the frontier: -opt codecs may never grow *)
+  let is_opt name =
+    let n = String.length name in
+    n >= 4 && String.sub name (n - 4) 4 = "-opt"
+  in
+  let ratio_regressions = ref 0 in
+  Printf.printf "\n%-14s %-14s %10s %10s\n" "point" "codec" "base_B" "fresh_B";
+  List.iter
+    (fun (b : size_row) ->
+      match
+        List.find_opt
+          (fun f -> f.spoint = b.spoint && f.scodec = b.scodec)
+          fresh_sizes
+      with
+      | None ->
+        Printf.printf "%-14s %-14s %10.0f %10s\n" b.spoint b.scodec b.bytes
+          "missing"
+      | Some f ->
+        let gated = is_opt b.scodec in
+        let bad = gated && f.bytes > b.bytes in
+        if bad then incr ratio_regressions;
+        Printf.printf "%-14s %-14s %10.0f %10.0f%s\n" b.spoint b.scodec
+          b.bytes f.bytes
+          (if bad then "  RATIO REGRESSION"
+           else if gated then "  (gated)"
+           else ""))
+    base_sizes;
+  if !regressions > 0 || !ratio_regressions > 0 then begin
+    if !regressions > 0 then
+      Printf.printf
+        "\nperf-gate: FAIL — %d stage(s) regressed more than %.0f%% (and %g ms)\n"
+        !regressions
+        ((tolerance -. 1.0) *. 100.0)
+        (floor_s *. 1e3);
+    if !ratio_regressions > 0 then
+      Printf.printf
+        "\nperf-gate: FAIL — %d -opt codec size(s) grew (ratio floor is \
+         zero-tolerance)\n"
+        !ratio_regressions;
     exit 1
   end
-  else print_endline "\nperf-gate: OK — no stage regressed beyond tolerance"
+  else
+    print_endline
+      "\nperf-gate: OK — no stage regressed beyond tolerance, -opt ratios held"

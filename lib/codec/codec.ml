@@ -183,13 +183,17 @@ let wire_bundle_codec =
           (txt, [ st "unbundle" (String.length bundle) (String.length txt) dt ])))
 
 (* The final entropy stage of the wire pipeline, tagged into the stream
-   ([D] / [A<order>]) so decode is self-describing: either final codec
-   decodes either tag. *)
+   ([D] / [A<order>] / [L]) so decode is self-describing: any final
+   codec decodes any tag. *)
 let final_decode body =
   Support.Decode_error.guard ~decoder:"wire" (fun () ->
       let name =
-        if String.length body > 0 && body.[0] = 'A' then "range-decode"
-        else "inflate"
+        if String.length body = 0 then "inflate"
+        else
+          match body.[0] with
+          | 'A' -> "range-decode"
+          | 'L' -> "lza-decode"
+          | _ -> "inflate"
       in
       let bundle, dt = timed (fun () -> Wire.unwrap_final_stage_exn body) in
       (bundle, [ st name (String.length body) (String.length bundle) dt ]))
@@ -221,6 +225,23 @@ let final_range_codec ~order =
               (String.length z) dt ]))
     ~decode:final_decode
 
+(* The ratio-maximal final stage: try the order-2 range coder and the
+   LZ+range token stream ({!Zip.Lza}) and keep the smaller, so this
+   codec's output never exceeds wire+range's. The tag byte inside the
+   body records which one won; [final_decode] dispatches on it. *)
+let final_range_opt_codec =
+  make ~name:"final-range-opt" ~tag:"L"
+    ~encode:(fun src ->
+      let bundle = Source.payload src in
+      let z, dt =
+        timed (fun () ->
+            let a = Wire.apply_final_stage (Wire.Arith 2) bundle in
+            let b = Wire.apply_final_stage Wire.Lz_arith bundle in
+            if String.length b < String.length a then b else a)
+      in
+      (z, [ st "range-opt" (String.length bundle) (String.length z) dt ]))
+    ~decode:final_decode
+
 let crc_codec =
   make ~name:"crc32" ~tag:"+"
     ~encode:(fun src ->
@@ -242,6 +263,44 @@ let wire_range_codec =
   compose ~name:"wire+range" ~tag:"r"
     (compose wire_bundle_codec (final_range_codec ~order:2))
     crc_codec
+
+let wire_range_opt_codec =
+  compose ~name:"wire+range-opt" ~tag:"R"
+    (compose wire_bundle_codec final_range_opt_codec)
+    crc_codec
+
+(* Bit-optimal parse under the block's own Huffman costs; both the
+   lazy and the optimal parse are encoded and the smaller kept, so the
+   output never exceeds [deflate]'s and decodes with the same
+   inflater. *)
+let deflate_opt_codec =
+  make ~name:"deflate-opt" ~tag:"Z"
+    ~encode:(fun src ->
+      let s = Source.payload src in
+      let orig_len = String.length s in
+      let (seed, opt), dt1 =
+        timed (fun () ->
+            let seed = Zip.Lz77.tokenize s in
+            (seed, Zip.Deflate.tokenize_opt ~seed s))
+      in
+      let tb = token_bytes opt in
+      let z, dt2 =
+        timed (fun () ->
+            let a =
+              Zip.Deflate.encode_tokens ~source:s ~packed:true ~orig_len seed
+            in
+            let b =
+              Zip.Deflate.encode_tokens ~source:s ~packed:true ~orig_len opt
+            in
+            if String.length b < String.length a then b else a)
+      in
+      (z,
+       [ st "lz77-opt" orig_len tb dt1;
+         st "huffman" tb (String.length z) dt2 ]))
+    ~decode:(fun z ->
+      Support.Decode_error.guard ~decoder:"deflate" (fun () ->
+          let s, dt = timed (fun () -> Zip.Deflate.decompress_exn z) in
+          (s, [ st "inflate" (String.length z) (String.length s) dt ])))
 
 let chunked_codec =
   make ~name:"chunked-wire" ~tag:"c"
@@ -350,4 +409,8 @@ let () =
   register
     ~modes:[ Scenario.Delivery.Brisc_jit; Scenario.Delivery.Brisc_interp ]
     brisc_codec;
-  register deflate_codec
+  register deflate_codec;
+  (* the -opt pair rides at the end so existing entries keep winning
+     score ties (the fold keeps the earlier entry on equal totals) *)
+  register ~modes:[ Scenario.Delivery.Gzipped_native ] deflate_opt_codec;
+  register ~modes:[ Scenario.Delivery.Wire_format ] wire_range_opt_codec

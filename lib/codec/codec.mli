@@ -93,6 +93,16 @@ val wire_codec : t
 val wire_range_codec : t
 (** wire with an order-2 range coder final stage. *)
 
+val deflate_opt_codec : t
+(** {!deflate_codec} with the bit-optimal LZ77 parse
+    ({!Zip.Deflate.tokenize_opt}); never larger, same inflater. *)
+
+val wire_range_opt_codec : t
+(** wire with the ratio-maximal final stage: the smaller of the
+    order-2 range coder and the bit-optimal LZ + range-coded token
+    stream ({!Zip.Lza}); never larger than {!wire_range_codec}, and
+    the self-describing stage tag means either decodes both. *)
+
 val chunked_codec : t
 (** Function-at-a-time wire container. *)
 

@@ -32,6 +32,8 @@ let native = by_name "native"
 let gzip_native = by_name "gzip+native"
 let wire = by_name "wire"
 let wire_range = by_name "wire+range"
+let wire_range_opt = by_name "wire+range-opt"
+let deflate_opt = by_name "deflate-opt"
 let chunked_wire = by_name "chunked-wire"
 let brisc = by_name "brisc"
 

@@ -85,6 +85,8 @@ type t = {
   failures_by_kind : (string, int) Hashtbl.t;
   mutable degraded_fetches : int;    (* fetches served by a lower-ranked
                                         repr after the chosen one failed *)
+  mutable policy_hits : int;         (* fetches answered by the tuned
+                                        serving-policy table *)
   mutable recent_failures : failure list;  (* newest first, bounded *)
 }
 
@@ -102,6 +104,7 @@ let create () =
     decode_failures = 0;
     failures_by_kind = Hashtbl.create 8;
     degraded_fetches = 0;
+    policy_hits = 0;
     recent_failures = [];
   }
 
@@ -199,6 +202,9 @@ let record_decode_failure t ~digest repr (e : Support.Decode_error.t) =
 let record_degraded t =
   locked t (fun () -> t.degraded_fetches <- t.degraded_fetches + 1)
 
+let record_policy_hit t =
+  locked t (fun () -> t.policy_hits <- t.policy_hits + 1)
+
 (* ---- snapshot ---- *)
 
 (* one pipeline stage's accumulated totals in a snapshot *)
@@ -236,6 +242,7 @@ type report = {
   decode_failures : int;
   failures_by_kind : (string * int) list;
   degraded_fetches : int;
+  policy_hits : int;
   recent_failures : failure list;
 }
 
@@ -293,6 +300,7 @@ let report t ~cache:cs =
       List.sort compare
         (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.failures_by_kind []);
     degraded_fetches = t.degraded_fetches;
+    policy_hits = t.policy_hits;
     recent_failures = t.recent_failures;
   }
 
@@ -330,6 +338,9 @@ let print (r : report) =
             s.wall_s)
         rr.stages)
     r.by_repr;
+  if r.policy_hits > 0 then
+    Printf.printf "tuned policy        %d fetches served by table lookup\n"
+      r.policy_hits;
   if r.decode_failures > 0 then begin
     Printf.printf
       "artifact faults     %d decode failures quarantined, %d fetches degraded\n"

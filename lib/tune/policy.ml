@@ -1,0 +1,112 @@
+(* The serving-policy table: the autotuner's output, a versioned
+   line-based text file mapping (client profile, program digest) to the
+   registered codec that minimized modelled total delivery time on this
+   host. The engine consults it before live scoring, so retuning is an
+   offline job (`make tune`) whose result is reviewable in a diff.
+
+   Format, one record per line, space-separated:
+
+     mcc-policy 1
+     pick <profile> <digest> <codec> <predicted_ms> <pname>
+
+   [pname] is a human label for review; lookups key on (profile,
+   digest) only. Blank lines and [#] comments are ignored. *)
+
+let version = 1
+
+type pick = {
+  profile : string;
+  digest : string;
+  codec : string;
+  predicted_ms : float;
+  pname : string;
+}
+
+type t = { picks : pick list }
+
+let empty = { picks = [] }
+let picks t = t.picks
+
+let add t p =
+  {
+    picks =
+      List.filter
+        (fun q -> not (q.profile = p.profile && q.digest = p.digest))
+        t.picks
+      @ [ p ];
+  }
+
+let lookup t ~profile ~digest =
+  List.find_opt (fun p -> p.profile = profile && p.digest = digest) t.picks
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "mcc-policy %d\n" version);
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "pick %s %s %s %.3f %s\n" p.profile p.digest p.codec
+           p.predicted_ms p.pname))
+    t.picks;
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let lines =
+    List.filteri
+      (fun _ l -> String.trim l <> "" && not (String.length l > 0 && l.[0] = '#'))
+      lines
+  in
+  match lines with
+  | [] -> Error "empty policy"
+  | header :: rest -> (
+    match String.split_on_char ' ' (String.trim header) with
+    | [ "mcc-policy"; v ] when int_of_string_opt v = Some version ->
+      let rec go acc i = function
+        | [] -> Ok { picks = List.rev acc }
+        | line :: rest -> (
+          match String.split_on_char ' ' (String.trim line) with
+          | [ "pick"; profile; digest; codec; ms; pname ] -> (
+            match float_of_string_opt ms with
+            | Some predicted_ms when predicted_ms >= 0.0 ->
+              go
+                ({ profile; digest; codec; predicted_ms; pname } :: acc)
+                (i + 1) rest
+            | _ -> Error (Printf.sprintf "line %d: bad predicted_ms %S" i ms))
+          | "pick" :: _ -> Error (Printf.sprintf "line %d: malformed pick" i)
+          | w :: _ -> Error (Printf.sprintf "line %d: unknown record %S" i w)
+          | [] -> go acc (i + 1) rest)
+      in
+      go [] 2 rest
+    | [ "mcc-policy"; v ] -> Error ("unsupported policy version " ^ v)
+    | _ -> Error "missing mcc-policy header")
+
+(* The table is only trustworthy if every pick still names a codec the
+   registry serves whole-image; a rename or removal must fail loudly at
+   load/check time, not at request time. *)
+let validate t =
+  let rec go = function
+    | [] -> Ok ()
+    | p :: rest -> (
+      match Codec.find p.codec with
+      | None -> Error (Printf.sprintf "pick %s/%s: unknown codec %s" p.profile p.pname p.codec)
+      | Some e when e.Codec.modes = [] ->
+        Error
+          (Printf.sprintf "pick %s/%s: codec %s has no delivery modes"
+             p.profile p.pname p.codec)
+      | Some _ -> go rest)
+  in
+  go t.picks
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load path =
+  match
+    In_channel.with_open_bin path (fun ic -> In_channel.input_all ic)
+  with
+  | s -> Result.bind (of_string s) (fun t -> Result.map (fun () -> t) (validate t))
+  | exception Sys_error e -> Error e

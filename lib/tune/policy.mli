@@ -1,0 +1,40 @@
+(** The autotuner's serving-policy table.
+
+    A versioned, line-based text format ([mcc-policy 1]) mapping
+    (client profile, program digest) to the registered codec that
+    minimized modelled total delivery time when [mcctune] last ran.
+    The engine consults it before live scoring ({!Server.Engine}
+    accepts one at creation); [make tune] regenerates it, and [make
+    check] validates the committed table against the registry. *)
+
+val version : int
+
+type pick = {
+  profile : string;       (** client profile name, e.g. ["modem-jit"] *)
+  digest : string;        (** program digest, as {!Server.Store} keys it *)
+  codec : string;         (** registered codec name to serve *)
+  predicted_ms : float;   (** modelled total delivery time at tune time *)
+  pname : string;         (** human label of the corpus point (review aid) *)
+}
+
+type t
+
+val empty : t
+val picks : t -> pick list
+
+val add : t -> pick -> t
+(** Replaces any existing pick for the same (profile, digest). *)
+
+val lookup : t -> profile:string -> digest:string -> pick option
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}; rejects unknown versions and malformed
+    records with a line-numbered message. Does not {!validate}. *)
+
+val validate : t -> (unit, string) result
+(** Every pick must name a registered codec with delivery modes. *)
+
+val save : string -> t -> unit
+val load : string -> (t, string) result
+(** {!of_string} + {!validate} on a file. *)

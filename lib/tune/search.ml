@@ -1,0 +1,118 @@
+(* The autotuner's search: per corpus point, exercise the registry's
+   whole grid — every registered front codec, entropy stage and parse
+   strategy is a distinct (codec, mode) candidate — size each artifact
+   by actually encoding it, and score each candidate for each client
+   profile with the same total-time model the live selector uses
+   ([Scenario.Delivery.total_time_for]). The argmin per (client, point)
+   becomes a policy pick.
+
+   This module deliberately does not depend on [lib/server] (the server
+   depends on it): the client record and feasibility rule mirror
+   [Server.Profile], and the digest mirrors [Server.Store]'s program
+   key (MD5 of the printed IR), so the emitted table keys line up with
+   a live engine's. *)
+
+type client = {
+  cname : string;
+  link_bps : float;
+  can_jit : bool;
+  accepts_native : bool;
+  memory_bytes : int option;
+}
+
+let client ?(can_jit = true) ?(accepts_native = false) ?memory_bytes cname
+    ~link_bps =
+  { cname; link_bps; can_jit; accepts_native; memory_bytes }
+
+(* the driver's default population, mirroring [Server.Profile] *)
+let default_clients =
+  [
+    client "modem-jit" ~link_bps:Scenario.Delivery.modem_bps;
+    client "lan-jit" ~link_bps:Scenario.Delivery.lan_bps;
+    client "embedded" ~link_bps:Scenario.Delivery.isdn_bps ~can_jit:false
+      ~memory_bytes:(32 * 1024);
+    client "datacenter" ~link_bps:Scenario.Delivery.fast_lan_bps
+      ~accepts_native:true;
+  ]
+
+(* [Server.Profile.mode_feasible], replicated to keep the dependency
+   arrow pointing server -> tune *)
+let mode_feasible c ~mode ~artifact_bytes ~native_bytes =
+  let fits resident =
+    match c.memory_bytes with None -> true | Some m -> resident <= m
+  in
+  match (mode : Scenario.Delivery.representation) with
+  | Scenario.Delivery.Raw_native | Scenario.Delivery.Gzipped_native ->
+    c.accepts_native && fits native_bytes
+  | Scenario.Delivery.Wire_format | Scenario.Delivery.Brisc_jit ->
+    c.can_jit && fits native_bytes
+  | Scenario.Delivery.Brisc_interp -> fits artifact_bytes
+
+type point = { pname : string; ir : Ir.Tree.program; run_cycles : int }
+
+let digest_of ir = Digest.to_hex (Digest.string (Ir.Printer.program_to_string ir))
+
+(* one nominal CPU-second at the paper's clock, as the engine floors it *)
+let default_min_session_cycles = 120_000_000
+
+let tune ?(rates = Scenario.Delivery.default_rates)
+    ?(min_session_cycles = default_min_session_cycles) ?(clients = default_clients)
+    points =
+  List.fold_left
+    (fun pol pt ->
+      let src = Codec.Source.of_ir pt.ir in
+      let native_bytes = String.length (Codec.Source.native src) in
+      let digest = digest_of pt.ir in
+      let run_cycles = max pt.run_cycles min_session_cycles in
+      (* size the whole menu once per point; encodes are deterministic,
+         so these match what a live store materializes *)
+      let sized =
+        List.filter_map
+          (fun (e : Codec.entry) ->
+            if e.Codec.modes = [] then None
+            else
+              let bytes, _ = Codec.encode e.Codec.codec src in
+              Some (e, String.length bytes))
+          (Codec.all ())
+      in
+      List.fold_left
+        (fun pol c ->
+          let scored =
+            List.concat_map
+              (fun ((e : Codec.entry), artifact_bytes) ->
+                List.filter_map
+                  (fun mode ->
+                    if mode_feasible c ~mode ~artifact_bytes ~native_bytes then
+                      Some
+                        ( Codec.name e.Codec.codec,
+                          Scenario.Delivery.total_time_for ~rates ~mode
+                            ~artifact_bytes ~native_bytes ~run_cycles
+                            ~link_bps:c.link_bps () )
+                    else None)
+                  e.Codec.modes)
+              sized
+          in
+          match scored with
+          | [] -> pol (* nothing feasible: the live engine's last-resort
+                         interpreter path handles this client *)
+          | hd :: tl ->
+            (* strict-min fold: ties keep the earlier (registry-order)
+               candidate, exactly as the live selector does *)
+            let codec, o =
+              List.fold_left
+                (fun (bn, bo) (n, o) ->
+                  if o.Scenario.Delivery.total_s < bo.Scenario.Delivery.total_s
+                  then (n, o)
+                  else (bn, bo))
+                hd tl
+            in
+            Policy.add pol
+              {
+                Policy.profile = c.cname;
+                digest;
+                codec;
+                predicted_ms = o.Scenario.Delivery.total_s *. 1000.0;
+                pname = pt.pname;
+              })
+        pol clients)
+    Policy.empty points

@@ -1,0 +1,48 @@
+(** The cost-model autotuner.
+
+    Searches the codec registry's grid (every registered front codec ×
+    entropy stage × parse strategy is a distinct codec, and each codec
+    offers its delivery modes) against each client profile's modelled
+    total delivery time, per corpus point, and emits the argmins as a
+    {!Policy} table. Runs offline ([mcctune] / [make tune]); the live
+    engine then serves table lookups instead of re-deriving the same
+    argmin per request. *)
+
+type client = {
+  cname : string;
+  link_bps : float;
+  can_jit : bool;
+  accepts_native : bool;
+  memory_bytes : int option;  (** resident-code budget; [None] = ample *)
+}
+(** What the tuner assumes about a client — mirrors [Server.Profile]
+    (replicated so the dependency arrow stays server → tune). *)
+
+val client :
+  ?can_jit:bool -> ?accepts_native:bool -> ?memory_bytes:int ->
+  string -> link_bps:float -> client
+
+val default_clients : client list
+(** The driver population: modem-jit, lan-jit, embedded, datacenter. *)
+
+type point = { pname : string; ir : Ir.Tree.program; run_cycles : int }
+
+val digest_of : Ir.Tree.program -> string
+(** The program key the policy table uses — MD5 hex of the printed IR,
+    matching [Server.Store.publish]. *)
+
+val mode_feasible :
+  client ->
+  mode:Scenario.Delivery.representation ->
+  artifact_bytes:int -> native_bytes:int -> bool
+
+val tune :
+  ?rates:Scenario.Delivery.rates ->
+  ?min_session_cycles:int ->
+  ?clients:client list ->
+  point list ->
+  Policy.t
+(** Encode every registered whole-image codec per point (sizes are
+    measured, not estimated), score every feasible (codec, mode) per
+    client with {!Scenario.Delivery.total_time_for}, keep the argmin
+    (registry order breaks ties, as the live selector does). *)

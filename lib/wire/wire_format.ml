@@ -1,6 +1,6 @@
 let magic = "WIR1"
 
-type final_stage = Deflate | Arith of int
+type final_stage = Deflate | Arith of int | Lz_arith
 
 let wfail r kind msg = Support.Frame.fail r kind msg
 
@@ -239,6 +239,7 @@ let apply_final_stage stage bundle =
     if order < 0 || order > 3 then invalid_arg "Wire.compress: bad order";
     Printf.sprintf "A%d" order
     ^ Zip.Range_coder.compress_order_n ~order bundle
+  | Lz_arith -> "L" ^ Zip.Lza.compress bundle
 
 (* body (everything behind the CRC seal) -> bundle *)
 let unwrap_final_stage_exn body =
@@ -257,6 +258,7 @@ let unwrap_final_stage_exn body =
       fail0 Support.Decode_error.Bad_value "bad arith order";
     Zip.Range_coder.decompress_order_n_exn ~order
       (String.sub body 2 (String.length body - 2))
+  | 'L' -> Zip.Lza.decompress_exn (String.sub body 1 (String.length body - 1))
   | _ -> fail0 Support.Decode_error.Bad_value "unknown final stage"
 
 (* ---- the whole pipeline ---- *)

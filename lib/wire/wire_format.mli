@@ -19,6 +19,9 @@ type final_stage =
   | Arith of int     (** order-N adaptive range coder, N in 0..3 — the
                          §2 design-space alternative: better ratios on
                          some inputs, but strictly sequential decode *)
+  | Lz_arith         (** bit-optimal LZ77 parse + range-coded tokens
+                         ({!Zip.Lza}): the ratio-maximal corner of the
+                         design space, slowest to encode *)
 
 val compress :
   ?pool:Support.Pool.t ->
@@ -72,7 +75,7 @@ val bundle_of_patternized : ?pool:Support.Pool.t -> patternized -> string
 
 val apply_final_stage : final_stage -> string -> string
 (** Stage 3: entropy-code the bundle, prefixed with the stage tag
-    ([D] or [A<order>]) so decode needs no flags. *)
+    ([D], [A<order>] or [L]) so decode needs no flags. *)
 
 val unwrap_final_stage_exn : string -> string
 (** Inverse of {!apply_final_stage} on the body behind the CRC seal. *)

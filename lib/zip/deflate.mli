@@ -14,14 +14,59 @@ val compress : string -> string
     to a stored block (a 1-bit block type after the length header, then
     the bytes verbatim — RFC 1951 §3.2.4's escape hatch). *)
 
-val encode_tokens : ?source:string -> orig_len:int -> Lz77.token list -> string
+val encode_tokens :
+  ?source:string -> ?packed:bool -> orig_len:int -> Lz77.token list -> string
 (** The entropy-coding half of {!compress}, split out so the codec layer
     can time the LZ77 and Huffman stages independently. [orig_len] is
     the uncompressed length recorded in the 32-bit header. When [source]
     (the uncompressed bytes, length [orig_len]) is given, the encoder
     emits a stored block instead whenever that is strictly smaller, so
     output is bounded by [orig_len + 5]. Without [source] the output is
-    always a Huffman block. *)
+    always a Huffman block. [packed] (default false) compresses the
+    code-length tables RFC 1951 §3.2.7-style — trimmed, run-length
+    encoded and Huffman coded, ~185 bytes down to ~60 per block —
+    signalled by the top bit of the 16-bit table-count field, which no
+    legacy stream can carry; {!decompress} reads both layouts. Plain
+    {!compress} keeps the raw layout because its bytes are
+    golden-pinned. *)
+
+(** {2 Token class tables (RFC 1951 layout)}
+
+    Shared with {!Lza}, the range-coded token stream: both formats
+    bucket match lengths into 29 classes and distances into 30, with
+    the class carrying the entropy-coded symbol and the extra bits
+    riding uncoded. *)
+
+val length_base : int array
+val length_extra : int array
+val dist_base : int array
+val dist_extra : int array
+
+val length_class : int -> int
+(** Class of a match length in 3..258. @raise Invalid_argument outside. *)
+
+val dist_class : int -> int
+(** Class of a distance in 1..32768. @raise Invalid_argument outside. *)
+
+val cost_model_of_tokens : Lz77.token list -> Lz77.cost_model
+(** The actual codeword cost this format would charge, derived from a
+    seed parse: Huffman lengths of the literal/length and distance
+    codes built over the seed's token frequencies, plus extra bits
+    (all scaled by {!Lz77.cost_scale}). Symbols the seed never used
+    cost one bit more than the deepest code in use. *)
+
+val tokenize_opt : ?iterations:int -> ?seed:Lz77.token list -> string ->
+  Lz77.token list
+(** Bit-optimal parse: cost the DAG edges from [seed] (default the
+    lazy parse), solve by shortest path, and iterate [iterations]
+    (default 2) rounds so the code lengths converge toward the chosen
+    parse. *)
+
+val compress_opt : string -> string
+(** {!compress} with the bit-optimal parse. Encodes both the lazy and
+    the optimal parse and keeps the smaller, so the output never
+    exceeds {!compress}'s (and decodes with the same
+    {!decompress}). *)
 
 val decompress :
   ?max_output:int -> string -> (string, Support.Decode_error.t) result

@@ -17,7 +17,25 @@ let hash3 s i =
 
 let max_chain = 128
 
-let tokenize ?(good_enough = 64) s =
+(* ---- parse strategies ----
+
+   Greedy takes the longest match at every position; Lazy (the default,
+   and the historical behaviour) defers one step when the next position
+   matches longer; Optimal solves the token DAG by shortest path under a
+   caller-supplied codeword-cost model — Ferragina/Nitto/Venturini's
+   observation that the cheapest parse depends on what the downstream
+   entropy stage charges, not on match length alone. *)
+
+type cost_model = {
+  literal_cost : int -> int;
+  match_cost : length:int -> dist:int -> int;
+}
+
+type strategy = Greedy | Lazy | Optimal of cost_model
+
+let cost_scale = 16
+
+let tokenize_chained ~lazy_match ~good_enough s =
   let n = String.length s in
   let head = Array.make hash_size (-1) in
   let prev = Array.make (max n 1) (-1) in
@@ -61,16 +79,37 @@ let tokenize ?(good_enough = 64) s =
       if !best_len >= min_match then Some (!best_len, i - !best_pos) else None
     end
   in
+  (* The lazy loop's one-step lookahead used to be recomputed when the
+     parser advanced: [find_best (i+1)] ran once for the defer decision
+     and again at the top of the next iteration. The two calls see the
+     same chains — inserting [i] between them only touches the bucket
+     [hash3 s i] — so the lookahead result is cached and reused unless
+     position [i+1] hashes into that same bucket (byte runs), where the
+     second search really can see [i] as a new candidate and must be
+     redone. Byte-identical output, pinned by the codec golden digests
+     and the token pins in test_zip. *)
+  let cached_at = ref (-1) in
+  let cached = ref None in
+  let find_best_cached i =
+    if !cached_at = i then !cached else find_best i
+  in
   let i = ref 0 in
   while !i < n do
-    (match find_best !i with
+    (match find_best_cached !i with
     | Some (len, dist) ->
       (* lazy matching: prefer a longer match starting at i+1 *)
       let next_better =
-        if !i + 1 + min_match <= n then
-          match find_best (!i + 1) with
-          | Some (len2, _) when len2 > len -> true
-          | _ -> false
+        if lazy_match && !i + 1 + min_match <= n then begin
+          let nb = find_best (!i + 1) in
+          (* safe to reuse after [insert !i] only when i+1 lives in a
+             different hash bucket than i *)
+          if hash3 s !i <> hash3 s (!i + 1) then begin
+            cached_at := !i + 1;
+            cached := nb
+          end
+          else cached_at := -1;
+          match nb with Some (len2, _) when len2 > len -> true | _ -> false
+        end
         else false
       in
       if next_better then begin
@@ -79,38 +118,180 @@ let tokenize ?(good_enough = 64) s =
         incr i
       end
       else begin
+        cached_at := -1;
         emit (Match { length = len; dist });
         for k = !i to min (n - 1) (!i + len - 1) do insert k done;
         i := !i + len
       end
     | None ->
+      cached_at := -1;
       emit (Literal (Char.code s.[!i]));
       insert !i;
       incr i)
   done;
   List.rev !tokens
 
+(* Shortest-path parse over the token DAG: node [j] is "the first [j]
+   bytes are coded", a literal is an edge [j -> j+1], a match of length
+   [l] an edge [j -> j+l], and every edge is weighted by the cost model
+   (in {!cost_scale}ths of a bit). The graph is a DAG ordered by
+   position, so one left-to-right relaxation sweep is exact.
+
+   Candidate matches come from the same hash chains as the greedy
+   parser, but per position we want every (length, minimal distance)
+   pair, not the single longest match: walking the chain near-to-far,
+   each candidate that extends the longest length seen so far
+   contributes edges for exactly the lengths it newly covers, which
+   assigns every length its nearest (= cheapest distance class)
+   source. *)
+let tokenize_optimal ~good_enough cm s =
+  let n = String.length s in
+  if n = 0 then []
+  else begin
+    let head = Array.make hash_size (-1) in
+    let prev = Array.make n (-1) in
+    let match_len i j =
+      let limit = min max_match (n - j) in
+      let k = ref 0 in
+      while !k < limit && s.[i + !k] = s.[j + !k] do incr k done;
+      !k
+    in
+    let inf = max_int / 2 in
+    let cost = Array.make (n + 1) inf in
+    (* edge into position j: step 1 = literal, >= min_match = match *)
+    let from_len = Array.make (n + 1) 0 in
+    let from_dist = Array.make (n + 1) 0 in
+    cost.(0) <- 0;
+    for i = 0 to n - 1 do
+      let ci = cost.(i) in
+      (* every position is reachable by literals, so ci < inf *)
+      let lc = ci + cm.literal_cost (Char.code s.[i]) in
+      if lc < cost.(i + 1) then begin
+        cost.(i + 1) <- lc;
+        from_len.(i + 1) <- 1;
+        from_dist.(i + 1) <- 0
+      end;
+      if i + min_match <= n then begin
+        let h = hash3 s i in
+        let covered = ref (min_match - 1) in
+        let cand = ref head.(h) in
+        let chain = ref 0 in
+        while !cand >= 0 && !chain < max_chain && !covered < good_enough do
+          let c = !cand in
+          if i - c <= window_size then begin
+            let l = match_len c i in
+            if l > !covered then begin
+              let d = i - c in
+              for k = !covered + 1 to l do
+                if k >= min_match then begin
+                  let mc = ci + cm.match_cost ~length:k ~dist:d in
+                  if mc < cost.(i + k) then begin
+                    cost.(i + k) <- mc;
+                    from_len.(i + k) <- k;
+                    from_dist.(i + k) <- d
+                  end
+                end
+              done;
+              covered := l
+            end
+          end
+          else cand := -1
+          ;
+          if !cand >= 0 then cand := prev.(c);
+          incr chain
+        done;
+        prev.(i) <- head.(h);
+        head.(h) <- i
+      end
+    done;
+    let rec walk j acc =
+      if j = 0 then acc
+      else if from_len.(j) = 1 then
+        walk (j - 1) (Literal (Char.code s.[j - 1]) :: acc)
+      else
+        walk
+          (j - from_len.(j))
+          (Match { length = from_len.(j); dist = from_dist.(j) } :: acc)
+    in
+    walk n []
+  end
+
+let tokenize ?(good_enough = 64) ?(strategy = Lazy) s =
+  match strategy with
+  | Greedy -> tokenize_chained ~lazy_match:false ~good_enough s
+  | Lazy -> tokenize_chained ~lazy_match:true ~good_enough s
+  | Optimal cm -> tokenize_optimal ~good_enough cm s
+
+(* ---- reconstruction ---- *)
+
+let fail ~pos msg =
+  Support.Decode_error.fail ~decoder:"lz77"
+    ~kind:Support.Decode_error.Bad_value ~pos msg
+
+let check_token ~pos ~written t =
+  match t with
+  | Literal b ->
+    if b < 0 || b > 255 then
+      fail ~pos (Printf.sprintf "literal %d out of byte range" b);
+    written + 1
+  | Match { length; dist } ->
+    if dist < 1 || dist > window_size then
+      fail ~pos (Printf.sprintf "distance %d out of window" dist);
+    if length < 0 || length > max_match then
+      fail ~pos (Printf.sprintf "match length %d out of range" length);
+    if written - dist < 0 then
+      fail ~pos (Printf.sprintf "distance %d before start of output" dist);
+    written + length
+
+(* Two passes over the token list: validate and size, then fill a
+   [Bytes] buffer with bulk copies. A match whose distance covers its
+   length is one non-overlapping blit; an overlapping match (dist <
+   length) is a periodic fill — copy one period, double the block while
+   it fits, then one tail blit — every chunk a multiple of the period so
+   the pattern stays aligned. The byte-at-a-time [Buffer] version
+   survives as {!reconstruct_reference_exn}, the differential oracle. *)
 let reconstruct_exn tokens =
-  let fail ~pos msg =
-    Support.Decode_error.fail ~decoder:"lz77"
-      ~kind:Support.Decode_error.Bad_value ~pos msg
+  let total =
+    List.fold_left
+      (fun (pos, written) t -> (pos + 1, check_token ~pos ~written t))
+      (0, 0) tokens
+    |> snd
   in
+  let buf = Bytes.create total in
+  let out = ref 0 in
+  List.iter
+    (fun t ->
+      match t with
+      | Literal b ->
+        Bytes.unsafe_set buf !out (Char.unsafe_chr b);
+        incr out
+      | Match { length; dist } ->
+        let pos = !out in
+        let start = pos - dist in
+        if dist >= length then Bytes.blit buf start buf pos length
+        else begin
+          Bytes.blit buf start buf pos dist;
+          let avail = ref dist in
+          while !avail * 2 <= length do
+            Bytes.blit buf pos buf (pos + !avail) !avail;
+            avail := !avail * 2
+          done;
+          if !avail < length then
+            Bytes.blit buf pos buf (pos + !avail) (length - !avail)
+        end;
+        out := pos + length)
+    tokens;
+  Bytes.unsafe_to_string buf
+
+let reconstruct_reference_exn tokens =
   let buf = Buffer.create 1024 in
   List.iteri
     (fun pos t ->
+      ignore (check_token ~pos ~written:(Buffer.length buf) t);
       match t with
-      | Literal b ->
-        if b < 0 || b > 255 then
-          fail ~pos (Printf.sprintf "literal %d out of byte range" b);
-        Buffer.add_char buf (Char.chr b)
+      | Literal b -> Buffer.add_char buf (Char.chr b)
       | Match { length; dist } ->
-        if dist < 1 || dist > window_size then
-          fail ~pos (Printf.sprintf "distance %d out of window" dist);
-        if length < 0 || length > max_match then
-          fail ~pos (Printf.sprintf "match length %d out of range" length);
         let start = Buffer.length buf - dist in
-        if start < 0 then
-          fail ~pos (Printf.sprintf "distance %d before start of output" dist);
         for k = 0 to length - 1 do
           Buffer.add_char buf (Buffer.nth buf (start + k))
         done)

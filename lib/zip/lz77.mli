@@ -1,9 +1,18 @@
-(** Greedy-with-lazy-matching LZ77 over a sliding window.
+(** LZ77 over a sliding window, with selectable parse strategies.
 
     This is the string-matching stage of our gzip-equivalent: it factors
     the input into literals and (length, distance) references, which
     {!Deflate} then entropy-codes. Window and match limits follow
-    DEFLATE's (32 KB window, match lengths 3..258). *)
+    DEFLATE's (32 KB window, match lengths 3..258).
+
+    Three parsers share one hash-chain match finder: [Greedy] takes the
+    longest match everywhere, [Lazy] (the default, the historical
+    behaviour) defers one position when the next match is longer, and
+    [Optimal] solves the token DAG by shortest path under a
+    caller-supplied codeword-cost model — the bit-optimal parsing of
+    Ferragina, Nitto & Venturini, where the cheapest factorization
+    depends on what the downstream entropy coder charges for each
+    token, not on match length alone. *)
 
 type token =
   | Literal of int                       (** byte value 0..255 *)
@@ -13,10 +22,27 @@ val window_size : int
 val min_match : int
 val max_match : int
 
-val tokenize : ?good_enough:int -> string -> token list
+type cost_model = {
+  literal_cost : int -> int;
+      (** cost of emitting this literal byte, in {!cost_scale}ths of a
+          bit *)
+  match_cost : length:int -> dist:int -> int;
+      (** cost of emitting a (length, dist) reference, same unit *)
+}
+
+type strategy = Greedy | Lazy | Optimal of cost_model
+
+val cost_scale : int
+(** Edge weights are integers in [1/cost_scale] bits (= 16), so cost
+    models can express fractional entropy estimates without floats in
+    the relaxation loop. *)
+
+val tokenize : ?good_enough:int -> ?strategy:strategy -> string -> token list
 (** Factor the input. [good_enough] (default 64) stops hash-chain search
     early once a match at least that long is found, trading a little
-    ratio for speed. *)
+    ratio for speed; under [Optimal] it bounds the per-position
+    candidate enumeration the same way. [strategy] defaults to [Lazy],
+    byte-identical to the historical parser (pinned by test). *)
 
 val reconstruct : token list -> (string, Support.Decode_error.t) result
 (** Inverse: expand tokens back to the original string. Total: distances
@@ -25,4 +51,9 @@ val reconstruct : token list -> (string, Support.Decode_error.t) result
 
 val reconstruct_exn : token list -> string
 (** As {!reconstruct} but raises {!Support.Decode_error.Fail}; for
-    trusted token streams. *)
+    trusted token streams. [Bytes]-backed: matches are bulk blits (an
+    overlapping match is a periodic block fill), not per-byte appends. *)
+
+val reconstruct_reference_exn : token list -> string
+(** The original byte-at-a-time [Buffer] implementation, kept verbatim
+    as the differential oracle for {!reconstruct_exn}. *)

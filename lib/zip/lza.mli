@@ -1,0 +1,38 @@
+(** Bit-optimal LZ77 parse + adaptive range-coded token stream.
+
+    The strongest final stage in the wire format's design space: the
+    {!Lz77.Optimal} parser factors the input under estimated
+    range-model bit costs, and the tokens travel in a single adaptive
+    range-coded stream — literals under the same order-2 context model
+    as {!Range_coder.compress_order_n} (the context history advances
+    through match copies, so matched and literal bytes share
+    statistics), match lengths and distances as their RFC 1951 classes
+    ({!Deflate.length_class} / {!Deflate.dist_class}) under adaptive
+    models, extra bits raw. Slower to encode than either parent;
+    usually smaller than both. *)
+
+val compress : string -> string
+(** [decompress_exn (compress s) = s]. Header is the uncompressed
+    length as ULEB128, then the range-coded token stream. *)
+
+val tokenize_opt : ?iterations:int -> string -> Lz77.token list
+(** The parse {!compress} uses: shortest-path under token-class
+    entropy estimated from a seed (lazy) parse, iterated [iterations]
+    (default 2) rounds. Exposed for the parse-quality property
+    tests. *)
+
+val cost_model_of_tokens : Lz77.token list -> Lz77.cost_model
+(** Estimated range-coder cost of each token under the class
+    frequencies of a seed parse: [-log2 p] in {!Lz77.cost_scale}ths of
+    a bit (add-one smoothed, floored at 1), plus whole extra bits. *)
+
+val decompress :
+  ?max_output:int -> string -> (string, Support.Decode_error.t) result
+(** Total inverse: corrupt input yields a typed [Error]; the declared
+    output length is checked against [max_output] (default 64 MB)
+    before allocation, and every decoded distance/length is validated
+    against the output produced so far. *)
+
+val decompress_exn : ?max_output:int -> string -> string
+(** As {!decompress} but raises {!Support.Decode_error.Fail}; for
+    trusted inputs. *)

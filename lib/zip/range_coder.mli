@@ -42,6 +42,15 @@ module Model : sig
   end
 end
 
+val context_slots : int
+(** Context-model bank size of the order-N compressor (4096). *)
+
+val ctx_hash : int -> int array -> int
+(** [ctx_hash order history] maps the previous [order] bytes
+    ([history.(0)] most recent) to a slot in [0, context_slots);
+    order 0 maps to slot 0. Shared with {!Lza} so its literal contexts
+    match the order-N compressor's. *)
+
 type encoder
 
 val encoder : unit -> encoder

@@ -69,8 +69,8 @@ let test_golden_pins () =
 let expected_expansion p (e : Codec.entry) encoded =
   match Codec.name e.Codec.codec with
   | "native" | "brisc" -> encoded
-  | "gzip+native" | "deflate" -> p.native
-  | "wire" | "wire+range" | "chunked-wire" ->
+  | "gzip+native" | "deflate" | "deflate-opt" -> p.native
+  | "wire" | "wire+range" | "wire+range-opt" | "chunked-wire" ->
     Ir.Printer.program_to_string p.ir
   | other -> Alcotest.failf "no canonical expansion known for codec %s" other
 
@@ -164,6 +164,41 @@ let test_compose () =
     Alcotest.(check string) "compose decode inverts back then front"
       (digest p.native) (digest out)
 
+(* the acceptance bar for the bit-optimal parse: across the whole named
+   corpus, deflate-opt must never emit more bytes than deflate, and must
+   be strictly smaller on at least 80% of the points — anything less
+   means the cost model stopped paying for its encode time *)
+let test_deflate_opt_ratio () =
+  let points =
+    List.map
+      (fun (e : Corpus.Programs.entry) ->
+        let ir = Cc.Lower.compile e.Corpus.Programs.source in
+        let vp = Vm.Codegen.gen_program ir in
+        let native =
+          Native.Mach.encode_program (Native.Compile.compile_program vp)
+        in
+        (e.Corpus.Programs.name, native))
+      Corpus.Programs.all
+  in
+  let strictly_smaller = ref 0 in
+  List.iter
+    (fun (name, native) ->
+      let plain, _ = Codec.encode_bytes Codec.deflate_codec native in
+      let opt, _ = Codec.encode_bytes Codec.deflate_opt_codec native in
+      let lp = String.length plain and lo = String.length opt in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: deflate-opt (%d B) never larger than deflate (%d B)"
+           name lo lp)
+        true (lo <= lp);
+      if lo < lp then incr strictly_smaller)
+    points;
+  let n = List.length points in
+  Alcotest.(check bool)
+    (Printf.sprintf "deflate-opt strictly smaller on %d/%d points (need 80%%)"
+       !strictly_smaller n)
+    true
+    (float_of_int !strictly_smaller >= 0.8 *. float_of_int n)
+
 let test_registry_invariants () =
   let es = Codec.all () in
   let names = List.map (fun e -> Codec.name e.Codec.codec) es in
@@ -210,6 +245,8 @@ let () =
             test_registry_round_trips;
           Alcotest.test_case "decode totality smoke" `Quick test_decode_totality;
           Alcotest.test_case "compose" `Quick test_compose;
+          Alcotest.test_case "deflate-opt ratio floor over corpus" `Slow
+            test_deflate_opt_ratio;
           Alcotest.test_case "registry invariants" `Quick
             test_registry_invariants;
         ] );

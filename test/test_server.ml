@@ -387,15 +387,19 @@ let test_wire_range_adaptive_selection () =
   let dg = Server.publish e ~run_cycles:1_000_000 ir in
   let m = Server.Store.meta (Server.store e) dg in
   (* the order-2 range coder beats deflate on this program, so the
-     bandwidth-bound profile must pick the range-coded wire image *)
+     bandwidth-bound profile must pick a range-coded wire image; the
+     -opt variant is never larger than wire+range, so it wins *)
   Alcotest.(check bool) "wire+range denser than wire" true
     (Server.Store.size_of m Server.Artifact.wire_range
     < Server.Store.size_of m Server.Artifact.wire);
+  Alcotest.(check bool) "wire+range-opt never larger than wire+range" true
+    (Server.Store.size_of m Server.Artifact.wire_range_opt
+    <= Server.Store.size_of m Server.Artifact.wire_range);
   let resp = Server.fetch e dg Server.Profile.modem in
-  Alcotest.(check bool) "modem served wire+range" true
-    (resp.Server.artifact = Server.Artifact.wire_range);
+  Alcotest.(check bool) "modem served wire+range-opt" true
+    (resp.Server.artifact = Server.Artifact.wire_range_opt);
   Alcotest.(check string) "labelled as range-coded JIT delivery"
-    "wire+range+JIT" resp.Server.label;
+    "wire+range-opt+JIT" resp.Server.label;
   Alcotest.(check bool) "not a degraded response" true
     (resp.Server.degraded_from = None);
   (* the served bytes are a self-describing image the stock total wire
@@ -406,12 +410,13 @@ let test_wire_range_adaptive_selection () =
   let r = Server.report e in
   let rr =
     List.find
-      (fun rr -> rr.Server.Stats.repr = Server.Artifact.wire_range)
+      (fun rr -> rr.Server.Stats.repr = Server.Artifact.wire_range_opt)
       r.Server.Stats.by_repr
   in
-  Alcotest.(check bool) "range-2 stage visible in stats" true
+  Alcotest.(check bool) "range-opt stage visible in stats" true
     (List.exists
-       (fun (s : Server.Stats.stage_report) -> s.Server.Stats.stage_name = "range-2")
+       (fun (s : Server.Stats.stage_report) ->
+         s.Server.Stats.stage_name = "range-opt")
        rr.Server.Stats.stages);
   Alcotest.(check bool) "every stage carries byte accounting" true
     (List.for_all
@@ -425,28 +430,28 @@ let test_wire_range_degradation () =
   let ir = prog multi_fn_src in
   let dg = Server.publish e ~run_cycles:1_000_000 ir in
   let store = Server.store e in
-  Alcotest.(check bool) "wire+range artifact resident" true
-    (Server.Store.corrupt_cached store dg Server.Artifact.wire_range
+  Alcotest.(check bool) "wire+range-opt artifact resident" true
+    (Server.Store.corrupt_cached store dg Server.Artifact.wire_range_opt
        ~f:flip_middle);
   (* the poisoned first choice is quarantined and the next-best repr
      answers, flagged with what it degraded from *)
   let resp = Server.fetch e dg Server.Profile.modem in
   Alcotest.(check (option string)) "degraded from the range-coded choice"
-    (Some "wire+range+JIT") resp.Server.degraded_from;
+    (Some "wire+range-opt+JIT") resp.Server.degraded_from;
   Alcotest.(check bool) "fallback is a different artifact" true
-    (resp.Server.artifact <> Server.Artifact.wire_range);
+    (resp.Server.artifact <> Server.Artifact.wire_range_opt);
   Alcotest.(check bool) "fallback bytes verify" true
     (String.length resp.Server.bytes > 0);
   let r = Server.report e in
-  Alcotest.(check bool) "quarantine log names wire+range" true
+  Alcotest.(check bool) "quarantine log names wire+range-opt" true
     (match r.Server.Stats.recent_failures with
-    | f :: _ -> f.Server.Stats.fail_repr = Server.Artifact.wire_range
+    | f :: _ -> f.Server.Stats.fail_repr = Server.Artifact.wire_range_opt
     | [] -> false);
   (* self-healing: the next fetch rebuilds from the published IR and
      serves the range-coded image again *)
   let healed = Server.fetch e dg Server.Profile.modem in
-  Alcotest.(check bool) "healed back to wire+range" true
-    (healed.Server.artifact = Server.Artifact.wire_range
+  Alcotest.(check bool) "healed back to wire+range-opt" true
+    (healed.Server.artifact = Server.Artifact.wire_range_opt
     && healed.Server.degraded_from = None)
 
 (* ---- engine + workload: end to end ---- *)

@@ -1,0 +1,195 @@
+(* The autotuner: policy-table format round-trips, validation against
+   the registry, the search itself, and — the point of the whole
+   subsystem — the engine serving a tuned pick instead of re-deriving
+   the live-scoring argmin per request. *)
+
+let pick ?(predicted_ms = 1.0) profile digest codec =
+  { Tune.Policy.profile; digest; codec; predicted_ms; pname = "t" }
+
+(* ---- policy table format ---- *)
+
+let test_policy_round_trip () =
+  let p =
+    List.fold_left Tune.Policy.add Tune.Policy.empty
+      [ pick "modem-jit" "d1" "wire";
+        pick "lan-jit" "d1" "brisc" ~predicted_ms:42.5;
+        pick "modem-jit" "d2" "wire+range" ]
+  in
+  match Tune.Policy.of_string (Tune.Policy.to_string p) with
+  | Error e -> Alcotest.failf "round-trip parse failed: %s" e
+  | Ok p' ->
+    Alcotest.(check int) "three picks survive" 3
+      (List.length (Tune.Policy.picks p'));
+    (match Tune.Policy.lookup p' ~profile:"lan-jit" ~digest:"d1" with
+    | None -> Alcotest.fail "lan-jit/d1 lost in round-trip"
+    | Some k ->
+      Alcotest.(check string) "codec survives" "brisc" k.Tune.Policy.codec;
+      Alcotest.(check (float 1e-6)) "predicted_ms survives" 42.5
+        k.Tune.Policy.predicted_ms);
+    Alcotest.(check bool) "unknown digest misses" true
+      (Tune.Policy.lookup p' ~profile:"modem-jit" ~digest:"d9" = None)
+
+let test_policy_add_replaces () =
+  let p =
+    List.fold_left Tune.Policy.add Tune.Policy.empty
+      [ pick "modem-jit" "d1" "wire"; pick "modem-jit" "d1" "brisc" ]
+  in
+  Alcotest.(check int) "same key replaced, not duplicated" 1
+    (List.length (Tune.Policy.picks p));
+  match Tune.Policy.lookup p ~profile:"modem-jit" ~digest:"d1" with
+  | Some k -> Alcotest.(check string) "latest add wins" "brisc" k.Tune.Policy.codec
+  | None -> Alcotest.fail "replaced pick vanished"
+
+let test_policy_rejects_malformed () =
+  (match Tune.Policy.of_string "mcc-policy 99\n" with
+  | Ok _ -> Alcotest.fail "accepted an unknown version"
+  | Error e ->
+    Alcotest.(check bool) "unknown version names the problem" true
+      (String.length e > 0));
+  (match Tune.Policy.of_string "not a policy at all" with
+  | Ok _ -> Alcotest.fail "accepted garbage"
+  | Error _ -> ());
+  match
+    Tune.Policy.of_string "mcc-policy 1\npick onlythree fields\n"
+  with
+  | Ok _ -> Alcotest.fail "accepted a short record"
+  | Error _ -> ()
+
+let test_policy_validate_against_registry () =
+  let good = Tune.Policy.add Tune.Policy.empty (pick "modem-jit" "d1" "wire") in
+  (match Tune.Policy.validate good with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "registered codec rejected: %s" e);
+  let bad =
+    Tune.Policy.add Tune.Policy.empty (pick "modem-jit" "d1" "no-such-codec")
+  in
+  match Tune.Policy.validate bad with
+  | Ok () -> Alcotest.fail "validate accepted an unregistered codec"
+  | Error e ->
+    let contains hay needle =
+      let hn = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= hn && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "error names the codec" true
+      (contains e "no-such-codec")
+
+(* ---- the search ---- *)
+
+let small_point () =
+  let ir =
+    Cc.Lower.compile
+      "int main() { int i; int s; s = 0; for (i = 0; i < 9; i = i + 1) { s = \
+       s + i; } return s; }"
+  in
+  { Tune.Search.pname = "tiny"; ir; run_cycles = 1_000_000 }
+
+let test_search_emits_valid_picks () =
+  let point = small_point () in
+  let p = Tune.Search.tune [ point ] in
+  let picks = Tune.Policy.picks p in
+  (* one argmin per default client *)
+  Alcotest.(check int) "one pick per client"
+    (List.length Tune.Search.default_clients)
+    (List.length picks);
+  (match Tune.Policy.validate p with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "tuner emitted an invalid table: %s" e);
+  let dg = Tune.Search.digest_of point.Tune.Search.ir in
+  List.iter
+    (fun (c : Tune.Search.client) ->
+      match Tune.Policy.lookup p ~profile:c.Tune.Search.cname ~digest:dg with
+      | None -> Alcotest.failf "no pick for %s" c.Tune.Search.cname
+      | Some k ->
+        Alcotest.(check bool)
+          (c.Tune.Search.cname ^ " predicted_ms positive") true
+          (k.Tune.Policy.predicted_ms > 0.0))
+    Tune.Search.default_clients
+
+(* ---- the engine serving the table ---- *)
+
+let prog src = Cc.Lower.compile src
+
+let fib_src =
+  "int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); \
+   } int main() { return fib(10); }"
+
+(* A tuned entry that DIFFERS from the live-scoring argmin must win:
+   live scoring serves modem with wire+range-opt (test_server pins
+   this), so a table pinning plain "wire" proves fetch consulted the
+   table rather than re-deriving the argmin. *)
+let test_engine_serves_tuned_pick () =
+  let e = Server.create () in
+  let dg = Server.publish e ~run_cycles:120_000_000 (prog fib_src) in
+  let live = Server.fetch e dg Server.Profile.modem in
+  Alcotest.(check string) "live scoring picks wire+range-opt"
+    "wire+range-opt+JIT" live.Server.label;
+  let policy =
+    Tune.Policy.add Tune.Policy.empty
+      (pick Server.Profile.modem.Server.Profile.name dg "wire")
+  in
+  let e2 = Server.create ~policy () in
+  let dg2 = Server.publish e2 ~run_cycles:120_000_000 (prog fib_src) in
+  Alcotest.(check string) "same program, same digest" dg dg2;
+  let resp = Server.fetch e2 dg2 Server.Profile.modem in
+  Alcotest.(check string) "tuned table overrides live scoring" "wire+JIT"
+    resp.Server.label;
+  let r = Server.report e2 in
+  Alcotest.(check int) "fetch counted as a policy hit" 1
+    r.Server.Stats.policy_hits;
+  (* the served bytes are still the real artifact, decode-verified *)
+  Alcotest.(check bool) "served image non-empty" true
+    (String.length resp.Server.bytes > 0)
+
+(* a pick the profile cannot use (or that names a stale digest) must
+   fall through to live scoring, not fail the fetch *)
+let test_engine_policy_fallback () =
+  (* stale digest: lookup misses *)
+  let policy =
+    Tune.Policy.add Tune.Policy.empty (pick "modem-jit" "stale" "wire")
+  in
+  let e = Server.create ~policy () in
+  let dg = Server.publish e ~run_cycles:120_000_000 (prog fib_src) in
+  let resp = Server.fetch e dg Server.Profile.modem in
+  Alcotest.(check string) "stale pick falls back to live scoring"
+    "wire+range-opt+JIT" resp.Server.label;
+  (* infeasible pick: native for a modem client that can't take it *)
+  let policy2 =
+    Tune.Policy.add Tune.Policy.empty
+      (pick Server.Profile.modem.Server.Profile.name dg "native")
+  in
+  let e2 = Server.create ~policy:policy2 () in
+  let dg2 = Server.publish e2 ~run_cycles:120_000_000 (prog fib_src) in
+  let resp2 = Server.fetch e2 dg2 Server.Profile.modem in
+  Alcotest.(check string) "infeasible pick falls back to live scoring"
+    "wire+range-opt+JIT" resp2.Server.label;
+  let r = Server.report e2 in
+  Alcotest.(check int) "fallback is not a policy hit" 0
+    r.Server.Stats.policy_hits
+
+let () =
+  Alcotest.run "tune"
+    [
+      ( "policy",
+        [
+          Alcotest.test_case "format round-trip" `Quick test_policy_round_trip;
+          Alcotest.test_case "add replaces same key" `Quick
+            test_policy_add_replaces;
+          Alcotest.test_case "rejects malformed input" `Quick
+            test_policy_rejects_malformed;
+          Alcotest.test_case "validate against registry" `Quick
+            test_policy_validate_against_registry;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "emits one valid pick per client" `Quick
+            test_search_emits_valid_picks;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "serves a tuned pick over live scoring" `Quick
+            test_engine_serves_tuned_pick;
+          Alcotest.test_case "falls back on stale or infeasible pick" `Quick
+            test_engine_policy_fallback;
+        ] );
+    ]

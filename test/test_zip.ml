@@ -479,6 +479,139 @@ let test_huffman_edge_corpus () =
         (Zip.Huffman.decode_all_exn enc))
     cases
 
+(* ---- parse strategies and the optimal parser ---- *)
+
+let parse_cost (cm : Zip.Lz77.cost_model) tokens =
+  List.fold_left
+    (fun a t ->
+      a
+      + match t with
+        | Zip.Lz77.Literal b -> cm.Zip.Lz77.literal_cost b
+        | Zip.Lz77.Match { length; dist } -> cm.Zip.Lz77.match_cost ~length ~dist)
+    0 tokens
+
+(* A cost model monotone in distance (nearer never costs more), which is
+   what makes the DAG's nearest-distance Pareto enumeration lossless —
+   under it the shortest path is provably <= ANY parse built from the
+   same match finder, including the lazy and greedy ones. *)
+let flat_model =
+  let sc = Zip.Lz77.cost_scale in
+  let rec bits v = if v = 0 then 0 else 1 + bits (v lsr 1) in
+  {
+    Zip.Lz77.literal_cost = (fun _ -> 9 * sc);
+    match_cost = (fun ~length:_ ~dist -> sc * (12 + bits dist));
+  }
+
+let strat_gen =
+  QCheck.(string_gen_of_size (Gen.int_range 0 800) (Gen.char_range 'a' 'f'))
+
+let prop_optimal_cheapest =
+  QCheck.Test.make ~name:"optimal parse <= lazy <= greedy (flat model)"
+    ~count:150 strat_gen (fun s ->
+      let opt = Zip.Lz77.tokenize ~strategy:(Zip.Lz77.Optimal flat_model) s in
+      let lazy_ = Zip.Lz77.tokenize ~strategy:Zip.Lz77.Lazy s in
+      let greedy = Zip.Lz77.tokenize ~strategy:Zip.Lz77.Greedy s in
+      Zip.Lz77.reconstruct_exn opt = s
+      && Zip.Lz77.reconstruct_exn lazy_ = s
+      && Zip.Lz77.reconstruct_exn greedy = s
+      && parse_cost flat_model opt <= parse_cost flat_model lazy_
+      && parse_cost flat_model opt <= parse_cost flat_model greedy)
+
+let test_strategies_edge_corpus () =
+  List.iter
+    (fun s ->
+      List.iter
+        (fun strategy ->
+          let tokens = Zip.Lz77.tokenize ~strategy s in
+          Alcotest.(check string) "reconstruct" s
+            (Zip.Lz77.reconstruct_exn tokens))
+        [ Zip.Lz77.Greedy; Zip.Lz77.Lazy; Zip.Lz77.Optimal flat_model ])
+    edge_corpus
+
+(* the Bytes-backed bulk reconstruction against the byte-at-a-time
+   Buffer oracle it replaced, over every strategy's token shapes *)
+let prop_reconstruct_differential =
+  QCheck.Test.make ~name:"reconstruct bulk = reference oracle" ~count:150
+    strat_gen (fun s ->
+      List.for_all
+        (fun strategy ->
+          let tokens = Zip.Lz77.tokenize ~strategy s in
+          Zip.Lz77.reconstruct_exn tokens
+          = Zip.Lz77.reconstruct_reference_exn tokens)
+        [ Zip.Lz77.Greedy; Zip.Lz77.Lazy; Zip.Lz77.Optimal flat_model ])
+
+let test_deflate_opt_never_larger () =
+  List.iter
+    (fun s ->
+      let plain = Zip.Deflate.compress s in
+      let opt = Zip.Deflate.compress_opt s in
+      Alcotest.(check bool) "opt never larger" true
+        (String.length opt <= String.length plain);
+      Alcotest.(check string) "same inflater decodes it" s
+        (Zip.Deflate.decompress_exn opt))
+    edge_corpus
+
+let prop_deflate_opt_roundtrip =
+  QCheck.Test.make ~name:"deflate-opt roundtrip + never larger" ~count:100
+    strat_gen (fun s ->
+      let opt = Zip.Deflate.compress_opt s in
+      String.length opt <= String.length (Zip.Deflate.compress s)
+      && Zip.Deflate.decompress_exn opt = s)
+
+(* ---- Lza: LZ77-optimal parse + range-coded tokens ---- *)
+
+let test_lza_roundtrip_edge () =
+  List.iter
+    (fun s ->
+      let z = Zip.Lza.compress s in
+      Alcotest.(check string) "roundtrip" s (Zip.Lza.decompress_exn z);
+      Alcotest.(check string) "deterministic" z (Zip.Lza.compress s))
+    edge_corpus
+
+let prop_lza_roundtrip =
+  QCheck.Test.make ~name:"lza roundtrip" ~count:100 strat_gen (fun s ->
+      Zip.Lza.decompress_exn (Zip.Lza.compress s) = s
+      && Zip.Lz77.reconstruct_exn (Zip.Lza.tokenize_opt s) = s)
+
+let test_lza_beats_arith_on_repetitive () =
+  (* code-like input: long repeated phrases an order-2 byte model can't
+     factor but the LZ token stream can *)
+  let phrase = "push r1; load r2, [sp+8]; add r1, r2; ret;\n" in
+  let buf = Buffer.create 4096 in
+  for i = 0 to 63 do
+    Buffer.add_string buf phrase;
+    Buffer.add_string buf (string_of_int (i mod 7))
+  done;
+  let s = Buffer.contents buf in
+  let lza = Zip.Lza.compress s in
+  let arith = Zip.Range_coder.compress_order_n ~order:2 s in
+  Alcotest.(check bool) "lza smaller than order-2 arith" true
+    (String.length lza < String.length arith);
+  Alcotest.(check string) "roundtrip" s (Zip.Lza.decompress_exn lza)
+
+let test_lza_corrupt () =
+  let s = "the quick brown fox jumps over the lazy dog, twice over" in
+  let z = Zip.Lza.compress s in
+  List.iter
+    (fun m ->
+      match Zip.Lza.decompress m with
+      | Ok _ | Error _ -> () (* total: no exception escapes *))
+    [
+      String.sub z 0 (String.length z / 2);
+      "";
+      "\xff\xff\xff\xff\xff\xff\xff\xff";
+      String.map (fun c -> Char.chr (Char.code c lxor 0x5a)) z;
+    ];
+  (* a declared length beyond the cap must be refused before allocation *)
+  let big = Buffer.create 8 in
+  Support.Util.uleb128 big (1 lsl 30);
+  Buffer.add_string big "junk";
+  match Zip.Lza.decompress (Buffer.contents big) with
+  | Error e ->
+    Alcotest.(check bool) "limit error" true
+      (e.Support.Decode_error.kind = Support.Decode_error.Limit)
+  | Ok _ -> Alcotest.fail "accepted a 1 GB declared length"
+
 let () =
   Alcotest.run "zip"
     [
@@ -542,6 +675,25 @@ let () =
           Alcotest.test_case "lz77" `Quick test_lz77_edge_corpus;
           Alcotest.test_case "deflate" `Quick test_deflate_edge_corpus;
           Alcotest.test_case "range coder" `Quick test_range_edge_corpus;
+        ] );
+      ( "optimal parse",
+        [
+          Alcotest.test_case "strategies on edge corpus" `Quick
+            test_strategies_edge_corpus;
+          Alcotest.test_case "deflate-opt never larger" `Quick
+            test_deflate_opt_never_larger;
+          qcheck prop_optimal_cheapest;
+          qcheck prop_reconstruct_differential;
+          qcheck prop_deflate_opt_roundtrip;
+        ] );
+      ( "lza",
+        [
+          Alcotest.test_case "edge corpus roundtrip" `Quick
+            test_lza_roundtrip_edge;
+          Alcotest.test_case "beats order-2 arith on repetition" `Quick
+            test_lza_beats_arith_on_repetitive;
+          Alcotest.test_case "corrupt input is total" `Quick test_lza_corrupt;
+          qcheck prop_lza_roundtrip;
         ] );
       ( "range_coder",
         [
