@@ -1,4 +1,4 @@
-.PHONY: all check test fuzz fuzz-quick bench bench-json bench-quick bench-codecs perf-gate maybe-perf-gate server-bench tune policy-check clean
+.PHONY: all check test fuzz fuzz-quick bench bench-json bench-quick bench-codecs perf-gate maybe-perf-gate server-bench ab-bench traces tune policy-check clean
 
 all:
 	dune build
@@ -11,8 +11,10 @@ all:
 # the per-stage matrix; policy-check validates the committed serving
 # policy against the registry and smoke-runs the tuner; the suite
 # itself (one `dune runtest`) then includes the full 10k-iteration
-# fuzz layer and the differential tests
-check: fuzz-quick maybe-perf-gate bench-codecs policy-check
+# fuzz layer and the differential tests; ab-bench replays the committed
+# flash-crowd trace under the tuned policy vs live scoring and gates
+# the diff (deterministic, so it runs unconditionally)
+check: fuzz-quick maybe-perf-gate bench-codecs policy-check ab-bench
 	dune build && dune runtest
 
 # off by default (timings on shared runners are noisy); opt in with
@@ -42,6 +44,29 @@ server-bench:
 	dune exec bin/mccload.exe -- --self --quick --clients 16 --requests 8000 \
 	  --stream-pct 70 --chunks 24 --json BENCH_server.json
 	@cat BENCH_server.json
+
+# A/B the tuned serving policy against live scoring over the committed
+# flash-crowd trace (mccsim ab) and gate the diff: the tuned side may
+# not regress bytes-on-wire (>1%) or overall p99 (>10% + 0.5 ms). The
+# replay is fully deterministic (modelled latencies), so this runs in
+# CI without a noise opt-out.
+ab-bench:
+	dune build bin/mccsim.exe bench/perf_gate.exe
+	dune exec bin/mccsim.exe -- ab traces/flash_crowd.trace \
+	  --a-policy POLICY.tune --json --out BENCH_ab.json
+	dune exec bench/perf_gate.exe -- --ab BENCH_ab.json
+
+# regenerate the golden scenario trace corpus (only needed when the
+# generators or the catalog change; the replays of these files are
+# regression-checked by dune runtest)
+traces:
+	dune build bin/mccsim.exe
+	for s in steady flash-crowd corruption-burst mixed-profiles; do \
+	  dune exec bin/mccsim.exe -- record --scenario $$s --catalog quick \
+	    --events 400 --seed 42 --out traces/$$(echo $$s | tr - _).trace; \
+	  dune exec bin/mccsim.exe -- replay traces/$$(echo $$s | tr - _).trace \
+	    > traces/$$(echo $$s | tr - _).report; \
+	done
 
 test:
 	dune runtest

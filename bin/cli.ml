@@ -75,20 +75,10 @@ let man_codecs =
        delivery server's representation menu." ]
 
 (* Publish the corpus catalog the workload driver, the serve daemon and
-   the self-hosted load generator all share. Generated programs get
-   stable short names (gen24, gen40, ...) so scripts and logs can refer
-   to them. *)
+   the self-hosted load generator all share. The flavors live in
+   Sim.Catalog so recorded traces can name the key space they were cut
+   against; generated programs get stable short names (gen24, gen40,
+   ...) so scripts, logs and traces can refer to them. *)
 let publish_catalog ?(quick = false) engine =
-  let generated =
-    if quick then
-      [ { Corpus.Gen.functions = 12; seed = 1017L; bias16 = false } ]
-    else Server.Workload.default_generated
-  in
-  let catalog = Server.Workload.build_catalog ~generated engine in
-  List.map
-    (fun (e : Server.Workload.entry) ->
-      if Corpus.Programs.find e.Server.Workload.name <> None then e
-      else
-        { e with Server.Workload.name =
-            Printf.sprintf "gen%d" e.Server.Workload.fn_count })
-    catalog
+  Sim.Catalog.publish engine
+    (if quick then Sim.Catalog.Quick else Sim.Catalog.Full)

@@ -1,0 +1,220 @@
+(* mccsim — trace-driven fleet simulator.
+
+     dune exec bin/mccsim.exe -- record --scenario flash-crowd \
+       --catalog quick --events 400 --seed 42 --out traces/flash_crowd.trace
+     dune exec bin/mccsim.exe -- record --out workload.trace   # capture a live run
+     dune exec bin/mccsim.exe -- replay traces/flash_crowd.trace --json
+     dune exec bin/mccsim.exe -- ab traces/flash_crowd.trace \
+       --a-policy POLICY.tune --json --out BENCH_ab.json
+
+   [record --scenario] synthesizes a trace from a named generator;
+   without a scenario it runs the synthetic workload against a live
+   engine and captures what the observer hook sees. [replay] replays a
+   trace deterministically (in-process, or --daemon for the loopback
+   TCP path). [ab] replays the same trace under two engine
+   configurations and reports the diff. *)
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let flavor_of name =
+  match Sim.Catalog.flavor_of_name name with
+  | Some f -> f
+  | None -> fail "mccsim: unknown catalog flavor %s (mini|quick|full)" name
+
+let load_policy = function
+  | None -> None
+  | Some file -> (
+    match Tune.Policy.load file with
+    | Ok pol -> Some pol
+    | Error e -> fail "mccsim: policy %s: %s" file e)
+
+let load_trace file =
+  match Sim.Trace.load file with
+  | Ok t -> t
+  | Error e -> fail "mccsim: %s: %s" file (Support.Decode_error.to_string e)
+
+let write_out out s =
+  match out with
+  | None -> print_string s
+  | Some file ->
+    let oc = open_out_bin file in
+    output_string oc s;
+    close_out oc;
+    Printf.printf "mccsim: wrote %s (%d bytes)\n" file (String.length s)
+
+(* ---- record ---- *)
+
+let record scenario catalog seed events out =
+  let flavor = flavor_of catalog in
+  let trace =
+    match scenario with
+    | Some sname ->
+      let spec =
+        match Sim.Gen.find sname with
+        | Some s -> s
+        | None ->
+          fail "mccsim: unknown scenario %s (have: %s)" sname
+            (String.concat ", "
+               (List.map (fun s -> s.Sim.Gen.sname) Sim.Gen.all))
+      in
+      (* the generator only needs the key space, but key names come
+         from a published catalog, so cut one on a scratch engine *)
+      let engine = Server.create () in
+      let keys =
+        List.map
+          (fun (e : Server.Workload.entry) -> e.Server.Workload.name)
+          (Sim.Catalog.publish engine flavor)
+      in
+      let t =
+        spec.Sim.Gen.generate ~seed:(Int64.of_int seed) ~events ~keys
+      in
+      { t with Sim.Trace.catalog }
+    | None ->
+      let engine = Server.create () in
+      let entries = Sim.Catalog.publish engine flavor in
+      let config =
+        { Server.Workload.default_config with
+          requests = events;
+          seed = Int64.of_int seed;
+        }
+      in
+      let summary, t =
+        Sim.Record.of_workload engine ~config ~catalog_name:catalog entries
+      in
+      Printf.printf "mccsim: captured %d workload requests\n"
+        summary.Server.Workload.requests;
+      t
+  in
+  Sim.Trace.save out trace;
+  Printf.printf "mccsim: %s: %d events (%s over %s, seed %d)\n" out
+    (List.length trace.Sim.Trace.events)
+    trace.Sim.Trace.scenario trace.Sim.Trace.catalog seed;
+  0
+
+(* ---- replay ---- *)
+
+let replay file policy budget domains daemon json =
+  if domains > 0 then Support.Pool.set_shared_domains domains;
+  let trace = load_trace file in
+  let config =
+    { Sim.Replay.default_config with
+      budget_bytes = budget;
+      policy = load_policy policy;
+    }
+  in
+  let r =
+    if daemon then Sim.Replay.via_daemon ~config trace
+    else Sim.Replay.run ~config trace
+  in
+  print_string
+    (if json then Sim.Replay.to_json r ^ "\n" else Sim.Replay.render r);
+  0
+
+(* ---- ab ---- *)
+
+let ab file a_policy b_policy a_budget b_budget json out =
+  let trace = load_trace file in
+  let side label policy budget =
+    { Sim.Replay.label; budget_bytes = budget; policy = load_policy policy;
+      pool = None }
+  in
+  let d =
+    Sim.Ab.run
+      ~a:(side "tuned" a_policy a_budget)
+      ~b:(side "live" b_policy b_budget)
+      trace
+  in
+  write_out out (if json then Sim.Ab.to_json d ^ "\n" else Sim.Ab.render d);
+  if out <> None && json then print_string (Sim.Ab.render d);
+  0
+
+open Cmdliner
+
+let catalog =
+  Arg.(value & opt string "quick" & info [ "catalog" ] ~docv:"FLAVOR"
+       ~doc:"Catalog flavor the trace runs against: mini, quick or full.")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+let budget_arg names doc =
+  Arg.(value & opt int (256 * 1024) & info names ~docv:"BYTES" ~doc)
+
+let record_cmd =
+  let scenario =
+    Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"NAME"
+         ~doc:"Synthesize a named scenario (steady, flash-crowd, \
+               corruption-burst, mixed-profiles) instead of capturing a \
+               live workload run.")
+  in
+  let events =
+    Arg.(value & opt int 400 & info [ "events" ] ~docv:"N"
+         ~doc:"Events to synthesize (or workload requests to capture).")
+  in
+  let out =
+    Arg.(required & opt (some string) None & info [ "out" ] ~docv:"FILE"
+         ~doc:"Trace file to write.")
+  in
+  Cmd.v
+    (Cmd.info "record" ~doc:"Cut a trace: synthesize a scenario or capture \
+                             a live workload run")
+    Term.(const record $ scenario $ catalog $ seed $ events $ out)
+
+let trace_file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE"
+       ~doc:"Trace file (mccsim record).")
+
+let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON.")
+
+let replay_cmd =
+  let policy =
+    Arg.(value & opt (some file) None & info [ "policy" ] ~docv:"FILE"
+         ~doc:"Tuned serving-policy table for the replay engine.")
+  in
+  let domains =
+    Arg.(value & opt int 0 & info [ "domains" ] ~docv:"N"
+         ~doc:"Resize the shared compression pool (reports are identical \
+               at any size — that is the contract this flag lets you \
+               check).")
+  in
+  let daemon =
+    Arg.(value & flag & info [ "daemon" ]
+         ~doc:"Replay through a loopback TCP daemon instead of in-process \
+               (same events and bytes; measured latencies).")
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Deterministically replay a trace")
+    Term.(
+      const replay $ trace_file $ policy
+      $ budget_arg [ "budget" ] "Artifact-cache byte budget."
+      $ domains $ daemon $ json)
+
+let ab_cmd =
+  let a_policy =
+    Arg.(value & opt (some file) None & info [ "a-policy" ] ~docv:"FILE"
+         ~doc:"Side A's serving-policy table (typically POLICY.tune).")
+  in
+  let b_policy =
+    Arg.(value & opt (some file) None & info [ "b-policy" ] ~docv:"FILE"
+         ~doc:"Side B's serving-policy table (default: live scoring).")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+         ~doc:"Write the report there instead of stdout (with --json the \
+               text rendering still goes to stdout).")
+  in
+  Cmd.v
+    (Cmd.info "ab" ~doc:"Replay one trace under two engine configurations \
+                         and diff them")
+    Term.(
+      const ab $ trace_file $ a_policy $ b_policy
+      $ budget_arg [ "a-budget" ] "Side A's cache budget."
+      $ budget_arg [ "b-budget" ] "Side B's cache budget."
+      $ json $ out)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "mccsim"
+       ~doc:"Trace-driven fleet simulator: record, replay, A/B diff")
+    [ record_cmd; replay_cmd; ab_cmd ]
+
+let () = exit (Cmd.eval' cmd)

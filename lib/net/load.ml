@@ -61,6 +61,30 @@ let empty_bucket =
   { count = 0; mean_ms = 0.; p50_ms = 0.; p95_ms = 0.; p99_ms = 0.;
     max_ms = 0. }
 
+(* Floor-index quantile over a sorted sample: index floor(p * (n-1)),
+   clamped. The same estimator the report has always used, exposed so
+   the simulator's latency buckets and the property tests share it. *)
+let percentile arr p =
+  let n = Array.length arr in
+  if n = 0 then 0.
+  else arr.(min (n - 1) (int_of_float (p *. float_of_int (n - 1))))
+
+let bucket_of_ms ms =
+  match ms with
+  | [] -> empty_bucket
+  | _ ->
+    let arr = Array.of_list ms in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    {
+      count = n;
+      mean_ms = Array.fold_left ( +. ) 0. arr /. float_of_int n;
+      p50_ms = percentile arr 0.50;
+      p95_ms = percentile arr 0.95;
+      p99_ms = percentile arr 0.99;
+      max_ms = arr.(n - 1);
+    }
+
 type report = {
   sent : int;
   ok : int;
@@ -81,8 +105,19 @@ type report = {
 
 type op_kind = Fetch_op | Open_op | Chunk_op
 
+(* One op as the generator decided it, before the wire: enough for a
+   trace recorder to reconstruct the request stream. Callbacks are
+   serialized under an internal mutex (clients run on many threads). *)
+type observation = {
+  obs_client : int;           (* client index, 0.. *)
+  obs_kind : op_kind;
+  obs_digest : string;
+  obs_profile : string;       (* "" for open/chunk ops *)
+}
+
 type session_state = {
   token : string;
+  sdigest : string;           (* program the session streams *)
   names : string array;       (* the session's index *)
   mutable seq : int;
   mutable left : int;         (* chunks still to pull in this session *)
@@ -115,9 +150,18 @@ let verify_chunk payload =
 let zipf_weights catalog =
   List.mapi (fun rank row -> (1000 / (rank + 1), row)) catalog
 
-let run (cfg : config) =
+let run ?observe (cfg : config) =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
+  let obs_mu = Mutex.create () in
+  let observed o =
+    match observe with
+    | None -> ()
+    | Some f ->
+      Mutex.lock obs_mu;
+      (try f o with e -> Mutex.unlock obs_mu; raise e);
+      Mutex.unlock obs_mu
+  in
   (* one bootstrap connection pulls the catalog all clients share *)
   let catalog =
     let c = Client.connect ~port:cfg.port in
@@ -177,28 +221,33 @@ let run (cfg : config) =
           acc.c_errors <- acc.c_errors + 1;
           sample "connect refused"
         | Some c ->
-          let kind, req =
+          let kind, req, digest, prof =
             match !session with
             | Some s when s.left > 0 && Array.length s.names > 0 ->
               let name = s.names.(Support.Prng.int prng (Array.length s.names)) in
               (Chunk_op,
-               Protocol.Chunk { token = s.token; seq = s.seq; name })
+               Protocol.Chunk { token = s.token; seq = s.seq; name },
+               s.sdigest, "")
             | _ ->
               let row = Support.Prng.weighted prng weights in
               if Support.Prng.int prng 100 < cfg.stream_pct then
                 (Open_op,
                  Protocol.Open
                    { codec = ""; digest = row.Protocol.prog_digest;
-                     resume = "" })
+                     resume = "" },
+                 row.Protocol.prog_digest, "")
               else
+                let profile =
+                  profiles.(Support.Prng.int prng (Array.length profiles))
+                in
                 (Fetch_op,
                  Protocol.Fetch
-                   {
-                     profile = profiles.(Support.Prng.int prng
-                                           (Array.length profiles));
-                     digest = row.Protocol.prog_digest;
-                   })
+                   { profile; digest = row.Protocol.prog_digest },
+                 row.Protocol.prog_digest, profile)
           in
+          observed
+            { obs_client = idx; obs_kind = kind; obs_digest = digest;
+              obs_profile = prof };
           acc.c_sent <- acc.c_sent + 1;
           (match Client.rpc c req with
           | Error e ->
@@ -230,6 +279,7 @@ let run (cfg : config) =
                 Some
                   {
                     token;
+                    sdigest = digest;
                     names = Array.of_list (List.map fst rows);
                     seq = next_seq;
                     left = cfg.chunks_per_session;
@@ -275,29 +325,13 @@ let run (cfg : config) =
 
   (* ---- merge ---- *)
   let bucket kind =
-    let ms =
-      Array.to_list accs
+    bucket_of_ms
+      (Array.to_list accs
       |> List.concat_map (fun a ->
              List.filter_map
                (fun (k, v) ->
                  if kind = None || kind = Some k then Some v else None)
-               a.lat)
-    in
-    match ms with
-    | [] -> empty_bucket
-    | _ ->
-      let arr = Array.of_list ms in
-      Array.sort compare arr;
-      let n = Array.length arr in
-      let pct p = arr.(min (n - 1) (int_of_float (p *. float_of_int (n - 1)))) in
-      {
-        count = n;
-        mean_ms = Array.fold_left ( +. ) 0. arr /. float_of_int n;
-        p50_ms = pct 0.50;
-        p95_ms = pct 0.95;
-        p99_ms = pct 0.99;
-        max_ms = arr.(n - 1);
-      }
+               a.lat))
   in
   let sum f = Array.fold_left (fun a c -> a + f c) 0 accs in
   let ok = sum (fun a -> a.c_ok) in

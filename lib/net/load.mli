@@ -35,6 +35,18 @@ type bucket = {
   max_ms : float;
 }
 
+val empty_bucket : bucket
+
+val percentile : float array -> float -> float
+(** Floor-index quantile over a {e sorted} sample: index
+    [floor (p * (n-1))], clamped to the array; [0.] on an empty array.
+    The estimator every latency bucket in this module uses. *)
+
+val bucket_of_ms : float list -> bucket
+(** Summarize a latency sample (ms) into a bucket: count, mean,
+    p50/p95/p99 via {!percentile}, max. The empty list yields
+    {!empty_bucket}. *)
+
 type report = {
   sent : int;
   ok : int;
@@ -51,11 +63,24 @@ type report = {
   error_samples : string list;
 }
 
-val run : config -> report
+type op_kind = Fetch_op | Open_op | Chunk_op
+
+type observation = {
+  obs_client : int;           (** client index, 0.. *)
+  obs_kind : op_kind;
+  obs_digest : string;
+  obs_profile : string;       (** [""] for open/chunk ops *)
+}
+(** One op as the generator decided it, before the wire — enough for a
+    trace recorder to reconstruct the request stream. *)
+
+val run : ?observe:(observation -> unit) -> config -> report
 (** Drive a daemon already listening on [config.port]. The workload is
     seeded and reproducible: Zipf-weighted program popularity over the
     server's catalog, per-fetch profile draw, [stream_pct]% streaming
-    sessions paging [chunks_per_session] chunks each.
+    sessions paging [chunks_per_session] chunks each. [observe] sees
+    every op as it is issued; calls are serialized under an internal
+    mutex (clients run on many threads).
     @raise Failure when the catalog cannot be fetched or is empty. *)
 
 val print_human : out_channel -> report -> unit

@@ -156,9 +156,7 @@ let fetch t digest (profile : Profile.t) =
     in
     let (artifact, chosen), outcome =
       match tuned with
-      | Some c ->
-        Stats.record_policy_hit t.stats;
-        c
+      | Some c -> c
       | None ->
         (* strict-min fold: ties keep the earlier (registry-order) entry *)
         List.fold_left
@@ -172,6 +170,10 @@ let fetch t digest (profile : Profile.t) =
     let bytes, cache_hit = Store.materialize t.store digest artifact in
     match Codec.decode (Artifact.codec artifact) bytes with
     | Ok _ ->
+      (* a policy hit only counts once the pick actually serves: a
+         tuned pick that fails verification degrades like any other
+         candidate and must not inflate the table's success rate *)
+      if tuned <> None then Stats.record_policy_hit t.stats;
       let size = String.length bytes in
       Stats.record_served t.stats artifact size;
       let degraded_from =

@@ -87,6 +87,8 @@ type t = {
                                         repr after the chosen one failed *)
   mutable policy_hits : int;         (* fetches answered by the tuned
                                         serving-policy table *)
+  mutable quarantine_heals : int;    (* quarantined artifacts rebuilt
+                                        fresh and served again *)
   mutable recent_failures : failure list;  (* newest first, bounded *)
 }
 
@@ -105,6 +107,7 @@ let create () =
     failures_by_kind = Hashtbl.create 8;
     degraded_fetches = 0;
     policy_hits = 0;
+    quarantine_heals = 0;
     recent_failures = [];
   }
 
@@ -205,6 +208,9 @@ let record_degraded t =
 let record_policy_hit t =
   locked t (fun () -> t.policy_hits <- t.policy_hits + 1)
 
+let record_quarantine_heal t =
+  locked t (fun () -> t.quarantine_heals <- t.quarantine_heals + 1)
+
 (* ---- snapshot ---- *)
 
 (* one pipeline stage's accumulated totals in a snapshot *)
@@ -243,6 +249,7 @@ type report = {
   failures_by_kind : (string * int) list;
   degraded_fetches : int;
   policy_hits : int;
+  quarantine_heals : int;
   recent_failures : failure list;
 }
 
@@ -301,7 +308,100 @@ let report t ~cache:cs =
         (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.failures_by_kind []);
     degraded_fetches = t.degraded_fetches;
     policy_hits = t.policy_hits;
+    quarantine_heals = t.quarantine_heals;
     recent_failures = t.recent_failures;
+  }
+
+(* ---- snapshot difference ---- *)
+
+(* counter-wise [after - before]: what one workload phase did on its
+   own. Reprs are matched by tag; a repr absent from [before]
+   contributes its [after] totals unchanged. Derived rates are
+   recomputed from the differenced counters; the recent-failures log
+   (a bounded window, not a counter) is taken from [after]. *)
+let diff ~(before : report) (after : report) =
+  let d_stage (b : stage_report option) (a : stage_report) =
+    match b with
+    | None -> a
+    | Some b ->
+      {
+        a with
+        calls = a.calls - b.calls;
+        bytes_in = a.bytes_in - b.bytes_in;
+        bytes_out = a.bytes_out - b.bytes_out;
+        wall_s = a.wall_s -. b.wall_s;
+      }
+  in
+  let d_repr (a : repr_report) =
+    match List.find_opt (fun r -> r.repr = a.repr) before.by_repr with
+    | None -> a
+    | Some b ->
+      {
+        a with
+        responses = a.responses - b.responses;
+        bytes_served = a.bytes_served - b.bytes_served;
+        compressions = a.compressions - b.compressions;
+        compress_total_s = a.compress_total_s -. b.compress_total_s;
+        compress_histogram =
+          List.filter
+            (fun (_, n) -> n > 0)
+            (List.map
+               (fun (l, n) ->
+                 match List.assoc_opt l b.compress_histogram with
+                 | Some m -> (l, n - m)
+                 | None -> (l, n))
+               a.compress_histogram);
+        stages =
+          List.map
+            (fun (s : stage_report) ->
+              d_stage
+                (List.find_opt
+                   (fun (x : stage_report) -> x.stage_name = s.stage_name)
+                   b.stages)
+                s)
+            a.stages;
+      }
+  in
+  let by_repr =
+    List.filter
+      (fun (r : repr_report) ->
+        r.responses > 0 || r.bytes_served > 0 || r.compressions > 0)
+      (List.map d_repr after.by_repr)
+  in
+  let cache =
+    {
+      after.cache with
+      Cache.hits = after.cache.Cache.hits - before.cache.Cache.hits;
+      misses = after.cache.Cache.misses - before.cache.Cache.misses;
+      evictions = after.cache.Cache.evictions - before.cache.Cache.evictions;
+    }
+  in
+  {
+    requests = after.requests - before.requests;
+    publishes = after.publishes - before.publishes;
+    cache;
+    cache_hit_rate = Cache.hit_rate cache;
+    by_repr;
+    total_bytes_served = after.total_bytes_served - before.total_bytes_served;
+    sessions_opened = after.sessions_opened - before.sessions_opened;
+    chunks_served = after.chunks_served - before.chunks_served;
+    retransmits = after.retransmits - before.retransmits;
+    session_bytes = after.session_bytes - before.session_bytes;
+    session_wire_equiv = after.session_wire_equiv - before.session_wire_equiv;
+    decode_failures = after.decode_failures - before.decode_failures;
+    failures_by_kind =
+      List.filter
+        (fun (_, n) -> n > 0)
+        (List.map
+           (fun (k, n) ->
+             match List.assoc_opt k before.failures_by_kind with
+             | Some m -> (k, n - m)
+             | None -> (k, n))
+           after.failures_by_kind);
+    degraded_fetches = after.degraded_fetches - before.degraded_fetches;
+    policy_hits = after.policy_hits - before.policy_hits;
+    quarantine_heals = after.quarantine_heals - before.quarantine_heals;
+    recent_failures = after.recent_failures;
   }
 
 let print (r : report) =
@@ -345,6 +445,9 @@ let print (r : report) =
     Printf.printf
       "artifact faults     %d decode failures quarantined, %d fetches degraded\n"
       r.decode_failures r.degraded_fetches;
+    if r.quarantine_heals > 0 then
+      Printf.printf "  healed            %d quarantined artifacts rebuilt fresh\n"
+        r.quarantine_heals;
     Printf.printf "  by kind           %s\n"
       (String.concat "  "
          (List.map (fun (k, n) -> Printf.sprintf "%s:%d" k n)

@@ -32,6 +32,10 @@ val record_policy_hit : t -> unit
 (** A fetch was served by a lower-ranked representation because the
     selector's first choice failed verification. *)
 
+val record_quarantine_heal : t -> unit
+(** A previously quarantined (digest, repr) was rebuilt from source and
+    is servable again. *)
+
 (** {2 Snapshot} *)
 
 type stage_report = {
@@ -81,6 +85,7 @@ type report = {
   failures_by_kind : (string * int) list;
   degraded_fetches : int;    (** fetches served by a fallback representation *)
   policy_hits : int;         (** fetches answered by the tuned policy table *)
+  quarantine_heals : int;    (** quarantined artifacts rebuilt fresh *)
   recent_failures : failure list;  (** newest first, bounded *)
 }
 
@@ -88,5 +93,11 @@ val report : t -> cache:Cache.stats -> report
 (** Locked snapshot; [cache] is the (possibly shard-merged) cache
     counters sampled by the store. Safe to call while other domains are
     recording. *)
+
+val diff : before:report -> report -> report
+(** Counter-wise [after - before]: what a workload phase did on its own.
+    Reprs and stages are matched by name; derived rates are recomputed
+    from the differenced counters; [recent_failures] (a bounded window,
+    not a counter) is taken from the [after] snapshot. *)
 
 val print : report -> unit

@@ -60,11 +60,14 @@ type t = {
   shards : shard array;
   stats : Stats.t;
   pool : Support.Pool.t option;
-  meta_mu : Mutex.t;   (* guards metas, prefetched, order *)
+  meta_mu : Mutex.t;   (* guards metas, prefetched, quarantined, order *)
   metas : (string, meta) Hashtbl.t;
   prefetched : (string, unit) Hashtbl.t;
       (* digests whose menu a miss already prefetched once; bounds the
          recompression blow-up when the budget can't hold a menu *)
+  quarantined : (string, unit) Hashtbl.t;
+      (* cache keys dropped by [quarantine] and not yet rebuilt; a
+         fresh build of a marked key counts as a heal in the stats *)
   flights_mu : Mutex.t;
   flights : (string, flight) Hashtbl.t;
   mutable order : string list;  (* publish order, reversed *)
@@ -87,6 +90,7 @@ let create ?pool ?(shards = 1) ~budget_bytes ~stats () =
     meta_mu = Mutex.create ();
     metas = Hashtbl.create 16;
     prefetched = Hashtbl.create 16;
+    quarantined = Hashtbl.create 8;
     flights_mu = Mutex.create ();
     flights = Hashtbl.create 8;
     order = [];
@@ -221,6 +225,19 @@ let single_flight t key (build : unit -> string) =
 
 let cache_key digest repr = digest ^ ":" ^ Artifact.tag repr
 
+(* a fresh build of a key that [quarantine] condemned is a heal: the
+   poisoned bytes are gone and servable bytes exist again *)
+let note_rebuilt t key =
+  let healed =
+    with_meta_mu t (fun () ->
+        if Hashtbl.mem t.quarantined key then begin
+          Hashtbl.remove t.quarantined key;
+          true
+        end
+        else false)
+  in
+  if healed then Stats.record_quarantine_heal t.stats
+
 let timed f =
   let t0 = Unix.gettimeofday () in
   let bytes = f () in
@@ -240,6 +257,7 @@ let run_batch t digest tasks =
     (fun (repr, _) ((bytes, trace), dt) ->
       Stats.record_compress t.stats repr ~trace dt;
       cache_add t (cache_key digest repr) bytes;
+      note_rebuilt t (cache_key digest repr);
       (repr, bytes))
     tasks results
 
@@ -266,6 +284,7 @@ let native_image t digest (m : meta) =
       in
       Stats.record_compress t.stats Artifact.native ~trace dt;
       cache_add t (cache_key digest Artifact.native) bytes;
+      note_rebuilt t (cache_key digest Artifact.native);
       bytes)
 
 (* the shared lazy source sibling codecs encode from; the native view
@@ -284,30 +303,32 @@ let materialize t digest repr =
   | None ->
     let bytes =
       single_flight t ("mat:" ^ key) @@ fun () ->
-      (match parallel_pool t with
-      | Some _ when claim_prefetch t digest ->
-        (* first miss on this digest: rebuild the whole missing menu
-           concurrently — the request pays roughly the slowest single
-           compression instead of a serial sum, and sibling
-           representations are warm for the next request *)
-        let src = source_for t digest m in
-        (* force the shared native view before fanning out, so parallel
-           thunks stay pure (no cache/stats mutation from pool lanes) *)
-        ignore (Codec.Source.native src);
-        let missing =
-          List.filter
-            (fun r ->
-              r <> Artifact.native
-              && cache_find t (cache_key digest r) = None)
-            (Artifact.all ())
-        in
-        ignore
-          (run_batch t digest
-             (List.map
-                (fun r ->
-                  (r, fun () -> Codec.encode (Artifact.codec r) src))
-                missing))
-      | _ -> ());
+      (if claim_prefetch t digest then begin
+         (* first miss on this digest: rebuild the whole missing menu —
+            concurrently when a pool is available, serially otherwise,
+            with identical cache contents and counters either way, so a
+            replay's stats are invariant under the pool size. A parallel
+            batch pays roughly the slowest single compression instead of
+            a serial sum, and sibling representations are warm for the
+            next request. *)
+         let src = source_for t digest m in
+         (* force the shared native view before fanning out, so parallel
+            thunks stay pure (no cache/stats mutation from pool lanes) *)
+         ignore (Codec.Source.native src);
+         let missing =
+           List.filter
+             (fun r ->
+               r <> Artifact.native
+               && cache_find t (cache_key digest r) = None)
+             (Artifact.all ())
+         in
+         ignore
+           (run_batch t digest
+              (List.map
+                 (fun r ->
+                   (r, fun () -> Codec.encode (Artifact.codec r) src))
+                 missing))
+       end);
       match cache_find t key with
       | Some bytes -> bytes   (* compressed by the prefetch (or a racer) *)
       | None ->
@@ -319,6 +340,7 @@ let materialize t digest repr =
           in
           Stats.record_compress t.stats repr ~trace dt;
           cache_add t key bytes;
+          note_rebuilt t key;
           bytes
         end
     in
@@ -329,8 +351,12 @@ let materialize t digest repr =
 (* Quarantine = drop the poisoned bytes. The store keeps no other copy:
    the next materialize for this (digest, repr) rebuilds from the
    metadata's IR, so a corrupted cache entry self-heals while the bad
-   bytes can never be served twice. *)
-let quarantine t digest repr = cache_remove t (cache_key digest repr)
+   bytes can never be served twice. The key is marked so the eventual
+   rebuild is counted as a heal. *)
+let quarantine t digest repr =
+  let key = cache_key digest repr in
+  with_meta_mu t (fun () -> Hashtbl.replace t.quarantined key ());
+  cache_remove t key
 
 (* Fault-injection hook for tests and the driver's --faults mode:
    mutate the cached artifact in place (false when it isn't resident).

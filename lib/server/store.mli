@@ -31,11 +31,11 @@ val create :
     {!publish} compresses the representation menu concurrently, the
     first cache miss on a digest prefetches the missing menu entries
     concurrently, and BRISC dictionary construction fans its candidate
-    scan across the pool. Compression thunks are pure and all
+    scan across the pool. The menu prefetch itself runs at any pool
+    size (serially without one); compression thunks are pure and all
     stats/cache mutation is sequential in fixed representation order,
     so counters, cache contents, and artifact bytes are identical at
-    any pool size. Without a pool (or with a 1-lane pool) behavior is
-    the original serial one.
+    any pool size — the replay determinism contract depends on this.
 
     [shards] (default 1) lock-stripes the artifact cache into that many
     independent LRU shards (key-hash routed, budget split evenly), so

@@ -92,8 +92,17 @@ type session_state = {
   mutable history : (int * string) list;  (* answered (seq, name), newest first *)
 }
 
+(* What one workload step did, as seen from the outside: enough for a
+   trace recorder to reconstruct the request without reaching into the
+   engine. Streams cover handshakes and ordinary chunk requests;
+   resumes are the retransmit paths (dropped response, late duplicate). *)
+type observation =
+  | Obs_fetch of Profile.t * entry
+  | Obs_stream of Profile.t * entry
+  | Obs_resume of Profile.t * entry
+
 let run engine ?(profiles = default_profiles) ?(config = default_config)
-    catalog =
+    ?(observe = fun (_ : observation) -> ()) catalog =
   if catalog = [] then invalid_arg "Workload.run: empty catalog";
   let rng = Support.Prng.create config.seed in
   (* Zipf-flavoured popularity: weight ~ 1/(rank+1) *)
@@ -120,6 +129,7 @@ let run engine ?(profiles = default_profiles) ?(config = default_config)
       match Hashtbl.find_opt sessions key with
       | None ->
         (* this request is the handshake; chunks flow on later requests *)
+        observe (Obs_stream (profile, e));
         let sess = Engine.open_session engine e.digest in
         Hashtbl.add sessions key { sess; pending = e.wanted; history = [] }
       | Some st -> (
@@ -135,18 +145,22 @@ let run engine ?(profiles = default_profiles) ?(config = default_config)
             | Ok payload -> payload
             | Error msg -> failwith ("Workload: session error: " ^ msg)
           in
+          observe (Obs_stream (profile, e));
           let _payload = serve () in
           st.history <- (seq, name) :: st.history;
           (* response dropped in flight: the client repeats the same
              sequence number and the server retransmits *)
-          if Support.Prng.int rng 100 < config.drop_pct then
-            ignore (serve ());
+          if Support.Prng.int rng 100 < config.drop_pct then begin
+            observe (Obs_resume (profile, e));
+            ignore (serve ())
+          end;
           (* late duplicate: a stale retry of an older, already-answered
              request arrives after newer chunks — the server must
              retransmit it without disturbing the session offset *)
           (match st.history with
           | _ :: (old_seq, old_name) :: _
             when Support.Prng.int rng 100 < config.drop_pct ->
+            observe (Obs_resume (profile, e));
             incr chunk_requests;
             (match
                Engine.session_request engine st.sess ~seq:old_seq old_name
@@ -163,6 +177,7 @@ let run engine ?(profiles = default_profiles) ?(config = default_config)
     end
     else begin
       incr fetches;
+      observe (Obs_fetch (profile, e));
       let resp = Engine.fetch engine e.digest profile in
       let key = (profile.Profile.name, resp.Engine.label) in
       Hashtbl.replace tally key

@@ -11,6 +11,10 @@ type entry = {
       (** functions a real run references, in first-reference order *)
 }
 
+val catalog_entry : Engine.t -> Corpus.Programs.entry -> entry
+(** Publish one corpus program and derive its entry: digest, function
+    count, and the functions a real run touches (the paging trace). *)
+
 val build_catalog : ?generated:Corpus.Gen.profile list -> Engine.t -> entry list
 (** Publish every hand-written corpus program plus [generated]
     many-function programs (default: a 24- and a 40-function program —
@@ -51,7 +55,19 @@ type summary = {
   report : Stats.report;
 }
 
+type observation =
+  | Obs_fetch of Profile.t * entry
+  | Obs_stream of Profile.t * entry
+  | Obs_resume of Profile.t * entry
+      (** What one workload step did, as seen from the outside — enough
+          for a trace recorder to reconstruct the request. Streams cover
+          handshakes and ordinary chunk requests; resumes are the
+          retransmit paths (dropped response, late duplicate). *)
+
 val run :
-  Engine.t -> ?profiles:Profile.t list -> ?config:config -> entry list -> summary
+  Engine.t -> ?profiles:Profile.t list -> ?config:config ->
+  ?observe:(observation -> unit) -> entry list -> summary
+(** [observe] (default: ignore) sees every request as it is issued, in
+    issue order. *)
 
 val print_summary : summary -> unit

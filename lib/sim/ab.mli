@@ -1,0 +1,33 @@
+(** A/B policy diffing: two engine configurations, one trace.
+
+    Both sides replay the {e same} trace through {!Replay.run} (fresh
+    engines, independent stores), so every divergence in the diff is
+    attributable to the configuration delta — typically a tuned
+    [POLICY.tune] table versus live scoring, or two cache budgets.
+
+    The gate consumed by [perf_gate --ab] is the flat [gate] object in
+    {!to_json}: side A's bytes-on-wire and overall p99 against side
+    B's. *)
+
+type diff = {
+  a : Replay.report;
+  b : Replay.report;
+  d_bytes : int;          (** [a.bytes_on_wire - b.bytes_on_wire] *)
+  d_bytes_pct : float;    (** signed, relative to B (0 when B is 0) *)
+  d_p99_ms : float;       (** overall p99 delta, A minus B *)
+  d_hit_rate : float;     (** cache hit-rate delta, A minus B *)
+  same_events : bool;     (** event CRCs match — same requests hit both *)
+}
+
+val run :
+  a:Replay.config -> b:Replay.config -> Trace.t -> diff
+(** Replay under [a], then under [b], and diff. *)
+
+val render : diff -> string
+(** Side-by-side text report: one row per metric, columns A / B /
+    delta, plus per-op-class latency lines. *)
+
+val to_json : diff -> string
+(** ["mcc-ab 1"]: both full reports under ["a"] / ["b"], the deltas,
+    and the flat ["gate"] object ([a_bytes] / [b_bytes] / [a_p99_ms] /
+    [b_p99_ms]) that [perf_gate --ab] scans without a JSON parser. *)

@@ -1,0 +1,42 @@
+(* Catalog flavors: the key spaces traces are cut against.
+
+   Mini keeps unit tests fast (four small programs publish in well
+   under a second); Quick matches the drivers' --quick corpus; Full is
+   the complete workload catalog. Generated programs are renamed to
+   their stable genN names so trace keys survive regeneration. *)
+
+type flavor = Mini | Quick | Full
+
+let flavor_name = function Mini -> "mini" | Quick -> "quick" | Full -> "full"
+
+let flavor_of_name = function
+  | "mini" -> Some Mini
+  | "quick" -> Some Quick
+  | "full" -> Some Full
+  | _ -> None
+
+let mini_names = [ "wc"; "sieve"; "calc"; "crc" ]
+
+let rename_generated (e : Server.Workload.entry) =
+  if Corpus.Programs.find e.Server.Workload.name <> None then e
+  else
+    { e with
+      Server.Workload.name =
+        Printf.sprintf "gen%d" e.Server.Workload.fn_count }
+
+let publish engine flavor =
+  match flavor with
+  | Mini ->
+    List.map
+      (fun n ->
+        match Corpus.Programs.find n with
+        | Some p -> Server.Workload.catalog_entry engine p
+        | None -> failwith ("Sim.Catalog: unknown corpus program " ^ n))
+      mini_names
+  | Quick ->
+    List.map rename_generated
+      (Server.Workload.build_catalog
+         ~generated:[ { Corpus.Gen.functions = 12; seed = 1017L; bias16 = false } ]
+         engine)
+  | Full ->
+    List.map rename_generated (Server.Workload.build_catalog engine)

@@ -1,0 +1,18 @@
+(** Named catalog flavors the simulator (and the drivers) publish.
+
+    A trace records which flavor it was cut against, so replay can
+    rebuild the same key space without shipping digests (content
+    addresses change whenever the compiler does; program names don't). *)
+
+type flavor =
+  | Mini   (** four small corpus programs — unit-test sized *)
+  | Quick  (** the whole hand-written corpus plus one generated program *)
+  | Full   (** the corpus plus the 24- and 40-function generated programs *)
+
+val flavor_name : flavor -> string
+val flavor_of_name : string -> flavor option
+
+val publish : Server.t -> flavor -> Server.Workload.entry list
+(** Publish the flavor's programs and return the catalog. Generated
+    programs get their stable [genN] names, exactly as the mccd
+    drivers publish them. *)

@@ -1,0 +1,15 @@
+(** Seeded scenario generators: the committed golden corpus comes from
+    here. Each generator cuts a {!Trace.t} over a catalog's key list —
+    deterministically, from a single {!Support.Prng} seed. *)
+
+type spec = {
+  sname : string;  (** CLI name, e.g. [flash-crowd] *)
+  sdesc : string;
+  generate : seed:int64 -> events:int -> keys:string list -> Trace.t;
+      (** [keys] in popularity order (rank 0 is hottest). *)
+}
+
+val all : spec list
+(** [steady], [flash-crowd], [corruption-burst], [mixed-profiles]. *)
+
+val find : string -> spec option

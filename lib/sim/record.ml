@@ -1,0 +1,63 @@
+(* Recorder: turn an observer callback stream into a Trace.t.
+
+   Both sources tell us the op, the profile and the program; neither
+   carries wall-clock we could trust for replay (replay time is
+   modelled), so timestamps are synthesized — a seeded 0..9 ms gap per
+   event, preserving arrival order. *)
+
+type collector = {
+  rng : Support.Prng.t;
+  mutable t_ms : int;
+  mutable acc : Trace.event list;  (* newest first *)
+}
+
+let collector ?(seed = 1L) () =
+  { rng = Support.Prng.create seed; t_ms = 0; acc = [] }
+
+let push c ~client ~profile ~op ~key =
+  c.t_ms <- c.t_ms + Support.Prng.int c.rng 10;
+  c.acc <-
+    { Trace.t_ms = c.t_ms; client; profile; op; key; fault = None } :: c.acc
+
+let observe_workload c (o : Server.Workload.observation) =
+  let entry_name (e : Server.Workload.entry) = e.Server.Workload.name in
+  let pname (p : Server.Profile.t) = p.Server.Profile.name in
+  match o with
+  | Server.Workload.Obs_fetch (p, e) ->
+    push c ~client:("w-" ^ pname p) ~profile:(pname p) ~op:Trace.Fetch
+      ~key:(entry_name e)
+  | Server.Workload.Obs_stream (p, e) ->
+    push c ~client:("w-" ^ pname p) ~profile:(pname p) ~op:Trace.Stream
+      ~key:(entry_name e)
+  | Server.Workload.Obs_resume (p, e) ->
+    push c ~client:("w-" ^ pname p) ~profile:(pname p) ~op:Trace.Resume
+      ~key:(entry_name e)
+
+let observe_load c ~digest_to_key (o : Net.Load.observation) =
+  let client = Printf.sprintf "l%d" o.Net.Load.obs_client in
+  let key = digest_to_key o.Net.Load.obs_digest in
+  match o.Net.Load.obs_kind with
+  | Net.Load.Fetch_op ->
+    push c ~client ~profile:o.Net.Load.obs_profile ~op:Trace.Fetch ~key
+  | Net.Load.Open_op | Net.Load.Chunk_op ->
+    (* both are legs of a chunked session; the replayer re-derives
+       handshake-vs-chunk from its own per-client session state *)
+    push c ~client ~profile:"embedded" ~op:Trace.Stream ~key
+
+let events c = List.rev c.acc
+
+let trace c ~scenario ~catalog ~seed =
+  { Trace.scenario; catalog; seed; events = events c }
+
+let of_workload engine ?profiles ?config ~catalog_name catalog =
+  let config =
+    match config with Some c -> c | None -> Server.Workload.default_config
+  in
+  let c = collector ~seed:config.Server.Workload.seed () in
+  let summary =
+    Server.Workload.run engine ?profiles ~config
+      ~observe:(observe_workload c) catalog
+  in
+  ( summary,
+    trace c ~scenario:"workload" ~catalog:catalog_name
+      ~seed:config.Server.Workload.seed )

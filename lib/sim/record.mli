@@ -1,0 +1,39 @@
+(** Capture a live run as a trace.
+
+    A {!collector} accumulates events from either observer hook — the
+    in-process synthetic workload ({!Server.Workload.run}'s [observe])
+    or the TCP load generator ({!Net.Load.run}'s [observe]) — and cuts
+    a {!Trace.t}. Timestamps are synthesized from a seeded PRNG (small
+    gaps in arrival order), so a captured trace is deterministic for a
+    deterministic source. *)
+
+type collector
+
+val collector : ?seed:int64 -> unit -> collector
+(** [seed] (default 1) drives the synthesized inter-arrival gaps. *)
+
+val observe_workload : collector -> Server.Workload.observation -> unit
+(** Feed to [Server.Workload.run ~observe]. Client ids are derived from
+    the profile name (the workload draws a profile per request, not a
+    client). *)
+
+val observe_load :
+  collector -> digest_to_key:(string -> string) -> Net.Load.observation -> unit
+(** Feed to [Net.Load.run ~observe]. [digest_to_key] maps a catalog
+    digest back to its program name (trace keys are names). *)
+
+val events : collector -> Trace.event list
+(** Captured so far, in arrival order. *)
+
+val trace :
+  collector -> scenario:string -> catalog:string -> seed:int64 -> Trace.t
+
+val of_workload :
+  Server.t ->
+  ?profiles:Server.Profile.t list ->
+  ?config:Server.Workload.config ->
+  catalog_name:string ->
+  Server.Workload.entry list ->
+  Server.Workload.summary * Trace.t
+(** Run the synthetic workload and capture it in one step; the trace's
+    scenario is ["workload"], its seed the workload's. *)

@@ -1,0 +1,506 @@
+(* Trace replay: the simulator's deterministic core.
+
+   Everything observable is derived from the trace and the engine's
+   own deterministic behavior: the event log renders what was served
+   (label, size, cache hit, degradation) but never wall-clock, and
+   latency is modelled (delivery model for fetches, link transfer time
+   for session legs), so a replay is byte-identical across runs and
+   across pool sizes. The daemon path reuses the same per-event logic
+   with RPCs in place of direct engine calls. *)
+
+type opstats = { ops : int; bytes : int; lat : Net.Load.bucket }
+
+type report = {
+  r_label : string;
+  r_scenario : string;
+  r_catalog : string;
+  r_seed : int64;
+  r_events : int;
+  r_bytes_on_wire : int;
+  r_cache_hit_rate : float;
+  r_degraded : int;
+  r_decode_failures : int;
+  r_quarantine_heals : int;
+  r_policy_hits : int;
+  r_fetch : opstats;
+  r_stream : opstats;
+  r_resume : opstats;
+  r_all : opstats;
+  r_event_crc : int;
+  r_serve_crc : int;
+  r_log : string;
+  r_stats : Server.Stats.report;
+}
+
+type config = {
+  label : string;
+  budget_bytes : int;
+  policy : Tune.Policy.t option;
+  pool : Support.Pool.t option;
+}
+
+let default_config =
+  { label = "replay"; budget_bytes = 256 * 1024; policy = None; pool = None }
+
+(* ---- shared plumbing ---- *)
+
+let find_profile name =
+  match
+    List.find_opt
+      (fun (p : Server.Profile.t) -> p.Server.Profile.name = name)
+      Server.Workload.default_profiles
+  with
+  | Some p -> p
+  | None -> failwith ("Sim.Replay: unknown profile " ^ name)
+
+let catalog_for (trace : Trace.t) engine =
+  let flavor =
+    match Catalog.flavor_of_name trace.Trace.catalog with
+    | Some f -> f
+    | None ->
+      failwith ("Sim.Replay: unknown catalog flavor " ^ trace.Trace.catalog)
+  in
+  let entries = Catalog.publish engine flavor in
+  let by_name = Hashtbl.create 32 in
+  List.iter
+    (fun (e : Server.Workload.entry) ->
+      Hashtbl.replace by_name e.Server.Workload.name e)
+    entries;
+  (entries, by_name)
+
+let entry_of by_name key : Server.Workload.entry =
+  match Hashtbl.find_opt by_name key with
+  | Some e -> e
+  | None -> failwith ("Sim.Replay: trace key not in catalog: " ^ key)
+
+(* chained CRC over served payloads: order-sensitive, O(total bytes) *)
+let chain crc s = Support.Util.crc32 (Printf.sprintf "%08x:" crc ^ s)
+
+(* what the handshake ships: the session index (same formula as
+   Session.handshake_bytes, recomputed from the index rows so the
+   daemon path can derive it from the Index frame alone) *)
+let handshake_of_rows rows =
+  List.fold_left (fun a (n, _) -> a + String.length n + 1 + 4) 8 rows
+
+let render_rows rows =
+  String.concat ";" (List.map (fun (n, sz) -> Printf.sprintf "%s:%d" n sz) rows)
+
+(* modelled transfer time of [bytes] at the profile's link, in ms *)
+let transfer_ms (p : Server.Profile.t) bytes =
+  float_of_int (bytes * 8) /. p.Server.Profile.link_bps *. 1000.
+
+(* ---- accumulation ---- *)
+
+type acc = {
+  log : Buffer.t;
+  mutable serve_crc : int;
+  mutable lat : (Trace.op * float) list;  (* newest first *)
+  mutable bytes_by_op : (Trace.op * int) list;
+}
+
+let new_acc () = { log = Buffer.create 4096; serve_crc = 0; lat = []; bytes_by_op = [] }
+
+let logf acc fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string acc.log s;
+      Buffer.add_char acc.log '\n')
+    fmt
+
+let served acc op ?(latency = 0.) payload =
+  acc.serve_crc <- chain acc.serve_crc payload;
+  acc.lat <- (op, latency) :: acc.lat;
+  acc.bytes_by_op <- (op, String.length payload) :: acc.bytes_by_op
+
+let opstats_of acc op =
+  let lats =
+    List.rev_map snd (List.filter (fun (o, _) -> o = op) acc.lat)
+  in
+  {
+    ops = List.length lats;
+    bytes =
+      List.fold_left
+        (fun a (o, n) -> if o = op then a + n else a)
+        0 acc.bytes_by_op;
+    lat = Net.Load.bucket_of_ms lats;
+  }
+
+let all_stats acc =
+  {
+    ops = List.length acc.lat;
+    bytes = List.fold_left (fun a (_, n) -> a + n) 0 acc.bytes_by_op;
+    lat = Net.Load.bucket_of_ms (List.rev_map snd acc.lat);
+  }
+
+let finish ~(config : config) ~(trace : Trace.t) ~before ~after acc =
+  let d = Server.Stats.diff ~before after in
+  {
+    r_label = config.label;
+    r_scenario = trace.Trace.scenario;
+    r_catalog = trace.Trace.catalog;
+    r_seed = trace.Trace.seed;
+    r_events = List.length trace.Trace.events;
+    r_bytes_on_wire = d.Server.Stats.total_bytes_served;
+    r_cache_hit_rate = d.Server.Stats.cache_hit_rate;
+    r_degraded = d.Server.Stats.degraded_fetches;
+    r_decode_failures = d.Server.Stats.decode_failures;
+    r_quarantine_heals = d.Server.Stats.quarantine_heals;
+    r_policy_hits = d.Server.Stats.policy_hits;
+    r_fetch = opstats_of acc Trace.Fetch;
+    r_stream = opstats_of acc Trace.Stream;
+    r_resume = opstats_of acc Trace.Resume;
+    r_all = all_stats acc;
+    r_event_crc = Support.Util.crc32 (Buffer.contents acc.log);
+    r_serve_crc = acc.serve_crc;
+    r_log = Buffer.contents acc.log;
+    r_stats = d;
+  }
+
+(* ---- faults ---- *)
+
+(* One directive corrupts ONE cached non-native artifact of the key —
+   the repr picked and the mutation both drawn from the directive's own
+   seed, so the damage is reproducible. Same fault model as
+   [mccd --faults]: verify-before-serve catches it, the fetch degrades,
+   and the store heals the quarantined artifact on its next request. *)
+let apply_fault store digest (f : Trace.fault) =
+  let rng = Support.Prng.create f.Trace.fseed in
+  let reprs =
+    Array.of_list
+      (List.filter (fun r -> r <> Server.Artifact.native) (Server.Artifact.all ()))
+  in
+  let repr = reprs.(Support.Prng.int rng (Array.length reprs)) in
+  if
+    Server.Store.corrupt_cached store digest repr
+      ~f:(fun s -> Support.Fault.apply rng f.Trace.fkind s)
+  then 1
+  else 0
+
+(* ---- in-process replay ---- *)
+
+type stream_state = {
+  mutable pending : string list;
+  mutable last : (int * string) option;  (* last served (seq, name) *)
+  sess : Server.Session.t;
+}
+
+let run ?(config = default_config) (trace : Trace.t) =
+  let engine =
+    Server.create ?pool:config.pool ~budget_bytes:config.budget_bytes
+      ?policy:config.policy ()
+  in
+  let _entries, by_name = catalog_for trace engine in
+  let store = Server.store engine in
+  let acc = new_acc () in
+  let streams : (string, stream_state) Hashtbl.t = Hashtbl.create 16 in
+  let before = Server.report engine in
+  let open_stream ev (e : Server.Workload.entry) profile =
+    let sess = Server.open_session engine e.Server.Workload.digest in
+    let rows = Server.Session.index sess in
+    let hs = handshake_of_rows rows in
+    let rendered = render_rows rows in
+    logf acc "open %s %s %s rows=%d %dB" ev.Trace.client ev.Trace.profile
+      ev.Trace.key (List.length rows) hs;
+    acc.serve_crc <- chain acc.serve_crc rendered;
+    acc.lat <- (Trace.Stream, transfer_ms profile hs) :: acc.lat;
+    acc.bytes_by_op <- (Trace.Stream, hs) :: acc.bytes_by_op;
+    Hashtbl.replace streams
+      (ev.Trace.client ^ ":" ^ ev.Trace.key)
+      { pending = e.Server.Workload.wanted; last = None; sess }
+  in
+  let request st name =
+    let seq = Server.Session.next_seq st.sess in
+    match Server.session_request engine st.sess ~seq name with
+    | Ok payload -> (seq, payload)
+    | Error msg -> failwith ("Sim.Replay: session error: " ^ msg)
+  in
+  let rec step ev =
+    let e = entry_of by_name ev.Trace.key in
+    let profile = find_profile ev.Trace.profile in
+    let skey = ev.Trace.client ^ ":" ^ ev.Trace.key in
+    match ev.Trace.op with
+    | Trace.Fetch ->
+      let resp = Server.fetch engine e.Server.Workload.digest profile in
+      logf acc "fetch %s %s %s -> %s %dB hit=%d degraded=%s" ev.Trace.client
+        ev.Trace.profile ev.Trace.key resp.Server.label resp.Server.size
+        (if resp.Server.cache_hit then 1 else 0)
+        (Option.value ~default:"-" resp.Server.degraded_from);
+      served acc Trace.Fetch
+        ~latency:(resp.Server.outcome.Scenario.Delivery.total_s *. 1000.)
+        resp.Server.bytes
+    | Trace.Stream -> (
+      match Hashtbl.find_opt streams skey with
+      | None -> open_stream ev e profile
+      | Some st -> (
+        match st.pending with
+        | [] ->
+          (* session exhausted: the client starts over *)
+          Hashtbl.remove streams skey;
+          open_stream ev e profile
+        | name :: rest ->
+          let seq, payload = request st name in
+          logf acc "chunk %s %s %s seq=%d %s %dB" ev.Trace.client
+            ev.Trace.profile ev.Trace.key seq name (String.length payload);
+          served acc Trace.Stream
+            ~latency:(transfer_ms profile (String.length payload))
+            payload;
+          st.last <- Some (seq, name);
+          st.pending <- rest))
+    | Trace.Resume -> (
+      match Hashtbl.find_opt streams skey with
+      | Some ({ last = Some (seq, name); _ } as st) -> (
+        (* dropped response: repeat the same seq, byte-for-byte *)
+        match Server.session_request engine st.sess ~seq name with
+        | Ok payload ->
+          logf acc "resume %s %s %s seq=%d %s %dB" ev.Trace.client
+            ev.Trace.profile ev.Trace.key seq name (String.length payload);
+          served acc Trace.Resume
+            ~latency:(transfer_ms profile (String.length payload))
+            payload
+        | Error msg -> failwith ("Sim.Replay: retransmit refused: " ^ msg))
+      | _ ->
+        (* nothing to resume yet: behaves as the stream leg it retries *)
+        step { ev with Trace.op = Trace.Stream })
+  in
+  List.iter
+    (fun ev ->
+      (match ev.Trace.fault with
+      | None -> ()
+      | Some f ->
+        let e = entry_of by_name ev.Trace.key in
+        let hit = apply_fault store e.Server.Workload.digest f in
+        logf acc "fault %s %s hit=%d"
+          (Support.Fault.kind_name f.Trace.fkind)
+          ev.Trace.key hit);
+      step ev)
+    trace.Trace.events;
+  let after = Server.report engine in
+  finish ~config ~trace ~before ~after acc
+
+(* ---- replay through the daemon ---- *)
+
+type daemon_stream = {
+  mutable d_pending : string list;
+  mutable d_last : (int * string) option;
+  d_token : string;
+  mutable d_next_seq : int;
+}
+
+let rpc client req =
+  match Net.Client.rpc client req with
+  | Ok resp -> resp
+  | Error e ->
+    failwith ("Sim.Replay: rpc failed: " ^ Support.Decode_error.to_string e)
+
+let via_daemon ?(config = default_config) (trace : Trace.t) =
+  let engine =
+    Server.create ?pool:config.pool ~budget_bytes:config.budget_bytes
+      ?policy:config.policy ()
+  in
+  let entries, by_name = catalog_for trace engine in
+  let store = Server.store engine in
+  let rows =
+    List.map
+      (fun (e : Server.Workload.entry) ->
+        {
+          Net.Protocol.prog_name = e.Server.Workload.name;
+          prog_digest = e.Server.Workload.digest;
+          fn_count = e.Server.Workload.fn_count;
+        })
+      entries
+  in
+  let daemon =
+    Net.Daemon.create engine ~catalog:rows
+      { Net.Daemon.default_config with domains = 1 }
+  in
+  let dom = Domain.spawn (fun () -> Net.Daemon.run daemon) in
+  let acc = new_acc () in
+  let streams : (string, daemon_stream) Hashtbl.t = Hashtbl.create 16 in
+  let before = Server.report engine in
+  Fun.protect
+    ~finally:(fun () ->
+      Net.Daemon.request_stop daemon;
+      Domain.join dom)
+    (fun () ->
+      let client = Net.Client.connect ~port:(Net.Daemon.port daemon) in
+      Fun.protect
+        ~finally:(fun () -> Net.Client.close client)
+        (fun () ->
+          let timed req =
+            let t0 = Unix.gettimeofday () in
+            let resp = rpc client req in
+            (resp, (Unix.gettimeofday () -. t0) *. 1000.)
+          in
+          let open_stream ev (e : Server.Workload.entry) =
+            match
+              timed
+                (Net.Protocol.Open
+                   { codec = ""; digest = e.Server.Workload.digest; resume = "" })
+            with
+            | Net.Protocol.Index { token; next_seq; rows }, ms ->
+              let hs = handshake_of_rows rows in
+              logf acc "open %s %s %s rows=%d %dB" ev.Trace.client
+                ev.Trace.profile ev.Trace.key (List.length rows) hs;
+              acc.serve_crc <- chain acc.serve_crc (render_rows rows);
+              acc.lat <- (Trace.Stream, ms) :: acc.lat;
+              acc.bytes_by_op <- (Trace.Stream, hs) :: acc.bytes_by_op;
+              Hashtbl.replace streams
+                (ev.Trace.client ^ ":" ^ ev.Trace.key)
+                {
+                  d_pending = e.Server.Workload.wanted;
+                  d_last = None;
+                  d_token = token;
+                  d_next_seq = next_seq;
+                }
+            | resp, _ ->
+              failwith
+                ("Sim.Replay: unexpected response to Open: "
+                ^ match resp with
+                  | Net.Protocol.Err (c, m) ->
+                    Net.Protocol.err_code_name c ^ ": " ^ m
+                  | _ -> "wrong frame kind")
+          in
+          let chunk_req st name seq =
+            match
+              timed
+                (Net.Protocol.Chunk { token = st.d_token; seq; name })
+            with
+            | Net.Protocol.Chunk_data payload, ms -> (payload, ms)
+            | Net.Protocol.Err (c, m), _ ->
+              failwith
+                ("Sim.Replay: chunk refused: " ^ Net.Protocol.err_code_name c
+               ^ ": " ^ m)
+            | _ -> failwith "Sim.Replay: unexpected response to Chunk"
+          in
+          let rec step ev =
+            let e = entry_of by_name ev.Trace.key in
+            let skey = ev.Trace.client ^ ":" ^ ev.Trace.key in
+            match ev.Trace.op with
+            | Trace.Fetch -> (
+              match
+                timed
+                  (Net.Protocol.Fetch
+                     {
+                       profile = ev.Trace.profile;
+                       digest = e.Server.Workload.digest;
+                     })
+              with
+              | Net.Protocol.Artifact { label; cache_hit; degraded_from; body; _ }, ms ->
+                logf acc "fetch %s %s %s -> %s %dB hit=%d degraded=%s"
+                  ev.Trace.client ev.Trace.profile ev.Trace.key label
+                  (String.length body)
+                  (if cache_hit then 1 else 0)
+                  (if degraded_from = "" then "-" else degraded_from);
+                served acc Trace.Fetch ~latency:ms body
+              | Net.Protocol.Err (c, m), _ ->
+                failwith
+                  ("Sim.Replay: fetch refused: " ^ Net.Protocol.err_code_name c
+                 ^ ": " ^ m)
+              | _ -> failwith "Sim.Replay: unexpected response to Fetch")
+            | Trace.Stream -> (
+              match Hashtbl.find_opt streams skey with
+              | None -> open_stream ev e
+              | Some st -> (
+                match st.d_pending with
+                | [] ->
+                  Hashtbl.remove streams skey;
+                  open_stream ev e
+                | name :: rest ->
+                  let seq = st.d_next_seq in
+                  let payload, ms = chunk_req st name seq in
+                  logf acc "chunk %s %s %s seq=%d %s %dB" ev.Trace.client
+                    ev.Trace.profile ev.Trace.key seq name
+                    (String.length payload);
+                  served acc Trace.Stream ~latency:ms payload;
+                  st.d_next_seq <- seq + 1;
+                  st.d_last <- Some (seq, name);
+                  st.d_pending <- rest))
+            | Trace.Resume -> (
+              match Hashtbl.find_opt streams skey with
+              | Some ({ d_last = Some (seq, name); _ } as st) ->
+                let payload, ms = chunk_req st name seq in
+                logf acc "resume %s %s %s seq=%d %s %dB" ev.Trace.client
+                  ev.Trace.profile ev.Trace.key seq name
+                  (String.length payload);
+                served acc Trace.Resume ~latency:ms payload
+              | _ -> step { ev with Trace.op = Trace.Stream })
+          in
+          List.iter
+            (fun ev ->
+              (match ev.Trace.fault with
+              | None -> ()
+              | Some f ->
+                (* the daemon shares this engine, so the fault lands in
+                   the same store the workers serve from; ops are
+                   strictly sequential (one connection, one in flight),
+                   so the injection is ordered exactly as in [run] *)
+                let e = entry_of by_name ev.Trace.key in
+                let hit = apply_fault store e.Server.Workload.digest f in
+                logf acc "fault %s %s hit=%d"
+                  (Support.Fault.kind_name f.Trace.fkind)
+                  ev.Trace.key hit);
+              step ev)
+            trace.Trace.events));
+  let after = Server.report engine in
+  finish ~config ~trace ~before ~after acc
+
+(* ---- rendering ---- *)
+
+let render_opstats name (o : opstats) =
+  Printf.sprintf
+    "lat %-7s %5d ops %9dB  p50 %8.2f  p95 %8.2f  p99 %8.2f ms" name o.ops
+    o.bytes o.lat.Net.Load.p50_ms o.lat.Net.Load.p95_ms o.lat.Net.Load.p99_ms
+
+let render (r : report) =
+  String.concat "\n"
+    [
+      "mcc-sim replay 1";
+      Printf.sprintf "label            %s" r.r_label;
+      Printf.sprintf "scenario         %s" r.r_scenario;
+      Printf.sprintf "catalog          %s" r.r_catalog;
+      Printf.sprintf "seed             %Ld" r.r_seed;
+      Printf.sprintf "events           %d" r.r_events;
+      Printf.sprintf "bytes on wire    %d" r.r_bytes_on_wire;
+      Printf.sprintf "cache hit rate   %.4f" r.r_cache_hit_rate;
+      Printf.sprintf "degraded         %d" r.r_degraded;
+      Printf.sprintf "decode failures  %d" r.r_decode_failures;
+      Printf.sprintf "quarantine heals %d" r.r_quarantine_heals;
+      Printf.sprintf "policy hits      %d" r.r_policy_hits;
+      render_opstats "fetch" r.r_fetch;
+      render_opstats "stream" r.r_stream;
+      render_opstats "resume" r.r_resume;
+      render_opstats "all" r.r_all;
+      Printf.sprintf "event crc        %08x" r.r_event_crc;
+      Printf.sprintf "serve crc        %08x" r.r_serve_crc;
+      "";
+    ]
+
+let json_opstats (o : opstats) =
+  Printf.sprintf
+    "{\"ops\": %d, \"bytes\": %d, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f}"
+    o.ops o.bytes o.lat.Net.Load.p50_ms o.lat.Net.Load.p95_ms
+    o.lat.Net.Load.p99_ms
+
+let to_json (r : report) =
+  String.concat "\n"
+    [
+      "{";
+      Printf.sprintf "  \"label\": \"%s\"," r.r_label;
+      Printf.sprintf "  \"scenario\": \"%s\"," r.r_scenario;
+      Printf.sprintf "  \"catalog\": \"%s\"," r.r_catalog;
+      Printf.sprintf "  \"seed\": %Ld," r.r_seed;
+      Printf.sprintf "  \"events\": %d," r.r_events;
+      Printf.sprintf "  \"bytes_on_wire\": %d," r.r_bytes_on_wire;
+      Printf.sprintf "  \"cache_hit_rate\": %.4f," r.r_cache_hit_rate;
+      Printf.sprintf "  \"degraded\": %d," r.r_degraded;
+      Printf.sprintf "  \"decode_failures\": %d," r.r_decode_failures;
+      Printf.sprintf "  \"quarantine_heals\": %d," r.r_quarantine_heals;
+      Printf.sprintf "  \"policy_hits\": %d," r.r_policy_hits;
+      Printf.sprintf "  \"fetch\": %s," (json_opstats r.r_fetch);
+      Printf.sprintf "  \"stream\": %s," (json_opstats r.r_stream);
+      Printf.sprintf "  \"resume\": %s," (json_opstats r.r_resume);
+      Printf.sprintf "  \"all\": %s," (json_opstats r.r_all);
+      Printf.sprintf "  \"event_crc\": \"%08x\"," r.r_event_crc;
+      Printf.sprintf "  \"serve_crc\": \"%08x\"" r.r_serve_crc;
+      "}";
+    ]

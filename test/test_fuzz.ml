@@ -254,6 +254,27 @@ let codec_rows =
       Alcotest.test_case name `Quick run)
     (Codec.all ())
 
+(* ---- simulator trace format ---- *)
+
+(* seeds: one valid rendered trace per scenario generator, so the
+   mutations walk headers, meta lines, event rows and fault clauses *)
+let fuzz_trace =
+  let seeds =
+    lazy
+      (List.map
+         (fun (s : Sim.Gen.spec) ->
+           let t =
+             s.Sim.Gen.generate ~seed:7L ~events:60
+               ~keys:[ "wc"; "sieve"; "calc"; "crc" ]
+           in
+           Sim.Trace.to_string { t with Sim.Trace.catalog = "mini" })
+         Sim.Gen.all)
+  in
+  fun () ->
+    fuzz "trace" 131L (Lazy.force seeds)
+      (fun _ m -> match Sim.Trace.of_string m with Ok _ | Error _ -> ())
+      ()
+
 let fuzz_lz77_structured =
   fuzz "lz77 structured" 112L [ "" ] (fun rng _ ->
       let len = Support.Prng.int rng 40 in
@@ -291,6 +312,7 @@ let () =
           Alcotest.test_case "vm encode" `Quick fuzz_vm_encode;
           Alcotest.test_case "mtf structured" `Quick fuzz_mtf_structured;
           Alcotest.test_case "lz77 structured" `Quick fuzz_lz77_structured;
+          Alcotest.test_case "sim trace" `Quick fuzz_trace;
         ]
         @ codec_rows );
     ]

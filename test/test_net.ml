@@ -442,6 +442,69 @@ let test_load_generator_end_to_end () =
   Alcotest.(check bool) "latencies recorded" true
     (r.Net.Load.lat_all.Net.Load.count = 150)
 
+(* ---- percentile math ---- *)
+
+(* An independent oracle for the floor-index quantile: sort the raw
+   sample here (Load sorts its own copy) and take floor (p * (n-1)).
+   Random samples of every size 1..60 must agree exactly — the
+   estimator is deterministic, so the check is equality, not
+   tolerance. *)
+let quantile_oracle sample p =
+  let a = Array.of_list sample in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then 0.0 else a.(min (n - 1) (int_of_float (p *. float_of_int (n - 1))))
+
+let test_percentile_against_oracle () =
+  let rng = Support.Prng.create 977L in
+  for n = 1 to 60 do
+    let sample =
+      List.init n (fun _ -> float_of_int (Support.Prng.int rng 10_000) /. 7.0)
+    in
+    let b = Net.Load.bucket_of_ms sample in
+    Alcotest.(check int) "count" n b.Net.Load.count;
+    List.iter
+      (fun (p, got, name) ->
+        Alcotest.(check (float 0.0))
+          (Printf.sprintf "%s of %d samples" name n)
+          (quantile_oracle sample p) got)
+      [ (0.50, b.Net.Load.p50_ms, "p50");
+        (0.95, b.Net.Load.p95_ms, "p95");
+        (0.99, b.Net.Load.p99_ms, "p99") ];
+    let mx = List.fold_left max neg_infinity sample in
+    Alcotest.(check (float 0.0)) "max" mx b.Net.Load.max_ms;
+    (* percentiles are order statistics: always within [min, max] and
+       monotone in p *)
+    Alcotest.(check bool) "p50 <= p95 <= p99 <= max" true
+      (b.Net.Load.p50_ms <= b.Net.Load.p95_ms
+      && b.Net.Load.p95_ms <= b.Net.Load.p99_ms
+      && b.Net.Load.p99_ms <= b.Net.Load.max_ms)
+  done
+
+let test_percentile_edge_cases () =
+  (* empty: every field zero, no division by zero *)
+  let e = Net.Load.bucket_of_ms [] in
+  Alcotest.(check int) "empty count" 0 e.Net.Load.count;
+  Alcotest.(check (float 0.0)) "empty p99" 0.0 e.Net.Load.p99_ms;
+  Alcotest.(check (float 0.0)) "empty mean" 0.0 e.Net.Load.mean_ms;
+  (* singleton: every percentile IS the sample *)
+  let s = Net.Load.bucket_of_ms [ 3.5 ] in
+  List.iter
+    (fun v -> Alcotest.(check (float 0.0)) "singleton percentile" 3.5 v)
+    [ s.Net.Load.p50_ms; s.Net.Load.p95_ms; s.Net.Load.p99_ms;
+      s.Net.Load.max_ms; s.Net.Load.mean_ms ];
+  (* two elements: floor-index puts p50 on the lower, p95/p99 stay on
+     the lower too (floor (0.99 * 1) = 0) — max alone sees the upper *)
+  let d = Net.Load.bucket_of_ms [ 9.0; 1.0 ] in
+  Alcotest.(check (float 0.0)) "pair p50 = lower" 1.0 d.Net.Load.p50_ms;
+  Alcotest.(check (float 0.0)) "pair p99 = lower (floor-index)" 1.0
+    d.Net.Load.p99_ms;
+  Alcotest.(check (float 0.0)) "pair max = upper" 9.0 d.Net.Load.max_ms;
+  Alcotest.(check (float 1e-9)) "pair mean" 5.0 d.Net.Load.mean_ms;
+  (* percentile itself clamps p = 1.0 to the last element *)
+  Alcotest.(check (float 0.0)) "p=1.0 clamps to max" 7.0
+    (Net.Load.percentile [| 2.0; 7.0 |] 1.0)
+
 let () =
   Alcotest.run "net"
     [
@@ -478,5 +541,9 @@ let () =
         [
           Alcotest.test_case "generator end to end" `Quick
             test_load_generator_end_to_end;
+          Alcotest.test_case "percentiles vs quantile oracle" `Quick
+            test_percentile_against_oracle;
+          Alcotest.test_case "percentile edge cases" `Quick
+            test_percentile_edge_cases;
         ] );
     ]

@@ -1,0 +1,298 @@
+(* The fleet simulator: trace format totality and round-trips, the
+   replay determinism contract (across runs, across pool sizes, across
+   the in-process/daemon boundary), the committed golden scenario
+   corpus, live-run capture, and A/B policy diffing. *)
+
+let mini_keys = [ "wc"; "sieve"; "calc"; "crc" ]
+
+let gen name ?(seed = 42L) ?(events = 80) () =
+  let spec =
+    match Sim.Gen.find name with
+    | Some s -> s
+    | None -> Alcotest.failf "no generator named %s" name
+  in
+  let t = spec.Sim.Gen.generate ~seed ~events ~keys:mini_keys in
+  { t with Sim.Trace.catalog = "mini" }
+
+(* ---- the trace format ---- *)
+
+let test_trace_round_trip () =
+  List.iter
+    (fun (s : Sim.Gen.spec) ->
+      let t = gen s.Sim.Gen.sname () in
+      let text = Sim.Trace.to_string t in
+      match Sim.Trace.of_string text with
+      | Error e ->
+        Alcotest.failf "%s: own output rejected: %s" s.Sim.Gen.sname
+          (Support.Decode_error.to_string e)
+      | Ok t2 ->
+        Alcotest.(check string)
+          (s.Sim.Gen.sname ^ " round-trips byte-identically")
+          text (Sim.Trace.to_string t2);
+        Alcotest.(check int) "event count survives"
+          (List.length t.Sim.Trace.events)
+          (List.length t2.Sim.Trace.events))
+    Sim.Gen.all
+
+let reject label text =
+  match Sim.Trace.of_string text with
+  | Ok _ -> Alcotest.failf "%s: accepted" label
+  | Error e ->
+    Alcotest.(check bool) (label ^ " error names the trace decoder") true
+      (e.Support.Decode_error.decoder = "trace")
+
+let test_trace_rejects_malformed () =
+  reject "empty input" "";
+  reject "wrong magic" "mcc-trace 9\n";
+  reject "garbage header" "not a trace\n";
+  let hdr = "mcc-trace 1\nmeta scenario s\nmeta catalog mini\nmeta seed 1\n" in
+  reject "unknown record kind" (hdr ^ "xx 1 c0 embedded fetch wc\n");
+  reject "short event row" (hdr ^ "ev 1 c0 embedded fetch\n");
+  reject "unknown op" (hdr ^ "ev 1 c0 embedded teleport wc\n");
+  reject "non-integer timestamp" (hdr ^ "ev soon c0 embedded fetch wc\n");
+  reject "negative timestamp" (hdr ^ "ev -4 c0 embedded fetch wc\n");
+  reject "decreasing timestamps"
+    (hdr ^ "ev 9 c0 embedded fetch wc\nev 3 c0 embedded fetch wc\n");
+  reject "unknown fault kind"
+    (hdr ^ "ev 1 c0 embedded fetch wc fault melt 7\n");
+  reject "short fault clause" (hdr ^ "ev 1 c0 embedded fetch wc fault\n");
+  reject "meta after events"
+    (hdr ^ "ev 1 c0 embedded fetch wc\nmeta seed 2\n");
+  (* the reader's allocation cap is a typed Limit, not an OOM *)
+  let many =
+    hdr
+    ^ String.concat ""
+        (List.init 20 (fun i ->
+             Printf.sprintf "ev %d c0 embedded fetch wc\n" i))
+  in
+  match Sim.Trace.of_string ~max_events:10 many with
+  | Ok _ -> Alcotest.fail "event cap not enforced"
+  | Error e ->
+    Alcotest.(check bool) "cap is a Limit error" true
+      (e.Support.Decode_error.kind = Support.Decode_error.Limit)
+
+(* ---- replay determinism ---- *)
+
+let test_replay_deterministic_across_runs () =
+  let t = gen "steady" () in
+  let r1 = Sim.Replay.run t in
+  let r2 = Sim.Replay.run t in
+  Alcotest.(check string) "event logs byte-identical" r1.Sim.Replay.r_log
+    r2.Sim.Replay.r_log;
+  Alcotest.(check int) "serve crc identical" r1.Sim.Replay.r_serve_crc
+    r2.Sim.Replay.r_serve_crc;
+  Alcotest.(check int) "bytes on wire identical" r1.Sim.Replay.r_bytes_on_wire
+    r2.Sim.Replay.r_bytes_on_wire;
+  (* the whole render — counters, latency percentiles, crcs — is pinned *)
+  Alcotest.(check string) "full render identical" (Sim.Replay.render r1)
+    (Sim.Replay.render r2);
+  Alcotest.(check string) "json identical" (Sim.Replay.to_json r1)
+    (Sim.Replay.to_json r2)
+
+let test_replay_deterministic_across_pool_sizes () =
+  let t = gen "steady" () in
+  let with_pool domains f =
+    let pool = Support.Pool.create ~domains in
+    Fun.protect ~finally:(fun () -> Support.Pool.shutdown pool) (fun () -> f pool)
+  in
+  let r1 =
+    with_pool 1 (fun pool ->
+        Sim.Replay.run
+          ~config:{ Sim.Replay.default_config with pool = Some pool } t)
+  in
+  let r4 =
+    with_pool 4 (fun pool ->
+        Sim.Replay.run
+          ~config:{ Sim.Replay.default_config with pool = Some pool } t)
+  in
+  Alcotest.(check string) "render identical at 1 vs 4 domains"
+    (Sim.Replay.render r1) (Sim.Replay.render r4);
+  Alcotest.(check string) "event logs identical" r1.Sim.Replay.r_log
+    r4.Sim.Replay.r_log
+
+let test_replay_daemon_parity () =
+  let t = gen "steady" ~events:60 () in
+  let r = Sim.Replay.run t in
+  let d = Sim.Replay.via_daemon t in
+  (* latencies are measured on the daemon path, everything else —
+     events, served payloads, engine counters — must match exactly *)
+  Alcotest.(check string) "event logs identical" r.Sim.Replay.r_log
+    d.Sim.Replay.r_log;
+  Alcotest.(check int) "serve crc identical" r.Sim.Replay.r_serve_crc
+    d.Sim.Replay.r_serve_crc;
+  Alcotest.(check int) "bytes on wire identical" r.Sim.Replay.r_bytes_on_wire
+    d.Sim.Replay.r_bytes_on_wire;
+  Alcotest.(check int) "decode failures identical"
+    r.Sim.Replay.r_decode_failures d.Sim.Replay.r_decode_failures;
+  Alcotest.(check (float 1e-9)) "cache hit rate identical"
+    r.Sim.Replay.r_cache_hit_rate d.Sim.Replay.r_cache_hit_rate
+
+let test_replay_corruption_heals () =
+  let t = gen "corruption-burst" ~events:120 () in
+  let has_fault =
+    List.exists
+      (fun e -> e.Sim.Trace.fault <> None)
+      t.Sim.Trace.events
+  in
+  Alcotest.(check bool) "scenario carries fault directives" true has_fault;
+  let r = Sim.Replay.run t in
+  Alcotest.(check bool) "faults were detected" true
+    (r.Sim.Replay.r_decode_failures > 0);
+  Alcotest.(check bool) "quarantined artifacts healed" true
+    (r.Sim.Replay.r_quarantine_heals > 0);
+  (* detection without service failure: every event still served *)
+  Alcotest.(check int) "all events served"
+    (List.length t.Sim.Trace.events)
+    r.Sim.Replay.r_all.Sim.Replay.ops
+
+(* ---- the committed golden corpus ---- *)
+
+(* Replays of the committed traces must render byte-identically to the
+   committed reports: any drift in the engine, the codecs, the catalog
+   or the latency model shows up here as a diff, exactly like a golden
+   digest. Regenerate with `make traces` when the change is intended. *)
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* dune runtest sandboxes us in _build/default/test (the declared deps
+   land in ../traces); a bare `dune exec test/test_sim.exe` runs from
+   the repo root, where the corpus is ./traces *)
+let golden_root = if Sys.file_exists "../traces" then "../traces" else "traces"
+
+let test_golden name () =
+  let base = golden_root ^ "/" ^ name in
+  let trace =
+    match Sim.Trace.load (base ^ ".trace") with
+    | Ok t -> t
+    | Error e ->
+      Alcotest.failf "%s.trace: %s" name (Support.Decode_error.to_string e)
+  in
+  let want = read_file (base ^ ".report") in
+  let got = Sim.Replay.render (Sim.Replay.run trace) in
+  Alcotest.(check string) (name ^ " replay matches committed report") want got
+
+(* ---- capture ---- *)
+
+let test_workload_capture_replays () =
+  let engine = Server.create () in
+  let entries = Sim.Catalog.publish engine Sim.Catalog.Mini in
+  let config = { Server.Workload.default_config with requests = 60 } in
+  let summary, trace =
+    Sim.Record.of_workload engine ~config ~catalog_name:"mini" entries
+  in
+  Alcotest.(check bool) "workload ran" true
+    (summary.Server.Workload.requests > 0);
+  Alcotest.(check bool) "capture saw events" true
+    (List.length trace.Sim.Trace.events > 0);
+  Alcotest.(check string) "catalog recorded" "mini" trace.Sim.Trace.catalog;
+  (* the captured trace survives its own format... *)
+  (match Sim.Trace.of_string (Sim.Trace.to_string trace) with
+  | Error e ->
+    Alcotest.failf "captured trace rejected: %s"
+      (Support.Decode_error.to_string e)
+  | Ok t2 ->
+    Alcotest.(check int) "events survive"
+      (List.length trace.Sim.Trace.events)
+      (List.length t2.Sim.Trace.events));
+  (* ...and replays deterministically like any synthesized one *)
+  let r1 = Sim.Replay.run trace in
+  let r2 = Sim.Replay.run trace in
+  Alcotest.(check string) "captured replay deterministic"
+    (Sim.Replay.render r1) (Sim.Replay.render r2);
+  Alcotest.(check bool) "captured replay served bytes" true
+    (r1.Sim.Replay.r_bytes_on_wire > 0)
+
+(* ---- A/B ---- *)
+
+(* Tune a policy over the mini programs in-test (Search keys picks by
+   the same IR digest Store.publish uses), then diff tuned vs live over
+   one trace: the table must actually serve (policy hits), and holding
+   the same picks live scoring derives, it must not cost bytes. *)
+let test_ab_tuned_vs_live () =
+  let points =
+    List.map
+      (fun n ->
+        let p =
+          match Corpus.Programs.find n with
+          | Some p -> p
+          | None -> Alcotest.failf "no corpus program %s" n
+        in
+        { Tune.Search.pname = n;
+          ir = Cc.Lower.compile p.Corpus.Programs.source;
+          run_cycles = 120_000_000 })
+      mini_keys
+  in
+  let policy = Tune.Search.tune points in
+  let t = gen "flash-crowd" ~events:120 () in
+  let d =
+    Sim.Ab.run
+      ~a:{ Sim.Replay.default_config with label = "tuned"; policy = Some policy }
+      ~b:{ Sim.Replay.default_config with label = "live" }
+      t
+  in
+  Alcotest.(check bool) "same events hit both sides" true d.Sim.Ab.same_events;
+  Alcotest.(check bool) "tuned side actually used the table" true
+    (d.Sim.Ab.a.Sim.Replay.r_policy_hits > 0);
+  Alcotest.(check int) "live side has no table" 0
+    d.Sim.Ab.b.Sim.Replay.r_policy_hits;
+  Alcotest.(check bool) "tuned side at byte parity or better" true
+    (d.Sim.Ab.a.Sim.Replay.r_bytes_on_wire
+    <= d.Sim.Ab.b.Sim.Replay.r_bytes_on_wire);
+  (* the json report carries the flat gate block perf_gate --ab scans *)
+  let json = Sim.Ab.to_json d in
+  let contains needle =
+    let hn = String.length json and nn = String.length needle in
+    let rec go i = i + nn <= hn && (String.sub json i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "json declares mcc-ab 1" true
+    (contains "\"format\": \"mcc-ab 1\"");
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) ("json gate has " ^ k) true
+        (contains ("\"" ^ k ^ "\":")))
+    [ "a_bytes"; "b_bytes"; "a_p99_ms"; "b_p99_ms" ]
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "format round-trip" `Quick test_trace_round_trip;
+          Alcotest.test_case "rejects malformed input" `Quick
+            test_trace_rejects_malformed;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "deterministic across runs" `Quick
+            test_replay_deterministic_across_runs;
+          Alcotest.test_case "deterministic across pool sizes" `Quick
+            test_replay_deterministic_across_pool_sizes;
+          Alcotest.test_case "daemon path parity" `Quick
+            test_replay_daemon_parity;
+          Alcotest.test_case "corruption burst detects and heals" `Quick
+            test_replay_corruption_heals;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "steady" `Quick (test_golden "steady");
+          Alcotest.test_case "flash crowd" `Quick (test_golden "flash_crowd");
+          Alcotest.test_case "corruption burst" `Quick
+            (test_golden "corruption_burst");
+          Alcotest.test_case "mixed profiles" `Quick
+            (test_golden "mixed_profiles");
+        ] );
+      ( "capture",
+        [
+          Alcotest.test_case "workload capture replays" `Quick
+            test_workload_capture_replays;
+        ] );
+      ( "ab",
+        [
+          Alcotest.test_case "tuned vs live over one trace" `Quick
+            test_ab_tuned_vs_live;
+        ] );
+    ]

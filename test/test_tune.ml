@@ -153,6 +153,8 @@ let test_engine_policy_fallback () =
   let resp = Server.fetch e dg Server.Profile.modem in
   Alcotest.(check string) "stale pick falls back to live scoring"
     "wire+range-opt+JIT" resp.Server.label;
+  Alcotest.(check int) "stale-digest fallback is not a policy hit" 0
+    (Server.report e).Server.Stats.policy_hits;
   (* infeasible pick: native for a modem client that can't take it *)
   let policy2 =
     Tune.Policy.add Tune.Policy.empty
@@ -166,6 +168,49 @@ let test_engine_policy_fallback () =
   let r = Server.report e2 in
   Alcotest.(check int) "fallback is not a policy hit" 0
     r.Server.Stats.policy_hits
+
+(* A tuned pick whose artifact turns out corrupt must degrade to the
+   next-best live candidate — and, because the pick never actually
+   served, count zero policy hits. The follow-up fetch proves the store
+   healed the quarantined artifact and the pick works again. *)
+let test_engine_policy_quarantined_pick () =
+  let e = Server.create () in
+  let dg = Server.publish e ~run_cycles:120_000_000 (prog fib_src) in
+  let policy =
+    Tune.Policy.add Tune.Policy.empty
+      (pick Server.Profile.modem.Server.Profile.name dg "wire")
+  in
+  let e2 = Server.create ~policy () in
+  let dg2 = Server.publish e2 ~run_cycles:120_000_000 (prog fib_src) in
+  Alcotest.(check string) "same digest" dg dg2;
+  let store = Server.store e2 in
+  ignore (Server.Store.materialize store dg2 Server.Artifact.wire);
+  let flip s =
+    let b = Bytes.of_string s in
+    let i = Bytes.length b / 2 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+    Bytes.to_string b
+  in
+  Alcotest.(check bool) "wire artifact corrupted in cache" true
+    (Server.Store.corrupt_cached store dg2 Server.Artifact.wire ~f:flip);
+  let resp = Server.fetch e2 dg2 Server.Profile.modem in
+  Alcotest.(check string) "degrades to the next-best live candidate"
+    "wire+range-opt+JIT" resp.Server.label;
+  Alcotest.(check (option string)) "degradation records the failed pick"
+    (Some "wire+JIT") resp.Server.degraded_from;
+  let r = Server.report e2 in
+  Alcotest.(check int) "corruption detected" 1 r.Server.Stats.decode_failures;
+  Alcotest.(check int) "quarantined pick is not a policy hit" 0
+    r.Server.Stats.policy_hits;
+  (* next fetch: the store rebuilds the quarantined artifact fresh, the
+     pick verifies, and only now does the table score a hit *)
+  let resp2 = Server.fetch e2 dg2 Server.Profile.modem in
+  Alcotest.(check string) "healed pick serves again" "wire+JIT"
+    resp2.Server.label;
+  let r2 = Server.report e2 in
+  Alcotest.(check int) "heal recorded" 1 r2.Server.Stats.quarantine_heals;
+  Alcotest.(check int) "served pick is the first policy hit" 1
+    r2.Server.Stats.policy_hits
 
 let () =
   Alcotest.run "tune"
@@ -191,5 +236,7 @@ let () =
             test_engine_serves_tuned_pick;
           Alcotest.test_case "falls back on stale or infeasible pick" `Quick
             test_engine_policy_fallback;
+          Alcotest.test_case "degrades past a quarantined pick" `Quick
+            test_engine_policy_quarantined_pick;
         ] );
     ]
