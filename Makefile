@@ -1,4 +1,4 @@
-.PHONY: all check test fuzz fuzz-quick bench bench-json bench-quick bench-codecs perf-gate maybe-perf-gate server-bench ab-bench traces tune policy-check clean
+.PHONY: all check test fuzz fuzz-quick bench bench-json bench-quick bench-codecs perf-gate maybe-perf-gate server-bench ab-bench storm-bench traces dict tune policy-check clean
 
 all:
 	dune build
@@ -14,7 +14,7 @@ all:
 # fuzz layer and the differential tests; ab-bench replays the committed
 # flash-crowd trace under the tuned policy vs live scoring and gates
 # the diff (deterministic, so it runs unconditionally)
-check: fuzz-quick maybe-perf-gate bench-codecs policy-check ab-bench
+check: fuzz-quick maybe-perf-gate bench-codecs policy-check ab-bench storm-bench
 	dune build && dune runtest
 
 # off by default (timings on shared runners are noisy); opt in with
@@ -56,6 +56,16 @@ ab-bench:
 	  --a-policy POLICY.tune --json --out BENCH_ab.json
 	dune exec bench/perf_gate.exe -- --ab BENCH_ab.json
 
+# replay the committed update-storm trace with the update channel on
+# and off (mccsim storm) and gate the savings: delta delivery must stay
+# at or under 40% of full-redelivery bytes on the update ops, with zero
+# client-side decode-verification failures. Deterministic, like ab-bench.
+storm-bench:
+	dune build bin/mccsim.exe bench/perf_gate.exe
+	dune exec bin/mccsim.exe -- storm traces/update_storm.trace \
+	  --json --out BENCH_storm.json
+	dune exec bench/perf_gate.exe -- --storm BENCH_storm.json
+
 # regenerate the golden scenario trace corpus (only needed when the
 # generators or the catalog change; the replays of these files are
 # regression-checked by dune runtest)
@@ -67,6 +77,17 @@ traces:
 	  dune exec bin/mccsim.exe -- replay traces/$$(echo $$s | tr - _).trace \
 	    > traces/$$(echo $$s | tr - _).report; \
 	done
+	dune exec bin/mccsim.exe -- record --scenario update-storm \
+	  --catalog versioned --events 400 --seed 42 \
+	  --out traces/update_storm.trace
+	dune exec bin/mccsim.exe -- replay traces/update_storm.trace \
+	  > traces/update_storm.report
+
+# regenerate the committed corpus-trained shared dictionary
+# (lib/codec/shared_dict_data.ml); the digest-pin test fails when the
+# corpus and the committed bytes drift apart
+dict:
+	dune exec bin/mccdict.exe
 
 test:
 	dune runtest

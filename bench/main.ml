@@ -579,17 +579,32 @@ let best_of ~runs f =
   go first (runs - 1)
 
 (* every registered codec encoded (and its output decoded) from one
-   shared source, with the traces both directions report *)
+   shared source, with the traces both directions report. Contexted
+   codecs get the context they declare: the committed shared
+   dictionary, or — for the delta update channel — the point's own
+   printed IR as the held base (the all-functions-match patch, the
+   dominant case in the update-storm scenario). *)
 let codec_rows p =
   let src = Codec.Source.of_ir ~vm:p.vp ~native:p.x86_img p.ir in
   List.map
     (fun (e : Codec.entry) ->
       let c = e.Codec.codec in
-      let bytes, _ = Codec.encode c src in
-      let enc = best_of ~runs:5 (fun () -> snd (Codec.encode c src)) in
+      let ctx =
+        match e.Codec.needs with
+        | `None -> None
+        | `Shared_dict _ -> Some (Codec.Context.builtin ())
+        | `Base _ ->
+          Some
+            (Codec.Context.base
+               ~ir_text:(Ir.Printer.program_to_string p.ir))
+      in
+      let bytes, _ = Codec.encode ?ctx c src in
+      let enc = best_of ~runs:5 (fun () -> snd (Codec.encode ?ctx c src)) in
       let dec =
         best_of ~runs:5 (fun () ->
-            match Codec.decode c bytes with Ok (_, tr) -> tr | Error _ -> [])
+            match Codec.decode ?ctx c bytes with
+            | Ok (_, tr) -> tr
+            | Error _ -> [])
       in
       (c, bytes, enc, dec))
     (Codec.all ())

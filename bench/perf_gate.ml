@@ -253,6 +253,63 @@ let ab_gate path =
   end
   else print_endline "\nperf-gate: OK — tuned policy holds parity with live scoring"
 
+(* ---- --storm mode: the update channel must actually save bytes ---- *)
+
+(* mccsim storm replays the committed update-storm trace with the
+   update channel on and off; both replays are deterministic, so the
+   savings ratio is a property of the codecs and the scenario, not the
+   runner. The gate holds the tentpole's claim: delta delivery costs at
+   most 40% of full redelivery on the update ops, every serve
+   decode-verified client-side. *)
+let storm_max_ratio = 0.40
+
+let storm_gate path =
+  let s = read_file path in
+  let rec has i =
+    if i + 11 > String.length s then false
+    else if String.sub s i 11 = "mcc-storm 1" then true
+    else has (i + 1)
+  in
+  if not (has 0) then begin
+    Printf.eprintf "perf-gate: %s is not an mcc-storm 1 report\n" path;
+    exit 2
+  end;
+  let get key =
+    match scan_number s key with
+    | Some v -> v
+    | None ->
+      Printf.eprintf "perf-gate: no \"%s\" in %s\n" key path;
+      exit 2
+  in
+  let update_bytes = get "update_bytes" in
+  let full_bytes = get "full_update_bytes" in
+  let corrupt = get "storm_corrupt" in
+  let ops = get "update_ops" in
+  let failures = ref 0 in
+  let check cond msg =
+    Printf.printf "  [%s] %s\n" (if cond then "ok" else "FAIL") msg;
+    if not cond then incr failures
+  in
+  Printf.printf "update-storm gate on %s:\n" path;
+  check (ops > 0.0) (Printf.sprintf "%.0f update ops replayed" ops);
+  check
+    (update_bytes <= full_bytes *. storm_max_ratio)
+    (Printf.sprintf "update bytes %.0f <= %.0f x %.2f (%.1f%% of full)"
+       update_bytes full_bytes storm_max_ratio
+       (if full_bytes > 0.0 then update_bytes /. full_bytes *. 100.0 else 0.0));
+  check (corrupt = 0.0)
+    (Printf.sprintf
+       "%.0f corrupt update serves (every serve decode-verified against \
+        its context)"
+       corrupt);
+  if !failures > 0 then begin
+    Printf.printf "\nperf-gate: FAIL — the update channel missed its floor\n";
+    exit 1
+  end
+  else
+    print_endline
+      "\nperf-gate: OK — delta delivery holds its floor over full redelivery"
+
 let () =
   if Array.length Sys.argv = 3 && Sys.argv.(1) = "--server" then begin
     server_gate Sys.argv.(2);
@@ -262,10 +319,15 @@ let () =
     ab_gate Sys.argv.(2);
     exit 0
   end;
+  if Array.length Sys.argv = 3 && Sys.argv.(1) = "--storm" then begin
+    storm_gate Sys.argv.(2);
+    exit 0
+  end;
   if Array.length Sys.argv <> 3 then begin
     prerr_endline
       "usage: perf_gate BASELINE.json FRESH.json | perf_gate --server \
-       BENCH_server.json | perf_gate --ab BENCH_ab.json";
+       BENCH_server.json | perf_gate --ab BENCH_ab.json | perf_gate \
+       --storm BENCH_storm.json";
     exit 2
   end;
   let base, base_sizes = parse (read_file Sys.argv.(1)) in

@@ -19,7 +19,8 @@ let fail fmt = Printf.ksprintf failwith fmt
 let flavor_of name =
   match Sim.Catalog.flavor_of_name name with
   | Some f -> f
-  | None -> fail "mccsim: unknown catalog flavor %s (mini|quick|full)" name
+  | None ->
+    fail "mccsim: unknown catalog flavor %s (mini|quick|full|versioned)" name
 
 let load_policy = function
   | None -> None
@@ -93,7 +94,7 @@ let record scenario catalog seed events out =
 
 (* ---- replay ---- *)
 
-let replay file policy budget domains daemon json =
+let replay file policy budget domains daemon json log =
   if domains > 0 then Support.Pool.set_shared_domains domains;
   let trace = load_trace file in
   let config =
@@ -106,6 +107,7 @@ let replay file policy budget domains daemon json =
     if daemon then Sim.Replay.via_daemon ~config trace
     else Sim.Replay.run ~config trace
   in
+  if log then print_string r.Sim.Replay.r_log;
   print_string
     (if json then Sim.Replay.to_json r ^ "\n" else Sim.Replay.render r);
   0
@@ -116,7 +118,7 @@ let ab file a_policy b_policy a_budget b_budget json out =
   let trace = load_trace file in
   let side label policy budget =
     { Sim.Replay.label; budget_bytes = budget; policy = load_policy policy;
-      pool = None }
+      pool = None; contexted = true }
   in
   let d =
     Sim.Ab.run
@@ -126,6 +128,63 @@ let ab file a_policy b_policy a_budget b_budget json out =
   in
   write_out out (if json then Sim.Ab.to_json d ^ "\n" else Sim.Ab.render d);
   if out <> None && json then print_string (Sim.Ab.render d);
+  0
+
+(* ---- storm ---- *)
+
+(* Replay the same trace twice — update channel on (clients advertise
+   held digests, unlocking shared-dictionary and delta serves) and off
+   (every upgrade is a full redelivery) — and report the wire savings
+   on the update ops. perf_gate --storm holds a floor on this report. *)
+let storm file json out =
+  let trace = load_trace file in
+  let side label contexted =
+    Sim.Replay.run
+      ~config:{ Sim.Replay.default_config with label; contexted }
+      trace
+  in
+  let d = side "delta" true in
+  let f = side "full" false in
+  let ub = d.Sim.Replay.r_update.Sim.Replay.bytes in
+  let fb = f.Sim.Replay.r_update.Sim.Replay.bytes in
+  let corrupt = d.Sim.Replay.r_update_corrupt + f.Sim.Replay.r_update_corrupt in
+  let pct = if fb = 0 then 0. else float_of_int ub /. float_of_int fb *. 100. in
+  let text =
+    String.concat "\n"
+      [
+        Printf.sprintf "mcc-storm 1  scenario=%s catalog=%s seed=%Ld events=%d"
+          d.Sim.Replay.r_scenario d.Sim.Replay.r_catalog d.Sim.Replay.r_seed
+          d.Sim.Replay.r_events;
+        Printf.sprintf "update ops           %d"
+          d.Sim.Replay.r_update.Sim.Replay.ops;
+        Printf.sprintf "update bytes (delta) %d" ub;
+        Printf.sprintf "update bytes (full)  %d" fb;
+        Printf.sprintf "delta vs full        %.1f%%" pct;
+        Printf.sprintf "update corrupt       %d" corrupt;
+        Printf.sprintf "total bytes (delta)  %d" d.Sim.Replay.r_bytes_on_wire;
+        Printf.sprintf "total bytes (full)   %d" f.Sim.Replay.r_bytes_on_wire;
+        "";
+      ]
+  in
+  let json_s =
+    String.concat "\n"
+      [
+        "{";
+        "  \"format\": \"mcc-storm 1\",";
+        Printf.sprintf "  \"scenario\": \"%s\"," d.Sim.Replay.r_scenario;
+        Printf.sprintf "  \"delta\":\n%s," (Sim.Ab.indent (Sim.Replay.to_json d));
+        Printf.sprintf "  \"full\":\n%s," (Sim.Ab.indent (Sim.Replay.to_json f));
+        (* flat gate block: perf_gate --storm scans these by key, last
+           occurrence wins, so they come after the nested reports *)
+        Printf.sprintf
+          "  \"gate\": {\"update_bytes\": %d, \"full_update_bytes\": %d, \
+           \"storm_corrupt\": %d, \"update_ops\": %d}"
+          ub fb corrupt d.Sim.Replay.r_update.Sim.Replay.ops;
+        "}";
+      ]
+  in
+  write_out out (if json then json_s ^ "\n" else text);
+  if out <> None then print_string text;
   0
 
 open Cmdliner
@@ -143,8 +202,8 @@ let record_cmd =
   let scenario =
     Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"NAME"
          ~doc:"Synthesize a named scenario (steady, flash-crowd, \
-               corruption-burst, mixed-profiles) instead of capturing a \
-               live workload run.")
+               corruption-burst, mixed-profiles, update-storm) instead of \
+               capturing a live workload run.")
   in
   let events =
     Arg.(value & opt int 400 & info [ "events" ] ~docv:"N"
@@ -181,12 +240,17 @@ let replay_cmd =
          ~doc:"Replay through a loopback TCP daemon instead of in-process \
                (same events and bytes; measured latencies).")
   in
+  let log =
+    Arg.(value & flag & info [ "log" ]
+         ~doc:"Print the per-event log before the report (what served, \
+               at what size, under which context).")
+  in
   Cmd.v
     (Cmd.info "replay" ~doc:"Deterministically replay a trace")
     Term.(
       const replay $ trace_file $ policy
       $ budget_arg [ "budget" ] "Artifact-cache byte budget."
-      $ domains $ daemon $ json)
+      $ domains $ daemon $ json $ log)
 
 let ab_cmd =
   let a_policy =
@@ -211,10 +275,23 @@ let ab_cmd =
       $ budget_arg [ "b-budget" ] "Side B's cache budget."
       $ json $ out)
 
+let storm_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+         ~doc:"Write the report there instead of stdout (with --json the \
+               text rendering still goes to stdout).")
+  in
+  Cmd.v
+    (Cmd.info "storm"
+       ~doc:"Replay an update-storm trace with the update channel on and \
+             off and report delta bytes-on-wire vs full redelivery")
+    Term.(const storm $ trace_file $ json $ out)
+
 let cmd =
   Cmd.group
     (Cmd.info "mccsim"
-       ~doc:"Trace-driven fleet simulator: record, replay, A/B diff")
-    [ record_cmd; replay_cmd; ab_cmd ]
+       ~doc:"Trace-driven fleet simulator: record, replay, A/B diff, \
+             update-storm gate")
+    [ record_cmd; replay_cmd; ab_cmd; storm_cmd ]
 
 let () = exit (Cmd.eval' cmd)

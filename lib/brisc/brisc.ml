@@ -25,6 +25,21 @@ let compress_with (img : Emit.image) vp =
   in
   Emit.of_dict (Dict.apply_dictionary t vp)
 
+let compress_shared ~(shared : Pat.pat array) vp =
+  let t =
+    {
+      Dict.entries = shared;
+      base_count = Array.length shared;
+      funcs = [];
+      globals = [];
+      candidates_tested = 0;
+      passes = 0;
+      pass_stats = [];
+      scan_domains = 1;
+    }
+  in
+  Emit.of_dict (Dict.apply_dictionary t vp)
+
 let to_bytes = Emit.to_bytes
 let of_bytes = Emit.of_bytes
 let of_bytes_exn = Emit.of_bytes_exn

@@ -40,6 +40,14 @@ val compress_with : Emit.image -> Vm.Isa.vprogram -> Emit.image
     how the paper applies the gcc-trained dictionary to the salt
     example. The Markov tables are rebuilt for the new program. *)
 
+val compress_shared : shared:Pat.pat array -> Vm.Isa.vprogram -> Emit.image
+(** Compress against a corpus-trained shared dictionary (no candidate
+    search): the resulting image's entries start with [shared] exactly —
+    {!Dict.apply_dictionary} appends any base shapes the program needs
+    past it — so {!Emit.to_bytes_shared} can omit the shared prefix
+    from the wire form. [base_count] is set so only the appended
+    entries count as transmitted dictionary bytes. *)
+
 val to_bytes : Emit.image -> string
 
 val of_bytes : string -> (Emit.image, Support.Decode_error.t) result

@@ -400,6 +400,33 @@ let read_pat s pos : Pat.pat =
   in
   { Pat.parts }
 
+(* Standalone pattern-set serialization: the byte form of a shared
+   dictionary extension (corpus-trained entries both sides pre-agree
+   on). Reuses the container's per-entry encoding. *)
+
+let patterns_to_bytes (pats : Pat.pat array) : string =
+  let buf = Buffer.create 1024 in
+  Support.Util.uleb128 buf (Array.length pats);
+  Array.iter (write_pat buf) pats;
+  Buffer.contents buf
+
+let patterns_of_bytes_exn (s : string) : Pat.pat array =
+  let pos = ref 0 in
+  let n = Support.Util.read_uleb128 s pos in
+  if n < 0 || n * 2 > String.length s then
+    Support.Decode_error.fail ~decoder:"brisc"
+      ~kind:Support.Decode_error.Limit ~pos:!pos
+      (Printf.sprintf "pattern count %d exceeds remaining input" n);
+  let pats = Array.init n (fun _ -> read_pat s pos) in
+  if !pos <> String.length s then
+    Support.Decode_error.fail ~decoder:"brisc"
+      ~kind:Support.Decode_error.Inconsistent ~pos:!pos
+      "trailing bytes after pattern set";
+  pats
+
+let patterns_of_bytes s =
+  Support.Decode_error.guard ~decoder:"brisc" (fun () -> patterns_of_bytes_exn s)
+
 let to_bytes (img : image) : string =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf magic;
@@ -494,6 +521,132 @@ let of_bytes_exn (s : string) : image =
 
 let of_bytes s =
   Support.Decode_error.guard ~decoder:"brisc" (fun () -> of_bytes_exn s)
+
+(* ---- shared-dictionary container ----
+
+   "BRS2" is BRS1 minus the dictionary entries both sides already hold:
+   the image's entry array must have the pre-agreed shared set as a
+   prefix, and only the entries past it travel. A 4-byte CRC of the
+   shared set's byte form pins the pairing, so decoding against a
+   wrong or absent dictionary is a typed error, never garbage. *)
+
+let shared_magic = "BRS2"
+
+let crc4 s = Support.Frame.crc_be s
+
+let to_bytes_shared ~(shared : Pat.pat array) (img : image) : string =
+  let shared_count = Array.length shared in
+  if Array.length img.entries < shared_count then
+    invalid_arg "Emit.to_bytes_shared: image has fewer entries than shared set";
+  Array.iteri
+    (fun i p ->
+      if Pat.key p <> Pat.key img.entries.(i) then
+        invalid_arg "Emit.to_bytes_shared: shared set is not an entry prefix")
+    shared;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf shared_magic;
+  Buffer.add_string buf (crc4 (patterns_to_bytes shared));
+  Support.Util.uleb128 buf shared_count;
+  Support.Util.uleb128 buf (Array.length img.symbols);
+  Array.iter (fun s -> Support.Frame.put_str buf s) img.symbols;
+  Support.Util.uleb128 buf (List.length img.globals);
+  let sym_idx =
+    let h = Hashtbl.create 64 in
+    Array.iteri (fun i s -> Hashtbl.replace h s i) img.symbols;
+    h
+  in
+  List.iter
+    (fun (n, sz, init) ->
+      Support.Util.uleb128 buf (Hashtbl.find sym_idx n);
+      Support.Util.uleb128 buf sz;
+      match init with
+      | None -> Support.Util.uleb128 buf 0
+      | Some bytes ->
+        Support.Util.uleb128 buf (List.length bytes + 1);
+        List.iter (fun b -> Buffer.add_char buf (Char.chr (b land 0xff))) bytes)
+    img.globals;
+  Support.Util.uleb128 buf (Array.length img.entries);
+  Support.Util.uleb128 buf img.base_count;
+  Array.iteri (fun i p -> if i >= shared_count then write_pat buf p) img.entries;
+  Markov.write buf img.markov;
+  Support.Util.uleb128 buf (Array.length img.ifuncs);
+  Array.iter
+    (fun f ->
+      Support.Util.uleb128 buf (Hashtbl.find sym_idx f.if_name);
+      Support.Util.uleb128 buf (Array.length f.label_offsets);
+      Array.iter (fun o -> Support.Util.uleb128 buf o) f.label_offsets;
+      Support.Frame.put_str buf f.code)
+    img.ifuncs;
+  Buffer.contents buf
+
+let of_bytes_shared_exn ~(shared : Pat.pat array) (s : string) : image =
+  let r = Support.Frame.reader ~decoder:"brisc" s in
+  let pos = Support.Frame.cursor r in
+  let fail kind msg = Support.Frame.fail r kind msg in
+  let check_count n what = Support.Frame.check_count r n what in
+  let u () = Support.Frame.u r in
+  let str () = Support.Frame.str ~what:"string" r in
+  let byte () = Char.code (Support.Frame.byte r ()) in
+  Support.Frame.expect_magic r shared_magic;
+  let crc = Support.Frame.raw r ~what:"shared dictionary crc" 4 in
+  if crc <> crc4 (patterns_to_bytes shared) then
+    fail Support.Decode_error.Inconsistent
+      "shared container was built against a different dictionary";
+  let shared_count = u () in
+  if shared_count <> Array.length shared then
+    fail Support.Decode_error.Inconsistent
+      (Printf.sprintf "shared count %d does not match dictionary of %d"
+         shared_count (Array.length shared));
+  let nsym = u () in
+  check_count nsym "symbol";
+  let symbols = Array.init nsym (fun _ -> str ()) in
+  let sym () =
+    let i = u () in
+    if i < 0 || i >= nsym then
+      fail Support.Decode_error.Bad_value
+        (Printf.sprintf "symbol index %d outside table of %d" i nsym);
+    symbols.(i)
+  in
+  let nglob = u () in
+  check_count nglob "global";
+  let globals =
+    List.init nglob (fun _ ->
+        let n = sym () in
+        let sz = u () in
+        let initlen = u () in
+        if initlen > 0 then check_count (initlen - 1) "global initializer";
+        let init =
+          if initlen = 0 then None
+          else Some (List.init (initlen - 1) (fun _ -> byte ()))
+        in
+        (n, sz, init))
+  in
+  let nentries = u () in
+  if nentries < shared_count then
+    fail Support.Decode_error.Inconsistent
+      (Printf.sprintf "entry count %d below shared prefix of %d" nentries
+         shared_count);
+  check_count (nentries - shared_count) "dictionary entry";
+  let base_count = u () in
+  if base_count < 0 || base_count > nentries then
+    fail Support.Decode_error.Inconsistent
+      (Printf.sprintf "base count %d exceeds %d entries" base_count nentries);
+  let extra = Array.init (nentries - shared_count) (fun _ -> read_pat s pos) in
+  let entries = Array.append shared extra in
+  let markov = Markov.read s pos in
+  let nfuncs = u () in
+  check_count nfuncs "function";
+  let ifuncs =
+    Array.init nfuncs (fun _ ->
+        let if_name = sym () in
+        let nlabels = u () in
+        check_count nlabels "label";
+        let label_offsets = Array.init nlabels (fun _ -> u ()) in
+        let code = str () in
+        { if_name; label_offsets; code })
+  in
+  Support.Frame.expect_end r "container";
+  { entries; base_count; markov; symbols; globals; ifuncs }
 
 let code_size img =
   Array.fold_left (fun a f -> a + String.length f.code) 0 img.ifuncs

@@ -43,6 +43,35 @@ val of_bytes_exn : string -> image
 (** As {!of_bytes} but raises {!Support.Decode_error.Fail}; for trusted
     inputs. *)
 
+(** {2 Shared-dictionary container ("BRS2")}
+
+    The same container minus the dictionary entries both sides already
+    hold: the image's entry array must carry the pre-agreed shared set
+    as a prefix, and only the entries past it travel, preceded by a
+    4-byte CRC of the shared set's byte form so decoding against the
+    wrong (or no) dictionary is a typed error. *)
+
+val patterns_to_bytes : Pat.pat array -> string
+(** Canonical byte form of a pattern set (count + per-entry encoding);
+    the unit dictionaries are trained, shipped and CRC-pinned in. *)
+
+val patterns_of_bytes :
+  string -> (Pat.pat array, Support.Decode_error.t) result
+(** Total inverse of {!patterns_to_bytes}. *)
+
+val patterns_of_bytes_exn : string -> Pat.pat array
+
+val to_bytes_shared : shared:Pat.pat array -> image -> string
+(** @raise Invalid_argument if [shared] is not a prefix (by {!Pat.key})
+    of the image's entries. *)
+
+val of_bytes_shared_exn : shared:Pat.pat array -> string -> image
+(** Total inverse of {!to_bytes_shared} given the same shared set; the
+    returned image's entries are [shared] followed by the transmitted
+    extras, so it decodes exactly like the full container's image.
+    Raises {!Support.Decode_error.Fail} ([Inconsistent]) when the CRC
+    shows the container was built against a different dictionary. *)
+
 val code_size : image -> int
 (** Bytes of instruction streams only. *)
 

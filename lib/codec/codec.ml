@@ -81,27 +81,151 @@ module Source = struct
   let pool t = t.pool
 end
 
+(* ---- contexts ---- *)
+
+module Context = struct
+  (* Out-of-band state a context-aware codec encodes against: either
+     the corpus-trained shared dictionary (an LZ77 priming window for
+     the wire family's shared final stage plus a frozen BRISC entry
+     prefix), or a base artifact the client already holds, which the
+     delta codec serves a structural patch against. The digest is the
+     negotiation currency: clients advertise digests of what they
+     hold, and the server only picks a contexted representation when
+     the digests line up. *)
+  type shared = {
+    sd_digest : string;              (* MD5 hex of lz ^ pats_bytes *)
+    lz : string;                     (* LZ77 priming window *)
+    pats : Brisc.Pat.pat array;      (* frozen BRISC entry prefix *)
+    pats_bytes : string;             (* canonical byte form of [pats] *)
+  }
+
+  type base = {
+    base_digest : string;            (* MD5 hex of the printed base IR *)
+    ir_text : string;
+  }
+
+  type t = Shared_dict of shared | Base of base
+
+  let digest = function
+    | Shared_dict { sd_digest; _ } -> sd_digest
+    | Base { base_digest; _ } -> base_digest
+
+  let shared ~lz ~pats_bytes =
+    let pats =
+      if pats_bytes = "" then [||]
+      else Brisc.Emit.patterns_of_bytes_exn pats_bytes
+    in
+    let sd_digest = Digest.to_hex (Digest.string (lz ^ pats_bytes)) in
+    Shared_dict { sd_digest; lz; pats; pats_bytes }
+
+  let base ~ir_text =
+    Base { base_digest = Digest.to_hex (Digest.string ir_text); ir_text }
+
+  let builtin_v = lazy (shared ~lz:Shared_dict_data.lz ~pats_bytes:Shared_dict_data.pats)
+  let builtin () = Lazy.force builtin_v
+  let builtin_digest () = digest (builtin ())
+
+  let lz_window = 32768
+  let pats_cap = 96
+
+  (* Corpus training. The LZ priming dictionary is the tail of the
+     concatenated wire bundles (matches address recent bytes, so the
+     tail is the valuable part — same rationale as zlib's
+     deflateSetDictionary). The shared BRISC prefix is the union of
+     the per-program learned dictionaries, ranked by how many corpus
+     programs discovered each pattern (ties broken by the pattern's
+     canonical key, so training is order-independent). *)
+  let train (irs : Ir.Tree.program list) =
+    let cat =
+      String.concat ""
+        (List.map
+           (fun ir -> Wire.bundle_of_patternized (Wire.patternize ir))
+           irs)
+    in
+    let lz =
+      let n = String.length cat in
+      if n > lz_window then String.sub cat (n - lz_window) lz_window else cat
+    in
+    let counts : (string, Brisc.Pat.pat * int) Hashtbl.t = Hashtbl.create 512 in
+    List.iter
+      (fun ir ->
+        let d = Brisc.Dict.build (Vm.Codegen.gen_program ir) in
+        Array.iter
+          (fun p ->
+            let k = Brisc.Pat.key p in
+            match Hashtbl.find_opt counts k with
+            | Some (p0, c) -> Hashtbl.replace counts k (p0, c + 1)
+            | None -> Hashtbl.replace counts k (p, 1))
+          d.Brisc.Dict.entries)
+      irs;
+    let ranked =
+      Hashtbl.fold (fun k (p, c) acc -> (k, p, c) :: acc) counts []
+      |> List.sort (fun (k1, _, c1) (k2, _, c2) ->
+             if c1 <> c2 then compare c2 c1 else compare k1 k2)
+    in
+    let pats =
+      ranked
+      |> List.filteri (fun i _ -> i < pats_cap)
+      |> List.map (fun (_, p, _) -> p)
+      |> Array.of_list
+    in
+    shared ~lz ~pats_bytes:(Brisc.Emit.patterns_to_bytes pats)
+
+  (* Accessors for the codec bodies below; decode paths never default,
+     so an absent or mismatched context is a typed error. *)
+  let require_shared ~decoder = function
+    | Some (Shared_dict s) -> s
+    | Some (Base _) | None ->
+      Support.Decode_error.fail ~decoder ~kind:Support.Decode_error.Bad_value
+        "this representation requires the shared dictionary context"
+
+  let require_base ~decoder = function
+    | Some (Base b) -> b
+    | Some (Shared_dict _) | None ->
+      Support.Decode_error.fail ~decoder ~kind:Support.Decode_error.Bad_value
+        "this representation requires a base-artifact context"
+end
+
 (* ---- codecs ---- *)
 
 type t = {
   name : string;
   tag : string;
-  encode : Source.t -> string * trace;
-  decode : string -> (string * trace, Support.Decode_error.t) result;
+  encode : ctx:Context.t option -> Source.t -> string * trace;
+  decode :
+    ctx:Context.t option ->
+    string ->
+    (string * trace, Support.Decode_error.t) result;
 }
 
 let name c = c.name
 let tag c = c.tag
-let encode c src = c.encode src
-let encode_bytes c s = c.encode (Source.of_bytes s)
-let decode c s = c.decode s
+let encode ?ctx c src = c.encode ~ctx src
+let encode_bytes ?ctx c s = c.encode ~ctx (Source.of_bytes s)
+let decode ?ctx c s = c.decode ~ctx s
 
-let make ~name ~tag ~encode ~decode = { name; tag; encode; decode }
+let make ~name ~tag ~encode ~decode =
+  {
+    name;
+    tag;
+    encode = (fun ~ctx:_ src -> encode src);
+    decode = (fun ~ctx:_ s -> decode s);
+  }
+
+let make_ctx ~name ~tag ~encode ~decode = { name; tag; encode; decode }
+
+(* Shared-dict encoders are trusted server-side and fall back to the
+   committed corpus dictionary; decode never defaults (the client must
+   actually hold the bytes). *)
+let shared_or_builtin = function
+  | Some c -> c
+  | None -> Context.builtin ()
 
 (* [compose front back]: encode runs [front] on the source, then pipes
    its bytes through [back] (which must be a pure byte codec — its
    encode may only read the payload view); decode inverts [back] first,
-   then [front]. Traces concatenate in the order the work happened. *)
+   then [front]. The context reaches both halves; traces concatenate in
+   the order the work happened. *)
 let compose ?name:n ?tag:tg front back =
   let name = match n with Some s -> s | None -> front.name ^ "|" ^ back.name in
   let tag = match tg with Some s -> s | None -> front.tag ^ back.tag in
@@ -109,14 +233,16 @@ let compose ?name:n ?tag:tg front back =
     name;
     tag;
     encode =
-      (fun src ->
-        let b1, t1 = front.encode src in
-        let b2, t2 = back.encode (Source.of_bytes ?pool:src.Source.pool b1) in
+      (fun ~ctx src ->
+        let b1, t1 = front.encode ~ctx src in
+        let b2, t2 =
+          back.encode ~ctx (Source.of_bytes ?pool:src.Source.pool b1)
+        in
         (b2, t1 @ t2));
     decode =
-      (fun s ->
-        Result.bind (back.decode s) (fun (b1, t2) ->
-            Result.map (fun (b0, t1) -> (b0, t2 @ t1)) (front.decode b1)));
+      (fun ~ctx s ->
+        Result.bind (back.decode ~ctx s) (fun (b1, t2) ->
+            Result.map (fun (b0, t1) -> (b0, t2 @ t1)) (front.decode ~ctx b1)));
   }
 
 (* ---- the built-in pipeline stages ---- *)
@@ -183,24 +309,48 @@ let wire_bundle_codec =
           (txt, [ st "unbundle" (String.length bundle) (String.length txt) dt ])))
 
 (* The final entropy stage of the wire pipeline, tagged into the stream
-   ([D] / [A<order>] / [L]) so decode is self-describing: any final
-   codec decodes any tag. *)
-let final_decode body =
+   ([D] / [A<order>] / [L] / [S]) so decode is self-describing: any
+   final codec decodes any tag. This is the ONLY place the tag is
+   dispatched on; every final-stage codec below is one
+   [final_stage_codec] call sharing it. The [S] stage is the only one
+   that consults the context — its LZ77 window is primed with the
+   shared dictionary, and decoding without it (or with the wrong one,
+   caught by the in-stream CRC) is a typed error. *)
+let final_decode ~ctx body =
   Support.Decode_error.guard ~decoder:"wire" (fun () ->
+      let shared = String.length body > 0 && body.[0] = 'S' in
       let name =
         if String.length body = 0 then "inflate"
         else
           match body.[0] with
           | 'A' -> "range-decode"
           | 'L' -> "lza-decode"
+          | 'S' -> "shared-inflate"
           | _ -> "inflate"
       in
-      let bundle, dt = timed (fun () -> Wire.unwrap_final_stage_exn body) in
+      let dict =
+        if shared then
+          Some (Context.require_shared ~decoder:"wire" ctx).Context.lz
+        else None
+      in
+      let bundle, dt = timed (fun () -> Wire.unwrap_final_stage_exn ?dict body) in
       (bundle, [ st name (String.length body) (String.length bundle) dt ]))
 
+(* One final-stage codec: a context-fed stage transform on the bundle
+   plus the shared tag-dispatching decode. *)
+let final_stage_codec ~name ~tag ~label stage_of =
+  make_ctx ~name ~tag
+    ~encode:(fun ~ctx src ->
+      let bundle = Source.payload src in
+      let z, dt = timed (fun () -> stage_of ~ctx bundle) in
+      (z, [ st label (String.length bundle) (String.length z) dt ]))
+    ~decode:final_decode
+
 let final_deflate_codec =
-  make ~name:"final-deflate" ~tag:"D"
-    ~encode:(fun src ->
+  make_ctx ~name:"final-deflate" ~tag:"D"
+    ~encode:(fun ~ctx:_ src ->
+      (* kept long-hand (not via [final_stage_codec]) for its two-stage
+         lz77/huffman trace *)
       let bundle = Source.payload src in
       let tokens, dt1 = timed (fun () -> Zip.Lz77.tokenize bundle) in
       let tb = token_bytes tokens in
@@ -215,32 +365,34 @@ let final_deflate_codec =
     ~decode:final_decode
 
 let final_range_codec ~order =
-  make ~name:(Printf.sprintf "final-range%d" order) ~tag:"A"
-    ~encode:(fun src ->
-      let bundle = Source.payload src in
-      let z, dt =
-        timed (fun () -> Wire.apply_final_stage (Wire.Arith order) bundle)
-      in
-      (z, [ st (Printf.sprintf "range-%d" order) (String.length bundle)
-              (String.length z) dt ]))
-    ~decode:final_decode
+  final_stage_codec
+    ~name:(Printf.sprintf "final-range%d" order)
+    ~tag:"A"
+    ~label:(Printf.sprintf "range-%d" order)
+    (fun ~ctx:_ bundle -> Wire.apply_final_stage (Wire.Arith order) bundle)
 
 (* The ratio-maximal final stage: try the order-2 range coder and the
    LZ+range token stream ({!Zip.Lza}) and keep the smaller, so this
    codec's output never exceeds wire+range's. The tag byte inside the
    body records which one won; [final_decode] dispatches on it. *)
 let final_range_opt_codec =
-  make ~name:"final-range-opt" ~tag:"L"
-    ~encode:(fun src ->
-      let bundle = Source.payload src in
-      let z, dt =
-        timed (fun () ->
-            let a = Wire.apply_final_stage (Wire.Arith 2) bundle in
-            let b = Wire.apply_final_stage Wire.Lz_arith bundle in
-            if String.length b < String.length a then b else a)
-      in
-      (z, [ st "range-opt" (String.length bundle) (String.length z) dt ]))
-    ~decode:final_decode
+  final_stage_codec ~name:"final-range-opt" ~tag:"L" ~label:"range-opt"
+    (fun ~ctx:_ bundle ->
+      let a = Wire.apply_final_stage (Wire.Arith 2) bundle in
+      let b = Wire.apply_final_stage Wire.Lz_arith bundle in
+      if String.length b < String.length a then b else a)
+
+(* Deflate with the shared-dictionary-primed window. The encoder
+   defaults to the committed corpus dictionary; decode requires the
+   context. *)
+let final_shared_codec =
+  final_stage_codec ~name:"final-shared" ~tag:"S" ~label:"shared-deflate"
+    (fun ~ctx bundle ->
+      match shared_or_builtin ctx with
+      | Context.Shared_dict { lz; _ } ->
+        Wire.apply_final_stage (Wire.Shared_deflate lz) bundle
+      | Context.Base _ ->
+        invalid_arg "final-shared: encode requires a shared-dictionary context")
 
 let crc_codec =
   make ~name:"crc32" ~tag:"+"
@@ -267,6 +419,16 @@ let wire_range_codec =
 let wire_range_opt_codec =
   compose ~name:"wire+range-opt" ~tag:"R"
     (compose wire_bundle_codec final_range_opt_codec)
+    crc_codec
+
+(* The context-aware wire pipeline: identical to [wire] except the
+   final deflate's window is primed with the shared dictionary, so the
+   bytes a client that holds the dictionary must download shrink while
+   the decoded program is byte-identical. One compose — the shared
+   stage is just another tagged final stage. *)
+let wire_shared_codec =
+  compose ~name:"wire+shared" ~tag:"s"
+    (compose wire_bundle_codec final_shared_codec)
     crc_codec
 
 (* Bit-optimal parse under the block's own Huffman costs; both the
@@ -360,7 +522,163 @@ let brisc_codec =
           let out = Brisc.to_bytes img in
           (out, [ st "parse" (String.length s) (String.length out) dt ])))
 
+(* The BRISC container against the frozen corpus-trained entry prefix:
+   only the entries the program needs beyond the shared set travel
+   (BRS2). Decode reconstitutes the full image and returns the same
+   canonical form as [brisc] — the re-serialized full container. *)
+let brisc_shared_codec =
+  make_ctx ~name:"brisc+shared" ~tag:"B"
+    ~encode:(fun ~ctx src ->
+      let shared =
+        match shared_or_builtin ctx with
+        | Context.Shared_dict { Context.pats; _ } -> pats
+        | Context.Base _ ->
+          invalid_arg "brisc+shared: encode requires a shared-dictionary context"
+      in
+      let vm = Source.vm src in
+      let vm_bytes = Vm.Encode.program_size vm in
+      let image, dt1 = timed (fun () -> Brisc.compress_shared ~shared vm) in
+      let code_bytes =
+        Array.fold_left
+          (fun a f -> a + String.length f.Brisc.Emit.code)
+          0 image.Brisc.Emit.ifuncs
+      in
+      let bytes, dt2 =
+        timed (fun () -> Brisc.Emit.to_bytes_shared ~shared image)
+      in
+      (bytes,
+       [ st "dict-apply" vm_bytes code_bytes dt1;
+         st "container" code_bytes (String.length bytes) dt2 ]))
+    ~decode:(fun ~ctx s ->
+      Support.Decode_error.guard ~decoder:"brisc" (fun () ->
+          let shared = (Context.require_shared ~decoder:"brisc" ctx).Context.pats in
+          let img, dt =
+            timed (fun () -> Brisc.Emit.of_bytes_shared_exn ~shared s)
+          in
+          let out = Brisc.to_bytes img in
+          (out, [ st "parse" (String.length s) (String.length out) dt ])))
+
+(* ---- the delta "update channel" ---- *)
+
+(* A function-granular structural diff of the printed IR against a base
+   program the client already holds (v2 served as a patch against held
+   v1). The patch carries the base digest plus, per v2 function, either
+   a reference into the base (index + CRC of the referenced text) or
+   the new function body, deflated. Decode requires the base context,
+   verifies digest / index / CRC, and re-parses the reconstructed text
+   so its output is exactly the canonical printed IR a full wire-family
+   serve would decode to. *)
+
+let delta_magic = "DLT1"
+
+let globals_text (p : Ir.Tree.program) =
+  (* the printer's own rendering of the globals section: print the
+     program minus its functions and strip the trailing newline *)
+  let s = printed { p with Ir.Tree.funcs = [] } in
+  String.sub s 0 (max 0 (String.length s - 1))
+
+let delta_encode ~ctx src =
+  let b =
+    match ctx with
+    | Some (Context.Base b) -> b
+    | _ -> invalid_arg "delta: encode requires a base-artifact context"
+  in
+  let v2 = Source.ir src in
+  let (base_funcs, v2_texts), dt1 =
+    timed (fun () ->
+        let base = Ir.Parse_ir.program_of_string b.Context.ir_text in
+        let tbl = Hashtbl.create 64 in
+        List.iteri
+          (fun i f ->
+            let txt = Ir.Printer.func_to_string f in
+            if not (Hashtbl.mem tbl txt) then Hashtbl.add tbl txt i)
+          base.Ir.Tree.funcs;
+        ((base, tbl), List.map Ir.Printer.func_to_string v2.Ir.Tree.funcs))
+  in
+  let base, base_index = base_funcs in
+  let base_texts = Array.of_list (List.map Ir.Printer.func_to_string base.Ir.Tree.funcs) in
+  let patch, dt2 =
+    timed (fun () ->
+        let buf = Buffer.create 1024 in
+        Buffer.add_string buf delta_magic;
+        Support.Frame.put_str buf b.Context.base_digest;
+        Support.Frame.put_str buf (Zip.Deflate.compress (globals_text v2));
+        Support.Util.uleb128 buf (List.length v2_texts);
+        List.iter
+          (fun txt ->
+            match Hashtbl.find_opt base_index txt with
+            | Some i ->
+              Buffer.add_char buf 'C';
+              Support.Util.uleb128 buf i;
+              Support.Util.uleb128 buf (Support.Util.crc32 base_texts.(i))
+            | None ->
+              Buffer.add_char buf 'N';
+              Support.Frame.put_str buf (Zip.Deflate.compress txt))
+          v2_texts;
+        Buffer.contents buf)
+  in
+  let src_bytes = String.length (printed v2) in
+  (patch,
+   [ st "diff" src_bytes (List.length v2_texts) dt1;
+     st "patch" (List.length v2_texts) (String.length patch) dt2 ])
+
+let delta_decode ~ctx s =
+  Support.Decode_error.guard ~decoder:"delta" (fun () ->
+      let b = Context.require_base ~decoder:"delta" ctx in
+      let out, dt =
+        timed (fun () ->
+            let r = Support.Frame.reader ~decoder:"delta" s in
+            Support.Frame.expect_magic r delta_magic;
+            let base_digest = Support.Frame.str ~what:"base digest" r in
+            if base_digest <> b.Context.base_digest then
+              Support.Frame.fail r Support.Decode_error.Inconsistent
+                "patch was built against a different base artifact";
+            let base = Ir.Parse_ir.program_of_string b.Context.ir_text in
+            let base_texts =
+              Array.of_list
+                (List.map Ir.Printer.func_to_string base.Ir.Tree.funcs)
+            in
+            let gz = Support.Frame.str ~what:"globals" r in
+            let globals = Zip.Deflate.decompress_exn gz in
+            let nfuncs = Support.Frame.u r in
+            Support.Frame.check_count r nfuncs "function";
+            let funcs =
+              List.init nfuncs (fun _ ->
+                  match Support.Frame.byte r ~what:"patch op" () with
+                  | 'C' ->
+                    let i = Support.Frame.u r in
+                    if i < 0 || i >= Array.length base_texts then
+                      Support.Frame.fail r Support.Decode_error.Bad_value
+                        (Printf.sprintf "base function index %d outside %d" i
+                           (Array.length base_texts));
+                    let crc = Support.Frame.u r in
+                    if crc <> Support.Util.crc32 base_texts.(i) then
+                      Support.Frame.fail r Support.Decode_error.Inconsistent
+                        (Printf.sprintf "base function %d does not match patch CRC" i);
+                    base_texts.(i)
+                  | 'N' ->
+                    Zip.Deflate.decompress_exn
+                      (Support.Frame.str ~what:"function body" r)
+                  | c ->
+                    Support.Frame.fail r Support.Decode_error.Bad_value
+                      (Printf.sprintf "unknown patch op %C" c))
+            in
+            Support.Frame.expect_end r "patch";
+            let pieces = (if globals = "" then [] else [ globals ]) @ funcs in
+            let text = String.concat "\n" pieces ^ "\n" in
+            (* re-parse + re-print: rejects ill-formed patched text and
+               guarantees the output is the canonical printed IR, byte
+               for byte what a full wire serve decodes to *)
+            printed (Ir.Parse_ir.program_of_string text))
+      in
+      (out, [ st "apply" (String.length s) (String.length out) dt ]))
+
+let delta_codec =
+  make_ctx ~name:"delta" ~tag:"d" ~encode:delta_encode ~decode:delta_decode
+
 (* ---- registry ---- *)
+
+type needs = [ `None | `Shared_dict of string | `Base of string ]
 
 type entry = {
   codec : t;
@@ -368,11 +686,16 @@ type entry = {
       (* whole-image delivery modes this codec can serve; [] for
          stage/streaming-only codecs *)
   streamable : bool;  (* served function-at-a-time over a session *)
+  needs : needs;
+      (* context the client must hold (by digest) before this
+         representation may be served to it. [`Base ""] marks the
+         per-request update channel: the digest is whatever prior
+         artifact the client advertises, not a fixed one. *)
 }
 
 let entries : entry list ref = ref []
 
-let register ?(modes = []) ?(streamable = false) codec =
+let register ?(modes = []) ?(streamable = false) ?(needs = `None) codec =
   List.iter
     (fun e ->
       if e.codec.name = codec.name then
@@ -380,13 +703,20 @@ let register ?(modes = []) ?(streamable = false) codec =
       if e.codec.tag = codec.tag then
         invalid_arg ("Codec.register: duplicate tag " ^ codec.tag))
     !entries;
-  entries := !entries @ [ { codec; modes; streamable } ]
+  entries := !entries @ [ { codec; modes; streamable; needs } ]
 
 let all () = !entries
 
 (* artifact = something the delivery server stores and serves, whether
-   whole-image (modes) or streamed (streamable) *)
-let artifacts () = List.filter (fun e -> e.modes <> [] || e.streamable) !entries
+   whole-image (modes) or streamed (streamable). Per-request contexted
+   representations (`Base) are not storable artifacts — the server
+   derives them on demand against the base the client holds. *)
+let artifacts () =
+  List.filter
+    (fun e ->
+      (e.modes <> [] || e.streamable)
+      && match e.needs with `Base _ -> false | _ -> true)
+    !entries
 
 let find name = List.find_opt (fun e -> e.codec.name = name) !entries
 
@@ -413,4 +743,15 @@ let () =
   (* the -opt pair rides at the end so existing entries keep winning
      score ties (the fold keeps the earlier entry on equal totals) *)
   register ~modes:[ Scenario.Delivery.Gzipped_native ] deflate_opt_codec;
-  register ~modes:[ Scenario.Delivery.Wire_format ] wire_range_opt_codec
+  register ~modes:[ Scenario.Delivery.Wire_format ] wire_range_opt_codec;
+  (* contexted representations ride last for the same reason; they are
+     only ever served to clients that advertise the matching digest *)
+  register
+    ~modes:[ Scenario.Delivery.Wire_format ]
+    ~needs:(`Shared_dict (Context.builtin_digest ()))
+    wire_shared_codec;
+  register
+    ~modes:[ Scenario.Delivery.Brisc_jit; Scenario.Delivery.Brisc_interp ]
+    ~needs:(`Shared_dict (Context.builtin_digest ()))
+    brisc_shared_codec;
+  register ~modes:[ Scenario.Delivery.Wire_format ] ~needs:(`Base "") delta_codec

@@ -73,7 +73,10 @@ type stats = {
   c_sessions : int;
 }
 
-type tracked = { sess : Server.Session.t; sm : Mutex.t }
+(* [held] is the digest set the session was opened with — the
+   negotiated context. It lives in the session record, not the
+   connection, so a client that reconnects and resumes keeps it. *)
+type tracked = { sess : Server.Session.t; sm : Mutex.t; held : string list }
 
 type worker = {
   live : int Atomic.t;
@@ -173,20 +176,29 @@ let find_profile t name =
 let fresh_token t =
   Printf.sprintf "s%d" (Atomic.fetch_and_add t.token_ctr 1)
 
-let index_resp token sess =
-  Protocol.Index
-    { token; next_seq = Server.Session.next_seq sess; rows = Server.Session.index sess }
+(* the session's negotiated dictionary digest: what of its held set
+   names the shared dictionary this server actually serves *)
+let session_context held =
+  let d = Codec.Context.builtin_digest () in
+  if List.mem d held then d else ""
 
-let handle_open t ~codec ~digest ~resume =
+let index_resp token tr =
+  Protocol.Index
+    { token; next_seq = Server.Session.next_seq tr.sess;
+      context = session_context tr.held; rows = Server.Session.index tr.sess }
+
+let handle_open t ~codec ~digest ~resume ~held =
   if resume <> "" then
     (* reconnect: re-attach to the surviving session; the reply's
-       [next_seq] tells the client where the window stands, and the
-       replay table answers any seq it never saw the response to *)
+       [next_seq] tells the client where the window stands, the replay
+       table answers any seq it never saw the response to, and the
+       session's negotiated context (its original held set) survives —
+       the [held] field of a resume is ignored *)
     match
       with_lock t.sess_mu (fun () -> Hashtbl.find_opt t.sessions resume)
     with
     | None -> Protocol.Err (Protocol.Bad_session, "unknown resume token")
-    | Some tr -> with_lock tr.sm (fun () -> index_resp resume tr.sess)
+    | Some tr -> with_lock tr.sm (fun () -> index_resp resume tr)
   else
     let codec = if codec = "" then "chunked-wire" else codec in
     let full =
@@ -203,10 +215,9 @@ let handle_open t ~codec ~digest ~resume =
           (Protocol.Not_streamable, "codec " ^ c ^ " is not streamable")
       | Ok sess ->
         let token = fresh_token t in
-        with_lock t.sess_mu (fun () ->
-            Hashtbl.replace t.sessions token
-              { sess; sm = Mutex.create () });
-        index_resp token sess
+        let tr = { sess; sm = Mutex.create (); held } in
+        with_lock t.sess_mu (fun () -> Hashtbl.replace t.sessions token tr);
+        index_resp token tr
       | exception Not_found ->
         Protocol.Err (Protocol.Unknown_name, "unknown digest " ^ digest)
       | exception Support.Decode_error.Fail e ->
@@ -224,11 +235,11 @@ let handle_chunk t ~token ~seq ~name =
     | Ok payload -> Protocol.Chunk_data payload
     | Error msg -> Protocol.Err (Protocol.Bad_seq, msg))
 
-let handle_fetch t ~profile ~digest =
+let handle_fetch t ~profile ~digest ~held =
   match find_profile t profile with
   | None -> Protocol.Err (Protocol.Unknown_name, "unknown profile " ^ profile)
   | Some p -> (
-    match Server.fetch t.engine digest p with
+    match Server.fetch ~held t.engine digest p with
     | r ->
       Protocol.Artifact
         {
@@ -237,6 +248,8 @@ let handle_fetch t ~profile ~digest =
           cache_hit = r.Server.cache_hit;
           degraded_from =
             (match r.Server.degraded_from with None -> "" | Some l -> l);
+          context =
+            (match r.Server.context with None -> "" | Some d -> d);
           body = r.Server.bytes;
         }
     | exception Not_found ->
@@ -245,13 +258,23 @@ let handle_fetch t ~profile ~digest =
       Protocol.Err (Protocol.Server_error, Support.Decode_error.to_string e)
     | exception Failure msg -> Protocol.Err (Protocol.Server_error, msg))
 
+let handle_dict () =
+  match Codec.Context.builtin () with
+  | Codec.Context.Shared_dict s ->
+    Protocol.Dict_data
+      { lz = s.Codec.Context.lz; pats = s.Codec.Context.pats_bytes;
+        sd_digest = s.Codec.Context.sd_digest }
+  | Codec.Context.Base _ -> Protocol.Err (Protocol.Server_error, "no dictionary")
+
 let respond t (req : Protocol.req) =
   match req with
   | Protocol.Ping -> Protocol.Pong
   | Protocol.List -> Protocol.Catalog t.catalog
-  | Protocol.Fetch { profile; digest } -> handle_fetch t ~profile ~digest
-  | Protocol.Open { codec; digest; resume } ->
-    handle_open t ~codec ~digest ~resume
+  | Protocol.Dict -> handle_dict ()
+  | Protocol.Fetch { profile; digest; held } ->
+    handle_fetch t ~profile ~digest ~held
+  | Protocol.Open { codec; digest; resume; held } ->
+    handle_open t ~codec ~digest ~resume ~held
   | Protocol.Chunk { token; seq; name } -> handle_chunk t ~token ~seq ~name
 
 (* ---- per-connection input reassembly ---- *)

@@ -48,7 +48,10 @@ let default_config =
     verify = true;
   }
 
-type bucket = {
+(* quantile math lives in Support.Quantile (the simulator and benches
+   use it without a net dependency); re-exported here for the report
+   types and historical callers *)
+type bucket = Support.Quantile.bucket = {
   count : int;
   mean_ms : float;
   p50_ms : float;
@@ -57,33 +60,9 @@ type bucket = {
   max_ms : float;
 }
 
-let empty_bucket =
-  { count = 0; mean_ms = 0.; p50_ms = 0.; p95_ms = 0.; p99_ms = 0.;
-    max_ms = 0. }
-
-(* Floor-index quantile over a sorted sample: index floor(p * (n-1)),
-   clamped. The same estimator the report has always used, exposed so
-   the simulator's latency buckets and the property tests share it. *)
-let percentile arr p =
-  let n = Array.length arr in
-  if n = 0 then 0.
-  else arr.(min (n - 1) (int_of_float (p *. float_of_int (n - 1))))
-
-let bucket_of_ms ms =
-  match ms with
-  | [] -> empty_bucket
-  | _ ->
-    let arr = Array.of_list ms in
-    Array.sort compare arr;
-    let n = Array.length arr in
-    {
-      count = n;
-      mean_ms = Array.fold_left ( +. ) 0. arr /. float_of_int n;
-      p50_ms = percentile arr 0.50;
-      p95_ms = percentile arr 0.95;
-      p99_ms = percentile arr 0.99;
-      max_ms = arr.(n - 1);
-    }
+let empty_bucket = Support.Quantile.empty_bucket
+let percentile = Support.Quantile.percentile
+let bucket_of_ms = Support.Quantile.bucket_of_ms
 
 type report = {
   sent : int;
@@ -234,7 +213,7 @@ let run ?observe (cfg : config) =
                 (Open_op,
                  Protocol.Open
                    { codec = ""; digest = row.Protocol.prog_digest;
-                     resume = "" },
+                     resume = ""; held = [] },
                  row.Protocol.prog_digest, "")
               else
                 let profile =
@@ -242,7 +221,7 @@ let run ?observe (cfg : config) =
                 in
                 (Fetch_op,
                  Protocol.Fetch
-                   { profile; digest = row.Protocol.prog_digest },
+                   { profile; digest = row.Protocol.prog_digest; held = [] },
                  row.Protocol.prog_digest, profile)
           in
           observed
@@ -273,7 +252,7 @@ let run ?observe (cfg : config) =
               acc.c_bytes <- acc.c_bytes + String.length body;
               if cfg.verify && not (verify_artifact ~codec body) then
                 acc.c_corrupt <- acc.c_corrupt + 1
-            | Protocol.Index { token; next_seq; rows } ->
+            | Protocol.Index { token; next_seq; rows; _ } ->
               acc.c_ok <- acc.c_ok + 1;
               session :=
                 Some
@@ -295,7 +274,8 @@ let run ?observe (cfg : config) =
               | None -> ());
               if cfg.verify && not (verify_chunk payload) then
                 acc.c_corrupt <- acc.c_corrupt + 1
-            | Protocol.Pong | Protocol.Catalog _ -> acc.c_ok <- acc.c_ok + 1))
+            | Protocol.Pong | Protocol.Catalog _ | Protocol.Dict_data _ ->
+              acc.c_ok <- acc.c_ok + 1))
       end
     done;
     match !conn with Some c -> Client.close c | None -> ()

@@ -26,7 +26,7 @@ type config = {
 val default_config : config
 (** 16 clients, 2000 requests, closed loop, 25% streaming, verify on. *)
 
-type bucket = {
+type bucket = Support.Quantile.bucket = {
   count : int;
   mean_ms : float;
   p50_ms : float;
@@ -34,18 +34,13 @@ type bucket = {
   p99_ms : float;
   max_ms : float;
 }
+(** Re-export of {!Support.Quantile.bucket}, where the quantile math
+    now lives (the simulator and benches use it without depending on
+    the TCP layer). *)
 
 val empty_bucket : bucket
-
 val percentile : float array -> float -> float
-(** Floor-index quantile over a {e sorted} sample: index
-    [floor (p * (n-1))], clamped to the array; [0.] on an empty array.
-    The estimator every latency bucket in this module uses. *)
-
 val bucket_of_ms : float list -> bucket
-(** Summarize a latency sample (ms) into a bucket: count, mean,
-    p50/p95/p99 via {!percentile}, max. The empty list yields
-    {!empty_bucket}. *)
 
 type report = {
   sent : int;

@@ -22,17 +22,34 @@ let magic = "MN1"
 let max_frame = 64 * 1024 * 1024
 let max_request_frame = 1024 * 1024
 
+(* A held set is a negotiation, not a payload: a client advertising
+   thousands of digests is hostile, and the engine would score a
+   candidate per held base anyway. Checked before allocation. *)
+let max_held = 64
+
 type req =
   | Ping
   | List
       (** the published catalog: what a load generator can ask for *)
-  | Fetch of { profile : string; digest : string }
-      (** one whole-image request as the named client profile *)
-  | Open of { codec : string; digest : string; resume : string }
+  | Dict
+      (** the server's shared dictionary, so the client can hold it *)
+  | Fetch of { profile : string; digest : string; held : string list }
+      (** one whole-image request as the named client profile; [held]
+          advertises digests the client already holds (the shared
+          dictionary and/or previously fetched programs), unlocking
+          contexted representations *)
+  | Open of {
+      codec : string;
+      digest : string;
+      resume : string;
+      held : string list;
+    }
       (** open a chunked session ([codec] names a registered streamable
           codec; [""] means chunked-wire). A non-empty [resume] token
           re-attaches to an existing session after a dropped
-          connection instead of opening a new one. *)
+          connection instead of opening a new one; the session keeps
+          the held set it was opened with ([held] on a resume is
+          ignored — the negotiated context survives the reconnect). *)
   | Chunk of { token : string; seq : int; name : string }
       (** one function chunk of an open session *)
 
@@ -78,16 +95,27 @@ let err_code_name = function
 type resp =
   | Pong
   | Catalog of catalog_row list
+  | Dict_data of {
+      lz : string;             (** LZ77 priming window bytes *)
+      pats : string;           (** BRISC shared-entry prefix, byte form *)
+      sd_digest : string;      (** what [Fetch.held] should advertise *)
+    }
   | Artifact of {
       label : string;          (** engine's (artifact, mode) label *)
       codec : string;          (** registry name — names the verifier *)
       cache_hit : bool;
       degraded_from : string;  (** [""] when the first choice served *)
+      context : string;        (** digest of the held context the body
+                                   was encoded against; [""] when
+                                   context-free *)
       body : string;           (** the compressed artifact image *)
     }
   | Index of {
       token : string;          (** session token; resume with this *)
       next_seq : int;          (** where the session's window stands *)
+      context : string;        (** the session's negotiated dictionary
+                                   digest ([""] when none); identical
+                                   after a resume *)
       rows : (string * int) list;  (** function name, chunk bytes *)
     }
   | Chunk_data of string
@@ -108,20 +136,30 @@ let frame_of_payload payload =
   Bytes.set hdr 3 (Char.chr (n land 0xff));
   Bytes.to_string hdr ^ body
 
+let put_held b held =
+  if List.length held > max_held then
+    invalid_arg
+      (Printf.sprintf "Net.Protocol: held set exceeds %d digests" max_held);
+  Support.Util.uleb128 b (List.length held);
+  List.iter (Support.Frame.put_str b) held
+
 let encode_req (r : req) =
   let b = Buffer.create 64 in
   (match r with
   | Ping -> Buffer.add_char b 'P'
   | List -> Buffer.add_char b 'L'
-  | Fetch { profile; digest } ->
+  | Dict -> Buffer.add_char b 'D'
+  | Fetch { profile; digest; held } ->
     Buffer.add_char b 'F';
     Support.Frame.put_str b profile;
-    Support.Frame.put_str b digest
-  | Open { codec; digest; resume } ->
+    Support.Frame.put_str b digest;
+    put_held b held
+  | Open { codec; digest; resume; held } ->
     Buffer.add_char b 'O';
     Support.Frame.put_str b codec;
     Support.Frame.put_str b digest;
-    Support.Frame.put_str b resume
+    Support.Frame.put_str b resume;
+    put_held b held
   | Chunk { token; seq; name } ->
     Buffer.add_char b 'C';
     Support.Frame.put_str b token;
@@ -142,17 +180,24 @@ let encode_resp (r : resp) =
         Support.Frame.put_str b row.prog_digest;
         Support.Util.uleb128 b row.fn_count)
       rows
-  | Artifact { label; codec; cache_hit; degraded_from; body } ->
+  | Dict_data { lz; pats; sd_digest } ->
+    Buffer.add_char b 'd';
+    Support.Frame.put_str b lz;
+    Support.Frame.put_str b pats;
+    Support.Frame.put_str b sd_digest
+  | Artifact { label; codec; cache_hit; degraded_from; context; body } ->
     Buffer.add_char b 'a';
     Support.Frame.put_str b label;
     Support.Frame.put_str b codec;
     Buffer.add_char b (if cache_hit then '\001' else '\000');
     Support.Frame.put_str b degraded_from;
+    Support.Frame.put_str b context;
     Support.Frame.put_str b body
-  | Index { token; next_seq; rows } ->
+  | Index { token; next_seq; context; rows } ->
     Buffer.add_char b 'i';
     Support.Frame.put_str b token;
     Support.Util.uleb128 b next_seq;
+    Support.Frame.put_str b context;
     Support.Util.uleb128 b (List.length rows);
     List.iter
       (fun (name, size) ->
@@ -177,6 +222,16 @@ let reader ~decoder body =
   let off = Support.Frame.verify ~decoder ~magic body in
   Support.Frame.reader ~decoder ~pos:off body
 
+(* total held-set reader: count bounded by [max_held] before any
+   allocation, each digest an ordinary length-prefixed string *)
+let read_held r =
+  let n = Support.Frame.u r in
+  if n > max_held then
+    Support.Frame.fail r Support.Decode_error.Limit
+      (Printf.sprintf "held set claims %d digests (cap %d)" n max_held);
+  Support.Frame.check_count r n "held digest";
+  List.init n (fun _ -> Support.Frame.str ~what:"held digest" r)
+
 let decode_req body : (req, Support.Decode_error.t) result =
   Support.Decode_error.guard ~decoder:"net-req" @@ fun () ->
   let r = reader ~decoder:"net-req" body in
@@ -185,15 +240,18 @@ let decode_req body : (req, Support.Decode_error.t) result =
     match tag with
     | 'P' -> Ping
     | 'L' -> List
+    | 'D' -> Dict
     | 'F' ->
       let profile = Support.Frame.str ~what:"profile" r in
       let digest = Support.Frame.str ~what:"digest" r in
-      Fetch { profile; digest }
+      let held = read_held r in
+      Fetch { profile; digest; held }
     | 'O' ->
       let codec = Support.Frame.str ~what:"codec" r in
       let digest = Support.Frame.str ~what:"digest" r in
       let resume = Support.Frame.str ~what:"resume token" r in
-      Open { codec; digest; resume }
+      let held = read_held r in
+      Open { codec; digest; resume; held }
     | 'C' ->
       let token = Support.Frame.str ~what:"session token" r in
       let seq = Support.Frame.u r in
@@ -222,6 +280,11 @@ let decode_resp body : (resp, Support.Decode_error.t) result =
              let prog_digest = Support.Frame.str ~what:"digest" r in
              let fn_count = Support.Frame.u r in
              { prog_name; prog_digest; fn_count }))
+    | 'd' ->
+      let lz = Support.Frame.str ~what:"dictionary lz bytes" r in
+      let pats = Support.Frame.str ~what:"dictionary patterns" r in
+      let sd_digest = Support.Frame.str ~what:"dictionary digest" r in
+      Dict_data { lz; pats; sd_digest }
     | 'a' ->
       let label = Support.Frame.str ~what:"label" r in
       let codec = Support.Frame.str ~what:"codec" r in
@@ -230,18 +293,22 @@ let decode_resp body : (resp, Support.Decode_error.t) result =
         Support.Frame.fail r Support.Decode_error.Bad_value
           "cache flag out of domain";
       let degraded_from = Support.Frame.str ~what:"degraded-from" r in
+      let context = Support.Frame.str ~what:"context digest" r in
       let body = Support.Frame.str ~what:"artifact body" r in
       Artifact
-        { label; codec; cache_hit = hit = '\001'; degraded_from; body }
+        { label; codec; cache_hit = hit = '\001'; degraded_from; context;
+          body }
     | 'i' ->
       let token = Support.Frame.str ~what:"session token" r in
       let next_seq = Support.Frame.u r in
+      let context = Support.Frame.str ~what:"context digest" r in
       let n = Support.Frame.u r in
       Support.Frame.check_count r n "index row";
       Index
         {
           token;
           next_seq;
+          context;
           rows =
             List.init n (fun _ ->
                 let name = Support.Frame.str ~what:"function name" r in

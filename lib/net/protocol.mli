@@ -13,13 +13,29 @@ val max_request_frame : int
 (** Request frame cap (1 MiB) — checked before allocation; a client
     that claims a bigger request is refused and disconnected. *)
 
+val max_held : int
+(** Cap (64) on the held-digest set a request may advertise — checked
+    before allocation, and {!encode_req} refuses to build a frame over
+    it. *)
+
 type req =
   | Ping
   | List  (** the published catalog *)
-  | Fetch of { profile : string; digest : string }
-  | Open of { codec : string; digest : string; resume : string }
+  | Dict  (** the server's shared dictionary, so the client can hold it *)
+  | Fetch of { profile : string; digest : string; held : string list }
+      (** [held] advertises digests the client already holds (the
+          shared dictionary and/or previously fetched programs),
+          unlocking contexted representations; at most {!max_held} *)
+  | Open of {
+      codec : string;
+      digest : string;
+      resume : string;
+      held : string list;
+    }
       (** [codec = ""] means chunked-wire; non-empty [resume]
-          re-attaches to an existing session after a reconnect *)
+          re-attaches to an existing session after a reconnect, keeping
+          the held set the session was opened with ([held] on a resume
+          is ignored) *)
   | Chunk of { token : string; seq : int; name : string }
 
 type catalog_row = { prog_name : string; prog_digest : string; fn_count : int }
@@ -38,16 +54,25 @@ val err_code_name : err_code -> string
 type resp =
   | Pong
   | Catalog of catalog_row list
+  | Dict_data of { lz : string; pats : string; sd_digest : string }
+      (** the shared dictionary's transportable byte forms plus the
+          digest a holder should advertise in [Fetch.held] *)
   | Artifact of {
       label : string;
       codec : string;
       cache_hit : bool;
       degraded_from : string;  (** [""] when the first choice served *)
+      context : string;
+          (** digest of the held context the body was encoded against;
+              [""] for context-free representations *)
       body : string;
     }
   | Index of {
       token : string;
       next_seq : int;
+      context : string;
+          (** the session's negotiated dictionary digest ([""] when
+              none); identical after a resume *)
       rows : (string * int) list;
     }
   | Chunk_data of string

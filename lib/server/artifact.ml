@@ -9,9 +9,32 @@ type repr = { name : string; tag : string }
 let of_entry (e : Codec.entry) =
   { name = Codec.name e.Codec.codec; tag = Codec.tag e.Codec.codec }
 
-(* every artifact the server materializes, in registry (= serving
-   tie-break) order *)
-let all () = List.map of_entry (Codec.artifacts ())
+(* every context-free artifact the server materializes unprompted, in
+   registry (= serving tie-break) order. Context-requiring entries are
+   deliberately NOT here: publish, the first-miss menu prefetch, the
+   fault injector and the stats report all iterate this list, and a
+   contexted representation only exists for clients that advertise the
+   matching held digest (see [contexted] and the engine's held-aware
+   candidate enumeration). *)
+let all () =
+  List.filter_map
+    (fun (e : Codec.entry) ->
+      match e.Codec.needs with `None -> Some (of_entry e) | _ -> None)
+    (Codec.artifacts ())
+
+(* the servable context-requiring entries (shared-dictionary codecs and
+   the per-request delta channel), with what each one needs. Drawn from
+   the full registry, not [Codec.artifacts]: `Base entries are not
+   storable artifacts, but they are servable representations. *)
+let contexted () =
+  List.filter_map
+    (fun (e : Codec.entry) ->
+      match e.Codec.needs with
+      | `None -> None
+      | needs when e.Codec.modes <> [] || e.Codec.streamable ->
+        Some (of_entry e, needs)
+      | _ -> None)
+    (Codec.all ())
 
 let name r = r.name
 let tag r = r.tag
@@ -20,6 +43,7 @@ let entry r = Codec.find_exn r.name
 let codec r = (entry r).Codec.codec
 let modes r = (entry r).Codec.modes
 let streamable r = (entry r).Codec.streamable
+let needs r = (entry r).Codec.needs
 
 let by_name n =
   match Codec.find n with
@@ -36,6 +60,11 @@ let wire_range_opt = by_name "wire+range-opt"
 let deflate_opt = by_name "deflate-opt"
 let chunked_wire = by_name "chunked-wire"
 let brisc = by_name "brisc"
+
+(* the contexted representations (served only against held digests) *)
+let wire_shared = by_name "wire+shared"
+let brisc_shared = by_name "brisc+shared"
+let delta = by_name "delta"
 
 (* Legacy size-card mapping: which canonical artifact a delivery-model
    representation ships. The registry-driven engine picks per-codec

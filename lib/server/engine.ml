@@ -62,6 +62,9 @@ type response = {
   cache_hit : bool;
   outcome : Scenario.Delivery.outcome;
   degraded_from : string option;
+  context : string option;
+      (* digest of the held context the serve was encoded against
+         (shared dictionary or delta base); None for context-free *)
 }
 
 let session_cycles t (m : Store.meta) =
@@ -80,23 +83,74 @@ let outcome_for t digest (profile : Profile.t) repr =
 (* Every (artifact, mode) pair the registry offers this client, minus
    artifacts that already failed verification this fetch. Feasibility is
    per concrete artifact: the mode's resident-memory rule applied to the
-   artifact's actual stored size. *)
-let candidates (m : Store.meta) (profile : Profile.t) ~failed =
+   artifact's actual stored size.
+
+   Context-requiring representations join the menu only for what the
+   client advertises as held (by digest): shared-dictionary codecs when
+   the held set names the dictionary, and the delta update channel when
+   it names a previously published program — then the patch against
+   that base competes on its actual bytes like any other candidate. *)
+let candidates t (m : Store.meta) (profile : Profile.t) ~held ~failed digest =
   let native_bytes = m.Store.sizes.Scenario.Delivery.native_bytes in
-  List.concat_map
-    (fun r ->
-      if List.mem (Artifact.name r) failed then []
-      else
-        let artifact_bytes = Store.size_of m r in
-        List.filter_map
-          (fun mode ->
-            if
-              Profile.mode_feasible profile ~mode ~artifact_bytes
-                ~native_bytes
-            then Some (r, mode, artifact_bytes)
-            else None)
-          (Artifact.modes r))
-    (Artifact.all ())
+  let feasible r mode artifact_bytes ctx =
+    if Profile.mode_feasible profile ~mode ~artifact_bytes ~native_bytes then
+      Some (r, mode, artifact_bytes, ctx)
+    else None
+  in
+  let context_free =
+    List.concat_map
+      (fun r ->
+        if List.mem (Artifact.name r) failed then []
+        else
+          let artifact_bytes = Store.size_of m r in
+          List.filter_map
+            (fun mode -> feasible r mode artifact_bytes None)
+            (Artifact.modes r))
+      (Artifact.all ())
+  in
+  let contexted =
+    if held = [] then []
+    else
+      List.concat_map
+        (fun (r, needs) ->
+          if List.mem (Artifact.name r) failed then []
+          else
+            match needs with
+            | `Shared_dict d when List.mem d held ->
+              let ctx = Codec.Context.builtin () in
+              let artifact_bytes =
+                Store.contexted_size t.store digest r ~ctx
+              in
+              List.filter_map
+                (fun mode -> feasible r mode artifact_bytes (Some ctx))
+                (Artifact.modes r)
+            | `Base _ ->
+              (* the update channel: one candidate per held base the
+                 store still knows (skipping the degenerate self-patch) *)
+              List.concat_map
+                (fun h ->
+                  if h = digest then []
+                  else
+                    match Store.find_meta t.store h with
+                    | None -> []
+                    | Some bm ->
+                      let ctx =
+                        Codec.Context.base
+                          ~ir_text:
+                            (Ir.Printer.program_to_string bm.Store.ir)
+                      in
+                      let artifact_bytes =
+                        Store.contexted_size t.store digest r ~ctx
+                      in
+                      List.filter_map
+                        (fun mode ->
+                          feasible r mode artifact_bytes (Some ctx))
+                        (Artifact.modes r))
+                held
+            | _ -> [])
+        (Artifact.contexted ())
+  in
+  context_free @ contexted
 
 (* In-place interpretation is the mode of last resort: when nothing fits
    the client's constraints, serve any live artifact that can be
@@ -107,11 +161,11 @@ let last_resort (m : Store.meta) ~failed =
       if
         (not (List.mem (Artifact.name r) failed))
         && List.mem Scenario.Delivery.Brisc_interp (Artifact.modes r)
-      then Some (r, Scenario.Delivery.Brisc_interp, Store.size_of m r)
+      then Some (r, Scenario.Delivery.Brisc_interp, Store.size_of m r, None)
       else None)
     (Artifact.all ())
 
-let fetch t digest (profile : Profile.t) =
+let fetch ?(held = []) t digest (profile : Profile.t) =
   Stats.record_request t.stats;
   let m = Store.meta t.store digest in
   let native_bytes = m.Store.sizes.Scenario.Delivery.native_bytes in
@@ -122,7 +176,7 @@ let fetch t digest (profile : Profile.t) =
      to the next-best choice instead of dropping. *)
   let rec attempt failed first_choice =
     let cands =
-      match candidates m profile ~failed with
+      match candidates t m profile ~held ~failed digest with
       | [] -> last_resort m ~failed
       | cs -> cs
     in
@@ -130,8 +184,8 @@ let fetch t digest (profile : Profile.t) =
       failwith
         (Printf.sprintf "Engine.fetch: no servable representation for %s"
            digest);
-    let score (r, mode, artifact_bytes) =
-      ( (r, mode),
+    let score (r, mode, artifact_bytes, ctx) =
+      ( (r, mode, ctx),
         Scenario.Delivery.total_time_for ~rates:t.rates ~mode ~artifact_bytes
           ~native_bytes ~run_cycles ~link_bps:profile.Profile.link_bps () )
     in
@@ -151,10 +205,10 @@ let fetch t digest (profile : Profile.t) =
         | None -> None
         | Some pick ->
           List.find_opt
-            (fun ((r, _), _) -> Artifact.name r = pick.Tune.Policy.codec)
+            (fun ((r, _, _), _) -> Artifact.name r = pick.Tune.Policy.codec)
             scored)
     in
-    let (artifact, chosen), outcome =
+    let (artifact, chosen, ctx), outcome =
       match tuned with
       | Some c -> c
       | None ->
@@ -167,8 +221,11 @@ let fetch t digest (profile : Profile.t) =
           (List.hd scored) (List.tl scored)
     in
     let label = label_of artifact chosen in
-    let bytes, cache_hit = Store.materialize t.store digest artifact in
-    match Codec.decode (Artifact.codec artifact) bytes with
+    let bytes, cache_hit = Store.materialize ?ctx t.store digest artifact in
+    (* verify with the context the client will decode under — a
+       contexted serve that does not decode against its own context is
+       exactly as poisoned as a corrupt context-free one *)
+    match Codec.decode ?ctx (Artifact.codec artifact) bytes with
     | Ok _ ->
       (* a policy hit only counts once the pick actually serves: a
          tuned pick that fails verification degrades like any other
@@ -183,10 +240,10 @@ let fetch t digest (profile : Profile.t) =
       in
       if degraded_from <> None then Stats.record_degraded t.stats;
       { digest; chosen; artifact; label; bytes; size; cache_hit; outcome;
-        degraded_from }
+        degraded_from; context = Option.map Codec.Context.digest ctx }
     | Error e ->
       Stats.record_decode_failure t.stats ~digest artifact e;
-      Store.quarantine t.store digest artifact;
+      Store.quarantine ?ctx t.store digest artifact;
       attempt
         (Artifact.name artifact :: failed)
         (match first_choice with None -> Some label | s -> s)

@@ -49,6 +49,11 @@ type response = {
       (** the selector's original choice (its {!label}), when its
           artifact failed verification and this response fell back to
           the next-best candidate *)
+  context : string option;
+      (** digest of the held context this serve was encoded against
+          (the shared dictionary, or the delta base artifact); [None]
+          for context-free representations. The client must decode
+          with the matching context. *)
 }
 
 val select :
@@ -63,7 +68,7 @@ val outcome_for :
     profile — what a one-size-fits-all server would cost, which the
     bench compares against the adaptive selector. *)
 
-val fetch : t -> string -> Profile.t -> response
+val fetch : ?held:string list -> t -> string -> Profile.t -> response
 (** One whole-image request: enumerate the registry's (artifact, mode)
     candidates the profile can use, pick the total-time minimizer over
     each artifact's actual stored size, materialize it (cache-first),
@@ -71,7 +76,16 @@ val fetch : t -> string -> Profile.t -> response
     fails verification is quarantined (recorded in {!Stats}, rebuilt
     fresh by the store on its next request) and the fetch degrades to
     the best remaining candidate — see [degraded_from] in the
-    {!response}. @raise Not_found for unknown digests. *)
+    {!response}.
+
+    [held] (default empty) is the set of digests the client advertises
+    already holding: the shared dictionary's digest unlocks the
+    shared-dictionary codecs, and the digest of a previously fetched
+    program unlocks the delta update channel against that base. Each
+    unlocked representation competes on its actual patch/artifact
+    bytes; the contexted serve is verified by decoding against the
+    same context the client will use, and a failing one is
+    quarantined per context. @raise Not_found for unknown digests. *)
 
 val open_session : t -> string -> Session.t
 (** Start a streaming chunked session for a paging client. *)

@@ -223,7 +223,15 @@ let single_flight t key (build : unit -> string) =
 
 (* ---- artifact production ---- *)
 
-let cache_key digest repr = digest ^ ":" ^ Artifact.tag repr
+(* Contexted artifacts are cached per (digest, repr, context): the
+   same program served against two different held bases (or dictionary
+   generations) is two distinct cache entries, each quarantinable and
+   healable on its own. *)
+let cache_key ?ctx digest repr =
+  let k = digest ^ ":" ^ Artifact.tag repr in
+  match ctx with
+  | None -> k
+  | Some c -> k ^ "@" ^ Codec.Context.digest c
 
 (* a fresh build of a key that [quarantine] condemned is a heal: the
    poisoned bytes are gone and servable bytes exist again *)
@@ -295,7 +303,41 @@ let source_for t digest (m : meta) =
     ~native:(lazy (native_image t digest m))
     m.ir
 
-let materialize t digest repr =
+(* Build (or reuse) a contexted artifact. Peek-based residency checks,
+   so the engine can size candidates without perturbing hit/miss
+   accounting; [materialize ~ctx] layers the counters on top. No menu
+   prefetch — a contexted representation exists only for the client
+   that advertised the context. *)
+let build_ctx t digest repr ~ctx =
+  let m = meta t digest in
+  let key = cache_key ~ctx digest repr in
+  match cache_peek t key with
+  | Some bytes -> bytes
+  | None ->
+    single_flight t ("mat:" ^ key) @@ fun () ->
+    (match cache_peek t key with
+    | Some bytes -> bytes
+    | None ->
+      let src = source_for t digest m in
+      let (bytes, trace), dt =
+        timed (fun () -> Codec.encode ~ctx (Artifact.codec repr) src)
+      in
+      Stats.record_compress t.stats repr ~trace dt;
+      cache_add t key bytes;
+      note_rebuilt t key;
+      bytes)
+
+let contexted_size t digest repr ~ctx =
+  String.length (build_ctx t digest repr ~ctx)
+
+let materialize ?ctx t digest repr =
+  match ctx with
+  | Some ctx -> (
+    let key = cache_key ~ctx digest repr in
+    match cache_find t key with
+    | Some bytes -> (bytes, true)
+    | None -> (build_ctx t digest repr ~ctx, false))
+  | None ->
   let m = meta t digest in
   let key = cache_key digest repr in
   match cache_find t key with
@@ -353,8 +395,8 @@ let materialize t digest repr =
    metadata's IR, so a corrupted cache entry self-heals while the bad
    bytes can never be served twice. The key is marked so the eventual
    rebuild is counted as a heal. *)
-let quarantine t digest repr =
-  let key = cache_key digest repr in
+let quarantine ?ctx t digest repr =
+  let key = cache_key ?ctx digest repr in
   with_meta_mu t (fun () -> Hashtbl.replace t.quarantined key ());
   cache_remove t key
 
@@ -362,8 +404,8 @@ let quarantine t digest repr =
    mutate the cached artifact in place (false when it isn't resident).
    Uses peek/add so the injection itself is invisible to hit/miss
    accounting. *)
-let corrupt_cached t digest repr ~f =
-  let key = cache_key digest repr in
+let corrupt_cached ?ctx t digest repr ~f =
+  let key = cache_key ?ctx digest repr in
   match cache_peek t key with
   | None -> false
   | Some bytes ->

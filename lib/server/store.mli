@@ -66,10 +66,21 @@ val meta : t -> string -> meta
 val digests : t -> string list
 (** All published digests, in publish order. *)
 
-val materialize : t -> string -> Artifact.repr -> string * bool
+val materialize :
+  ?ctx:Codec.Context.t -> t -> string -> Artifact.repr -> string * bool
 (** Artifact bytes for a digest, plus whether the cache already held
     them. On a miss the artifact is (re)compressed, timed, and cached.
+    With [ctx] the artifact is built and cached per (digest, repr,
+    context digest) — the key for shared-dictionary and delta
+    representations — and the first-miss menu prefetch is skipped (a
+    contexted representation exists only for the client that advertised
+    the context).
     @raise Not_found for unknown digests. *)
+
+val contexted_size : t -> string -> Artifact.repr -> ctx:Codec.Context.t -> int
+(** Stored bytes of a contexted artifact, building (and caching) it on
+    first use. Residency checks are peek-based, so candidate sizing
+    never perturbs hit/miss accounting. *)
 
 val cache_stats : t -> Cache.stats
 (** Cache counters summed across the shards (equals the single cache's
@@ -77,13 +88,15 @@ val cache_stats : t -> Cache.stats
 
 val shard_count : t -> int
 
-val quarantine : t -> string -> Artifact.repr -> unit
+val quarantine : ?ctx:Codec.Context.t -> t -> string -> Artifact.repr -> unit
 (** Drop the cached bytes of one artifact (no-op when absent). Called
     when served bytes fail verification: the poisoned entry can never
     be served again, and the next {!materialize} rebuilds it fresh from
-    the published IR — quarantine is also self-healing. *)
+    the published IR — quarantine is also self-healing. [ctx] condemns
+    the per-context entry of a contexted artifact. *)
 
-val corrupt_cached : t -> string -> Artifact.repr -> f:(string -> string) -> bool
+val corrupt_cached :
+  ?ctx:Codec.Context.t -> t -> string -> Artifact.repr -> f:(string -> string) -> bool
 (** Fault-injection hook: rewrite the cached bytes of one artifact with
     [f]. Returns [false] when the artifact is not resident. The
     injection bypasses hit/miss accounting so cache statistics stay

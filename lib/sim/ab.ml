@@ -22,8 +22,8 @@ let run ~(a : Replay.config) ~(b : Replay.config) trace =
     d_bytes;
     d_bytes_pct;
     d_p99_ms =
-      ra.Replay.r_all.Replay.lat.Net.Load.p99_ms
-      -. rb.Replay.r_all.Replay.lat.Net.Load.p99_ms;
+      ra.Replay.r_all.Replay.lat.Support.Quantile.p99_ms
+      -. rb.Replay.r_all.Replay.lat.Support.Quantile.p99_ms;
     d_hit_rate = ra.Replay.r_cache_hit_rate -. rb.Replay.r_cache_hit_rate;
     same_events = ra.Replay.r_event_crc = rb.Replay.r_event_crc;
   }
@@ -54,11 +54,11 @@ let render (d : diff) =
     (a.Replay.r_policy_hits - b.Replay.r_policy_hits);
   let lat name (oa : Replay.opstats) (ob : Replay.opstats) =
     row "%-18s %14.2f %14.2f %14.2f" (name ^ " p99 ms")
-      oa.Replay.lat.Net.Load.p99_ms ob.Replay.lat.Net.Load.p99_ms
-      (oa.Replay.lat.Net.Load.p99_ms -. ob.Replay.lat.Net.Load.p99_ms);
+      oa.Replay.lat.Support.Quantile.p99_ms ob.Replay.lat.Support.Quantile.p99_ms
+      (oa.Replay.lat.Support.Quantile.p99_ms -. ob.Replay.lat.Support.Quantile.p99_ms);
     row "%-18s %14.2f %14.2f %14.2f" (name ^ " p50 ms")
-      oa.Replay.lat.Net.Load.p50_ms ob.Replay.lat.Net.Load.p50_ms
-      (oa.Replay.lat.Net.Load.p50_ms -. ob.Replay.lat.Net.Load.p50_ms)
+      oa.Replay.lat.Support.Quantile.p50_ms ob.Replay.lat.Support.Quantile.p50_ms
+      (oa.Replay.lat.Support.Quantile.p50_ms -. ob.Replay.lat.Support.Quantile.p50_ms)
   in
   lat "fetch" a.Replay.r_fetch b.Replay.r_fetch;
   lat "stream" a.Replay.r_stream b.Replay.r_stream;
@@ -91,7 +91,7 @@ let to_json (d : diff) =
       Printf.sprintf
         "  \"gate\": {\"a_bytes\": %d, \"b_bytes\": %d, \"a_p99_ms\": %.3f, \"b_p99_ms\": %.3f}"
         d.a.Replay.r_bytes_on_wire d.b.Replay.r_bytes_on_wire
-        d.a.Replay.r_all.Replay.lat.Net.Load.p99_ms
-        d.b.Replay.r_all.Replay.lat.Net.Load.p99_ms;
+        d.a.Replay.r_all.Replay.lat.Support.Quantile.p99_ms
+        d.b.Replay.r_all.Replay.lat.Support.Quantile.p99_ms;
       "}";
     ]

@@ -31,3 +31,7 @@ val to_json : diff -> string
 (** ["mcc-ab 1"]: both full reports under ["a"] / ["b"], the deltas,
     and the flat ["gate"] object ([a_bytes] / [b_bytes] / [a_p99_ms] /
     [b_p99_ms]) that [perf_gate --ab] scans without a JSON parser. *)
+
+val indent : string -> string
+(** Two-space indent of every non-empty line — for nesting a rendered
+    report inside another JSON document. *)

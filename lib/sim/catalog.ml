@@ -5,17 +5,47 @@
    the complete workload catalog. Generated programs are renamed to
    their stable genN names so trace keys survive regeneration. *)
 
-type flavor = Mini | Quick | Full
+type flavor = Mini | Quick | Full | Versioned
 
-let flavor_name = function Mini -> "mini" | Quick -> "quick" | Full -> "full"
+let flavor_name = function
+  | Mini -> "mini"
+  | Quick -> "quick"
+  | Full -> "full"
+  | Versioned -> "versioned"
 
 let flavor_of_name = function
   | "mini" -> Some Mini
   | "quick" -> Some Quick
   | "full" -> Some Full
+  | "versioned" -> Some Versioned
   | _ -> None
 
 let mini_names = [ "wc"; "sieve"; "calc"; "crc" ]
+
+(* ---- versions ---- *)
+
+(* The update-channel key space: each mini program under its current
+   key, plus an "old version" under [key@1]. The old version is the
+   same source with an extra (never-called) function, so the two IRs
+   share every live function verbatim — exactly the near-identical
+   pair a fleet sees across a release, and what makes a
+   function-granular delta small. *)
+
+let old_version_key k = k ^ "@1"
+
+let is_old_version k =
+  let n = String.length k in
+  n >= 2 && String.sub k (n - 2) 2 = "@1"
+
+let old_version_pad =
+  "\nint upd_retired_helper(int a) { return a * 3 + 7; }\n"
+
+let old_version_of (e : Corpus.Programs.entry) =
+  {
+    e with
+    Corpus.Programs.name = old_version_key e.Corpus.Programs.name;
+    source = e.Corpus.Programs.source ^ old_version_pad;
+  }
 
 let rename_generated (e : Server.Workload.entry) =
   if Corpus.Programs.find e.Server.Workload.name <> None then e
@@ -24,14 +54,25 @@ let rename_generated (e : Server.Workload.entry) =
       Server.Workload.name =
         Printf.sprintf "gen%d" e.Server.Workload.fn_count }
 
+let mini_prog n =
+  match Corpus.Programs.find n with
+  | Some p -> p
+  | None -> failwith ("Sim.Catalog: unknown corpus program " ^ n)
+
 let publish engine flavor =
   match flavor with
   | Mini ->
     List.map
+      (fun n -> Server.Workload.catalog_entry engine (mini_prog n))
+      mini_names
+  | Versioned ->
+    List.concat_map
       (fun n ->
-        match Corpus.Programs.find n with
-        | Some p -> Server.Workload.catalog_entry engine p
-        | None -> failwith ("Sim.Catalog: unknown corpus program " ^ n))
+        let p = mini_prog n in
+        [
+          Server.Workload.catalog_entry engine p;
+          Server.Workload.catalog_entry engine (old_version_of p);
+        ])
       mini_names
   | Quick ->
     List.map rename_generated

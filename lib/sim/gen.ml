@@ -172,6 +172,66 @@ let gen_mixed_profiles ~seed ~events ~keys =
   in
   cut ~sname:"mixed-profiles" ~seed evs
 
+(* ---- update storm ---- *)
+
+(* A fleet on mixed old versions upgrading at once. Cut against the
+   "versioned" catalog (keys [X] plus their old versions [X@1]).
+
+   Phase 1 (rollout): each client fetches the old version of most
+   programs — a seeded ~1-in-5 of the (client, program) pairs is
+   skipped, so the fleet is genuinely mixed: some clients will have no
+   base to patch against. Phase 2 (the storm): a release lands and
+   every event is an Update on a current key at near-zero gaps — the
+   thundering upgrade herd. Clients holding the old version advertise
+   it (plus the shared dictionary) and can be served the delta update
+   channel; the rest get full redelivery. *)
+let gen_update_storm ~seed ~events ~keys =
+  let rng = Support.Prng.create seed in
+  (* the herd that matters for an update channel is the fleet behind
+     real links: JIT clients on modem/lan (flash-crowd's crowd) —
+     datacenter peers just re-pull natively and embedded pagers
+     stream, so neither exercises the patch path *)
+  let clients = make_clients ~n:16 [ "modem-jit"; "lan-jit" ] in
+  let current = List.filter (fun k -> not (Catalog.is_old_version k)) keys in
+  let t = ref 0 in
+  let rollout =
+    Array.to_list clients
+    |> List.concat_map (fun (client, profile) ->
+           List.filter_map
+             (fun k ->
+               if Support.Prng.int rng 5 = 0 then None
+               else begin
+                 t := !t + Support.Prng.int rng 40;
+                 Some
+                   {
+                     Trace.t_ms = !t;
+                     client;
+                     profile;
+                     op = Trace.Fetch;
+                     key = Catalog.old_version_key k;
+                     fault = None;
+                   }
+               end)
+             current)
+  in
+  let pop = zipf_pop current in
+  let storm =
+    tabulate
+      (max 0 (events - List.length rollout))
+      (fun _ ->
+        t := !t + Support.Prng.int rng 3;
+        let client, profile = Support.Prng.pick rng clients in
+        {
+          Trace.t_ms = !t;
+          client;
+          profile;
+          op = Trace.Update;
+          key = Support.Prng.weighted rng pop;
+          fault = None;
+        })
+  in
+  cut ~sname:"update-storm" ~seed (rollout @ storm)
+
 let all =
   [
     { sname = "steady"; sdesc = "steady-state Zipf mix over all profiles";
@@ -185,6 +245,11 @@ let all =
     { sname = "mixed-profiles";
       sdesc = "legacy clients on the catalog tail vs modern on the head";
       generate = gen_mixed_profiles };
+    { sname = "update-storm";
+      sdesc =
+        "fleet on mixed old versions upgrading at once (cut against the \
+         versioned catalog)";
+      generate = gen_update_storm };
   ]
 
 let find name = List.find_opt (fun s -> s.sname = name) all

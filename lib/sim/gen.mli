@@ -10,6 +10,9 @@ type spec = {
 }
 
 val all : spec list
-(** [steady], [flash-crowd], [corruption-burst], [mixed-profiles]. *)
+(** [steady], [flash-crowd], [corruption-burst], [mixed-profiles],
+    [update-storm]. The update storm is cut against the [versioned]
+    catalog flavor: old versions roll out to most of the fleet, then
+    every event upgrades to the current version at once. *)
 
 val find : string -> spec option

@@ -8,7 +8,7 @@
    across pool sizes. The daemon path reuses the same per-event logic
    with RPCs in place of direct engine calls. *)
 
-type opstats = { ops : int; bytes : int; lat : Net.Load.bucket }
+type opstats = { ops : int; bytes : int; lat : Support.Quantile.bucket }
 
 type report = {
   r_label : string;
@@ -25,6 +25,8 @@ type report = {
   r_fetch : opstats;
   r_stream : opstats;
   r_resume : opstats;
+  r_update : opstats;
+  r_update_corrupt : int;
   r_all : opstats;
   r_event_crc : int;
   r_serve_crc : int;
@@ -37,10 +39,12 @@ type config = {
   budget_bytes : int;
   policy : Tune.Policy.t option;
   pool : Support.Pool.t option;
+  contexted : bool;
 }
 
 let default_config =
-  { label = "replay"; budget_bytes = 256 * 1024; policy = None; pool = None }
+  { label = "replay"; budget_bytes = 256 * 1024; policy = None; pool = None;
+    contexted = true }
 
 (* ---- shared plumbing ---- *)
 
@@ -96,9 +100,13 @@ type acc = {
   mutable serve_crc : int;
   mutable lat : (Trace.op * float) list;  (* newest first *)
   mutable bytes_by_op : (Trace.op * int) list;
+  mutable upd_corrupt : int;
+      (* update serves that failed client-side decode verification *)
 }
 
-let new_acc () = { log = Buffer.create 4096; serve_crc = 0; lat = []; bytes_by_op = [] }
+let new_acc () =
+  { log = Buffer.create 4096; serve_crc = 0; lat = []; bytes_by_op = [];
+    upd_corrupt = 0 }
 
 let logf acc fmt =
   Printf.ksprintf
@@ -122,14 +130,14 @@ let opstats_of acc op =
       List.fold_left
         (fun a (o, n) -> if o = op then a + n else a)
         0 acc.bytes_by_op;
-    lat = Net.Load.bucket_of_ms lats;
+    lat = Support.Quantile.bucket_of_ms lats;
   }
 
 let all_stats acc =
   {
     ops = List.length acc.lat;
     bytes = List.fold_left (fun a (_, n) -> a + n) 0 acc.bytes_by_op;
-    lat = Net.Load.bucket_of_ms (List.rev_map snd acc.lat);
+    lat = Support.Quantile.bucket_of_ms (List.rev_map snd acc.lat);
   }
 
 let finish ~(config : config) ~(trace : Trace.t) ~before ~after acc =
@@ -149,12 +157,58 @@ let finish ~(config : config) ~(trace : Trace.t) ~before ~after acc =
     r_fetch = opstats_of acc Trace.Fetch;
     r_stream = opstats_of acc Trace.Stream;
     r_resume = opstats_of acc Trace.Resume;
+    r_update = opstats_of acc Trace.Update;
+    r_update_corrupt = acc.upd_corrupt;
     r_all = all_stats acc;
     r_event_crc = Support.Util.crc32 (Buffer.contents acc.log);
     r_serve_crc = acc.serve_crc;
     r_log = Buffer.contents acc.log;
     r_stats = d;
   }
+
+(* ---- the update channel ---- *)
+
+(* What an Update event advertises as held: the shared dictionary plus
+   the key's old version, when this client fetched it earlier in the
+   trace. [holds] maps "client:key" to the digest that client last
+   received for the key. *)
+let held_for ~(config : config) holds ev =
+  if not config.contexted then []
+  else
+    Codec.Context.builtin_digest ()
+    :: (match
+          Hashtbl.find_opt holds
+            (ev.Trace.client ^ ":" ^ Catalog.old_version_key ev.Trace.key)
+        with
+       | Some d -> [ d ]
+       | None -> [])
+
+(* Client-side decode verification of an update serve: a contexted body
+   must decode under the context the response names, and a delta patch
+   must expand to the exact printed IR a full wire serve decodes to —
+   byte equality against the new version held by the store, not just
+   "some successful decode". *)
+let update_serve_ok store ~codec ~context ~digest body =
+  if context = "" then true (* context-free: the engine decode-verified it *)
+  else
+    let e = Codec.find_exn codec in
+    let ctx =
+      if context = Codec.Context.builtin_digest () then Codec.Context.builtin ()
+      else
+        match Server.Store.find_meta store context with
+        | Some bm ->
+          Codec.Context.base
+            ~ir_text:(Ir.Printer.program_to_string bm.Server.Store.ir)
+        | None ->
+          failwith ("Sim.Replay: served context digest unknown: " ^ context)
+    in
+    match Codec.decode ~ctx e.Codec.codec body with
+    | Error _ -> false
+    | Ok (expansion, _) ->
+      codec <> "delta"
+      || expansion
+         = Ir.Printer.program_to_string
+             (Server.Store.meta store digest).Server.Store.ir
 
 (* ---- faults ---- *)
 
@@ -193,6 +247,7 @@ let run ?(config = default_config) (trace : Trace.t) =
   let store = Server.store engine in
   let acc = new_acc () in
   let streams : (string, stream_state) Hashtbl.t = Hashtbl.create 16 in
+  let holds : (string, string) Hashtbl.t = Hashtbl.create 16 in
   let before = Server.report engine in
   let open_stream ev (e : Server.Workload.entry) profile =
     let sess = Server.open_session engine e.Server.Workload.digest in
@@ -225,7 +280,26 @@ let run ?(config = default_config) (trace : Trace.t) =
         ev.Trace.profile ev.Trace.key resp.Server.label resp.Server.size
         (if resp.Server.cache_hit then 1 else 0)
         (Option.value ~default:"-" resp.Server.degraded_from);
+      Hashtbl.replace holds skey e.Server.Workload.digest;
       served acc Trace.Fetch
+        ~latency:(resp.Server.outcome.Scenario.Delivery.total_s *. 1000.)
+        resp.Server.bytes
+    | Trace.Update ->
+      let held = held_for ~config holds ev in
+      let resp = Server.fetch ~held engine e.Server.Workload.digest profile in
+      let context = Option.value ~default:"" resp.Server.context in
+      if
+        not
+          (update_serve_ok store
+             ~codec:(Server.Artifact.name resp.Server.artifact)
+             ~context ~digest:e.Server.Workload.digest resp.Server.bytes)
+      then acc.upd_corrupt <- acc.upd_corrupt + 1;
+      logf acc "update %s %s %s -> %s %dB hit=%d ctx=%s" ev.Trace.client
+        ev.Trace.profile ev.Trace.key resp.Server.label resp.Server.size
+        (if resp.Server.cache_hit then 1 else 0)
+        (if context = "" then "-" else context);
+      Hashtbl.replace holds skey e.Server.Workload.digest;
+      served acc Trace.Update
         ~latency:(resp.Server.outcome.Scenario.Delivery.total_s *. 1000.)
         resp.Server.bytes
     | Trace.Stream -> (
@@ -316,6 +390,7 @@ let via_daemon ?(config = default_config) (trace : Trace.t) =
   let dom = Domain.spawn (fun () -> Net.Daemon.run daemon) in
   let acc = new_acc () in
   let streams : (string, daemon_stream) Hashtbl.t = Hashtbl.create 16 in
+  let holds : (string, string) Hashtbl.t = Hashtbl.create 16 in
   let before = Server.report engine in
   Fun.protect
     ~finally:(fun () ->
@@ -335,9 +410,9 @@ let via_daemon ?(config = default_config) (trace : Trace.t) =
             match
               timed
                 (Net.Protocol.Open
-                   { codec = ""; digest = e.Server.Workload.digest; resume = "" })
+                   { codec = ""; digest = e.Server.Workload.digest; resume = ""; held = [] })
             with
-            | Net.Protocol.Index { token; next_seq; rows }, ms ->
+            | Net.Protocol.Index { token; next_seq; rows; _ }, ms ->
               let hs = handshake_of_rows rows in
               logf acc "open %s %s %s rows=%d %dB" ev.Trace.client
                 ev.Trace.profile ev.Trace.key (List.length rows) hs;
@@ -383,6 +458,7 @@ let via_daemon ?(config = default_config) (trace : Trace.t) =
                      {
                        profile = ev.Trace.profile;
                        digest = e.Server.Workload.digest;
+                       held = [];
                      })
               with
               | Net.Protocol.Artifact { label; cache_hit; degraded_from; body; _ }, ms ->
@@ -391,11 +467,42 @@ let via_daemon ?(config = default_config) (trace : Trace.t) =
                   (String.length body)
                   (if cache_hit then 1 else 0)
                   (if degraded_from = "" then "-" else degraded_from);
+                Hashtbl.replace holds skey e.Server.Workload.digest;
                 served acc Trace.Fetch ~latency:ms body
               | Net.Protocol.Err (c, m), _ ->
                 failwith
                   ("Sim.Replay: fetch refused: " ^ Net.Protocol.err_code_name c
                  ^ ": " ^ m)
+              | _ -> failwith "Sim.Replay: unexpected response to Fetch")
+            | Trace.Update -> (
+              match
+                timed
+                  (Net.Protocol.Fetch
+                     {
+                       profile = ev.Trace.profile;
+                       digest = e.Server.Workload.digest;
+                       held = held_for ~config holds ev;
+                     })
+              with
+              | ( Net.Protocol.Artifact
+                    { label; codec; cache_hit; context; body; _ },
+                  ms ) ->
+                if
+                  not
+                    (update_serve_ok store ~codec ~context
+                       ~digest:e.Server.Workload.digest body)
+                then acc.upd_corrupt <- acc.upd_corrupt + 1;
+                logf acc "update %s %s %s -> %s %dB hit=%d ctx=%s"
+                  ev.Trace.client ev.Trace.profile ev.Trace.key label
+                  (String.length body)
+                  (if cache_hit then 1 else 0)
+                  (if context = "" then "-" else context);
+                Hashtbl.replace holds skey e.Server.Workload.digest;
+                served acc Trace.Update ~latency:ms body
+              | Net.Protocol.Err (c, m), _ ->
+                failwith
+                  ("Sim.Replay: update refused: "
+                 ^ Net.Protocol.err_code_name c ^ ": " ^ m)
               | _ -> failwith "Sim.Replay: unexpected response to Fetch")
             | Trace.Stream -> (
               match Hashtbl.find_opt streams skey with
@@ -449,7 +556,7 @@ let via_daemon ?(config = default_config) (trace : Trace.t) =
 let render_opstats name (o : opstats) =
   Printf.sprintf
     "lat %-7s %5d ops %9dB  p50 %8.2f  p95 %8.2f  p99 %8.2f ms" name o.ops
-    o.bytes o.lat.Net.Load.p50_ms o.lat.Net.Load.p95_ms o.lat.Net.Load.p99_ms
+    o.bytes o.lat.Support.Quantile.p50_ms o.lat.Support.Quantile.p95_ms o.lat.Support.Quantile.p99_ms
 
 let render (r : report) =
   String.concat "\n"
@@ -469,6 +576,8 @@ let render (r : report) =
       render_opstats "fetch" r.r_fetch;
       render_opstats "stream" r.r_stream;
       render_opstats "resume" r.r_resume;
+      render_opstats "update" r.r_update;
+      Printf.sprintf "update corrupt   %d" r.r_update_corrupt;
       render_opstats "all" r.r_all;
       Printf.sprintf "event crc        %08x" r.r_event_crc;
       Printf.sprintf "serve crc        %08x" r.r_serve_crc;
@@ -478,8 +587,8 @@ let render (r : report) =
 let json_opstats (o : opstats) =
   Printf.sprintf
     "{\"ops\": %d, \"bytes\": %d, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f}"
-    o.ops o.bytes o.lat.Net.Load.p50_ms o.lat.Net.Load.p95_ms
-    o.lat.Net.Load.p99_ms
+    o.ops o.bytes o.lat.Support.Quantile.p50_ms o.lat.Support.Quantile.p95_ms
+    o.lat.Support.Quantile.p99_ms
 
 let to_json (r : report) =
   String.concat "\n"
@@ -499,6 +608,8 @@ let to_json (r : report) =
       Printf.sprintf "  \"fetch\": %s," (json_opstats r.r_fetch);
       Printf.sprintf "  \"stream\": %s," (json_opstats r.r_stream);
       Printf.sprintf "  \"resume\": %s," (json_opstats r.r_resume);
+      Printf.sprintf "  \"update\": %s," (json_opstats r.r_update);
+      Printf.sprintf "  \"update_corrupt\": %d," r.r_update_corrupt;
       Printf.sprintf "  \"all\": %s," (json_opstats r.r_all);
       Printf.sprintf "  \"event_crc\": \"%08x\"," r.r_event_crc;
       Printf.sprintf "  \"serve_crc\": \"%08x\"" r.r_serve_crc;

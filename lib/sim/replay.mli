@@ -25,7 +25,7 @@
 type opstats = {
   ops : int;
   bytes : int;           (** payload bytes this op class put on the wire *)
-  lat : Net.Load.bucket; (** modelled ms ({!run}) or measured ms ({!via_daemon}) *)
+  lat : Support.Quantile.bucket; (** modelled ms ({!run}) or measured ms ({!via_daemon}) *)
 }
 
 type report = {
@@ -43,6 +43,14 @@ type report = {
   r_fetch : opstats;
   r_stream : opstats;       (** handshakes and chunks *)
   r_resume : opstats;
+  r_update : opstats;
+      (** upgrade fetches (the delta update channel when the config
+          advertises held digests, full redelivery when it doesn't) *)
+  r_update_corrupt : int;
+      (** update serves that failed client-side decode verification: a
+          contexted body that does not decode under the context the
+          response names, or a delta patch whose expansion differs
+          from the exact bytes a full wire serve decodes to *)
   r_all : opstats;
   r_event_crc : int;        (** CRC-32 of the rendered event log *)
   r_serve_crc : int;        (** chained CRC-32 over every served payload *)
@@ -58,6 +66,12 @@ type config = {
       (** compression pool handed to the engine (default: the shared
           pool). The determinism contract makes the report identical at
           any pool size — the knob exists so tests can prove it. *)
+  contexted : bool;
+      (** when true (the default), [Update] events advertise the shared
+          dictionary and the key's previously fetched old version as
+          held, unlocking the delta update channel; when false they are
+          plain fetches — the full-redelivery baseline the storm gate
+          measures against *)
 }
 
 val default_config : config

@@ -9,14 +9,19 @@
    are fuzzed like every other decoder): every failure is a typed
    Decode_error with the line number as position, never an exception. *)
 
-type op = Fetch | Stream | Resume
+type op = Fetch | Stream | Resume | Update
 
-let op_name = function Fetch -> "fetch" | Stream -> "stream" | Resume -> "resume"
+let op_name = function
+  | Fetch -> "fetch"
+  | Stream -> "stream"
+  | Resume -> "resume"
+  | Update -> "update"
 
 let op_of_name = function
   | "fetch" -> Some Fetch
   | "stream" -> Some Stream
   | "resume" -> Some Resume
+  | "update" -> Some Update
   | _ -> None
 
 type fault = { fkind : Support.Fault.kind; fseed : int64 }

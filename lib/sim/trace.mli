@@ -27,6 +27,11 @@ type op =
   | Fetch   (** whole-image request *)
   | Stream  (** chunked session: handshake on first touch, then chunks *)
   | Resume  (** retransmit of the last served chunk (dropped response) *)
+  | Update
+      (** upgrade fetch: the client asks for the key's current version
+          while advertising what it already holds (the shared
+          dictionary and, when it fetched one earlier in the trace, the
+          key's old version) — the delta update channel's request *)
 
 val op_name : op -> string
 val op_of_name : string -> op option

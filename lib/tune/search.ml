@@ -65,14 +65,21 @@ let tune ?(rates = Scenario.Delivery.default_rates)
       let digest = digest_of pt.ir in
       let run_cycles = max pt.run_cycles min_session_cycles in
       (* size the whole menu once per point; encodes are deterministic,
-         so these match what a live store materializes *)
+         so these match what a live store materializes. Shared-dict
+         codecs are sized against the committed dictionary (what the
+         server encodes with); the delta update channel has no fixed
+         artifact to size — its base is per-request — so it stays out
+         of the offline grid. *)
       let sized =
         List.filter_map
           (fun (e : Codec.entry) ->
             if e.Codec.modes = [] then None
             else
-              let bytes, _ = Codec.encode e.Codec.codec src in
-              Some (e, String.length bytes))
+              match e.Codec.needs with
+              | `Base _ -> None
+              | `None | `Shared_dict _ ->
+                let bytes, _ = Codec.encode e.Codec.codec src in
+                Some (e, String.length bytes))
           (Codec.all ())
       in
       List.fold_left

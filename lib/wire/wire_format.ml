@@ -1,6 +1,12 @@
 let magic = "WIR1"
 
-type final_stage = Deflate | Arith of int | Lz_arith
+type final_stage =
+  | Deflate
+  | Arith of int
+  | Lz_arith
+  | Shared_deflate of string
+      (* deflate primed with a pre-agreed dictionary; the bytes are the
+         context, only a crc of them travels on the wire *)
 
 let wfail r kind msg = Support.Frame.fail r kind msg
 
@@ -232,6 +238,15 @@ let bundle_of_patternized ?pool (pz : patternized) : string =
 
 (* ---- stage 3: the final entropy stage, tagged ---- *)
 
+let dict_crc_be dict =
+  let c = Support.Util.crc32 dict in
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr ((c lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((c lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((c lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (c land 0xff));
+  Bytes.to_string b
+
 let apply_final_stage stage bundle =
   match stage with
   | Deflate -> "D" ^ Zip.Deflate.compress bundle
@@ -240,9 +255,16 @@ let apply_final_stage stage bundle =
     Printf.sprintf "A%d" order
     ^ Zip.Range_coder.compress_order_n ~order bundle
   | Lz_arith -> "L" ^ Zip.Lza.compress bundle
+  | Shared_deflate dict ->
+    (* seal the dictionary pairing in-band: 4 crc bytes after the tag,
+       so decoding against the wrong/absent dictionary is a typed
+       error, never silent garbage *)
+    "S" ^ dict_crc_be dict ^ Zip.Deflate.compress ~dict bundle
 
-(* body (everything behind the CRC seal) -> bundle *)
-let unwrap_final_stage_exn body =
+(* body (everything behind the CRC seal) -> bundle. [dict] is the
+   pre-agreed priming dictionary for the ['S'] stage; the other stages
+   ignore it. *)
+let unwrap_final_stage_exn ?dict body =
   let fail0 kind msg =
     Support.Decode_error.fail ~decoder:"wire" ~kind ~pos:0 msg
   in
@@ -259,6 +281,21 @@ let unwrap_final_stage_exn body =
     Zip.Range_coder.decompress_order_n_exn ~order
       (String.sub body 2 (String.length body - 2))
   | 'L' -> Zip.Lza.decompress_exn (String.sub body 1 (String.length body - 1))
+  | 'S' -> (
+    if String.length body < 5 then
+      fail0 Support.Decode_error.Truncated "truncated shared-stage header";
+    (* [None] means no dictionary was supplied; [Some ""] is a real
+       (empty) dictionary and must still pass the CRC pairing check *)
+    match dict with
+    | None ->
+      fail0 Support.Decode_error.Bad_value
+        "shared final stage requires a dictionary context"
+    | Some dict ->
+      if String.sub body 1 4 <> dict_crc_be dict then
+        fail0 Support.Decode_error.Inconsistent
+          "shared-stage dictionary crc mismatch";
+      Zip.Deflate.decompress_exn ~dict
+        (String.sub body 5 (String.length body - 5)))
   | _ -> fail0 Support.Decode_error.Bad_value "unknown final stage"
 
 (* ---- the whole pipeline ---- *)
@@ -395,13 +432,13 @@ let program_of_bundle_exn bundle : Ir.Tree.program =
     wfail r Support.Decode_error.Inconsistent "leftover patterns";
   { Ir.Tree.globals; funcs }
 
-let decompress_exn z =
+let decompress_exn ?dict z =
   let off = Support.Frame.verify ~decoder:"wire" z in
   let body = String.sub z off (String.length z - off) in
-  program_of_bundle_exn (unwrap_final_stage_exn body)
+  program_of_bundle_exn (unwrap_final_stage_exn ?dict body)
 
-let decompress z =
-  Support.Decode_error.guard ~decoder:"wire" (fun () -> decompress_exn z)
+let decompress ?dict z =
+  Support.Decode_error.guard ~decoder:"wire" (fun () -> decompress_exn ?dict z)
 
 (* ---- stats ---- *)
 

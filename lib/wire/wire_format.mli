@@ -22,6 +22,11 @@ type final_stage =
   | Lz_arith         (** bit-optimal LZ77 parse + range-coded tokens
                          ({!Zip.Lza}): the ratio-maximal corner of the
                          design space, slowest to encode *)
+  | Shared_deflate of string
+      (** deflate whose LZ77 window is primed with a pre-agreed shared
+          dictionary (the carried bytes). Only a 4-byte CRC of the
+          dictionary travels on the wire (tag ['S']); decode must be
+          given the same bytes or it fails with a typed error. *)
 
 val compress :
   ?pool:Support.Pool.t ->
@@ -38,14 +43,17 @@ val compress :
     are entropy-coded in parallel; output is byte-identical either
     way. *)
 
-val decompress : string -> (Ir.Tree.program, Support.Decode_error.t) result
+val decompress :
+  ?dict:string -> string -> (Ir.Tree.program, Support.Decode_error.t) result
 (** Total inverse of {!compress}. Corrupt input or flag mismatch (the
     bundle records which ablation switches produced it) yields a typed
     [Error]; the CRC frame is checked before the bundle is parsed, and
     every count field is validated against the remaining input before
-    allocation. *)
+    allocation. [dict] is required (same bytes) iff the stream was
+    produced with [Shared_deflate]; an absent or wrong dictionary is a
+    typed [Error]. *)
 
-val decompress_exn : string -> Ir.Tree.program
+val decompress_exn : ?dict:string -> string -> Ir.Tree.program
 (** As {!decompress} but raises {!Support.Decode_error.Fail}; for
     trusted inputs (e.g. bytes this process just compressed). *)
 
@@ -75,10 +83,13 @@ val bundle_of_patternized : ?pool:Support.Pool.t -> patternized -> string
 
 val apply_final_stage : final_stage -> string -> string
 (** Stage 3: entropy-code the bundle, prefixed with the stage tag
-    ([D], [A<order>] or [L]) so decode needs no flags. *)
+    ([D], [A<order>], [L] or [S]) so decode needs no flags beyond the
+    out-of-band dictionary the [S] tag's CRC pins. *)
 
-val unwrap_final_stage_exn : string -> string
-(** Inverse of {!apply_final_stage} on the body behind the CRC seal. *)
+val unwrap_final_stage_exn : ?dict:string -> string -> string
+(** Inverse of {!apply_final_stage} on the body behind the CRC seal.
+    [dict] is consulted only by the ['S'] stage, which fails with a
+    typed error when it is absent or its CRC does not match. *)
 
 val program_of_bundle_exn : string -> Ir.Tree.program
 (** Inverse of {!bundle_of_patternized}∘{!patternize}. *)

@@ -198,8 +198,8 @@ let encode_tokens ?source ?(packed = false) ~orig_len tokens =
     else huff
   | None -> huff
 
-let compress s =
-  encode_tokens ~source:s ~orig_len:(String.length s) (Lz77.tokenize s)
+let compress ?(dict = "") s =
+  encode_tokens ~source:s ~orig_len:(String.length s) (Lz77.tokenize ~dict s)
 
 (* ---- bit-optimal parsing ----
 
@@ -277,7 +277,8 @@ let compress_opt s =
 
 let default_max_output = 1 lsl 26
 
-let decompress_exn ?(max_output = default_max_output) z =
+let decompress_exn ?(max_output = default_max_output) ?(dict = "") z =
+  let dlen = String.length dict in
   let r = Support.Bitio.Reader.of_string z in
   let fail kind msg =
     Support.Decode_error.fail ~decoder:"deflate" ~kind
@@ -380,8 +381,11 @@ let decompress_exn ?(max_output = default_max_output) z =
       Some (Huffman.make_decoder dist_code)
     else None
   in
-  (* grow towards orig_len rather than trusting it up front *)
-  let buf = Buffer.create (min orig_len 65536) in
+  (* grow towards orig_len rather than trusting it up front; the primed
+     dictionary sits below position 0 of the logical output, so the
+     distance floor naturally extends back into it *)
+  let buf = Buffer.create (min (dlen + orig_len) 65536) in
+  Buffer.add_string buf dict;
   let finished = ref false in
   while not !finished do
     let sym = Huffman.decode_symbol ld r in
@@ -416,17 +420,16 @@ let decompress_exn ?(max_output = default_max_output) z =
         Buffer.add_char buf (Buffer.nth buf (start + k))
       done
     end;
-    if Buffer.length buf > orig_len then
+    if Buffer.length buf - dlen > orig_len then
       fail Support.Decode_error.Inconsistent "output exceeds declared length"
   done;
-  let out = Buffer.contents buf in
-  if String.length out <> orig_len then
+  if Buffer.length buf - dlen <> orig_len then
     fail Support.Decode_error.Inconsistent "output shorter than declared length";
-  out
+  Buffer.sub buf dlen orig_len
   end
 
-let decompress ?max_output z =
+let decompress ?max_output ?dict z =
   Support.Decode_error.guard ~decoder:"deflate" (fun () ->
-      decompress_exn ?max_output z)
+      decompress_exn ?max_output ?dict z)
 
 let compressed_size s = String.length (compress s)

@@ -8,11 +8,14 @@
     representative of gzip's. Used both as the paper's "gzip" baseline and
     as the final stage of the wire format (§3 step 5). *)
 
-val compress : string -> string
+val compress : ?dict:string -> string -> string
 (** [encode_tokens ~source:s ~orig_len:(String.length s) (Lz77.tokenize s)].
     Output never exceeds input + 5 bytes: incompressible input falls back
     to a stored block (a 1-bit block type after the length header, then
-    the bytes verbatim — RFC 1951 §3.2.4's escape hatch). *)
+    the bytes verbatim — RFC 1951 §3.2.4's escape hatch). [dict]
+    (default empty, byte-identical to the historical output) primes the
+    LZ77 window ({!Lz77.tokenize}'s [dict]); {!decompress} must then be
+    given the same bytes. *)
 
 val encode_tokens :
   ?source:string -> ?packed:bool -> orig_len:int -> Lz77.token list -> string
@@ -69,12 +72,18 @@ val compress_opt : string -> string
     {!decompress}). *)
 
 val decompress :
-  ?max_output:int -> string -> (string, Support.Decode_error.t) result
+  ?max_output:int -> ?dict:string -> string ->
+  (string, Support.Decode_error.t) result
 (** [decompress (compress s) = Ok s]. Total: corrupt input yields a
     typed [Error]; the declared output length is checked against
-    [max_output] (default 64 MB) before any proportional allocation. *)
+    [max_output] (default 64 MB) before any proportional allocation.
+    [dict] primes the window with the same bytes the compressor used; a
+    stream compressed with a dictionary decoded without one (or with
+    the wrong one) yields an [Error] or wrong bytes — callers seal the
+    pairing with a dictionary digest (see [Wire]'s shared final
+    stage). *)
 
-val decompress_exn : ?max_output:int -> string -> string
+val decompress_exn : ?max_output:int -> ?dict:string -> string -> string
 (** As {!decompress} but raises {!Support.Decode_error.Fail}; for
     trusted inputs (e.g. bytes this process just compressed). *)
 

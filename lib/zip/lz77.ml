@@ -17,6 +17,20 @@ let hash3 s i =
 
 let max_chain = 128
 
+(* ---- priming dictionary ----
+
+   A shared dictionary primes the window exactly as zlib's
+   deflateSetDictionary does: the parser behaves as if [dict] had just
+   been emitted, so matches may reach back into it and distances beyond
+   the current output position address dictionary bytes. We realise
+   this by parsing the concatenation [dict ^ s] with the dictionary
+   positions pre-inserted into the hash chains (candidates, never
+   emitted) and the parse loop starting at [String.length dict] — which
+   is byte-identical to the historical parser when the dictionary is
+   empty, a property the 18 golden codec digests pin. A dictionary
+   longer than the window simply leaves its head unreachable: the
+   [i - c <= window_size] guard already enforces that. *)
+
 (* ---- parse strategies ----
 
    Greedy takes the longest match at every position; Lazy (the default,
@@ -35,7 +49,9 @@ type strategy = Greedy | Lazy | Optimal of cost_model
 
 let cost_scale = 16
 
-let tokenize_chained ~lazy_match ~good_enough s =
+let tokenize_chained ~lazy_match ~good_enough ~dict s0 =
+  let dlen = String.length dict in
+  let s = if dlen = 0 then s0 else dict ^ s0 in
   let n = String.length s in
   let head = Array.make hash_size (-1) in
   let prev = Array.make (max n 1) (-1) in
@@ -93,7 +109,8 @@ let tokenize_chained ~lazy_match ~good_enough s =
   let find_best_cached i =
     if !cached_at = i then !cached else find_best i
   in
-  let i = ref 0 in
+  for k = 0 to dlen - 1 do insert k done;
+  let i = ref dlen in
   while !i < n do
     (match find_best_cached !i with
     | Some (len, dist) ->
@@ -144,9 +161,11 @@ let tokenize_chained ~lazy_match ~good_enough s =
    contributes edges for exactly the lengths it newly covers, which
    assigns every length its nearest (= cheapest distance class)
    source. *)
-let tokenize_optimal ~good_enough cm s =
+let tokenize_optimal ~good_enough ~dict cm s0 =
+  let dlen = String.length dict in
+  let s = if dlen = 0 then s0 else dict ^ s0 in
   let n = String.length s in
-  if n = 0 then []
+  if n = dlen then []
   else begin
     let head = Array.make hash_size (-1) in
     let prev = Array.make n (-1) in
@@ -161,8 +180,15 @@ let tokenize_optimal ~good_enough cm s =
     (* edge into position j: step 1 = literal, >= min_match = match *)
     let from_len = Array.make (n + 1) 0 in
     let from_dist = Array.make (n + 1) 0 in
-    cost.(0) <- 0;
-    for i = 0 to n - 1 do
+    for k = 0 to dlen - 1 do
+      if k + min_match <= n then begin
+        let h = hash3 s k in
+        prev.(k) <- head.(h);
+        head.(h) <- k
+      end
+    done;
+    cost.(dlen) <- 0;
+    for i = dlen to n - 1 do
       let ci = cost.(i) in
       (* every position is reachable by literals, so ci < inf *)
       let lc = ci + cm.literal_cost (Char.code s.[i]) in
@@ -205,7 +231,7 @@ let tokenize_optimal ~good_enough cm s =
       end
     done;
     let rec walk j acc =
-      if j = 0 then acc
+      if j = dlen then acc
       else if from_len.(j) = 1 then
         walk (j - 1) (Literal (Char.code s.[j - 1]) :: acc)
       else
@@ -216,11 +242,11 @@ let tokenize_optimal ~good_enough cm s =
     walk n []
   end
 
-let tokenize ?(good_enough = 64) ?(strategy = Lazy) s =
+let tokenize ?(good_enough = 64) ?(strategy = Lazy) ?(dict = "") s =
   match strategy with
-  | Greedy -> tokenize_chained ~lazy_match:false ~good_enough s
-  | Lazy -> tokenize_chained ~lazy_match:true ~good_enough s
-  | Optimal cm -> tokenize_optimal ~good_enough cm s
+  | Greedy -> tokenize_chained ~lazy_match:false ~good_enough ~dict s
+  | Lazy -> tokenize_chained ~lazy_match:true ~good_enough ~dict s
+  | Optimal cm -> tokenize_optimal ~good_enough ~dict cm s
 
 (* ---- reconstruction ---- *)
 
@@ -250,15 +276,19 @@ let check_token ~pos ~written t =
    it fits, then one tail blit — every chunk a multiple of the period so
    the pattern stays aligned. The byte-at-a-time [Buffer] version
    survives as {!reconstruct_reference_exn}, the differential oracle. *)
-let reconstruct_exn tokens =
+let reconstruct_exn ?(dict = "") tokens =
+  let dlen = String.length dict in
+  (* [written] counts the primed dictionary bytes, so a distance may
+     legally reach back into the dictionary *)
   let total =
     List.fold_left
       (fun (pos, written) t -> (pos + 1, check_token ~pos ~written t))
-      (0, 0) tokens
+      (0, dlen) tokens
     |> snd
   in
   let buf = Bytes.create total in
-  let out = ref 0 in
+  Bytes.blit_string dict 0 buf 0 dlen;
+  let out = ref dlen in
   List.iter
     (fun t ->
       match t with
@@ -281,10 +311,12 @@ let reconstruct_exn tokens =
         end;
         out := pos + length)
     tokens;
-  Bytes.unsafe_to_string buf
+  if dlen = 0 then Bytes.unsafe_to_string buf
+  else Bytes.sub_string buf dlen (total - dlen)
 
-let reconstruct_reference_exn tokens =
+let reconstruct_reference_exn ?(dict = "") tokens =
   let buf = Buffer.create 1024 in
+  Buffer.add_string buf dict;
   List.iteri
     (fun pos t ->
       ignore (check_token ~pos ~written:(Buffer.length buf) t);
@@ -296,7 +328,9 @@ let reconstruct_reference_exn tokens =
           Buffer.add_char buf (Buffer.nth buf (start + k))
         done)
     tokens;
-  Buffer.contents buf
+  let dlen = String.length dict in
+  Buffer.sub buf dlen (Buffer.length buf - dlen)
 
-let reconstruct tokens =
-  Support.Decode_error.guard ~decoder:"lz77" (fun () -> reconstruct_exn tokens)
+let reconstruct ?dict tokens =
+  Support.Decode_error.guard ~decoder:"lz77" (fun () ->
+      reconstruct_exn ?dict tokens)

@@ -37,23 +37,35 @@ val cost_scale : int
     models can express fractional entropy estimates without floats in
     the relaxation loop. *)
 
-val tokenize : ?good_enough:int -> ?strategy:strategy -> string -> token list
+val tokenize :
+  ?good_enough:int -> ?strategy:strategy -> ?dict:string -> string -> token list
 (** Factor the input. [good_enough] (default 64) stops hash-chain search
     early once a match at least that long is found, trading a little
     ratio for speed; under [Optimal] it bounds the per-position
     candidate enumeration the same way. [strategy] defaults to [Lazy],
-    byte-identical to the historical parser (pinned by test). *)
+    byte-identical to the historical parser (pinned by test).
 
-val reconstruct : token list -> (string, Support.Decode_error.t) result
-(** Inverse: expand tokens back to the original string. Total: distances
-    outside the window or before the start of output, and lengths beyond
-    [max_match], yield [Error] with the token position. *)
+    [dict] (default empty) is a priming dictionary in the style of
+    zlib's [deflateSetDictionary]: the parser behaves as if those bytes
+    had just been emitted, so matches may reach back into them and a
+    distance larger than the current output position addresses the
+    dictionary's tail. An empty dictionary is byte-identical to the
+    historical parser; a dictionary longer than {!window_size} leaves
+    its head unreachable. *)
 
-val reconstruct_exn : token list -> string
+val reconstruct :
+  ?dict:string -> token list -> (string, Support.Decode_error.t) result
+(** Inverse: expand tokens back to the original string (the dictionary,
+    which both sides must agree on, is primed but not returned). Total:
+    distances outside the window or before the start of the primed
+    output, and lengths beyond [max_match], yield [Error] with the
+    token position. *)
+
+val reconstruct_exn : ?dict:string -> token list -> string
 (** As {!reconstruct} but raises {!Support.Decode_error.Fail}; for
     trusted token streams. [Bytes]-backed: matches are bulk blits (an
     overlapping match is a periodic block fill), not per-byte appends. *)
 
-val reconstruct_reference_exn : token list -> string
+val reconstruct_reference_exn : ?dict:string -> token list -> string
 (** The original byte-at-a-time [Buffer] implementation, kept verbatim
     as the differential oracle for {!reconstruct_exn}. *)

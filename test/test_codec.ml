@@ -26,6 +26,27 @@ let progs =
 
 let source_of p = Codec.Source.of_ir ~vm:p.vp ~native:p.native p.ir
 
+(* the context each registry entry needs, mirroring how the server
+   supplies it: shared-dictionary codecs get the committed builtin
+   dictionary; the delta update channel gets another corpus program as
+   the held base artifact *)
+let base_prog_for p =
+  match List.filter (fun q -> q.pname <> p.pname) (Lazy.force progs) with
+  | q :: _ -> q
+  | [] -> assert false
+
+let ctx_for (e : Codec.entry) ~base =
+  match e.Codec.needs with
+  | `None -> None
+  | `Shared_dict _ -> Some (Codec.Context.builtin ())
+  | `Base _ ->
+    Some (Codec.Context.base ~ir_text:(Ir.Printer.program_to_string base.ir))
+
+let builtin_pats () =
+  match Codec.Context.builtin () with
+  | Codec.Context.Shared_dict s -> s.Codec.Context.pats
+  | Codec.Context.Base _ -> assert false
+
 (* (program, codec name, md5 of the encoded bytes)
 
    Re-pinned once: the deflate format gained a 1-bit block type after
@@ -70,19 +91,24 @@ let expected_expansion p (e : Codec.entry) encoded =
   match Codec.name e.Codec.codec with
   | "native" | "brisc" -> encoded
   | "gzip+native" | "deflate" | "deflate-opt" -> p.native
-  | "wire" | "wire+range" | "wire+range-opt" | "chunked-wire" ->
+  | "wire" | "wire+range" | "wire+range-opt" | "chunked-wire" | "wire+shared"
+  | "delta" ->
     Ir.Printer.program_to_string p.ir
+  | "brisc+shared" ->
+    Brisc.to_bytes (Brisc.compress_shared ~shared:(builtin_pats ()) p.vp)
   | other -> Alcotest.failf "no canonical expansion known for codec %s" other
 
 let test_registry_round_trips () =
   List.iter
     (fun p ->
       let src = source_of p in
+      let base = base_prog_for p in
       List.iter
         (fun (e : Codec.entry) ->
           let c = e.Codec.codec in
           let n = Codec.name c in
-          let bytes, etr = Codec.encode c src in
+          let ctx = ctx_for e ~base in
+          let bytes, etr = Codec.encode ?ctx c src in
           Alcotest.(check bool)
             (p.pname ^ "/" ^ n ^ " encode non-empty") true
             (String.length bytes > 0);
@@ -101,7 +127,7 @@ let test_registry_round_trips () =
           Alcotest.(check int)
             (p.pname ^ "/" ^ n ^ " trace ends at encoded size")
             (String.length bytes) last.Codec.bytes_out;
-          match Codec.decode c bytes with
+          match Codec.decode ?ctx c bytes with
           | Error err ->
             Alcotest.failf "%s/%s decode failed: %s" p.pname n
               (Support.Decode_error.to_string err)
@@ -124,7 +150,8 @@ let test_decode_totality () =
     (fun (e : Codec.entry) ->
       let c = e.Codec.codec in
       let n = Codec.name c in
-      let bytes, _ = Codec.encode c src in
+      let ctx = ctx_for e ~base:(base_prog_for p) in
+      let bytes, _ = Codec.encode ?ctx c src in
       let flipped =
         let b = Bytes.of_string bytes in
         Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
@@ -133,12 +160,16 @@ let test_decode_totality () =
       let truncated = String.sub bytes 0 (String.length bytes / 2) in
       List.iter
         (fun m ->
-          match Codec.decode c m with
+          match Codec.decode ?ctx c m with
           | Ok _ | Error _ -> ())
         [ flipped; truncated; ""; "garbage input that is not a container" ];
       (* CRC/magic-framed formats must actually notice a flipped leading byte *)
-      if List.mem n [ "wire"; "wire+range"; "chunked-wire" ] then
-        match Codec.decode c flipped with
+      if
+        List.mem n
+          [ "wire"; "wire+range"; "chunked-wire"; "wire+shared";
+            "brisc+shared"; "delta" ]
+      then
+        match Codec.decode ?ctx c flipped with
         | Error _ -> ()
         | Ok _ -> Alcotest.failf "%s accepted a corrupted leading byte" n)
     (Codec.all ())
@@ -199,6 +230,92 @@ let test_deflate_opt_ratio () =
     true
     (float_of_int !strictly_smaller >= 0.8 *. float_of_int n)
 
+(* the update channel end to end: a patch against a held base must
+   decode to the exact bytes of the full wire serve, the all-unchanged
+   patch must be tiny (pure 'C' ops), and a patch applied against the
+   wrong — or no — base must fail with a typed error, never garbage *)
+let test_delta_channel () =
+  let v1 = List.hd (Lazy.force progs) in
+  let v2 = base_prog_for v1 in
+  let base_ctx =
+    Codec.Context.base ~ir_text:(Ir.Printer.program_to_string v1.ir)
+  in
+  let c = Codec.delta_codec in
+  (* disjoint programs: every function ships as a compressed 'N' op *)
+  let patch, _ = Codec.encode ~ctx:base_ctx c (source_of v2) in
+  (match Codec.decode ~ctx:base_ctx c patch with
+  | Error e ->
+    Alcotest.failf "delta decode: %s" (Support.Decode_error.to_string e)
+  | Ok (out, _) ->
+    Alcotest.(check string) "patch reconstructs the exact full serve"
+      (digest (Ir.Printer.program_to_string v2.ir))
+      (digest out));
+  (* identical program: all 'C' ops, far below the full wire artifact *)
+  let self_patch, _ = Codec.encode ~ctx:base_ctx c (source_of v1) in
+  (match Codec.decode ~ctx:base_ctx c self_patch with
+  | Error e ->
+    Alcotest.failf "self-patch decode: %s" (Support.Decode_error.to_string e)
+  | Ok (out, _) ->
+    Alcotest.(check string) "self-patch reconstructs the base"
+      (digest (Ir.Printer.program_to_string v1.ir))
+      (digest out));
+  let full, _ =
+    Codec.encode (Codec.find_exn "wire").Codec.codec (source_of v1)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "all-unchanged patch (%d B) under half the full serve (%d B)"
+       (String.length self_patch) (String.length full))
+    true
+    (String.length self_patch * 2 < String.length full);
+  (* hostile application: wrong base, absent base *)
+  let wrong_ctx =
+    Codec.Context.base ~ir_text:(Ir.Printer.program_to_string v2.ir)
+  in
+  (match Codec.decode ~ctx:wrong_ctx c patch with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "patch applied against the wrong base");
+  (match Codec.decode c patch with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "patch applied with no base at all");
+  (* encode without a base is a programming error, not a silent default *)
+  Alcotest.check_raises "delta encode requires a base"
+    (Invalid_argument "delta: encode requires a base-artifact context")
+    (fun () -> ignore (Codec.encode c (source_of v1)))
+
+(* shared-dictionary streams are pinned to their dictionary: decoding
+   under a different (or no) dictionary is a typed error *)
+let test_shared_dict_mismatch () =
+  let p = List.hd (Lazy.force progs) in
+  let src = source_of p in
+  (* a dictionary trained on a single program differs from the
+     committed corpus dictionary in both the LZ window and the BRISC
+     prefix, whatever the committed one currently is *)
+  let other = Codec.Context.train [ p.ir ] in
+  List.iter
+    (fun name ->
+      let c = (Codec.find_exn name).Codec.codec in
+      let bytes, _ = Codec.encode c src in
+      (match Codec.decode ~ctx:other c bytes with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s decoded under the wrong dictionary" name);
+      match Codec.decode c bytes with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s decoded with no dictionary" name)
+    [ "wire+shared"; "brisc+shared" ]
+
+(* [make dict] commits the trained dictionary; this pin fails the suite
+   whenever the corpus and the committed bytes drift apart *)
+let test_dict_digest_pin () =
+  let irs =
+    List.map
+      (fun (e : Corpus.Programs.entry) -> Cc.Lower.compile e.Corpus.Programs.source)
+      Corpus.Programs.all
+  in
+  let trained = Codec.Context.train irs in
+  Alcotest.(check string) "committed dictionary = trained dictionary"
+    (Codec.Context.digest trained)
+    (Codec.Context.builtin_digest ())
+
 let test_registry_invariants () =
   let es = Codec.all () in
   let names = List.map (fun e -> Codec.name e.Codec.codec) es in
@@ -247,6 +364,11 @@ let () =
           Alcotest.test_case "compose" `Quick test_compose;
           Alcotest.test_case "deflate-opt ratio floor over corpus" `Slow
             test_deflate_opt_ratio;
+          Alcotest.test_case "delta update channel" `Quick test_delta_channel;
+          Alcotest.test_case "shared-dict mismatch rejected" `Quick
+            test_shared_dict_mismatch;
+          Alcotest.test_case "shared dictionary digest pin" `Quick
+            test_dict_digest_pin;
           Alcotest.test_case "registry invariants" `Quick
             test_registry_invariants;
         ] );

@@ -232,23 +232,52 @@ let fuzz_mtf_structured =
 
    Seeds come from [Codec.encode] on the same programs, so the rows
    track the registry: registering a new representation adds its
-   totality row here with no edits. *)
+   totality row here with no edits. Context-requiring codecs encode
+   under the context the server would supply, and their mutants are
+   additionally decoded under the wrong context and under none —
+   a hostile patch against an absent or mismatched base must come back
+   as a typed error, never an exception. *)
 
 let codec_rows =
   let sources =
     lazy
       (List.map2 (fun ir vp -> Codec.Source.of_ir ~vm:vp ir) irs vps)
   in
+  let ctx_of (e : Codec.entry) =
+    match e.Codec.needs with
+    | `None -> None
+    | `Shared_dict _ -> Some (Codec.Context.builtin ())
+    | `Base _ ->
+      Some
+        (Codec.Context.base
+           ~ir_text:(Ir.Printer.program_to_string (List.hd irs)))
+  in
+  let wrong_ctx_of (e : Codec.entry) =
+    match e.Codec.needs with
+    | `None -> None
+    | `Shared_dict _ ->
+      Some (Codec.Context.shared ~lz:"not the committed dictionary" ~pats_bytes:"")
+    | `Base _ ->
+      Some
+        (Codec.Context.base
+           ~ir_text:(Ir.Printer.program_to_string (List.nth irs 1)))
+  in
   List.mapi
     (fun i (e : Codec.entry) ->
       let c = e.Codec.codec in
       let name = "codec:" ^ Codec.name c in
       let run () =
+        let ctx = ctx_of e and wrong = wrong_ctx_of e in
         let seeds =
-          List.map (fun src -> fst (Codec.encode c src)) (Lazy.force sources)
+          List.map (fun src -> fst (Codec.encode ?ctx c src)) (Lazy.force sources)
         in
         fuzz name (Int64.of_int (200 + i)) seeds
-          (fun _ m -> match Codec.decode c m with Ok _ | Error _ -> ())
+          (fun _ m ->
+            (match Codec.decode ?ctx c m with Ok _ | Error _ -> ());
+            if ctx <> None then begin
+              (match Codec.decode c m with Ok _ | Error _ -> ());
+              match Codec.decode ?ctx:wrong c m with Ok _ | Error _ -> ()
+            end)
           ()
       in
       Alcotest.test_case name `Quick run)

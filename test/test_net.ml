@@ -33,9 +33,16 @@ let test_req_roundtrip () =
     [
       Net.Protocol.Ping;
       Net.Protocol.List;
-      Net.Protocol.Fetch { profile = "modem-jit"; digest = "abc123" };
-      Net.Protocol.Open { codec = ""; digest = "abc123"; resume = "" };
-      Net.Protocol.Open { codec = "chunked-wire"; digest = "d"; resume = "s7" };
+      Net.Protocol.Dict;
+      Net.Protocol.Fetch
+        { profile = "modem-jit"; digest = "abc123"; held = [] };
+      Net.Protocol.Fetch
+        { profile = "lan-jit"; digest = "abc123"; held = [ "d1"; "d2" ] };
+      Net.Protocol.Open
+        { codec = ""; digest = "abc123"; resume = ""; held = [] };
+      Net.Protocol.Open
+        { codec = "chunked-wire"; digest = "d"; resume = "s7";
+          held = [ "sd-digest" ] };
       Net.Protocol.Chunk { token = "s0"; seq = 42; name = "main" };
     ]
 
@@ -51,14 +58,19 @@ let test_resp_roundtrip () =
           { Net.Protocol.prog_name = "wc"; prog_digest = "d1"; fn_count = 3 };
           { Net.Protocol.prog_name = "gen24"; prog_digest = "d2"; fn_count = 24 };
         ];
+      Net.Protocol.Dict_data
+        { lz = String.init 256 Char.chr; pats = "\x02ab\x00"; sd_digest = "sd" };
       Net.Protocol.Artifact
         { label = "wire+JIT"; codec = "wire"; cache_hit = true;
-          degraded_from = ""; body = String.init 256 Char.chr };
+          degraded_from = ""; context = ""; body = String.init 256 Char.chr };
       Net.Protocol.Artifact
-        { label = "brisc"; codec = "brisc"; cache_hit = false;
-          degraded_from = "wire+JIT"; body = "" };
+        { label = "delta+JIT"; codec = "delta"; cache_hit = false;
+          degraded_from = "wire+JIT"; context = "base-digest"; body = "" };
       Net.Protocol.Index
-        { token = "s3"; next_seq = 2; rows = [ ("main", 120); ("a", 33) ] };
+        { token = "s3"; next_seq = 2; context = "";
+          rows = [ ("main", 120); ("a", 33) ] };
+      Net.Protocol.Index
+        { token = "s4"; next_seq = 0; context = "sd-digest"; rows = [] };
       Net.Protocol.Chunk_data "\x00\xff payload";
       Net.Protocol.Err (Net.Protocol.Bad_session, "unknown token");
       Net.Protocol.Err (Net.Protocol.Server_error, "");
@@ -76,7 +88,7 @@ let decode_fails ?kind body =
 let test_hostile_requests () =
   let good =
     body_of (Net.Protocol.encode_req
-               (Net.Protocol.Fetch { profile = "p"; digest = "d" }))
+               (Net.Protocol.Fetch { profile = "p"; digest = "d"; held = [] }))
   in
   Alcotest.(check bool) "empty input" true
     (decode_fails ~kind:Support.Decode_error.Bad_magic "");
@@ -104,7 +116,30 @@ let test_hostile_requests () =
   Buffer.add_string b "short";
   Alcotest.(check bool) "oversized string length" true
     (decode_fails (Support.Frame.seal ~magic:Net.Protocol.magic
-                     (Buffer.contents b)))
+                     (Buffer.contents b)));
+  (* a held set claiming more digests than the cap is refused before
+     any allocation *)
+  let b = Buffer.create 16 in
+  Buffer.add_char b 'F';
+  Support.Frame.put_str b "p";
+  Support.Frame.put_str b "d";
+  Support.Util.uleb128 b (Net.Protocol.max_held + 1);
+  Alcotest.(check bool) "held set over the cap" true
+    (decode_fails ~kind:Support.Decode_error.Limit
+       (Support.Frame.seal ~magic:Net.Protocol.magic (Buffer.contents b)));
+  (* and the encoder refuses to build such a frame at all *)
+  Alcotest.(check bool) "encoder refuses an oversized held set" true
+    (match
+       Net.Protocol.encode_req
+         (Net.Protocol.Fetch
+            {
+              profile = "p";
+              digest = "d";
+              held = List.init (Net.Protocol.max_held + 1) string_of_int;
+            })
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
 
 let test_hostile_responses () =
   let check name body =
@@ -180,7 +215,8 @@ let test_daemon_ping_list_fetch () =
   | _ -> Alcotest.fail "expected one catalog row");
   (match
      rpc_ok c
-       (Net.Protocol.Fetch { profile = "modem-jit"; digest = h.digest })
+       (Net.Protocol.Fetch
+          { profile = "modem-jit"; digest = h.digest; held = [] })
    with
   | Net.Protocol.Artifact { codec; body; _ } ->
     (* round-trip corruption check: the served bytes must decode
@@ -193,20 +229,24 @@ let test_daemon_ping_list_fetch () =
                      ^ Support.Decode_error.to_string err))
   | _ -> Alcotest.fail "expected Artifact");
   (match
-     rpc_ok c (Net.Protocol.Fetch { profile = "modem-jit"; digest = "nope" })
+     rpc_ok c
+       (Net.Protocol.Fetch
+          { profile = "modem-jit"; digest = "nope"; held = [] })
    with
   | Net.Protocol.Err (Net.Protocol.Unknown_name, _) -> ()
   | _ -> Alcotest.fail "unknown digest must be a typed error");
-  match rpc_ok c (Net.Protocol.Fetch { profile = "never"; digest = h.digest })
+  match
+    rpc_ok c
+      (Net.Protocol.Fetch { profile = "never"; digest = h.digest; held = [] })
   with
   | Net.Protocol.Err (Net.Protocol.Unknown_name, _) -> ()
   | _ -> Alcotest.fail "unknown profile must be a typed error"
 
-let open_session c digest =
+let open_session ?(held = []) c digest =
   match
-    rpc_ok c (Net.Protocol.Open { codec = ""; digest; resume = "" })
+    rpc_ok c (Net.Protocol.Open { codec = ""; digest; resume = ""; held })
   with
-  | Net.Protocol.Index { token; next_seq; rows } -> (token, next_seq, rows)
+  | Net.Protocol.Index { token; next_seq; rows; _ } -> (token, next_seq, rows)
   | _ -> Alcotest.fail "expected Index"
 
 let get_chunk c token seq name =
@@ -263,7 +303,8 @@ let test_daemon_resume_across_reconnect () =
   Fun.protect ~finally:(fun () -> Net.Client.close c2) @@ fun () ->
   (match
      rpc_ok c2
-       (Net.Protocol.Open { codec = ""; digest = h.digest; resume = token })
+       (Net.Protocol.Open
+          { codec = ""; digest = h.digest; resume = token; held = [] })
    with
   | Net.Protocol.Index { token = t'; next_seq; _ } ->
     Alcotest.(check string) "same session" token t';
@@ -279,10 +320,121 @@ let test_daemon_resume_across_reconnect () =
   Alcotest.(check bool) "stream continues" true (String.length p2 > 0);
   match
     rpc_ok c2
-      (Net.Protocol.Open { codec = ""; digest = h.digest; resume = "s999" })
+      (Net.Protocol.Open
+         { codec = ""; digest = h.digest; resume = "s999"; held = [] })
   with
   | Net.Protocol.Err (Net.Protocol.Bad_session, _) -> ()
   | _ -> Alcotest.fail "bogus resume token must be a typed error"
+
+(* ---- context negotiation over the wire ---- *)
+
+(* Dict hands out the committed shared dictionary: its digest is what a
+   holder advertises in [held], and the transportable byte forms
+   rebuild a context with that exact digest *)
+let test_daemon_dict () =
+  let h = start () in
+  Fun.protect ~finally:(fun () -> stop h) @@ fun () ->
+  let c = Net.Client.connect ~port:(Net.Daemon.port h.daemon) in
+  Fun.protect ~finally:(fun () -> Net.Client.close c) @@ fun () ->
+  match rpc_ok c Net.Protocol.Dict with
+  | Net.Protocol.Dict_data { lz; pats; sd_digest } ->
+    Alcotest.(check string) "digest is the committed dictionary's"
+      (Codec.Context.builtin_digest ()) sd_digest;
+    Alcotest.(check string) "byte forms rebuild the same context" sd_digest
+      (Codec.Context.digest (Codec.Context.shared ~lz ~pats_bytes:pats))
+  | _ -> Alcotest.fail "expected Dict_data"
+
+(* a client that fetched the dictionary and advertises its digest may
+   be served a contexted representation; the response names the context
+   it was encoded against, and the body decodes only under it *)
+let test_daemon_fetch_with_held_dict () =
+  let h = start () in
+  Fun.protect ~finally:(fun () -> stop h) @@ fun () ->
+  let c = Net.Client.connect ~port:(Net.Daemon.port h.daemon) in
+  Fun.protect ~finally:(fun () -> Net.Client.close c) @@ fun () ->
+  let sd =
+    match rpc_ok c Net.Protocol.Dict with
+    | Net.Protocol.Dict_data { sd_digest; _ } -> sd_digest
+    | _ -> Alcotest.fail "expected Dict_data"
+  in
+  let fetch held =
+    match
+      rpc_ok c
+        (Net.Protocol.Fetch { profile = "modem-jit"; digest = h.digest; held })
+    with
+    | Net.Protocol.Artifact { codec; context; body; _ } ->
+      (codec, context, body)
+    | _ -> Alcotest.fail "expected Artifact"
+  in
+  let base_codec, base_ctx, base_body = fetch [] in
+  Alcotest.(check string) "no held set means a context-free serve" ""
+    base_ctx;
+  let codec, context, body = fetch [ sd ] in
+  if context = "" then begin
+    (* the engine may still prefer a context-free representation for
+       this profile; the serve must then match the no-held serve *)
+    Alcotest.(check string) "same codec as the context-free serve"
+      base_codec codec;
+    Alcotest.(check string) "same bytes as the context-free serve"
+      base_body body
+  end
+  else begin
+    Alcotest.(check string) "context names the advertised dictionary" sd
+      context;
+    let e = Codec.find_exn codec in
+    (match Codec.decode ~ctx:(Codec.Context.builtin ()) e.Codec.codec body with
+    | Ok _ -> ()
+    | Error err ->
+      Alcotest.fail
+        ("contexted serve does not decode under its context: "
+        ^ Support.Decode_error.to_string err));
+    match Codec.decode e.Codec.codec body with
+    | Error _ -> ()
+    | Ok _ ->
+      Alcotest.fail "contexted serve decoded without its context"
+  end
+
+(* the negotiated context survives a reconnect: a session opened with a
+   held dictionary reports the same context on resume, the resume's own
+   held set ignored *)
+let test_daemon_session_context_across_reconnect () =
+  let h = start () in
+  Fun.protect ~finally:(fun () -> stop h) @@ fun () ->
+  let port = Net.Daemon.port h.daemon in
+  let sd = Codec.Context.builtin_digest () in
+  let c1 = Net.Client.connect ~port in
+  let token, ctx1 =
+    match
+      rpc_ok c1
+        (Net.Protocol.Open
+           { codec = ""; digest = h.digest; resume = ""; held = [ sd ] })
+    with
+    | Net.Protocol.Index { token; context; _ } -> (token, context)
+    | _ -> Alcotest.fail "expected Index"
+  in
+  Alcotest.(check string) "session negotiated the dictionary" sd ctx1;
+  Net.Client.close c1;
+  let c2 = Net.Client.connect ~port in
+  Fun.protect ~finally:(fun () -> Net.Client.close c2) @@ fun () ->
+  (match
+     rpc_ok c2
+       (Net.Protocol.Open
+          { codec = ""; digest = h.digest; resume = token; held = [] })
+   with
+  | Net.Protocol.Index { token = t'; context; _ } ->
+    Alcotest.(check string) "same session" token t';
+    Alcotest.(check string) "context survives the reconnect" sd context
+  | _ -> Alcotest.fail "expected Index on resume");
+  (* digests the server does not recognize negotiate nothing *)
+  match
+    rpc_ok c2
+      (Net.Protocol.Open
+         { codec = ""; digest = h.digest; resume = ""; held = [ "bogus" ] })
+  with
+  | Net.Protocol.Index { context; _ } ->
+    Alcotest.(check string) "unknown held digests negotiate nothing" ""
+      context
+  | _ -> Alcotest.fail "expected Index"
 
 (* overload: with every worker at queue_depth, a new connection gets the
    typed Overloaded frame, and existing connections keep working *)
@@ -384,14 +536,15 @@ let test_daemon_open_gating () =
   (match
      rpc_ok c
        (Net.Protocol.Open
-          { codec = "wire"; digest = h.digest; resume = "" })
+          { codec = "wire"; digest = h.digest; resume = ""; held = [] })
    with
   | Net.Protocol.Err (Net.Protocol.Not_streamable, _) -> ()
   | _ -> Alcotest.fail "non-streamable codec must be refused");
   match
     rpc_ok c
       (Net.Protocol.Open
-         { codec = "no-such-codec"; digest = h.digest; resume = "" })
+         { codec = "no-such-codec"; digest = h.digest; resume = "";
+           held = [] })
   with
   | Net.Protocol.Err (Net.Protocol.Unknown_name, _) -> ()
   | _ -> Alcotest.fail "unknown codec must be refused"
@@ -442,68 +595,8 @@ let test_load_generator_end_to_end () =
   Alcotest.(check bool) "latencies recorded" true
     (r.Net.Load.lat_all.Net.Load.count = 150)
 
-(* ---- percentile math ---- *)
-
-(* An independent oracle for the floor-index quantile: sort the raw
-   sample here (Load sorts its own copy) and take floor (p * (n-1)).
-   Random samples of every size 1..60 must agree exactly — the
-   estimator is deterministic, so the check is equality, not
-   tolerance. *)
-let quantile_oracle sample p =
-  let a = Array.of_list sample in
-  Array.sort compare a;
-  let n = Array.length a in
-  if n = 0 then 0.0 else a.(min (n - 1) (int_of_float (p *. float_of_int (n - 1))))
-
-let test_percentile_against_oracle () =
-  let rng = Support.Prng.create 977L in
-  for n = 1 to 60 do
-    let sample =
-      List.init n (fun _ -> float_of_int (Support.Prng.int rng 10_000) /. 7.0)
-    in
-    let b = Net.Load.bucket_of_ms sample in
-    Alcotest.(check int) "count" n b.Net.Load.count;
-    List.iter
-      (fun (p, got, name) ->
-        Alcotest.(check (float 0.0))
-          (Printf.sprintf "%s of %d samples" name n)
-          (quantile_oracle sample p) got)
-      [ (0.50, b.Net.Load.p50_ms, "p50");
-        (0.95, b.Net.Load.p95_ms, "p95");
-        (0.99, b.Net.Load.p99_ms, "p99") ];
-    let mx = List.fold_left max neg_infinity sample in
-    Alcotest.(check (float 0.0)) "max" mx b.Net.Load.max_ms;
-    (* percentiles are order statistics: always within [min, max] and
-       monotone in p *)
-    Alcotest.(check bool) "p50 <= p95 <= p99 <= max" true
-      (b.Net.Load.p50_ms <= b.Net.Load.p95_ms
-      && b.Net.Load.p95_ms <= b.Net.Load.p99_ms
-      && b.Net.Load.p99_ms <= b.Net.Load.max_ms)
-  done
-
-let test_percentile_edge_cases () =
-  (* empty: every field zero, no division by zero *)
-  let e = Net.Load.bucket_of_ms [] in
-  Alcotest.(check int) "empty count" 0 e.Net.Load.count;
-  Alcotest.(check (float 0.0)) "empty p99" 0.0 e.Net.Load.p99_ms;
-  Alcotest.(check (float 0.0)) "empty mean" 0.0 e.Net.Load.mean_ms;
-  (* singleton: every percentile IS the sample *)
-  let s = Net.Load.bucket_of_ms [ 3.5 ] in
-  List.iter
-    (fun v -> Alcotest.(check (float 0.0)) "singleton percentile" 3.5 v)
-    [ s.Net.Load.p50_ms; s.Net.Load.p95_ms; s.Net.Load.p99_ms;
-      s.Net.Load.max_ms; s.Net.Load.mean_ms ];
-  (* two elements: floor-index puts p50 on the lower, p95/p99 stay on
-     the lower too (floor (0.99 * 1) = 0) — max alone sees the upper *)
-  let d = Net.Load.bucket_of_ms [ 9.0; 1.0 ] in
-  Alcotest.(check (float 0.0)) "pair p50 = lower" 1.0 d.Net.Load.p50_ms;
-  Alcotest.(check (float 0.0)) "pair p99 = lower (floor-index)" 1.0
-    d.Net.Load.p99_ms;
-  Alcotest.(check (float 0.0)) "pair max = upper" 9.0 d.Net.Load.max_ms;
-  Alcotest.(check (float 1e-9)) "pair mean" 5.0 d.Net.Load.mean_ms;
-  (* percentile itself clamps p = 1.0 to the last element *)
-  Alcotest.(check (float 0.0)) "p=1.0 clamps to max" 7.0
-    (Net.Load.percentile [| 2.0; 7.0 |] 1.0)
+(* the percentile math moved to Support.Quantile (and its property
+   tests to test_support); Load re-exports it for its report types *)
 
 let () =
   Alcotest.run "net"
@@ -523,6 +616,12 @@ let () =
             test_daemon_streaming_session;
           Alcotest.test_case "resume across reconnect" `Quick
             test_daemon_resume_across_reconnect;
+          Alcotest.test_case "shared dictionary handout" `Quick
+            test_daemon_dict;
+          Alcotest.test_case "held dictionary unlocks contexted serves"
+            `Quick test_daemon_fetch_with_held_dict;
+          Alcotest.test_case "session context across reconnect" `Quick
+            test_daemon_session_context_across_reconnect;
           Alcotest.test_case "sheds when full" `Quick
             test_daemon_sheds_when_full;
           Alcotest.test_case "rejects bad frames" `Quick
@@ -541,9 +640,5 @@ let () =
         [
           Alcotest.test_case "generator end to end" `Quick
             test_load_generator_end_to_end;
-          Alcotest.test_case "percentiles vs quantile oracle" `Quick
-            test_percentile_against_oracle;
-          Alcotest.test_case "percentile edge cases" `Quick
-            test_percentile_edge_cases;
         ] );
     ]

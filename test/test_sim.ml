@@ -174,6 +174,86 @@ let test_golden name () =
   let got = Sim.Replay.render (Sim.Replay.run trace) in
   Alcotest.(check string) (name ^ " replay matches committed report") want got
 
+(* ---- the update channel ---- *)
+
+(* The storm gate's claim, in-suite: replaying the committed
+   update-storm trace with held-digest advertisement on must cost at
+   most 40% of the full-redelivery bytes on the update ops, with every
+   serve decode-verified client-side — and the delta codec itself must
+   be what's doing the saving, not just the shared dictionary. *)
+let test_update_storm_channel () =
+  let base = golden_root ^ "/update_storm" in
+  let trace =
+    match Sim.Trace.load (base ^ ".trace") with
+    | Ok t -> t
+    | Error e ->
+      Alcotest.failf "update_storm.trace: %s" (Support.Decode_error.to_string e)
+  in
+  let delta =
+    Sim.Replay.run
+      ~config:{ Sim.Replay.default_config with label = "delta" }
+      trace
+  in
+  let full =
+    Sim.Replay.run
+      ~config:
+        { Sim.Replay.default_config with label = "full"; contexted = false }
+      trace
+  in
+  Alcotest.(check bool) "trace carries update ops" true
+    (delta.Sim.Replay.r_update.Sim.Replay.ops > 0);
+  Alcotest.(check int) "both sides served the same update ops"
+    delta.Sim.Replay.r_update.Sim.Replay.ops
+    full.Sim.Replay.r_update.Sim.Replay.ops;
+  Alcotest.(check int) "no corrupt update serves (delta side)" 0
+    delta.Sim.Replay.r_update_corrupt;
+  Alcotest.(check int) "no corrupt update serves (full side)" 0
+    full.Sim.Replay.r_update_corrupt;
+  let ub = delta.Sim.Replay.r_update.Sim.Replay.bytes in
+  let fb = full.Sim.Replay.r_update.Sim.Replay.bytes in
+  Alcotest.(check bool)
+    (Printf.sprintf "update bytes %d <= 40%% of full redelivery %d" ub fb)
+    true
+    (float_of_int ub <= 0.40 *. float_of_int fb);
+  let contains hay needle =
+    let hn = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= hn && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "delta patches actually served" true
+    (contains delta.Sim.Replay.r_log "delta+JIT");
+  Alcotest.(check bool) "full side never serves a context" true
+    (not (contains full.Sim.Replay.r_log "ctx=3")
+    && not (contains full.Sim.Replay.r_log "delta+JIT"))
+
+(* contexted serves ride the same single-flight cache as everything
+   else, so the storm replay must hold the pool-size invariance the
+   determinism contract promises *)
+let test_update_storm_pool_invariant () =
+  let base = golden_root ^ "/update_storm" in
+  let trace =
+    match Sim.Trace.load (base ^ ".trace") with
+    | Ok t -> t
+    | Error e ->
+      Alcotest.failf "update_storm.trace: %s" (Support.Decode_error.to_string e)
+  in
+  let with_pool domains f =
+    let pool = Support.Pool.create ~domains in
+    Fun.protect ~finally:(fun () -> Support.Pool.shutdown pool) (fun () -> f pool)
+  in
+  let r1 =
+    with_pool 1 (fun pool ->
+        Sim.Replay.run
+          ~config:{ Sim.Replay.default_config with pool = Some pool } trace)
+  in
+  let r4 =
+    with_pool 4 (fun pool ->
+        Sim.Replay.run
+          ~config:{ Sim.Replay.default_config with pool = Some pool } trace)
+  in
+  Alcotest.(check string) "render identical at 1 vs 4 domains"
+    (Sim.Replay.render r1) (Sim.Replay.render r4)
+
 (* ---- capture ---- *)
 
 let test_workload_capture_replays () =
@@ -284,6 +364,15 @@ let () =
             (test_golden "corruption_burst");
           Alcotest.test_case "mixed profiles" `Quick
             (test_golden "mixed_profiles");
+          Alcotest.test_case "update storm" `Quick
+            (test_golden "update_storm");
+        ] );
+      ( "storm",
+        [
+          Alcotest.test_case "delta channel beats full redelivery" `Quick
+            test_update_storm_channel;
+          Alcotest.test_case "pool-size invariant" `Quick
+            test_update_storm_pool_invariant;
         ] );
       ( "capture",
         [

@@ -363,6 +363,70 @@ let test_freq_entropy () =
   Support.Freq.add_many g 0 16;
   Alcotest.(check (float 1e-9)) "0 bits" 0.0 (Support.Freq.entropy_bits g)
 
+(* ---- quantile ---- *)
+
+(* An independent oracle for the floor-index quantile: sort the raw
+   sample here (Quantile sorts its own copy) and take floor (p * (n-1)).
+   Random samples of every size 1..60 must agree exactly — the
+   estimator is deterministic, so the check is equality, not
+   tolerance. *)
+let quantile_oracle sample p =
+  let a = Array.of_list sample in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then 0.0 else a.(min (n - 1) (int_of_float (p *. float_of_int (n - 1))))
+
+let test_percentile_against_oracle () =
+  let rng = Support.Prng.create 977L in
+  for n = 1 to 60 do
+    let sample =
+      List.init n (fun _ -> float_of_int (Support.Prng.int rng 10_000) /. 7.0)
+    in
+    let b = Support.Quantile.bucket_of_ms sample in
+    Alcotest.(check int) "count" n b.Support.Quantile.count;
+    List.iter
+      (fun (p, got, name) ->
+        Alcotest.(check (float 0.0))
+          (Printf.sprintf "%s of %d samples" name n)
+          (quantile_oracle sample p) got)
+      [ (0.50, b.Support.Quantile.p50_ms, "p50");
+        (0.95, b.Support.Quantile.p95_ms, "p95");
+        (0.99, b.Support.Quantile.p99_ms, "p99") ];
+    let mx = List.fold_left max neg_infinity sample in
+    Alcotest.(check (float 0.0)) "max" mx b.Support.Quantile.max_ms;
+    (* percentiles are order statistics: always within [min, max] and
+       monotone in p *)
+    Alcotest.(check bool) "p50 <= p95 <= p99 <= max" true
+      (b.Support.Quantile.p50_ms <= b.Support.Quantile.p95_ms
+      && b.Support.Quantile.p95_ms <= b.Support.Quantile.p99_ms
+      && b.Support.Quantile.p99_ms <= b.Support.Quantile.max_ms)
+  done
+
+let test_percentile_edge_cases () =
+  (* empty: every field zero, no division by zero *)
+  let e = Support.Quantile.bucket_of_ms [] in
+  Alcotest.(check int) "empty count" 0 e.Support.Quantile.count;
+  Alcotest.(check (float 0.0)) "empty p99" 0.0 e.Support.Quantile.p99_ms;
+  Alcotest.(check (float 0.0)) "empty mean" 0.0 e.Support.Quantile.mean_ms;
+  (* singleton: every percentile IS the sample *)
+  let s = Support.Quantile.bucket_of_ms [ 3.5 ] in
+  List.iter
+    (fun v -> Alcotest.(check (float 0.0)) "singleton percentile" 3.5 v)
+    [ s.Support.Quantile.p50_ms; s.Support.Quantile.p95_ms;
+      s.Support.Quantile.p99_ms; s.Support.Quantile.max_ms;
+      s.Support.Quantile.mean_ms ];
+  (* two elements: floor-index puts p50 on the lower, p95/p99 stay on
+     the lower too (floor (0.99 * 1) = 0) — max alone sees the upper *)
+  let d = Support.Quantile.bucket_of_ms [ 9.0; 1.0 ] in
+  Alcotest.(check (float 0.0)) "pair p50 = lower" 1.0 d.Support.Quantile.p50_ms;
+  Alcotest.(check (float 0.0)) "pair p99 = lower (floor-index)" 1.0
+    d.Support.Quantile.p99_ms;
+  Alcotest.(check (float 0.0)) "pair max = upper" 9.0 d.Support.Quantile.max_ms;
+  Alcotest.(check (float 1e-9)) "pair mean" 5.0 d.Support.Quantile.mean_ms;
+  (* percentile itself clamps p = 1.0 to the last element *)
+  Alcotest.(check (float 0.0)) "p=1.0 clamps to max" 7.0
+    (Support.Quantile.percentile [| 2.0; 7.0 |] 1.0)
+
 let () =
   Alcotest.run "support"
     [
@@ -423,5 +487,12 @@ let () =
         [
           Alcotest.test_case "counts" `Quick test_freq_counts;
           Alcotest.test_case "entropy" `Quick test_freq_entropy;
+        ] );
+      ( "quantile",
+        [
+          Alcotest.test_case "percentiles vs quantile oracle" `Quick
+            test_percentile_against_oracle;
+          Alcotest.test_case "percentile edge cases" `Quick
+            test_percentile_edge_cases;
         ] );
     ]

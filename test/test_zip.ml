@@ -216,6 +216,73 @@ let prop_lz77_roundtrip =
     QCheck.(string_gen_of_size (Gen.int_range 0 500) (Gen.char_range 'a' 'e'))
     (fun s -> Zip.Lz77.reconstruct_exn (Zip.Lz77.tokenize s) = s)
 
+(* ---- priming-dictionary edges ---- *)
+
+(* true iff some match's copy source starts before the input (i.e. in
+   the dictionary): at that token, dist exceeds the bytes emitted so far *)
+let reaches_dict tokens =
+  let pos = ref 0 and hit = ref false in
+  List.iter
+    (fun t ->
+      match t with
+      | Zip.Lz77.Literal _ -> incr pos
+      | Zip.Lz77.Match { length; dist } ->
+        if dist > !pos then hit := true;
+        pos := !pos + length)
+    tokens;
+  !hit
+
+let test_lz77_dict_empty_identical () =
+  (* the empty dictionary IS the historical parser, token for token —
+     the property the 18 golden codec digests rest on *)
+  let s = "abcabcabcabc abcdefgh aaaa" in
+  Alcotest.(check bool) "empty dict = no dict" true
+    (Zip.Lz77.tokenize ~dict:"" s = Zip.Lz77.tokenize s)
+
+let test_lz77_dict_boundary_span () =
+  (* the first match's source starts inside the dictionary and its
+     (overlapping) copy runs past the boundary into bytes the match
+     itself is emitting *)
+  let dict = "ab" in
+  let s = "ababababab" in
+  let tokens = Zip.Lz77.tokenize ~dict s in
+  Alcotest.(check string) "reconstruct" s (Zip.Lz77.reconstruct_exn ~dict tokens);
+  Alcotest.(check string) "reference decoder agrees" s
+    (Zip.Lz77.reconstruct_reference_exn ~dict tokens);
+  Alcotest.(check bool) "a match reaches into the dictionary" true
+    (reaches_dict tokens);
+  match tokens with
+  | Zip.Lz77.Match { length; dist } :: _ ->
+    Alcotest.(check bool) "copy crosses the boundary" true (length > dist)
+  | _ -> Alcotest.fail "expected a leading match into the dictionary"
+
+let test_lz77_dict_final_byte () =
+  (* distance 1 at input position 0 addresses the dictionary's final
+     byte — the smallest offset that can cross the boundary *)
+  let dict = "qz" in
+  let s = "zzzz" in
+  let tokens = Zip.Lz77.tokenize ~dict s in
+  Alcotest.(check string) "reconstruct" s (Zip.Lz77.reconstruct_exn ~dict tokens);
+  Alcotest.(check bool) "match addresses the final dictionary byte" true
+    (reaches_dict tokens);
+  (* without the dictionary the same input has no match source at all *)
+  Alcotest.(check bool) "no dictionary, no cross-boundary match" false
+    (reaches_dict (Zip.Lz77.tokenize s))
+
+let test_lz77_dict_longer_than_window () =
+  (* only the window-sized tail of an oversized dictionary is
+     addressable; the head is unreachable and the parse still
+     round-trips, as does the deflate container built on it *)
+  let dict = String.make 40_000 'h' ^ "the quick brown fox " in
+  let s = "the quick brown fox jumps" in
+  let tokens = Zip.Lz77.tokenize ~dict s in
+  Alcotest.(check string) "reconstruct" s (Zip.Lz77.reconstruct_exn ~dict tokens);
+  Alcotest.(check bool) "match reaches the dictionary tail" true
+    (reaches_dict tokens);
+  let z = Zip.Deflate.compress ~dict s in
+  Alcotest.(check string) "deflate roundtrip with the same dict" s
+    (Zip.Deflate.decompress_exn ~dict z)
+
 (* ---- Deflate ---- *)
 
 let test_deflate_empty () =
@@ -647,6 +714,14 @@ let () =
           Alcotest.test_case "finds matches" `Quick test_lz77_finds_matches;
           Alcotest.test_case "no matches" `Quick test_lz77_no_matches;
           Alcotest.test_case "overlapping" `Quick test_lz77_overlapping_match;
+          Alcotest.test_case "priming: empty dict is identical" `Quick
+            test_lz77_dict_empty_identical;
+          Alcotest.test_case "priming: match spans the boundary" `Quick
+            test_lz77_dict_boundary_span;
+          Alcotest.test_case "priming: final dict byte addressable" `Quick
+            test_lz77_dict_final_byte;
+          Alcotest.test_case "priming: dict longer than window" `Quick
+            test_lz77_dict_longer_than_window;
           qcheck prop_lz77_roundtrip;
         ] );
       ( "deflate",
