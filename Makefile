@@ -1,4 +1,4 @@
-.PHONY: all check test fuzz fuzz-quick bench bench-json bench-quick bench-codecs perf-gate maybe-perf-gate server-bench ab-bench storm-bench traces dict tune policy-check clean
+.PHONY: all check test fuzz fuzz-quick bench bench-json bench-quick bench-codecs perf-gate maybe-perf-gate server-bench ab-bench storm-bench paging-bench traces dict tune policy-check clean
 
 all:
 	dune build
@@ -13,8 +13,10 @@ all:
 # itself (one `dune runtest`) then includes the full 10k-iteration
 # fuzz layer and the differential tests; ab-bench replays the committed
 # flash-crowd trace under the tuned policy vs live scoring and gates
-# the diff (deterministic, so it runs unconditionally)
-check: fuzz-quick maybe-perf-gate bench-codecs policy-check ab-bench storm-bench
+# the diff (deterministic, so it runs unconditionally); paging-bench
+# runs the demand-paged execution sweep and holds its fault/stall/ratio
+# ceilings (also deterministic — modelled cycles only)
+check: fuzz-quick maybe-perf-gate bench-codecs policy-check ab-bench storm-bench paging-bench
 	dune build && dune runtest
 
 # off by default (timings on shared runners are noisy); opt in with
@@ -66,12 +68,25 @@ storm-bench:
 	  --json --out BENCH_storm.json
 	dune exec bench/perf_gate.exe -- --storm BENCH_storm.json
 
+# demand-paged execution sweep: run the profiled corpus under the pager
+# in source order vs profile-guided hot layout across resident budgets
+# (50/25/12% of the decompressed image), write the fault/stall/ratio
+# matrix to BENCH_paging.json, and gate it — chunked bytes must be
+# exactly invariant under reorder, the hot layout must strictly reduce
+# total faults on every point, and the 25%-budget stall overhead stays
+# under its pinned ceiling. Modelled cycles only: deterministic, so it
+# runs unconditionally in `make check`.
+paging-bench:
+	dune build bench/main.exe bench/perf_gate.exe
+	dune exec bench/main.exe -- --paging-json > BENCH_paging.json
+	dune exec bench/perf_gate.exe -- --paging BENCH_paging.json
+
 # regenerate the golden scenario trace corpus (only needed when the
 # generators or the catalog change; the replays of these files are
 # regression-checked by dune runtest)
 traces:
 	dune build bin/mccsim.exe
-	for s in steady flash-crowd corruption-burst mixed-profiles; do \
+	for s in steady flash-crowd corruption-burst mixed-profiles paging; do \
 	  dune exec bin/mccsim.exe -- record --scenario $$s --catalog quick \
 	    --events 400 --seed 42 --out traces/$$(echo $$s | tr - _).trace; \
 	  dune exec bin/mccsim.exe -- replay traces/$$(echo $$s | tr - _).trace \

@@ -28,6 +28,14 @@ let compressor_json_mode = Array.exists (fun a -> a = "--compressor-json") Sys.a
    the Makefile's bench-codecs target tracks it across PRs *)
 let codecs_json_mode = Array.exists (fun a -> a = "--codecs-json") Sys.argv
 
+(* --paging-json runs the demand-paged execution sweep (source vs
+   profile-guided hot layout across resident budgets) and prints the
+   fault/stall/ratio matrix as JSON — the Makefile's paging-bench
+   target tracks it as BENCH_paging.json and perf_gate --paging holds
+   its ceilings. Everything in it is modelled cycles and byte counts:
+   deterministic, so no noise opt-out. *)
+let paging_json_mode = Array.exists (fun a -> a = "--paging-json") Sys.argv
+
 (* --domains N sizes the parallel mode's pool (default 4) *)
 let domains_flag =
   let rec find i =
@@ -661,6 +669,134 @@ let codecs_json () =
     pts;
   print_string "  ]\n}\n"
 
+(* ---- demand-paged execution sweep (--paging-json) ----
+
+   Corpus points with functions > 40: the generated driver samples 40
+   functions, so these images carry cold functions interleaved with
+   live ones — the layout a profile-guided reorder exists to fix (and
+   the shape the paper ascribes to real programs: most code is rarely
+   executed). Per point, the same chunked image runs under the pager in
+   source order and in affinity order, across resident budgets; the
+   session repeats with a warm code cache so capacity misses (not just
+   compulsory ones) are measured. Ratios ride along: the chunked image
+   is order-invariant by construction, wire/BRISC/icache deltas are
+   measured. All numbers are modelled cycles and byte counts —
+   deterministic, which is what lets perf_gate --paging pin ceilings. *)
+let paging_json () =
+  let b = Buffer.create 8192 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let repeat = 8 in
+  let budgets = [ 50; 25; 12 ] in
+  let cfg_of budget_bytes = Scenario.Paged.config ~budget_bytes () in
+  add "{\n  \"schema\": \"codecomp-paging-bench-v1\",\n";
+  add
+    "  \"page_bytes\": 1024, \"fault_cycles\": 2000, \
+     \"decompress_cycles_per_byte\": 40, \"repeat\": %d,\n"
+    repeat;
+  add "  \"points\": [\n";
+  let pts = [ ("gen-80", 80, 101L); ("gen-120", 120, 0x1CCL); ("gen-300", 300, 9L) ] in
+  List.iteri
+    (fun pi (label, functions, seed) ->
+      let e =
+        Corpus.Gen.generate { Corpus.Gen.functions; seed; bias16 = false }
+      in
+      let ir = Cc.Lower.compile e.Corpus.Programs.source in
+      let vp = Vm.Codegen.gen_program ir in
+      let input = e.Corpus.Programs.input in
+      let base = Vm.Interp.run ~input vp in
+      let prof = Vm.Profile.collect ~input vp in
+      let hot = Vm.Layout.affinity_heat ~trace:(Vm.Profile.call_trace prof) in
+      let bhot = Vm.Profile.block_hot prof in
+      let ir_hot = Vm.Layout.reorder_ir ~hot ir in
+      let vp_hot = Vm.Layout.hot_layout ~hot ~bhot vp in
+      let img = Wire.Chunked.compress ir in
+      let img_hot = Wire.Chunked.compress ir_hot in
+      let total = Scenario.Paged.vm_image_bytes img in
+      let bimg = Brisc.compress vp in
+      let bimg_hot = Brisc.compress vp_hot in
+      let icfg = Scenario.Icache.default_config ~lines:64 in
+      let misses im =
+        (Scenario.Icache.simulate icfg
+           (Scenario.Icache.brisc_fetch_trace im ~input ()))
+          .Scenario.Icache.misses
+      in
+      add "    {\"label\": \"%s\", \"functions\": %d,\n" (json_escape label)
+        functions;
+      add "     \"image_decompressed_bytes\": %d,\n" total;
+      add "     \"chunked_bytes_src\": %d, \"chunked_bytes_hot\": %d,\n"
+        (Wire.Chunked.size img) (Wire.Chunked.size img_hot);
+      add "     \"wire_bytes_src\": %d, \"wire_bytes_hot\": %d,\n"
+        (String.length (Wire.compress ir))
+        (String.length (Wire.compress ir_hot));
+      add "     \"brisc_bytes_src\": %d, \"brisc_bytes_hot\": %d,\n"
+        (String.length (Brisc.to_bytes bimg))
+        (String.length (Brisc.to_bytes bimg_hot));
+      add "     \"icache_misses_src\": %d, \"icache_misses_hot\": %d,\n"
+        (misses bimg) (misses bimg_hot);
+      let run im budget =
+        match Scenario.Paged.run_vm ~cfg:(cfg_of budget) ~repeat ~input im with
+        | Ok r ->
+          if r.Scenario.Paged.res.Vm.Interp.output <> base.Vm.Interp.output
+          then begin
+            Printf.eprintf
+              "paging bench: %s: paged output diverged from resident run\n"
+              label;
+            exit 1
+          end;
+          r
+        | Error err ->
+          Printf.eprintf "paging bench: %s: %s\n" label
+            (Scenario.Paged.error_to_string err);
+          exit 1
+      in
+      let tf_src = ref 0 and tf_hot = ref 0 in
+      add "     \"budgets\": [\n";
+      List.iteri
+        (fun bi pct ->
+          let budget = total * pct / 100 in
+          let rs = run img budget and rh = run img_hot budget in
+          let ss = rs.Scenario.Paged.stats and sh = rh.Scenario.Paged.stats in
+          tf_src := !tf_src + ss.Vm.Pager.faults;
+          tf_hot := !tf_hot + sh.Vm.Pager.faults;
+          add
+            "       {\"budget_pct\": %d, \"budget_bytes\": %d, \
+             \"faults_src\": %d, \"faults_hot\": %d, \"stall_src\": %d, \
+             \"stall_hot\": %d, \"overhead_src\": %.4f, \"overhead_hot\": \
+             %.4f, \"hwm_src\": %d, \"hwm_hot\": %d}%s\n"
+            pct budget ss.Vm.Pager.faults sh.Vm.Pager.faults
+            ss.Vm.Pager.stall_cycles sh.Vm.Pager.stall_cycles
+            rs.Scenario.Paged.overhead rh.Scenario.Paged.overhead
+            ss.Vm.Pager.resident_hwm sh.Vm.Pager.resident_hwm
+            (if bi = List.length budgets - 1 then "" else ","))
+        budgets;
+      add "     ],\n";
+      (* BRISC pages itself in place (no decompression stall); report
+         its fault profile at a quarter of its own compressed footprint *)
+      let bbytes =
+        Array.fold_left
+          (fun a (f : Brisc.Emit.ifunc) -> a + String.length f.Brisc.Emit.code)
+          0 bimg.Brisc.Emit.ifuncs
+      in
+      (match
+         Scenario.Paged.run_brisc ~budget_bytes:(max 1 (bbytes / 4)) ~input
+           bimg
+       with
+      | Ok br ->
+        add
+          "     \"brisc_paged_faults\": %d, \"brisc_paged_overhead\": %.4f,\n"
+          br.Scenario.Paged.bstats.Vm.Pager.faults
+          br.Scenario.Paged.boverhead
+      | Error err ->
+        Printf.eprintf "paging bench: %s (brisc): %s\n" label
+          (Scenario.Paged.error_to_string err);
+        exit 1);
+      add "     \"faults_total_src\": %d, \"faults_total_hot\": %d}%s\n"
+        !tf_src !tf_hot
+        (if pi = List.length pts - 1 then "" else ","))
+    pts;
+  add "  ]\n}\n";
+  print_string (Buffer.contents b)
+
 let json_report () =
   let b = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
@@ -848,6 +984,10 @@ let bechamel () =
     tests
 
 let () =
+  if paging_json_mode then begin
+    paging_json ();
+    exit 0
+  end;
   if codecs_json_mode then begin
     codecs_json ();
     exit 0

@@ -686,6 +686,10 @@ type entry = {
       (* whole-image delivery modes this codec can serve; [] for
          stage/streaming-only codecs *)
   streamable : bool;  (* served function-at-a-time over a session *)
+  pageable : bool;
+      (* executable under a demand pager: either random-access
+         chunk decompression (Scenario.Paged.run_vm) or
+         interpretable-in-place under a residency budget (run_brisc) *)
   needs : needs;
       (* context the client must hold (by digest) before this
          representation may be served to it. [`Base ""] marks the
@@ -695,7 +699,8 @@ type entry = {
 
 let entries : entry list ref = ref []
 
-let register ?(modes = []) ?(streamable = false) ?(needs = `None) codec =
+let register ?(modes = []) ?(streamable = false) ?(pageable = false)
+    ?(needs = `None) codec =
   List.iter
     (fun e ->
       if e.codec.name = codec.name then
@@ -703,7 +708,7 @@ let register ?(modes = []) ?(streamable = false) ?(needs = `None) codec =
       if e.codec.tag = codec.tag then
         invalid_arg ("Codec.register: duplicate tag " ^ codec.tag))
     !entries;
-  entries := !entries @ [ { codec; modes; streamable; needs } ]
+  entries := !entries @ [ { codec; modes; streamable; pageable; needs } ]
 
 let all () = !entries
 
@@ -735,10 +740,10 @@ let () =
   register ~modes:[ Scenario.Delivery.Gzipped_native ] gzip_native_codec;
   register ~modes:[ Scenario.Delivery.Wire_format ] wire_codec;
   register ~modes:[ Scenario.Delivery.Wire_format ] wire_range_codec;
-  register ~streamable:true chunked_codec;
+  register ~streamable:true ~pageable:true chunked_codec;
   register
     ~modes:[ Scenario.Delivery.Brisc_jit; Scenario.Delivery.Brisc_interp ]
-    brisc_codec;
+    ~pageable:true brisc_codec;
   register deflate_codec;
   (* the -opt pair rides at the end so existing entries keep winning
      score ties (the fold keeps the earlier entry on equal totals) *)

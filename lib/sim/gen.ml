@@ -232,6 +232,42 @@ let gen_update_storm ~seed ~events ~keys =
   in
   cut ~sname:"update-storm" ~seed (rollout @ storm)
 
+(* ---- paging ---- *)
+
+(* A memory-constrained fleet: embedded pagers and modem JIT clients
+   whose device RAM holds only a few programs, so each client cycles a
+   small per-client working set — exactly the re-reference pattern a
+   demand pager rewards — with seeded one-shot excursions into the
+   catalog tail (the cold faults). Halfway through, every working set
+   rotates to a different catalog window: the fleet-wide workload shift
+   that forces full cache turnover. *)
+let gen_paging ~seed ~events ~keys =
+  let rng = Support.Prng.create seed in
+  let clients = make_clients ~n:10 [ "embedded"; "modem-jit" ] in
+  let karr = Array.of_list keys in
+  let nk = Array.length karr in
+  let wset_size = min 3 nk in
+  (* client ci's resident window into the catalog during [phase] *)
+  let wset phase ci =
+    let base = ((ci * wset_size) + (phase * max 1 (nk / 2))) mod nk in
+    Array.init wset_size (fun j -> karr.((base + j) mod nk))
+  in
+  let t = ref 0 in
+  let evs =
+    tabulate events (fun i ->
+        t := !t + Support.Prng.int rng 25;
+        let ci = Support.Prng.int rng (Array.length clients) in
+        let client, profile = clients.(ci) in
+        let phase = if i < events / 2 then 0 else 1 in
+        let key =
+          if Support.Prng.int rng 6 = 0 then
+            karr.(Support.Prng.int rng nk)  (* cold-tail excursion *)
+          else Support.Prng.pick rng (wset phase ci)
+        in
+        event rng ~t:!t ~client ~profile ~key ())
+  in
+  cut ~sname:"paging" ~seed evs
+
 let all =
   [
     { sname = "steady"; sdesc = "steady-state Zipf mix over all profiles";
@@ -250,6 +286,11 @@ let all =
         "fleet on mixed old versions upgrading at once (cut against the \
          versioned catalog)";
       generate = gen_update_storm };
+    { sname = "paging";
+      sdesc =
+        "memory-constrained fleet cycling small working sets with cold-tail \
+         excursions, rotating the sets mid-run";
+      generate = gen_paging };
   ]
 
 let find name = List.find_opt (fun s -> s.sname = name) all

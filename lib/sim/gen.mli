@@ -11,8 +11,11 @@ type spec = {
 
 val all : spec list
 (** [steady], [flash-crowd], [corruption-burst], [mixed-profiles],
-    [update-storm]. The update storm is cut against the [versioned]
-    catalog flavor: old versions roll out to most of the fleet, then
-    every event upgrades to the current version at once. *)
+    [update-storm], [paging]. The update storm is cut against the
+    [versioned] catalog flavor: old versions roll out to most of the
+    fleet, then every event upgrades to the current version at once.
+    [paging] models a memory-constrained fleet: each client cycles a
+    small working set of programs (with cold-tail excursions), and
+    every working set rotates mid-run. *)
 
 val find : string -> spec option

@@ -32,11 +32,27 @@ let prepare_func (f : Isa.vfunc) =
     flat;
   { flat; label_of }
 
-let run ?(mem_size = default_mem_size) ?(input = "") ?(fuel = 200_000_000)
-    ?(entry = "main") ?(on_call = fun (_ : int) -> ()) (p : Isa.vprogram) :
-    result =
+(* Code reaches the dispatch loop through [fetch], called once at entry
+   and once per control transfer into a function (call, indirect call,
+   return) — never per instruction. A fully-resident run's fetch is an
+   array read; a demand-paged run's fetch goes through a Pager and may
+   decompress. The executing frame is held locally between transfers,
+   so a pager evicting the current function is safe: the next transfer
+   back into it simply faults it in again. *)
+type paged_code = {
+  names : string array;
+  globals : (string * int * int list option) list;
+  fetch : int -> frame;
+}
+
+let run_code ?(mem_size = default_mem_size) ?(input = "")
+    ?(fuel = 200_000_000) ?(entry = "main") ?(on_call = fun (_ : int) -> ())
+    ?(on_label = fun (_ : int) (_ : string) -> ()) (code : paged_code) : result
+    =
   let mem = Bytes.make mem_size '\000' in
-  let globals, _data_end = layout_globals p in
+  let globals, _data_end =
+    layout_globals { Isa.globals = code.globals; funcs = [] }
+  in
   (* initialize globals *)
   List.iter
     (fun (name, _, init) ->
@@ -44,14 +60,17 @@ let run ?(mem_size = default_mem_size) ?(input = "") ?(fuel = 200_000_000)
       | None -> ()
       | Some bytes ->
         let base = Hashtbl.find globals name in
+        (* hostile images can declare globals past the end of memory;
+           trap rather than let Bytes.set throw out of the engine *)
+        if base < 0 || base + List.length bytes > mem_size then
+          fail "global initializer for %s overflows memory" name;
         List.iteri
           (fun i b -> Bytes.set mem (base + i) (Char.chr (b land 0xff)))
           bytes)
-    p.Isa.globals;
-  let funcs = Array.of_list p.Isa.funcs in
-  let frames = Array.map prepare_func funcs in
+    code.globals;
+  let nfuncs = Array.length code.names in
   let fidx_of_name = Hashtbl.create 32 in
-  Array.iteri (fun i f -> Hashtbl.add fidx_of_name f.Isa.name i) funcs;
+  Array.iteri (fun i n -> Hashtbl.add fidx_of_name n i) code.names;
   let addr_of_sym name =
     match Hashtbl.find_opt fidx_of_name name with
     | Some i -> func_address i
@@ -61,7 +80,7 @@ let run ?(mem_size = default_mem_size) ?(input = "") ?(fuel = 200_000_000)
       | None -> fail "unresolved symbol %s" name)
   in
   let fidx_of_addr a =
-    if a mod 8 = 0 && a >= 8 && a / 8 - 1 < Array.length funcs then a / 8 - 1
+    if a mod 8 = 0 && a >= 8 && a / 8 - 1 < nfuncs then a / 8 - 1
     else fail "indirect call to non-function address %d" a
   in
   (* machine state *)
@@ -157,6 +176,7 @@ let run ?(mem_size = default_mem_size) ?(input = "") ?(fuel = 200_000_000)
   let fidx = ref entry_idx in
   let pc = ref 0 in
   on_call entry_idx;
+  let cur = ref (code.fetch entry_idx) in
   let running = ref true in
   let do_call target_name =
     if List.mem target_name Isa.builtins && not (Hashtbl.mem fidx_of_name target_name)
@@ -167,7 +187,8 @@ let run ?(mem_size = default_mem_size) ?(input = "") ?(fuel = 200_000_000)
         regs.(Isa.ra) <- encode_ra !fidx !pc;
         fidx := ti;
         pc := 0;
-        on_call ti
+        on_call ti;
+        cur := code.fetch ti
       | None -> fail "call to unknown function %s" target_name
     end
   in
@@ -175,13 +196,14 @@ let run ?(mem_size = default_mem_size) ?(input = "") ?(fuel = 200_000_000)
     regs.(Isa.ra) <- encode_ra !fidx !pc;
     fidx := ti;
     pc := 0;
-    on_call ti
+    on_call ti;
+    cur := code.fetch ti
   in
   while !running do
     if !steps >= fuel then fail "fuel exhausted after %d steps" !steps;
-    let frame = frames.(!fidx) in
+    let frame = !cur in
     if !pc >= Array.length frame.flat then
-      fail "%s: fell off the end of the function" funcs.(!fidx).Isa.name;
+      fail "%s: fell off the end of the function" code.names.(!fidx);
     let ins = frame.flat.(!pc) in
     incr steps;
     incr pc;
@@ -191,7 +213,7 @@ let run ?(mem_size = default_mem_size) ?(input = "") ?(fuel = 200_000_000)
       | None -> fail "undefined label %s" l
     in
     match ins with
-    | Isa.Label _ -> ()
+    | Isa.Label l -> on_label !fidx l
     | Isa.Ld (w, rd, imm, rs) -> regs.(rd) <- load w (regs.(rs) + imm)
     | Isa.St (w, rs2, imm, rs1) -> store w (regs.(rs1) + imm) regs.(rs2)
     | Isa.Ldx (w, rd, rs) -> regs.(rd) <- load w regs.(rs)
@@ -218,8 +240,10 @@ let run ?(mem_size = default_mem_size) ?(input = "") ?(fuel = 200_000_000)
     | Isa.Rjr -> (
       match decode_ra regs.(Isa.ra) with
       | Some (rf, ri) ->
+        if rf >= nfuncs then fail "return to non-function index %d" rf;
         fidx := rf;
-        pc := ri
+        pc := ri;
+        cur := code.fetch rf
       | None -> running := false)
     | Isa.Enter k -> regs.(Isa.sp) <- regs.(Isa.sp) - k
     | Isa.Exit k -> regs.(Isa.sp) <- regs.(Isa.sp) + k
@@ -227,3 +251,14 @@ let run ?(mem_size = default_mem_size) ?(input = "") ?(fuel = 200_000_000)
     | Isa.Reload (r, off) -> regs.(r) <- load Isa.W (regs.(Isa.sp) + off)
   done;
   { exit_code = regs.(0); output = Buffer.contents output; steps = !steps }
+
+let run ?mem_size ?input ?fuel ?entry ?on_call ?on_label (p : Isa.vprogram) :
+    result =
+  let funcs = Array.of_list p.Isa.funcs in
+  let frames = Array.map prepare_func funcs in
+  run_code ?mem_size ?input ?fuel ?entry ?on_call ?on_label
+    {
+      names = Array.map (fun (f : Isa.vfunc) -> f.Isa.name) funcs;
+      globals = p.Isa.globals;
+      fetch = (fun i -> frames.(i));
+    }

@@ -30,14 +30,56 @@ val run :
   ?fuel:int ->
   ?entry:string ->
   ?on_call:(int -> unit) ->
+  ?on_label:(int -> string -> unit) ->
   Isa.vprogram ->
   result
 (** Run starting at [entry] (default ["main"], called with no
     arguments). [input] feeds [getchar] (EOF = -1 afterwards). [fuel]
     bounds executed instructions (default 200 million). [on_call] fires
     with the callee's function index at the entry call and at every
-    direct or indirect call (the paging scenario's reference trace).
+    direct or indirect call (the paging scenario's reference trace);
+    [on_label] fires with (function index, label) each time a [Label]
+    executes — together they are the block-level profile the
+    hot-layout pass consumes (see {!Profile} and {!Layout}).
     @raise Runtime_error on traps, unknown entry, or fuel exhaustion. *)
+
+(** {2 Demand-paged execution}
+
+    The dispatch loop reaches code only through a fetch callback,
+    invoked at entry and at each control transfer into a function —
+    never per instruction — so a {!Pager}-backed fetch gives
+    fault-on-first-touch execution of compressed images: the scenario
+    layer binds chunked-wire chunks to frames this way
+    (Scenario.Paged). The executing frame is held by the loop between
+    transfers, so the pager may evict the current function; the next
+    transfer back into it faults it in again. *)
+
+type frame
+(** One function's code, flattened and label-indexed for dispatch. *)
+
+val prepare_func : Isa.vfunc -> frame
+
+type paged_code = {
+  names : string array;  (** function name of each index, defines the
+                             symbol table (calls resolve against it) *)
+  globals : (string * int * int list option) list;
+  fetch : int -> frame;
+      (** called at entry and per control transfer; may decompress, and
+          may raise (e.g. [Support.Decode_error.Fail] from a corrupt
+          chunk) — the raise surfaces to {!run_code}'s caller *)
+}
+
+val run_code :
+  ?mem_size:int ->
+  ?input:string ->
+  ?fuel:int ->
+  ?entry:string ->
+  ?on_call:(int -> unit) ->
+  ?on_label:(int -> string -> unit) ->
+  paged_code ->
+  result
+(** As {!run}, over fetched code. [run p] is [run_code] with an eager
+    array fetch. *)
 
 val global_address : Isa.vprogram -> string -> int
 (** Address a global would get under this interpreter's layout (exposed

@@ -15,3 +15,226 @@ let globals_table (p : Isa.vprogram) =
       next := aligned + max 1 size)
     p.Isa.globals;
   (tbl, !next)
+
+(* ---- profile-guided reordering ----
+
+   Function order decides which functions share a demand-paged page
+   (Scenario.Paged packs consecutive chunks), and block order decides
+   dispatch-locality inside a function (better icache behavior and
+   better MTF/Markov context reuse in the compressors). Both transforms
+   are name-preserving permutations: every engine resolves symbols
+   against its own input's name table and branches against labels, so
+   semantics are unchanged — the differential suite pins this. *)
+
+(* stable descending sort by heat: equally-hot items (in particular the
+   never-executed cold tail) keep source order, so the transform is
+   deterministic and idempotent *)
+let order_by_heat ~hot names =
+  let keyed = Array.of_list (List.mapi (fun i n -> (i, hot n, n)) names) in
+  Array.sort
+    (fun (i1, h1, _) (i2, h2, _) ->
+      if h1 <> h2 then compare h2 h1 else compare i1 i2)
+    keyed;
+  Array.to_list (Array.map (fun (_, _, n) -> n) keyed)
+
+(* ---- call-affinity ordering (Pettis–Hansen flavoured) ----
+
+   Under an LRU pager the faults that matter are dynamic control
+   transfers crossing a page boundary; a caller and its callee on the
+   same page never fault on that edge. So the ordering objective is
+   pairwise: weight each unordered pair of functions by how often they
+   appear consecutively in the dynamic call trace, then greedily splice
+   chains together heaviest-edge-first (a merge is allowed only when
+   both functions sit at an end of their current chain, so already
+   committed adjacencies are never broken). Chains are laid out in
+   first-touch order and functions absent from the trace sink to the
+   cold tail — the packer then puts each chain's neighbours on the same
+   page. *)
+let affinity_heat ~trace =
+  (* intern trace names in first-touch order *)
+  let id = Hashtbl.create 64 in
+  let rev_names = ref [] in
+  let nn = ref 0 in
+  List.iter
+    (fun s ->
+      if not (Hashtbl.mem id s) then begin
+        Hashtbl.add id s !nn;
+        rev_names := s :: !rev_names;
+        incr nn
+      end)
+    trace;
+  let names = Array.of_list (List.rev !rev_names) in
+  let nn = !nn in
+  (* consecutive-pair weights, unordered *)
+  let w = Hashtbl.create 256 in
+  let rec pairs = function
+    | a :: (b :: _ as rest) ->
+      let ia = Hashtbl.find id a and ib = Hashtbl.find id b in
+      if ia <> ib then begin
+        let k = if ia < ib then (ia, ib) else (ib, ia) in
+        Hashtbl.replace w k
+          (1 + match Hashtbl.find_opt w k with Some x -> x | None -> 0)
+      end;
+      pairs rest
+    | _ -> ()
+  in
+  pairs trace;
+  let edges =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) w []
+    |> List.sort (fun ((k1 : int * int), (v1 : int)) (k2, v2) ->
+           if v1 <> v2 then compare v2 v1 else compare k1 k2)
+  in
+  (* chains as ordered member lists; merge by splicing at the ends *)
+  let chain_of = Array.init nn (fun i -> i) in
+  let members = Array.init nn (fun i -> [ i ]) in
+  let is_end l x =
+    match l with
+    | [] -> false
+    | h :: _ -> h = x || List.nth l (List.length l - 1) = x
+  in
+  List.iter
+    (fun ((a, b), _) ->
+      let ca = chain_of.(a) and cb = chain_of.(b) in
+      if ca <> cb && is_end members.(ca) a && is_end members.(cb) b then begin
+        (* orient so [a] ends the first list and [b] starts the second *)
+        let la =
+          if List.nth members.(ca) (List.length members.(ca) - 1) = a then
+            members.(ca)
+          else List.rev members.(ca)
+        in
+        let lb =
+          match members.(cb) with
+          | h :: _ when h = b -> members.(cb)
+          | _ -> List.rev members.(cb)
+        in
+        let merged = la @ lb in
+        members.(ca) <- merged;
+        members.(cb) <- [];
+        List.iter (fun x -> chain_of.(x) <- ca) lb
+      end)
+    edges;
+  (* lay chains out by the first touch of their earliest member, keeping
+     the trace's macro order; position decides heat *)
+  let chains =
+    Array.to_list members
+    |> List.filter (fun l -> l <> [])
+    |> List.sort (fun l1 l2 ->
+           compare (List.fold_left min max_int l1) (List.fold_left min max_int l2))
+  in
+  let pos = Hashtbl.create (2 * nn) in
+  List.iteri (fun p i -> Hashtbl.add pos names.(i) p) (List.concat chains);
+  fun name ->
+    match Hashtbl.find_opt pos name with
+    | Some p -> nn - p  (* earlier in the chain layout = hotter *)
+    | None -> min_int
+
+let reorder_functions ~hot (p : Isa.vprogram) =
+  let by_name =
+    List.map (fun (f : Isa.vfunc) -> (f.Isa.name, f)) p.Isa.funcs
+  in
+  let order = order_by_heat ~hot (List.map fst by_name) in
+  { p with Isa.funcs = List.map (fun n -> List.assoc n by_name) order }
+
+let reorder_ir ~hot (p : Ir.Tree.program) =
+  let by_name =
+    List.map (fun (f : Ir.Tree.func) -> (f.Ir.Tree.fname, f)) p.Ir.Tree.funcs
+  in
+  let order = order_by_heat ~hot (List.map fst by_name) in
+  { p with Ir.Tree.funcs = List.map (fun n -> List.assoc n by_name) order }
+
+(* ---- basic-block reordering ----
+
+   A block is a leader label and the instructions up to the next label;
+   the entry block (before any label) stays first. Blocks are chained
+   hottest-first; fallthrough edges broken by the permutation get an
+   explicit [Jmp] appended, and a trailing [Jmp] into what is now the
+   next block is dropped. A function whose last block can fall off the
+   end (no terminator) is left untouched: its off-the-end trap must
+   keep firing at the same point. *)
+
+let block_terminated = function
+  | Isa.Jmp _ | Isa.Rjr -> true
+  | _ -> false
+
+let split_blocks code =
+  let rec go acc cur cur_label = function
+    | [] -> List.rev ((cur_label, List.rev cur) :: acc)
+    | Isa.Label l :: rest ->
+      go ((cur_label, List.rev cur) :: acc) [] (Some l) rest
+    | ins :: rest -> go acc (ins :: cur) cur_label rest
+  in
+  go [] [] None code
+
+let reorder_blocks_func ~bhot (f : Isa.vfunc) =
+  match split_blocks f.Isa.code with
+  | [] | [ _ ] -> f
+  | (None, entry) :: rest
+    when List.for_all (fun (l, _) -> l <> None) rest ->
+    let labeled =
+      List.map
+        (fun (l, body) -> (Option.get l, body))
+        rest
+    in
+    (* the last block must not fall through off the end *)
+    let _, last_body = List.nth labeled (List.length labeled - 1) in
+    let ends_terminated body =
+      match List.rev body with t :: _ -> block_terminated t | [] -> false
+    in
+    if not (ends_terminated last_body) && last_body <> [] then f
+    else if last_body = [] then f
+    else begin
+      (* fallthrough successor of each block in source order *)
+      let names = List.map fst labeled in
+      let succ_of =
+        let tbl = Hashtbl.create 16 in
+        let rec fill = function
+          | (l1, _) :: ((l2, _) :: _ as rest) ->
+            Hashtbl.replace tbl l1 l2;
+            fill rest
+          | _ -> ()
+        in
+        fill labeled;
+        fun l -> Hashtbl.find_opt tbl l
+      in
+      let entry_succ = match names with n :: _ -> Some n | [] -> None in
+      let order = order_by_heat ~hot:(bhot f.Isa.name) names in
+      let body_of l = List.assoc l labeled in
+      (* stitch: append Jmp where fallthrough broke, drop a Jmp into
+         the new next block *)
+      let stitch body ~succ ~next =
+        let rev = List.rev body in
+        match rev with
+        | Isa.Jmp t :: tail when Some t = next -> List.rev tail
+        | t :: _ when block_terminated t -> body
+        | _ -> (
+          match succ with
+          | Some s when Some s = next -> body
+          | Some s -> body @ [ Isa.Jmp s ]
+          | None -> body)
+      in
+      let rec emit = function
+        | [] -> []
+        | l :: rest ->
+          let next = match rest with n :: _ -> Some n | [] -> None in
+          (Isa.Label l :: stitch (body_of l) ~succ:(succ_of l) ~next)
+          @ emit rest
+      in
+      let entry_next = match order with n :: _ -> Some n | [] -> None in
+      let code =
+        stitch entry ~succ:entry_succ ~next:entry_next @ emit order
+      in
+      (* size guard: chaining hottest-first drops jumps into hot
+         successors but pays a stitch [Jmp] per broken fallthrough;
+         where the stitches outnumber the drops the reorder would grow
+         the compressed image, so keep source order there. This is what
+         makes the layout pass ratio-safe by construction. *)
+      if List.length code > List.length f.Isa.code then f
+      else { f with Isa.code }
+    end
+  | _ -> f
+
+let reorder_blocks ~bhot (p : Isa.vprogram) =
+  { p with Isa.funcs = List.map (reorder_blocks_func ~bhot) p.Isa.funcs }
+
+let hot_layout ~hot ~bhot (p : Isa.vprogram) =
+  reorder_blocks ~bhot (reorder_functions ~hot p)

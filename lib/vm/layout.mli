@@ -15,3 +15,53 @@ val func_index_of_address : int -> int option
 
 val globals_table : Isa.vprogram -> (string, int) Hashtbl.t * int
 (** Address of every global, and the end of the data segment. *)
+
+(** {2 Profile-guided reordering}
+
+    Compression-aware layout: function order decides which functions
+    share a demand-paged page (Scenario.Paged packs consecutive
+    chunks) and feeds the wire compressor's MTF locality; block order
+    co-locates hot paths inside a function for the modelled icache and
+    the BRISC Markov contexts. All transforms are name-preserving
+    permutations — every engine resolves symbols against its own
+    input's name table and branches against labels — so reordered
+    programs are semantically equivalent to source order (pinned by
+    the differential suite). Equally-hot items keep source order, so
+    the transforms are deterministic and idempotent. *)
+
+val order_by_heat : hot:(string -> int) -> string list -> string list
+(** Stable descending sort by [hot]; ties keep input order. *)
+
+val affinity_heat : trace:string list -> string -> int
+(** Call-affinity heat (Pettis–Hansen flavoured) from a dynamic call
+    trace ({!Profile.call_trace}): functions that appear consecutively
+    in the trace are spliced into chains heaviest-pair-first, chains
+    lay out in first-touch order, and the returned heat reproduces
+    that order under {!order_by_heat}. Co-locating a caller with its
+    callee removes that dynamic edge's page crossings, which is what
+    an LRU pager charges for; functions absent from the trace get
+    [min_int] and sink to the cold tail. *)
+
+val reorder_functions : hot:(string -> int) -> Isa.vprogram -> Isa.vprogram
+(** Hottest functions first (entry counts from {!Profile}). *)
+
+val reorder_ir :
+  hot:(string -> int) -> Ir.Tree.program -> Ir.Tree.program
+(** The same permutation at the IR level — this is what the
+    chunked-wire pager pages, so it is where function order cuts
+    faults. *)
+
+val reorder_blocks :
+  bhot:(string -> string -> int) -> Isa.vprogram -> Isa.vprogram
+(** Within each function: entry block stays first, labeled blocks chain
+    hottest-first. Fallthrough edges broken by the permutation get an
+    explicit [Jmp]; a trailing [Jmp] into what is now the next block is
+    dropped. Functions whose last block lacks a terminator are left
+    untouched (their off-the-end trap must keep firing). *)
+
+val hot_layout :
+  hot:(string -> int) ->
+  bhot:(string -> string -> int) ->
+  Isa.vprogram ->
+  Isa.vprogram
+(** [reorder_functions] then [reorder_blocks]. *)

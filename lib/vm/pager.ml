@@ -1,0 +1,117 @@
+(* Demand pager for compressed code: items (functions or packed pages)
+   are materialized on first touch, charged a modelled decompression
+   stall, and evicted least-recently-used once the resident set exceeds
+   a hard byte budget. The pager is generic in what it holds — the VM
+   interpreter pages prepared frames, the BRISC interpreter pages raw
+   compressed bodies — and its accounting is deterministic: no wall
+   clocks, only modelled cycles, so gates built on it are noise-free. *)
+
+type stats = {
+  mutable faults : int;         (* loads, incl. re-loads after eviction *)
+  mutable hits : int;           (* touches that found the item resident *)
+  mutable evictions : int;
+  mutable stall_cycles : int;   (* modelled decompression stall, total *)
+  mutable loaded_bytes : int;   (* resident-cost bytes ever materialized *)
+  mutable resident_bytes : int; (* current working set *)
+  mutable resident_hwm : int;   (* high-water mark of resident_bytes *)
+}
+
+let fresh_stats () =
+  {
+    faults = 0;
+    hits = 0;
+    evictions = 0;
+    stall_cycles = 0;
+    loaded_bytes = 0;
+    resident_bytes = 0;
+    resident_hwm = 0;
+  }
+
+type 'a load = { item : 'a; cost_bytes : int; stall_cycles : int }
+
+type 'a t = {
+  budget : int;
+  load : int -> 'a load;
+  slots : 'a option array;
+  costs : int array;
+  last_use : int array;
+  mutable clock : int;
+  stats : stats;
+}
+
+let create ~budget_bytes ~items load =
+  {
+    budget = max 0 budget_bytes;
+    load;
+    slots = Array.make (max 1 items) None;
+    costs = Array.make (max 1 items) 0;
+    last_use = Array.make (max 1 items) 0;
+    clock = 0;
+    stats = fresh_stats ();
+  }
+
+let stats t = t.stats
+let resident t i = t.slots.(i) <> None
+
+let resident_indices t =
+  let acc = ref [] in
+  for i = Array.length t.slots - 1 downto 0 do
+    if t.slots.(i) <> None then acc := i :: !acc
+  done;
+  !acc
+
+let touch t i =
+  t.clock <- t.clock + 1;
+  t.last_use.(i) <- t.clock
+
+(* Evict strictly least-recently-used items (the clock is unique per
+   touch, so the victim is deterministic) until the resident set fits
+   the budget again. [keep] pins the item being faulted in: a single
+   item larger than the whole budget still has to run, so the resident
+   set may transiently exceed the budget by that one item — the
+   high-water mark records it. *)
+let shrink t ~keep =
+  while
+    t.stats.resident_bytes > t.budget
+    && (let victim = ref (-1) and best = ref max_int in
+        Array.iteri
+          (fun j slot ->
+            if j <> keep && slot <> None && t.last_use.(j) < !best then begin
+              victim := j;
+              best := t.last_use.(j)
+            end)
+          t.slots;
+        if !victim < 0 then false
+        else begin
+          t.slots.(!victim) <- None;
+          t.stats.resident_bytes <- t.stats.resident_bytes - t.costs.(!victim);
+          t.costs.(!victim) <- 0;
+          t.stats.evictions <- t.stats.evictions + 1;
+          true
+        end)
+  do
+    ()
+  done
+
+let get t i =
+  match t.slots.(i) with
+  | Some v ->
+    t.stats.hits <- t.stats.hits + 1;
+    touch t i;
+    v
+  | None ->
+    let { item = v; cost_bytes = cost; stall_cycles } = t.load i in
+    t.stats.faults <- t.stats.faults + 1;
+    t.stats.stall_cycles <- t.stats.stall_cycles + stall_cycles;
+    t.stats.loaded_bytes <- t.stats.loaded_bytes + cost;
+    t.slots.(i) <- Some v;
+    t.costs.(i) <- cost;
+    t.stats.resident_bytes <- t.stats.resident_bytes + cost;
+    touch t i;
+    shrink t ~keep:i;
+    (* the post-eviction set is what a real pager would hold: victims
+       leave before the faulting item is mapped, so the mark never
+       counts a page on its way out *)
+    if t.stats.resident_bytes > t.stats.resident_hwm then
+      t.stats.resident_hwm <- t.stats.resident_bytes;
+    v

@@ -1,0 +1,81 @@
+(* Execution profiles for the hot-layout pass: function entry counts
+   from the interpreter's on_call hook and block execution counts from
+   its on_label hook. Counts key on names (function name, label), not
+   indices, so a profile collected on the source-order program applies
+   unchanged to any reordering of it. *)
+
+type t = {
+  fcounts : (string, int) Hashtbl.t;
+  bcounts : (string * string, int) Hashtbl.t;
+  forder : (string, int) Hashtbl.t;  (* function -> first-call rank *)
+  mutable nseen : int;
+  mutable trace_rev : string list;  (* call sequence, newest first *)
+  mutable trace_len : int;
+}
+
+(* keeps profile memory bounded on huge runs; consecutive-pair affinity
+   saturates long before this on the corpus programs *)
+let trace_cap = 1 lsl 16
+
+let empty () =
+  {
+    fcounts = Hashtbl.create 32;
+    bcounts = Hashtbl.create 64;
+    forder = Hashtbl.create 32;
+    nseen = 0;
+    trace_rev = [];
+    trace_len = 0;
+  }
+
+let bump tbl k =
+  Hashtbl.replace tbl k
+    (1 + match Hashtbl.find_opt tbl k with Some n -> n | None -> 0)
+
+let record_call t name =
+  bump t.fcounts name;
+  if not (Hashtbl.mem t.forder name) then begin
+    Hashtbl.add t.forder name t.nseen;
+    t.nseen <- t.nseen + 1
+  end;
+  if t.trace_len < trace_cap then begin
+    t.trace_rev <- name :: t.trace_rev;
+    t.trace_len <- t.trace_len + 1
+  end
+let record_block t name label = bump t.bcounts (name, label)
+
+let collect ?input ?fuel ?entry (p : Isa.vprogram) =
+  let names =
+    Array.of_list (List.map (fun (f : Isa.vfunc) -> f.Isa.name) p.Isa.funcs)
+  in
+  let t = empty () in
+  let _ =
+    Interp.run ?input ?fuel ?entry
+      ~on_call:(fun i -> record_call t names.(i))
+      ~on_label:(fun i l -> record_block t names.(i) l)
+      p
+  in
+  t
+
+let func_count t name =
+  match Hashtbl.find_opt t.fcounts name with Some n -> n | None -> 0
+
+let block_count t name label =
+  match Hashtbl.find_opt t.bcounts (name, label) with Some n -> n | None -> 0
+
+let func_hot t = func_count t
+let block_hot t name label = block_count t name label
+
+(* Temporal-locality heat: a function's placement priority is how early
+   it is first called, not how often. Under an LRU pager, functions
+   referenced close together in time want to share pages — first-call
+   rank is a faithful proxy for the (largely cyclic) reference order,
+   where raw call counts scatter temporal neighbours across the image.
+   Earlier first touch maps to a larger heat value so this plugs
+   straight into {!Layout.reorder_functions}; never-called functions
+   get [min_int] and sink to the cold tail in source order. *)
+let func_locality t name =
+  match Hashtbl.find_opt t.forder name with
+  | Some rank -> -rank
+  | None -> min_int
+
+let call_trace t = List.rev t.trace_rev

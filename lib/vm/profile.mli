@@ -1,0 +1,43 @@
+(** Execution profiles feeding the hot-layout pass ({!Layout}).
+
+    A profile is two count tables — function entries (from
+    {!Interp.run}'s [on_call]) and block executions (from [on_label]) —
+    keyed by names rather than indices, so a profile collected on the
+    source-order program applies unchanged to any reordering. *)
+
+type t
+
+val empty : unit -> t
+
+val collect :
+  ?input:string -> ?fuel:int -> ?entry:string -> Isa.vprogram -> t
+(** Run the program under {!Interp.run} and record its profile.
+    @raise Interp.Runtime_error as {!Interp.run} does. *)
+
+val record_call : t -> string -> unit
+val record_block : t -> string -> string -> unit
+(** Manual accumulation (e.g. merging several training inputs into one
+    profile). *)
+
+val func_count : t -> string -> int
+val block_count : t -> string -> string -> int
+
+val func_hot : t -> string -> int
+(** [func_count] as the [hot] callback {!Layout.reorder_functions}
+    takes. *)
+
+val block_hot : t -> string -> string -> int
+(** [block_count] as the [bhot] callback {!Layout.reorder_blocks}
+    takes. *)
+
+val func_locality : t -> string -> int
+(** Temporal-locality heat for {!Layout.reorder_functions}: earlier
+    first call maps to larger heat, so the layout follows the
+    program's reference order — what an LRU pager rewards — rather
+    than raw call counts, which scatter temporal neighbours.
+    Never-called functions get [min_int] (the cold tail). *)
+
+val call_trace : t -> string list
+(** The recorded dynamic call sequence, oldest first (capped at 64 K
+    entries). Feed to {!Layout.affinity_heat} for the page-layout
+    ordering. *)

@@ -1,11 +1,39 @@
 (* Each function becomes its own single-function Wire program sharing no
    state with its neighbours; globals live in the header chunk. Chunks
-   are deflated independently so any one can be expanded alone. *)
+   are deflated independently so any one can be expanded alone.
+
+   Since WCH3 the container carries an explicit per-chunk index — the
+   header lists (name, length) pairs and the chunk bodies follow as one
+   contiguous data region — so locating chunk [i] is array arithmetic
+   over precomputed offsets, not a scan over length-prefixed records.
+   That is the random-access path the demand pager leans on: a fault
+   touches exactly the faulting function's bytes. *)
 
 type t = {
   globals : Ir.Tree.global list;
-  chunks : (string * string) list;  (* function name -> compressed chunk *)
+  names : string array;      (* chunk i's function name *)
+  offsets : int array;       (* chunk i's start within [data] *)
+  lengths : int array;       (* chunk i's byte length *)
+  data : string;             (* all chunk bodies, concatenated in order *)
+  by_name : (string, int) Hashtbl.t;
 }
+
+let make globals pairs =
+  let n = List.length pairs in
+  let names = Array.make n "" in
+  let offsets = Array.make n 0 in
+  let lengths = Array.make n 0 in
+  let by_name = Hashtbl.create (2 * n) in
+  let buf = Buffer.create 4096 in
+  List.iteri
+    (fun i (name, chunk) ->
+      names.(i) <- name;
+      offsets.(i) <- Buffer.length buf;
+      lengths.(i) <- String.length chunk;
+      if not (Hashtbl.mem by_name name) then Hashtbl.add by_name name i;
+      Buffer.add_string buf chunk)
+    pairs;
+  { globals; names; offsets; lengths; data = Buffer.contents buf; by_name }
 
 let compress ?pool (p : Ir.Tree.program) : t =
   (* chunks are independent whole pipelines — the natural fan-out unit;
@@ -22,41 +50,58 @@ let compress ?pool (p : Ir.Tree.program) : t =
       Support.Pool.map pool chunk_of p.Ir.Tree.funcs
     | _ -> List.map chunk_of p.Ir.Tree.funcs
   in
-  { globals = p.Ir.Tree.globals; chunks }
+  make p.Ir.Tree.globals chunks
 
-let function_names t = List.map fst t.chunks
+(* ---- random access ---- *)
+
+let globals t = t.globals
+
+let chunk_count t = Array.length t.names
+let name_at t i = t.names.(i)
+let function_names t = Array.to_list t.names
+let index_of t name = Hashtbl.find_opt t.by_name name
+let chunk_size_at t i = t.lengths.(i)
+let chunk_at t i = String.sub t.data t.offsets.(i) t.lengths.(i)
 
 let chunk t name =
-  match List.assoc_opt name t.chunks with
-  | Some c -> c
+  match index_of t name with
+  | Some i -> chunk_at t i
   | None -> raise Not_found
 
-let chunk_size t name = String.length (chunk t name)
+let chunk_size t name =
+  match index_of t name with
+  | Some i -> t.lengths.(i)
+  | None -> raise Not_found
+
+let decompress_at t i =
+  match (Wire_format.decompress_exn (chunk_at t i)).Ir.Tree.funcs with
+  | [ f ] -> f
+  | _ ->
+    Support.Decode_error.fail ~decoder:"chunked"
+      ~kind:Support.Decode_error.Inconsistent
+      "chunk does not hold exactly one function"
 
 let decompress_function t name =
-  match List.assoc_opt name t.chunks with
+  match index_of t name with
+  | Some i -> decompress_at t i
   | None -> raise Not_found
-  | Some chunk -> (
-    match (Wire_format.decompress_exn chunk).Ir.Tree.funcs with
-    | [ f ] ->
-      f
-    | _ ->
-      Support.Decode_error.fail ~decoder:"chunked"
-        ~kind:Support.Decode_error.Inconsistent
-        "chunk does not hold exactly one function")
 
 let decompress_all t =
   {
     Ir.Tree.globals = t.globals;
-    funcs = List.map (fun (n, _) -> decompress_function t n) t.chunks;
+    funcs = List.init (chunk_count t) (decompress_at t);
   }
 
 (* ---- serialization ---- *)
 
-let magic = "WCH2"
+(* WCH3: WCH2 plus the explicit chunk index. The header ends with
+   (name, length) rows; bodies follow back-to-back, so a reader knows
+   every chunk's offset after parsing the fixed-size-per-entry index
+   and never walks the data region to find a function. *)
+let magic = "WCH3"
 
 let to_bytes t =
-  let buf = Buffer.create 4096 in
+  let buf = Buffer.create (String.length t.data + 4096) in
   Support.Util.uleb128 buf (List.length t.globals);
   List.iter
     (fun (g : Ir.Tree.global) ->
@@ -68,12 +113,13 @@ let to_bytes t =
         Support.Util.uleb128 buf (List.length bytes + 1);
         List.iter (fun b -> Buffer.add_char buf (Char.chr (b land 0xff))) bytes)
     t.globals;
-  Support.Util.uleb128 buf (List.length t.chunks);
-  List.iter
-    (fun (name, chunk) ->
+  Support.Util.uleb128 buf (chunk_count t);
+  Array.iteri
+    (fun i name ->
       Support.Frame.put_str buf name;
-      Support.Frame.put_str buf chunk)
-    t.chunks;
+      Support.Util.uleb128 buf t.lengths.(i))
+    t.names;
+  Buffer.add_string buf t.data;
   (* magic, then a CRC-32 of the body so any corruption or truncation is
      rejected in [of_bytes] before parsing *)
   Support.Frame.seal ~magic (Buffer.contents buf)
@@ -103,14 +149,28 @@ let of_bytes_exn s =
   in
   let nchunks = u () in
   check_count nchunks "chunk";
-  let chunks =
-    List.init nchunks (fun _ ->
-        let name = str () in
-        let chunk = str () in
-        (name, chunk))
-  in
-  Support.Frame.expect_end r "last chunk";
-  { globals; chunks }
+  let names = Array.make nchunks "" in
+  let lengths = Array.make nchunks 0 in
+  let offsets = Array.make nchunks 0 in
+  let total = ref 0 in
+  for i = 0 to nchunks - 1 do
+    names.(i) <- str ();
+    let len = u () in
+    (* each indexed length must still fit the input; the running total
+       is rechecked so a sum overflowing across entries cannot pass *)
+    check_count len "chunk body";
+    offsets.(i) <- !total;
+    lengths.(i) <- len;
+    total := !total + len;
+    check_count !total "chunk data"
+  done;
+  let data = Support.Frame.raw r ~what:"chunk data" !total in
+  Support.Frame.expect_end r "chunk data";
+  let by_name = Hashtbl.create (2 * nchunks) in
+  Array.iteri
+    (fun i name -> if not (Hashtbl.mem by_name name) then Hashtbl.add by_name name i)
+    names;
+  { globals; names; offsets; lengths; data; by_name }
 
 let of_bytes s =
   Support.Decode_error.guard ~decoder:"chunked" (fun () -> of_bytes_exn s)

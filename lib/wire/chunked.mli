@@ -37,6 +37,34 @@ val size : t -> int
 
 val function_names : t -> string list
 
+val globals : t -> Ir.Tree.global list
+(** The header's globals — available without touching any chunk, so a
+    pager can lay out the data segment before decompressing anything. *)
+
+(** {2 Random access}
+
+    The WCH3 container carries an explicit per-chunk (name, length)
+    index ahead of a contiguous data region, so these are O(1) array
+    lookups — the pager's fault path touches only the faulting
+    function's bytes. *)
+
+val chunk_count : t -> int
+
+val name_at : t -> int -> string
+(** Function name of chunk [i] (serialization order). *)
+
+val index_of : t -> string -> int option
+(** Chunk index of a function name (hashed; first wins on duplicates). *)
+
+val chunk_at : t -> int -> string
+(** Chunk [i]'s compressed bytes, O(1) via the offset index. *)
+
+val chunk_size_at : t -> int -> int
+
+val decompress_at : t -> int -> Ir.Tree.func
+(** Materialize chunk [i] alone.
+    @raise Support.Decode_error.Fail if the chunk bytes are corrupt. *)
+
 val chunk : t -> string -> string
 (** One function's compressed chunk, exactly as serialized — itself a
     complete single-function {!Wire_format} image, so a client can

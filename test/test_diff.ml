@@ -90,6 +90,81 @@ let profiles =
         [ (3, false); (5, false); (8, true) ])
     [ 11L; 23L; 37L; 53L; 71L; 97L ]
 
+(* ---- the same differential, after profile-guided reordering ----
+
+   The hot layout permutes functions (affinity order from the dynamic
+   call trace) and basic blocks; none of that may be observable. Every
+   engine runs the reordered program and must reproduce the ORIGINAL
+   source-order vm observation — so a reorder bug that breaks all three
+   engines the same way still fails here. *)
+
+let reordered_disagreement (profile : Corpus.Gen.profile) =
+  let e = Corpus.Gen.generate profile in
+  let ir = Cc.Lower.compile e.Corpus.Programs.source in
+  let vp = Vm.Codegen.gen_program ir in
+  let input = e.Corpus.Programs.input in
+  let a = obs_vm vp input in
+  let prof = Vm.Profile.collect ~input vp in
+  let hot = Vm.Layout.affinity_heat ~trace:(Vm.Profile.call_trace prof) in
+  let bhot = Vm.Profile.block_hot prof in
+  let vp_hot = Vm.Layout.hot_layout ~hot ~bhot vp in
+  let check name b =
+    if a.output <> b.output then
+      Some
+        (Printf.sprintf "%s output differs after reorder: vm=%S %s=%S" name
+           a.output name b.output)
+    else if a.exit_code <> b.exit_code then
+      Some
+        (Printf.sprintf "%s exit differs after reorder: vm=%d %s=%d" name
+           a.exit_code name b.exit_code)
+    else None
+  in
+  match check "vm" (obs_vm vp_hot input) with
+  | Some _ as d -> d
+  | None -> (
+    match check "brisc-interp" (obs_brisc vp_hot input) with
+    | Some _ as d -> d
+    | None -> check "brisc-jit" (obs_jit vp_hot input))
+
+let check_reordered (profile : Corpus.Gen.profile) () =
+  match reordered_disagreement profile with
+  | None -> ()
+  | Some msg ->
+    Alcotest.fail
+      (Printf.sprintf "reordered engines disagree (seed %Ld, %d functions): %s"
+         profile.Corpus.Gen.seed profile.Corpus.Gen.functions msg)
+
+(* larger shapes too: past 40 functions the generated driver leaves
+   cold functions interleaved with live ones, so the affinity order is
+   a genuinely different permutation from source order *)
+let reorder_profiles =
+  profiles
+  @ List.map
+      (fun (functions, seed) -> { Corpus.Gen.functions; seed; bias16 = false })
+      [ (40, 7L); (80, 101L); (120, 0x1CCL) ]
+
+(* The chunked container must not depend on how many domains compressed
+   it: same reordered IR, byte-identical bytes at every pool size. This
+   is what lets the paging bench's committed numbers reproduce anywhere. *)
+let test_chunked_pool_identity () =
+  let e = Corpus.Gen.generate { Corpus.Gen.functions = 80; seed = 101L; bias16 = false } in
+  let ir = Cc.Lower.compile e.Corpus.Programs.source in
+  let vp = Vm.Codegen.gen_program ir in
+  let input = e.Corpus.Programs.input in
+  let prof = Vm.Profile.collect ~input vp in
+  let hot = Vm.Layout.affinity_heat ~trace:(Vm.Profile.call_trace prof) in
+  let ir_hot = Vm.Layout.reorder_ir ~hot ir in
+  let base = Wire.Chunked.to_bytes (Wire.Chunked.compress ir_hot) in
+  List.iter
+    (fun domains ->
+      let pool = Support.Pool.create ~domains in
+      let bytes = Wire.Chunked.to_bytes (Wire.Chunked.compress ~pool ir_hot) in
+      Support.Pool.shutdown pool;
+      Alcotest.(check string)
+        (Printf.sprintf "chunked bytes identical at %d domains" domains)
+        base bytes)
+    [ 1; 2; 4 ]
+
 let () =
   Alcotest.run "diff"
     [
@@ -102,4 +177,17 @@ let () =
                  (if p.Corpus.Gen.bias16 then ", bias16" else ""))
               `Quick (check_profile p))
           profiles );
+      ( "hot layout preserves semantics",
+        List.mapi
+          (fun i p ->
+            Alcotest.test_case
+              (Printf.sprintf "reordered %02d: %d fns, seed %Ld%s" i
+                 p.Corpus.Gen.functions p.Corpus.Gen.seed
+                 (if p.Corpus.Gen.bias16 then ", bias16" else ""))
+              `Quick (check_reordered p))
+          reorder_profiles
+        @ [
+            Alcotest.test_case "chunked bytes invariant across pool sizes"
+              `Quick test_chunked_pool_identity;
+          ] );
     ]

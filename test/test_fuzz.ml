@@ -154,6 +154,8 @@ let fuzz_chunked =
 
 (* the chunked body behind its own CRC: mutate, recompute the checksum,
    reassemble — forcing the container parser past the integrity check *)
+let frame_with ~magic body = magic ^ frame body
+
 let fuzz_chunked_body =
   let seeds =
     List.map
@@ -163,14 +165,60 @@ let fuzz_chunked_body =
       irs
   in
   fuzz "chunked inner body" 107L seeds (fun _ body ->
-      let crc = Support.Util.crc32 body in
-      let hdr = Bytes.create 4 in
-      Bytes.set hdr 0 (Char.chr ((crc lsr 24) land 0xff));
-      Bytes.set hdr 1 (Char.chr ((crc lsr 16) land 0xff));
-      Bytes.set hdr 2 (Char.chr ((crc lsr 8) land 0xff));
-      Bytes.set hdr 3 (Char.chr (crc land 0xff));
-      match Wire.Chunked.of_bytes ("WCH2" ^ Bytes.to_string hdr ^ body) with
+      match Wire.Chunked.of_bytes (frame_with ~magic:"WCH3" body) with
       | Ok _ | Error _ -> ())
+
+(* the WCH3 random-access index under mutation: any container the
+   parser accepts must serve the whole O(1) access surface — names,
+   sizes, chunk bytes, per-chunk decompression — without an exception
+   escaping (corrupt chunk payloads surface as typed decode errors) *)
+let fuzz_chunked_index =
+  let seeds =
+    List.map
+      (fun ir ->
+        let img = Wire.Chunked.to_bytes (Wire.Chunked.compress ir) in
+        String.sub img 8 (String.length img - 8))
+      irs
+  in
+  fuzz "chunked index" 115L seeds (fun _ body ->
+      match Wire.Chunked.of_bytes (frame_with ~magic:"WCH3" body) with
+      | Error _ -> ()
+      | Ok c ->
+        for i = 0 to Wire.Chunked.chunk_count c - 1 do
+          let name = Wire.Chunked.name_at c i in
+          (match Wire.Chunked.index_of c name with
+          | Some j -> assert (Wire.Chunked.name_at c j = name)
+          | None -> assert false);
+          assert (
+            String.length (Wire.Chunked.chunk_at c i)
+            = Wire.Chunked.chunk_size_at c i);
+          match Wire.Chunked.decompress_at c i with
+          | _ -> ()
+          | exception Support.Decode_error.Fail _ -> ()
+        done)
+
+(* demand-paged execution over corrupt chunks: the pager's fault path
+   decompresses mid-run, so a hostile chunk must surface as
+   [Error (Decode _)] (or a trap), never as an exception escaping the
+   engine — the budget is kept below one page so eviction and re-fault
+   paths run too *)
+let fuzz_paged_exec =
+  let seeds =
+    List.map
+      (fun ir ->
+        let img = Wire.Chunked.to_bytes (Wire.Chunked.compress ir) in
+        String.sub img 8 (String.length img - 8))
+      irs
+  in
+  fuzz "paged exec" 116L seeds (fun _ body ->
+      match Wire.Chunked.of_bytes (frame_with ~magic:"WCH3" body) with
+      | Error _ -> ()
+      | Ok c -> (
+        let cfg =
+          Scenario.Paged.config ~page_bytes:64 ~budget_bytes:48 ()
+        in
+        match Scenario.Paged.run_vm ~cfg ~fuel:20_000 c with
+        | Ok _ | Error _ -> ()))
 
 (* ---- brisc ---- *)
 
@@ -336,6 +384,8 @@ let () =
           Alcotest.test_case "wire inner bundle" `Quick fuzz_wire_bundle;
           Alcotest.test_case "chunked" `Quick fuzz_chunked;
           Alcotest.test_case "chunked inner body" `Quick fuzz_chunked_body;
+          Alcotest.test_case "chunked index" `Quick fuzz_chunked_index;
+          Alcotest.test_case "paged exec" `Quick fuzz_paged_exec;
           Alcotest.test_case "brisc container" `Quick fuzz_brisc_container;
           Alcotest.test_case "brisc decomp" `Quick fuzz_brisc_decomp;
           Alcotest.test_case "vm encode" `Quick fuzz_vm_encode;

@@ -1,0 +1,229 @@
+(* The demand pager's eviction contract, checked against a naive
+   reference oracle: strict LRU over a touch sequence is a pure
+   function of that sequence, so the incremental pager and a
+   from-scratch recency list must agree on the resident set and every
+   counter after every single touch. Random budgets deliberately cross
+   item boundaries, fall below a single item, or hold everything. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ---- reference oracle: recency list, re-scanned on every touch ---- *)
+
+type oracle = {
+  mutable recency : int list;  (* most recent first *)
+  costs : int array;
+  stalls : int array;
+  budget : int;
+  ostats : Vm.Pager.stats;
+}
+
+let oracle_make ~budget costs stalls =
+  {
+    recency = [];
+    costs;
+    stalls;
+    budget;
+    ostats =
+      {
+        Vm.Pager.faults = 0;
+        hits = 0;
+        evictions = 0;
+        stall_cycles = 0;
+        loaded_bytes = 0;
+        resident_bytes = 0;
+        resident_hwm = 0;
+      };
+  }
+
+let oracle_touch o i =
+  let s = o.ostats in
+  if List.mem i o.recency then begin
+    s.Vm.Pager.hits <- s.Vm.Pager.hits + 1;
+    o.recency <- i :: List.filter (fun j -> j <> i) o.recency
+  end
+  else begin
+    s.Vm.Pager.faults <- s.Vm.Pager.faults + 1;
+    s.Vm.Pager.stall_cycles <- s.Vm.Pager.stall_cycles + o.stalls.(i);
+    s.Vm.Pager.loaded_bytes <- s.Vm.Pager.loaded_bytes + o.costs.(i);
+    s.Vm.Pager.resident_bytes <- s.Vm.Pager.resident_bytes + o.costs.(i);
+    o.recency <- i :: o.recency;
+    (* evict least-recent victims, never the item just faulted in *)
+    let rec evict () =
+      if s.Vm.Pager.resident_bytes > o.budget then
+        match List.rev o.recency with
+        | v :: _ when v <> i ->
+          o.recency <- List.filter (fun j -> j <> v) o.recency;
+          s.Vm.Pager.resident_bytes <- s.Vm.Pager.resident_bytes - o.costs.(v);
+          s.Vm.Pager.evictions <- s.Vm.Pager.evictions + 1;
+          evict ()
+        | _ -> ()  (* only the pinned faulting item remains *)
+    in
+    evict ()
+  end;
+  s.Vm.Pager.resident_hwm <-
+    max s.Vm.Pager.resident_hwm s.Vm.Pager.resident_bytes
+
+(* ---- generators ----
+
+   Item costs in 1..80 against budgets in 1..200: budgets routinely
+   cross item boundaries, sometimes hold a single item or less, and
+   sometimes hold the whole set. Touch sequences are long enough to
+   re-touch items long after their eviction. *)
+
+let gen_case =
+  QCheck.Gen.(
+    let* n = int_range 1 12 in
+    let* costs = array_size (return n) (int_range 1 80) in
+    let* stalls = array_size (return n) (int_range 0 1000) in
+    let* budget = int_range 1 200 in
+    let* touches = list_size (int_range 1 120) (int_range 0 (n - 1)) in
+    return (costs, stalls, budget, touches))
+
+let print_case (costs, stalls, budget, touches) =
+  Printf.sprintf "costs=[%s] stalls=[%s] budget=%d touches=[%s]"
+    (String.concat ";" (Array.to_list (Array.map string_of_int costs)))
+    (String.concat ";" (Array.to_list (Array.map string_of_int stalls)))
+    budget
+    (String.concat ";" (List.map string_of_int touches))
+
+let arb_case = QCheck.make ~print:print_case gen_case
+
+let check_agree (costs, stalls, budget, touches) =
+  let n = Array.length costs in
+  let pager =
+    Vm.Pager.create ~budget_bytes:budget ~items:n (fun i ->
+        { Vm.Pager.item = i; cost_bytes = costs.(i); stall_cycles = stalls.(i) })
+  in
+  let o = oracle_make ~budget costs stalls in
+  List.for_all
+    (fun i ->
+      let v = Vm.Pager.get pager i in
+      oracle_touch o i;
+      let s = Vm.Pager.stats pager and os = o.ostats in
+      v = i
+      && Vm.Pager.resident_indices pager
+         = List.sort compare o.recency
+      && s.Vm.Pager.faults = os.Vm.Pager.faults
+      && s.Vm.Pager.hits = os.Vm.Pager.hits
+      && s.Vm.Pager.evictions = os.Vm.Pager.evictions
+      && s.Vm.Pager.stall_cycles = os.Vm.Pager.stall_cycles
+      && s.Vm.Pager.loaded_bytes = os.Vm.Pager.loaded_bytes
+      && s.Vm.Pager.resident_bytes = os.Vm.Pager.resident_bytes
+      && s.Vm.Pager.resident_hwm = os.Vm.Pager.resident_hwm)
+    touches
+
+let prop_matches_oracle =
+  QCheck.Test.make ~name:"pager matches naive LRU oracle" ~count:500 arb_case
+    check_agree
+
+(* the resident set never exceeds the budget except while the only
+   resident item is itself over budget (pinned during its fault) *)
+let prop_budget_respected =
+  QCheck.Test.make ~name:"resident set bounded by budget or a single item"
+    ~count:500 arb_case (fun (costs, stalls, budget, touches) ->
+      let n = Array.length costs in
+      let pager =
+        Vm.Pager.create ~budget_bytes:budget ~items:n (fun i ->
+            {
+              Vm.Pager.item = i;
+              cost_bytes = costs.(i);
+              stall_cycles = stalls.(i);
+            })
+      in
+      List.for_all
+        (fun i ->
+          ignore (Vm.Pager.get pager i);
+          let s = Vm.Pager.stats pager in
+          s.Vm.Pager.resident_bytes <= budget
+          || Vm.Pager.resident_indices pager = [ i ])
+        touches)
+
+(* ---- directed cases ---- *)
+
+let mk ?(budget = 100) costs =
+  Vm.Pager.create ~budget_bytes:budget ~items:(Array.length costs) (fun i ->
+      { Vm.Pager.item = i; cost_bytes = costs.(i); stall_cycles = 10 })
+
+let test_retouch_refaults () =
+  (* budget holds two of the three items; touching 0,1,2 evicts 0, and
+     re-touching 0 must fault again (and evict 1, the next victim) *)
+  let p = mk ~budget:100 [| 50; 50; 50 |] in
+  List.iter (fun i -> ignore (Vm.Pager.get p i)) [ 0; 1; 2; 0 ];
+  let s = Vm.Pager.stats p in
+  Alcotest.(check int) "faults" 4 s.Vm.Pager.faults;
+  Alcotest.(check int) "hits" 0 s.Vm.Pager.hits;
+  Alcotest.(check int) "evictions" 2 s.Vm.Pager.evictions;
+  Alcotest.(check (list int)) "resident" [ 0; 2 ]
+    (Vm.Pager.resident_indices p)
+
+let test_item_larger_than_budget () =
+  (* an item over the whole budget still runs: pinned during its fault,
+     everything else evicted, the high-water mark records the overshoot *)
+  let p = mk ~budget:60 [| 40; 200; 30 |] in
+  ignore (Vm.Pager.get p 0);
+  ignore (Vm.Pager.get p 1);
+  let s = Vm.Pager.stats p in
+  Alcotest.(check (list int)) "only the oversized item" [ 1 ]
+    (Vm.Pager.resident_indices p);
+  Alcotest.(check int) "hwm records the overshoot" 200
+    s.Vm.Pager.resident_hwm;
+  ignore (Vm.Pager.get p 2);
+  Alcotest.(check (list int)) "oversized item evicted on next fault" [ 2 ]
+    (Vm.Pager.resident_indices p)
+
+let test_budget_below_every_item () =
+  (* budget smaller than any single page: every touch of a new item
+     faults, exactly one item stays resident *)
+  let p = mk ~budget:10 [| 30; 30; 30 |] in
+  List.iter (fun i -> ignore (Vm.Pager.get p i)) [ 0; 1; 2; 0; 1; 2 ];
+  let s = Vm.Pager.stats p in
+  Alcotest.(check int) "every touch faults" 6 s.Vm.Pager.faults;
+  Alcotest.(check int) "one resident at a time" 30 s.Vm.Pager.resident_bytes;
+  Alcotest.(check int) "hwm is one item" 30 s.Vm.Pager.resident_hwm
+
+let test_raising_load_leaves_pager_consistent () =
+  let attempts = ref 0 in
+  let p =
+    Vm.Pager.create ~budget_bytes:100 ~items:2 (fun i ->
+        if i = 1 then begin
+          incr attempts;
+          failwith "load exploded"
+        end
+        else { Vm.Pager.item = i; cost_bytes = 10; stall_cycles = 5 })
+  in
+  ignore (Vm.Pager.get p 0);
+  (match Vm.Pager.get p 1 with
+  | _ -> Alcotest.fail "expected the load failure to propagate"
+  | exception Failure _ -> ());
+  let s = Vm.Pager.stats p in
+  Alcotest.(check (list int)) "failed item not admitted" [ 0 ]
+    (Vm.Pager.resident_indices p);
+  Alcotest.(check int) "no stall charged for the failed load" 5
+    s.Vm.Pager.stall_cycles;
+  (* the pager still works, and the failed item retries its load *)
+  (match Vm.Pager.get p 1 with
+  | _ -> Alcotest.fail "expected the retried load to fail again"
+  | exception Failure _ -> ());
+  Alcotest.(check int) "load retried per fault" 2 !attempts;
+  Alcotest.(check int) "item 0 still serviceable" 0 (Vm.Pager.get p 0)
+
+let () =
+  Alcotest.run "pager"
+    [
+      ( "lru-oracle",
+        [
+          qcheck prop_matches_oracle;
+          qcheck prop_budget_respected;
+        ] );
+      ( "directed",
+        [
+          Alcotest.test_case "re-touch after evict refaults" `Quick
+            test_retouch_refaults;
+          Alcotest.test_case "item larger than budget pins" `Quick
+            test_item_larger_than_budget;
+          Alcotest.test_case "budget below every item" `Quick
+            test_budget_below_every_item;
+          Alcotest.test_case "raising load leaves pager consistent" `Quick
+            test_raising_load_leaves_pager_consistent;
+        ] );
+    ]

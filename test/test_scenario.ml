@@ -233,6 +233,118 @@ let test_trace_of_known_program () =
   (* main entry + two calls *)
   Alcotest.(check int) "three references" 3 (List.length trace)
 
+(* ---- demand-paged execution (Scenario.Paged) ---- *)
+
+(* one shared corpus point: 40 functions gives a multi-page image with
+   cold leaves, so budgets below 100% actually evict *)
+let paged_fixture =
+  lazy
+    (let e =
+       Corpus.Gen.generate { Corpus.Gen.functions = 40; seed = 77L; bias16 = false }
+     in
+     let ir = Cc.Lower.compile e.Corpus.Programs.source in
+     let vp = Vm.Codegen.gen_program ir in
+     let input = e.Corpus.Programs.input in
+     let resident = Vm.Interp.run ~input vp in
+     let img = Wire.Chunked.compress ir in
+     (img, input, resident, Scenario.Paged.vm_image_bytes img))
+
+let run_paged ?repeat ~budget_bytes () =
+  let img, input, _, _ = Lazy.force paged_fixture in
+  match
+    Scenario.Paged.run_vm
+      ~cfg:(Scenario.Paged.config ~budget_bytes ())
+      ?repeat ~input img
+  with
+  | Ok r -> r
+  | Error e -> Alcotest.fail (Scenario.Paged.error_to_string e)
+
+let test_paged_equivalence_across_budgets () =
+  let _, _, resident, total = Lazy.force paged_fixture in
+  let faults_at =
+    List.map (fun pct ->
+        let r = run_paged ~budget_bytes:(max 1 (total * pct / 100)) () in
+        Alcotest.(check string)
+          (Printf.sprintf "output identical at %d%% budget" pct)
+          resident.Vm.Interp.output r.Scenario.Paged.res.Vm.Interp.output;
+        Alcotest.(check int)
+          (Printf.sprintf "exit code identical at %d%% budget" pct)
+          resident.Vm.Interp.exit_code
+          r.Scenario.Paged.res.Vm.Interp.exit_code;
+        Alcotest.(check int)
+          (Printf.sprintf "step count identical at %d%% budget" pct)
+          resident.Vm.Interp.steps r.Scenario.Paged.res.Vm.Interp.steps;
+        r.Scenario.Paged.stats.Vm.Pager.faults)
+      [ 100; 50; 25; 10 ]
+  in
+  (* tighter budgets can only fault more *)
+  ignore
+    (List.fold_left
+       (fun prev f ->
+         Alcotest.(check bool) "faults monotone as budget shrinks" true
+           (f >= prev);
+         f)
+       0 faults_at)
+
+let test_paged_budget_below_one_page () =
+  (* a 1-byte budget is below every page's decompressed size: the pager
+     pins the faulting page for the duration of the dispatch and evicts
+     it next fault, so execution still completes with the same result *)
+  let _, _, resident, _ = Lazy.force paged_fixture in
+  let r = run_paged ~budget_bytes:1 () in
+  Alcotest.(check string) "output identical under thrashing"
+    resident.Vm.Interp.output r.Scenario.Paged.res.Vm.Interp.output;
+  Alcotest.(check bool) "resident hwm bounded by one page's content" true
+    (r.Scenario.Paged.stats.Vm.Pager.resident_hwm
+    < (let _, _, _, total = Lazy.force paged_fixture in
+       total))
+
+let test_paged_session_repeat () =
+  let _, _, resident, total = Lazy.force paged_fixture in
+  let one = run_paged ~budget_bytes:total () in
+  let three = run_paged ~repeat:3 ~budget_bytes:total () in
+  Alcotest.(check string) "repeat result identical"
+    resident.Vm.Interp.output three.Scenario.Paged.res.Vm.Interp.output;
+  Alcotest.(check int) "steps sum across repeats"
+    (3 * resident.Vm.Interp.steps)
+    three.Scenario.Paged.total_steps;
+  (* the code cache survives across repeats: at full budget the session
+     pays only the compulsory faults of the first run *)
+  Alcotest.(check int) "warm cache: no new faults on later repeats"
+    one.Scenario.Paged.stats.Vm.Pager.faults
+    three.Scenario.Paged.stats.Vm.Pager.faults
+
+let test_paged_corrupt_chunk_is_typed () =
+  (* corrupt one byte inside main's chunk, behind a re-sealed outer CRC:
+     the fault that decompresses that chunk must surface Error (Decode _),
+     not an exception mid-execution *)
+  let img, input, _, _ = Lazy.force paged_fixture in
+  let s = Wire.Chunked.to_bytes img in
+  let body = String.sub s 8 (String.length s - 8) in
+  let victim = Wire.Chunked.chunk img "main" in
+  let at =
+    (* locate the chunk's bytes inside the body *)
+    let n = String.length body and vn = String.length victim in
+    let rec find i =
+      if i + vn > n then Alcotest.fail "main's chunk not found in body"
+      else if String.sub body i vn = victim then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let mid = at + (String.length victim / 2) in
+  let body' =
+    String.mapi
+      (fun i c -> if i = mid then Char.chr (Char.code c lxor 0x40) else c)
+      body
+  in
+  let img' = Wire.Chunked.of_bytes_exn (Support.Frame.seal ~magic:"WCH3" body') in
+  match Scenario.Paged.run_vm ~input img' with
+  | Error (Scenario.Paged.Decode _) -> ()
+  | Error (Scenario.Paged.Trap m) ->
+    Alcotest.fail ("expected Decode error, got Trap: " ^ m)
+  | Ok _ -> Alcotest.fail "corrupt chunk executed successfully"
+
 let () =
   Alcotest.run "scenario"
     [
@@ -277,5 +389,16 @@ let () =
             test_brisc_working_set_shrinks;
           Alcotest.test_case "trace of known program" `Quick
             test_trace_of_known_program;
+        ] );
+      ( "paged execution",
+        [
+          Alcotest.test_case "equivalent across budgets" `Quick
+            test_paged_equivalence_across_budgets;
+          Alcotest.test_case "budget below one page" `Quick
+            test_paged_budget_below_one_page;
+          Alcotest.test_case "session repeat warms the cache" `Quick
+            test_paged_session_repeat;
+          Alcotest.test_case "corrupt chunk surfaces typed error" `Quick
+            test_paged_corrupt_chunk_is_typed;
         ] );
     ]

@@ -366,6 +366,7 @@ let () =
             (test_golden "mixed_profiles");
           Alcotest.test_case "update storm" `Quick
             (test_golden "update_storm");
+          Alcotest.test_case "paging" `Quick (test_golden "paging");
         ] );
       ( "storm",
         [
